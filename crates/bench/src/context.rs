@@ -1,0 +1,136 @@
+//! Shared experiment state: the generated snapshots and their extracted
+//! corpora, built once and reused by every table.
+
+use pharmaverify_core::features::{extract_corpus, ExtractedCorpus};
+use pharmaverify_core::CvConfig;
+use pharmaverify_corpus::{CorpusConfig, Snapshot, SyntheticWeb};
+use pharmaverify_crawl::CrawlConfig;
+
+/// Corpus scale for the reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny corpus for smoke-testing the harness (~60 sites).
+    Small,
+    /// Quarter-scale corpus (~360 sites).
+    Medium,
+    /// The paper's Table 1 class counts (1459 / 1442 sites).
+    Paper,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `paper` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Reads `PHARMAVERIFY_SCALE` from the environment, defaulting to
+    /// `Paper`.
+    pub fn from_env() -> Scale {
+        std::env::var("PHARMAVERIFY_SCALE")
+            .ok()
+            .and_then(|s| Scale::parse(&s))
+            .unwrap_or(Scale::Paper)
+    }
+
+    /// The corpus configuration for this scale.
+    pub fn corpus_config(self) -> CorpusConfig {
+        match self {
+            Scale::Small => CorpusConfig::small(),
+            Scale::Medium => CorpusConfig::medium(),
+            Scale::Paper => CorpusConfig::paper(),
+        }
+    }
+}
+
+/// Everything the table generators need, built once.
+pub struct ReproContext {
+    /// The scale this context was built at.
+    pub scale: Scale,
+    /// Dataset 1 snapshot.
+    pub snapshot1: Snapshot,
+    /// Dataset 2 snapshot (six months later).
+    pub snapshot2: Snapshot,
+    /// Extracted corpus of Dataset 1.
+    pub corpus1: ExtractedCorpus,
+    /// Extracted corpus of Dataset 2.
+    pub corpus2: ExtractedCorpus,
+    /// Cross-validation configuration shared by all experiments.
+    pub cv: CvConfig,
+}
+
+/// The master seed of the reproduction. Changing it regenerates the whole
+/// experiment under a different random universe.
+pub const REPRO_SEED: u64 = 20180326; // EDBT 2018 opened March 26.
+
+impl ReproContext {
+    /// Generates the corpus and extracts features at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        let web = SyntheticWeb::generate(&scale.corpus_config(), REPRO_SEED);
+        let crawl = CrawlConfig::default();
+        let corpus1 = extract_corpus(web.snapshot(), &crawl);
+        let corpus2 = extract_corpus(web.snapshot2(), &crawl);
+        ReproContext {
+            scale,
+            snapshot1: web.snapshot().clone(),
+            snapshot2: web.snapshot2().clone(),
+            corpus1,
+            corpus2,
+            cv: CvConfig {
+                k: 3,
+                seed: REPRO_SEED,
+            },
+        }
+    }
+
+    /// The paper's term-subsample axis: 100, 250, 1000, 2000, All.
+    pub fn subsample_sizes() -> [(Option<usize>, &'static str); 5] {
+        [
+            (Some(100), "100"),
+            (Some(250), "250"),
+            (Some(1000), "1000"),
+            (Some(2000), "2000"),
+            (None, "All"),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parses_case_insensitively() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("MEDIUM"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("Paper"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn scale_maps_to_corpus_configs() {
+        assert_eq!(Scale::Paper.corpus_config().n_legitimate, 167);
+        assert_eq!(Scale::Small.corpus_config().n_legitimate, 12);
+    }
+
+    #[test]
+    fn subsample_axis_matches_paper() {
+        let sizes = ReproContext::subsample_sizes();
+        assert_eq!(sizes.len(), 5);
+        assert_eq!(sizes[0].0, Some(100));
+        assert_eq!(sizes[4].0, None);
+        assert_eq!(sizes[4].1, "All");
+    }
+
+    #[test]
+    fn small_context_builds() {
+        let ctx = ReproContext::new(Scale::Small);
+        assert_eq!(ctx.corpus1.len(), 60);
+        assert_eq!(ctx.corpus2.len(), 60);
+        assert_eq!(ctx.cv.k, 3);
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§6) against the synthetic corpus.
+//!
+//! Entry points:
+//!
+//! * `cargo run --release -p pharmaverify-bench --bin repro` — prints all
+//!   tables (`--table N` / `--figure 3` select one; `--scale small|medium|paper`
+//!   controls corpus size, default `paper`);
+//! * `cargo bench --bench tables` — same output, produced as part of the
+//!   benchmark run so the experiment record lands in `bench_output.txt`;
+//! * `cargo bench --bench micro` — criterion micro-benchmarks of the hot
+//!   substrate paths.
+//!
+//! Numbers are *shape*-comparable to the paper, not identical: the corpus
+//! is synthetic (see `DESIGN.md` §1). EXPERIMENTS.md records the
+//! paper-vs-measured comparison for every table.
+
+pub mod context;
+pub mod figures;
+pub mod tables;
+
+pub use context::{ReproContext, Scale};

@@ -1,0 +1,931 @@
+//! Table generators — one per table of the paper's evaluation section.
+
+use crate::context::ReproContext;
+use pharmaverify_core::classify::{
+    build_web_graph, evaluate_ensemble, evaluate_network, ngg_document_texts, CvConfig,
+    TextLearnerKind,
+};
+use pharmaverify_core::features::ExtractedCorpus;
+use pharmaverify_core::rank::{evaluate_ranking, RankingMethod};
+use pharmaverify_core::report::{abbreviations, Table};
+use pharmaverify_core::{drift_study, evaluate_tfidf};
+use pharmaverify_ml::{
+    stratified_folds, CvOutcome, Dataset, EvalSummary, FoldOutcome, Learner, Sampling,
+};
+use pharmaverify_net::top_linked;
+use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
+use pharmaverify_text::SparseVector;
+
+/// The TF-IDF experiment rows of Tables 3–6.
+pub const TFIDF_ROWS: &[(TextLearnerKind, Sampling)] = &[
+    (TextLearnerKind::Nbm, Sampling::None),
+    (TextLearnerKind::Svm, Sampling::None),
+    (TextLearnerKind::J48, Sampling::Smote),
+];
+
+/// The N-Gram-Graph experiment rows of Tables 7–10.
+pub const NGG_ROWS: &[TextLearnerKind] = &[
+    TextLearnerKind::Nb,
+    TextLearnerKind::Svm,
+    TextLearnerKind::J48,
+    TextLearnerKind::Mlp,
+];
+
+/// Aggregated results of a classifier × subsample-size grid.
+pub struct GridResults {
+    /// Row labels, e.g. `"NBM NO"`.
+    pub rows: Vec<String>,
+    /// `summaries[row][size]`, sizes in [`ReproContext::subsample_sizes`]
+    /// order.
+    pub summaries: Vec<Vec<EvalSummary>>,
+}
+
+impl GridResults {
+    fn table(&self, title: &str, value: impl Fn(&EvalSummary) -> f64) -> Table {
+        let mut headers = vec!["Classifier".to_string()];
+        headers.extend(
+            ReproContext::subsample_sizes()
+                .iter()
+                .map(|(_, name)| name.to_string()),
+        );
+        let mut t = Table {
+            title: title.to_string(),
+            headers,
+            rows: Vec::new(),
+        };
+        for (label, row) in self.rows.iter().zip(&self.summaries) {
+            let mut cells = vec![label.clone()];
+            cells.extend(row.iter().map(|s| Table::fmt2(value(s))));
+            t.push_row(cells);
+        }
+        t
+    }
+}
+
+/// Table 1: dataset statistics.
+pub fn table1(ctx: &ReproContext) -> Table {
+    let mut t = Table::new(
+        "Table 1: Datasets",
+        &["", "Dataset 1 (Date 1)", "Dataset 2 (Date 2, 6 months later)"],
+    );
+    let s1 = ctx.snapshot1.stats();
+    let s2 = ctx.snapshot2.stats();
+    t.push_row(vec![
+        "# Examples".into(),
+        format!("{} (100%)", s1.total),
+        format!("{} (100%)", s2.total),
+    ]);
+    t.push_row(vec![
+        "# Legitimate Examples".into(),
+        format!("{} ({:.0}%)", s1.legitimate, s1.legitimate_percent()),
+        format!("{} ({:.0}%)", s2.legitimate, s2.legitimate_percent()),
+    ]);
+    t.push_row(vec![
+        "# Illegitimate Examples".into(),
+        format!("{} ({:.0}%)", s1.illegitimate, 100.0 - s1.legitimate_percent()),
+        format!("{} ({:.0}%)", s2.illegitimate, 100.0 - s2.legitimate_percent()),
+    ]);
+    t
+}
+
+/// Table 2: abbreviation legend (static).
+pub fn table2() -> Table {
+    abbreviations()
+}
+
+/// Runs the full TF-IDF grid (Tables 3–6): three classifier/sampling
+/// rows across the five subsample sizes.
+pub fn tfidf_grid(ctx: &ReproContext) -> GridResults {
+    let mut rows = Vec::new();
+    let mut summaries = Vec::new();
+    for &(kind, sampling) in TFIDF_ROWS {
+        rows.push(format!("{} {}", kind.name(), sampling.abbreviation()));
+        let learner = kind.learner();
+        let row: Vec<EvalSummary> = ReproContext::subsample_sizes()
+            .iter()
+            .map(|&(size, _)| {
+                evaluate_tfidf(&ctx.corpus1, learner.as_ref(), sampling, kind.weighting(), size, ctx.cv)
+                    .aggregate()
+            })
+            .collect();
+        summaries.push(row);
+    }
+    GridResults { rows, summaries }
+}
+
+/// Table 3: TF-IDF overall accuracy.
+pub fn table3(grid: &GridResults) -> Table {
+    grid.table("Table 3: TF-IDF - Overall Accuracy", |s| s.accuracy)
+}
+
+/// Table 4: TF-IDF legitimate recall and precision.
+pub fn table4(grid: &GridResults) -> (Table, Table) {
+    (
+        grid.table("Table 4a: TF-IDF - legitimate recall", |s| {
+            s.legitimate.recall
+        }),
+        grid.table("Table 4b: TF-IDF - legitimate precision", |s| {
+            s.legitimate.precision
+        }),
+    )
+}
+
+/// Table 5: TF-IDF illegitimate recall and precision.
+pub fn table5(grid: &GridResults) -> (Table, Table) {
+    (
+        grid.table("Table 5a: TF-IDF - illegitimate recall", |s| {
+            s.illegitimate.recall
+        }),
+        grid.table("Table 5b: TF-IDF - illegitimate precision", |s| {
+            s.illegitimate.precision
+        }),
+    )
+}
+
+/// Table 6: TF-IDF area under the ROC curve.
+pub fn table6(grid: &GridResults) -> Table {
+    grid.table("Table 6: TF-IDF - Area Under ROC Curve", |s| s.auc)
+}
+
+/// Runs the full N-Gram-Graph grid (Tables 7–10). The per-fold class
+/// graphs and document features are computed once per subsample size and
+/// shared by all four classifiers — the expensive part is the graph work,
+/// not the learning.
+pub fn ngg_grid(ctx: &ReproContext) -> GridResults {
+    let corpus = &ctx.corpus1;
+    let cv = ctx.cv;
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let mut summaries = vec![Vec::new(); NGG_ROWS.len()];
+
+    for &(size, _) in ReproContext::subsample_sizes().iter() {
+        let texts = ngg_document_texts(corpus, size, cv.seed);
+        // Per fold: features for every document against this fold's class
+        // graphs. Folds run in parallel.
+        let texts_ref = &texts;
+        let folds_ref = &folds;
+        let fold_datasets: Vec<(Vec<usize>, Dataset)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = folds_ref
+                    .iter()
+                    .enumerate()
+                    .map(|(f, test_idx)| {
+                        scope.spawn(move |_| {
+                            let train_idx: Vec<usize> = (0..corpus.len())
+                                .filter(|i| !test_idx.contains(i))
+                                .collect();
+                            let legit: Vec<&str> = train_idx
+                                .iter()
+                                .filter(|&&i| corpus.labels[i])
+                                .map(|&i| texts_ref[i].as_str())
+                                .collect();
+                            let illegit: Vec<&str> = train_idx
+                                .iter()
+                                .filter(|&&i| !corpus.labels[i])
+                                .map(|&i| texts_ref[i].as_str())
+                                .collect();
+                            let graphs = NggClassGraphs::build(
+                                NGramGraphBuilder::default(),
+                                &legit,
+                                &illegit,
+                                cv.seed ^ (f as u64),
+                            );
+                            let mut all = Dataset::new(8);
+                            for (text, &label) in texts_ref.iter().zip(&corpus.labels) {
+                                let v = SparseVector::from_dense(
+                                    &graphs.features(text).to_vec(),
+                                );
+                                all.push(v, label);
+                            }
+                            (test_idx.clone(), all)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fold thread panicked"))
+                    .collect()
+            })
+            .expect("ngg grid scope panicked");
+
+        for (row, &kind) in NGG_ROWS.iter().enumerate() {
+            let learner = kind.ngg_learner();
+            let outcomes: Vec<FoldOutcome> = fold_datasets
+                .iter()
+                .map(|(test_idx, all)| {
+                    let train_idx: Vec<usize> = (0..corpus.len())
+                        .filter(|i| !test_idx.contains(i))
+                        .collect();
+                    let model = learner.fit(&all.subset(&train_idx));
+                    let labels: Vec<bool> = test_idx.iter().map(|&i| all.y(i)).collect();
+                    let scores: Vec<f64> =
+                        test_idx.iter().map(|&i| model.score(all.x(i))).collect();
+                    let predictions: Vec<bool> =
+                        test_idx.iter().map(|&i| model.predict(all.x(i))).collect();
+                    FoldOutcome {
+                        summary: EvalSummary::compute(&labels, &predictions, &scores),
+                        scores,
+                        labels,
+                    }
+                })
+                .collect();
+            summaries[row].push(CvOutcome { folds: outcomes }.aggregate());
+        }
+    }
+    GridResults {
+        rows: NGG_ROWS
+            .iter()
+            .map(|k| format!("{} NO", k.name()))
+            .collect(),
+        summaries,
+    }
+}
+
+/// Table 7: N-Gram Graphs classifier accuracy.
+pub fn table7(grid: &GridResults) -> Table {
+    grid.table("Table 7: N-Gram Graphs - Classifiers Accuracy", |s| {
+        s.accuracy
+    })
+}
+
+/// Table 8: N-Gram Graphs legitimate recall and precision.
+pub fn table8(grid: &GridResults) -> (Table, Table) {
+    (
+        grid.table("Table 8a: N-Gram Graphs - legitimate recall", |s| {
+            s.legitimate.recall
+        }),
+        grid.table("Table 8b: N-Gram Graphs - legitimate precision", |s| {
+            s.legitimate.precision
+        }),
+    )
+}
+
+/// Table 9: N-Gram Graphs illegitimate recall and precision.
+pub fn table9(grid: &GridResults) -> (Table, Table) {
+    (
+        grid.table("Table 9a: N-Gram Graphs - illegitimate recall", |s| {
+            s.illegitimate.recall
+        }),
+        grid.table("Table 9b: N-Gram Graphs - illegitimate precision", |s| {
+            s.illegitimate.precision
+        }),
+    )
+}
+
+/// Table 10: N-Gram Graphs area under the ROC curve.
+pub fn table10(grid: &GridResults) -> Table {
+    grid.table("Table 10: N-Gram Graphs - Area Under ROC Curve", |s| s.auc)
+}
+
+/// Table 11: the ten most linked-to external domains per class.
+pub fn table11(ctx: &ReproContext) -> Table {
+    let corpus = &ctx.corpus1;
+    let per_class = |want_legit: bool| {
+        let outbound: Vec<Vec<&str>> = (0..corpus.len())
+            .filter(|&i| corpus.labels[i] == want_legit)
+            .map(|i| {
+                corpus.outbound[i]
+                    .keys()
+                    .map(String::as_str)
+                    // Links to other pharmacies in P count too (that is the
+                    // affiliate signal), but self-links never occur.
+                    .collect()
+            })
+            .collect();
+        top_linked(outbound, 10)
+    };
+    let legit = per_class(true);
+    let illegit = per_class(false);
+    let mut t = Table::new(
+        "Table 11: Websites pointed to by legitimate and illegitimate pharmacies (top 10)",
+        &["pointed by legitimate", "pointed by illegitimate"],
+    );
+    for i in 0..legit.len().max(illegit.len()) {
+        t.push_row(vec![
+            legit.get(i).map(|r| r.domain.clone()).unwrap_or_default(),
+            illegit.get(i).map(|r| r.domain.clone()).unwrap_or_default(),
+        ]);
+    }
+    t
+}
+
+/// Runs the network experiment once (shared by Tables 12–13).
+pub fn network_outcome(ctx: &ReproContext) -> CvOutcome {
+    evaluate_network(&ctx.corpus1, ctx.cv)
+}
+
+/// Table 12: network classification accuracy and AUC.
+pub fn table12(network: &CvOutcome) -> Table {
+    let s = network.aggregate();
+    let mut t = Table::new(
+        "Table 12: Network - Overall Accuracy and AUC ROC",
+        &["Classifier", "Overall Accuracy", "AUC ROC"],
+    );
+    t.push_row(vec![
+        "NB".into(),
+        Table::fmt2(s.accuracy),
+        Table::fmt2(s.auc),
+    ]);
+    t
+}
+
+/// Table 13: network per-class precision and recall.
+pub fn table13(network: &CvOutcome) -> Table {
+    let s = network.aggregate();
+    let mut t = Table::new(
+        "Table 13: Network - precision and recall",
+        &[
+            "Classifier",
+            "legitimate precision",
+            "legitimate recall",
+            "illegitimate precision",
+            "illegitimate recall",
+        ],
+    );
+    t.push_row(vec![
+        "NB".into(),
+        Table::fmt3(s.legitimate.precision),
+        Table::fmt3(s.legitimate.recall),
+        Table::fmt3(s.illegitimate.precision),
+        Table::fmt3(s.illegitimate.recall),
+    ]);
+    t
+}
+
+/// Table 14: ensemble selection vs the best text model (MLP on NGG) and
+/// the network model, at the 1000-term subsample.
+pub fn table14(ctx: &ReproContext, mlp_text: EvalSummary, network: EvalSummary) -> Table {
+    let ensemble = evaluate_ensemble(&ctx.corpus1, Some(1000), ctx.cv);
+    let s = ensemble.outcome.aggregate();
+    let mut t = Table::new(
+        "Table 14: Ensemble Classification Results (1000-term subsamples)",
+        &[
+            "Model",
+            "Acc.",
+            "legit Rec.",
+            "legit Prec.",
+            "illegit Rec.",
+            "illegit Prec.",
+            "AUC ROC",
+        ],
+    );
+    let row = |name: &str, s: &EvalSummary| {
+        vec![
+            name.to_string(),
+            Table::fmt2(s.accuracy),
+            Table::fmt2(s.legitimate.recall),
+            Table::fmt2(s.legitimate.precision),
+            Table::fmt2(s.illegitimate.recall),
+            Table::fmt2(s.illegitimate.precision),
+            Table::fmt2(s.auc),
+        ]
+    };
+    t.push_row(row("Ensem. Sel.", &s));
+    t.push_row(row("Neural (Text)", &mlp_text));
+    t.push_row(row("NB (Network)", &network));
+    t
+}
+
+/// Table 15: pairwise orderedness of the four ranking variants.
+pub fn table15(ctx: &ReproContext) -> Table {
+    let mut t = Table::new(
+        "Table 15: Ranking using TF-IDF and N-Gram Graphs (1000-term subsamples)",
+        &["Method", "pairord"],
+    );
+    let methods = [
+        RankingMethod::TfIdf {
+            kind: TextLearnerKind::Nbm,
+            sampling: Sampling::None,
+        },
+        RankingMethod::TfIdf {
+            kind: TextLearnerKind::Svm,
+            sampling: Sampling::None,
+        },
+        RankingMethod::TfIdf {
+            kind: TextLearnerKind::J48,
+            sampling: Sampling::Smote,
+        },
+        RankingMethod::NggEquation3,
+    ];
+    for method in methods {
+        let outcome = evaluate_ranking(&ctx.corpus1, method, Some(1000), ctx.cv);
+        t.push_row(vec![method.name(), Table::fmt3(outcome.pairord)]);
+    }
+    t
+}
+
+/// Tables 16 and 17: model evolution over time — AUC (16) and legitimate
+/// precision (17) for Old-Old / New-New / Old-New at 250 and 1000 terms.
+pub fn table16_17(ctx: &ReproContext) -> (Table, Table) {
+    let headers = &[
+        "Classifier",
+        "Old-Old 250",
+        "Old-Old 1000",
+        "New-New 250",
+        "New-New 1000",
+        "Old-New 250",
+        "Old-New 1000",
+    ];
+    let mut t16 = Table::new(
+        "Table 16: TF-IDF - Model over Time - Area Under ROC Curve",
+        headers,
+    );
+    let mut t17 = Table::new(
+        "Table 17: TF-IDF - Model over Time - legitimate Precision",
+        headers,
+    );
+    for &(kind, sampling) in TFIDF_ROWS {
+        let label = format!("{} {}", kind.name(), sampling.abbreviation());
+        let rows: Vec<drift_study::DriftRow> = [Some(250), Some(1000)]
+            .into_iter()
+            .map(|size| {
+                drift_study::drift_row(&ctx.corpus1, &ctx.corpus2, kind, sampling, size, ctx.cv)
+            })
+            .collect();
+        let cells = |pick: &dyn Fn(&drift_study::DriftCell) -> f64| -> Vec<String> {
+            let mut c = vec![label.clone()];
+            for scenario in 0..3 {
+                for row in &rows {
+                    let cell = match scenario {
+                        0 => row.old_old,
+                        1 => row.new_new,
+                        _ => row.old_new,
+                    };
+                    c.push(Table::fmt2(pick(&cell)));
+                }
+            }
+            c
+        };
+        t16.push_row(cells(&|c| c.auc));
+        t17.push_row(cells(&|c| c.legitimate_precision));
+    }
+    (t16, t17)
+}
+
+/// The §6.4 outlier analysis, printed alongside Table 15.
+pub fn outlier_analysis(ctx: &ReproContext) -> Table {
+    let ranking = evaluate_ranking(
+        &ctx.corpus1,
+        RankingMethod::TfIdf {
+            kind: TextLearnerKind::Nbm,
+            sampling: Sampling::None,
+        },
+        Some(1000),
+        ctx.cv,
+    );
+    let k = (ctx.corpus1.len() / 30).clamp(3, 20);
+    let report = pharmaverify_core::ranking_outliers(&ranking, k);
+    let mut t = Table::new(
+        "Outlier analysis (Section 6.4)",
+        &["Outlier group", "Expert-finding profile", "Fraction matching"],
+    );
+    t.push_row(vec![
+        format!("top-{k} illegitimate"),
+        "off-network mimics".into(),
+        Table::fmt2(report.illegitimate_off_network_fraction()),
+    ]);
+    t.push_row(vec![
+        format!("bottom-{k} legitimate"),
+        "refill-only storefronts".into(),
+        Table::fmt2(report.legitimate_refill_only_fraction()),
+    ]);
+    t
+}
+
+/// Ablation: TrustRank-seeded network features vs unbiased PageRank —
+/// quantifies how much of the network signal comes from the trusted seed
+/// (the design choice §4.2 motivates).
+pub fn ablation_pagerank(ctx: &ReproContext) -> Table {
+    use pharmaverify_ml::{GaussianNaiveBayes, Model};
+    use pharmaverify_net::{pagerank, TrustRankConfig};
+    let corpus = &ctx.corpus1;
+    let artifacts = build_web_graph(corpus);
+    let pr = pagerank(&artifacts.graph, &TrustRankConfig::default());
+    let scale = artifacts.graph.node_count() as f64;
+    let folds = stratified_folds(&corpus.labels, ctx.cv.k, ctx.cv.seed);
+    let mut outcomes = Vec::new();
+    for test_idx in &folds {
+        let train_idx: Vec<usize> = (0..corpus.len())
+            .filter(|i| !test_idx.contains(i))
+            .collect();
+        let mut train = Dataset::new(1);
+        for &i in &train_idx {
+            let score = pr[artifacts.pharmacy_nodes[i] as usize] * scale;
+            train.push(SparseVector::from_pairs(vec![(0, score)]), corpus.labels[i]);
+        }
+        let model = GaussianNaiveBayes::default().fit(&train);
+        let labels: Vec<bool> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
+        let scores: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| {
+                model.score(&SparseVector::from_pairs(vec![(
+                    0,
+                    pr[artifacts.pharmacy_nodes[i] as usize] * scale,
+                )]))
+            })
+            .collect();
+        let predictions: Vec<bool> = scores.iter().map(|&s| s >= 0.5).collect();
+        outcomes.push(FoldOutcome {
+            summary: EvalSummary::compute(&labels, &predictions, &scores),
+            scores,
+            labels,
+        });
+    }
+    let pr_summary = CvOutcome { folds: outcomes }.aggregate();
+    let tr_summary = network_outcome(ctx).aggregate();
+    let mut t = Table::new(
+        "Ablation: TrustRank seed vs unbiased PageRank (network feature)",
+        &["Feature", "Accuracy", "AUC ROC", "legit recall"],
+    );
+    t.push_row(vec![
+        "TrustRank (seeded)".into(),
+        Table::fmt2(tr_summary.accuracy),
+        Table::fmt2(tr_summary.auc),
+        Table::fmt2(tr_summary.legitimate.recall),
+    ]);
+    t.push_row(vec![
+        "PageRank (unseeded)".into(),
+        Table::fmt2(pr_summary.accuracy),
+        Table::fmt2(pr_summary.auc),
+        Table::fmt2(pr_summary.legitimate.recall),
+    ]);
+    t
+}
+
+
+/// Ablation: the full sampling grid the paper ran but reported only the
+/// best of ("we performed various tests with all combinations among
+/// classifiers and sampling techniques", §6.3.1). One row per classifier
+/// × sampling treatment, at the 1000-term subsample.
+pub fn ablation_sampling(ctx: &ReproContext) -> Table {
+    let mut t = Table::new(
+        "Ablation: sampling treatments (1000-term subsamples)",
+        &["Classifier", "Sampling", "Acc.", "legit Rec.", "legit Prec.", "AUC ROC"],
+    );
+    for kind in [TextLearnerKind::Nbm, TextLearnerKind::Svm, TextLearnerKind::J48] {
+        for sampling in [Sampling::None, Sampling::Undersample, Sampling::Smote] {
+            let s = tfidf_single(&ctx.corpus1, kind, sampling, Some(1000), ctx.cv);
+            t.push_row(vec![
+                kind.name().to_string(),
+                sampling.abbreviation().to_string(),
+                Table::fmt2(s.accuracy),
+                Table::fmt2(s.legitimate.recall),
+                Table::fmt2(s.legitimate.precision),
+                Table::fmt2(s.auc),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation: sensitivity to training-label noise, following the
+/// classifier-behaviour-under-mislabeling study the paper cites (\[24\],
+/// Mirylenka et al., DAMI 2017). A seeded fraction of *training* labels
+/// is flipped per fold; test labels stay clean.
+pub fn ablation_label_noise(ctx: &ReproContext) -> Table {
+    use pharmaverify_core::classify::subsampled_documents;
+    use pharmaverify_text::TfIdfModel;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let corpus = &ctx.corpus1;
+    let cv = ctx.cv;
+    let docs = subsampled_documents(corpus, Some(1000), cv.seed);
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let mut t = Table::new(
+        "Ablation: training-label noise (1000-term subsamples)",
+        &["Classifier", "0%", "5%", "10%", "20%"],
+    );
+    for kind in [TextLearnerKind::Nbm, TextLearnerKind::Svm] {
+        let mut cells = vec![kind.name().to_string()];
+        for noise in [0.0, 0.05, 0.10, 0.20] {
+            let mut outcomes = Vec::new();
+            for (f, test_idx) in folds.iter().enumerate() {
+                let train_idx: Vec<usize> = (0..corpus.len())
+                    .filter(|i| !test_idx.contains(i))
+                    .collect();
+                let mut rng = SmallRng::seed_from_u64(cv.seed ^ 0x4015e ^ (f as u64));
+                let train_docs: Vec<&Vec<String>> =
+                    train_idx.iter().map(|&i| &docs[i]).collect();
+                let tfidf = TfIdfModel::fit(&train_docs[..]);
+                let weighting = kind.weighting();
+                let mut train = Dataset::new(tfidf.vocabulary().len().max(1));
+                for &i in &train_idx {
+                    let label = if noise > 0.0 && rng.gen_bool(noise) {
+                        !corpus.labels[i]
+                    } else {
+                        corpus.labels[i]
+                    };
+                    train.push(weighting.vectorize(&tfidf, &docs[i]), label);
+                }
+                let model = kind.learner().fit(&train);
+                let labels: Vec<bool> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
+                let scores: Vec<f64> = test_idx
+                    .iter()
+                    .map(|&i| model.score(&weighting.vectorize(&tfidf, &docs[i])))
+                    .collect();
+                let predictions: Vec<bool> = test_idx
+                    .iter()
+                    .map(|&i| model.predict(&weighting.vectorize(&tfidf, &docs[i])))
+                    .collect();
+                outcomes.push(FoldOutcome {
+                    summary: EvalSummary::compute(&labels, &predictions, &scores),
+                    scores,
+                    labels,
+                });
+            }
+            let agg = CvOutcome { folds: outcomes }.aggregate();
+            cells.push(Table::fmt2(agg.auc));
+        }
+        t.push_row(cells);
+    }
+    t
+}
+
+/// Future work §7(a): network-analysis variants — the paper's baseline,
+/// the Anti-TrustRank distrust feature, and the extended graph with
+/// non-pharmacy referrer portals (two-hop trust paths).
+pub fn future_work_network(ctx: &ReproContext) -> Table {
+    use pharmaverify_core::extensions::{
+        build_extended_web_graph, evaluate_network_variant, portal_links,
+    };
+    let corpus = &ctx.corpus1;
+    let base = build_web_graph(corpus);
+    let portals = portal_links(&ctx.snapshot1, &pharmaverify_crawl::CrawlConfig::default());
+    let extended = build_extended_web_graph(corpus, &portals);
+    let mut t = Table::new(
+        "Future work (Section 7a): network-analysis variants",
+        &["Variant", "Acc.", "AUC ROC", "legit Rec.", "legit Prec."],
+    );
+    let rows = [
+        ("TrustRank (paper baseline)", &base, false),
+        ("+ Anti-TrustRank distrust", &base, true),
+        ("Extended graph (referrer portals)", &extended, false),
+        ("Extended + distrust", &extended, true),
+    ];
+    for (name, artifacts, use_distrust) in rows {
+        let s = evaluate_network_variant(corpus, artifacts, use_distrust, ctx.cv).aggregate();
+        t.push_row(vec![
+            name.to_string(),
+            Table::fmt2(s.accuracy),
+            Table::fmt2(s.auc),
+            Table::fmt2(s.legitimate.recall),
+            Table::fmt2(s.legitimate.precision),
+        ]);
+    }
+    t
+}
+
+/// Future work §7(b): one classifier over combined text + network
+/// features, compared with the best single-view models.
+pub fn future_work_combined(ctx: &ReproContext) -> Table {
+    use pharmaverify_core::extensions::evaluate_combined;
+    let combined = evaluate_combined(&ctx.corpus1, Some(1000), ctx.cv).aggregate();
+    let text_svm = tfidf_single(
+        &ctx.corpus1,
+        TextLearnerKind::Svm,
+        Sampling::None,
+        Some(1000),
+        ctx.cv,
+    );
+    let network = network_outcome(ctx).aggregate();
+    let mut t = Table::new(
+        "Future work (Section 7b): combined text + network features (SVM, 1000 terms)",
+        &["Model", "Acc.", "AUC ROC", "legit Rec.", "legit Prec."],
+    );
+    for (name, s) in [
+        ("Combined (tfidf + NGG + trust)", combined),
+        ("Text only (tfidf SVM)", text_svm),
+        ("Network only (NB)", network),
+    ] {
+        t.push_row(vec![
+            name.to_string(),
+            Table::fmt2(s.accuracy),
+            Table::fmt2(s.auc),
+            Table::fmt2(s.legitimate.recall),
+            Table::fmt2(s.legitimate.precision),
+        ]);
+    }
+    t
+}
+
+
+/// Ablation: the three text representations of the comparison study the
+/// paper builds on (\[13\], Giannakopoulos et al.): Term Vector (TF-IDF),
+/// Character N-Grams (bag of char 4-grams), and N-Gram Graphs — all under
+/// the same SVM, at the 1000-term subsample.
+pub fn ablation_representations(ctx: &ReproContext) -> Table {
+    use pharmaverify_core::classify::{ngg_document_texts, subsampled_documents};
+    use pharmaverify_text::CharNgramModel;
+
+    let corpus = &ctx.corpus1;
+    let cv = ctx.cv;
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let docs = subsampled_documents(corpus, Some(1000), cv.seed);
+    let texts = ngg_document_texts(corpus, Some(1000), cv.seed);
+
+    let mut t = Table::new(
+        "Ablation: text representations under SVM (1000-term subsamples, cf. [13])",
+        &["Representation", "Acc.", "legit Rec.", "legit Prec.", "AUC ROC"],
+    );
+
+    // Term Vector and N-Gram Graphs reuse the standard pipelines.
+    let term_vector = tfidf_single(
+        corpus,
+        TextLearnerKind::Svm,
+        Sampling::None,
+        Some(1000),
+        cv,
+    );
+    let ngg = {
+        let learner = TextLearnerKind::Svm.ngg_learner();
+        pharmaverify_core::classify::evaluate_ngg(corpus, learner.as_ref(), Some(1000), cv)
+            .aggregate()
+    };
+
+    // Character N-Grams: char-4-gram tf·idf vectors under the same SVM.
+    let char_ngrams = {
+        let mut outcomes = Vec::new();
+        for test_idx in &folds {
+            let train_idx: Vec<usize> = (0..corpus.len())
+                .filter(|i| !test_idx.contains(i))
+                .collect();
+            let train_texts: Vec<&str> =
+                train_idx.iter().map(|&i| texts[i].as_str()).collect();
+            let model = CharNgramModel::fit(&train_texts, 4);
+            let dim = model.vocabulary_size().max(1);
+            let mut train = Dataset::new(dim);
+            for &i in &train_idx {
+                train.push(model.transform(&texts[i]), corpus.labels[i]);
+            }
+            let svm = TextLearnerKind::Svm.learner().fit(&train);
+            let labels: Vec<bool> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
+            let scores: Vec<f64> = test_idx
+                .iter()
+                .map(|&i| svm.score(&model.transform(&texts[i])))
+                .collect();
+            let predictions: Vec<bool> = test_idx
+                .iter()
+                .map(|&i| svm.predict(&model.transform(&texts[i])))
+                .collect();
+            outcomes.push(FoldOutcome {
+                summary: EvalSummary::compute(&labels, &predictions, &scores),
+                scores,
+                labels,
+            });
+        }
+        CvOutcome { folds: outcomes }.aggregate()
+    };
+    drop(docs);
+
+    for (name, s) in [
+        ("Term Vector (TF-IDF)", term_vector),
+        ("Character N-Grams", char_ngrams),
+        ("N-Gram Graphs (8 sims)", ngg),
+    ] {
+        t.push_row(vec![
+            name.to_string(),
+            Table::fmt2(s.accuracy),
+            Table::fmt2(s.legitimate.recall),
+            Table::fmt2(s.legitimate.precision),
+            Table::fmt2(s.auc),
+        ]);
+    }
+    t
+}
+
+/// Ablation: what the SVM should contribute to the ranking score — the
+/// paper's hard {0, 1} decision (§5), the raw margin, or a
+/// Platt-calibrated probability — measured by pairwise orderedness.
+pub fn ablation_svm_ranking(ctx: &ReproContext) -> Table {
+    use pharmaverify_core::classify::subsampled_documents;
+    use pharmaverify_ml::svm::LinearSvm;
+    use pharmaverify_ml::PlattScaler;
+    use pharmaverify_ml::metrics::pairwise_orderedness;
+    use pharmaverify_text::TfIdfModel;
+
+    let corpus = &ctx.corpus1;
+    let cv = ctx.cv;
+    let docs = subsampled_documents(corpus, Some(1000), cv.seed);
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let mut hard = vec![0.0; corpus.len()];
+    let mut margin = vec![0.0; corpus.len()];
+    let mut platt = vec![0.0; corpus.len()];
+
+    for test_idx in &folds {
+        let train_idx: Vec<usize> = (0..corpus.len())
+            .filter(|i| !test_idx.contains(i))
+            .collect();
+        let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
+        let tfidf = TfIdfModel::fit(&train_docs[..]);
+        let mut train = Dataset::new(tfidf.vocabulary().len().max(1));
+        for &i in &train_idx {
+            train.push(tfidf.transform(&docs[i]), corpus.labels[i]);
+        }
+        let model = LinearSvm::default().fit_svm(&train);
+        // Platt scaling fitted on the training decisions.
+        let train_decisions: Vec<f64> = train_idx
+            .iter()
+            .map(|&i| model.decision(&tfidf.transform(&docs[i])))
+            .collect();
+        let train_labels: Vec<bool> = train_idx.iter().map(|&i| corpus.labels[i]).collect();
+        let scaler = PlattScaler::fit(&train_decisions, &train_labels);
+        for &i in test_idx {
+            let d = model.decision(&tfidf.transform(&docs[i]));
+            hard[i] = if d >= 0.0 { 1.0 } else { 0.0 };
+            margin[i] = d;
+            platt[i] = scaler.map(|s| s.calibrate(d)).unwrap_or(0.5);
+        }
+    }
+    let mut t = Table::new(
+        "Ablation: SVM contribution to textRank (pairwise orderedness)",
+        &["SVM score used", "pairord"],
+    );
+    for (name, scores) in [
+        ("hard {0,1} decision (paper, Section 5)", &hard),
+        ("raw margin", &margin),
+        ("Platt-calibrated probability", &platt),
+    ] {
+        let p = pairwise_orderedness(scores, &corpus.labels).unwrap_or(1.0);
+        t.push_row(vec![name.to_string(), Table::fmt3(p)]);
+    }
+    t
+}
+
+/// Ablation: information-gain feature selection — how small the TF-IDF
+/// vocabulary can get before accuracy suffers (cf. the scalable feature
+/// selection line of work the paper cites, \[7\]).
+pub fn ablation_feature_selection(ctx: &ReproContext) -> Table {
+    use pharmaverify_core::classify::subsampled_documents;
+    use pharmaverify_ml::{project, top_k_features};
+    use pharmaverify_text::TfIdfModel;
+
+    let corpus = &ctx.corpus1;
+    let cv = ctx.cv;
+    let docs = subsampled_documents(corpus, Some(1000), cv.seed);
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let mut t = Table::new(
+        "Ablation: information-gain feature selection (NBM, 1000-term subsamples)",
+        &["Kept features", "Acc.", "legit Rec.", "legit Prec.", "AUC ROC"],
+    );
+    for keep in [50usize, 200, 1000, usize::MAX] {
+        let mut outcomes = Vec::new();
+        for test_idx in &folds {
+            let train_idx: Vec<usize> = (0..corpus.len())
+                .filter(|i| !test_idx.contains(i))
+                .collect();
+            let train_docs: Vec<&Vec<String>> =
+                train_idx.iter().map(|&i| &docs[i]).collect();
+            let tfidf = TfIdfModel::fit(&train_docs[..]);
+            let dim = tfidf.vocabulary().len().max(1);
+            let mut train = Dataset::new(dim);
+            for &i in &train_idx {
+                train.push(tfidf.term_counts(&docs[i]), corpus.labels[i]);
+            }
+            let kept = top_k_features(&train, keep.min(dim));
+            let train = project(&train, &kept);
+            let vectorize = |i: usize| {
+                let mut full = Dataset::new(dim);
+                full.push(tfidf.term_counts(&docs[i]), corpus.labels[i]);
+                let p = project(&full, &kept);
+                p.x(0).clone()
+            };
+            let model = TextLearnerKind::Nbm.learner().fit(&train);
+            let labels: Vec<bool> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
+            let scores: Vec<f64> =
+                test_idx.iter().map(|&i| model.score(&vectorize(i))).collect();
+            let predictions: Vec<bool> =
+                test_idx.iter().map(|&i| model.predict(&vectorize(i))).collect();
+            outcomes.push(FoldOutcome {
+                summary: EvalSummary::compute(&labels, &predictions, &scores),
+                scores,
+                labels,
+            });
+        }
+        let s = CvOutcome { folds: outcomes }.aggregate();
+        t.push_row(vec![
+            if keep == usize::MAX {
+                "all".to_string()
+            } else {
+                keep.to_string()
+            },
+            Table::fmt2(s.accuracy),
+            Table::fmt2(s.legitimate.recall),
+            Table::fmt2(s.legitimate.precision),
+            Table::fmt2(s.auc),
+        ]);
+    }
+    t
+}
+
+/// Convenience: run the TF-IDF grid restricted to one subsample size
+/// (used by the smoke tests).
+pub fn tfidf_single(
+    corpus: &ExtractedCorpus,
+    kind: TextLearnerKind,
+    sampling: Sampling,
+    size: Option<usize>,
+    cv: CvConfig,
+) -> EvalSummary {
+    let learner: Box<dyn Learner> = kind.learner();
+    evaluate_tfidf(corpus, learner.as_ref(), sampling, kind.weighting(), size, cv).aggregate()
+}

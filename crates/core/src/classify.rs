@@ -1,0 +1,558 @@
+//! The classification pipelines (Problem 1, OPC).
+//!
+//! Four pipelines, matching §6.3 of the paper:
+//!
+//! * [`evaluate_tfidf`] — Term-Vector/TF-IDF text classification
+//!   (Tables 3–6): per CV fold, the TF-IDF vectorizer is fitted on the
+//!   training documents only, the optional resampling is applied to the
+//!   training split only, and the classifier is evaluated on the held-out
+//!   fold;
+//! * [`evaluate_ngg`] — N-Gram-Graph text classification (Tables 7–10):
+//!   per fold, each class graph merges a random half of that class's
+//!   training documents, and every document's 8 similarities are the
+//!   features;
+//! * [`evaluate_network`] — TrustRank network classification
+//!   (Tables 12–13): the link graph is built once (Algorithm 1); per fold
+//!   the training-fold legitimate pharmacies seed the trust propagation
+//!   and a Gaussian naive Bayes is trained on the resulting scores;
+//! * [`evaluate_ensemble`] — ensemble selection over a library combining
+//!   text and network models (Table 14), hillclimbing on a held-out
+//!   fifth of each training split.
+
+use crate::features::ExtractedCorpus;
+use pharmaverify_ml::{
+    greedy_auc_selection, stratified_folds, CvOutcome, Dataset, DecisionTree, EvalSummary,
+    FoldOutcome, GaussianNaiveBayes, Learner, LinearSvm, Mlp, Model, MultinomialNaiveBayes,
+    Sampling,
+};
+use pharmaverify_net::{trust_rank, NodeId, TrustRankConfig, WebGraph};
+use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
+use pharmaverify_text::subsample::subsample_opt;
+use pharmaverify_text::{SparseVector, TfIdfModel};
+
+/// Cross-validation parameters shared by every pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct CvConfig {
+    /// Number of folds (paper: 3).
+    pub k: usize,
+    /// Seed for fold assignment, subsampling, resampling, and class-graph
+    /// sampling.
+    pub seed: u64,
+}
+
+impl Default for CvConfig {
+    fn default() -> Self {
+        CvConfig { k: 3, seed: 0x01d }
+    }
+}
+
+/// The classifier families of the paper's text experiments (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TextLearnerKind {
+    /// Naïve Bayesian Multinomial.
+    Nbm,
+    /// (Gaussian) Naïve Bayes.
+    Nb,
+    /// Support vector machine (linear).
+    Svm,
+    /// C4.5 decision tree.
+    J48,
+    /// Multilayer perceptron.
+    Mlp,
+}
+
+impl TextLearnerKind {
+    /// Table abbreviation.
+    pub fn name(self) -> &'static str {
+        match self {
+            TextLearnerKind::Nbm => "NBM",
+            TextLearnerKind::Nb => "NB",
+            TextLearnerKind::Svm => "SVM",
+            TextLearnerKind::J48 => "J48",
+            TextLearnerKind::Mlp => "MLP",
+        }
+    }
+
+    /// Constructs the learner with its default (Weka-like) configuration.
+    pub fn learner(self) -> Box<dyn Learner> {
+        match self {
+            TextLearnerKind::Nbm => Box::new(MultinomialNaiveBayes::default()),
+            TextLearnerKind::Nb => Box::new(GaussianNaiveBayes::default()),
+            TextLearnerKind::Svm => Box::new(LinearSvm::default()),
+            TextLearnerKind::J48 => Box::new(DecisionTree::default()),
+            TextLearnerKind::Mlp => Box::new(Mlp::default()),
+        }
+    }
+
+    /// The learner configuration used on the 8 N-Gram-Graph similarity
+    /// features. Identical to [`TextLearnerKind::learner`] except for the
+    /// SVM: Weka's SMO rescales every attribute over its observed range,
+    /// and the similarity features occupy a narrow band of [0, 1], so the
+    /// effective soft-margin cost is an order of magnitude higher than on
+    /// raw features — `C = 15` reproduces that behaviour.
+    pub fn ngg_learner(self) -> Box<dyn Learner> {
+        match self {
+            TextLearnerKind::Svm => Box::new(LinearSvm::new(pharmaverify_ml::SvmConfig {
+                c: 15.0,
+                ..pharmaverify_ml::SvmConfig::default()
+            })),
+            _ => self.learner(),
+        }
+    }
+
+    /// The sampling treatment the paper reports as best for this
+    /// classifier in the TF-IDF experiments ("for each classifier we
+    /// present only the sampling technique that performed best", §6.3.1).
+    pub fn paper_sampling(self) -> Sampling {
+        match self {
+            TextLearnerKind::J48 => Sampling::Smote,
+            _ => Sampling::None,
+        }
+    }
+
+    /// The term weighting this learner consumes in the Term-Vector
+    /// experiments. The multinomial naive Bayes treats feature values as
+    /// occurrence counts (as Weka's `NaiveBayesMultinomial` does), so it
+    /// gets raw counts; the discriminative models get TF-IDF weights.
+    pub fn weighting(self) -> TermWeighting {
+        match self {
+            TextLearnerKind::Nbm => TermWeighting::RawCounts,
+            _ => TermWeighting::TfIdf,
+        }
+    }
+}
+
+/// How Term-Vector documents are weighted for a given learner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermWeighting {
+    /// Raw term-occurrence counts.
+    RawCounts,
+    /// `tf · idf` weights (§4.1.1).
+    TfIdf,
+}
+
+impl TermWeighting {
+    /// Vectorizes a document under this weighting with a fitted model.
+    pub fn vectorize(self, model: &TfIdfModel, doc: &[String]) -> SparseVector {
+        match self {
+            TermWeighting::RawCounts => model.term_counts(doc),
+            TermWeighting::TfIdf => model.transform(doc),
+        }
+    }
+}
+
+/// Subsamples every document of the corpus to `subsample` terms
+/// (None = full document), deterministically per document.
+pub fn subsampled_documents(
+    corpus: &ExtractedCorpus,
+    subsample: Option<usize>,
+    seed: u64,
+) -> Vec<Vec<String>> {
+    corpus
+        .tokens
+        .iter()
+        .enumerate()
+        .map(|(i, tokens)| subsample_opt(tokens, subsample, seed ^ ((i as u64) << 8)))
+        .collect()
+}
+
+fn fold_outcome(
+    labels: Vec<bool>,
+    scores: Vec<f64>,
+    predictions: Vec<bool>,
+) -> FoldOutcome {
+    FoldOutcome {
+        summary: EvalSummary::compute(&labels, &predictions, &scores),
+        scores,
+        labels,
+    }
+}
+
+/// TF-IDF text classification under cross-validation (§6.3.1).
+pub fn evaluate_tfidf(
+    corpus: &ExtractedCorpus,
+    learner: &dyn Learner,
+    sampling: Sampling,
+    weighting: TermWeighting,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> CvOutcome {
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    let docs = subsampled_documents(corpus, subsample, cv.seed);
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let folds_ref = &folds;
+    let docs_ref = &docs;
+    let outcomes: Vec<FoldOutcome> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = folds_ref
+            .iter()
+            .map(|test_idx| {
+                scope.spawn(move |_| {
+                    let train_idx: Vec<usize> = (0..corpus.len())
+                        .filter(|i| !test_idx.contains(i))
+                        .collect();
+                    let train_docs: Vec<&Vec<String>> =
+                        train_idx.iter().map(|&i| &docs_ref[i]).collect();
+                    let tfidf = TfIdfModel::fit(&train_docs[..]);
+                    let dim = tfidf.vocabulary().len().max(1);
+                    let mut train = Dataset::new(dim);
+                    for &i in &train_idx {
+                        train.push(weighting.vectorize(&tfidf, &docs_ref[i]), corpus.labels[i]);
+                    }
+                    let train = sampling.apply(&train, cv.seed);
+                    let model = learner.fit(&train);
+                    let mut labels = Vec::with_capacity(test_idx.len());
+                    let mut scores = Vec::with_capacity(test_idx.len());
+                    let mut predictions = Vec::with_capacity(test_idx.len());
+                    for &i in test_idx {
+                        let x = weighting.vectorize(&tfidf, &docs_ref[i]);
+                        labels.push(corpus.labels[i]);
+                        scores.push(model.score(&x));
+                        predictions.push(model.predict(&x));
+                    }
+                    fold_outcome(labels, scores, predictions)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold thread panicked"))
+            .collect()
+    })
+    .expect("cross-validation scope panicked");
+    CvOutcome { folds: outcomes }
+}
+
+/// Builds the per-document n-gram graphs of a (subsampled) corpus. The
+/// graphs are built from the preprocessed token stream re-joined with
+/// spaces, so every subsample size uses the same representation.
+pub fn ngg_document_texts(
+    corpus: &ExtractedCorpus,
+    subsample: Option<usize>,
+    seed: u64,
+) -> Vec<String> {
+    subsampled_documents(corpus, subsample, seed)
+        .into_iter()
+        .map(|tokens| tokens.join(" "))
+        .collect()
+}
+
+/// N-Gram-Graph text classification under cross-validation (§6.3.1,
+/// Figure 2). No resampling is applied ("for N-Gram Graphs we do not use
+/// sampling, because of the nature of this representation").
+pub fn evaluate_ngg(
+    corpus: &ExtractedCorpus,
+    learner: &dyn Learner,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> CvOutcome {
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    let texts = ngg_document_texts(corpus, subsample, cv.seed);
+    let builder = NGramGraphBuilder::default();
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let folds_ref = &folds;
+    let texts_ref = &texts;
+    let outcomes: Vec<FoldOutcome> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = folds_ref
+            .iter()
+            .enumerate()
+            .map(|(f, test_idx)| {
+                scope.spawn(move |_| {
+                    let train_idx: Vec<usize> = (0..corpus.len())
+                        .filter(|i| !test_idx.contains(i))
+                        .collect();
+                    let legit: Vec<&str> = train_idx
+                        .iter()
+                        .filter(|&&i| corpus.labels[i])
+                        .map(|&i| texts_ref[i].as_str())
+                        .collect();
+                    let illegit: Vec<&str> = train_idx
+                        .iter()
+                        .filter(|&&i| !corpus.labels[i])
+                        .map(|&i| texts_ref[i].as_str())
+                        .collect();
+                    let class_graphs = NggClassGraphs::build(
+                        builder,
+                        &legit,
+                        &illegit,
+                        cv.seed ^ (f as u64),
+                    );
+                    let featurize = |i: usize| -> SparseVector {
+                        SparseVector::from_dense(
+                            &class_graphs.features(&texts_ref[i]).to_vec(),
+                        )
+                    };
+                    let mut train = Dataset::new(8);
+                    for &i in &train_idx {
+                        train.push(featurize(i), corpus.labels[i]);
+                    }
+                    let model = learner.fit(&train);
+                    let mut labels = Vec::with_capacity(test_idx.len());
+                    let mut scores = Vec::with_capacity(test_idx.len());
+                    let mut predictions = Vec::with_capacity(test_idx.len());
+                    for &i in test_idx {
+                        let x = featurize(i);
+                        labels.push(corpus.labels[i]);
+                        scores.push(model.score(&x));
+                        predictions.push(model.predict(&x));
+                    }
+                    fold_outcome(labels, scores, predictions)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fold thread panicked"))
+            .collect()
+    })
+    .expect("cross-validation scope panicked");
+    CvOutcome { folds: outcomes }
+}
+
+/// The link graph of Algorithm 1 plus the node id of each pharmacy.
+#[derive(Debug, Clone)]
+pub struct NetworkArtifacts {
+    /// The domain graph (pharmacies + external link targets).
+    pub graph: WebGraph,
+    /// `pharmacy_nodes[i]` is the node of `corpus.domains[i]`.
+    pub pharmacy_nodes: Vec<NodeId>,
+}
+
+/// Builds the Algorithm 1 graph from a corpus's outbound endpoints.
+pub fn build_web_graph(corpus: &ExtractedCorpus) -> NetworkArtifacts {
+    let mut graph = WebGraph::new();
+    let pharmacy_nodes: Vec<NodeId> = corpus
+        .domains
+        .iter()
+        .map(|d| graph.add_pharmacy(d))
+        .collect();
+    for (i, outbound) in corpus.outbound.iter().enumerate() {
+        for (target, &count) in outbound {
+            graph.add_link(pharmacy_nodes[i], target, count as f64);
+        }
+    }
+    NetworkArtifacts {
+        graph,
+        pharmacy_nodes,
+    }
+}
+
+/// Per-pharmacy TrustRank scores with the given legitimate seed indices
+/// (indices into the corpus). Scores are scaled by the node count so that
+/// they are O(1) rather than O(1/n).
+pub fn pharmacy_trust_scores(
+    artifacts: &NetworkArtifacts,
+    corpus_seed_indices: &[usize],
+    config: &TrustRankConfig,
+) -> Vec<f64> {
+    let seeds: Vec<NodeId> = corpus_seed_indices
+        .iter()
+        .map(|&i| artifacts.pharmacy_nodes[i])
+        .collect();
+    let trust = trust_rank(&artifacts.graph, &seeds, config);
+    let scale = artifacts.graph.node_count() as f64;
+    artifacts
+        .pharmacy_nodes
+        .iter()
+        .map(|&n| trust[n as usize] * scale)
+        .collect()
+}
+
+/// TrustRank network classification (§6.3.2): Gaussian naive Bayes on the
+/// TrustRank score, seeded per fold by the training-fold legitimate
+/// pharmacies.
+pub fn evaluate_network(corpus: &ExtractedCorpus, cv: CvConfig) -> CvOutcome {
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    let artifacts = build_web_graph(corpus);
+    let trust_config = TrustRankConfig::default();
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let learner = GaussianNaiveBayes::default();
+    let mut outcomes = Vec::with_capacity(folds.len());
+    for test_idx in &folds {
+        let train_idx: Vec<usize> = (0..corpus.len())
+            .filter(|i| !test_idx.contains(i))
+            .collect();
+        let seed_idx: Vec<usize> = train_idx
+            .iter()
+            .copied()
+            .filter(|&i| corpus.labels[i])
+            .collect();
+        let trust = pharmacy_trust_scores(&artifacts, &seed_idx, &trust_config);
+        let mut train = Dataset::new(1);
+        for &i in &train_idx {
+            train.push(SparseVector::from_pairs(vec![(0, trust[i])]), corpus.labels[i]);
+        }
+        let model = learner.fit(&train);
+        let mut labels = Vec::with_capacity(test_idx.len());
+        let mut scores = Vec::with_capacity(test_idx.len());
+        let mut predictions = Vec::with_capacity(test_idx.len());
+        for &i in test_idx {
+            let x = SparseVector::from_pairs(vec![(0, trust[i])]);
+            labels.push(corpus.labels[i]);
+            scores.push(model.score(&x));
+            predictions.push(model.predict(&x));
+        }
+        outcomes.push(fold_outcome(labels, scores, predictions));
+    }
+    CvOutcome { folds: outcomes }
+}
+
+/// Result of the ensemble-selection pipeline.
+#[derive(Debug, Clone)]
+pub struct EnsembleOutcome {
+    /// Cross-validated performance of the selected ensemble.
+    pub outcome: CvOutcome,
+    /// Total selection multiplicity of each base model across folds.
+    pub composition: Vec<(&'static str, usize)>,
+}
+
+/// Ensemble selection over a library spanning text and network features
+/// (§6.3.3). The library holds the best text models of §6.3.1 (NBM and
+/// SVM on TF-IDF, MLP on N-Gram-Graph features, J48 on SMOTE-resampled
+/// TF-IDF) plus the network naive Bayes of §6.3.2; selection hillclimbs
+/// AUC on a held-out fifth of each training split.
+pub fn evaluate_ensemble(
+    corpus: &ExtractedCorpus,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> EnsembleOutcome {
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    const LIBRARY: &[(&str, TextLearnerKind, bool)] = &[
+        // (name, learner kind, uses NGG features instead of TF-IDF)
+        ("NBM/tfidf", TextLearnerKind::Nbm, false),
+        ("SVM/tfidf", TextLearnerKind::Svm, false),
+        ("J48/tfidf+smote", TextLearnerKind::J48, false),
+        ("MLP/ngg", TextLearnerKind::Mlp, true),
+        ("NB/ngg", TextLearnerKind::Nb, true),
+    ];
+    let docs = subsampled_documents(corpus, subsample, cv.seed);
+    let texts: Vec<String> = docs.iter().map(|d| d.join(" ")).collect();
+    let artifacts = build_web_graph(corpus);
+    let trust_config = TrustRankConfig::default();
+    let builder = NGramGraphBuilder::default();
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+
+    let mut outcomes = Vec::with_capacity(folds.len());
+    let mut composition: Vec<(&'static str, usize)> = LIBRARY
+        .iter()
+        .map(|&(name, _, _)| (name, 0))
+        .chain(std::iter::once(("NB/network", 0)))
+        .collect();
+
+    for (f, test_idx) in folds.iter().enumerate() {
+        let train_idx: Vec<usize> = (0..corpus.len())
+            .filter(|i| !test_idx.contains(i))
+            .collect();
+        // Hold out a stratified fifth of the training split for
+        // hillclimbing.
+        let train_labels: Vec<bool> = train_idx.iter().map(|&i| corpus.labels[i]).collect();
+        let hill_folds = stratified_folds(&train_labels, 5, cv.seed ^ HILL_SEED);
+        let hill_local = &hill_folds[0];
+        let hill_idx: Vec<usize> = hill_local.iter().map(|&j| train_idx[j]).collect();
+        let sub_idx: Vec<usize> = train_idx
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| !hill_local.contains(j))
+            .map(|(_, &i)| i)
+            .collect();
+        let hill_labels: Vec<bool> = hill_idx.iter().map(|&i| corpus.labels[i]).collect();
+
+        // --- Fit the library on the sub-training split. ---
+        let mut hill_scores: Vec<Vec<f64>> = Vec::new();
+        let mut test_scores: Vec<Vec<f64>> = Vec::new();
+
+        // TF-IDF view.
+        let sub_docs: Vec<&Vec<String>> = sub_idx.iter().map(|&i| &docs[i]).collect();
+        let tfidf = TfIdfModel::fit(&sub_docs[..]);
+        let tfidf_ref = &tfidf;
+        let dim = tfidf.vocabulary().len().max(1);
+        // NGG view.
+        let legit: Vec<&str> = sub_idx
+            .iter()
+            .filter(|&&i| corpus.labels[i])
+            .map(|&i| texts[i].as_str())
+            .collect();
+        let illegit: Vec<&str> = sub_idx
+            .iter()
+            .filter(|&&i| !corpus.labels[i])
+            .map(|&i| texts[i].as_str())
+            .collect();
+        let class_graphs =
+            NggClassGraphs::build(builder, &legit, &illegit, cv.seed ^ (f as u64));
+        let ngg_vec = |i: usize| -> SparseVector {
+            SparseVector::from_dense(&class_graphs.features(&texts[i]).to_vec())
+        };
+        let mut ngg_train = Dataset::new(8);
+        for &i in &sub_idx {
+            ngg_train.push(ngg_vec(i), corpus.labels[i]);
+        }
+
+        type Vectorizer<'v> = Box<dyn Fn(usize) -> SparseVector + 'v>;
+        for &(_, kind, use_ngg) in LIBRARY {
+            let learner = if use_ngg { kind.ngg_learner() } else { kind.learner() };
+            let (model, vectorize): (Box<dyn Model>, Vectorizer<'_>) =
+                if use_ngg {
+                    (learner.fit(&ngg_train), Box::new(ngg_vec))
+                } else {
+                    let weighting = kind.weighting();
+                    let mut train = Dataset::new(dim);
+                    for &i in &sub_idx {
+                        train.push(weighting.vectorize(&tfidf, &docs[i]), corpus.labels[i]);
+                    }
+                    let train = kind.paper_sampling().apply(&train, cv.seed);
+                    let docs_ref = &docs;
+                    (
+                        learner.fit(&train),
+                        Box::new(move |i: usize| weighting.vectorize(tfidf_ref, &docs_ref[i])),
+                    )
+                };
+            hill_scores.push(hill_idx.iter().map(|&i| model.score(&vectorize(i))).collect());
+            test_scores.push(test_idx.iter().map(|&i| model.score(&vectorize(i))).collect());
+        }
+
+        // Network view: seeds are the sub-training legitimate pharmacies.
+        let seed_idx: Vec<usize> = sub_idx
+            .iter()
+            .copied()
+            .filter(|&i| corpus.labels[i])
+            .collect();
+        let trust = pharmacy_trust_scores(&artifacts, &seed_idx, &trust_config);
+        let mut net_train = Dataset::new(1);
+        for &i in &sub_idx {
+            net_train.push(SparseVector::from_pairs(vec![(0, trust[i])]), corpus.labels[i]);
+        }
+        let net_model = GaussianNaiveBayes::default().fit(&net_train);
+        let net_vec = |i: usize| SparseVector::from_pairs(vec![(0, trust[i])]);
+        hill_scores.push(hill_idx.iter().map(|&i| net_model.score(&net_vec(i))).collect());
+        test_scores.push(test_idx.iter().map(|&i| net_model.score(&net_vec(i))).collect());
+
+        // --- Greedy selection on the hillclimb set. ---
+        let counts = greedy_auc_selection(&hill_scores, &hill_labels, 25);
+        let total: usize = counts.iter().sum::<usize>().max(1);
+        for (slot, &c) in composition.iter_mut().zip(&counts) {
+            slot.1 += c;
+        }
+        let mut labels = Vec::with_capacity(test_idx.len());
+        let mut scores = Vec::with_capacity(test_idx.len());
+        let mut predictions = Vec::with_capacity(test_idx.len());
+        for (t, &i) in test_idx.iter().enumerate() {
+            let s: f64 = test_scores
+                .iter()
+                .zip(&counts)
+                .map(|(m, &c)| m[t] * c as f64)
+                .sum::<f64>()
+                / total as f64;
+            labels.push(corpus.labels[i]);
+            scores.push(s);
+            predictions.push(s >= 0.5);
+        }
+        outcomes.push(fold_outcome(labels, scores, predictions));
+    }
+    EnsembleOutcome {
+        outcome: CvOutcome { folds: outcomes },
+        composition,
+    }
+}
+
+/// Seed tweak for the hillclimb split, so it never coincides with the
+/// outer fold assignment.
+const HILL_SEED: u64 = 0x1711;

@@ -1,0 +1,420 @@
+//! The paper's §7 future-work directions, implemented.
+//!
+//! The conclusions propose two extensions, both built here so the
+//! repository covers the paper's roadmap as well as its results:
+//!
+//! * **(a) richer network analysis** — "include in our network analysis
+//!   non pharmacy websites that point to pharmacies, as well as consider
+//!   websites at distances greater than one": [`portal_links`] crawls the
+//!   non-pharmacy health portals and [`build_extended_web_graph`] splices
+//!   them into the Algorithm 1 graph, so trust reaches pharmacies through
+//!   two-hop paths (seed pharmacy → portal → pharmacy). On top of that,
+//!   [`evaluate_network_variant`] can add an **Anti-TrustRank** distrust
+//!   feature (Krishnan & Raj, discussed in the paper's related work):
+//!   distrust seeded at known-illegitimate pharmacies flows backward
+//!   through affiliate links;
+//! * **(b) combined features** — "study and evaluate classification
+//!   schemes with combined (network and text) features":
+//!   [`evaluate_combined`] concatenates the TF-IDF vector, the 8
+//!   N-Gram-Graph similarities, and the TrustRank score into one feature
+//!   space and trains a single discriminative model on it.
+
+use crate::classify::{
+    build_web_graph, ngg_document_texts, pharmacy_trust_scores, subsampled_documents, CvConfig,
+    NetworkArtifacts, TextLearnerKind,
+};
+use crate::features::ExtractedCorpus;
+use pharmaverify_corpus::Snapshot;
+use pharmaverify_crawl::{CrawlConfig, Crawler, Url};
+use pharmaverify_ml::{
+    stratified_folds, CvOutcome, Dataset, EvalSummary, FoldOutcome, GaussianNaiveBayes,
+    HybridNaiveBayes, Learner, Sampling,
+};
+use pharmaverify_net::{anti_trust_rank, trust_rank, NodeId, TrustRankConfig};
+use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
+use pharmaverify_text::{SparseVector, TfIdfModel};
+use std::collections::BTreeMap;
+
+/// Crawls the snapshot's non-pharmacy health portals and returns each
+/// portal's outbound link endpoints (second-level domains with
+/// multiplicities).
+pub fn portal_links(
+    snapshot: &Snapshot,
+    crawl_config: &CrawlConfig,
+) -> Vec<(String, BTreeMap<String, usize>)> {
+    let crawler = Crawler::new(crawl_config.clone());
+    snapshot
+        .portals
+        .iter()
+        .map(|domain| {
+            let seed = Url::parse(&format!("http://{domain}/"))
+                .expect("portal domains produce valid URLs");
+            let crawl = crawler.crawl(&snapshot.web, &seed);
+            (domain.clone(), crawl.outbound_endpoints())
+        })
+        .collect()
+}
+
+/// Builds the *extended* link graph: the Algorithm 1 pharmacy graph plus
+/// the portals' nodes and outbound edges. Portal→pharmacy edges give
+/// trust a two-hop path to pharmacies the seed set never linked to.
+pub fn build_extended_web_graph(
+    corpus: &ExtractedCorpus,
+    portals: &[(String, BTreeMap<String, usize>)],
+) -> NetworkArtifacts {
+    let mut artifacts = build_web_graph(corpus);
+    for (domain, outbound) in portals {
+        let node = artifacts.graph.add_external(domain);
+        for (target, &count) in outbound {
+            if target != domain {
+                artifacts.graph.add_link(node, target, count as f64);
+            }
+        }
+    }
+    artifacts
+}
+
+/// Per-pharmacy Anti-TrustRank distrust scores with the given
+/// illegitimate seed indices, scaled like [`pharmacy_trust_scores`].
+///
+/// A seed's raw score contains its own teleport mass `(1 − α)/|seeds|`,
+/// which merely restates the training label and badly skews the class-
+/// conditional distributions a downstream classifier fits (the seed
+/// scores dwarf every propagated score). That static component is
+/// subtracted here, so the feature measures only distrust *received
+/// through the link structure* — comparable between training and test
+/// pharmacies.
+pub fn pharmacy_distrust_scores(
+    artifacts: &NetworkArtifacts,
+    corpus_bad_seed_indices: &[usize],
+    config: &TrustRankConfig,
+) -> Vec<f64> {
+    let seeds: Vec<NodeId> = corpus_bad_seed_indices
+        .iter()
+        .map(|&i| artifacts.pharmacy_nodes[i])
+        .collect();
+    let distrust = anti_trust_rank(&artifacts.graph, &seeds, config);
+    let scale = artifacts.graph.node_count() as f64;
+    let teleport = if seeds.is_empty() {
+        0.0
+    } else {
+        (1.0 - config.alpha) / seeds.len() as f64
+    };
+    let seed_set: std::collections::HashSet<NodeId> = seeds.iter().copied().collect();
+    artifacts
+        .pharmacy_nodes
+        .iter()
+        .map(|&n| {
+            let raw = distrust[n as usize];
+            let adjusted = if seed_set.contains(&n) {
+                (raw - teleport).max(0.0)
+            } else {
+                raw
+            };
+            adjusted * scale
+        })
+        .collect()
+}
+
+/// Per-pharmacy TrustRank scores with the seed teleport mass removed —
+/// the trust analogue of [`pharmacy_distrust_scores`]'s adjustment, used
+/// by the multi-feature variants whose downstream model fits thresholds
+/// (a threshold calibrated on seed-inflated training values does not
+/// transfer to test pharmacies).
+pub fn pharmacy_propagated_trust_scores(
+    artifacts: &NetworkArtifacts,
+    corpus_seed_indices: &[usize],
+    config: &TrustRankConfig,
+) -> Vec<f64> {
+    let seeds: Vec<NodeId> = corpus_seed_indices
+        .iter()
+        .map(|&i| artifacts.pharmacy_nodes[i])
+        .collect();
+    let trust = trust_rank(&artifacts.graph, &seeds, config);
+    let scale = artifacts.graph.node_count() as f64;
+    let teleport = if seeds.is_empty() {
+        0.0
+    } else {
+        (1.0 - config.alpha) / seeds.len() as f64
+    };
+    let seed_set: std::collections::HashSet<NodeId> = seeds.iter().copied().collect();
+    artifacts
+        .pharmacy_nodes
+        .iter()
+        .map(|&n| {
+            let raw = trust[n as usize];
+            let adjusted = if seed_set.contains(&n) {
+                (raw - teleport).max(0.0)
+            } else {
+                raw
+            };
+            adjusted * scale
+        })
+        .collect()
+}
+
+/// Network classification over a prebuilt (possibly extended) graph,
+/// optionally adding the Anti-TrustRank distrust feature. With
+/// `use_distrust = false` and a base graph this is exactly the paper's
+/// §6.3.2 experiment (Gaussian naive Bayes on the trust score).
+///
+/// The distrust feature enters **binarized** (received any propagated
+/// distrust vs none). The raw magnitudes are unusable downstream: a
+/// seed's score restates its training label, hub fan-out dilutes test
+/// scores by orders of magnitude, and the legitimate class is an exact
+/// point mass at zero — each of which wrecks either a Gaussian density
+/// or a threshold split. Membership in the distrusted set is the part of
+/// the signal that transfers from training folds to test pharmacies.
+pub fn evaluate_network_variant(
+    corpus: &ExtractedCorpus,
+    artifacts: &NetworkArtifacts,
+    use_distrust: bool,
+    cv: CvConfig,
+) -> CvOutcome {
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    let trust_config = TrustRankConfig::default();
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let learner: Box<dyn Learner> = if use_distrust {
+        // Feature 1 (distrust) is binarized; model it as a Bernoulli.
+        Box::new(HybridNaiveBayes::new([1]))
+    } else {
+        Box::new(GaussianNaiveBayes::default())
+    };
+    let dim = if use_distrust { 2 } else { 1 };
+    let mut outcomes = Vec::with_capacity(folds.len());
+    for test_idx in &folds {
+        let train_idx: Vec<usize> = (0..corpus.len())
+            .filter(|i| !test_idx.contains(i))
+            .collect();
+        let good_seeds: Vec<usize> = train_idx
+            .iter()
+            .copied()
+            .filter(|&i| corpus.labels[i])
+            .collect();
+        let trust = pharmacy_trust_scores(artifacts, &good_seeds, &trust_config);
+        let distrust = if use_distrust {
+            let bad_seeds: Vec<usize> = train_idx
+                .iter()
+                .copied()
+                .filter(|&i| !corpus.labels[i])
+                .collect();
+            Some(pharmacy_distrust_scores(artifacts, &bad_seeds, &trust_config))
+        } else {
+            None
+        };
+        let featurize = |i: usize| -> SparseVector {
+            let mut pairs = vec![(0u32, trust[i])];
+            if let Some(d) = &distrust {
+                pairs.push((1, if d[i] > 1e-9 { 1.0 } else { 0.0 }));
+            }
+            SparseVector::from_pairs(pairs)
+        };
+        let mut train = Dataset::new(dim);
+        for &i in &train_idx {
+            train.push(featurize(i), corpus.labels[i]);
+        }
+        let model = learner.fit(&train);
+        let labels: Vec<bool> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
+        let scores: Vec<f64> = test_idx.iter().map(|&i| model.score(&featurize(i))).collect();
+        let predictions: Vec<bool> =
+            test_idx.iter().map(|&i| model.predict(&featurize(i))).collect();
+        outcomes.push(FoldOutcome {
+            summary: EvalSummary::compute(&labels, &predictions, &scores),
+            scores,
+            labels,
+        });
+    }
+    CvOutcome { folds: outcomes }
+}
+
+/// §7(b): one classifier over the concatenation of every feature family —
+/// TF-IDF term weights, the 8 N-Gram-Graph similarities, and the
+/// TrustRank score. The classifier is the linear SVM (the paper's
+/// strongest discriminative model); N-Gram-Graph and trust coordinates
+/// are scaled into the same numeric range as the term weights.
+pub fn evaluate_combined(
+    corpus: &ExtractedCorpus,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> CvOutcome {
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    let docs = subsampled_documents(corpus, subsample, cv.seed);
+    let texts = ngg_document_texts(corpus, subsample, cv.seed);
+    let artifacts = build_web_graph(corpus);
+    let trust_config = TrustRankConfig::default();
+    let builder = NGramGraphBuilder::default();
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let mut outcomes = Vec::with_capacity(folds.len());
+
+    for (f, test_idx) in folds.iter().enumerate() {
+        let train_idx: Vec<usize> = (0..corpus.len())
+            .filter(|i| !test_idx.contains(i))
+            .collect();
+        // Text view.
+        let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
+        let tfidf = TfIdfModel::fit(&train_docs[..]);
+        let text_dim = tfidf.vocabulary().len().max(1) as u32;
+        // NGG view.
+        let legit: Vec<&str> = train_idx
+            .iter()
+            .filter(|&&i| corpus.labels[i])
+            .map(|&i| texts[i].as_str())
+            .collect();
+        let illegit: Vec<&str> = train_idx
+            .iter()
+            .filter(|&&i| !corpus.labels[i])
+            .map(|&i| texts[i].as_str())
+            .collect();
+        let class_graphs = NggClassGraphs::build(builder, &legit, &illegit, cv.seed ^ (f as u64));
+        // Network view.
+        let good_seeds: Vec<usize> = train_idx
+            .iter()
+            .copied()
+            .filter(|&i| corpus.labels[i])
+            .collect();
+        let trust = pharmacy_trust_scores(&artifacts, &good_seeds, &trust_config);
+
+        let featurize = |i: usize| -> SparseVector {
+            let mut pairs: Vec<(u32, f64)> = tfidf.transform(&docs[i]).iter().collect();
+            // NGG similarities and trust, scaled ×10 so the SVM margin
+            // treats them on a par with tf·idf weights.
+            for (k, v) in class_graphs.features(&texts[i]).to_vec().iter().enumerate() {
+                pairs.push((text_dim + k as u32, v * 10.0));
+            }
+            pairs.push((text_dim + 8, trust[i]));
+            SparseVector::from_pairs(pairs)
+        };
+        let mut train = Dataset::new(text_dim as usize + 9);
+        for &i in &train_idx {
+            train.push(featurize(i), corpus.labels[i]);
+        }
+        let train = Sampling::None.apply(&train, cv.seed);
+        let model = TextLearnerKind::Svm.learner().fit(&train);
+        let labels: Vec<bool> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
+        let scores: Vec<f64> = test_idx.iter().map(|&i| model.score(&featurize(i))).collect();
+        let predictions: Vec<bool> =
+            test_idx.iter().map(|&i| model.predict(&featurize(i))).collect();
+        outcomes.push(FoldOutcome {
+            summary: EvalSummary::compute(&labels, &predictions, &scores),
+            scores,
+            labels,
+        });
+    }
+    CvOutcome { folds: outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_corpus;
+    use pharmaverify_corpus::{CorpusConfig, SyntheticWeb};
+
+    fn setup() -> (Snapshot, ExtractedCorpus) {
+        let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
+        let snap = web.snapshot().clone();
+        let corpus = extract_corpus(&snap, &CrawlConfig::default());
+        (snap, corpus)
+    }
+
+    const CV: CvConfig = CvConfig { k: 3, seed: 5 };
+
+    #[test]
+    fn portals_crawl_and_link_to_pharmacies() {
+        let (snap, corpus) = setup();
+        let links = portal_links(&snap, &CrawlConfig::default());
+        assert_eq!(links.len(), snap.portals.len());
+        assert!(!links.is_empty());
+        // At least one portal links to a legitimate pharmacy domain.
+        let legit: std::collections::HashSet<&str> = corpus
+            .domains
+            .iter()
+            .zip(&corpus.labels)
+            .filter(|&(_, &l)| l)
+            .map(|(d, _)| d.as_str())
+            .collect();
+        let hits = links
+            .iter()
+            .flat_map(|(_, out)| out.keys())
+            .filter(|d| legit.contains(d.as_str()))
+            .count();
+        assert!(hits > 0, "portals must list pharmacies");
+    }
+
+    #[test]
+    fn extended_graph_is_superset() {
+        let (snap, corpus) = setup();
+        let base = build_web_graph(&corpus);
+        let links = portal_links(&snap, &CrawlConfig::default());
+        let extended = build_extended_web_graph(&corpus, &links);
+        assert!(extended.graph.node_count() >= base.graph.node_count());
+        assert!(extended.graph.edge_count() > base.graph.edge_count());
+        // Pharmacy node ids are preserved.
+        for (i, &node) in base.pharmacy_nodes.iter().enumerate() {
+            assert_eq!(extended.pharmacy_nodes[i], node);
+        }
+    }
+
+    #[test]
+    fn baseline_variant_matches_paper_pipeline() {
+        let (_snap, corpus) = setup();
+        let artifacts = build_web_graph(&corpus);
+        let variant = evaluate_network_variant(&corpus, &artifacts, false, CV).aggregate();
+        let paper = crate::classify::evaluate_network(&corpus, CV).aggregate();
+        assert_eq!(variant.accuracy, paper.accuracy);
+        assert_eq!(variant.auc, paper.auc);
+    }
+
+    #[test]
+    fn distrust_variant_runs_and_ranks_better_than_chance() {
+        // Note the honest finding here (also recorded in EXPERIMENTS.md):
+        // adding the distrust feature does NOT beat trust alone on this
+        // corpus. Distrust only reaches affiliate-connected illegitimate
+        // sites — which zero trust already flags — while the off-network
+        // mimics have distrust exactly 0 and get pulled *toward* the
+        // legitimate class. The assertions pin sane behaviour, not a win.
+        let (_snap, corpus) = setup();
+        let artifacts = build_web_graph(&corpus);
+        let with_distrust = evaluate_network_variant(&corpus, &artifacts, true, CV).aggregate();
+        assert!(with_distrust.auc > 0.6, "auc {}", with_distrust.auc);
+        assert!(with_distrust.accuracy > 0.6, "acc {}", with_distrust.accuracy);
+        // Distrust never flows into legitimate sites on this corpus.
+        assert!(
+            with_distrust.illegitimate.recall > 0.6,
+            "illegit recall {}",
+            with_distrust.illegitimate.recall
+        );
+    }
+
+    #[test]
+    fn combined_features_competitive_with_text() {
+        let (_snap, corpus) = setup();
+        let combined = evaluate_combined(&corpus, Some(250), CV).aggregate();
+        // Loose bounds: the small test corpus has only 12 legitimate
+        // sites, so fold metrics are noisy.
+        assert!(combined.accuracy > 0.75, "accuracy {}", combined.accuracy);
+        assert!(combined.auc > 0.85, "auc {}", combined.auc);
+    }
+
+    #[test]
+    fn distrust_scores_target_affiliated_sites() {
+        let (_snap, corpus) = setup();
+        let artifacts = build_web_graph(&corpus);
+        let bad_seeds: Vec<usize> = (0..corpus.len())
+            .filter(|&i| !corpus.labels[i])
+            .collect();
+        let distrust =
+            pharmacy_distrust_scores(&artifacts, &bad_seeds, &TrustRankConfig::default());
+        let mean = |want: bool| {
+            let idx: Vec<usize> = (0..corpus.len())
+                .filter(|&i| corpus.labels[i] == want)
+                .collect();
+            idx.iter().map(|&i| distrust[i]).sum::<f64>() / idx.len() as f64
+        };
+        assert!(
+            mean(false) > mean(true),
+            "illegit mean distrust {} !> legit {}",
+            mean(false),
+            mean(true)
+        );
+    }
+}

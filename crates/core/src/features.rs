@@ -1,0 +1,189 @@
+//! Corpus extraction: crawl every pharmacy, summarize, preprocess.
+//!
+//! The expensive acquisition work (crawling up to 200 pages per domain,
+//! §6.1; merging pages into a summary document and preprocessing it,
+//! §4.1) happens once per snapshot; every experiment then reuses the
+//! [`ExtractedCorpus`].
+
+use pharmaverify_corpus::{SiteProfile, Snapshot};
+use pharmaverify_crawl::{summarize, CrawlConfig, Crawler, Url};
+use pharmaverify_text::preprocess;
+use std::collections::BTreeMap;
+
+/// Everything the pipelines need from one crawled snapshot, indexed by
+/// site position (same order as `Snapshot::sites`).
+#[derive(Debug, Clone)]
+pub struct ExtractedCorpus {
+    /// Second-level domain of each pharmacy.
+    pub domains: Vec<String>,
+    /// Oracle labels (`true` = legitimate).
+    pub labels: Vec<bool>,
+    /// Generation profile of each site (for outlier analysis only; never
+    /// used as a feature).
+    pub profiles: Vec<SiteProfile>,
+    /// Preprocessed summary documents (tokenized, stop words removed).
+    pub tokens: Vec<Vec<String>>,
+    /// Raw summary text of each pharmacy (input to the N-Gram-Graph
+    /// representation, which works on characters).
+    pub summaries: Vec<String>,
+    /// Outbound link endpoints (second-level domains) with multiplicities.
+    pub outbound: Vec<BTreeMap<String, usize>>,
+}
+
+impl ExtractedCorpus {
+    /// Number of pharmacies.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when the corpus has no pharmacies.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Indices of legitimate and illegitimate pharmacies.
+    pub fn indices_by_class(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for (i, &l) in self.labels.iter().enumerate() {
+            if l {
+                pos.push(i);
+            } else {
+                neg.push(i);
+            }
+        }
+        (pos, neg)
+    }
+}
+
+/// Crawls and preprocesses every pharmacy of `snapshot`. Sites crawl in
+/// parallel on scoped threads; results keep snapshot order.
+pub fn extract_corpus(snapshot: &Snapshot, crawl_config: &CrawlConfig) -> ExtractedCorpus {
+    let crawler = Crawler::new(crawl_config.clone());
+    let n = snapshot.sites.len();
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    let chunk = n.div_ceil(threads.max(1));
+
+    struct SiteResult {
+        tokens: Vec<String>,
+        summary: String,
+        outbound: BTreeMap<String, usize>,
+    }
+
+    let results: Vec<SiteResult> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk_sites in snapshot.sites.chunks(chunk.max(1)) {
+            let crawler = &crawler;
+            let web = &snapshot.web;
+            handles.push(scope.spawn(move |_| {
+                chunk_sites
+                    .iter()
+                    .map(|site| {
+                        let seed = Url::parse(&site.seed_url)
+                            .expect("snapshot seed URLs are valid");
+                        let crawl = crawler.crawl(web, &seed);
+                        let summary = summarize(&crawl);
+                        SiteResult {
+                            tokens: preprocess(&summary),
+                            outbound: crawl.outbound_endpoints(),
+                            summary,
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("crawl thread panicked"))
+            .collect()
+    })
+    .expect("crawl scope panicked");
+
+    let mut corpus = ExtractedCorpus {
+        domains: Vec::with_capacity(n),
+        labels: Vec::with_capacity(n),
+        profiles: Vec::with_capacity(n),
+        tokens: Vec::with_capacity(n),
+        summaries: Vec::with_capacity(n),
+        outbound: Vec::with_capacity(n),
+    };
+    for (site, result) in snapshot.sites.iter().zip(results) {
+        corpus.domains.push(site.domain.clone());
+        corpus.labels.push(site.label());
+        corpus.profiles.push(site.profile);
+        corpus.tokens.push(result.tokens);
+        corpus.summaries.push(result.summary);
+        corpus.outbound.push(result.outbound);
+    }
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pharmaverify_corpus::{CorpusConfig, SyntheticWeb};
+
+    fn corpus() -> ExtractedCorpus {
+        let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
+        extract_corpus(web.snapshot(), &CrawlConfig::default())
+    }
+
+    #[test]
+    fn one_entry_per_site() {
+        let c = corpus();
+        assert_eq!(c.len(), 60);
+        assert_eq!(c.tokens.len(), 60);
+        assert_eq!(c.outbound.len(), 60);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn summaries_nonempty_and_tokenized() {
+        let c = corpus();
+        for i in 0..c.len() {
+            assert!(!c.summaries[i].is_empty(), "{} has no text", c.domains[i]);
+            assert!(!c.tokens[i].is_empty(), "{} has no tokens", c.domains[i]);
+        }
+    }
+
+    #[test]
+    fn stop_words_removed() {
+        let c = corpus();
+        for tokens in &c.tokens {
+            assert!(tokens.iter().all(|t| !pharmaverify_text::is_stopword(t)));
+        }
+    }
+
+    #[test]
+    fn labels_match_class_split() {
+        let c = corpus();
+        let (pos, neg) = c.indices_by_class();
+        assert_eq!(pos.len(), 12);
+        assert_eq!(neg.len(), 48);
+    }
+
+    #[test]
+    fn outbound_endpoints_are_domains() {
+        let c = corpus();
+        let any_outbound = c.outbound.iter().any(|o| !o.is_empty());
+        assert!(any_outbound, "some site must have outbound links");
+        for o in &c.outbound {
+            for domain in o.keys() {
+                assert!(domain.contains('.'), "not a domain: {domain}");
+                assert!(!domain.contains('/'), "not reduced: {domain}");
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_is_deterministic() {
+        let web = SyntheticWeb::generate(&CorpusConfig::small(), 9);
+        let a = extract_corpus(web.snapshot(), &CrawlConfig::default());
+        let b = extract_corpus(web.snapshot(), &CrawlConfig::default());
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.outbound, b.outbound);
+    }
+}

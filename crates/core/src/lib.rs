@@ -1,0 +1,49 @@
+//! The verification system — the paper's primary contribution.
+//!
+//! Ties the substrates together into the two pipelines of the paper:
+//!
+//! * **OPC** (Online Pharmacy Classification, Problem 1): text features
+//!   (TF-IDF term vectors, §4.1.1; N-Gram-Graph similarities, §4.1.2) and
+//!   network features (TrustRank over the outbound-link graph, §4.2) feed
+//!   a suite of classifiers, evaluated with stratified 3-fold
+//!   cross-validation;
+//! * **OPR** (Online Pharmacy Ranking, Problem 2): a legitimacy score
+//!   `rank(p) = textRank(p) + networkRank(p)` (§5), evaluated by pairwise
+//!   orderedness.
+//!
+//! Modules:
+//!
+//! * [`features`] — crawl + summarize + tokenize a snapshot into the
+//!   reusable [`features::ExtractedCorpus`];
+//! * [`classify`] — the four classification pipelines (TF-IDF text, NGG
+//!   text, TrustRank network, score-level ensemble selection);
+//! * [`rank`] — the ranking pipeline and pairwise orderedness;
+//! * [`drift_study`] — the model-evolution-over-time study of §6.5
+//!   (Old-Old / New-New / Old-New);
+//! * [`extensions`] — the §7 future-work directions: extended link graph
+//!   with non-pharmacy referrers, Anti-TrustRank distrust, and combined
+//!   text + network features;
+//! * [`outliers`] — the ranking-outlier analysis of §6.4;
+//! * [`report`] — table rendering for the experiment harness;
+//! * [`system`] — the [`VerificationSystem`] facade.
+
+pub mod classify;
+pub mod drift_study;
+pub mod extensions;
+pub mod features;
+pub mod outliers;
+pub mod rank;
+pub mod report;
+pub mod system;
+pub mod verifier;
+
+pub use classify::{
+    evaluate_ensemble, evaluate_network, evaluate_ngg, evaluate_tfidf, CvConfig,
+    EnsembleOutcome, NetworkArtifacts, TextLearnerKind,
+};
+pub use features::{extract_corpus, ExtractedCorpus};
+pub use outliers::{ranking_outliers, OutlierReport};
+pub use rank::{evaluate_ranking, RankingMethod, RankingOutcome};
+pub use report::Table;
+pub use system::{SystemConfig, VerificationSystem};
+pub use verifier::{TrainedVerifier, Verdict, VerifyError};

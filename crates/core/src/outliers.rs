@@ -1,0 +1,145 @@
+//! Ranking-outlier analysis (§6.4 of the paper).
+//!
+//! "We performed an analysis of the legitimate and illegitimate outliers,
+//! i.e., the illegitimate examples that appear high in our ranking, and
+//! the legitimate examples that obtained poor score and appear at the
+//! bottom of the list." The paper's domain experts found that
+//! illegitimate outliers are generally *not part of any illegitimate
+//! network*, while legitimate outliers are *refill-only* pharmacies. The
+//! generator plants exactly those populations, so this module both
+//! extracts the outliers and verifies the expert findings against the
+//! ground-truth profiles.
+
+use crate::rank::{RankEntry, RankingOutcome};
+use pharmaverify_corpus::SiteProfile;
+
+/// Outliers of a ranked list.
+#[derive(Debug, Clone)]
+pub struct OutlierReport {
+    /// Illegitimate pharmacies ranked highest (the system's hardest
+    /// false-legitimate candidates), best-ranked first.
+    pub illegitimate_outliers: Vec<RankEntry>,
+    /// Legitimate pharmacies ranked lowest, worst-ranked first.
+    pub legitimate_outliers: Vec<RankEntry>,
+}
+
+impl OutlierReport {
+    /// Fraction of the illegitimate outliers that are mimic sites outside
+    /// any affiliate network — the paper's expert finding for this group.
+    pub fn illegitimate_off_network_fraction(&self) -> f64 {
+        fraction_with(&self.illegitimate_outliers, SiteProfile::MimicOutlier)
+    }
+
+    /// Fraction of the legitimate outliers that are refill-only
+    /// storefronts — the paper's expert finding for this group.
+    pub fn legitimate_refill_only_fraction(&self) -> f64 {
+        fraction_with(&self.legitimate_outliers, SiteProfile::RefillOnly)
+    }
+}
+
+fn fraction_with(entries: &[RankEntry], profile: SiteProfile) -> f64 {
+    if entries.is_empty() {
+        return 0.0;
+    }
+    entries.iter().filter(|e| e.profile == profile).count() as f64 / entries.len() as f64
+}
+
+/// Extracts the top `k` illegitimate and bottom `k` legitimate entries of
+/// a ranking (entries must already be sorted by decreasing rank, which
+/// [`crate::rank::evaluate_ranking`] guarantees).
+pub fn ranking_outliers(ranking: &RankingOutcome, k: usize) -> OutlierReport {
+    let illegitimate_outliers: Vec<RankEntry> = ranking
+        .entries
+        .iter()
+        .filter(|e| !e.label)
+        .take(k)
+        .cloned()
+        .collect();
+    let legitimate_outliers: Vec<RankEntry> = ranking
+        .entries
+        .iter()
+        .rev()
+        .filter(|e| e.label)
+        .take(k)
+        .cloned()
+        .collect();
+    OutlierReport {
+        illegitimate_outliers,
+        legitimate_outliers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rank::RankingOutcome;
+
+    fn entry(domain: &str, label: bool, profile: SiteProfile, rank: f64) -> RankEntry {
+        RankEntry {
+            index: 0,
+            domain: domain.to_string(),
+            label,
+            profile,
+            text_rank: rank,
+            network_rank: 0.0,
+        }
+    }
+
+    fn ranking() -> RankingOutcome {
+        // Sorted by decreasing rank, as evaluate_ranking guarantees.
+        RankingOutcome {
+            entries: vec![
+                entry("good1.com", true, SiteProfile::Standard, 0.9),
+                entry("mimic.com", false, SiteProfile::MimicOutlier, 0.8),
+                entry("good2.com", true, SiteProfile::Standard, 0.7),
+                entry("spam1.com", false, SiteProfile::Standard, 0.3),
+                entry("refill.com", true, SiteProfile::RefillOnly, 0.2),
+                entry("spam2.com", false, SiteProfile::Standard, 0.1),
+            ],
+            pairord: 0.9,
+        }
+    }
+
+    #[test]
+    fn picks_top_illegitimate_and_bottom_legitimate() {
+        let report = ranking_outliers(&ranking(), 2);
+        let illegit: Vec<&str> = report
+            .illegitimate_outliers
+            .iter()
+            .map(|e| e.domain.as_str())
+            .collect();
+        assert_eq!(illegit, vec!["mimic.com", "spam1.com"]);
+        let legit: Vec<&str> = report
+            .legitimate_outliers
+            .iter()
+            .map(|e| e.domain.as_str())
+            .collect();
+        assert_eq!(legit, vec!["refill.com", "good2.com"]);
+    }
+
+    #[test]
+    fn profile_fractions() {
+        let report = ranking_outliers(&ranking(), 2);
+        assert_eq!(report.illegitimate_off_network_fraction(), 0.5);
+        assert_eq!(report.legitimate_refill_only_fraction(), 0.5);
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let report = ranking_outliers(&ranking(), 100);
+        assert_eq!(report.illegitimate_outliers.len(), 3);
+        assert_eq!(report.legitimate_outliers.len(), 3);
+    }
+
+    #[test]
+    fn empty_ranking_yields_empty_report() {
+        let empty = RankingOutcome {
+            entries: Vec::new(),
+            pairord: 1.0,
+        };
+        let report = ranking_outliers(&empty, 5);
+        assert!(report.illegitimate_outliers.is_empty());
+        assert!(report.legitimate_outliers.is_empty());
+        assert_eq!(report.illegitimate_off_network_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! The ranking pipeline (Problem 2, OPR — §5 of the paper).
+//!
+//! Every pharmacy receives `rank(p) = textRank(p) + networkRank(p)`:
+//!
+//! * `textRank` is the legitimate-class membership probability for
+//!   probabilistic text classifiers, the {0, 1} decision for the
+//!   (non-probabilistic) SVM, or the Equation (3) similarity sum for the
+//!   N-Gram-Graph representation;
+//! * `networkRank` is the TrustRank score of the pharmacy's node.
+//!
+//! Scores are produced out-of-fold: within each CV round the models are
+//! trained on `P₀` (the training folds) and score the remaining
+//! pharmacies `P \ P₀`, so every pharmacy is ranked exactly once by a
+//! model that never saw it. Quality is measured by pairwise orderedness
+//! (§6.2).
+
+use crate::classify::{
+    build_web_graph, ngg_document_texts, pharmacy_trust_scores, subsampled_documents, CvConfig,
+    TextLearnerKind,
+};
+use crate::features::ExtractedCorpus;
+use pharmaverify_corpus::SiteProfile;
+use pharmaverify_ml::metrics::pairwise_orderedness;
+use pharmaverify_ml::{stratified_folds, Dataset, Sampling};
+use pharmaverify_net::TrustRankConfig;
+use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
+use pharmaverify_text::TfIdfModel;
+
+/// Which text model produces `textRank`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankingMethod {
+    /// A TF-IDF classifier; SVM contributes {0, 1}, the others their
+    /// class probability.
+    TfIdf {
+        /// The classifier family.
+        kind: TextLearnerKind,
+        /// Training-split resampling.
+        sampling: Sampling,
+    },
+    /// The N-Gram-Graph Equation (3) similarity sum (no classifier).
+    NggEquation3,
+}
+
+impl RankingMethod {
+    /// Display name for the ranking tables.
+    pub fn name(self) -> String {
+        match self {
+            RankingMethod::TfIdf { kind, sampling } => {
+                format!("{} {}", kind.name(), sampling.abbreviation())
+            }
+            RankingMethod::NggEquation3 => "N-Gram Graph".to_string(),
+        }
+    }
+}
+
+/// One ranked pharmacy.
+#[derive(Debug, Clone)]
+pub struct RankEntry {
+    /// Index into the corpus.
+    pub index: usize,
+    /// Pharmacy domain.
+    pub domain: String,
+    /// Oracle label (`true` = legitimate).
+    pub label: bool,
+    /// Generation profile (outlier analysis only).
+    pub profile: SiteProfile,
+    /// Text component of the score.
+    pub text_rank: f64,
+    /// Network component of the score.
+    pub network_rank: f64,
+}
+
+impl RankEntry {
+    /// The combined legitimacy score.
+    pub fn rank(&self) -> f64 {
+        self.text_rank + self.network_rank
+    }
+}
+
+/// The ranked list plus its quality measure.
+#[derive(Debug, Clone)]
+pub struct RankingOutcome {
+    /// Entries sorted by decreasing rank (most legitimate first).
+    pub entries: Vec<RankEntry>,
+    /// Pairwise orderedness over all ranked pharmacies.
+    pub pairord: f64,
+}
+
+/// Runs the ranking pipeline and evaluates pairwise orderedness.
+pub fn evaluate_ranking(
+    corpus: &ExtractedCorpus,
+    method: RankingMethod,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> RankingOutcome {
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    let artifacts = build_web_graph(corpus);
+    let trust_config = TrustRankConfig::default();
+    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let mut text_rank = vec![0.0; corpus.len()];
+    let mut network_rank = vec![0.0; corpus.len()];
+
+    for (f, test_idx) in folds.iter().enumerate() {
+        let train_idx: Vec<usize> = (0..corpus.len())
+            .filter(|i| !test_idx.contains(i))
+            .collect();
+        // networkRank: trust seeded by the training-fold legitimate sites.
+        let seed_idx: Vec<usize> = train_idx
+            .iter()
+            .copied()
+            .filter(|&i| corpus.labels[i])
+            .collect();
+        let trust = pharmacy_trust_scores(&artifacts, &seed_idx, &trust_config);
+        for &i in test_idx {
+            network_rank[i] = trust[i];
+        }
+        // textRank: per method.
+        match method {
+            RankingMethod::TfIdf { kind, sampling } => {
+                let docs = subsampled_documents(corpus, subsample, cv.seed);
+                let train_docs: Vec<&Vec<String>> =
+                    train_idx.iter().map(|&i| &docs[i]).collect();
+                let weighting = kind.weighting();
+                let tfidf = TfIdfModel::fit(&train_docs[..]);
+                let dim = tfidf.vocabulary().len().max(1);
+                let mut train = Dataset::new(dim);
+                for &i in &train_idx {
+                    train.push(weighting.vectorize(&tfidf, &docs[i]), corpus.labels[i]);
+                }
+                let train = sampling.apply(&train, cv.seed);
+                let model = kind.learner().fit(&train);
+                for &i in test_idx {
+                    let x = weighting.vectorize(&tfidf, &docs[i]);
+                    text_rank[i] = if model.is_probabilistic() {
+                        model.score(&x)
+                    } else {
+                        // §5: non-probabilistic classifiers contribute
+                        // their hard decision.
+                        if model.predict(&x) {
+                            1.0
+                        } else {
+                            0.0
+                        }
+                    };
+                }
+            }
+            RankingMethod::NggEquation3 => {
+                let texts = ngg_document_texts(corpus, subsample, cv.seed);
+                let legit: Vec<&str> = train_idx
+                    .iter()
+                    .filter(|&&i| corpus.labels[i])
+                    .map(|&i| texts[i].as_str())
+                    .collect();
+                let illegit: Vec<&str> = train_idx
+                    .iter()
+                    .filter(|&&i| !corpus.labels[i])
+                    .map(|&i| texts[i].as_str())
+                    .collect();
+                let class_graphs = NggClassGraphs::build(
+                    NGramGraphBuilder::default(),
+                    &legit,
+                    &illegit,
+                    cv.seed ^ (f as u64),
+                );
+                for &i in test_idx {
+                    text_rank[i] = class_graphs.features(&texts[i]).text_rank();
+                }
+            }
+        }
+    }
+
+    let mut entries: Vec<RankEntry> = (0..corpus.len())
+        .map(|i| RankEntry {
+            index: i,
+            domain: corpus.domains[i].clone(),
+            label: corpus.labels[i],
+            profile: corpus.profiles[i],
+            text_rank: text_rank[i],
+            network_rank: network_rank[i],
+        })
+        .collect();
+    let scores: Vec<f64> = entries.iter().map(RankEntry::rank).collect();
+    let pairord = pairwise_orderedness(&scores, &corpus.labels).unwrap_or(1.0);
+    entries.sort_by(|a, b| {
+        b.rank()
+            .partial_cmp(&a.rank())
+            .expect("rank scores are finite")
+    });
+    RankingOutcome { entries, pairord }
+}

@@ -1,0 +1,133 @@
+//! Plain-text table rendering for the experiment harness.
+//!
+//! Every table of the paper is regenerated as an aligned ASCII table with
+//! the same rows and columns, so paper-vs-measured comparison is a visual
+//! diff.
+
+use std::fmt;
+
+/// An aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Title line printed above the table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row must have `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Formats a metric to the paper's two decimal places.
+    pub fn fmt2(value: f64) -> String {
+        format!("{value:.2}")
+    }
+
+    /// Formats a ranking metric to the paper's three decimal places.
+    pub fn fmt3(value: f64) -> String {
+        format!("{value:.3}")
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "{}", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut out = String::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                out.push_str(&format!("| {cell:w$} "));
+            }
+            out.push('|');
+            writeln!(f, "{out}")
+        };
+        line(f, &self.headers)?;
+        let rule: usize = widths.iter().map(|w| w + 3).sum::<usize>() + 1;
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// The abbreviation legend of Table 2.
+pub fn abbreviations() -> Table {
+    let mut t = Table::new("Table 2: Abbreviations", &["Abbreviation", "Description"]);
+    for (a, d) in [
+        ("NBM", "Naive Bayesian Multinomial"),
+        ("NB", "Naive Bayesian"),
+        ("SVM", "Support Vector Machines"),
+        ("J48", "C4.5 decision tree"),
+        ("MLP", "Multilayer perceptron (Artificial Neural Networks)"),
+        ("NO", "No sampling technique used"),
+        ("SUB", "Subsampling"),
+        ("SMOTE", "Oversampling with SMOTE algorithm"),
+    ] {
+        t.push_row(vec![a.to_string(), d.to_string()]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "0.97".into()]);
+        t.push_row(vec!["b".into(), "0.99".into()]);
+        let s = t.to_string();
+        assert!(s.starts_with("Demo\n"));
+        assert!(s.contains("| alpha | 0.97  |"));
+        assert!(s.contains("| b     | 0.99  |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn wrong_width_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(Table::fmt2(0.966), "0.97");
+        assert_eq!(Table::fmt3(0.9984), "0.998");
+    }
+
+    #[test]
+    fn abbreviation_table_has_paper_rows() {
+        let t = abbreviations();
+        assert_eq!(t.rows.len(), 8);
+        assert!(t.to_string().contains("SMOTE"));
+    }
+}

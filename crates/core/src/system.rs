@@ -1,0 +1,286 @@
+//! The [`VerificationSystem`] facade.
+//!
+//! A convenience wrapper that runs the complete verification flow — crawl
+//! → feature extraction → classification / ranking — against a labelled
+//! snapshot, with sane defaults. The experiment harness drives the
+//! pipeline functions directly; applications and examples go through this
+//! facade.
+
+use crate::classify::{
+    evaluate_ensemble, evaluate_network, evaluate_ngg, evaluate_tfidf, CvConfig,
+    EnsembleOutcome, TextLearnerKind,
+};
+use crate::features::{extract_corpus, ExtractedCorpus};
+use crate::rank::{evaluate_ranking, RankingMethod, RankingOutcome};
+use pharmaverify_corpus::Snapshot;
+use pharmaverify_crawl::CrawlConfig;
+use pharmaverify_ml::CvOutcome;
+use std::fmt;
+
+/// Configuration of the full system.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Crawl policy (paper: 200-page cap).
+    pub crawl: CrawlConfig,
+    /// Cross-validation folds (paper: 3).
+    pub folds: usize,
+    /// Term-subsample size applied to summary documents
+    /// (`None` = full documents).
+    pub subsample: Option<usize>,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            crawl: CrawlConfig::default(),
+            folds: 3,
+            subsample: Some(1000),
+        }
+    }
+}
+
+impl SystemConfig {
+    /// A configuration tuned for small corpora and fast feedback (tests,
+    /// doc examples): short subsamples, default 3-fold CV.
+    pub fn fast() -> Self {
+        SystemConfig {
+            subsample: Some(250),
+            ..SystemConfig::default()
+        }
+    }
+}
+
+/// Errors from the system facade.
+#[derive(Debug)]
+pub enum SystemError {
+    /// The snapshot contains no pharmacies.
+    EmptySnapshot,
+    /// The snapshot has fewer than `folds` pharmacies of some class, so
+    /// stratified cross-validation cannot run.
+    NotEnoughExamples {
+        /// Pharmacies of the scarcer class.
+        minority: usize,
+        /// Requested folds.
+        folds: usize,
+    },
+}
+
+impl fmt::Display for SystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SystemError::EmptySnapshot => write!(f, "snapshot contains no pharmacies"),
+            SystemError::NotEnoughExamples { minority, folds } => write!(
+                f,
+                "cannot stratify {minority} minority examples into {folds} folds"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+/// The automated internet-pharmacy verification system.
+#[derive(Debug, Clone, Default)]
+pub struct VerificationSystem {
+    config: SystemConfig,
+}
+
+impl VerificationSystem {
+    /// Creates a system with the given configuration.
+    pub fn new(config: SystemConfig) -> Self {
+        VerificationSystem { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Crawls and preprocesses a snapshot.
+    pub fn extract(&self, snapshot: &Snapshot) -> ExtractedCorpus {
+        extract_corpus(snapshot, &self.config.crawl)
+    }
+
+    fn validate(&self, corpus: &ExtractedCorpus) -> Result<(), SystemError> {
+        if corpus.is_empty() {
+            return Err(SystemError::EmptySnapshot);
+        }
+        let (pos, neg) = corpus.indices_by_class();
+        let minority = pos.len().min(neg.len());
+        if minority < self.config.folds {
+            return Err(SystemError::NotEnoughExamples {
+                minority,
+                folds: self.config.folds,
+            });
+        }
+        Ok(())
+    }
+
+    fn cv(&self, seed: u64) -> CvConfig {
+        CvConfig {
+            k: self.config.folds,
+            seed,
+        }
+    }
+
+    /// Cross-validated TF-IDF text classification with the paper's default
+    /// text model (NBM).
+    pub fn evaluate_text_tfidf(
+        &self,
+        snapshot: &Snapshot,
+        seed: u64,
+    ) -> Result<CvOutcome, SystemError> {
+        self.evaluate_text_tfidf_with(snapshot, TextLearnerKind::Nbm, seed)
+    }
+
+    /// Cross-validated TF-IDF text classification with a chosen model.
+    pub fn evaluate_text_tfidf_with(
+        &self,
+        snapshot: &Snapshot,
+        kind: TextLearnerKind,
+        seed: u64,
+    ) -> Result<CvOutcome, SystemError> {
+        let corpus = self.extract(snapshot);
+        self.validate(&corpus)?;
+        Ok(evaluate_tfidf(
+            &corpus,
+            kind.learner().as_ref(),
+            kind.paper_sampling(),
+            kind.weighting(),
+            self.config.subsample,
+            self.cv(seed),
+        ))
+    }
+
+    /// Cross-validated N-Gram-Graph text classification.
+    pub fn evaluate_text_ngg(
+        &self,
+        snapshot: &Snapshot,
+        kind: TextLearnerKind,
+        seed: u64,
+    ) -> Result<CvOutcome, SystemError> {
+        let corpus = self.extract(snapshot);
+        self.validate(&corpus)?;
+        Ok(evaluate_ngg(
+            &corpus,
+            kind.ngg_learner().as_ref(),
+            self.config.subsample,
+            self.cv(seed),
+        ))
+    }
+
+    /// Cross-validated TrustRank network classification.
+    pub fn evaluate_network(
+        &self,
+        snapshot: &Snapshot,
+        seed: u64,
+    ) -> Result<CvOutcome, SystemError> {
+        let corpus = self.extract(snapshot);
+        self.validate(&corpus)?;
+        Ok(evaluate_network(&corpus, self.cv(seed)))
+    }
+
+    /// Cross-validated ensemble selection over text + network models.
+    pub fn evaluate_ensemble(
+        &self,
+        snapshot: &Snapshot,
+        seed: u64,
+    ) -> Result<EnsembleOutcome, SystemError> {
+        let corpus = self.extract(snapshot);
+        self.validate(&corpus)?;
+        Ok(evaluate_ensemble(&corpus, self.config.subsample, self.cv(seed)))
+    }
+
+    /// Out-of-fold legitimacy ranking (OPR).
+    pub fn rank(
+        &self,
+        snapshot: &Snapshot,
+        method: RankingMethod,
+        seed: u64,
+    ) -> Result<RankingOutcome, SystemError> {
+        let corpus = self.extract(snapshot);
+        self.validate(&corpus)?;
+        Ok(evaluate_ranking(
+            &corpus,
+            method,
+            self.config.subsample,
+            self.cv(seed),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pharmaverify_corpus::{CorpusConfig, SyntheticWeb};
+    use pharmaverify_ml::Sampling;
+
+    fn snapshot() -> Snapshot {
+        SyntheticWeb::generate(&CorpusConfig::small(), 42)
+            .snapshot()
+            .clone()
+    }
+
+    #[test]
+    fn text_pipeline_beats_chance() {
+        let system = VerificationSystem::new(SystemConfig::fast());
+        let outcome = system.evaluate_text_tfidf(&snapshot(), 7).unwrap();
+        let agg = outcome.aggregate();
+        assert!(agg.accuracy > 0.7, "accuracy = {}", agg.accuracy);
+        assert!(agg.auc > 0.7, "auc = {}", agg.auc);
+    }
+
+    #[test]
+    fn network_pipeline_runs() {
+        let system = VerificationSystem::new(SystemConfig::fast());
+        let outcome = system.evaluate_network(&snapshot(), 7).unwrap();
+        let agg = outcome.aggregate();
+        assert!(agg.accuracy > 0.5, "accuracy = {}", agg.accuracy);
+    }
+
+    #[test]
+    fn ranking_produces_full_ordering() {
+        let system = VerificationSystem::new(SystemConfig::fast());
+        let ranking = system
+            .rank(
+                &snapshot(),
+                RankingMethod::TfIdf {
+                    kind: TextLearnerKind::Nbm,
+                    sampling: Sampling::None,
+                },
+                7,
+            )
+            .unwrap();
+        assert_eq!(ranking.entries.len(), 60);
+        assert!(ranking.pairord > 0.5, "pairord = {}", ranking.pairord);
+        // Sorted by decreasing rank.
+        for w in ranking.entries.windows(2) {
+            assert!(w[0].rank() >= w[1].rank());
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_error() {
+        let snap = Snapshot {
+            name: "empty".into(),
+            sites: Vec::new(),
+            portals: Vec::new(),
+            web: pharmaverify_crawl::InMemoryWeb::new(),
+        };
+        let system = VerificationSystem::default();
+        assert!(matches!(
+            system.evaluate_text_tfidf(&snap, 1),
+            Err(SystemError::EmptySnapshot)
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SystemError::EmptySnapshot.to_string().contains("no pharmacies"));
+        let e = SystemError::NotEnoughExamples {
+            minority: 1,
+            folds: 3,
+        };
+        assert!(e.to_string().contains("1 minority"));
+    }
+}

@@ -1,0 +1,292 @@
+//! The deployable verifier: train once on a labelled snapshot, then score
+//! arbitrary new pharmacy sites.
+//!
+//! The evaluation pipelines in [`crate::classify`] measure the system
+//! under cross-validation; this module is the *product* the paper
+//! describes — "a system capable of automatically giving a trust score to
+//! online pharmacies … assisting the human reviewers". A
+//! [`TrainedVerifier`] holds the fitted text model, the link graph of the
+//! training population, and the fitted network model; [`TrainedVerifier::verify`]
+//! crawls a previously-unseen site, splices it into the link graph,
+//! propagates trust, and returns both component scores and the combined
+//! legitimacy rank.
+
+use crate::classify::{build_web_graph, NetworkArtifacts, TextLearnerKind};
+use crate::features::ExtractedCorpus;
+use pharmaverify_crawl::{summarize, CrawlConfig, Crawler, Url, WebHost};
+use pharmaverify_ml::{Dataset, GaussianNaiveBayes, Learner, Model};
+use pharmaverify_net::{trust_rank, TrustRankConfig};
+use pharmaverify_text::subsample::subsample_opt;
+use pharmaverify_text::{preprocess, SparseVector, TfIdfModel};
+use std::fmt;
+
+/// The verdict for one verified site.
+#[derive(Debug, Clone)]
+pub struct Verdict {
+    /// Second-level domain of the verified site.
+    pub domain: String,
+    /// Pages the crawler fetched.
+    pub pages_crawled: usize,
+    /// Text component: the text model's legitimate-class score in [0, 1].
+    pub text_score: f64,
+    /// Network component: the site's TrustRank value after being spliced
+    /// into the training link graph (scaled by node count).
+    pub trust_score: f64,
+    /// Network model's legitimate-class score in [0, 1].
+    pub network_score: f64,
+    /// Combined legitimacy rank, `textRank + networkRank` (§5).
+    pub rank: f64,
+    /// Hard decision of the text model (the paper's primary classifier).
+    pub predicted_legitimate: bool,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} (text {:.3}, trust {:.4}, rank {:.3}, {} pages)",
+            self.domain,
+            if self.predicted_legitimate {
+                "likely LEGITIMATE"
+            } else {
+                "likely ILLEGITIMATE"
+            },
+            self.text_score,
+            self.trust_score,
+            self.rank,
+            self.pages_crawled,
+        )
+    }
+}
+
+/// Errors from verification.
+#[derive(Debug)]
+pub enum VerifyError {
+    /// The seed URL did not parse.
+    BadUrl(String),
+    /// The crawl fetched no pages (site offline or empty).
+    EmptySite(String),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadUrl(u) => write!(f, "cannot parse URL: {u}"),
+            VerifyError::EmptySite(d) => write!(f, "no pages crawled from {d}"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// A verifier fitted on a labelled corpus.
+pub struct TrainedVerifier {
+    crawl_config: CrawlConfig,
+    subsample: Option<usize>,
+    seed: u64,
+    tfidf: TfIdfModel,
+    text_model: Box<dyn Model>,
+    text_uses_counts: bool,
+    artifacts: NetworkArtifacts,
+    seed_indices: Vec<usize>,
+    trust_config: TrustRankConfig,
+    trust_model: Box<dyn Model>,
+    trust_scale: f64,
+}
+
+impl TrainedVerifier {
+    /// Fits a verifier on an extracted labelled corpus: the text model on
+    /// (subsampled) training documents, and a Gaussian naive Bayes on the
+    /// TrustRank scores of the training population seeded by its
+    /// legitimate members.
+    ///
+    /// # Panics
+    /// Panics if the corpus is empty or single-class.
+    pub fn fit(
+        corpus: &ExtractedCorpus,
+        kind: TextLearnerKind,
+        crawl_config: CrawlConfig,
+        subsample: Option<usize>,
+        seed: u64,
+    ) -> Self {
+        assert!(!corpus.is_empty(), "corpus must not be empty");
+        let (pos, _neg) = corpus.indices_by_class();
+        assert!(
+            !pos.is_empty() && pos.len() < corpus.len(),
+            "corpus must contain both classes"
+        );
+        // Text model.
+        let docs: Vec<Vec<String>> = corpus
+            .tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| subsample_opt(t, subsample, seed ^ ((i as u64) << 8)))
+            .collect();
+        let tfidf = TfIdfModel::fit(&docs);
+        let weighting = kind.weighting();
+        let text_uses_counts =
+            weighting == crate::classify::TermWeighting::RawCounts;
+        let mut train = Dataset::new(tfidf.vocabulary().len().max(1));
+        for (i, doc) in docs.iter().enumerate() {
+            train.push(weighting.vectorize(&tfidf, doc), corpus.labels[i]);
+        }
+        let train = kind.paper_sampling().apply(&train, seed);
+        let text_model = kind.learner().fit(&train);
+
+        // Network model.
+        let artifacts = build_web_graph(corpus);
+        let trust_config = TrustRankConfig::default();
+        let seed_indices = pos;
+        let trust = crate::classify::pharmacy_trust_scores(
+            &artifacts,
+            &seed_indices,
+            &trust_config,
+        );
+        let trust_scale = artifacts.graph.node_count() as f64;
+        let mut net_train = Dataset::new(1);
+        for (i, &t) in trust.iter().enumerate() {
+            net_train.push(SparseVector::from_pairs(vec![(0, t)]), corpus.labels[i]);
+        }
+        let trust_model = GaussianNaiveBayes::default().fit(&net_train);
+
+        TrainedVerifier {
+            crawl_config,
+            subsample,
+            seed,
+            tfidf,
+            text_model,
+            text_uses_counts,
+            artifacts,
+            seed_indices,
+            trust_config,
+            trust_model,
+            trust_scale,
+        }
+    }
+
+    /// Verifies one site: crawls it from `seed_url` on `host`, scores its
+    /// text, splices its outbound links into the training link graph, and
+    /// propagates trust.
+    pub fn verify<H: WebHost>(&self, host: &H, seed_url: &str) -> Result<Verdict, VerifyError> {
+        let url =
+            Url::parse(seed_url).map_err(|_| VerifyError::BadUrl(seed_url.to_string()))?;
+        let crawler = Crawler::new(self.crawl_config.clone());
+        let crawl = crawler.crawl(host, &url);
+        if crawl.pages.is_empty() {
+            return Err(VerifyError::EmptySite(url.endpoint()));
+        }
+        // Text score.
+        let tokens = preprocess(&summarize(&crawl));
+        let doc = subsample_opt(&tokens, self.subsample, self.seed);
+        let x = if self.text_uses_counts {
+            self.tfidf.term_counts(&doc)
+        } else {
+            self.tfidf.transform(&doc)
+        };
+        let text_score = self.text_model.score(&x);
+        let predicted = self.text_model.predict(&x);
+
+        // Network score: add the new site to a copy of the graph.
+        let mut graph = self.artifacts.graph.clone();
+        let node = graph.add_pharmacy(&crawl.domain);
+        for (target, count) in crawl.outbound_endpoints() {
+            if target != crawl.domain {
+                graph.add_link(node, &target, count as f64);
+            }
+        }
+        let seeds: Vec<_> = self
+            .seed_indices
+            .iter()
+            .map(|&i| self.artifacts.pharmacy_nodes[i])
+            .collect();
+        let trust = trust_rank(&graph, &seeds, &self.trust_config);
+        let trust_score = trust[node as usize] * self.trust_scale;
+        let network_score = self
+            .trust_model
+            .score(&SparseVector::from_pairs(vec![(0, trust_score)]));
+
+        Ok(Verdict {
+            domain: crawl.domain.clone(),
+            pages_crawled: crawl.pages.len(),
+            text_score,
+            trust_score,
+            network_score,
+            rank: text_score + trust_score,
+            predicted_legitimate: predicted,
+        })
+    }
+
+    /// The training population's link graph (pharmacies + link targets).
+    pub fn graph(&self) -> &pharmaverify_net::WebGraph {
+        &self.artifacts.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::extract_corpus;
+    use pharmaverify_corpus::{CorpusConfig, SyntheticWeb};
+
+    fn verifier_and_web() -> (TrainedVerifier, SyntheticWeb) {
+        let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
+        let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+        let verifier = TrainedVerifier::fit(
+            &corpus,
+            TextLearnerKind::Nbm,
+            CrawlConfig::default(),
+            Some(250),
+            7,
+        );
+        (verifier, web)
+    }
+
+    #[test]
+    fn verifies_unseen_snapshot2_sites() {
+        let (verifier, web) = verifier_and_web();
+        // Snapshot-2 illegitimate sites are unseen at training time.
+        let snap2 = web.snapshot2();
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for site in snap2.sites.iter().filter(|s| !s.label()).take(10) {
+            let verdict = verifier.verify(&snap2.web, &site.seed_url).unwrap();
+            total += 1;
+            if !verdict.predicted_legitimate {
+                correct += 1;
+            }
+            assert!((0.0..=1.0).contains(&verdict.text_score));
+            assert!(verdict.trust_score >= 0.0);
+        }
+        assert!(correct * 2 > total, "{correct}/{total} unseen sites caught");
+    }
+
+    #[test]
+    fn bad_url_is_error() {
+        let (verifier, web) = verifier_and_web();
+        assert!(matches!(
+            verifier.verify(&web.snapshot().web, "not a url"),
+            Err(VerifyError::BadUrl(_))
+        ));
+    }
+
+    #[test]
+    fn offline_site_is_error() {
+        let (verifier, web) = verifier_and_web();
+        assert!(matches!(
+            verifier.verify(&web.snapshot().web, "http://offline-pharmacy.com/"),
+            Err(VerifyError::EmptySite(_))
+        ));
+    }
+
+    #[test]
+    fn verdict_displays_summary() {
+        let (verifier, web) = verifier_and_web();
+        let snap = web.snapshot();
+        let verdict = verifier
+            .verify(&snap.web, &snap.sites[0].seed_url)
+            .unwrap();
+        let text = verdict.to_string();
+        assert!(text.contains("likely"));
+        assert!(text.contains("pages"));
+    }
+}

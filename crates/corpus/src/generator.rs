@@ -1,0 +1,843 @@
+//! The synthetic-web generator.
+//!
+//! Generation is two-level: site *metadata* (domain, class, profile) is
+//! drawn first, then each site's pages are rendered as HTML with
+//! class-conditional text and links. The legitimate metadata is shared
+//! between the two snapshots (the paper's datasets "contain the same
+//! legitimate instances, but crawled in different periods of time"),
+//! while illegitimate domains are disjoint between snapshots.
+
+use crate::site::{PharmacySite, SiteClass, SiteProfile};
+use crate::snapshot::Snapshot;
+use crate::vocabulary as vocab;
+use pharmaverify_crawl::InMemoryWeb;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Legitimate pharmacies (both snapshots; paper: 167).
+    pub n_legitimate: usize,
+    /// Illegitimate pharmacies in snapshot 1 (paper: 1292).
+    pub n_illegitimate_snapshot1: usize,
+    /// Illegitimate pharmacies in snapshot 2, disjoint from snapshot 1
+    /// (paper: 1275).
+    pub n_illegitimate_snapshot2: usize,
+    /// Pages per site, inclusive range.
+    pub pages_per_site: (usize, usize),
+    /// Body tokens per page, inclusive range.
+    pub tokens_per_page: (usize, usize),
+    /// Fraction of illegitimate sites that mimic legitimate content and
+    /// stay out of affiliate networks (§6.4's illegitimate outliers).
+    pub mimic_fraction: f64,
+    /// Fraction of legitimate sites that are thin refill-only storefronts
+    /// (§6.4's legitimate outliers).
+    pub refill_only_fraction: f64,
+    /// Number of illegitimate affiliate-hub sites per snapshot.
+    pub affiliate_hubs: usize,
+    /// Site-specific pseudo-word vocabulary size (product names etc.).
+    pub site_noise_words: usize,
+    /// Fraction of snapshot-2 illegitimate spam mass drawn from the
+    /// drifted vocabulary ([`vocab::DRIFT_SPAM`]).
+    pub drift: f64,
+    /// Non-pharmacy health portals that link to legitimate pharmacies
+    /// (directory listings). Ignored by the paper's own experiments; used
+    /// by the §7 future-work extension.
+    pub health_portals: usize,
+}
+
+impl CorpusConfig {
+    /// The paper-scale configuration: Table 1's class counts, moderate
+    /// page counts (the crawler's 200-page cap is never the binding
+    /// constraint for the synthetic sites).
+    pub fn paper() -> Self {
+        CorpusConfig {
+            n_legitimate: 167,
+            n_illegitimate_snapshot1: 1292,
+            n_illegitimate_snapshot2: 1275,
+            pages_per_site: (4, 18),
+            tokens_per_page: (40, 110),
+            mimic_fraction: 0.04,
+            refill_only_fraction: 0.12,
+            affiliate_hubs: 15,
+            site_noise_words: 12,
+            drift: 0.35,
+            health_portals: 25,
+        }
+    }
+
+    /// A mid-size configuration (~1/4 of paper scale) for quick
+    /// experiments and examples.
+    pub fn medium() -> Self {
+        CorpusConfig {
+            n_legitimate: 42,
+            n_illegitimate_snapshot1: 320,
+            n_illegitimate_snapshot2: 318,
+            affiliate_hubs: 6,
+            health_portals: 8,
+            ..CorpusConfig::paper()
+        }
+    }
+
+    /// A tiny configuration for unit and integration tests.
+    pub fn small() -> Self {
+        CorpusConfig {
+            n_legitimate: 12,
+            n_illegitimate_snapshot1: 48,
+            n_illegitimate_snapshot2: 48,
+            pages_per_site: (2, 5),
+            tokens_per_page: (25, 60),
+            mimic_fraction: 0.08,
+            refill_only_fraction: 0.15,
+            affiliate_hubs: 3,
+            site_noise_words: 6,
+            drift: 0.5,
+            health_portals: 3,
+        }
+    }
+}
+
+/// The generated web: two labelled snapshots six (virtual) months apart.
+///
+/// # Examples
+///
+/// ```
+/// use pharmaverify_corpus::{CorpusConfig, SyntheticWeb};
+///
+/// let web = SyntheticWeb::generate(&CorpusConfig::small(), 7);
+/// let stats = web.snapshot().stats();
+/// assert_eq!(stats.legitimate, 12);
+/// assert_eq!(stats.illegitimate, 48);
+/// // Deterministic: same seed, same web.
+/// let again = SyntheticWeb::generate(&CorpusConfig::small(), 7);
+/// assert_eq!(again.snapshot().web.len(), web.snapshot().web.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticWeb {
+    snapshot1: Snapshot,
+    snapshot2: Snapshot,
+}
+
+impl SyntheticWeb {
+    /// Generates both snapshots from a single seed.
+    pub fn generate(config: &CorpusConfig, seed: u64) -> Self {
+        let mut meta_rng = SmallRng::seed_from_u64(seed);
+        let legit_meta = legitimate_metadata(config, &mut meta_rng);
+        let illegit_meta1 = illegitimate_metadata(
+            config,
+            config.n_illegitimate_snapshot1,
+            0,
+            &mut meta_rng,
+        );
+        let illegit_meta2 = illegitimate_metadata(
+            config,
+            config.n_illegitimate_snapshot2,
+            config.n_illegitimate_snapshot1,
+            &mut meta_rng,
+        );
+        // One shared long-tail vocabulary for both snapshots: the
+        // language does not change between the two crawls, only the
+        // sites' content does.
+        let noise_pool = vocab::noise_pool(seed);
+        let snapshot1 = build_snapshot(
+            config,
+            "Dataset 1",
+            &legit_meta,
+            &illegit_meta1,
+            &noise_pool,
+            seed ^ 0xD1,
+            0.0,
+        );
+        let snapshot2 = build_snapshot(
+            config,
+            "Dataset 2",
+            &legit_meta,
+            &illegit_meta2,
+            &noise_pool,
+            seed ^ 0xD2,
+            config.drift,
+        );
+        SyntheticWeb {
+            snapshot1,
+            snapshot2,
+        }
+    }
+
+    /// Dataset 1 — the base snapshot of the paper's experiments.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot1
+    }
+
+    /// Dataset 2 — crawled "six months later".
+    pub fn snapshot2(&self) -> &Snapshot {
+        &self.snapshot2
+    }
+}
+
+/// Per-token category mixture: `[shared, store, spam, refill, noise]`.
+type Mixture = [f64; 5];
+
+fn base_mixture(class: SiteClass, profile: SiteProfile) -> Mixture {
+    // Both classes draw from every pool — legitimate pharmacies also sell
+    // the spam-listed drugs and illegitimate ones imitate store-presence
+    // language — so no single token is a shibboleth; only the frequency
+    // profile separates the classes, as in the real data (§6.3.1).
+    // Mimic outliers start from the *legitimate* profile; their graded
+    // spam bump is added per site in [`site_mixture`].
+    match (class, profile) {
+        (SiteClass::Legitimate, SiteProfile::RefillOnly) => [0.35, 0.06, 0.02, 0.12, 0.45],
+        (SiteClass::Legitimate, _) | (SiteClass::Illegitimate, SiteProfile::MimicOutlier) => {
+            [0.43, 0.28, 0.07, 0.06, 0.16]
+        }
+        (SiteClass::Illegitimate, _) => [0.36, 0.12, 0.30, 0.04, 0.18],
+    }
+}
+
+/// Site-level heterogeneity: each category weight is scaled by
+/// 2^U(−J, J), then the mixture is renormalized. This is what keeps the
+/// class clouds from separating perfectly at large term counts — sites of
+/// the same class differ in emphasis, as real storefronts do.
+const MIXTURE_JITTER_LOG2: f64 = 0.45;
+
+fn site_mixture(class: SiteClass, profile: SiteProfile, rng: &mut SmallRng) -> Mixture {
+    let mut m = base_mixture(class, profile);
+    for w in &mut m {
+        if *w > 0.0 {
+            *w *= (rng.gen_range(-MIXTURE_JITTER_LOG2..MIXTURE_JITTER_LOG2)).exp2();
+        }
+    }
+    if profile == SiteProfile::MimicOutlier {
+        // Graded camouflage: mimics carry a small but non-zero spam bump —
+        // enough for a discriminative model with many terms, hard for a
+        // subsampled document or a biased model.
+        let extra = rng.gen_range(0.04..0.12);
+        m[0] = (m[0] - extra).max(0.01);
+        m[2] += extra;
+    }
+    let total: f64 = m.iter().sum();
+    for w in &mut m {
+        *w /= total;
+    }
+    m
+}
+
+struct SiteMeta {
+    domain: String,
+    class: SiteClass,
+    profile: SiteProfile,
+    /// Indices (into the legitimate metadata list) of partner pharmacies
+    /// this site links to. Only populated for standard legitimate sites.
+    partners: Vec<usize>,
+}
+
+fn legitimate_metadata(config: &CorpusConfig, rng: &mut SmallRng) -> Vec<SiteMeta> {
+    let n = config.n_legitimate;
+    let n_refill = ((n as f64) * config.refill_only_fraction).round() as usize;
+    let mut profiles: Vec<SiteProfile> = (0..n)
+        .map(|i| {
+            if i < n_refill {
+                SiteProfile::RefillOnly
+            } else {
+                SiteProfile::Standard
+            }
+        })
+        .collect();
+    profiles.shuffle(rng);
+    let mut metas: Vec<SiteMeta> = profiles
+        .into_iter()
+        .enumerate()
+        .map(|(i, profile)| SiteMeta {
+            // Domain names are neutral pseudo-words for *both* classes:
+            // a class-revealing name would leak the label into the page
+            // titles and headings that echo the domain.
+            domain: format!("{}{}.com", vocab::pseudo_word(rng), i),
+            class: SiteClass::Legitimate,
+            profile,
+            partners: Vec::new(),
+        })
+        .collect();
+    // Standard legitimate pharmacies cross-link ("verified partner"
+    // listings), which is what lets TrustRank reach unseen legitimate
+    // sites. Refill-only sites stay isolated.
+    let standard: Vec<usize> = metas
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.profile == SiteProfile::Standard)
+        .map(|(i, _)| i)
+        .collect();
+    for &i in &standard {
+        if standard.len() < 2 || rng.gen_bool(0.10) {
+            continue; // a minority of legitimate sites has no partners
+        }
+        let k = rng.gen_range(2..=4.min(standard.len() - 1));
+        let mut choices: Vec<usize> = standard.iter().copied().filter(|&j| j != i).collect();
+        choices.shuffle(rng);
+        choices.truncate(k);
+        metas[i].partners = choices;
+    }
+    metas
+}
+
+fn illegitimate_metadata(
+    config: &CorpusConfig,
+    count: usize,
+    domain_offset: usize,
+    rng: &mut SmallRng,
+) -> Vec<SiteMeta> {
+    let n_hubs = config.affiliate_hubs.min(count);
+    let n_mimic = ((count as f64) * config.mimic_fraction).round() as usize;
+    let mut profiles: Vec<SiteProfile> = (0..count)
+        .map(|i| {
+            if i < n_hubs {
+                SiteProfile::AffiliateHub
+            } else if i < n_hubs + n_mimic {
+                SiteProfile::MimicOutlier
+            } else {
+                SiteProfile::Standard
+            }
+        })
+        .collect();
+    // Keep hubs at fixed positions (their domains are link targets) but
+    // shuffle mimic/standard assignment.
+    profiles[n_hubs..].shuffle(rng);
+    profiles
+        .into_iter()
+        .enumerate()
+        .map(|(i, profile)| {
+            let idx = domain_offset + i;
+            SiteMeta {
+                // Same neutral naming scheme as the legitimate sites; the
+                // `x` infix keeps the two snapshots' domains disjoint from
+                // the legitimate namespace.
+                domain: format!("{}x{idx}.com", vocab::pseudo_word(rng)),
+                class: SiteClass::Illegitimate,
+                profile,
+                partners: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// Renders the non-pharmacy health portals: directory-style pages of
+/// health content linking to a sample of (standard) legitimate pharmacies
+/// and to trusted institutions. Returns the portal domains.
+/// Deterministic portal domain names, needed *before* pharmacy pages are
+/// rendered so that legitimate sites can link to the portals (which is
+/// what lets trust flow seed → portal → unseen pharmacy).
+fn portal_domains(config: &CorpusConfig, seed: u64) -> Vec<String> {
+    (0..config.health_portals)
+        .map(|p| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x9047A1 ^ ((p as u64) << 20));
+            format!("{}health{p}.org", vocab::pseudo_word(&mut rng))
+        })
+        .collect()
+}
+
+fn render_portals(
+    config: &CorpusConfig,
+    legit: &[SiteMeta],
+    domains: &[String],
+    noise_pool: &[String],
+    seed: u64,
+    web: &mut InMemoryWeb,
+) {
+    let standard: Vec<&SiteMeta> = legit
+        .iter()
+        .filter(|m| m.profile == SiteProfile::Standard)
+        .collect();
+    for (p, domain) in domains.iter().enumerate() {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x90_47_A2 ^ ((p as u64) << 20));
+        // Portals write editorial health content: shared vocabulary plus
+        // long-tail noise, no storefront or spam language.
+        let mixture: Mixture = [0.70, 0.05, 0.0, 0.0, 0.25];
+        let noise: Vec<String> = (0..config.site_noise_words.max(1))
+            .map(|_| noise_pool[rng.gen_range(0..noise_pool.len())].clone())
+            .collect();
+        let mut listed: Vec<&str> = Vec::new();
+        if !standard.is_empty() {
+            let count = rng.gen_range(3..=8.min(standard.len()));
+            for _ in 0..count {
+                listed.push(standard[rng.gen_range(0..standard.len())].domain.as_str());
+            }
+            listed.sort_unstable();
+            listed.dedup();
+        }
+        let mut front = format!(
+            "<html><head><title>{domain}</title></head><body><h1>{domain}</h1>\n"
+        );
+        let tokens = rng.gen_range(config.tokens_per_page.0..=config.tokens_per_page.1);
+        front.push_str(&format!(
+            "<p>{}</p>\n",
+            paragraph(&mixture, &noise, None, 0.0, tokens, &mut rng)
+        ));
+        for pharmacy in &listed {
+            front.push_str(&format!(
+                "<a href=\"http://{pharmacy}/\">verified pharmacy listing</a>\n"
+            ));
+        }
+        for trusted in ["fda.gov", "nih.gov", "cdc.gov"] {
+            if rng.gen_bool(0.6) {
+                front.push_str(&format!(
+                    "<a href=\"http://{trusted}/\">resource</a>\n"
+                ));
+            }
+        }
+        front.push_str("</body></html>");
+        web.add_page(&format!("http://{domain}/"), front);
+    }
+}
+
+fn build_snapshot(
+    config: &CorpusConfig,
+    name: &str,
+    legit: &[SiteMeta],
+    illegit: &[SiteMeta],
+    noise_pool: &[String],
+    seed: u64,
+    drift: f64,
+) -> Snapshot {
+    let mut web = InMemoryWeb::new();
+    let mut sites = Vec::with_capacity(legit.len() + illegit.len());
+    let portals = portal_domains(config, seed);
+    let hub_domains: Vec<&str> = illegit
+        .iter()
+        .filter(|m| m.profile == SiteProfile::AffiliateHub)
+        .map(|m| m.domain.as_str())
+        .collect();
+    for (i, meta) in legit.iter().chain(illegit.iter()).enumerate() {
+        let mut rng = SmallRng::seed_from_u64(seed ^ ((i as u64) << 16));
+        render_site(
+            config,
+            meta,
+            legit,
+            &hub_domains,
+            &portals,
+            noise_pool,
+            drift,
+            &mut rng,
+            &mut web,
+        );
+        sites.push(PharmacySite {
+            domain: meta.domain.clone(),
+            class: meta.class,
+            profile: meta.profile,
+            seed_url: format!("http://{}/", meta.domain),
+        });
+    }
+    render_portals(config, legit, &portals, noise_pool, seed, &mut web);
+    Snapshot {
+        name: name.to_string(),
+        sites,
+        portals,
+        web,
+    }
+}
+
+/// Keyword stuffing: a handful of trust-language words repeated at a
+/// fixed rate — a common pattern on real illegitimate storefronts. It
+/// specifically defeats classifiers that double-count correlated evidence
+/// (naive Bayes treats each repetition as independent proof of
+/// legitimacy) while leaving the overall frequency profile detectable by
+/// margin-based models.
+struct Stuffing {
+    words: Vec<&'static str>,
+    rate: f64,
+}
+
+fn maybe_stuffing(meta: &SiteMeta, rng: &mut SmallRng) -> Option<Stuffing> {
+    if meta.class != SiteClass::Illegitimate
+        || meta.profile == SiteProfile::MimicOutlier
+        || !rng.gen_bool(0.3)
+    {
+        return None;
+    }
+    let count = rng.gen_range(2..=4);
+    let words = (0..count)
+        .map(|_| vocab::LEGITIMATE_STORE[rng.gen_range(0..vocab::LEGITIMATE_STORE.len())])
+        .collect();
+    Some(Stuffing {
+        words,
+        rate: rng.gen_range(0.10..0.22),
+    })
+}
+
+fn sample_token<'a>(
+    mixture: &Mixture,
+    noise: &'a [String],
+    drift: f64,
+    rng: &mut SmallRng,
+) -> &'a str
+where
+{
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (cat, &w) in mixture.iter().enumerate() {
+        acc += w;
+        if u <= acc {
+            return match cat {
+                0 => vocab::zipf_sample(vocab::SHARED_HEALTH, rng),
+                1 => vocab::zipf_sample(vocab::LEGITIMATE_STORE, rng),
+                2 => {
+                    if drift > 0.0 && rng.gen_bool(drift) {
+                        vocab::zipf_sample(vocab::DRIFT_SPAM, rng)
+                    } else {
+                        vocab::zipf_sample(vocab::ILLEGITIMATE_SPAM, rng)
+                    }
+                }
+                3 => vocab::zipf_sample(vocab::REFILL_ONLY, rng),
+                _ => {
+                    let idx = rng.gen_range(0..noise.len());
+                    &noise[idx]
+                }
+            };
+        }
+    }
+    vocab::zipf_sample(vocab::SHARED_HEALTH, rng)
+}
+
+fn paragraph(
+    mixture: &Mixture,
+    noise: &[String],
+    stuffing: Option<&Stuffing>,
+    drift: f64,
+    tokens: usize,
+    rng: &mut SmallRng,
+) -> String {
+    let mut text = String::with_capacity(tokens * 8);
+    for t in 0..tokens {
+        if t > 0 {
+            text.push(' ');
+        }
+        let word = match stuffing {
+            Some(stuff) if rng.gen_bool(stuff.rate) => {
+                stuff.words[rng.gen_range(0..stuff.words.len())]
+            }
+            _ => sample_token(mixture, noise, drift, rng),
+        };
+        text.push_str(word);
+    }
+    text
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_site(
+    config: &CorpusConfig,
+    meta: &SiteMeta,
+    legit: &[SiteMeta],
+    hub_domains: &[&str],
+    portal_domains: &[String],
+    noise_pool: &[String],
+    drift: f64,
+    rng: &mut SmallRng,
+    web: &mut InMemoryWeb,
+) {
+    let mixture = site_mixture(meta.class, meta.profile, rng);
+    // Each site's filler vocabulary is a sample of the shared long-tail
+    // pool (not a private invention — see `vocab::noise_pool`).
+    let noise: Vec<String> = (0..config.site_noise_words.max(1))
+        .map(|_| noise_pool[rng.gen_range(0..noise_pool.len())].clone())
+        .collect();
+    let stuffing = maybe_stuffing(meta, rng);
+    let n_pages = if meta.profile == SiteProfile::RefillOnly {
+        rng.gen_range(config.pages_per_site.0..=(config.pages_per_site.0 + 1))
+    } else {
+        rng.gen_range(config.pages_per_site.0..=config.pages_per_site.1)
+    };
+    let mut outbound = outbound_targets(meta, legit, hub_domains, rng);
+    // Standard legitimate pharmacies often link to health portals
+    // ("resources" pages); this is the forward half of the two-hop trust
+    // path the Section 7 extension exploits.
+    if meta.class == SiteClass::Legitimate
+        && meta.profile == SiteProfile::Standard
+        && !portal_domains.is_empty()
+        && rng.gen_bool(0.4)
+    {
+        outbound.push(portal_domains[rng.gen_range(0..portal_domains.len())].clone());
+        outbound.sort_unstable();
+        outbound.dedup();
+    }
+
+    // Front page: navigation + a share of the outbound links.
+    let mut front = String::new();
+    front.push_str(&format!(
+        "<html><head><title>{}</title></head><body><h1>{}</h1>\n",
+        meta.domain, meta.domain
+    ));
+    for p in 1..n_pages {
+        front.push_str(&format!("<a href=\"/page{p}.html\">section {p}</a>\n"));
+    }
+    let tokens = rng.gen_range(config.tokens_per_page.0..=config.tokens_per_page.1);
+    front.push_str(&format!(
+        "<p>{}</p>\n",
+        paragraph(&mixture, &noise, stuffing.as_ref(), drift, tokens, rng)
+    ));
+    // Generic anchor text: the *link structure* is the network signal;
+    // spelling the target domain out in the anchor would copy that signal
+    // into the text features, which the paper treats as separate.
+    for target in &outbound {
+        front.push_str(&format!("<a href=\"http://{target}/\">partner site</a>\n"));
+    }
+    front.push_str("</body></html>");
+    web.add_page(&format!("http://{}/", meta.domain), front);
+
+    // Inner pages: text plus occasional repeated outbound links.
+    for p in 1..n_pages {
+        let mut body = String::new();
+        body.push_str(&format!(
+            "<html><body><h2>{} section {p}</h2>\n<a href=\"/\">home</a>\n",
+            meta.domain
+        ));
+        let tokens = rng.gen_range(config.tokens_per_page.0..=config.tokens_per_page.1);
+        body.push_str(&format!(
+            "<p>{}</p>\n",
+            paragraph(&mixture, &noise, stuffing.as_ref(), drift, tokens, rng)
+        ));
+        if !outbound.is_empty() && rng.gen_bool(0.3) {
+            let target = &outbound[rng.gen_range(0..outbound.len())];
+            body.push_str(&format!("<a href=\"http://{target}/\">partner site</a>\n"));
+        }
+        body.push_str("</body></html>");
+        web.add_page(&format!("http://{}/page{p}.html", meta.domain), body);
+    }
+}
+
+fn outbound_targets(
+    meta: &SiteMeta,
+    legit: &[SiteMeta],
+    hub_domains: &[&str],
+    rng: &mut SmallRng,
+) -> Vec<String> {
+    let mut targets: Vec<String> = Vec::new();
+    match (meta.class, meta.profile) {
+        (SiteClass::Legitimate, SiteProfile::RefillOnly) => {
+            // Thin storefronts: at most one or two generic targets.
+            for _ in 0..rng.gen_range(0..=2) {
+                targets.push(vocab::zipf_sample(vocab::LEGITIMATE_TARGETS, rng).to_string());
+            }
+        }
+        (SiteClass::Legitimate, _) => {
+            for _ in 0..rng.gen_range(3..=7) {
+                targets.push(vocab::zipf_sample(vocab::LEGITIMATE_TARGETS, rng).to_string());
+            }
+            for &p in &meta.partners {
+                targets.push(legit[p].domain.clone());
+            }
+        }
+        (SiteClass::Illegitimate, SiteProfile::MimicOutlier) => {
+            // Outside any affiliate network: a couple of neutral links.
+            const NEUTRAL: &[&str] = &["google.com", "wikipedia.org", "drugs.com"];
+            for _ in 0..rng.gen_range(1..=3) {
+                targets.push(vocab::zipf_sample(NEUTRAL, rng).to_string());
+            }
+        }
+        (SiteClass::Illegitimate, _) => {
+            for _ in 0..rng.gen_range(2..=6) {
+                targets.push(vocab::zipf_sample(vocab::ILLEGITIMATE_TARGETS, rng).to_string());
+            }
+            if !hub_domains.is_empty() && meta.profile != SiteProfile::AffiliateHub {
+                for _ in 0..rng.gen_range(1..=3.min(hub_domains.len())) {
+                    targets.push(hub_domains[rng.gen_range(0..hub_domains.len())].to_string());
+                }
+            }
+        }
+    }
+    targets.sort_unstable();
+    targets.dedup();
+    // Never link to yourself.
+    targets.retain(|t| t != &meta.domain);
+    targets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pharmaverify_crawl::{CrawlConfig, Crawler, Url, WebHost};
+
+    fn web() -> SyntheticWeb {
+        SyntheticWeb::generate(&CorpusConfig::small(), 42)
+    }
+
+    #[test]
+    fn snapshot_sizes_match_config() {
+        let w = web();
+        let s1 = w.snapshot().stats();
+        assert_eq!(s1.legitimate, 12);
+        assert_eq!(s1.illegitimate, 48);
+        assert_eq!(s1.total, 60);
+        let s2 = w.snapshot2().stats();
+        assert_eq!(s2.legitimate, 12);
+        assert_eq!(s2.illegitimate, 48);
+    }
+
+    #[test]
+    fn paper_config_matches_table_1() {
+        let c = CorpusConfig::paper();
+        assert_eq!(c.n_legitimate, 167);
+        assert_eq!(c.n_illegitimate_snapshot1, 1292);
+        assert_eq!(c.n_illegitimate_snapshot2, 1275);
+    }
+
+    #[test]
+    fn legitimate_domains_shared_between_snapshots() {
+        let w = web();
+        let legit1: Vec<&String> = w
+            .snapshot()
+            .sites
+            .iter()
+            .filter(|s| s.label())
+            .map(|s| &s.domain)
+            .collect();
+        let legit2: Vec<&String> = w
+            .snapshot2()
+            .sites
+            .iter()
+            .filter(|s| s.label())
+            .map(|s| &s.domain)
+            .collect();
+        assert_eq!(legit1, legit2);
+    }
+
+    #[test]
+    fn illegitimate_domains_disjoint_between_snapshots() {
+        let w = web();
+        let illegit1: std::collections::HashSet<&String> = w
+            .snapshot()
+            .sites
+            .iter()
+            .filter(|s| !s.label())
+            .map(|s| &s.domain)
+            .collect();
+        for site in w.snapshot2().sites.iter().filter(|s| !s.label()) {
+            assert!(
+                !illegit1.contains(&site.domain),
+                "{} appears in both snapshots",
+                site.domain
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SyntheticWeb::generate(&CorpusConfig::small(), 7);
+        let b = SyntheticWeb::generate(&CorpusConfig::small(), 7);
+        for ((ua, ha), (ub, hb)) in a.snapshot().web.iter().zip(b.snapshot().web.iter()) {
+            assert_eq!(ua, ub);
+            assert_eq!(ha, hb);
+        }
+        let c = SyntheticWeb::generate(&CorpusConfig::small(), 8);
+        assert_ne!(
+            a.snapshot().web.iter().next().map(|(_, h)| h.to_string()),
+            c.snapshot().web.iter().next().map(|(_, h)| h.to_string())
+        );
+    }
+
+    #[test]
+    fn sites_are_crawlable() {
+        let w = web();
+        let snap = w.snapshot();
+        let crawler = Crawler::new(CrawlConfig::default());
+        let site = &snap.sites[0];
+        let result = crawler.crawl(&snap.web, &Url::parse(&site.seed_url).unwrap());
+        assert!(result.page_count() >= 2, "crawled {} pages", result.page_count());
+        assert_eq!(result.dead_links, 0, "no dead internal links");
+    }
+
+    #[test]
+    fn front_page_exists_for_every_site() {
+        let w = web();
+        for site in &w.snapshot().sites {
+            let url = Url::parse(&site.seed_url).unwrap();
+            assert!(
+                w.snapshot().web.fetch(&url).is_some(),
+                "missing front page for {}",
+                site.domain
+            );
+        }
+    }
+
+    #[test]
+    fn classes_use_different_vocabulary() {
+        let w = web();
+        let snap = w.snapshot();
+        let crawler = Crawler::new(CrawlConfig::default());
+        let mut spam_legit = 0usize;
+        let mut spam_illegit = 0usize;
+        for site in &snap.sites {
+            if site.profile != SiteProfile::Standard {
+                continue;
+            }
+            let crawl = crawler.crawl(&snap.web, &Url::parse(&site.seed_url).unwrap());
+            let text = pharmaverify_crawl::summarize(&crawl);
+            let viagra = text.matches("viagra").count();
+            if site.label() {
+                spam_legit += viagra;
+            } else {
+                spam_illegit += viagra;
+            }
+        }
+        assert!(
+            spam_illegit > spam_legit * 5,
+            "spam terms must dominate illegitimate sites: {spam_illegit} vs {spam_legit}"
+        );
+    }
+
+    #[test]
+    fn affiliate_hubs_receive_links() {
+        let w = web();
+        let snap = w.snapshot();
+        let hubs: std::collections::HashSet<&str> = snap
+            .sites
+            .iter()
+            .filter(|s| s.profile == SiteProfile::AffiliateHub)
+            .map(|s| s.domain.as_str())
+            .collect();
+        assert!(!hubs.is_empty());
+        let crawler = Crawler::new(CrawlConfig::default());
+        let mut hub_inlinks = 0usize;
+        for site in &snap.sites {
+            let crawl = crawler.crawl(&snap.web, &Url::parse(&site.seed_url).unwrap());
+            for (domain, _) in crawl.outbound_endpoints() {
+                if hubs.contains(domain.as_str()) {
+                    hub_inlinks += 1;
+                }
+            }
+        }
+        assert!(hub_inlinks > 0, "affiliate hubs must be linked to");
+    }
+
+    #[test]
+    fn oracle_labels_by_domain() {
+        let w = web();
+        let snap = w.snapshot();
+        let legit = snap.sites.iter().find(|s| s.label()).unwrap();
+        assert_eq!(snap.oracle(&legit.domain), Some(true));
+        assert_eq!(snap.oracle("not-a-site.com"), None);
+    }
+
+    #[test]
+    fn profiles_present_in_expected_fractions() {
+        let w = SyntheticWeb::generate(&CorpusConfig::medium(), 5);
+        let snap = w.snapshot();
+        let mimic = snap
+            .sites
+            .iter()
+            .filter(|s| s.profile == SiteProfile::MimicOutlier)
+            .count();
+        let refill = snap
+            .sites
+            .iter()
+            .filter(|s| s.profile == SiteProfile::RefillOnly)
+            .count();
+        let hubs = snap
+            .sites
+            .iter()
+            .filter(|s| s.profile == SiteProfile::AffiliateHub)
+            .count();
+        assert_eq!(hubs, 6);
+        assert!(mimic >= 10, "mimic = {mimic}");
+        assert!(refill >= 3, "refill = {refill}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic pharmacy-web generator — the data substitute for the paper's
+//! proprietary "PharmaVerComp" ground truth.
+//!
+//! The paper's evaluation (§6.1) uses two snapshots of a commercial
+//! verifier's database, crawled six months apart: 167 legitimate
+//! pharmacies in both, 1292 illegitimate pharmacies in snapshot 1 and a
+//! *disjoint* 1275 in snapshot 2. Neither the labels nor the crawled HTML
+//! are public, so this crate generates a web with the same *statistical
+//! structure*:
+//!
+//! * class-conditional text: illegitimate sites over-use drug-spam terms
+//!   ("viagra", "cialis", "no prescription" — §6.3.1), legitimate sites
+//!   carry broader health content and store-presence vocabulary (§2.1);
+//! * class-conditional links: the top-10 outbound targets per class follow
+//!   Table 11, and illegitimate sites form affiliate hub networks
+//!   (§6.3.2);
+//! * the outlier populations of §6.4: illegitimate sites that mimic
+//!   legitimate text and sit outside affiliate networks, and legitimate
+//!   refill-only pharmacies with thin content;
+//! * six-month drift: snapshot 2 keeps the legitimate domains, swaps in
+//!   fresh illegitimate domains, and shifts the illegitimate vocabulary
+//!   mixture (new spam terms unseen in snapshot 1), which reproduces the
+//!   Old-New degradation pattern of Tables 16–17.
+//!
+//! Everything is driven by a single seed: the same `(config, seed)` pair
+//! regenerates the same web, byte for byte.
+
+pub mod generator;
+pub mod persist;
+pub mod site;
+pub mod snapshot;
+pub mod vocabulary;
+
+pub use generator::{CorpusConfig, SyntheticWeb};
+pub use persist::{load_snapshot, save_snapshot, PersistError};
+pub use site::{PharmacySite, SiteClass, SiteProfile};
+pub use snapshot::{Snapshot, SnapshotStats};

@@ -1,0 +1,131 @@
+//! Snapshot persistence.
+//!
+//! Snapshots serialize to a single JSON document (site metadata plus every
+//! page's URL and HTML) so that a generated dataset can be archived,
+//! diffed between runs, and reloaded without regenerating.
+
+use crate::site::PharmacySite;
+use crate::snapshot::Snapshot;
+use pharmaverify_crawl::InMemoryWeb;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The on-disk form of a [`Snapshot`].
+#[derive(Debug, Serialize, Deserialize)]
+struct SnapshotFile {
+    name: String,
+    sites: Vec<PharmacySite>,
+    #[serde(default)]
+    portals: Vec<String>,
+    pages: Vec<(String, String)>,
+}
+
+/// Errors from snapshot persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed snapshot file.
+    Format(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            PersistError::Format(e) => write!(f, "snapshot format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Format(e)
+    }
+}
+
+/// Writes `snapshot` to `path` as JSON.
+pub fn save_snapshot(snapshot: &Snapshot, path: &Path) -> Result<(), PersistError> {
+    let file = SnapshotFile {
+        name: snapshot.name.clone(),
+        sites: snapshot.sites.clone(),
+        portals: snapshot.portals.clone(),
+        pages: snapshot
+            .web
+            .iter()
+            .map(|(u, h)| (u.to_string(), h.to_string()))
+            .collect(),
+    };
+    let json = serde_json::to_string(&file)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a snapshot back from `path`.
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, PersistError> {
+    let json = fs::read_to_string(path)?;
+    let file: SnapshotFile = serde_json::from_str(&json)?;
+    let mut web = InMemoryWeb::new();
+    for (url, html) in file.pages {
+        web.add_page(&url, html);
+    }
+    Ok(Snapshot {
+        name: file.name,
+        sites: file.sites,
+        portals: file.portals,
+        web,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, SyntheticWeb};
+
+    #[test]
+    fn save_load_round_trip() {
+        let web = SyntheticWeb::generate(&CorpusConfig::small(), 3);
+        let snap = web.snapshot();
+        let dir = std::env::temp_dir().join("pharmaverify-persist-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        save_snapshot(snap, &path).unwrap();
+        let back = load_snapshot(&path).unwrap();
+        assert_eq!(back.name, snap.name);
+        assert_eq!(back.sites, snap.sites);
+        assert_eq!(back.portals, snap.portals);
+        assert_eq!(back.web.len(), snap.web.len());
+        for ((ua, ha), (ub, hb)) in back.web.iter().zip(snap.web.iter()) {
+            assert_eq!(ua, ub);
+            assert_eq!(ha, hb);
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = load_snapshot(Path::new("/nonexistent/nope.json")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn load_garbage_is_format_error() {
+        let dir = std::env::temp_dir().join("pharmaverify-persist-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.json");
+        fs::write(&path, "not json at all").unwrap();
+        let err = load_snapshot(&path).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)));
+        fs::remove_file(&path).unwrap();
+    }
+}

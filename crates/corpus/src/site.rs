@@ -1,0 +1,105 @@
+//! Pharmacy-site metadata.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Ground-truth class of a pharmacy (the oracle `O` of §3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteClass {
+    /// Adheres to regulations: the positive class.
+    Legitimate,
+    /// Violates regulations or defrauds: the negative class.
+    Illegitimate,
+}
+
+impl SiteClass {
+    /// `true` for the positive (legitimate) class — the label convention
+    /// of the learning substrate.
+    pub fn is_legitimate(self) -> bool {
+        matches!(self, SiteClass::Legitimate)
+    }
+}
+
+impl fmt::Display for SiteClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SiteClass::Legitimate => "legitimate",
+            SiteClass::Illegitimate => "illegitimate",
+        })
+    }
+}
+
+/// Behavioural profile of a generated site. Profiles model the
+/// sub-populations the paper's outlier analysis (§6.4) identified; they
+/// are generation-time detail, never exposed to the classifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SiteProfile {
+    /// Typical member of its class.
+    Standard,
+    /// Illegitimate site that mimics legitimate text and stays out of
+    /// affiliate networks — the illegitimate outliers that "fool" the
+    /// system.
+    MimicOutlier,
+    /// Legitimate refill-only pharmacy with thin content — the legitimate
+    /// outliers at the bottom of the ranking.
+    RefillOnly,
+    /// Central site of an illegitimate affiliate network; other
+    /// illegitimate pharmacies link to it.
+    AffiliateHub,
+}
+
+/// One labelled pharmacy in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PharmacySite {
+    /// Second-level domain (e.g. `cheap-pills17.com`).
+    pub domain: String,
+    /// Ground-truth class.
+    pub class: SiteClass,
+    /// Generation profile.
+    pub profile: SiteProfile,
+    /// URL the crawler starts from.
+    pub seed_url: String,
+}
+
+impl PharmacySite {
+    /// The oracle label: `true` = legitimate.
+    pub fn label(&self) -> bool {
+        self.class.is_legitimate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_predicates() {
+        assert!(SiteClass::Legitimate.is_legitimate());
+        assert!(!SiteClass::Illegitimate.is_legitimate());
+        assert_eq!(SiteClass::Legitimate.to_string(), "legitimate");
+    }
+
+    #[test]
+    fn site_label_follows_class() {
+        let site = PharmacySite {
+            domain: "x.com".into(),
+            class: SiteClass::Illegitimate,
+            profile: SiteProfile::Standard,
+            seed_url: "http://x.com/".into(),
+        };
+        assert!(!site.label());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let site = PharmacySite {
+            domain: "rx-hub1.com".into(),
+            class: SiteClass::Illegitimate,
+            profile: SiteProfile::AffiliateHub,
+            seed_url: "http://rx-hub1.com/".into(),
+        };
+        let json = serde_json::to_string(&site).unwrap();
+        let back: PharmacySite = serde_json::from_str(&json).unwrap();
+        assert_eq!(site, back);
+    }
+}

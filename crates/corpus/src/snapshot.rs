@@ -1,0 +1,131 @@
+//! A labelled crawlable snapshot — the synthetic equivalent of one
+//! "PharmaVerComp" database instance (Table 1 of the paper).
+
+use crate::site::PharmacySite;
+use pharmaverify_crawl::InMemoryWeb;
+use std::collections::HashMap;
+
+/// One dataset snapshot: labelled pharmacies plus the web they live in.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Display name ("Dataset 1" / "Dataset 2").
+    pub name: String,
+    /// Labelled pharmacies, in generation order.
+    pub sites: Vec<PharmacySite>,
+    /// Non-pharmacy health portals that link *to* pharmacies. The paper's
+    /// experiments ignore them (its graph only has pharmacy out-links);
+    /// they exist to drive the §7 future-work extension ("include in our
+    /// network analysis non pharmacy websites that point to pharmacies").
+    pub portals: Vec<String>,
+    /// The crawlable web (pharmacy and portal pages; other external
+    /// domains are link targets, not crawl targets).
+    pub web: InMemoryWeb,
+}
+
+/// Row of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Total pharmacies.
+    pub total: usize,
+    /// Legitimate pharmacies.
+    pub legitimate: usize,
+    /// Illegitimate pharmacies.
+    pub illegitimate: usize,
+}
+
+impl SnapshotStats {
+    /// Legitimate share, in percent.
+    pub fn legitimate_percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.legitimate as f64 / self.total as f64
+        }
+    }
+}
+
+impl Snapshot {
+    /// Class counts (Table 1).
+    pub fn stats(&self) -> SnapshotStats {
+        let legitimate = self.sites.iter().filter(|s| s.label()).count();
+        SnapshotStats {
+            total: self.sites.len(),
+            legitimate,
+            illegitimate: self.sites.len() - legitimate,
+        }
+    }
+
+    /// Oracle labels in site order (`true` = legitimate).
+    pub fn labels(&self) -> Vec<bool> {
+        self.sites.iter().map(PharmacySite::label).collect()
+    }
+
+    /// The oracle function `O` (§3.2): the label of a pharmacy domain, if
+    /// it is in this snapshot.
+    pub fn oracle(&self, domain: &str) -> Option<bool> {
+        self.sites
+            .iter()
+            .find(|s| s.domain == domain)
+            .map(PharmacySite::label)
+    }
+
+    /// Domain → site index lookup table.
+    pub fn domain_index(&self) -> HashMap<&str, usize> {
+        self.sites
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.domain.as_str(), i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, SyntheticWeb};
+
+    fn snapshot() -> Snapshot {
+        SyntheticWeb::generate(&CorpusConfig::small(), 3)
+            .snapshot()
+            .clone()
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let snap = snapshot();
+        let stats = snap.stats();
+        assert_eq!(stats.total, stats.legitimate + stats.illegitimate);
+        assert!((stats.legitimate_percent() - 20.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn labels_match_sites() {
+        let snap = snapshot();
+        let labels = snap.labels();
+        assert_eq!(labels.len(), snap.sites.len());
+        for (site, &label) in snap.sites.iter().zip(&labels) {
+            assert_eq!(site.label(), label);
+        }
+    }
+
+    #[test]
+    fn oracle_and_index_agree() {
+        let snap = snapshot();
+        let index = snap.domain_index();
+        for (i, site) in snap.sites.iter().enumerate() {
+            assert_eq!(index[site.domain.as_str()], i);
+            assert_eq!(snap.oracle(&site.domain), Some(site.label()));
+        }
+        assert_eq!(snap.oracle("unknown.example"), None);
+    }
+
+    #[test]
+    fn empty_snapshot_percent_is_zero() {
+        let stats = SnapshotStats {
+            total: 0,
+            legitimate: 0,
+            illegitimate: 0,
+        };
+        assert_eq!(stats.legitimate_percent(), 0.0);
+    }
+}

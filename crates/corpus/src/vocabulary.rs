@@ -1,0 +1,203 @@
+//! Class-conditional vocabularies.
+//!
+//! Word pools modelled on the signals the paper reports: illegitimate
+//! pharmacies over-use hard-sell drug-spam vocabulary, legitimate ones
+//! carry broader health content and "store presence" features (contact,
+//! policies, insurance, verification seals — §2.1, §6.3.1). A separate
+//! *drift* pool simulates the spam vocabulary churn between the two
+//! crawls. Within each pool, sampling is Zipf-weighted so term-frequency
+//! profiles look like natural language.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Health-domain vocabulary shared by both classes.
+pub const SHARED_HEALTH: &[&str] = &[
+    "medication", "dosage", "tablet", "capsule", "treatment", "symptom", "doctor", "patient",
+    "health", "medicine", "drug", "therapy", "clinical", "generic", "brand", "pain", "relief",
+    "allergy", "infection", "antibiotic", "blood", "pressure", "diabetes", "heart", "cholesterol",
+    "vitamin", "supplement", "skin", "care", "daily", "effects", "side", "warning", "label",
+    "active", "ingredient", "strength", "oral", "cream", "ointment", "injection", "asthma",
+    "inhaler", "migraine", "arthritis", "depression", "anxiety", "sleep", "insomnia", "thyroid",
+    "hormone", "cancer", "screening", "vaccine", "flu", "cold", "cough", "fever", "nausea",
+    "digestive", "stomach", "liver", "kidney", "chronic", "acute", "condition", "disease",
+    "wellness", "nutrition", "diet", "exercise", "weight", "smoking", "cessation", "first",
+    "aid", "bandage", "thermometer", "monitor", "glucose", "test", "strip", "pediatric",
+    "senior", "pregnancy", "children", "adult", "tablets", "dose", "missed", "overdose",
+    "storage", "expiry", "interactions", "contraindications", "hypertension", "cardiology",
+];
+
+/// Store-presence and trust vocabulary characteristic of legitimate
+/// pharmacies.
+pub const LEGITIMATE_STORE: &[&str] = &[
+    "prescription", "pharmacist", "licensed", "refill", "transfer", "insurance", "copay",
+    "coverage", "medicare", "medicaid", "consultation", "verified", "accredited", "vipps",
+    "seal", "privacy", "policy", "terms", "contact", "address", "phone", "hours", "location",
+    "store", "pickup", "delivery", "account", "profile", "history", "records", "physician",
+    "provider", "network", "formulary", "counseling", "immunization", "flu", "shots",
+    "compounding", "specialty", "faq", "support", "secure", "hipaa", "confidential",
+    "notice", "state", "board", "regulation", "compliance", "registered", "credential",
+];
+
+/// Hard-sell spam vocabulary characteristic of illegitimate pharmacies.
+pub const ILLEGITIMATE_SPAM: &[&str] = &[
+    "viagra", "cialis", "levitra", "cheap", "cheapest", "discount", "bonus", "pills", "free",
+    "shipping", "worldwide", "order", "now", "buy", "online", "without", "prescription",
+    "needed", "required", "overnight", "express", "guaranteed", "lowest", "price", "prices",
+    "offer", "deal", "save", "sale", "bestsellers", "soft", "super", "professional", "generic",
+    "brand", "xanax", "valium", "tramadol", "phentermine", "ambien", "soma", "anonymous",
+    "discreet", "packaging", "visa", "mastercard", "echeck", "wire", "moneyback", "refund",
+    "trial", "pack", "mg", "pill", "per",
+];
+
+/// Spam vocabulary that only appears in the *second* snapshot — the
+/// six-month churn of illegitimate marketing language.
+pub const DRIFT_SPAM: &[&str] = &[
+    "kamagra", "tadalafil", "sildenafil", "vardenafil", "dapoxetine", "modafinil", "bitcoin",
+    "crypto", "telegram", "whatsapp", "stealth", "reship", "vendor", "reviews", "trusted",
+    "original", "quality", "bulk", "wholesale", "coupon", "promo", "code", "flash", "clearance",
+    "megadeal", "hotsale", "instant", "checkout", "cart", "combo",
+];
+
+/// The thin vocabulary of refill-only legitimate pharmacies — the
+/// legitimate *outliers* of §6.4 ("the majority of them simply give the
+/// possibility to refill existing prescriptions").
+pub const REFILL_ONLY: &[&str] = &[
+    "refill", "prescription", "number", "enter", "submit", "ready", "pickup", "notify",
+    "reminder", "autofill", "transfer", "existing", "login", "account", "password",
+];
+
+/// Outbound-link targets of legitimate pharmacies, most-linked first
+/// (Table 11, left column).
+pub const LEGITIMATE_TARGETS: &[&str] = &[
+    "facebook.com", "twitter.com", "fda.gov", "google.com", "youtube.com", "nih.gov",
+    "adobe.com", "cdc.gov", "doubleclick.net", "nabp.net",
+];
+
+/// Outbound-link targets of illegitimate pharmacies, most-linked first
+/// (Table 11, right column). `rxwinners.com` and the med-store domains are
+/// themselves illegitimate pharmacies — the affiliate-network signal.
+pub const ILLEGITIMATE_TARGETS: &[&str] = &[
+    "wikipedia.org", "wordpress.org", "drugs.com", "securebilling-page.com", "rxwinners.com",
+    "google.com", "providesupport.com", "euro-med-store.com", "statcounter.com", "cipla.com",
+];
+
+/// Zipf-weighted sampling from a word pool: word at rank `r` (0-based) is
+/// drawn with probability ∝ 1/(r+1).
+pub fn zipf_sample<'a>(pool: &[&'a str], rng: &mut SmallRng) -> &'a str {
+    debug_assert!(!pool.is_empty());
+    // Inverse-CDF sampling over harmonic weights via linear scan would be
+    // O(n); instead use the standard rejection-free trick: u ~ U(0, H_n),
+    // then find the rank by cumulative harmonic sums. Pools are small
+    // (≤ ~120), so a scan is fast and exact.
+    let h: f64 = (1..=pool.len()).map(|r| 1.0 / r as f64).sum();
+    let mut u = rng.gen_range(0.0..h);
+    for (r, word) in pool.iter().enumerate() {
+        u -= 1.0 / (r + 1) as f64;
+        if u <= 0.0 {
+            return word;
+        }
+    }
+    pool[pool.len() - 1]
+}
+
+/// Size of the shared long-tail noise vocabulary. Sites sample their
+/// filler words from one global pool (as real sites share the language's
+/// long tail) rather than inventing fully private vocabularies — a
+/// private per-site vocabulary would inflate the corpus type count and
+/// distort Laplace smoothing in the multinomial naive Bayes.
+pub const NOISE_POOL_SIZE: usize = 600;
+
+/// The shared long-tail noise pool, generated deterministically from a
+/// seed. Duplicates are filtered, so the pool can be slightly smaller
+/// than [`NOISE_POOL_SIZE`].
+pub fn noise_pool(seed: u64) -> Vec<String> {
+    use rand::SeedableRng;
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7015e);
+    let mut pool: Vec<String> = (0..NOISE_POOL_SIZE).map(|_| pseudo_word(&mut rng)).collect();
+    pool.sort_unstable();
+    pool.dedup();
+    pool
+}
+
+/// Deterministic pseudo-word generator for filler vocabulary (product
+/// names, brand strings): alternating consonant-vowel syllables derived
+/// from the RNG.
+pub fn pseudo_word(rng: &mut SmallRng) -> String {
+    const CONSONANTS: &[u8] = b"bcdfghklmnprstvz";
+    const VOWELS: &[u8] = b"aeiou";
+    let syllables = rng.gen_range(2..=4);
+    let mut word = String::with_capacity(syllables * 2);
+    for _ in 0..syllables {
+        word.push(CONSONANTS[rng.gen_range(0..CONSONANTS.len())] as char);
+        word.push(VOWELS[rng.gen_range(0..VOWELS.len())] as char);
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pools_are_nonempty_and_lowercase() {
+        for pool in [
+            SHARED_HEALTH,
+            LEGITIMATE_STORE,
+            ILLEGITIMATE_SPAM,
+            DRIFT_SPAM,
+            REFILL_ONLY,
+        ] {
+            assert!(!pool.is_empty());
+            for w in pool {
+                assert_eq!(*w, w.to_lowercase(), "{w} must be lowercase");
+                assert!(!w.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn target_lists_match_table_11() {
+        assert_eq!(LEGITIMATE_TARGETS.len(), 10);
+        assert_eq!(ILLEGITIMATE_TARGETS.len(), 10);
+        assert_eq!(LEGITIMATE_TARGETS[2], "fda.gov");
+        assert_eq!(ILLEGITIMATE_TARGETS[0], "wikipedia.org");
+    }
+
+    #[test]
+    fn drift_pool_disjoint_from_snapshot1_spam() {
+        for w in DRIFT_SPAM {
+            assert!(
+                !ILLEGITIMATE_SPAM.contains(w),
+                "{w} must be new in snapshot 2"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_early_ranks() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let pool = &["first", "second", "third", "fourth", "fifth"][..];
+        let mut counts = [0usize; 5];
+        for _ in 0..10_000 {
+            let w = zipf_sample(pool, &mut rng);
+            counts[pool.iter().position(|x| x == &w).unwrap()] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+    }
+
+    #[test]
+    fn pseudo_words_deterministic_and_alphabetic() {
+        let mut a = SmallRng::seed_from_u64(9);
+        let mut b = SmallRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let wa = pseudo_word(&mut a);
+            let wb = pseudo_word(&mut b);
+            assert_eq!(wa, wb);
+            assert!(wa.chars().all(|c| c.is_ascii_lowercase()));
+            assert!(wa.len() >= 4);
+        }
+    }
+}

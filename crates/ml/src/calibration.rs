@@ -1,0 +1,149 @@
+//! Platt scaling: calibrating decision values into probabilities.
+//!
+//! The paper treats the SVM as non-probabilistic and has it contribute a
+//! hard {0, 1} to the ranking score (§5). Weka's SMO optionally fits a
+//! logistic on the decision values (Platt 1999) to emit probabilities;
+//! this module implements that fit so the ranking ablation can compare
+//! hard decisions, raw margins, and calibrated probabilities.
+//!
+//! The model is `P(y = 1 | f) = 1 / (1 + exp(A·f + B))`, fitted by
+//! Newton's method on the regularized log-likelihood with Platt's target
+//! smoothing (`t₊ = (N₊ + 1)/(N₊ + 2)`, `t₋ = 1/(N₋ + 2)`).
+
+/// A fitted Platt scaler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlattScaler {
+    /// Slope `A` (negative when larger decision values mean positive).
+    pub a: f64,
+    /// Intercept `B`.
+    pub b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the sigmoid on `(decision value, label)` pairs.
+    ///
+    /// Returns `None` when either class is absent (the fit is undefined).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn fit(decisions: &[f64], labels: &[bool]) -> Option<Self> {
+        assert_eq!(decisions.len(), labels.len(), "length mismatch");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            return None;
+        }
+        // Platt's smoothed targets.
+        let t_pos = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
+        let t_neg = 1.0 / (n_neg as f64 + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l { t_pos } else { t_neg })
+            .collect();
+
+        let mut a = 0.0_f64;
+        let mut b = ((n_neg as f64 + 1.0) / (n_pos as f64 + 1.0)).ln();
+        const MAX_ITER: usize = 100;
+        const SIGMA: f64 = 1e-12; // Hessian ridge
+        for _ in 0..MAX_ITER {
+            // Gradient and Hessian of the negative log-likelihood.
+            let (mut g_a, mut g_b) = (0.0, 0.0);
+            let (mut h_aa, mut h_ab, mut h_bb) = (SIGMA, 0.0, SIGMA);
+            for (&f, &t) in decisions.iter().zip(&targets) {
+                let z = a * f + b;
+                // p = P(y=1|f) under the current parameters.
+                let p = 1.0 / (1.0 + z.exp());
+                // With p = σ(−z): dp/dz = −p(1−p), so dNLL/dz = t − p and
+                // d²NLL/dz² = p(1−p) (Lin–Weng–Platt formulation).
+                let d1 = t - p;
+                let d2 = p * (1.0 - p);
+                g_a += f * d1;
+                g_b += d1;
+                h_aa += f * f * d2;
+                h_ab += f * d2;
+                h_bb += d2;
+            }
+            if g_a.abs() < 1e-10 && g_b.abs() < 1e-10 {
+                break;
+            }
+            // Solve the 2×2 Newton system.
+            let det = h_aa * h_bb - h_ab * h_ab;
+            if det.abs() < 1e-18 {
+                break;
+            }
+            let da = -(h_bb * g_a - h_ab * g_b) / det;
+            let db = -(h_aa * g_b - h_ab * g_a) / det;
+            a += da;
+            b += db;
+            if da.abs() < 1e-12 && db.abs() < 1e-12 {
+                break;
+            }
+        }
+        Some(PlattScaler { a, b })
+    }
+
+    /// The calibrated probability for a decision value.
+    pub fn calibrate(&self, decision: f64) -> f64 {
+        1.0 / (1.0 + (self.a * decision + self.b).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn separable() -> (Vec<f64>, Vec<bool>) {
+        let decisions = vec![2.0, 1.5, 1.0, 0.5, -0.5, -1.0, -1.5, -2.0];
+        let labels = vec![true, true, true, true, false, false, false, false];
+        (decisions, labels)
+    }
+
+    #[test]
+    fn calibrated_probabilities_are_monotone() {
+        let (d, l) = separable();
+        let scaler = PlattScaler::fit(&d, &l).unwrap();
+        let probs: Vec<f64> = d.iter().map(|&x| scaler.calibrate(x)).collect();
+        for w in probs.windows(2) {
+            assert!(w[0] >= w[1], "calibration must preserve order: {probs:?}");
+        }
+        assert!(probs[0] > 0.5, "strong positive must calibrate high");
+        assert!(probs[7] < 0.5, "strong negative must calibrate low");
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let (d, l) = separable();
+        let scaler = PlattScaler::fit(&d, &l).unwrap();
+        for x in [-100.0, -1.0, 0.0, 1.0, 100.0] {
+            let p = scaler.calibrate(x);
+            assert!((0.0..=1.0).contains(&p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn single_class_returns_none() {
+        assert!(PlattScaler::fit(&[1.0, 2.0], &[true, true]).is_none());
+        assert!(PlattScaler::fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn overlapping_classes_stay_soft() {
+        // Heavy overlap: calibrated probabilities should hug 0.5 rather
+        // than saturate.
+        let decisions = vec![0.1, -0.1, 0.05, -0.05, 0.2, -0.2];
+        let labels = vec![true, false, false, true, true, false];
+        let scaler = PlattScaler::fit(&decisions, &labels).unwrap();
+        let p = scaler.calibrate(0.1);
+        assert!((0.2..=0.8).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn imbalanced_prior_shifts_intercept() {
+        // 1 positive vs 9 negatives at symmetric decisions: the
+        // calibrated probability at 0 must be well below 0.5.
+        let decisions: Vec<f64> = (0..10).map(|i| if i == 0 { 1.0 } else { -1.0 }).collect();
+        let labels: Vec<bool> = (0..10).map(|i| i == 0).collect();
+        let scaler = PlattScaler::fit(&decisions, &labels).unwrap();
+        assert!(scaler.calibrate(0.0) < 0.5);
+    }
+}

@@ -1,0 +1,262 @@
+//! Seeded stratified k-fold cross-validation.
+//!
+//! The paper evaluates every classifier with 3-fold cross-validation
+//! ("two folds were used for training and the third for testing", §6.3.1)
+//! and reports per-fold stability via confidence intervals. Stratification
+//! keeps the 12/88 class ratio in every fold, which matters with only 167
+//! legitimate examples.
+
+use crate::dataset::Dataset;
+use crate::metrics::{ConfidenceInterval, EvalSummary};
+use crate::sampling::Sampling;
+use crate::Learner;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Produces `k` stratified folds: each inner `Vec` holds the *test*
+/// indices of one fold. Every index appears in exactly one fold, and each
+/// fold approximates the global class ratio.
+///
+/// # Panics
+/// Panics if `k < 2` or `k > labels.len()`.
+pub fn stratified_folds(labels: &[bool], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 2, "need at least 2 folds");
+    assert!(k <= labels.len(), "more folds than instances");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut pos: Vec<usize> = (0..labels.len()).filter(|&i| labels[i]).collect();
+    let mut neg: Vec<usize> = (0..labels.len()).filter(|&i| !labels[i]).collect();
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+    let mut folds = vec![Vec::new(); k];
+    for (pos_in_class, &i) in pos.iter().chain(neg.iter()).enumerate() {
+        folds[pos_in_class % k].push(i);
+    }
+    for fold in &mut folds {
+        fold.sort_unstable();
+    }
+    folds
+}
+
+/// The measurements of one cross-validation fold.
+#[derive(Debug, Clone)]
+pub struct FoldOutcome {
+    /// All summary measures on this fold's test instances.
+    pub summary: EvalSummary,
+    /// Positive-class scores of the test instances, in test-index order.
+    pub scores: Vec<f64>,
+    /// True labels of the test instances, in test-index order.
+    pub labels: Vec<bool>,
+}
+
+/// Aggregated cross-validation results.
+#[derive(Debug, Clone)]
+pub struct CvOutcome {
+    /// Per-fold measurements.
+    pub folds: Vec<FoldOutcome>,
+}
+
+impl CvOutcome {
+    /// The mean of every measure across folds — how the paper's tables
+    /// report each configuration.
+    pub fn aggregate(&self) -> EvalSummary {
+        let n = self.folds.len().max(1) as f64;
+        let mut agg = EvalSummary::default();
+        for f in &self.folds {
+            agg.accuracy += f.summary.accuracy / n;
+            agg.auc += f.summary.auc / n;
+            agg.legitimate.precision += f.summary.legitimate.precision / n;
+            agg.legitimate.recall += f.summary.legitimate.recall / n;
+            agg.legitimate.f1 += f.summary.legitimate.f1 / n;
+            agg.illegitimate.precision += f.summary.illegitimate.precision / n;
+            agg.illegitimate.recall += f.summary.illegitimate.recall / n;
+            agg.illegitimate.f1 += f.summary.illegitimate.f1 / n;
+        }
+        agg
+    }
+
+    /// 95% confidence interval of fold accuracy (§6.3's stability check).
+    pub fn accuracy_interval(&self) -> Option<ConfidenceInterval> {
+        let samples: Vec<f64> = self.folds.iter().map(|f| f.summary.accuracy).collect();
+        ConfidenceInterval::from_samples(&samples)
+    }
+
+    /// All test scores and labels pooled across folds (every instance of
+    /// the dataset appears exactly once) — the input to ranking metrics.
+    pub fn pooled(&self) -> (Vec<f64>, Vec<bool>) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for f in &self.folds {
+            scores.extend_from_slice(&f.scores);
+            labels.extend_from_slice(&f.labels);
+        }
+        (scores, labels)
+    }
+}
+
+/// Cross-validation driver for precomputed feature sets.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossValidation {
+    /// Number of folds (paper: 3).
+    pub k: usize,
+    /// Fold-assignment seed.
+    pub seed: u64,
+    /// Resampling applied to each training split (never to test data).
+    pub sampling: Sampling,
+}
+
+impl Default for CrossValidation {
+    fn default() -> Self {
+        CrossValidation {
+            k: 3,
+            seed: 0xf01d,
+            sampling: Sampling::None,
+        }
+    }
+}
+
+impl CrossValidation {
+    /// Runs cross-validation of `learner` over `data`, training folds in
+    /// parallel on scoped threads.
+    pub fn run(&self, data: &Dataset, learner: &dyn Learner) -> CvOutcome {
+        let folds = stratified_folds(data.labels(), self.k, self.seed);
+        let sampling = self.sampling;
+        let seed = self.seed;
+        let outcomes: Vec<FoldOutcome> = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = folds
+                .iter()
+                .map(|test_idx| {
+                    scope.spawn(move |_| {
+                        let train_idx: Vec<usize> = (0..data.len())
+                            .filter(|i| !test_idx.contains(i))
+                            .collect();
+                        let train = sampling.apply(&data.subset(&train_idx), seed);
+                        let model = learner.fit(&train);
+                        let labels: Vec<bool> =
+                            test_idx.iter().map(|&i| data.y(i)).collect();
+                        let scores: Vec<f64> =
+                            test_idx.iter().map(|&i| model.score(data.x(i))).collect();
+                        let predictions: Vec<bool> =
+                            test_idx.iter().map(|&i| model.predict(data.x(i))).collect();
+                        FoldOutcome {
+                            summary: EvalSummary::compute(&labels, &predictions, &scores),
+                            scores,
+                            labels,
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fold thread panicked"))
+                .collect()
+        })
+        .expect("cross-validation scope panicked");
+        CvOutcome { folds: outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nbm::MultinomialNaiveBayes;
+    use pharmaverify_text::SparseVector;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    fn labels(n_pos: usize, n_neg: usize) -> Vec<bool> {
+        (0..n_pos + n_neg).map(|i| i < n_pos).collect()
+    }
+
+    #[test]
+    fn folds_partition_all_indices() {
+        let y = labels(12, 88);
+        let folds = stratified_folds(&y, 3, 1);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let y = labels(12, 88);
+        for fold in stratified_folds(&y, 3, 1) {
+            let pos = fold.iter().filter(|&&i| y[i]).count();
+            assert!((3..=5).contains(&pos), "fold has {pos} positives");
+        }
+    }
+
+    #[test]
+    fn folds_deterministic_per_seed() {
+        let y = labels(10, 20);
+        assert_eq!(stratified_folds(&y, 3, 7), stratified_folds(&y, 3, 7));
+        assert_ne!(stratified_folds(&y, 3, 7), stratified_folds(&y, 3, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_fold_panics() {
+        stratified_folds(&labels(2, 2), 1, 0);
+    }
+
+    fn separable_dataset() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..15 {
+            d.push(v(&[(0, 2.0 + (i % 5) as f64 * 0.1)]), true);
+            d.push(v(&[(1, 2.0 + (i % 5) as f64 * 0.1)]), false);
+            d.push(v(&[(1, 3.0 + (i % 3) as f64 * 0.1)]), false);
+        }
+        d
+    }
+
+    #[test]
+    fn cv_on_separable_data_is_accurate() {
+        let data = separable_dataset();
+        let outcome = CrossValidation::default().run(&data, &MultinomialNaiveBayes::default());
+        let agg = outcome.aggregate();
+        assert!(agg.accuracy > 0.9, "accuracy = {}", agg.accuracy);
+        assert!(agg.auc > 0.9, "auc = {}", agg.auc);
+        assert_eq!(outcome.folds.len(), 3);
+    }
+
+    #[test]
+    fn pooled_covers_every_instance_once() {
+        let data = separable_dataset();
+        let outcome = CrossValidation::default().run(&data, &MultinomialNaiveBayes::default());
+        let (scores, labels) = outcome.pooled();
+        assert_eq!(scores.len(), data.len());
+        assert_eq!(labels.iter().filter(|&&l| l).count(), data.count_positive());
+    }
+
+    #[test]
+    fn cv_is_deterministic() {
+        let data = separable_dataset();
+        let cv = CrossValidation::default();
+        let a = cv.run(&data, &MultinomialNaiveBayes::default());
+        let b = cv.run(&data, &MultinomialNaiveBayes::default());
+        assert_eq!(a.pooled().0, b.pooled().0);
+    }
+
+    #[test]
+    fn sampling_applies_only_to_training() {
+        let data = separable_dataset();
+        let cv = CrossValidation {
+            sampling: Sampling::Undersample,
+            ..CrossValidation::default()
+        };
+        let outcome = cv.run(&data, &MultinomialNaiveBayes::default());
+        // Test instances are untouched: pooled size equals dataset size.
+        assert_eq!(outcome.pooled().0.len(), data.len());
+    }
+
+    #[test]
+    fn accuracy_interval_exists() {
+        let data = separable_dataset();
+        let outcome = CrossValidation::default().run(&data, &MultinomialNaiveBayes::default());
+        let ci = outcome.accuracy_interval().unwrap();
+        assert!(ci.mean > 0.8);
+        assert!(ci.half_width >= 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! The labelled dataset shared by every learner.
+//!
+//! Instances are sparse feature vectors with boolean labels; `true` is the
+//! positive (legitimate) class. The feature dimensionality is fixed at
+//! construction so that dense learners (Gaussian NB, MLP, the decision
+//! tree) know how many attributes exist even when no instance realizes
+//! the last ones.
+
+use pharmaverify_text::SparseVector;
+use std::fmt;
+
+/// Errors from dataset construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// An instance references a feature index at or beyond the declared
+    /// dimensionality.
+    FeatureOutOfRange {
+        /// Index of the offending instance.
+        instance: usize,
+        /// The out-of-range feature index.
+        feature: u32,
+        /// Declared dimensionality.
+        dim: usize,
+    },
+    /// Features and labels differ in length.
+    LengthMismatch {
+        /// Number of feature vectors.
+        features: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::FeatureOutOfRange {
+                instance,
+                feature,
+                dim,
+            } => write!(
+                f,
+                "instance {instance} has feature index {feature} >= dim {dim}"
+            ),
+            DatasetError::LengthMismatch { features, labels } => {
+                write!(f, "{features} feature vectors but {labels} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A binary-labelled sparse dataset.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    dim: usize,
+    x: Vec<SparseVector>,
+    y: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with `dim` features.
+    pub fn new(dim: usize) -> Self {
+        Dataset {
+            dim,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Builds a dataset from parts, validating shapes.
+    pub fn from_parts(
+        dim: usize,
+        x: Vec<SparseVector>,
+        y: Vec<bool>,
+    ) -> Result<Self, DatasetError> {
+        if x.len() != y.len() {
+            return Err(DatasetError::LengthMismatch {
+                features: x.len(),
+                labels: y.len(),
+            });
+        }
+        for (i, v) in x.iter().enumerate() {
+            if let Some(max) = v.max_index() {
+                if max as usize >= dim {
+                    return Err(DatasetError::FeatureOutOfRange {
+                        instance: i,
+                        feature: max,
+                        dim,
+                    });
+                }
+            }
+        }
+        Ok(Dataset { dim, x, y })
+    }
+
+    /// Appends one instance.
+    ///
+    /// # Panics
+    /// Panics if the instance references a feature index `>= dim`; callers
+    /// construct instances from fitted vectorizers, so this is a logic
+    /// error, not an input error.
+    pub fn push(&mut self, x: SparseVector, y: bool) {
+        if let Some(max) = x.max_index() {
+            assert!(
+                (max as usize) < self.dim,
+                "feature index {max} out of range for dim {}",
+                self.dim
+            );
+        }
+        self.x.push(x);
+        self.y.push(y);
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when the dataset has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The feature vector of instance `i`.
+    pub fn x(&self, i: usize) -> &SparseVector {
+        &self.x[i]
+    }
+
+    /// The label of instance `i` (`true` = positive/legitimate).
+    pub fn y(&self, i: usize) -> bool {
+        self.y[i]
+    }
+
+    /// All feature vectors.
+    pub fn features(&self) -> &[SparseVector] {
+        &self.x
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.y
+    }
+
+    /// Number of positive instances.
+    pub fn count_positive(&self) -> usize {
+        self.y.iter().filter(|&&l| l).count()
+    }
+
+    /// Number of negative instances.
+    pub fn count_negative(&self) -> usize {
+        self.len() - self.count_positive()
+    }
+
+    /// The dataset restricted to `indices` (in the given order).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            dim: self.dim,
+            x: indices.iter().map(|&i| self.x[i].clone()).collect(),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Indices of the positive and negative instances, in order.
+    pub fn indices_by_class(&self) -> (Vec<usize>, Vec<usize>) {
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for (i, &label) in self.y.iter().enumerate() {
+            if label {
+                pos.push(i);
+            } else {
+                neg.push(i);
+            }
+        }
+        (pos, neg)
+    }
+
+    /// Iterates `(features, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&SparseVector, bool)> {
+        self.x.iter().zip(self.y.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut d = Dataset::new(4);
+        d.push(v(&[(0, 1.0)]), true);
+        d.push(v(&[(3, 2.0)]), false);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dim(), 4);
+        assert!(d.y(0));
+        assert!(!d.y(1));
+        assert_eq!(d.count_positive(), 1);
+        assert_eq!(d.count_negative(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_out_of_range_panics() {
+        let mut d = Dataset::new(2);
+        d.push(v(&[(2, 1.0)]), true);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        let err = Dataset::from_parts(1, vec![v(&[(5, 1.0)])], vec![true]).unwrap_err();
+        assert!(matches!(err, DatasetError::FeatureOutOfRange { feature: 5, .. }));
+        let err = Dataset::from_parts(1, vec![], vec![true]).unwrap_err();
+        assert!(matches!(err, DatasetError::LengthMismatch { .. }));
+        assert!(Dataset::from_parts(6, vec![v(&[(5, 1.0)])], vec![true]).is_ok());
+    }
+
+    #[test]
+    fn subset_selects_in_order() {
+        let mut d = Dataset::new(2);
+        d.push(v(&[(0, 1.0)]), true);
+        d.push(v(&[(1, 1.0)]), false);
+        d.push(v(&[(0, 2.0)]), true);
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.x(0).get(0), 2.0);
+        assert!(s.y(1));
+    }
+
+    #[test]
+    fn indices_by_class_partitions() {
+        let mut d = Dataset::new(1);
+        for (i, &label) in [true, false, false, true].iter().enumerate() {
+            d.push(v(&[(0, i as f64)]), label);
+        }
+        let (pos, neg) = d.indices_by_class();
+        assert_eq!(pos, vec![0, 3]);
+        assert_eq!(neg, vec![1, 2]);
+    }
+}

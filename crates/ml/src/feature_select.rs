@@ -1,0 +1,174 @@
+//! Information-gain feature selection.
+//!
+//! Classic text-classification preprocessing (the paper's related work
+//! cites Chakrabarti et al.'s "scalable feature selection" \[7\]): rank
+//! features by the information gain of their *presence* indicator with
+//! respect to the class, and keep the top k. Used by the
+//! vocabulary-size ablation.
+
+use crate::dataset::Dataset;
+use pharmaverify_text::SparseVector;
+
+/// Binary entropy in bits.
+fn entropy(pos: f64, neg: f64) -> f64 {
+    let n = pos + neg;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for c in [pos, neg] {
+        if c > 0.0 {
+            let p = c / n;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Information gain of each feature's presence indicator (`value > 0`)
+/// with respect to the binary label. Returned in feature-index order.
+pub fn information_gain(data: &Dataset) -> Vec<f64> {
+    let n = data.len() as f64;
+    let n_pos = data.count_positive() as f64;
+    let n_neg = n - n_pos;
+    let parent = entropy(n_pos, n_neg);
+    // present[f] = (positives with f, negatives with f)
+    let mut present = vec![(0.0_f64, 0.0_f64); data.dim()];
+    for (x, y) in data.iter() {
+        for (f, v) in x.iter() {
+            if v > 0.0 {
+                if y {
+                    present[f as usize].0 += 1.0;
+                } else {
+                    present[f as usize].1 += 1.0;
+                }
+            }
+        }
+    }
+    present
+        .into_iter()
+        .map(|(p_pos, p_neg)| {
+            let p_n = p_pos + p_neg;
+            let a_pos = n_pos - p_pos;
+            let a_neg = n_neg - p_neg;
+            let a_n = a_pos + a_neg;
+            if n == 0.0 {
+                return 0.0;
+            }
+            parent - (p_n / n) * entropy(p_pos, p_neg) - (a_n / n) * entropy(a_pos, a_neg)
+        })
+        .collect()
+}
+
+/// Indices of the `k` features with the highest information gain,
+/// descending; ties break on the lower index so selection is
+/// deterministic.
+pub fn top_k_features(data: &Dataset, k: usize) -> Vec<u32> {
+    let gains = information_gain(data);
+    let mut order: Vec<u32> = (0..data.dim() as u32).collect();
+    order.sort_by(|&a, &b| {
+        gains[b as usize]
+            .partial_cmp(&gains[a as usize])
+            .expect("gains are finite")
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order.sort_unstable();
+    order
+}
+
+/// Projects a dataset onto the selected feature subset, remapping the
+/// kept features to dense indices `0..keep.len()`.
+///
+/// # Panics
+/// Panics if `keep` is unsorted or references features beyond `dim`.
+pub fn project(data: &Dataset, keep: &[u32]) -> Dataset {
+    assert!(keep.windows(2).all(|w| w[0] < w[1]), "keep must be sorted");
+    if let Some(&max) = keep.last() {
+        assert!((max as usize) < data.dim(), "feature {max} out of range");
+    }
+    let mut out = Dataset::new(keep.len());
+    for (x, y) in data.iter() {
+        let projected: SparseVector = x
+            .iter()
+            .filter_map(|(f, v)| {
+                keep.binary_search(&f)
+                    .ok()
+                    .map(|new_idx| (new_idx as u32, v))
+            })
+            .collect();
+        out.push(projected, y);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    /// Feature 0: perfect class indicator; feature 1: constant (zero
+    /// gain); feature 2: partially informative (present in both
+    /// positives and one negative).
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(3);
+        d.push(v(&[(0, 1.0), (1, 1.0), (2, 1.0)]), true);
+        d.push(v(&[(0, 1.0), (1, 1.0), (2, 1.0)]), true);
+        d.push(v(&[(1, 1.0)]), false);
+        d.push(v(&[(1, 1.0), (2, 1.0)]), false);
+        d
+    }
+
+    #[test]
+    fn perfect_indicator_has_max_gain() {
+        let gains = information_gain(&toy());
+        assert!((gains[0] - 1.0).abs() < 1e-12, "gains = {gains:?}");
+        assert_eq!(gains[1], 0.0);
+        assert!(gains[2] < gains[0] && gains[2] >= 0.0);
+    }
+
+    #[test]
+    fn top_k_selects_informative_features() {
+        let top1 = top_k_features(&toy(), 1);
+        assert_eq!(top1, vec![0]);
+        let top2 = top_k_features(&toy(), 2);
+        assert_eq!(top2, vec![0, 2]);
+    }
+
+    #[test]
+    fn top_k_larger_than_dim_returns_all() {
+        assert_eq!(top_k_features(&toy(), 10).len(), 3);
+    }
+
+    #[test]
+    fn projection_remaps_indices() {
+        let data = toy();
+        let kept = project(&data, &[0, 2]);
+        assert_eq!(kept.dim(), 2);
+        assert_eq!(kept.len(), data.len());
+        // Old feature 2 is new feature 1.
+        assert_eq!(kept.x(0).get(1), 1.0);
+        // Old feature 1 is dropped everywhere.
+        for i in 0..kept.len() {
+            assert!(kept.x(i).max_index().map(|m| m < 2).unwrap_or(true));
+        }
+    }
+
+    #[test]
+    fn projection_preserves_labels() {
+        let data = toy();
+        let kept = project(&data, &[0]);
+        for i in 0..data.len() {
+            assert_eq!(kept.y(i), data.y(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_keep_panics() {
+        project(&toy(), &[2, 0]);
+    }
+}

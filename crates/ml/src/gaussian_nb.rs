@@ -1,0 +1,220 @@
+//! Gaussian naive Bayes (the paper's NB).
+//!
+//! Models each feature as class-conditionally normal — the classifier the
+//! paper applies to the N-Gram-Graph similarity features (Table 7) and to
+//! the TrustRank score (§6.3.2, "the Naïve Bayes as the base classifier").
+//! A variance floor keeps constant features from producing infinite
+//! densities, mirroring Weka's default precision handling.
+
+use crate::dataset::Dataset;
+use crate::{Learner, Model};
+use pharmaverify_text::SparseVector;
+
+/// Learner configuration for Gaussian naive Bayes.
+#[derive(Debug, Clone, Copy)]
+pub struct GaussianNaiveBayes {
+    /// Minimum per-feature standard deviation, as a fraction of the
+    /// feature's global value range (Weka uses `range / (2 · 3)` bins; we
+    /// floor σ at `range · this` with an absolute floor of 1e-9).
+    pub min_sigma_fraction: f64,
+}
+
+impl Default for GaussianNaiveBayes {
+    fn default() -> Self {
+        GaussianNaiveBayes {
+            min_sigma_fraction: 1e-3,
+        }
+    }
+}
+
+/// A fitted Gaussian naive Bayes model.
+#[derive(Debug, Clone)]
+pub struct GaussianNbModel {
+    log_prior_pos: f64,
+    log_prior_neg: f64,
+    mean_pos: Vec<f64>,
+    mean_neg: Vec<f64>,
+    sigma_pos: Vec<f64>,
+    sigma_neg: Vec<f64>,
+}
+
+struct ClassStats {
+    mean: Vec<f64>,
+    var: Vec<f64>,
+    count: usize,
+}
+
+fn class_stats(data: &Dataset, class: bool) -> ClassStats {
+    let dim = data.dim();
+    let mut sum = vec![0.0; dim];
+    let mut sum_sq = vec![0.0; dim];
+    let mut count = 0usize;
+    for (x, y) in data.iter() {
+        if y != class {
+            continue;
+        }
+        count += 1;
+        for (i, v) in x.iter() {
+            sum[i as usize] += v;
+            sum_sq[i as usize] += v * v;
+        }
+    }
+    let n = count.max(1) as f64;
+    let mean: Vec<f64> = sum.iter().map(|&s| s / n).collect();
+    let var = sum_sq
+        .iter()
+        .zip(&mean)
+        .map(|(&sq, &m)| (sq / n - m * m).max(0.0))
+        .collect();
+    ClassStats { mean, var, count }
+}
+
+impl Learner for GaussianNaiveBayes {
+    fn fit(&self, data: &Dataset) -> Box<dyn Model> {
+        assert!(!data.is_empty(), "cannot fit NB on an empty dataset");
+        let dim = data.dim();
+        let pos = class_stats(data, true);
+        let neg = class_stats(data, false);
+        // Global per-feature ranges drive the variance floor.
+        let mut min_v = vec![f64::INFINITY; dim];
+        let mut max_v = vec![f64::NEG_INFINITY; dim];
+        for (x, _) in data.iter() {
+            let dense = x.to_dense(dim);
+            for (j, &v) in dense.iter().enumerate() {
+                min_v[j] = min_v[j].min(v);
+                max_v[j] = max_v[j].max(v);
+            }
+        }
+        let sigma = |stats: &ClassStats| -> Vec<f64> {
+            (0..dim)
+                .map(|j| {
+                    let range = (max_v[j] - min_v[j]).max(0.0);
+                    let floor = (range * self.min_sigma_fraction).max(1e-9);
+                    stats.var[j].sqrt().max(floor)
+                })
+                .collect()
+        };
+        let n = data.len() as f64;
+        let prior_pos = (pos.count as f64 + 1.0) / (n + 2.0);
+        Box::new(GaussianNbModel {
+            log_prior_pos: prior_pos.ln(),
+            log_prior_neg: (1.0 - prior_pos).ln(),
+            sigma_pos: sigma(&pos),
+            sigma_neg: sigma(&neg),
+            mean_pos: pos.mean,
+            mean_neg: neg.mean,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "NB"
+    }
+}
+
+fn log_normal_pdf(x: f64, mean: f64, sigma: f64) -> f64 {
+    let z = (x - mean) / sigma;
+    -0.5 * z * z - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+}
+
+impl Model for GaussianNbModel {
+    fn score(&self, x: &SparseVector) -> f64 {
+        let dim = self.mean_pos.len();
+        let dense = x.to_dense(dim);
+        let mut ll_pos = self.log_prior_pos;
+        let mut ll_neg = self.log_prior_neg;
+        debug_assert_eq!(dense.len(), dim);
+        for (j, &x) in dense.iter().enumerate() {
+            ll_pos += log_normal_pdf(x, self.mean_pos[j], self.sigma_pos[j]);
+            ll_neg += log_normal_pdf(x, self.mean_neg[j], self.sigma_neg[j]);
+        }
+        1.0 / (1.0 + (ll_neg - ll_pos).exp())
+    }
+
+    fn is_probabilistic(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "NB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v1(x: f64) -> SparseVector {
+        SparseVector::from_pairs(vec![(0, x)])
+    }
+
+    /// One feature: positives around 0.9, negatives around 0.1.
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(1);
+        for x in [0.85, 0.9, 0.95] {
+            d.push(v1(x), true);
+        }
+        for x in [0.05, 0.1, 0.15, 0.2] {
+            d.push(v1(x), false);
+        }
+        d
+    }
+
+    #[test]
+    fn separates_one_dimensional_classes() {
+        let model = GaussianNaiveBayes::default().fit(&toy());
+        assert!(model.predict(&v1(0.88)));
+        assert!(!model.predict(&v1(0.12)));
+    }
+
+    #[test]
+    fn boundary_is_between_means() {
+        let model = GaussianNaiveBayes::default().fit(&toy());
+        assert!(model.score(&v1(0.9)) > model.score(&v1(0.5)));
+        assert!(model.score(&v1(0.5)) > model.score(&v1(0.1)));
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let mut d = Dataset::new(2);
+        // Feature 1 is constant 1.0 for everything.
+        d.push(SparseVector::from_pairs(vec![(0, 0.9), (1, 1.0)]), true);
+        d.push(SparseVector::from_pairs(vec![(0, 0.8), (1, 1.0)]), true);
+        d.push(SparseVector::from_pairs(vec![(0, 0.1), (1, 1.0)]), false);
+        d.push(SparseVector::from_pairs(vec![(0, 0.2), (1, 1.0)]), false);
+        let model = GaussianNaiveBayes::default().fit(&d);
+        let s = model.score(&SparseVector::from_pairs(vec![(0, 0.85), (1, 1.0)]));
+        assert!(s.is_finite());
+        assert!(s > 0.5);
+    }
+
+    #[test]
+    fn multivariate_separation() {
+        let mut d = Dataset::new(2);
+        for (a, b) in [(0.9, 0.1), (0.8, 0.2), (0.85, 0.15)] {
+            d.push(SparseVector::from_pairs(vec![(0, a), (1, b)]), true);
+        }
+        for (a, b) in [(0.1, 0.9), (0.2, 0.8), (0.15, 0.85)] {
+            d.push(SparseVector::from_pairs(vec![(0, a), (1, b)]), false);
+        }
+        let model = GaussianNaiveBayes::default().fit(&d);
+        assert!(model.predict(&SparseVector::from_pairs(vec![(0, 0.9), (1, 0.1)])));
+        assert!(!model.predict(&SparseVector::from_pairs(vec![(0, 0.1), (1, 0.9)])));
+    }
+
+    #[test]
+    fn probabilistic_and_bounded() {
+        let model = GaussianNaiveBayes::default().fit(&toy());
+        assert!(model.is_probabilistic());
+        for x in [-5.0, 0.0, 0.5, 1.0, 5.0] {
+            let s = model.score(&v1(x));
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    #[test]
+    fn missing_features_treated_as_zero() {
+        let model = GaussianNaiveBayes::default().fit(&toy());
+        // An empty sparse vector is x = 0.0 → clearly negative territory.
+        assert!(!model.predict(&SparseVector::new()));
+    }
+}

@@ -1,0 +1,198 @@
+//! Hybrid naive Bayes: Gaussian class-conditionals for continuous
+//! features, Bernoulli class-conditionals for designated binary features.
+//!
+//! Motivation: graph-propagation features are often *semi-degenerate* —
+//! e.g. "distrust received" is exactly zero for one class and positive
+//! for part of the other. A Gaussian model of such a feature collapses to
+//! a near-point mass whose density spike at zero overwhelms every other
+//! feature; a Bernoulli model of the indicator `value > 0` captures the
+//! transferable part of the signal with Laplace-smoothed, bounded
+//! log-odds.
+
+use crate::dataset::Dataset;
+use crate::gaussian_nb::GaussianNaiveBayes;
+use crate::{Learner, Model};
+use pharmaverify_text::SparseVector;
+use std::collections::BTreeSet;
+
+/// Learner configuration for the hybrid naive Bayes.
+#[derive(Debug, Clone, Default)]
+pub struct HybridNaiveBayes {
+    /// Feature indices modelled as Bernoulli indicators (`value > 0`).
+    /// All other features are modelled as Gaussians.
+    pub binary_features: BTreeSet<u32>,
+    /// Configuration of the Gaussian part.
+    pub gaussian: GaussianNaiveBayes,
+}
+
+impl HybridNaiveBayes {
+    /// Creates a hybrid learner with the given binary feature set.
+    pub fn new(binary_features: impl IntoIterator<Item = u32>) -> Self {
+        HybridNaiveBayes {
+            binary_features: binary_features.into_iter().collect(),
+            gaussian: GaussianNaiveBayes::default(),
+        }
+    }
+}
+
+/// A fitted hybrid model: a Gaussian NB over the continuous coordinates
+/// plus per-class Bernoulli rates for the binary coordinates.
+pub struct HybridNbModel {
+    /// Gaussian sub-model, fitted on the continuous feature subspace
+    /// (binary coordinates zeroed out so they contribute identically to
+    /// both classes).
+    gaussian: Box<dyn Model>,
+    binary_features: Vec<u32>,
+    /// `(log P(1 | +), log P(0 | +), log P(1 | −), log P(0 | −))` per
+    /// binary feature, Laplace-smoothed.
+    bernoulli: Vec<(f64, f64, f64, f64)>,
+}
+
+/// Removes the binary coordinates from an instance, leaving the Gaussian
+/// sub-model a consistent view.
+fn strip_binary(x: &SparseVector, binary: &[u32]) -> SparseVector {
+    x.iter()
+        .filter(|(i, _)| binary.binary_search(i).is_err())
+        .collect()
+}
+
+impl Learner for HybridNaiveBayes {
+    fn fit(&self, data: &Dataset) -> Box<dyn Model> {
+        assert!(!data.is_empty(), "cannot fit hybrid NB on an empty dataset");
+        let binary: Vec<u32> = self.binary_features.iter().copied().collect();
+        // Gaussian part on the stripped instances.
+        let mut continuous = Dataset::new(data.dim());
+        for (x, y) in data.iter() {
+            continuous.push(strip_binary(x, &binary), y);
+        }
+        let gaussian = self.gaussian.fit(&continuous);
+        // Bernoulli part.
+        let n_pos = data.count_positive() as f64;
+        let n_neg = data.count_negative() as f64;
+        let bernoulli = binary
+            .iter()
+            .map(|&f| {
+                let ones_pos = data
+                    .iter()
+                    .filter(|&(x, y)| y && x.get(f) > 0.0)
+                    .count() as f64;
+                let ones_neg = data
+                    .iter()
+                    .filter(|&(x, y)| !y && x.get(f) > 0.0)
+                    .count() as f64;
+                let p1_pos = (ones_pos + 1.0) / (n_pos + 2.0);
+                let p1_neg = (ones_neg + 1.0) / (n_neg + 2.0);
+                (
+                    p1_pos.ln(),
+                    (1.0 - p1_pos).ln(),
+                    p1_neg.ln(),
+                    (1.0 - p1_neg).ln(),
+                )
+            })
+            .collect();
+        Box::new(HybridNbModel {
+            gaussian,
+            binary_features: binary,
+            bernoulli,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "HybridNB"
+    }
+}
+
+impl Model for HybridNbModel {
+    fn score(&self, x: &SparseVector) -> f64 {
+        // The Gaussian sub-model already returns a posterior; recover its
+        // log-odds, add the Bernoulli log-odds, and squash back.
+        let stripped = strip_binary(x, &self.binary_features);
+        let p = self.gaussian.score(&stripped).clamp(1e-12, 1.0 - 1e-12);
+        let mut log_odds = (p / (1.0 - p)).ln();
+        for (&f, &(l1p, l0p, l1n, l0n)) in self.binary_features.iter().zip(&self.bernoulli) {
+            if x.get(f) > 0.0 {
+                log_odds += l1p - l1n;
+            } else {
+                log_odds += l0p - l0n;
+            }
+        }
+        1.0 / (1.0 + (-log_odds).exp())
+    }
+
+    fn is_probabilistic(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "HybridNB"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    /// Feature 0 continuous (separating), feature 1 binary where the
+    /// negative class is a point mass at 1 and the positive at 0.
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(2);
+        for x in [0.8, 0.9, 1.0] {
+            d.push(v(&[(0, x)]), true); // binary feature 0
+        }
+        for x in [0.1, 0.2, 0.15, 0.25] {
+            d.push(v(&[(0, x), (1, 1.0)]), false);
+        }
+        d
+    }
+
+    #[test]
+    fn point_mass_binary_feature_does_not_dominate() {
+        let learner = HybridNaiveBayes::new([1]);
+        let model = learner.fit(&toy());
+        // A positive-looking instance with the binary bit unset stays
+        // positive; with the bit set, evidence shifts but stays bounded.
+        assert!(model.predict(&v(&[(0, 0.9)])));
+        let without = model.score(&v(&[(0, 0.9)]));
+        let with = model.score(&v(&[(0, 0.9), (1, 1.0)]));
+        assert!(with < without, "bit must push toward negative");
+        assert!(with > 0.01, "Bernoulli evidence must be bounded: {with}");
+    }
+
+    #[test]
+    fn gaussian_part_unaffected_by_binary_column() {
+        // With no binary features declared, behaves as Gaussian NB.
+        let plain = GaussianNaiveBayes::default().fit(&toy());
+        let hybrid = HybridNaiveBayes::new([]).fit(&toy());
+        let probe = v(&[(0, 0.5)]);
+        assert!((plain.score(&probe) - hybrid.score(&probe)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let model = HybridNaiveBayes::new([1]).fit(&toy());
+        for x in [
+            v(&[]),
+            v(&[(0, 0.9)]),
+            v(&[(1, 1.0)]),
+            v(&[(0, 0.1), (1, 1.0)]),
+        ] {
+            let s = model.score(&x);
+            assert!((0.0..=1.0).contains(&s), "score {s}");
+        }
+        assert!(model.is_probabilistic());
+    }
+
+    #[test]
+    fn bernoulli_rates_are_laplace_smoothed() {
+        // Even when one class never shows the bit, the other class's
+        // instances with the bit set are not assigned -inf evidence.
+        let model = HybridNaiveBayes::new([1]).fit(&toy());
+        let s = model.score(&v(&[(0, 1.0), (1, 1.0)]));
+        assert!(s.is_finite());
+        assert!(s > 0.0);
+    }
+}

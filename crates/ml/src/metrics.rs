@@ -1,0 +1,327 @@
+//! Evaluation measures (§6.2 of the paper).
+//!
+//! The positive class is *legitimate*, the negative class *illegitimate*.
+//! Because the classes are strongly imbalanced (12% vs 88%), the paper
+//! evaluates per-class precision/recall and AUC-ROC alongside overall
+//! accuracy, plus *pairwise orderedness* for the ranking problem.
+
+use crate::roc::auc_from_scores;
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// Positive instances predicted positive.
+    pub tp: usize,
+    /// Negative instances predicted negative.
+    pub tn: usize,
+    /// Negative instances predicted positive.
+    pub fp: usize,
+    /// Positive instances predicted negative.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel label/prediction slices.
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length.
+    pub fn from_predictions(labels: &[bool], predictions: &[bool]) -> Self {
+        assert_eq!(labels.len(), predictions.len(), "length mismatch");
+        let mut m = ConfusionMatrix::default();
+        for (&y, &p) in labels.iter().zip(predictions) {
+            match (y, p) {
+                (true, true) => m.tp += 1,
+                (true, false) => m.fn_ += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+            }
+        }
+        m
+    }
+
+    /// Adds another matrix's counts (for pooling CV folds).
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        self.tp += other.tp;
+        self.tn += other.tn;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Total number of instances.
+    pub fn total(&self) -> usize {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Overall accuracy `(TP + TN) / total`; 0 on an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// Precision and recall of the positive (legitimate) class.
+    pub fn positive(&self) -> ClassMetrics {
+        ClassMetrics::from_counts(self.tp, self.fp, self.fn_)
+    }
+
+    /// Precision and recall of the negative (illegitimate) class.
+    pub fn negative(&self) -> ClassMetrics {
+        ClassMetrics::from_counts(self.tn, self.fn_, self.fp)
+    }
+
+    /// False positive rate `FP / (FP + TN)`, as used by the ROC curve.
+    pub fn false_positive_rate(&self) -> f64 {
+        let negatives = self.fp + self.tn;
+        if negatives == 0 {
+            0.0
+        } else {
+            self.fp as f64 / negatives as f64
+        }
+    }
+
+    /// True positive rate `TP / (TP + FN)` (= positive recall).
+    pub fn true_positive_rate(&self) -> f64 {
+        self.positive().recall
+    }
+}
+
+/// Per-class precision/recall/F1.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClassMetrics {
+    /// Fraction of predicted members that truly belong to the class.
+    pub precision: f64,
+    /// Fraction of true members recovered.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl ClassMetrics {
+    fn from_counts(true_hits: usize, false_hits: usize, misses: usize) -> Self {
+        let precision = ratio(true_hits, true_hits + false_hits);
+        let recall = ratio(true_hits, true_hits + misses);
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        ClassMetrics {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The full per-experiment measurement set reported in the paper's tables.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EvalSummary {
+    /// Overall accuracy (Tables 3, 7, 12, 14).
+    pub accuracy: f64,
+    /// Legitimate-class metrics (Tables 4, 8, 13, 14).
+    pub legitimate: ClassMetrics,
+    /// Illegitimate-class metrics (Tables 5, 9, 13, 14).
+    pub illegitimate: ClassMetrics,
+    /// Area under the ROC curve (Tables 6, 10, 12, 14, 16).
+    pub auc: f64,
+}
+
+impl EvalSummary {
+    /// Computes every measure from labels, hard predictions, and scores.
+    /// AUC falls back to 0.5 when the test set is single-class.
+    pub fn compute(labels: &[bool], predictions: &[bool], scores: &[f64]) -> Self {
+        let matrix = ConfusionMatrix::from_predictions(labels, predictions);
+        EvalSummary {
+            accuracy: matrix.accuracy(),
+            legitimate: matrix.positive(),
+            illegitimate: matrix.negative(),
+            auc: auc_from_scores(scores, labels).unwrap_or(0.5),
+        }
+    }
+}
+
+/// Pairwise orderedness (§6.2): the fraction of cross-class pairs in which
+/// the legitimate pharmacy outranks the illegitimate one. Ties count as
+/// violations, per the paper's `I` function ("an illegitimate pharmacy
+/// receives an equal or higher score than a legitimate pharmacy").
+///
+/// Following the paper, the denominator is the number of *all* unordered
+/// pairs `(p, q), p ≠ q`; same-class pairs can never violate.
+///
+/// Returns `None` when there are fewer than two instances.
+pub fn pairwise_orderedness(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n = scores.len();
+    if n < 2 {
+        return None;
+    }
+    let mut illegit_scores: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|&(_, &l)| !l)
+        .map(|(&s, _)| s)
+        .collect();
+    illegit_scores.sort_unstable_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+    let mut violations = 0usize;
+    for (&s, &l) in scores.iter().zip(labels) {
+        if !l {
+            continue;
+        }
+        // Violation: any illegitimate score >= this legitimate score.
+        let below = illegit_scores.partition_point(|&x| x < s);
+        violations += illegit_scores.len() - below;
+    }
+    let total_pairs = n * (n - 1) / 2;
+    Some((total_pairs - violations) as f64 / total_pairs as f64)
+}
+
+/// A mean with a symmetric 95% confidence half-width, used for the fold
+/// stability statement of §6.3 ("the confidence intervals for our
+/// classifiers are very small").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Sample mean.
+    pub mean: f64,
+    /// Half-width of the 95% interval (`1.96 · σ/√n`).
+    pub half_width: f64,
+}
+
+impl ConfidenceInterval {
+    /// Computes mean and normal-approximation 95% half-width of `samples`.
+    /// Returns `None` on an empty slice; a single sample has zero width.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / if samples.len() > 1 { n - 1.0 } else { 1.0 };
+        Some(ConfidenceInterval {
+            mean,
+            half_width: 1.96 * (var / n).sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let labels = [true, true, false, false, false];
+        let preds = [true, false, false, false, true];
+        let m = ConfusionMatrix::from_predictions(&labels, &preds);
+        assert_eq!((m.tp, m.fn_, m.tn, m.fp), (1, 1, 2, 1));
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_metrics() {
+        let m = ConfusionMatrix {
+            tp: 8,
+            fn_: 2,
+            fp: 4,
+            tn: 86,
+        };
+        let pos = m.positive();
+        assert!((pos.precision - 8.0 / 12.0).abs() < 1e-12);
+        assert!((pos.recall - 0.8).abs() < 1e-12);
+        let neg = m.negative();
+        assert!((neg.precision - 86.0 / 88.0).abs() < 1e-12);
+        assert!((neg.recall - 86.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.positive().precision, 0.0);
+        assert_eq!(m.positive().f1, 0.0);
+    }
+
+    #[test]
+    fn merge_pools_counts() {
+        let mut a = ConfusionMatrix {
+            tp: 1,
+            tn: 2,
+            fp: 3,
+            fn_: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!((a.tp, a.tn, a.fp, a.fn_), (2, 4, 6, 8));
+    }
+
+    #[test]
+    fn perfect_ranking_has_pairord_one() {
+        // Legitimate scores strictly above every illegitimate score.
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(pairwise_orderedness(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn tie_counts_as_violation() {
+        let scores = [0.5, 0.5];
+        let labels = [true, false];
+        // 1 pair, 1 violation.
+        assert_eq!(pairwise_orderedness(&scores, &labels), Some(0.0));
+    }
+
+    #[test]
+    fn single_inversion() {
+        // 4 instances → 6 pairs; one cross pair inverted.
+        let scores = [0.9, 0.3, 0.4, 0.1];
+        let labels = [true, true, false, false];
+        let p = pairwise_orderedness(&scores, &labels).unwrap();
+        assert!((p - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_same_class_is_trivially_ordered() {
+        let scores = [0.1, 0.9, 0.5];
+        let labels = [false, false, false];
+        assert_eq!(pairwise_orderedness(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn too_few_instances() {
+        assert_eq!(pairwise_orderedness(&[0.5], &[true]), None);
+        assert_eq!(pairwise_orderedness(&[], &[]), None);
+    }
+
+    #[test]
+    fn confidence_interval_basics() {
+        let ci = ConfidenceInterval::from_samples(&[0.9, 0.9, 0.9]).unwrap();
+        assert!((ci.mean - 0.9).abs() < 1e-12);
+        assert_eq!(ci.half_width, 0.0);
+        let ci = ConfidenceInterval::from_samples(&[0.8, 1.0]).unwrap();
+        assert!((ci.mean - 0.9).abs() < 1e-12);
+        assert!(ci.half_width > 0.0);
+        assert!(ConfidenceInterval::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn eval_summary_end_to_end() {
+        let labels = [true, false, false, false];
+        let preds = [true, false, false, true];
+        let scores = [0.9, 0.1, 0.2, 0.6];
+        let s = EvalSummary::compute(&labels, &preds, &scores);
+        assert!((s.accuracy - 0.75).abs() < 1e-12);
+        assert_eq!(s.legitimate.recall, 1.0);
+        assert!((s.legitimate.precision - 0.5).abs() < 1e-12);
+        assert_eq!(s.auc, 1.0);
+    }
+}

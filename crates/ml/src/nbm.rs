@@ -1,0 +1,183 @@
+//! Multinomial naive Bayes (the paper's NBM).
+//!
+//! The classifier of §5: `P(c | d) ∝ P(c) · Π P(tₖ | c)`, with Laplace
+//! smoothing of the per-class term distributions. Feature values are term
+//! weights (raw counts or TF-IDF); they must be non-negative and are used
+//! as (possibly fractional) occurrence counts, exactly as Weka's
+//! `NaiveBayesMultinomial` treats weighted instances.
+
+use crate::dataset::Dataset;
+use crate::{Learner, Model};
+use pharmaverify_text::SparseVector;
+
+/// Learner configuration for multinomial naive Bayes.
+#[derive(Debug, Clone, Copy)]
+pub struct MultinomialNaiveBayes {
+    /// Additive (Laplace) smoothing constant; Weka uses 1.
+    pub alpha: f64,
+}
+
+impl Default for MultinomialNaiveBayes {
+    fn default() -> Self {
+        MultinomialNaiveBayes { alpha: 1.0 }
+    }
+}
+
+/// A fitted multinomial naive Bayes model.
+#[derive(Debug, Clone)]
+pub struct NbmModel {
+    log_prior_pos: f64,
+    log_prior_neg: f64,
+    log_cond_pos: Vec<f64>,
+    log_cond_neg: Vec<f64>,
+}
+
+impl Learner for MultinomialNaiveBayes {
+    fn fit(&self, data: &Dataset) -> Box<dyn Model> {
+        assert!(!data.is_empty(), "cannot fit NBM on an empty dataset");
+        let dim = data.dim();
+        let mut mass_pos = vec![0.0; dim];
+        let mut mass_neg = vec![0.0; dim];
+        let mut n_pos = 0usize;
+        for (x, y) in data.iter() {
+            let mass = if y {
+                n_pos += 1;
+                &mut mass_pos
+            } else {
+                &mut mass_neg
+            };
+            for (i, v) in x.iter() {
+                assert!(v >= 0.0, "NBM requires non-negative feature values");
+                mass[i as usize] += v;
+            }
+        }
+        let n = data.len() as f64;
+        // Laplace-smoothed priors keep single-class training sets finite.
+        let prior_pos = (n_pos as f64 + 1.0) / (n + 2.0);
+        let total_pos: f64 = mass_pos.iter().sum::<f64>() + self.alpha * dim as f64;
+        let total_neg: f64 = mass_neg.iter().sum::<f64>() + self.alpha * dim as f64;
+        let log_cond = |mass: &[f64], total: f64| -> Vec<f64> {
+            mass.iter()
+                .map(|&m| ((m + self.alpha) / total).ln())
+                .collect()
+        };
+        Box::new(NbmModel {
+            log_prior_pos: prior_pos.ln(),
+            log_prior_neg: (1.0 - prior_pos).ln(),
+            log_cond_pos: log_cond(&mass_pos, total_pos),
+            log_cond_neg: log_cond(&mass_neg, total_neg),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "NBM"
+    }
+}
+
+impl NbmModel {
+    fn log_likelihoods(&self, x: &SparseVector) -> (f64, f64) {
+        let mut ll_pos = self.log_prior_pos;
+        let mut ll_neg = self.log_prior_neg;
+        for (i, v) in x.iter() {
+            let i = i as usize;
+            if i < self.log_cond_pos.len() {
+                ll_pos += v * self.log_cond_pos[i];
+                ll_neg += v * self.log_cond_neg[i];
+            }
+        }
+        (ll_pos, ll_neg)
+    }
+}
+
+impl Model for NbmModel {
+    fn score(&self, x: &SparseVector) -> f64 {
+        let (ll_pos, ll_neg) = self.log_likelihoods(x);
+        // Exact two-class posterior, computed stably.
+        1.0 / (1.0 + (ll_neg - ll_pos).exp())
+    }
+
+    fn is_probabilistic(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "NBM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    /// Tiny vocabulary: 0 = "viagra", 1 = "refill", 2 = "pharmacy".
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(3);
+        d.push(v(&[(1, 3.0), (2, 1.0)]), true);
+        d.push(v(&[(1, 2.0), (2, 2.0)]), true);
+        d.push(v(&[(0, 4.0), (2, 1.0)]), false);
+        d.push(v(&[(0, 3.0)]), false);
+        d.push(v(&[(0, 2.0), (2, 1.0)]), false);
+        d
+    }
+
+    #[test]
+    fn separates_toy_classes() {
+        let model = MultinomialNaiveBayes::default().fit(&toy());
+        assert!(model.predict(&v(&[(1, 2.0)])));
+        assert!(!model.predict(&v(&[(0, 3.0)])));
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let model = MultinomialNaiveBayes::default().fit(&toy());
+        for x in [v(&[(0, 1.0)]), v(&[(1, 1.0)]), v(&[]), v(&[(2, 5.0)])] {
+            let s = model.score(&x);
+            assert!((0.0..=1.0).contains(&s), "score {s} out of range");
+        }
+        assert!(model.is_probabilistic());
+    }
+
+    #[test]
+    fn empty_vector_falls_back_to_prior() {
+        let model = MultinomialNaiveBayes::default().fit(&toy());
+        // Priors: pos (2+1)/(5+2) vs neg (3+1)/(5+2) → negative wins.
+        assert!(model.score(&v(&[])) < 0.5);
+    }
+
+    #[test]
+    fn more_evidence_moves_score_monotonically() {
+        let model = MultinomialNaiveBayes::default().fit(&toy());
+        let weak = model.score(&v(&[(0, 1.0)]));
+        let strong = model.score(&v(&[(0, 5.0)]));
+        assert!(strong < weak, "more 'viagra' mass must lower the score");
+    }
+
+    #[test]
+    fn unseen_feature_indices_ignored() {
+        // Model fitted on dim 3; vector from a wider space is tolerated.
+        let model = MultinomialNaiveBayes::default().fit(&toy());
+        let s = model.score(&v(&[(10, 4.0)]));
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn single_class_training_is_finite() {
+        let mut d = Dataset::new(2);
+        d.push(v(&[(0, 1.0)]), false);
+        d.push(v(&[(1, 1.0)]), false);
+        let model = MultinomialNaiveBayes::default().fit(&d);
+        let s = model.score(&v(&[(0, 1.0)]));
+        assert!(s.is_finite());
+        assert!(s < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        MultinomialNaiveBayes::default().fit(&Dataset::new(2));
+    }
+}

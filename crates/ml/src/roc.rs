@@ -1,0 +1,175 @@
+//! ROC curves and AUC.
+//!
+//! AUC is computed by the rank statistic (Mann–Whitney U) with midrank
+//! tie handling — exactly the probability that a random positive instance
+//! is scored above a random negative one, with ties counting half.
+
+/// AUC of `scores` against binary `labels` (`true` = positive).
+/// Returns `None` when either class is absent.
+///
+/// # Panics
+/// Panics if the slices differ in length or a score is NaN.
+pub fn auc_from_scores(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "length mismatch");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    // Sort indices by score; assign midranks to tied groups.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_unstable_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("scores must not be NaN")
+    });
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based: positions i..=j share midrank.
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Some(u / (n_pos as f64 * n_neg as f64))
+}
+
+/// An ROC curve: `(false positive rate, true positive rate)` points from
+/// `(0,0)` to `(1,1)`, one step per distinct score threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocCurve {
+    /// Curve points in increasing-FPR order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl RocCurve {
+    /// Computes the curve. Returns `None` when either class is absent.
+    pub fn compute(scores: &[f64], labels: &[bool]) -> Option<Self> {
+        assert_eq!(scores.len(), labels.len(), "length mismatch");
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        let n_neg = labels.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        // Descending score: thresholds sweep from strict to lax.
+        order.sort_unstable_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores must not be NaN")
+        });
+        let mut points = Vec::with_capacity(scores.len() + 1);
+        points.push((0.0, 0.0));
+        let (mut tp, mut fp) = (0usize, 0usize);
+        let mut i = 0;
+        while i < order.len() {
+            let mut j = i;
+            while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+                j += 1;
+            }
+            for &idx in &order[i..=j] {
+                if labels[idx] {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+            }
+            points.push((fp as f64 / n_neg as f64, tp as f64 / n_pos as f64));
+            i = j + 1;
+        }
+        Some(RocCurve { points })
+    }
+
+    /// Area under the curve by the trapezoid rule; equals
+    /// [`auc_from_scores`] on the same data.
+    pub fn auc(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                (x1 - x0) * (y0 + y1) / 2.0
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_from_scores(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn inverted_scores_are_zero() {
+        let scores = [0.1, 0.9];
+        let labels = [true, false];
+        assert_eq!(auc_from_scores(&scores, &labels), Some(0.0));
+    }
+
+    #[test]
+    fn all_tied_is_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_from_scores(&scores, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn single_class_is_none() {
+        assert_eq!(auc_from_scores(&[0.1, 0.2], &[true, true]), None);
+        assert_eq!(auc_from_scores(&[], &[]), None);
+    }
+
+    #[test]
+    fn known_value_with_partial_overlap() {
+        // pos scores {0.8, 0.4}; neg scores {0.6, 0.2}.
+        // Pairs won: (0.8>0.6),(0.8>0.2),(0.4>0.2)=3 of 4 → 0.75.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert_eq!(auc_from_scores(&scores, &labels), Some(0.75));
+    }
+
+    #[test]
+    fn tie_counts_half() {
+        let scores = [0.5, 0.5, 0.1];
+        let labels = [true, false, false];
+        // Pairs: (0.5 vs 0.5) = 0.5, (0.5 vs 0.1) = 1 → 1.5/2 = 0.75.
+        assert_eq!(auc_from_scores(&scores, &labels), Some(0.75));
+    }
+
+    #[test]
+    fn curve_matches_rank_auc() {
+        let scores = [0.9, 0.7, 0.7, 0.55, 0.4, 0.3, 0.2];
+        let labels = [true, false, true, true, false, false, false];
+        let curve = RocCurve::compute(&scores, &labels).unwrap();
+        let rank = auc_from_scores(&scores, &labels).unwrap();
+        assert!((curve.auc() - rank).abs() < 1e-12);
+        assert_eq!(curve.points.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.points.last(), Some(&(1.0, 1.0)));
+    }
+
+    #[test]
+    fn curve_is_monotone() {
+        let scores = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4];
+        let labels = [true, false, true, false, true, false];
+        let curve = RocCurve::compute(&scores, &labels).unwrap();
+        for w in curve.points.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Class-imbalance resampling (§6.1).
+//!
+//! The classes are strongly imbalanced (12% legitimate vs 88%
+//! illegitimate). The paper copes with two techniques, both reproduced
+//! here:
+//!
+//! * **random undersampling** (`SUB`) — majority-class instances are
+//!   removed at random until the classes are balanced;
+//! * **SMOTE** (Chawla et al., JAIR 2002) — the minority class is
+//!   oversampled with synthetic instances interpolated between each
+//!   minority instance and one of its k nearest minority neighbours,
+//!   "operating in feature space rather than data space".
+
+use crate::dataset::Dataset;
+use pharmaverify_text::SparseVector;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// The sampling treatments compared in the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sampling {
+    /// Natural class distribution (`NO`).
+    None,
+    /// Random undersampling of the majority class (`SUB`).
+    Undersample,
+    /// SMOTE oversampling of the minority class (`SMOTE`).
+    Smote,
+}
+
+impl Sampling {
+    /// Table abbreviation, as in Table 2 of the paper.
+    pub fn abbreviation(self) -> &'static str {
+        match self {
+            Sampling::None => "NO",
+            Sampling::Undersample => "SUB",
+            Sampling::Smote => "SMOTE",
+        }
+    }
+
+    /// Applies the treatment to a training set.
+    pub fn apply(self, data: &Dataset, seed: u64) -> Dataset {
+        match self {
+            Sampling::None => data.clone(),
+            Sampling::Undersample => undersample(data, seed),
+            Sampling::Smote => smote(data, 5, seed),
+        }
+    }
+}
+
+/// Randomly removes majority-class instances until both classes have the
+/// minority count. A dataset with an empty class is returned unchanged.
+pub fn undersample(data: &Dataset, seed: u64) -> Dataset {
+    let (pos, neg) = data.indices_by_class();
+    if pos.is_empty() || neg.is_empty() {
+        return data.clone();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (minority, mut majority) = if pos.len() <= neg.len() {
+        (pos, neg)
+    } else {
+        (neg, pos)
+    };
+    majority.shuffle(&mut rng);
+    majority.truncate(minority.len());
+    let mut keep: Vec<usize> = minority.into_iter().chain(majority).collect();
+    keep.sort_unstable();
+    data.subset(&keep)
+}
+
+/// SMOTE: oversamples the minority class with synthetic instances until
+/// the classes are balanced, interpolating between each minority instance
+/// and a random one of its `k` nearest minority neighbours (Euclidean
+/// distance in feature space). A dataset with an empty class or a single
+/// minority instance is returned unchanged.
+pub fn smote(data: &Dataset, k: usize, seed: u64) -> Dataset {
+    let (pos, neg) = data.indices_by_class();
+    if pos.is_empty() || neg.is_empty() {
+        return data.clone();
+    }
+    let (minority, majority_len, minority_label) = if pos.len() <= neg.len() {
+        (pos, neg.len(), true)
+    } else {
+        (neg, pos.len(), false)
+    };
+    if minority.len() < 2 || minority.len() >= majority_len {
+        return data.clone();
+    }
+    let k = k.min(minority.len() - 1).max(1);
+    let needed = majority_len - minority.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // k nearest minority neighbours of each minority instance.
+    let neighbours: Vec<Vec<usize>> = minority
+        .iter()
+        .map(|&i| {
+            let mut dists: Vec<(f64, usize)> = minority
+                .iter()
+                .filter(|&&j| j != i)
+                .map(|&j| (data.x(i).distance_sq(data.x(j)), j))
+                .collect();
+            dists.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("distance is NaN"));
+            dists.truncate(k);
+            dists.into_iter().map(|(_, j)| j).collect()
+        })
+        .collect();
+
+    let mut out = data.clone();
+    for s in 0..needed {
+        // Round-robin over minority instances, as in the original SMOTE
+        // when the oversampling rate exceeds 100%.
+        let m = s % minority.len();
+        let base = data.x(minority[m]);
+        let neighbour = data.x(neighbours[m][rng.gen_range(0..neighbours[m].len())]);
+        let gap: f64 = rng.gen_range(0.0..1.0);
+        // synthetic = base + gap · (neighbour − base)
+        let mut diff = neighbour.clone();
+        let mut negated = base.clone();
+        negated.scale(-1.0);
+        diff = diff.add(&negated);
+        diff.scale(gap);
+        let synthetic: SparseVector = base.add(&diff);
+        out.push(synthetic, minority_label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    /// 3 positives, 9 negatives.
+    fn imbalanced() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..3 {
+            d.push(v(&[(0, 1.0 + i as f64 * 0.1), (1, 1.0)]), true);
+        }
+        for i in 0..9 {
+            d.push(v(&[(0, -1.0 - i as f64 * 0.1)]), false);
+        }
+        d
+    }
+
+    #[test]
+    fn undersample_balances() {
+        let d = undersample(&imbalanced(), 1);
+        assert_eq!(d.count_positive(), 3);
+        assert_eq!(d.count_negative(), 3);
+    }
+
+    #[test]
+    fn undersample_is_deterministic() {
+        let a = undersample(&imbalanced(), 5);
+        let b = undersample(&imbalanced(), 5);
+        assert_eq!(a.len(), b.len());
+        for i in 0..a.len() {
+            assert_eq!(a.x(i), b.x(i));
+            assert_eq!(a.y(i), b.y(i));
+        }
+    }
+
+    #[test]
+    fn undersample_keeps_all_minority() {
+        let d = undersample(&imbalanced(), 2);
+        // All three original positives survive.
+        assert_eq!(d.count_positive(), 3);
+    }
+
+    #[test]
+    fn smote_balances_with_synthetics() {
+        let d = smote(&imbalanced(), 2, 3);
+        assert_eq!(d.count_positive(), 9);
+        assert_eq!(d.count_negative(), 9);
+        assert_eq!(d.len(), 18);
+    }
+
+    #[test]
+    fn smote_synthetics_interpolate_minority() {
+        let data = imbalanced();
+        let d = smote(&data, 2, 3);
+        // Synthetic positives lie within the minority bounding box:
+        // feature 0 in [1.0, 1.2], feature 1 == 1.0.
+        for i in data.len()..d.len() {
+            assert!(d.y(i), "synthetics carry the minority label");
+            let f0 = d.x(i).get(0);
+            let f1 = d.x(i).get(1);
+            assert!((1.0..=1.2).contains(&f0), "f0 = {f0}");
+            assert!((f1 - 1.0).abs() < 1e-12, "f1 = {f1}");
+        }
+    }
+
+    #[test]
+    fn smote_deterministic_per_seed() {
+        let a = smote(&imbalanced(), 2, 7);
+        let b = smote(&imbalanced(), 2, 7);
+        for i in 0..a.len() {
+            assert_eq!(a.x(i), b.x(i));
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_returned_unchanged() {
+        // Single minority instance.
+        let mut d = Dataset::new(1);
+        d.push(v(&[(0, 1.0)]), true);
+        for i in 0..4 {
+            d.push(v(&[(0, -(i as f64))]), false);
+        }
+        assert_eq!(smote(&d, 3, 1).len(), d.len());
+
+        // Single-class dataset.
+        let mut single = Dataset::new(1);
+        single.push(v(&[(0, 1.0)]), false);
+        assert_eq!(undersample(&single, 1).len(), 1);
+        assert_eq!(smote(&single, 3, 1).len(), 1);
+    }
+
+    #[test]
+    fn already_balanced_smote_is_identity() {
+        let mut d = Dataset::new(1);
+        d.push(v(&[(0, 1.0)]), true);
+        d.push(v(&[(0, 2.0)]), true);
+        d.push(v(&[(0, -1.0)]), false);
+        d.push(v(&[(0, -2.0)]), false);
+        assert_eq!(smote(&d, 1, 1).len(), 4);
+    }
+
+    #[test]
+    fn sampling_enum_dispatch() {
+        let data = imbalanced();
+        assert_eq!(Sampling::None.apply(&data, 1).len(), data.len());
+        assert_eq!(Sampling::Undersample.apply(&data, 1).len(), 6);
+        assert_eq!(Sampling::Smote.apply(&data, 1).len(), 18);
+        assert_eq!(Sampling::Smote.abbreviation(), "SMOTE");
+        assert_eq!(Sampling::None.abbreviation(), "NO");
+        assert_eq!(Sampling::Undersample.abbreviation(), "SUB");
+    }
+}

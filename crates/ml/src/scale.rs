@@ -1,0 +1,109 @@
+//! Per-feature standardization (z-scoring).
+//!
+//! The MLP standardizes its inputs before training, as Weka's
+//! `MultilayerPerceptron` does by default; the fitted scaler is part of
+//! the model so that test instances are transformed identically.
+
+use crate::dataset::Dataset;
+
+/// A fitted per-feature standardizer.
+#[derive(Debug, Clone)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fits means and standard deviations on the training features.
+    /// Constant features get σ = 1 so they map to exactly 0.
+    pub fn fit(data: &Dataset) -> Self {
+        let dim = data.dim();
+        let n = data.len().max(1) as f64;
+        let mut mean = vec![0.0; dim];
+        let mut sum_sq = vec![0.0; dim];
+        for (x, _) in data.iter() {
+            for (i, v) in x.iter() {
+                mean[i as usize] += v;
+                sum_sq[i as usize] += v * v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let std = sum_sq
+            .iter()
+            .zip(&mean)
+            .map(|(&sq, &m)| {
+                let var = (sq / n - m * m).max(0.0);
+                let s = var.sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Scaler { mean, std }
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardizes a dense vector in place.
+    ///
+    /// # Panics
+    /// Panics if `dense.len() != self.dim()`.
+    pub fn transform_dense(&self, dense: &mut [f64]) {
+        assert_eq!(dense.len(), self.dim(), "dimensionality mismatch");
+        for (j, v) in dense.iter_mut().enumerate() {
+            *v = (*v - self.mean[j]) / self.std[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pharmaverify_text::SparseVector;
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(2);
+        d.push(SparseVector::from_pairs(vec![(0, 2.0), (1, 5.0)]), true);
+        d.push(SparseVector::from_pairs(vec![(0, 4.0), (1, 5.0)]), false);
+        d
+    }
+
+    #[test]
+    fn standardizes_to_zero_mean_unit_variance() {
+        let scaler = Scaler::fit(&data());
+        let mut a = vec![2.0, 5.0];
+        let mut b = vec![4.0, 5.0];
+        scaler.transform_dense(&mut a);
+        scaler.transform_dense(&mut b);
+        assert!((a[0] + 1.0).abs() < 1e-12);
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        // Constant feature maps to 0 without dividing by zero.
+        assert_eq!(a[1], 0.0);
+        assert_eq!(b[1], 0.0);
+    }
+
+    #[test]
+    fn sparse_zeros_participate_in_statistics() {
+        let mut d = Dataset::new(1);
+        d.push(SparseVector::from_pairs(vec![(0, 3.0)]), true);
+        d.push(SparseVector::new(), false); // implicit 0.0
+        let scaler = Scaler::fit(&d);
+        let mut v = vec![1.5]; // the mean
+        scaler.transform_dense(&mut v);
+        assert!(v[0].abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn wrong_dim_panics() {
+        let scaler = Scaler::fit(&data());
+        scaler.transform_dense(&mut [1.0]);
+    }
+}

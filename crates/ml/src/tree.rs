@@ -1,0 +1,622 @@
+//! C4.5-style decision tree (the paper's J48).
+//!
+//! Binary gain-ratio splits on numeric attributes (`value <= threshold`
+//! vs `>`), a minimum-instances-per-leaf constraint, and C4.5's
+//! pessimistic-error ("confidence factor") subtree-replacement pruning —
+//! the defaults of Weka's `J48` (`-M 2 -C 0.25`). Subtree raising is not
+//! implemented; its effect on these workloads is negligible.
+//!
+//! Training works on a sparse column index, so the all-zero background of
+//! TF-IDF features is never materialized.
+
+use crate::dataset::Dataset;
+use crate::{Learner, Model};
+use pharmaverify_text::SparseVector;
+
+/// Decision-tree training configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Minimum instances on each side of a split (Weka `-M`, default 2).
+    pub min_leaf: usize,
+    /// Pruning confidence factor (Weka `-C`, default 0.25). Smaller prunes
+    /// more aggressively. Set to 1.0 to disable pruning.
+    pub confidence: f64,
+    /// Hard depth cap as a safety net against pathological data.
+    pub max_depth: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            min_leaf: 2,
+            confidence: 0.25,
+            max_depth: 60,
+        }
+    }
+}
+
+/// The C4.5 learner.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DecisionTree {
+    /// Training configuration.
+    pub config: TreeConfig,
+}
+
+impl DecisionTree {
+    /// Creates a learner with the given configuration.
+    pub fn new(config: TreeConfig) -> Self {
+        DecisionTree { config }
+    }
+}
+
+/// A fitted decision tree.
+#[derive(Debug, Clone)]
+pub struct TreeModel {
+    root: Node,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        pos: f64,
+        neg: f64,
+    },
+    Split {
+        feature: u32,
+        threshold: f64,
+        pos: f64,
+        neg: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl TreeModel {
+    /// Number of leaves in the fitted tree.
+    pub fn leaf_count(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Split { left, right, .. } => count(left) + count(right),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the fitted tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + depth(left).max(depth(right)),
+            }
+        }
+        depth(&self.root)
+    }
+}
+
+/// Binary entropy of a (pos, neg) count pair, in bits.
+fn entropy(pos: f64, neg: f64) -> f64 {
+    let n = pos + neg;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mut h = 0.0;
+    for c in [pos, neg] {
+        if c > 0.0 {
+            let p = c / n;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Sparse column-major view of the training matrix.
+struct Columns {
+    cols: Vec<Vec<(u32, f64)>>,
+}
+
+impl Columns {
+    fn build(data: &Dataset) -> Self {
+        let mut cols = vec![Vec::new(); data.dim()];
+        for (i, (x, _)) in data.iter().enumerate() {
+            for (f, v) in x.iter() {
+                cols[f as usize].push((i as u32, v));
+            }
+        }
+        Columns { cols }
+    }
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    columns: Columns,
+    config: TreeConfig,
+    in_node: Vec<bool>,
+}
+
+struct BestSplit {
+    feature: u32,
+    threshold: f64,
+    gain_ratio: f64,
+}
+
+impl<'a> Builder<'a> {
+    fn new(data: &'a Dataset, config: TreeConfig) -> Self {
+        Builder {
+            columns: Columns::build(data),
+            in_node: vec![false; data.len()],
+            data,
+            config,
+        }
+    }
+
+    fn class_counts(&self, indices: &[u32]) -> (f64, f64) {
+        let mut pos = 0.0;
+        let mut neg = 0.0;
+        for &i in indices {
+            if self.data.y(i as usize) {
+                pos += 1.0;
+            } else {
+                neg += 1.0;
+            }
+        }
+        (pos, neg)
+    }
+
+    fn build_node(&mut self, indices: &[u32], depth: usize) -> Node {
+        let (pos, neg) = self.class_counts(indices);
+        let leaf = Node::Leaf { pos, neg };
+        if pos == 0.0
+            || neg == 0.0
+            || indices.len() < 2 * self.config.min_leaf
+            || depth >= self.config.max_depth
+        {
+            return leaf;
+        }
+        let Some(best) = self.find_best_split(indices, pos, neg) else {
+            return leaf;
+        };
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices.iter().partition(|&&i| {
+            self.data.x(i as usize).get(best.feature) <= best.threshold
+        });
+        debug_assert!(left_idx.len() >= self.config.min_leaf);
+        debug_assert!(right_idx.len() >= self.config.min_leaf);
+        let left = self.build_node(&left_idx, depth + 1);
+        let right = self.build_node(&right_idx, depth + 1);
+        Node::Split {
+            feature: best.feature,
+            threshold: best.threshold,
+            pos,
+            neg,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    fn find_best_split(&mut self, indices: &[u32], pos: f64, neg: f64) -> Option<BestSplit> {
+        let n = indices.len() as f64;
+        let parent_entropy = entropy(pos, neg);
+        for &i in indices {
+            self.in_node[i as usize] = true;
+        }
+        let mut best: Option<BestSplit> = None;
+        let mut nonzero: Vec<(f64, bool)> = Vec::new();
+        for (feature, col) in self.columns.cols.iter().enumerate() {
+            nonzero.clear();
+            for &(i, v) in col {
+                if self.in_node[i as usize] {
+                    nonzero.push((v, self.data.y(i as usize)));
+                }
+            }
+            if nonzero.is_empty() {
+                continue; // feature constant (zero) in this node
+            }
+            let nnz_pos = nonzero.iter().filter(|&&(_, l)| l).count() as f64;
+            let zero_pos = pos - nnz_pos;
+            let zero_neg = neg - (nonzero.len() as f64 - nnz_pos);
+            nonzero.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("value is NaN"));
+
+            // Group by distinct value, inserting the zero group in order.
+            let mut groups: Vec<(f64, f64, f64)> = Vec::new(); // (value, pos, neg)
+            let mut zero_inserted = zero_pos + zero_neg == 0.0;
+            let push_group = |groups: &mut Vec<(f64, f64, f64)>, v: f64, p: f64, ng: f64| {
+                match groups.last_mut() {
+                    Some(last) if last.0 == v => {
+                        last.1 += p;
+                        last.2 += ng;
+                    }
+                    _ => groups.push((v, p, ng)),
+                }
+            };
+            for &(v, label) in &nonzero {
+                if !zero_inserted && v > 0.0 {
+                    push_group(&mut groups, 0.0, zero_pos, zero_neg);
+                    zero_inserted = true;
+                }
+                let (p, ng) = if label { (1.0, 0.0) } else { (0.0, 1.0) };
+                push_group(&mut groups, v, p, ng);
+            }
+            if !zero_inserted {
+                push_group(&mut groups, 0.0, zero_pos, zero_neg);
+            }
+            if groups.len() < 2 {
+                continue;
+            }
+            // Scan candidate thresholds between consecutive distinct values.
+            let mut left_pos = 0.0;
+            let mut left_neg = 0.0;
+            for w in 0..groups.len() - 1 {
+                left_pos += groups[w].1;
+                left_neg += groups[w].2;
+                let left_n = left_pos + left_neg;
+                let right_pos = pos - left_pos;
+                let right_neg = neg - left_neg;
+                let right_n = right_pos + right_neg;
+                if (left_n as usize) < self.config.min_leaf
+                    || (right_n as usize) < self.config.min_leaf
+                {
+                    continue;
+                }
+                let gain = parent_entropy
+                    - (left_n / n) * entropy(left_pos, left_neg)
+                    - (right_n / n) * entropy(right_pos, right_neg);
+                if gain <= 1e-12 {
+                    continue;
+                }
+                let split_info = entropy(left_n, right_n);
+                if split_info <= 1e-12 {
+                    continue;
+                }
+                let gain_ratio = gain / split_info;
+                if best
+                    .as_ref()
+                    .is_none_or(|b| gain_ratio > b.gain_ratio)
+                {
+                    best = Some(BestSplit {
+                        feature: feature as u32,
+                        threshold: (groups[w].0 + groups[w + 1].0) / 2.0,
+                        gain_ratio,
+                    });
+                }
+            }
+        }
+        for &i in indices {
+            self.in_node[i as usize] = false;
+        }
+        best
+    }
+}
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation,
+/// relative error < 1.15e-9). Used to turn the pruning confidence factor
+/// into a z-value.
+fn probit(p: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0, "probit domain");
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -probit(1.0 - p)
+    }
+}
+
+/// C4.5's `addErrs`: the estimated number of *extra* errors at a leaf with
+/// `n` instances and `e` observed errors, at confidence factor `cf`.
+fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
+    if cf >= 1.0 || n <= 0.0 {
+        return 0.0;
+    }
+    if e < 1e-9 {
+        return n * (1.0 - cf.powf(1.0 / n));
+    }
+    if e + 0.5 >= n {
+        return (n - e).max(0.0);
+    }
+    let z = probit(1.0 - cf);
+    let f = (e + 0.5) / n; // C4.5's continuity correction
+    let upper = (f + z * z / (2.0 * n)
+        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+        / (1.0 + z * z / n);
+    (upper * n - e).max(0.0)
+}
+
+/// Pessimistic error estimate of `node` if collapsed to a leaf.
+fn leaf_error_estimate(pos: f64, neg: f64, cf: f64) -> f64 {
+    let n = pos + neg;
+    let e = pos.min(neg);
+    e + add_errs(n, e, cf)
+}
+
+/// Post-prunes by subtree replacement; returns the node's estimated error.
+fn prune(node: Node, cf: f64) -> (Node, f64) {
+    match node {
+        Node::Leaf { pos, neg } => {
+            let est = leaf_error_estimate(pos, neg, cf);
+            (Node::Leaf { pos, neg }, est)
+        }
+        Node::Split {
+            feature,
+            threshold,
+            pos,
+            neg,
+            left,
+            right,
+        } => {
+            let (left, err_left) = prune(*left, cf);
+            let (right, err_right) = prune(*right, cf);
+            let subtree_error = err_left + err_right;
+            let as_leaf = leaf_error_estimate(pos, neg, cf);
+            if as_leaf <= subtree_error + 0.1 {
+                (Node::Leaf { pos, neg }, as_leaf)
+            } else {
+                (
+                    Node::Split {
+                        feature,
+                        threshold,
+                        pos,
+                        neg,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                    subtree_error,
+                )
+            }
+        }
+    }
+}
+
+impl Learner for DecisionTree {
+    fn fit(&self, data: &Dataset) -> Box<dyn Model> {
+        assert!(!data.is_empty(), "cannot fit a tree on an empty dataset");
+        let mut builder = Builder::new(data, self.config);
+        let indices: Vec<u32> = (0..data.len() as u32).collect();
+        let root = builder.build_node(&indices, 0);
+        let (root, _) = if self.config.confidence < 1.0 {
+            prune(root, self.config.confidence)
+        } else {
+            (root, 0.0)
+        };
+        Box::new(TreeModel { root })
+    }
+
+    fn name(&self) -> &'static str {
+        "J48"
+    }
+}
+
+impl Model for TreeModel {
+    fn score(&self, x: &SparseVector) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { pos, neg } => {
+                    // Laplace-corrected leaf probability.
+                    return (pos + 1.0) / (pos + neg + 2.0);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    node = if x.get(*feature) <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    fn is_probabilistic(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "J48"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(pairs: &[(u32, f64)]) -> SparseVector {
+        SparseVector::from_pairs(pairs.to_vec())
+    }
+
+    fn fit(data: &Dataset) -> Box<dyn Model> {
+        DecisionTree::default().fit(data)
+    }
+
+    #[test]
+    fn splits_on_single_informative_feature() {
+        let mut d = Dataset::new(2);
+        for x in [0.8, 0.9, 1.0, 0.85] {
+            d.push(v(&[(0, x), (1, 0.5)]), true);
+        }
+        for x in [0.1, 0.2, 0.0, 0.15] {
+            d.push(v(&[(0, x), (1, 0.5)]), false);
+        }
+        let model = fit(&d);
+        assert!(model.predict(&v(&[(0, 0.95)])));
+        assert!(!model.predict(&v(&[(0, 0.05)])));
+    }
+
+    #[test]
+    fn zero_background_handled() {
+        // Positives have feature 3 set; negatives are empty vectors.
+        let mut d = Dataset::new(5);
+        for _ in 0..4 {
+            d.push(v(&[(3, 1.0)]), true);
+            d.push(v(&[]), false);
+        }
+        let model = fit(&d);
+        assert!(model.predict(&v(&[(3, 1.0)])));
+        assert!(!model.predict(&v(&[])));
+    }
+
+    #[test]
+    fn learns_conjunction_with_nested_splits() {
+        // Positive iff f0 > 0.5 AND f1 > 0.5 — needs two stacked splits.
+        // (XOR is unlearnable for C4.5: both root splits have zero gain.)
+        let mut d = Dataset::new(2);
+        for _ in 0..3 {
+            d.push(v(&[(0, 1.0), (1, 1.0)]), true);
+            d.push(v(&[(0, 1.0), (1, 0.0)]), false);
+            d.push(v(&[(0, 0.0), (1, 1.0)]), false);
+            d.push(v(&[(0, 0.0), (1, 0.0)]), false);
+        }
+        let model = DecisionTree::new(TreeConfig {
+            confidence: 1.0, // keep the full tree
+            ..TreeConfig::default()
+        })
+        .fit(&d);
+        assert!(model.predict(&v(&[(0, 1.0), (1, 1.0)])));
+        assert!(!model.predict(&v(&[(0, 1.0), (1, 0.0)])));
+        assert!(!model.predict(&v(&[(0, 0.0), (1, 1.0)])));
+        assert!(!model.predict(&v(&[(0, 0.0), (1, 0.0)])));
+    }
+
+    #[test]
+    fn pure_node_is_leaf() {
+        let mut d = Dataset::new(1);
+        for x in [0.1, 0.5, 0.9] {
+            d.push(v(&[(0, x)]), false);
+        }
+        let learner = DecisionTree::default();
+        let boxed = learner.fit(&d);
+        assert!(!boxed.predict(&v(&[(0, 0.5)])));
+        assert!(boxed.score(&v(&[(0, 0.5)])) < 0.5);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        // 3 instances: any split would leave a side with < 2 instances.
+        let mut d = Dataset::new(1);
+        d.push(v(&[(0, 0.0)]), false);
+        d.push(v(&[(0, 0.5)]), true);
+        d.push(v(&[(0, 1.0)]), false);
+        let model = DecisionTree::default().fit(&d);
+        // Must be a single leaf → same score everywhere.
+        assert_eq!(model.score(&v(&[(0, 0.0)])), model.score(&v(&[(0, 1.0)])));
+    }
+
+    #[test]
+    fn pruning_collapses_noise_splits() {
+        // One strong feature + a noisy irrelevant one. The pruned tree
+        // should not be deeper than the unpruned tree.
+        let mut d = Dataset::new(2);
+        let noise = [0.3, 0.7, 0.4, 0.6, 0.5, 0.55, 0.45, 0.65];
+        for (k, &nz) in noise.iter().enumerate() {
+            let strong = if k % 2 == 0 { 0.9 } else { 0.1 };
+            // One mislabelled instance injects noise.
+            let label = if k == 7 { true } else { k % 2 == 0 };
+            d.push(v(&[(0, strong), (1, nz)]), label);
+        }
+        let pruned = DecisionTree::default().fit(&d);
+        let full = DecisionTree::new(TreeConfig {
+            confidence: 1.0,
+            ..TreeConfig::default()
+        })
+        .fit(&d);
+        // Both still classify the strong pattern.
+        assert!(pruned.predict(&v(&[(0, 0.9)])));
+        assert!(!pruned.predict(&v(&[(0, 0.1), (1, 0.3)])));
+        // Smoke check that the unpruned tree exists and agrees.
+        assert!(full.predict(&v(&[(0, 0.9)])));
+    }
+
+    #[test]
+    fn add_errs_properties() {
+        // No observed errors still yields a positive pessimistic estimate.
+        assert!(add_errs(10.0, 0.0, 0.25) > 0.0);
+        // More confidence (larger cf) → smaller correction.
+        assert!(add_errs(20.0, 4.0, 0.5) < add_errs(20.0, 4.0, 0.1));
+        // cf = 1 disables the correction.
+        assert_eq!(add_errs(20.0, 4.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn probit_matches_known_quantiles() {
+        assert!((probit(0.5)).abs() < 1e-9);
+        assert!((probit(0.975) - 1.959964).abs() < 1e-4);
+        assert!((probit(0.75) - 0.67448975).abs() < 1e-6);
+        assert!((probit(0.025) + 1.959964).abs() < 1e-4);
+    }
+
+    #[test]
+    fn scores_are_laplace_probabilities() {
+        let mut d = Dataset::new(1);
+        for x in [0.9, 0.8] {
+            d.push(v(&[(0, x)]), true);
+        }
+        for x in [0.1, 0.2] {
+            d.push(v(&[(0, x)]), false);
+        }
+        let model = fit(&d);
+        let s = model.score(&v(&[(0, 0.85)]));
+        assert!((0.0..=1.0).contains(&s));
+        assert!(model.is_probabilistic());
+    }
+
+    #[test]
+    fn tree_shape_introspection() {
+        let mut d = Dataset::new(1);
+        for x in [0.8, 0.9, 1.0, 0.85] {
+            d.push(v(&[(0, x)]), true);
+        }
+        for x in [0.1, 0.2, 0.0, 0.15] {
+            d.push(v(&[(0, x)]), false);
+        }
+        let learner = DecisionTree::default();
+        let data_box = learner.fit(&d);
+        // Access shape through the concrete type.
+        let mut builder = Builder::new(&d, TreeConfig::default());
+        let idx: Vec<u32> = (0..d.len() as u32).collect();
+        let root = builder.build_node(&idx, 0);
+        let model = TreeModel { root };
+        assert!(model.leaf_count() >= 2);
+        assert!(model.depth() >= 1);
+        drop(data_box);
+    }
+}

@@ -1,0 +1,198 @@
+//! Property-based tests for the learning substrate: metric invariants,
+//! resampling guarantees, and classifier sanity on arbitrary data.
+
+use pharmaverify_ml::metrics::pairwise_orderedness;
+use pharmaverify_ml::{
+    auc_from_scores, smote, stratified_folds, undersample, ConfusionMatrix, Dataset,
+    DecisionTree, GaussianNaiveBayes, Learner, MultinomialNaiveBayes, RocCurve,
+};
+use pharmaverify_text::SparseVector;
+use proptest::prelude::*;
+
+fn scored_labels() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    prop::collection::vec((0.0f64..1.0, any::<bool>()), 2..40)
+}
+
+fn labelled_points() -> impl Strategy<Value = Vec<(f64, f64, bool)>> {
+    prop::collection::vec((-3.0f64..3.0, -3.0f64..3.0, any::<bool>()), 4..30)
+}
+
+fn dataset_from(points: &[(f64, f64, bool)]) -> Dataset {
+    let mut d = Dataset::new(2);
+    for &(a, b, y) in points {
+        d.push(SparseVector::from_pairs(vec![(0, a), (1, b)]), y);
+    }
+    d
+}
+
+proptest! {
+    /// AUC is within [0, 1], invariant under strictly monotone transforms
+    /// of the scores, and complements under score negation.
+    #[test]
+    fn auc_invariants(data in scored_labels()) {
+        let scores: Vec<f64> = data.iter().map(|&(s, _)| s).collect();
+        let labels: Vec<bool> = data.iter().map(|&(_, l)| l).collect();
+        if let Some(auc) = auc_from_scores(&scores, &labels) {
+            prop_assert!((0.0..=1.0).contains(&auc));
+            // Monotone transform: x → 2x + 1.
+            let transformed: Vec<f64> = scores.iter().map(|s| 2.0 * s + 1.0).collect();
+            prop_assert_eq!(auc_from_scores(&transformed, &labels), Some(auc));
+            // Negation flips the ranking.
+            let negated: Vec<f64> = scores.iter().map(|s| -s).collect();
+            let flipped = auc_from_scores(&negated, &labels).unwrap();
+            prop_assert!((auc + flipped - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The ROC curve's trapezoid area equals the rank-statistic AUC.
+    #[test]
+    fn roc_curve_area_matches_rank_auc(data in scored_labels()) {
+        let scores: Vec<f64> = data.iter().map(|&(s, _)| s).collect();
+        let labels: Vec<bool> = data.iter().map(|&(_, l)| l).collect();
+        if let (Some(curve), Some(auc)) = (
+            RocCurve::compute(&scores, &labels),
+            auc_from_scores(&scores, &labels),
+        ) {
+            prop_assert!((curve.auc() - auc).abs() < 1e-9);
+        }
+    }
+
+    /// Pairwise orderedness is within [0, 1] and equals 1 exactly when no
+    /// illegitimate score ties or beats a legitimate score.
+    #[test]
+    fn pairord_bounds(data in scored_labels()) {
+        let scores: Vec<f64> = data.iter().map(|&(s, _)| s).collect();
+        let labels: Vec<bool> = data.iter().map(|&(_, l)| l).collect();
+        if let Some(p) = pairwise_orderedness(&scores, &labels) {
+            prop_assert!((0.0..=1.0).contains(&p));
+            let worst_legit = scores
+                .iter()
+                .zip(&labels)
+                .filter(|&(_, &l)| l)
+                .map(|(&s, _)| s)
+                .fold(f64::INFINITY, f64::min);
+            let best_illegit = scores
+                .iter()
+                .zip(&labels)
+                .filter(|&(_, &l)| !l)
+                .map(|(&s, _)| s)
+                .fold(f64::NEG_INFINITY, f64::max);
+            prop_assert_eq!(p == 1.0, best_illegit < worst_legit
+                || worst_legit == f64::INFINITY
+                || best_illegit == f64::NEG_INFINITY);
+        }
+    }
+
+    /// Confusion-matrix counts always partition the instance set.
+    #[test]
+    fn confusion_partitions(
+        labels in prop::collection::vec(any::<bool>(), 0..30),
+        flips in prop::collection::vec(any::<bool>(), 0..30),
+    ) {
+        let n = labels.len().min(flips.len());
+        let preds: Vec<bool> = labels[..n]
+            .iter()
+            .zip(&flips[..n])
+            .map(|(&l, &f)| l ^ f)
+            .collect();
+        let m = ConfusionMatrix::from_predictions(&labels[..n], &preds);
+        prop_assert_eq!(m.total(), n);
+        prop_assert_eq!(m.tp + m.fn_, labels[..n].iter().filter(|&&l| l).count());
+        prop_assert!((0.0..=1.0).contains(&m.accuracy()) || n == 0);
+    }
+
+    /// Stratified folds partition all indices and balance class counts
+    /// within one instance per fold pair.
+    #[test]
+    fn folds_partition_and_balance(
+        labels in prop::collection::vec(any::<bool>(), 6..60),
+        k in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= labels.len());
+        let folds = stratified_folds(&labels, k, seed);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..labels.len()).collect::<Vec<_>>());
+        let pos_counts: Vec<usize> = folds
+            .iter()
+            .map(|f| f.iter().filter(|&&i| labels[i]).count())
+            .collect();
+        let max = pos_counts.iter().max().unwrap();
+        let min = pos_counts.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "{pos_counts:?}");
+    }
+
+    /// Undersampling always balances (when both classes exist) and never
+    /// invents instances.
+    #[test]
+    fn undersample_properties(points in labelled_points(), seed in any::<u64>()) {
+        let data = dataset_from(&points);
+        let out = undersample(&data, seed);
+        prop_assert!(out.len() <= data.len());
+        if data.count_positive() > 0 && data.count_negative() > 0 {
+            prop_assert_eq!(out.count_positive(), out.count_negative());
+        }
+        // Every surviving instance exists in the original.
+        for i in 0..out.len() {
+            prop_assert!(data.iter().any(|(x, y)| x == out.x(i) && y == out.y(i)));
+        }
+    }
+
+    /// SMOTE balances the classes and every synthetic instance stays in
+    /// the minority class's bounding box.
+    #[test]
+    fn smote_properties(points in labelled_points(), seed in any::<u64>()) {
+        let data = dataset_from(&points);
+        let out = smote(&data, 3, seed);
+        prop_assert!(out.len() >= data.len());
+        let minority_is_pos = data.count_positive() <= data.count_negative();
+        if data.count_positive() >= 2 && data.count_negative() >= 2 {
+            prop_assert_eq!(out.count_positive(), out.count_negative());
+        }
+        // Bounding-box check per feature.
+        for j in 0..2u32 {
+            let minority_vals: Vec<f64> = data
+                .iter()
+                .filter(|&(_, y)| y == minority_is_pos)
+                .map(|(x, _)| x.get(j))
+                .collect();
+            if minority_vals.is_empty() {
+                continue;
+            }
+            let lo = minority_vals.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = minority_vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            for i in data.len()..out.len() {
+                let v = out.x(i).get(j);
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "feature {j}: {v} outside [{lo}, {hi}]");
+            }
+        }
+    }
+
+    /// Every classifier produces scores in [0, 1] and consistent hard
+    /// decisions on arbitrary two-class data.
+    #[test]
+    fn classifiers_produce_valid_scores(points in labelled_points()) {
+        let data = dataset_from(&points);
+        prop_assume!(data.count_positive() > 0 && data.count_negative() > 0);
+        // NBM needs non-negative features; shift into the positive range.
+        let mut shifted = Dataset::new(2);
+        for (x, y) in data.iter() {
+            let s = SparseVector::from_pairs(vec![(0, x.get(0) + 3.0), (1, x.get(1) + 3.0)]);
+            shifted.push(s, y);
+        }
+        let learners: Vec<Box<dyn Learner>> = vec![
+            Box::new(MultinomialNaiveBayes::default()),
+            Box::new(GaussianNaiveBayes::default()),
+            Box::new(DecisionTree::default()),
+        ];
+        for learner in learners {
+            let model = learner.fit(&shifted);
+            for (x, _) in shifted.iter() {
+                let s = model.score(x);
+                prop_assert!((0.0..=1.0).contains(&s), "{}: score {s}", model.name());
+                prop_assert_eq!(model.predict(x), s >= 0.5);
+            }
+        }
+    }
+}

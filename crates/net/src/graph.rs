@@ -1,0 +1,209 @@
+//! The domain graph of Algorithm 1.
+//!
+//! `GRAPH-CREATION` in the paper: every pharmacy contributes a node, and
+//! for every outbound link the `endpoint()` (second-level domain) of the
+//! target is added as a node with a directed edge. Four node categories
+//! arise (§4.2): known-legitimate, known-illegitimate, unknown pharmacies,
+//! and non-pharmacy external domains — the first three are *pharmacy*
+//! nodes here, distinguishable via [`WebGraph::is_pharmacy`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense node identifier.
+pub type NodeId = u32;
+
+/// A directed, weighted domain graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WebGraph {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, NodeId>,
+    out_edges: Vec<Vec<(NodeId, f64)>>,
+    is_pharmacy: Vec<bool>,
+}
+
+impl WebGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn intern(&mut self, domain: &str, pharmacy: bool) -> NodeId {
+        if let Some(&id) = self.index.get(domain) {
+            if pharmacy {
+                self.is_pharmacy[id as usize] = true;
+            }
+            return id;
+        }
+        let id = self.names.len() as NodeId;
+        self.names.push(domain.to_string());
+        self.index.insert(domain.to_string(), id);
+        self.out_edges.push(Vec::new());
+        self.is_pharmacy.push(pharmacy);
+        id
+    }
+
+    /// Adds (or upgrades) a pharmacy node for `domain` (Algorithm 1,
+    /// line 4).
+    pub fn add_pharmacy(&mut self, domain: &str) -> NodeId {
+        self.intern(domain, true)
+    }
+
+    /// Adds a non-pharmacy node for `domain` without requiring a link to
+    /// it (used when rebuilding graphs, e.g. transposition). An existing
+    /// pharmacy node keeps its flag.
+    pub fn add_external(&mut self, domain: &str) -> NodeId {
+        self.intern(domain, false)
+    }
+
+    /// Adds a directed link `from → to_domain` with multiplicity `weight`
+    /// (Algorithm 1, lines 6–8). The target node is created as a
+    /// non-pharmacy node if unseen.
+    ///
+    /// # Panics
+    /// Panics if `from` is not a valid node id or `weight` is not positive.
+    pub fn add_link(&mut self, from: NodeId, to_domain: &str, weight: f64) {
+        assert!((from as usize) < self.names.len(), "unknown source node");
+        assert!(weight > 0.0, "link weight must be positive");
+        let to = self.intern(to_domain, false);
+        let edges = &mut self.out_edges[from as usize];
+        match edges.iter_mut().find(|(t, _)| *t == to) {
+            Some((_, w)) => *w += weight,
+            None => edges.push((to, weight)),
+        }
+    }
+
+    /// The id of `domain`, if present.
+    pub fn node(&self, domain: &str) -> Option<NodeId> {
+        self.index.get(domain).copied()
+    }
+
+    /// The domain name of node `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// True when node `id` is a pharmacy (vs an external domain).
+    pub fn is_pharmacy(&self, id: NodeId) -> bool {
+        self.is_pharmacy[id as usize]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of directed edges (parallel links are merged into weights).
+    pub fn edge_count(&self) -> usize {
+        self.out_edges.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing edges of node `id` as `(target, weight)`.
+    pub fn out_edges(&self, id: NodeId) -> &[(NodeId, f64)] {
+        &self.out_edges[id as usize]
+    }
+
+    /// Total outgoing weight of node `id`.
+    pub fn out_weight(&self, id: NodeId) -> f64 {
+        self.out_edges[id as usize].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Iterates all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        0..self.names.len() as NodeId
+    }
+
+    /// Rebuilds the name→id index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as NodeId))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pharmacy_and_external_nodes() {
+        let mut g = WebGraph::new();
+        let p = g.add_pharmacy("rxwinners.com");
+        g.add_link(p, "fda.gov", 1.0);
+        assert!(g.is_pharmacy(p));
+        let fda = g.node("fda.gov").unwrap();
+        assert!(!g.is_pharmacy(fda));
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn linking_to_pharmacy_keeps_pharmacy_flag() {
+        let mut g = WebGraph::new();
+        let a = g.add_pharmacy("a.com");
+        let b = g.add_pharmacy("b.com");
+        g.add_link(a, "b.com", 1.0);
+        assert!(g.is_pharmacy(b));
+        // And upgrading an external node to a pharmacy works too.
+        let c = g.add_pharmacy("c.com");
+        g.add_link(c, "d.com", 1.0);
+        let d = g.add_pharmacy("d.com");
+        assert!(g.is_pharmacy(d));
+    }
+
+    #[test]
+    fn parallel_links_merge_weights() {
+        let mut g = WebGraph::new();
+        let p = g.add_pharmacy("p.com");
+        g.add_link(p, "x.com", 2.0);
+        g.add_link(p, "x.com", 3.0);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.out_weight(p), 5.0);
+    }
+
+    #[test]
+    fn out_edges_accessible() {
+        let mut g = WebGraph::new();
+        let p = g.add_pharmacy("p.com");
+        g.add_link(p, "x.com", 1.0);
+        g.add_link(p, "y.com", 2.0);
+        assert_eq!(g.out_edges(p).len(), 2);
+        assert_eq!(g.out_weight(p), 3.0);
+        let x = g.node("x.com").unwrap();
+        assert!(g.out_edges(x).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown source node")]
+    fn link_from_unknown_node_panics() {
+        let mut g = WebGraph::new();
+        g.add_link(5, "x.com", 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_panics() {
+        let mut g = WebGraph::new();
+        let p = g.add_pharmacy("p.com");
+        g.add_link(p, "x.com", 0.0);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookup() {
+        let mut g = WebGraph::new();
+        let p = g.add_pharmacy("p.com");
+        g.add_link(p, "x.com", 1.0);
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: WebGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node("p.com"), None); // index skipped by serde
+        back.rebuild_index();
+        assert_eq!(back.node("p.com"), Some(p));
+    }
+}

@@ -1,0 +1,21 @@
+//! Web link graph and trust propagation (§4.2 of the paper).
+//!
+//! * [`graph`] — the directed domain graph of Algorithm 1: pharmacy nodes
+//!   plus the external domains their outbound links point to;
+//! * [`trustrank`] — the TrustRank algorithm (Gyöngyi et al., VLDB 2004):
+//!   biased PageRank seeded with the known-legitimate pharmacies;
+//! * [`mod@pagerank`] — unbiased PageRank, kept for ablations (TrustRank with
+//!   a uniform teleport is exactly PageRank);
+//! * [`linked`] — the most-linked-to analysis behind Table 11.
+
+pub mod anti_trustrank;
+pub mod graph;
+pub mod linked;
+pub mod pagerank;
+pub mod trustrank;
+
+pub use anti_trustrank::{anti_trust_rank, transpose};
+pub use graph::{NodeId, WebGraph};
+pub use linked::{top_linked, LinkedSite};
+pub use pagerank::pagerank;
+pub use trustrank::{trust_rank, trustrank_demo, TrustRankConfig};

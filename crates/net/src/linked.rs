@@ -1,0 +1,92 @@
+//! Most-linked-to analysis (Table 11 of the paper).
+//!
+//! For each class the paper lists the ten external domains most often
+//! linked to by pharmacies of that class. A target is counted once per
+//! *pharmacy* that links to it (not once per link), so a single spammy
+//! site with thousands of links cannot dominate the list.
+
+use std::collections::HashMap;
+
+/// One row of the most-linked-to table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkedSite {
+    /// Target second-level domain.
+    pub domain: String,
+    /// Number of distinct pharmacies linking to it.
+    pub pharmacies: usize,
+}
+
+/// Ranks the external domains most linked to by the given pharmacies.
+/// `outbound_per_pharmacy` holds, per pharmacy, the set of target domains
+/// it links to (multiplicities ignored). Ties break alphabetically so the
+/// table is deterministic.
+pub fn top_linked<'a, I, J>(outbound_per_pharmacy: I, top_n: usize) -> Vec<LinkedSite>
+where
+    I: IntoIterator<Item = J>,
+    J: IntoIterator<Item = &'a str>,
+{
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for pharmacy in outbound_per_pharmacy {
+        let mut seen: Vec<&str> = pharmacy.into_iter().collect();
+        seen.sort_unstable();
+        seen.dedup();
+        for domain in seen {
+            *counts.entry(domain.to_string()).or_insert(0) += 1;
+        }
+    }
+    let mut rows: Vec<LinkedSite> = counts
+        .into_iter()
+        .map(|(domain, pharmacies)| LinkedSite { domain, pharmacies })
+        .collect();
+    rows.sort_unstable_by(|a, b| {
+        b.pharmacies
+            .cmp(&a.pharmacies)
+            .then_with(|| a.domain.cmp(&b.domain))
+    });
+    rows.truncate(top_n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_distinct_pharmacies_not_links() {
+        let outbound = [vec!["fda.gov", "fda.gov", "facebook.com"],
+            vec!["fda.gov"],
+            vec!["facebook.com"]];
+        let rows = top_linked(
+            outbound.iter().map(|v| v.iter().copied()),
+            10,
+        );
+        assert_eq!(rows[0].domain, "facebook.com"); // tie broken alphabetically
+        assert_eq!(rows[0].pharmacies, 2);
+        assert_eq!(rows[1].domain, "fda.gov");
+        assert_eq!(rows[1].pharmacies, 2);
+    }
+
+    #[test]
+    fn respects_top_n() {
+        let outbound = [vec!["a.com", "b.com", "c.com"]];
+        let rows = top_linked(outbound.iter().map(|v| v.iter().copied()), 2);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn orders_by_count_descending() {
+        let outbound = [vec!["popular.com", "rare.com"],
+            vec!["popular.com"],
+            vec!["popular.com"]];
+        let rows = top_linked(outbound.iter().map(|v| v.iter().copied()), 10);
+        assert_eq!(rows[0].domain, "popular.com");
+        assert_eq!(rows[0].pharmacies, 3);
+        assert_eq!(rows[1].pharmacies, 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        let outbound: Vec<Vec<&str>> = vec![];
+        assert!(top_linked(outbound.iter().map(|v| v.iter().copied()), 5).is_empty());
+    }
+}

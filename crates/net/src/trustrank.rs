@@ -1,0 +1,243 @@
+//! TrustRank (Gyöngyi, Garcia-Molina, Pedersen; VLDB 2004).
+//!
+//! Trust propagates from a seed of known-good pages through the link
+//! structure, on the premise of *approximate isolation*: good pages rarely
+//! point to bad ones. The iteration is biased PageRank,
+//!
+//! ```text
+//! t ← α · T · t + (1 − α) · d
+//! ```
+//!
+//! where `T` is the column-normalized link matrix and `d` the normalized
+//! seed distribution. Following the paper (§4.2 and §6.3.2), the seed is
+//! the set of known-legitimate pharmacies of the training folds, scored 1
+//! at initialization while every other node starts at 0.
+
+use crate::graph::{NodeId, WebGraph};
+
+/// TrustRank configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrustRankConfig {
+    /// Decay / damping factor α (the original paper uses 0.85).
+    pub alpha: f64,
+    /// Number of propagation iterations (the original paper uses 20).
+    pub iterations: usize,
+}
+
+impl Default for TrustRankConfig {
+    fn default() -> Self {
+        TrustRankConfig {
+            alpha: 0.85,
+            iterations: 20,
+        }
+    }
+}
+
+/// Runs TrustRank over `graph` with the given good-seed nodes. Returns a
+/// per-node trust score summing to ≤ 1 (dangling mass is re-teleported to
+/// the seeds). An empty seed set yields all-zero trust.
+///
+/// # Examples
+///
+/// ```
+/// use pharmaverify_net::{trust_rank, TrustRankConfig, WebGraph};
+///
+/// let mut g = WebGraph::new();
+/// let seed = g.add_pharmacy("trusted.com");
+/// g.add_link(seed, "partner.com", 1.0);
+/// let trust = trust_rank(&g, &[seed], &TrustRankConfig::default());
+/// let partner = g.node("partner.com").unwrap() as usize;
+/// assert!(trust[seed as usize] > trust[partner]);
+/// assert!(trust[partner] > 0.0);
+/// ```
+///
+/// # Panics
+/// Panics if a seed id is out of range, `alpha` is outside `(0, 1)`, or
+/// `iterations` is 0.
+pub fn trust_rank(graph: &WebGraph, seeds: &[NodeId], config: &TrustRankConfig) -> Vec<f64> {
+    assert!(
+        config.alpha > 0.0 && config.alpha < 1.0,
+        "alpha must be in (0, 1)"
+    );
+    assert!(config.iterations > 0, "need at least one iteration");
+    let n = graph.node_count();
+    if n == 0 || seeds.is_empty() {
+        return vec![0.0; n];
+    }
+    for &s in seeds {
+        assert!((s as usize) < n, "seed {s} out of range");
+    }
+    // Normalized static seed distribution d.
+    let mut d = vec![0.0; n];
+    let share = 1.0 / seeds.len() as f64;
+    for &s in seeds {
+        d[s as usize] += share;
+    }
+    let mut t = d.clone();
+    let mut next = vec![0.0; n];
+    for _ in 0..config.iterations {
+        next.iter_mut().for_each(|v| *v = 0.0);
+        let mut dangling = 0.0;
+        for u in graph.nodes() {
+            let mass = t[u as usize];
+            if mass == 0.0 {
+                continue;
+            }
+            let out = graph.out_weight(u);
+            if out == 0.0 {
+                dangling += mass;
+                continue;
+            }
+            for &(v, w) in graph.out_edges(u) {
+                next[v as usize] += mass * w / out;
+            }
+        }
+        // Dangling trust returns to the seeds instead of vanishing.
+        for ((ti, &ni), &di) in t.iter_mut().zip(&next).zip(&d) {
+            *ti = config.alpha * (ni + dangling * di) + (1.0 - config.alpha) * di;
+        }
+    }
+    t
+}
+
+/// The Figure 3 illustration: a small network of "good" (white) and "bad"
+/// (black) nodes. Returns `(graph, good_seeds, initial, converged)` where
+/// `initial` is the seed state (1 for seeds, 0 elsewhere) and `converged`
+/// the TrustRank scores — the two panels of the figure.
+pub fn trustrank_demo() -> (WebGraph, Vec<NodeId>, Vec<f64>, Vec<f64>) {
+    let mut g = WebGraph::new();
+    // 4 good pages (0–3) forming a well-connected cluster, 3 bad pages
+    // (4–6) in a chain that receives a single link from a deceived good
+    // page — the "approximate isolation of good pages" premise.
+    let ids: Vec<NodeId> = (0..7)
+        .map(|i| g.add_pharmacy(&format!("site{i}.example")))
+        .collect();
+    let link = |g: &mut WebGraph, a: usize, b: usize| {
+        let name = format!("site{b}.example");
+        g.add_link(ids[a], &name, 1.0);
+    };
+    link(&mut g, 0, 1);
+    link(&mut g, 1, 2);
+    link(&mut g, 2, 3);
+    link(&mut g, 3, 0);
+    link(&mut g, 0, 2);
+    link(&mut g, 3, 4); // the one good→bad link
+    link(&mut g, 4, 5);
+    link(&mut g, 5, 6);
+    let seeds = vec![ids[0], ids[1]];
+    let mut initial = vec![0.0; g.node_count()];
+    for &s in &seeds {
+        initial[s as usize] = 1.0;
+    }
+    let converged = trust_rank(&g, &seeds, &TrustRankConfig::default());
+    (g, seeds, initial, converged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> WebGraph {
+        let mut g = WebGraph::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| g.add_pharmacy(&format!("n{i}.com")))
+            .collect();
+        for (i, &from) in ids.iter().enumerate().take(n - 1) {
+            g.add_link(from, &format!("n{}.com", i + 1), 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn trust_decays_along_a_chain() {
+        let g = chain(5);
+        let t = trust_rank(&g, &[0], &TrustRankConfig::default());
+        for w in t.windows(2) {
+            assert!(w[0] > w[1], "trust must decay: {:?}", t);
+        }
+        assert!(t[0] > 0.0);
+    }
+
+    #[test]
+    fn scores_sum_to_at_most_one() {
+        let g = chain(6);
+        let t = trust_rank(&g, &[0, 1], &TrustRankConfig::default());
+        let sum: f64 = t.iter().sum();
+        assert!(sum <= 1.0 + 1e-9, "sum = {sum}");
+        assert!(sum > 0.5);
+    }
+
+    #[test]
+    fn empty_seed_is_all_zero() {
+        let g = chain(3);
+        let t = trust_rank(&g, &[], &TrustRankConfig::default());
+        assert!(t.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn unreachable_nodes_get_zero() {
+        let mut g = chain(3);
+        let lone = g.add_pharmacy("island.com");
+        let t = trust_rank(&g, &[0], &TrustRankConfig::default());
+        assert_eq!(t[lone as usize], 0.0);
+    }
+
+    #[test]
+    fn dangling_mass_returns_to_seeds() {
+        // 0 → 1, and 1 dangles. Seed trust must not evaporate.
+        let g = chain(2);
+        let t = trust_rank(&g, &[0], &TrustRankConfig::default());
+        assert!(t[0] > 0.2);
+        assert!(t[1] > 0.0);
+    }
+
+    #[test]
+    fn seeded_nodes_outrank_distant_nodes() {
+        let (_g, seeds, initial, converged) = trustrank_demo();
+        // Initial state: exactly the seeds at 1.
+        assert_eq!(initial.iter().filter(|&&x| x == 1.0).count(), seeds.len());
+        // Converged: good cluster (0–3) all positive, and the directly
+        // seeded nodes dominate the bad cycle (4–6).
+        for (good, &value) in converged.iter().enumerate().take(4) {
+            assert!(value > 0.0, "good node {good} has no trust");
+        }
+        let min_seed = converged[0].min(converged[1]);
+        for (bad, &value) in converged.iter().enumerate().skip(4) {
+            assert!(value < min_seed, "bad node {bad}: {value} !< {min_seed}");
+        }
+    }
+
+    #[test]
+    fn weighted_links_split_trust_proportionally() {
+        let mut g = WebGraph::new();
+        let hub = g.add_pharmacy("hub.com");
+        g.add_link(hub, "big.com", 3.0);
+        g.add_link(hub, "small.com", 1.0);
+        let t = trust_rank(&g, &[hub], &TrustRankConfig::default());
+        let big = g.node("big.com").unwrap() as usize;
+        let small = g.node("small.com").unwrap() as usize;
+        assert!(t[big] > t[small]);
+        assert!((t[big] / t[small] - 3.0).abs() < 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_seed_panics() {
+        let g = chain(2);
+        trust_rank(&g, &[99], &TrustRankConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn bad_alpha_panics() {
+        let g = chain(2);
+        trust_rank(
+            &g,
+            &[0],
+            &TrustRankConfig {
+                alpha: 1.5,
+                iterations: 10,
+            },
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the link graph and trust propagation.
+
+use pharmaverify_net::{pagerank, trust_rank, NodeId, TrustRankConfig, WebGraph};
+use proptest::prelude::*;
+
+/// A random directed graph: `edges[i] = (from, to)` over `n` nodes.
+fn random_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..40);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize)]) -> WebGraph {
+    let mut g = WebGraph::new();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.add_pharmacy(&format!("n{i}.com"))).collect();
+    for &(a, b) in edges {
+        if a != b {
+            g.add_link(ids[a], &format!("n{b}.com"), 1.0);
+        }
+    }
+    g
+}
+
+proptest! {
+    /// Trust scores are non-negative and sum to at most 1 on any graph
+    /// with any seed set.
+    #[test]
+    fn trustrank_mass_conserved(
+        (n, edges) in random_graph(),
+        seed_bits in prop::collection::vec(any::<bool>(), 2..20),
+    ) {
+        let g = build(n, &edges);
+        let seeds: Vec<NodeId> = (0..n as NodeId)
+            .filter(|&i| seed_bits.get(i as usize).copied().unwrap_or(false))
+            .collect();
+        let t = trust_rank(&g, &seeds, &TrustRankConfig::default());
+        prop_assert_eq!(t.len(), n);
+        for &x in &t {
+            prop_assert!(x >= 0.0);
+            prop_assert!(x.is_finite());
+        }
+        let sum: f64 = t.iter().sum();
+        prop_assert!(sum <= 1.0 + 1e-9, "sum = {sum}");
+        if !seeds.is_empty() {
+            prop_assert!(sum > 0.0);
+        }
+    }
+
+    /// Nodes unreachable from the seed set receive exactly zero trust.
+    #[test]
+    fn unreachable_nodes_zero((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let seeds = vec![0 as NodeId];
+        let t = trust_rank(&g, &seeds, &TrustRankConfig::default());
+        // BFS reachability from node 0.
+        let mut reachable = vec![false; n];
+        reachable[0] = true;
+        let mut queue = vec![0 as NodeId];
+        while let Some(u) = queue.pop() {
+            for &(v, _) in g.out_edges(u) {
+                if !reachable[v as usize] {
+                    reachable[v as usize] = true;
+                    queue.push(v);
+                }
+            }
+        }
+        for (i, &r) in reachable.iter().enumerate() {
+            if !r {
+                prop_assert_eq!(t[i], 0.0, "unreachable node {} has trust", i);
+            }
+        }
+    }
+
+    /// PageRank sums to 1 on any non-empty graph and assigns every node a
+    /// positive score (teleportation guarantees it).
+    #[test]
+    fn pagerank_sums_to_one((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        let r = pagerank(&g, &TrustRankConfig::default());
+        let sum: f64 = r.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+        for &x in &r {
+            prop_assert!(x > 0.0);
+        }
+    }
+
+    /// Graph construction: parallel links merge, node count equals the
+    /// number of distinct domains.
+    #[test]
+    fn graph_counts((n, edges) in random_graph()) {
+        let g = build(n, &edges);
+        prop_assert_eq!(g.node_count(), n);
+        let distinct: std::collections::HashSet<(usize, usize)> = edges
+            .iter()
+            .filter(|&&(a, b)| a != b)
+            .copied()
+            .collect();
+        prop_assert_eq!(g.edge_count(), distinct.len());
+    }
+}

@@ -1,0 +1,165 @@
+//! The n-gram graph data structure.
+//!
+//! Vertices are character n-grams, interned to dense `u32` ids. Edges are
+//! directed `(from, to)` pairs with `f64` weights, stored in a hash map —
+//! the similarity measures only ever need membership tests and weight
+//! lookups, both O(1).
+
+use std::collections::HashMap;
+
+/// A weighted directed graph over interned character n-grams.
+#[derive(Debug, Clone, Default)]
+pub struct NGramGraph {
+    grams: Vec<Box<str>>,
+    index: HashMap<Box<str>, u32>,
+    edges: HashMap<(u32, u32), f64>,
+}
+
+impl NGramGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an n-gram, returning its id.
+    pub fn intern(&mut self, gram: &str) -> u32 {
+        if let Some(&id) = self.index.get(gram) {
+            return id;
+        }
+        let id = self.grams.len() as u32;
+        let boxed: Box<str> = gram.into();
+        self.grams.push(boxed.clone());
+        self.index.insert(boxed, id);
+        id
+    }
+
+    /// The id of `gram`, if present.
+    pub fn gram_id(&self, gram: &str) -> Option<u32> {
+        self.index.get(gram).copied()
+    }
+
+    /// The n-gram with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn gram(&self, id: u32) -> &str {
+        &self.grams[id as usize]
+    }
+
+    /// Adds `delta` to the weight of edge `(from, to)` (creating it at 0).
+    pub fn bump_edge(&mut self, from: u32, to: u32, delta: f64) {
+        *self.edges.entry((from, to)).or_insert(0.0) += delta;
+    }
+
+    /// Sets the weight of edge `(from, to)` exactly.
+    pub fn set_edge(&mut self, from: u32, to: u32, weight: f64) {
+        self.edges.insert((from, to), weight);
+    }
+
+    /// The weight of the edge between two interned ids, 0.0 when absent.
+    pub fn edge_weight(&self, from: u32, to: u32) -> f64 {
+        self.edges.get(&(from, to)).copied().unwrap_or(0.0)
+    }
+
+    /// The weight of the edge between two n-grams *by name*, 0.0 when
+    /// either endpoint or the edge is absent. This is the lookup used when
+    /// comparing edges across two different graphs, whose ids differ.
+    pub fn edge_weight_by_name(&self, from: &str, to: &str) -> Option<f64> {
+        let f = self.index.get(from)?;
+        let t = self.index.get(to)?;
+        self.edges.get(&(*f, *t)).copied()
+    }
+
+    /// Number of edges — the graph cardinality `|G|` used by all the
+    /// similarity measures.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of distinct n-gram vertices.
+    pub fn node_count(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// True when the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates edges as `(from_gram, to_gram, weight)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (&str, &str, f64)> {
+        self.edges
+            .iter()
+            .map(move |(&(f, t), &w)| (self.gram(f), self.gram(t), w))
+    }
+
+    /// Total of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut g = NGramGraph::new();
+        let a = g.intern("phar");
+        let b = g.intern("phar");
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.gram(a), "phar");
+    }
+
+    #[test]
+    fn bump_accumulates() {
+        let mut g = NGramGraph::new();
+        let a = g.intern("phar");
+        let b = g.intern("harm");
+        g.bump_edge(a, b, 1.0);
+        g.bump_edge(a, b, 2.0);
+        assert_eq!(g.edge_weight(a, b), 3.0);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn edges_are_directed() {
+        let mut g = NGramGraph::new();
+        let a = g.intern("abcd");
+        let b = g.intern("bcde");
+        g.bump_edge(a, b, 1.0);
+        assert_eq!(g.edge_weight(b, a), 0.0);
+        assert_eq!(g.edge_weight(a, b), 1.0);
+    }
+
+    #[test]
+    fn lookup_by_name_across_graphs() {
+        let mut g1 = NGramGraph::new();
+        let x = g1.intern("xxxx");
+        let y = g1.intern("yyyy");
+        g1.bump_edge(x, y, 2.0);
+
+        let mut g2 = NGramGraph::new();
+        let y2 = g2.intern("yyyy"); // different id order
+        let x2 = g2.intern("xxxx");
+        g2.bump_edge(x2, y2, 5.0);
+
+        assert_eq!(g2.edge_weight_by_name("xxxx", "yyyy"), Some(5.0));
+        assert_eq!(g2.edge_weight_by_name("yyyy", "xxxx"), None);
+        assert_eq!(g2.edge_weight_by_name("zzzz", "xxxx"), None);
+    }
+
+    #[test]
+    fn iter_and_totals() {
+        let mut g = NGramGraph::new();
+        let a = g.intern("aaaa");
+        let b = g.intern("bbbb");
+        g.bump_edge(a, b, 1.5);
+        g.bump_edge(b, a, 0.5);
+        assert_eq!(g.total_weight(), 2.0);
+        assert_eq!(g.iter_edges().count(), 2);
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,165 @@
+//! Class-graph construction.
+//!
+//! For each class the paper merges the graphs of (a random half of) the
+//! training documents of that class into a single *class graph* (§4.1.2,
+//! Figure 2). We use running-average merge semantics — after merging *k*
+//! documents, every edge's weight equals the mean of that edge's weight
+//! across the *k* documents (0 where absent). This matches the repeated
+//! application of the JInsect `UpdateOperator` rule
+//! `w ← w + (w_doc − w) · 1/(k+1)` over the union of edge sets, and keeps
+//! class-graph weights on the same scale as document-graph weights so the
+//! value similarity (VS) between a document and a class graph is
+//! meaningful.
+//!
+//! Internally the builder accumulates plain edge-weight *sums* — merging
+//! a document costs O(document edges), not O(class-graph edges) — and the
+//! division by the document count happens once, when the averaged graph
+//! is materialized.
+
+use crate::graph::NGramGraph;
+
+/// A class graph built by averaging document graphs.
+#[derive(Debug, Clone, Default)]
+pub struct ClassGraph {
+    /// Edge-weight sums over all merged documents.
+    sums: NGramGraph,
+    merged: usize,
+}
+
+impl ClassGraph {
+    /// Creates an empty class graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of documents merged so far.
+    pub fn merged_count(&self) -> usize {
+        self.merged
+    }
+
+    /// Merges one document graph. O(edges of `doc`).
+    pub fn merge(&mut self, doc: &NGramGraph) {
+        for (f, t, w) in doc.iter_edges() {
+            let from = self.sums.intern(f);
+            let to = self.sums.intern(t);
+            self.sums.bump_edge(from, to, w);
+        }
+        self.merged += 1;
+    }
+
+    /// Merges every graph in the iterator.
+    pub fn merge_all<'a, I: IntoIterator<Item = &'a NGramGraph>>(&mut self, docs: I) {
+        for doc in docs {
+            self.merge(doc);
+        }
+    }
+
+    /// Materializes the averaged class graph: every edge weight is the
+    /// mean of that edge's weight across the merged documents.
+    pub fn average(&self) -> NGramGraph {
+        let mut avg = self.sums.clone();
+        if self.merged > 1 {
+            let factor = 1.0 / self.merged as f64;
+            let edges: Vec<(String, String, f64)> = avg
+                .iter_edges()
+                .map(|(f, t, w)| (f.to_string(), t.to_string(), w))
+                .collect();
+            for (f, t, w) in edges {
+                let from = avg.gram_id(&f).expect("edge endpoint interned");
+                let to = avg.gram_id(&t).expect("edge endpoint interned");
+                avg.set_edge(from, to, w * factor);
+            }
+        }
+        avg
+    }
+
+    /// Consumes the builder, returning the averaged graph.
+    pub fn into_graph(self) -> NGramGraph {
+        self.average()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NGramGraphBuilder;
+
+    fn g(text: &str) -> NGramGraph {
+        NGramGraphBuilder::new(1, 1).build(text)
+    }
+
+    #[test]
+    fn merging_one_doc_copies_it() {
+        let doc = g("abab");
+        let mut class = ClassGraph::new();
+        class.merge(&doc);
+        assert_eq!(class.merged_count(), 1);
+        assert_eq!(
+            class.average().edge_weight_by_name("a", "b"),
+            doc.edge_weight_by_name("a", "b")
+        );
+    }
+
+    #[test]
+    fn merge_averages_shared_edges() {
+        // doc1: a→b weight 2; doc2: a→b weight 4 ⇒ class weight 3.
+        let doc1 = g("ababa"); // a→b x2, b→a x2
+        let doc2 = g("ababababa"); // a→b x4, b→a x4
+        let mut class = ClassGraph::new();
+        class.merge(&doc1);
+        class.merge(&doc2);
+        assert_eq!(class.average().edge_weight_by_name("a", "b"), Some(3.0));
+    }
+
+    #[test]
+    fn merge_averages_disjoint_edges_toward_half() {
+        let doc1 = g("ab"); // a→b weight 1
+        let doc2 = g("cd"); // c→d weight 1
+        let mut class = ClassGraph::new();
+        class.merge(&doc1);
+        class.merge(&doc2);
+        let avg = class.average();
+        assert_eq!(avg.edge_weight_by_name("a", "b"), Some(0.5));
+        assert_eq!(avg.edge_weight_by_name("c", "d"), Some(0.5));
+    }
+
+    #[test]
+    fn weights_equal_mean_over_documents() {
+        // Three docs with a→b weights 1, 0 (edge absent), 2 ⇒ mean 1.0.
+        let docs = [g("ab"), g("cd"), g("abab")];
+        let mut class = ClassGraph::new();
+        class.merge_all(docs.iter());
+        let w = class.average().edge_weight_by_name("a", "b").unwrap();
+        assert!((w - 1.0).abs() < 1e-12, "got {w}");
+        assert_eq!(class.merged_count(), 3);
+    }
+
+    #[test]
+    fn merge_order_does_not_change_result() {
+        let docs = [g("abcab"), g("bcabc"), g("aabb")];
+        let mut forward = ClassGraph::new();
+        forward.merge_all(docs.iter());
+        let mut reverse = ClassGraph::new();
+        reverse.merge_all(docs.iter().rev());
+        let fg = forward.average();
+        let rg = reverse.average();
+        for (f, t, w) in fg.iter_edges() {
+            let rw = rg.edge_weight_by_name(f, t).unwrap();
+            assert!((w - rw).abs() < 1e-9, "{f}->{t}: {w} vs {rw}");
+        }
+        assert_eq!(fg.edge_count(), rg.edge_count());
+    }
+
+    #[test]
+    fn into_graph_equals_average() {
+        let docs = [g("abc"), g("bcd")];
+        let mut class = ClassGraph::new();
+        class.merge_all(docs.iter());
+        let avg = class.average();
+        let owned = class.into_graph();
+        assert_eq!(avg.edge_count(), owned.edge_count());
+        for (f, t, w) in avg.iter_edges() {
+            assert_eq!(owned.edge_weight_by_name(f, t), Some(w));
+        }
+    }
+}

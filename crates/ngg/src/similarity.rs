@@ -1,0 +1,196 @@
+//! Graph similarity measures (§4.1.2).
+//!
+//! With `|G|` the number of edges of graph `G`, `μ(e, G) = 1` iff edge
+//! `e ∈ G`, and `wᵉᵢ` the weight of edge `e` in graph `Gᵢ`:
+//!
+//! * Containment Similarity `CS(Gᵢ, Gⱼ) = Σ_{e∈Gᵢ} μ(e, Gⱼ) / min(|Gᵢ|, |Gⱼ|)`
+//! * Size Similarity `SS(Gᵢ, Gⱼ) = min(|Gᵢ|, |Gⱼ|) / max(|Gᵢ|, |Gⱼ|)`
+//! * Value Similarity `VS(Gᵢ, Gⱼ) = Σ_{e∈Gᵢ} (min(wᵉᵢ, wᵉⱼ) / max(wᵉᵢ, wᵉⱼ)) / max(|Gᵢ|, |Gⱼ|)`
+//! * Normalized Value Similarity `NVS = VS / SS`
+//!
+//! Degenerate cases (not defined by the paper) are pinned down here: two
+//! empty graphs are identical (all similarities 1); comparing an empty
+//! graph with a non-empty one yields 0.
+
+use crate::graph::NGramGraph;
+
+/// All four similarity values between a pair of graphs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphSimilarities {
+    /// Containment similarity — shared-edge proportion.
+    pub cs: f64,
+    /// Size similarity — edge-count ratio.
+    pub ss: f64,
+    /// Value similarity — weight-aware shared-edge proportion.
+    pub vs: f64,
+    /// Normalized value similarity — `VS / SS`.
+    pub nvs: f64,
+}
+
+impl GraphSimilarities {
+    /// Computes all four measures between `gi` and `gj`.
+    pub fn compute(gi: &NGramGraph, gj: &NGramGraph) -> Self {
+        let cs = containment_similarity(gi, gj);
+        let ss = size_similarity(gi, gj);
+        let vs = value_similarity(gi, gj);
+        let nvs = if ss == 0.0 { 0.0 } else { vs / ss };
+        GraphSimilarities { cs, ss, vs, nvs }
+    }
+}
+
+/// Proportion of `gi`'s edges shared with `gj`, normalized by the smaller
+/// edge count.
+pub fn containment_similarity(gi: &NGramGraph, gj: &NGramGraph) -> f64 {
+    let min = gi.edge_count().min(gj.edge_count());
+    if min == 0 {
+        return if gi.is_empty() && gj.is_empty() { 1.0 } else { 0.0 };
+    }
+    let shared = gi
+        .iter_edges()
+        .filter(|(f, t, _)| gj.edge_weight_by_name(f, t).is_some())
+        .count();
+    shared as f64 / min as f64
+}
+
+/// Ratio of the two graphs' edge counts.
+pub fn size_similarity(gi: &NGramGraph, gj: &NGramGraph) -> f64 {
+    let (min, max) = (
+        gi.edge_count().min(gj.edge_count()),
+        gi.edge_count().max(gj.edge_count()),
+    );
+    if max == 0 {
+        return 1.0; // both empty: identical
+    }
+    min as f64 / max as f64
+}
+
+/// Weight-aware overlap: per shared edge, the ratio of the smaller to the
+/// larger weight, summed and normalized by the larger edge count.
+pub fn value_similarity(gi: &NGramGraph, gj: &NGramGraph) -> f64 {
+    let max = gi.edge_count().max(gj.edge_count());
+    if max == 0 {
+        return 1.0; // both empty: identical
+    }
+    let sum: f64 = gi
+        .iter_edges()
+        .filter_map(|(f, t, wi)| {
+            gj.edge_weight_by_name(f, t).map(|wj| {
+                let (lo, hi) = if wi < wj { (wi, wj) } else { (wj, wi) };
+                if hi == 0.0 {
+                    0.0
+                } else {
+                    lo / hi
+                }
+            })
+        })
+        .sum();
+    sum / max as f64
+}
+
+/// `VS / SS` — value similarity with the size penalty removed.
+pub fn normalized_value_similarity(gi: &NGramGraph, gj: &NGramGraph) -> f64 {
+    GraphSimilarities::compute(gi, gj).nvs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NGramGraphBuilder;
+
+    fn g(text: &str) -> NGramGraph {
+        NGramGraphBuilder::new(1, 1).build(text)
+    }
+
+    #[test]
+    fn identical_graphs_all_ones() {
+        let a = g("abcabc");
+        let s = GraphSimilarities::compute(&a, &a);
+        assert_eq!(s.cs, 1.0);
+        assert_eq!(s.ss, 1.0);
+        assert_eq!(s.vs, 1.0);
+        assert_eq!(s.nvs, 1.0);
+    }
+
+    #[test]
+    fn disjoint_graphs_all_zero_except_ss() {
+        let a = g("ab");
+        let b = g("cd");
+        let s = GraphSimilarities::compute(&a, &b);
+        assert_eq!(s.cs, 0.0);
+        assert_eq!(s.ss, 1.0); // same sizes
+        assert_eq!(s.vs, 0.0);
+        assert_eq!(s.nvs, 0.0);
+    }
+
+    #[test]
+    fn both_empty_is_identity() {
+        let e = g("");
+        let s = GraphSimilarities::compute(&e, &e);
+        assert_eq!((s.cs, s.ss, s.vs, s.nvs), (1.0, 1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn one_empty_is_zero() {
+        let e = g("");
+        let a = g("ab");
+        let s = GraphSimilarities::compute(&e, &a);
+        assert_eq!(s.cs, 0.0);
+        assert_eq!(s.ss, 0.0);
+        assert_eq!(s.vs, 0.0);
+        assert_eq!(s.nvs, 0.0);
+    }
+
+    #[test]
+    fn cs_normalizes_by_smaller_graph() {
+        // a: edges {a→b}; b: edges {a→b, b→c, c→d}; shared = 1,
+        // min = 1 ⇒ CS = 1.
+        let a = g("ab");
+        let b = g("abcd");
+        assert_eq!(containment_similarity(&a, &b), 1.0);
+        // Symmetric call: shared counted over b's edges, still 1/min=1.
+        assert_eq!(containment_similarity(&b, &a), 1.0);
+    }
+
+    #[test]
+    fn ss_is_symmetric_ratio() {
+        let a = g("ab"); // 1 edge
+        let b = g("abcd"); // 3 edges
+        assert!((size_similarity(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(size_similarity(&a, &b), size_similarity(&b, &a));
+    }
+
+    #[test]
+    fn vs_penalizes_weight_mismatch() {
+        let a = g("abab"); // a→b weight 2, b→a weight 1
+        let b = g("ab"); // a→b weight 1
+        // Shared edge a→b: min/max = 1/2. max(|Gi|,|Gj|) = 2.
+        assert!((value_similarity(&a, &b) - 0.25).abs() < 1e-12);
+        // VS is symmetric here because the shared-edge ratio is.
+        assert!((value_similarity(&b, &a) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvs_removes_size_penalty() {
+        let a = g("abab");
+        let b = g("ab");
+        let s = GraphSimilarities::compute(&a, &b);
+        assert!((s.nvs - s.vs / s.ss).abs() < 1e-12);
+        assert!(s.nvs >= s.vs);
+    }
+
+    #[test]
+    fn similarities_bounded() {
+        let pairs = [
+            (g("pharmacy online"), g("pharmacy store")),
+            (g("viagra no prescription"), g("refill your prescription")),
+            (g("aaaa"), g("aaaaaaaa")),
+        ];
+        for (a, b) in &pairs {
+            let s = GraphSimilarities::compute(a, b);
+            for v in [s.cs, s.ss, s.vs] {
+                assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+            }
+            assert!(s.nvs >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Text pipeline for pharmacy-website classification.
+//!
+//! Implements §4.1 of the paper:
+//!
+//! * [`mod@tokenize`] — Lucene-style letter tokenization with lowercasing
+//!   (stemming is deliberately **not** applied, matching the paper: the text
+//!   is full of trademarks and technical drug names);
+//! * [`stopwords`] — the Lucene 3.4 `StopAnalyzer` English stop set used by
+//!   the original system;
+//! * [`mod@preprocess`] — the tokenize → stop-word-removal pipeline applied to
+//!   each summarized pharmacy document;
+//! * [`subsample`] — the paper's term-subsampling step (random subsets of
+//!   100/250/1000/2000 terms of the summary document);
+//! * [`vocab`] — term interning and document frequencies;
+//! * [`sparse`] — sorted sparse vectors, the feature representation shared
+//!   with the learning substrate;
+//! * [`tfidf`] — the Term Vector model with TF-IDF weights (§4.1.1);
+//! * [`char_ngrams`] — the Character N-Grams bag model, the third
+//!   representation of the comparison study the paper builds on (\[13\]).
+
+pub mod char_ngrams;
+pub mod preprocess;
+pub mod sparse;
+pub mod stopwords;
+pub mod subsample;
+pub mod tfidf;
+pub mod tokenize;
+pub mod vocab;
+
+pub use char_ngrams::CharNgramModel;
+pub use preprocess::preprocess;
+pub use sparse::SparseVector;
+pub use stopwords::is_stopword;
+pub use subsample::subsample_terms;
+pub use tfidf::TfIdfModel;
+pub use tokenize::tokenize;
+pub use vocab::Vocabulary;

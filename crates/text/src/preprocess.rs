@@ -1,0 +1,50 @@
+//! The preprocessing pipeline of §4.1.
+//!
+//! Tokenize, lowercase, and drop stop words. The paper explicitly does
+//! **not** stem ("the text contains a lot of technical words and
+//! trademarks, and this technique causes undesirable side-effects"), so
+//! neither do we.
+
+use crate::stopwords::is_stopword;
+use crate::tokenize::tokenize;
+
+/// Tokenizes `text` and removes English stop words.
+pub fn preprocess(text: &str) -> Vec<String> {
+    let mut tokens = tokenize(text);
+    tokens.retain(|t| !is_stopword(t));
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_stop_words() {
+        assert_eq!(
+            preprocess("The pharmacy will refill a prescription."),
+            vec!["pharmacy", "refill", "prescription"]
+        );
+    }
+
+    #[test]
+    fn preserves_order_and_duplicates() {
+        assert_eq!(
+            preprocess("viagra cialis viagra"),
+            vec!["viagra", "cialis", "viagra"]
+        );
+    }
+
+    #[test]
+    fn no_stemming() {
+        assert_eq!(
+            preprocess("prescriptions prescription prescribing"),
+            vec!["prescriptions", "prescription", "prescribing"]
+        );
+    }
+
+    #[test]
+    fn empty_after_preprocessing() {
+        assert!(preprocess("the and of").is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Term subsampling (§4.1, Summarization).
+//!
+//! The paper evaluates classifiers on the full summary document and on
+//! random subsamples of 100, 250, 1000, and 2000 terms. Subsampling picks
+//! term *occurrences* uniformly at random without replacement, preserving
+//! their original order — so the subsample keeps both the relative term
+//! frequencies and (for the n-gram-graph model) local term order.
+
+use rand::rngs::SmallRng;
+use rand::seq::index::sample;
+use rand::SeedableRng;
+
+/// The subsample sizes used throughout the paper's evaluation; `None`
+/// denotes the full document ("All").
+pub const PAPER_SUBSAMPLE_SIZES: &[Option<usize>] =
+    &[Some(100), Some(250), Some(1000), Some(2000), None];
+
+/// Returns `n` term occurrences of `tokens` chosen uniformly at random
+/// without replacement, in original document order. If the document has at
+/// most `n` terms it is returned unchanged.
+pub fn subsample_terms(tokens: &[String], n: usize, seed: u64) -> Vec<String> {
+    if tokens.len() <= n {
+        return tokens.to_vec();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut indices = sample(&mut rng, tokens.len(), n).into_vec();
+    indices.sort_unstable();
+    indices.into_iter().map(|i| tokens[i].clone()).collect()
+}
+
+/// Applies [`subsample_terms`] when `size` is `Some(n)`, otherwise returns
+/// the full document — mirroring the "#Terms ∈ {100, …, All}" axis of the
+/// paper's tables.
+pub fn subsample_opt(tokens: &[String], size: Option<usize>, seed: u64) -> Vec<String> {
+    match size {
+        Some(n) => subsample_terms(tokens, n, seed),
+        None => tokens.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("t{i}")).collect()
+    }
+
+    #[test]
+    fn short_documents_unchanged() {
+        let d = doc(5);
+        assert_eq!(subsample_terms(&d, 10, 1), d);
+        assert_eq!(subsample_terms(&d, 5, 1), d);
+    }
+
+    #[test]
+    fn exact_size_returned() {
+        let d = doc(100);
+        assert_eq!(subsample_terms(&d, 25, 7).len(), 25);
+    }
+
+    #[test]
+    fn preserves_document_order() {
+        let d = doc(50);
+        let s = subsample_terms(&d, 20, 3);
+        let positions: Vec<usize> = s
+            .iter()
+            .map(|t| t[1..].parse::<usize>().unwrap())
+            .collect();
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = doc(200);
+        assert_eq!(subsample_terms(&d, 40, 9), subsample_terms(&d, 40, 9));
+        assert_ne!(subsample_terms(&d, 40, 9), subsample_terms(&d, 40, 10));
+    }
+
+    #[test]
+    fn without_replacement() {
+        let d = doc(30);
+        let mut s = subsample_terms(&d, 30, 2);
+        s.sort();
+        s.dedup();
+        assert_eq!(s.len(), 30);
+    }
+
+    #[test]
+    fn opt_none_is_identity() {
+        let d = doc(10);
+        assert_eq!(subsample_opt(&d, None, 1), d);
+        assert_eq!(subsample_opt(&d, Some(3), 1).len(), 3);
+    }
+}

@@ -1,0 +1,137 @@
+//! Term interning and document frequencies.
+
+use std::collections::HashMap;
+
+/// A fitted vocabulary: a bijection between terms and dense ids, plus the
+/// document frequency of each term in the fitting corpus.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    index: HashMap<String, u32>,
+    doc_freq: Vec<u32>,
+    n_docs: usize,
+}
+
+impl Vocabulary {
+    /// Builds a vocabulary from tokenized documents. Term ids are assigned
+    /// in first-appearance order, so fitting is deterministic.
+    pub fn build<D: AsRef<[String]>>(docs: &[D]) -> Self {
+        let mut vocab = Vocabulary::default();
+        let mut seen_in_doc: Vec<bool> = Vec::new();
+        for doc in docs {
+            let mut doc_terms: Vec<u32> = Vec::new();
+            for term in doc.as_ref() {
+                let id = match vocab.index.get(term) {
+                    Some(&id) => id,
+                    None => {
+                        let id = vocab.terms.len() as u32;
+                        vocab.terms.push(term.clone());
+                        vocab.index.insert(term.clone(), id);
+                        vocab.doc_freq.push(0);
+                        seen_in_doc.push(false);
+                        id
+                    }
+                };
+                if !seen_in_doc[id as usize] {
+                    seen_in_doc[id as usize] = true;
+                    doc_terms.push(id);
+                }
+            }
+            for id in doc_terms {
+                vocab.doc_freq[id as usize] += 1;
+                seen_in_doc[id as usize] = false;
+            }
+            vocab.n_docs += 1;
+        }
+        vocab
+    }
+
+    /// The id of `term`, if it appeared in the fitting corpus.
+    pub fn id(&self, term: &str) -> Option<u32> {
+        self.index.get(term).copied()
+    }
+
+    /// The term with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn term(&self, id: u32) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of documents the vocabulary was fitted on.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Number of fitting documents containing the term with id `id`.
+    pub fn doc_freq(&self, id: u32) -> u32 {
+        self.doc_freq[id as usize]
+    }
+
+    /// Iterates `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn assigns_ids_in_first_appearance_order() {
+        let v = Vocabulary::build(&[toks("b a b"), toks("c a")]);
+        assert_eq!(v.id("b"), Some(0));
+        assert_eq!(v.id("a"), Some(1));
+        assert_eq!(v.id("c"), Some(2));
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let v = Vocabulary::build(&[toks("a a a b"), toks("a c")]);
+        assert_eq!(v.doc_freq(v.id("a").unwrap()), 2);
+        assert_eq!(v.doc_freq(v.id("b").unwrap()), 1);
+        assert_eq!(v.n_docs(), 2);
+    }
+
+    #[test]
+    fn unknown_terms_are_none() {
+        let v = Vocabulary::build(&[toks("a")]);
+        assert_eq!(v.id("zzz"), None);
+    }
+
+    #[test]
+    fn round_trips_term_names() {
+        let v = Vocabulary::build(&[toks("viagra refill")]);
+        for (id, term) in v.iter() {
+            assert_eq!(v.term(id), term);
+            assert_eq!(v.id(term), Some(id));
+        }
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let v = Vocabulary::build::<Vec<String>>(&[]);
+        assert!(v.is_empty());
+        assert_eq!(v.n_docs(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: generate a labelled pharmacy web, train the verifier, and
+//! score unseen sites — the end-to-end flow of the paper's system.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use pharmaverify::core::classify::TextLearnerKind;
+use pharmaverify::core::features::extract_corpus;
+use pharmaverify::core::TrainedVerifier;
+use pharmaverify::corpus::{CorpusConfig, SyntheticWeb};
+use pharmaverify::crawl::{CrawlConfig, Url, WebHost};
+
+fn main() {
+    // 1. A labelled corpus. In production this is a verifier company's
+    //    ground-truth database; here it is the synthetic web that stands
+    //    in for it (see DESIGN.md §1).
+    let web = SyntheticWeb::generate(&CorpusConfig::medium(), 2018);
+    let snapshot = web.snapshot();
+    let stats = snapshot.stats();
+    println!(
+        "training snapshot: {} pharmacies ({} legitimate / {} illegitimate)\n",
+        stats.total, stats.legitimate, stats.illegitimate
+    );
+
+    // A stand-in for the paper's Figure 1: the front page of one pharmacy
+    // of each class. Telling them apart by eye is the hard part.
+    let legit = snapshot.sites.iter().find(|s| s.label()).unwrap();
+    let illegit = snapshot.sites.iter().find(|s| !s.label()).unwrap();
+    for site in [legit, illegit] {
+        let page = snapshot
+            .web
+            .fetch(&Url::parse(&site.seed_url).unwrap())
+            .unwrap();
+        let text = pharmaverify::crawl::html::extract(&page.html).text;
+        let preview: String = text.chars().take(160).collect();
+        println!("front page of {} ({}):\n  {preview}…\n", site.domain, site.class);
+    }
+
+    // 2. Crawl + preprocess, then fit the verifier (NBM text model +
+    //    TrustRank network model).
+    let corpus = extract_corpus(snapshot, &CrawlConfig::default());
+    let verifier = TrainedVerifier::fit(
+        &corpus,
+        TextLearnerKind::Nbm,
+        CrawlConfig::default(),
+        Some(1000),
+        7,
+    );
+    println!(
+        "verifier trained on {} sites; link graph has {} domains, {} links\n",
+        corpus.len(),
+        verifier.graph().node_count(),
+        verifier.graph().edge_count()
+    );
+
+    // 3. Verify sites the model has never seen: the six-months-later
+    //    snapshot contains entirely new illegitimate domains.
+    let future = web.snapshot2();
+    println!("verifying unseen sites from the later snapshot:");
+    let mut correct = 0;
+    let mut shown = 0;
+    for site in &future.sites {
+        let verdict = verifier
+            .verify(&future.web, &site.seed_url)
+            .expect("site is online");
+        if verdict.predicted_legitimate == site.label() {
+            correct += 1;
+        }
+        if shown < 6 {
+            println!("  {verdict}   [truth: {}]", site.class);
+            shown += 1;
+        }
+    }
+    println!(
+        "\naccuracy on the full unseen snapshot: {}/{} = {:.1}%",
+        correct,
+        future.sites.len(),
+        100.0 * correct as f64 / future.sites.len() as f64
+    );
+}

@@ -1,0 +1,54 @@
+//! # pharmaverify
+//!
+//! An automated system for internet pharmacy verification — a from-scratch
+//! Rust reproduction of Cordioli & Palpanas, *"An Automated System for
+//! Internet Pharmacy Verification"* (EDBT 2018).
+//!
+//! The paper formalizes two problems over a population of online pharmacies:
+//!
+//! * **OPC** (Online Pharmacy Classification): decide whether a pharmacy
+//!   website is *legitimate* or *illegitimate*, from the text of its pages
+//!   and from its position in the web link graph.
+//! * **OPR** (Online Pharmacy Ranking): assign every pharmacy a legitimacy
+//!   score and produce a totally ordered list usable by human reviewers.
+//!
+//! This facade crate re-exports the whole workspace under stable module
+//! names. A minimal end-to-end run:
+//!
+//! ```
+//! use pharmaverify::corpus::{CorpusConfig, SyntheticWeb};
+//! use pharmaverify::core::{VerificationSystem, SystemConfig};
+//!
+//! // Generate a small labelled snapshot of the (synthetic) web.
+//! let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
+//! let snapshot = web.snapshot();
+//!
+//! // Crawl it, extract features, train, and evaluate with 3-fold CV.
+//! let system = VerificationSystem::new(SystemConfig::fast());
+//! let outcome = system.evaluate_text_tfidf(&snapshot, 7).unwrap();
+//! assert!(outcome.aggregate().accuracy > 0.5);
+//! ```
+//!
+//! The individual subsystems live in dedicated crates:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`corpus`] | `pharmaverify-corpus` | synthetic web generator (data substitute) |
+//! | [`crawl`] | `pharmaverify-crawl` | breadth-first crawler + HTML extraction |
+//! | [`text`] | `pharmaverify-text` | tokenization, stop words, TF-IDF |
+//! | [`ngg`] | `pharmaverify-ngg` | character n-gram graphs + similarities |
+//! | [`ml`] | `pharmaverify-ml` | classifiers, resampling, metrics, CV |
+//! | [`net`] | `pharmaverify-net` | link graph + TrustRank |
+//! | [`core`] | `pharmaverify-core` | the verification system (OPC + OPR) |
+
+pub use pharmaverify_corpus as corpus;
+pub use pharmaverify_crawl as crawl;
+pub use pharmaverify_ml as ml;
+pub use pharmaverify_net as net;
+pub use pharmaverify_ngg as ngg;
+pub use pharmaverify_text as text;
+
+/// The verification system itself (classification + ranking pipelines).
+pub mod core {
+    pub use pharmaverify_core::*;
+}

@@ -1,0 +1,278 @@
+//! `pharmaverify` — command-line front end for the verification system.
+//!
+//! ```text
+//! pharmaverify generate --out DIR [--scale small|medium|paper] [--seed N]
+//! pharmaverify inspect  SNAPSHOT.json
+//! pharmaverify evaluate SNAPSHOT.json [--model nbm|svm|j48] [--subsample N] [--seed N]
+//! pharmaverify rank     SNAPSHOT.json [--top N] [--subsample N] [--seed N]
+//! pharmaverify verify   --train SNAPSHOT.json --web SNAPSHOT.json --url URL [--subsample N]
+//! ```
+//!
+//! Snapshots are the JSON files produced by `generate` (or by
+//! `pharmaverify::corpus::save_snapshot` from library code).
+
+use pharmaverify::core::classify::TextLearnerKind;
+use pharmaverify::core::features::extract_corpus;
+use pharmaverify::core::rank::RankingMethod;
+use pharmaverify::core::{SystemConfig, TrainedVerifier, VerificationSystem};
+use pharmaverify::corpus::{load_snapshot, save_snapshot, CorpusConfig, Snapshot, SyntheticWeb};
+use pharmaverify::crawl::CrawlConfig;
+use pharmaverify::ml::Sampling;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("rank") => cmd_rank(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}' (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pharmaverify — automated internet pharmacy verification\n\n\
+         USAGE:\n\
+         \x20 pharmaverify generate --out DIR [--scale small|medium|paper] [--seed N]\n\
+         \x20 pharmaverify inspect  SNAPSHOT.json\n\
+         \x20 pharmaverify evaluate SNAPSHOT.json [--model nbm|svm|j48] [--subsample N] [--seed N]\n\
+         \x20 pharmaverify rank     SNAPSHOT.json [--top N] [--subsample N] [--seed N]\n\
+         \x20 pharmaverify verify   --train SNAPSHOT.json --web SNAPSHOT.json --url URL [--subsample N]"
+    );
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional arguments.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key} expects a number, got '{v}'")),
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Snapshot, String> {
+    load_snapshot(Path::new(path)).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn parse_model(name: &str) -> Result<TextLearnerKind, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "nbm" => Ok(TextLearnerKind::Nbm),
+        "svm" => Ok(TextLearnerKind::Svm),
+        "j48" => Ok(TextLearnerKind::J48),
+        other => Err(format!("unknown model '{other}' (nbm|svm|j48)")),
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let out = PathBuf::from(
+        args.get("out")
+            .ok_or("generate requires --out DIR")?,
+    );
+    let seed: u64 = args.get_parse("seed", 20180326)?;
+    let config = match args.get("scale").unwrap_or("medium") {
+        "small" => CorpusConfig::small(),
+        "medium" => CorpusConfig::medium(),
+        "paper" => CorpusConfig::paper(),
+        other => return Err(format!("unknown scale '{other}'")),
+    };
+    std::fs::create_dir_all(&out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
+    let web = SyntheticWeb::generate(&config, seed);
+    for (snapshot, file) in [
+        (web.snapshot(), "snapshot1.json"),
+        (web.snapshot2(), "snapshot2.json"),
+    ] {
+        let path = out.join(file);
+        save_snapshot(snapshot, &path).map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        let stats = snapshot.stats();
+        println!(
+            "{}: {} pharmacies ({} legitimate / {} illegitimate) -> {}",
+            snapshot.name,
+            stats.total,
+            stats.legitimate,
+            stats.illegitimate,
+            path.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("inspect requires a snapshot path")?;
+    let snapshot = load(path)?;
+    let stats = snapshot.stats();
+    println!("name:          {}", snapshot.name);
+    println!("pharmacies:    {}", stats.total);
+    println!(
+        "legitimate:    {} ({:.1}%)",
+        stats.legitimate,
+        stats.legitimate_percent()
+    );
+    println!("illegitimate:  {}", stats.illegitimate);
+    println!("health portals:{}", snapshot.portals.len());
+    println!("pages served:  {}", snapshot.web.len());
+    Ok(())
+}
+
+fn system_from(args: &Args) -> Result<(VerificationSystem, u64), String> {
+    let subsample: usize = args.get_parse("subsample", 1000)?;
+    let seed: u64 = args.get_parse("seed", 7)?;
+    let system = VerificationSystem::new(SystemConfig {
+        subsample: Some(subsample),
+        ..SystemConfig::default()
+    });
+    Ok((system, seed))
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("evaluate requires a snapshot path")?;
+    let snapshot = load(path)?;
+    let kind = parse_model(args.get("model").unwrap_or("nbm"))?;
+    let (system, seed) = system_from(&args)?;
+    let outcome = system
+        .evaluate_text_tfidf_with(&snapshot, kind, seed)
+        .map_err(|e| e.to_string())?;
+    let s = outcome.aggregate();
+    println!("model: {} ({})", kind.name(), kind.paper_sampling().abbreviation());
+    println!("accuracy:            {:.3}", s.accuracy);
+    println!("AUC ROC:             {:.3}", s.auc);
+    println!("legitimate recall:   {:.3}", s.legitimate.recall);
+    println!("legitimate precision:{:.3}", s.legitimate.precision);
+    println!("illegit recall:      {:.3}", s.illegitimate.recall);
+    println!("illegit precision:   {:.3}", s.illegitimate.precision);
+    if let Some(ci) = outcome.accuracy_interval() {
+        println!("fold accuracy:       {:.3} ± {:.3}", ci.mean, ci.half_width);
+    }
+    Ok(())
+}
+
+fn cmd_rank(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let path = args
+        .positional
+        .first()
+        .ok_or("rank requires a snapshot path")?;
+    let snapshot = load(path)?;
+    let top: usize = args.get_parse("top", 10)?;
+    let (system, seed) = system_from(&args)?;
+    let ranking = system
+        .rank(
+            &snapshot,
+            RankingMethod::TfIdf {
+                kind: TextLearnerKind::Nbm,
+                sampling: Sampling::None,
+            },
+            seed,
+        )
+        .map_err(|e| e.to_string())?;
+    println!(
+        "pairwise orderedness: {:.3} over {} pharmacies\n",
+        ranking.pairord,
+        ranking.entries.len()
+    );
+    println!("most legitimate:");
+    for e in ranking.entries.iter().take(top) {
+        println!(
+            "  {:<24} rank {:.3}  [{}]",
+            e.domain,
+            e.rank(),
+            if e.label { "legitimate" } else { "ILLEGITIMATE" }
+        );
+    }
+    println!("\nleast legitimate:");
+    let tail: Vec<_> = ranking.entries.iter().rev().take(top).collect();
+    for e in tail.iter().rev() {
+        println!(
+            "  {:<24} rank {:.3}  [{}]",
+            e.domain,
+            e.rank(),
+            if e.label { "LEGITIMATE" } else { "illegitimate" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let args = Args::parse(args)?;
+    let train_path = args.get("train").ok_or("verify requires --train SNAPSHOT")?;
+    let web_path = args.get("web").ok_or("verify requires --web SNAPSHOT")?;
+    let url = args.get("url").ok_or("verify requires --url URL")?;
+    let subsample: usize = args.get_parse("subsample", 1000)?;
+    let train = load(train_path)?;
+    let web = load(web_path)?;
+    let corpus = extract_corpus(&train, &CrawlConfig::default());
+    let verifier = TrainedVerifier::fit(
+        &corpus,
+        TextLearnerKind::Nbm,
+        CrawlConfig::default(),
+        Some(subsample),
+        7,
+    );
+    let verdict = verifier
+        .verify(&web.web, url)
+        .map_err(|e| e.to_string())?;
+    println!("{verdict}");
+    if let Some(label) = web.oracle(&verdict.domain) {
+        println!(
+            "ground truth: {}",
+            if label { "legitimate" } else { "illegitimate" }
+        );
+    }
+    Ok(())
+}

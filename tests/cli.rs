@@ -1,0 +1,141 @@
+//! Black-box tests of the `pharmaverify` CLI binary.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pharmaverify"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).to_string()
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).to_string()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pharmaverify-cli-{name}"));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+    assert!(stdout(&out).contains("generate"));
+}
+
+#[test]
+fn unknown_command_fails_cleanly() {
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn generate_inspect_evaluate_rank_verify_round_trip() {
+    let dir = temp_dir("roundtrip");
+    let out_flag = dir.to_str().unwrap();
+
+    // generate
+    let out = run(&[
+        "generate", "--out", out_flag, "--scale", "small", "--seed", "11",
+    ]);
+    assert!(out.status.success(), "generate failed: {}", stderr(&out));
+    let snap1 = dir.join("snapshot1.json");
+    let snap2 = dir.join("snapshot2.json");
+    assert!(snap1.exists() && snap2.exists());
+    assert!(stdout(&out).contains("Dataset 1"));
+
+    // inspect
+    let out = run(&["inspect", snap1.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("pharmacies:    60"), "{text}");
+    assert!(text.contains("legitimate:    12"));
+
+    // evaluate
+    let out = run(&[
+        "evaluate",
+        snap1.to_str().unwrap(),
+        "--model",
+        "nbm",
+        "--subsample",
+        "100",
+    ]);
+    assert!(out.status.success(), "evaluate failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("accuracy:"));
+    assert!(text.contains("AUC ROC:"));
+
+    // rank
+    let out = run(&[
+        "rank",
+        snap1.to_str().unwrap(),
+        "--top",
+        "2",
+        "--subsample",
+        "100",
+    ]);
+    assert!(out.status.success(), "rank failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("pairwise orderedness"));
+    assert!(text.contains("most legitimate:"));
+
+    // verify a site from snapshot 2 against a model trained on snapshot 1
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&snap2).unwrap()).unwrap();
+    let url = json["sites"][0]["seed_url"].as_str().unwrap().to_string();
+    let out = run(&[
+        "verify",
+        "--train",
+        snap1.to_str().unwrap(),
+        "--web",
+        snap2.to_str().unwrap(),
+        "--url",
+        &url,
+        "--subsample",
+        "100",
+    ]);
+    assert!(out.status.success(), "verify failed: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("likely"), "{text}");
+    assert!(text.contains("ground truth:"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn evaluate_missing_snapshot_is_an_error() {
+    let out = run(&["evaluate", "/nonexistent/snapshot.json"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("cannot load"));
+}
+
+#[test]
+fn generate_requires_out() {
+    let out = run(&["generate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--out"));
+}
+
+#[test]
+fn bad_model_name_is_an_error() {
+    let dir = temp_dir("badmodel");
+    let out = run(&[
+        "generate", "--out", dir.to_str().unwrap(), "--scale", "small",
+    ]);
+    assert!(out.status.success());
+    let snap = dir.join("snapshot1.json");
+    let out = run(&["evaluate", snap.to_str().unwrap(), "--model", "gpt"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown model"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,138 @@
+//! Cross-crate invariants tied to the paper's setup: dataset structure
+//! (Table 1), the two-snapshot protocol (§6.5), the outlier populations
+//! (§6.4), and the class-conditional link signal (Table 11 / §6.3.2).
+
+use pharmaverify::core::classify::{build_web_graph, pharmacy_trust_scores, CvConfig};
+use pharmaverify::core::drift_study::train_old_test_new;
+use pharmaverify::core::features::extract_corpus;
+use pharmaverify::core::outliers::ranking_outliers;
+use pharmaverify::core::rank::{evaluate_ranking, RankingMethod};
+use pharmaverify::core::classify::TextLearnerKind;
+use pharmaverify::corpus::{CorpusConfig, SiteProfile, SyntheticWeb};
+use pharmaverify::crawl::CrawlConfig;
+use pharmaverify::ml::Sampling;
+use pharmaverify::net::{top_linked, TrustRankConfig};
+
+fn web() -> SyntheticWeb {
+    SyntheticWeb::generate(&CorpusConfig::small(), 42)
+}
+
+#[test]
+fn table1_structure_holds() {
+    let web = web();
+    let s1 = web.snapshot().stats();
+    let s2 = web.snapshot2().stats();
+    // Same legitimate population, disjoint illegitimate populations.
+    assert_eq!(s1.legitimate, s2.legitimate);
+    let illegit1: std::collections::HashSet<&String> = web
+        .snapshot()
+        .sites
+        .iter()
+        .filter(|s| !s.label())
+        .map(|s| &s.domain)
+        .collect();
+    let overlap = web
+        .snapshot2()
+        .sites
+        .iter()
+        .filter(|s| !s.label() && illegit1.contains(&s.domain))
+        .count();
+    assert_eq!(overlap, 0);
+    // Minority class well under 50%.
+    assert!(s1.legitimate_percent() < 50.0);
+}
+
+#[test]
+fn class_conditional_link_targets() {
+    let web = web();
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let per_class = |want: bool| -> Vec<String> {
+        let outbound: Vec<Vec<&str>> = (0..corpus.len())
+            .filter(|&i| corpus.labels[i] == want)
+            .map(|i| corpus.outbound[i].keys().map(String::as_str).collect())
+            .collect();
+        top_linked(outbound, 5)
+            .into_iter()
+            .map(|r| r.domain)
+            .collect()
+    };
+    let legit = per_class(true);
+    let illegit = per_class(false);
+    // The signature targets of Table 11 appear on the right sides.
+    assert!(legit.iter().any(|d| d == "facebook.com" || d == "twitter.com" || d == "fda.gov"),
+            "legit top-5: {legit:?}");
+    assert!(illegit.iter().any(|d| d == "wikipedia.org" || d == "wordpress.org"),
+            "illegit top-5: {illegit:?}");
+}
+
+#[test]
+fn approximate_isolation_of_good_pages() {
+    let web = web();
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let artifacts = build_web_graph(&corpus);
+    let seeds: Vec<usize> = (0..corpus.len()).filter(|&i| corpus.labels[i]).collect();
+    let trust = pharmacy_trust_scores(&artifacts, &seeds, &TrustRankConfig::default());
+    let mean = |want: bool| {
+        let idx: Vec<usize> = (0..corpus.len())
+            .filter(|&i| corpus.labels[i] == want)
+            .collect();
+        idx.iter().map(|&i| trust[i]).sum::<f64>() / idx.len() as f64
+    };
+    assert!(
+        mean(true) > 10.0 * mean(false),
+        "legit mean trust {} vs illegit {}",
+        mean(true),
+        mean(false)
+    );
+}
+
+#[test]
+fn outlier_populations_surface_in_ranking() {
+    let web = SyntheticWeb::generate(&CorpusConfig::medium(), 42);
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let ranking = evaluate_ranking(
+        &corpus,
+        RankingMethod::TfIdf {
+            kind: TextLearnerKind::Nbm,
+            sampling: Sampling::None,
+        },
+        Some(500),
+        CvConfig { k: 3, seed: 5 },
+    );
+    let report = ranking_outliers(&ranking, 6);
+    // §6.4: the highest-ranked illegitimate sites are predominantly
+    // off-network mimics; the lowest-ranked legitimate sites are
+    // predominantly refill-only storefronts.
+    assert!(
+        report.illegitimate_off_network_fraction() >= 0.5,
+        "mimic fraction {}",
+        report.illegitimate_off_network_fraction()
+    );
+    assert!(
+        report.legitimate_refill_only_fraction() >= 0.5,
+        "refill fraction {}",
+        report.legitimate_refill_only_fraction()
+    );
+    // And the profiles exist in the corpus in the first place.
+    assert!(corpus.profiles.contains(&SiteProfile::MimicOutlier));
+    assert!(corpus.profiles.contains(&SiteProfile::RefillOnly));
+}
+
+#[test]
+fn old_model_transfers_to_new_data() {
+    let web = web();
+    let old = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let new = extract_corpus(web.snapshot2(), &CrawlConfig::default());
+    let summary = train_old_test_new(
+        &old,
+        &new,
+        TextLearnerKind::Nbm,
+        Sampling::None,
+        Some(250),
+        9,
+    );
+    // §6.5: the old model remains usable on new data (high AUC) even
+    // though some precision is lost.
+    assert!(summary.auc > 0.8, "old→new auc {}", summary.auc);
+    assert!(summary.accuracy > 0.75, "old→new accuracy {}", summary.accuracy);
+}

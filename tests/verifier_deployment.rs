@@ -1,0 +1,128 @@
+//! Deployment-style integration tests: the trained verifier scoring
+//! hand-crafted sites, exactly as a downstream reviewer tool would use
+//! the library.
+
+use pharmaverify::core::classify::TextLearnerKind;
+use pharmaverify::core::features::extract_corpus;
+use pharmaverify::core::TrainedVerifier;
+use pharmaverify::corpus::{CorpusConfig, SyntheticWeb};
+use pharmaverify::crawl::{CrawlConfig, InMemoryWeb};
+
+fn trained() -> TrainedVerifier {
+    let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    TrainedVerifier::fit(
+        &corpus,
+        TextLearnerKind::Nbm,
+        CrawlConfig::default(),
+        Some(250),
+        7,
+    )
+}
+
+/// A hand-written illegitimate storefront: hard-sell spam vocabulary and
+/// no trust signals.
+fn spammy_site() -> InMemoryWeb {
+    let mut web = InMemoryWeb::new();
+    web.add_page(
+        "http://superpills.biz/",
+        r#"<html><body><h1>best offer</h1>
+        <p>buy cheap viagra cialis online without prescription needed
+        discount bonus pills free shipping worldwide order now lowest price
+        guaranteed overnight express anonymous discreet packaging cheap
+        viagra cialis levitra soft tabs best price no prescription</p>
+        <a href="/order.html">order</a></body></html>"#,
+    );
+    web.add_page(
+        "http://superpills.biz/order.html",
+        r#"<html><body><p>order now cheap pills discount viagra cialis
+        no prescription required visa mastercard echeck moneyback
+        guaranteed worldwide shipping bonus pills free</p></body></html>"#,
+    );
+    web
+}
+
+/// A hand-written legitimate pharmacy: store-presence language, health
+/// content, and links to trusted institutions.
+fn proper_site() -> InMemoryWeb {
+    let mut web = InMemoryWeb::new();
+    web.add_page(
+        "http://community-health.com/",
+        r#"<html><body><h1>community pharmacy</h1>
+        <p>our licensed pharmacist offers prescription refill and transfer
+        services insurance coverage medicare medicaid consultation health
+        screening immunization flu shots patient privacy policy hipaa
+        confidential records verified accredited state board compliance
+        medication dosage counseling chronic condition management</p>
+        <a href="/contact.html">contact</a>
+        <a href="http://fda.gov/">drug safety</a>
+        <a href="http://nih.gov/">health information</a></body></html>"#,
+    );
+    web.add_page(
+        "http://community-health.com/contact.html",
+        r#"<html><body><p>contact our pharmacist store hours location
+        address phone consultation appointment insurance network provider
+        prescription records transfer refill reminder</p></body></html>"#,
+    );
+    web
+}
+
+#[test]
+fn flags_spammy_site_as_illegitimate() {
+    let verifier = trained();
+    let verdict = verifier
+        .verify(&spammy_site(), "http://superpills.biz/")
+        .unwrap();
+    assert!(
+        !verdict.predicted_legitimate,
+        "spam site scored {}",
+        verdict.text_score
+    );
+    assert!(verdict.text_score < 0.5);
+    assert_eq!(verdict.pages_crawled, 2);
+}
+
+#[test]
+fn passes_proper_pharmacy() {
+    let verifier = trained();
+    let verdict = verifier
+        .verify(&proper_site(), "http://community-health.com/")
+        .unwrap();
+    assert!(
+        verdict.predicted_legitimate,
+        "legitimate site scored {}",
+        verdict.text_score
+    );
+    assert!(verdict.rank > 0.5);
+}
+
+#[test]
+fn spammy_ranks_below_proper() {
+    let verifier = trained();
+    let bad = verifier
+        .verify(&spammy_site(), "http://superpills.biz/")
+        .unwrap();
+    let good = verifier
+        .verify(&proper_site(), "http://community-health.com/")
+        .unwrap();
+    assert!(good.rank > bad.rank, "{} !> {}", good.rank, bad.rank);
+    assert!(good.text_score > bad.text_score);
+}
+
+#[test]
+fn verification_does_not_mutate_the_verifier() {
+    let verifier = trained();
+    let nodes_before = verifier.graph().node_count();
+    let _ = verifier.verify(&spammy_site(), "http://superpills.biz/");
+    let _ = verifier.verify(&proper_site(), "http://community-health.com/");
+    assert_eq!(verifier.graph().node_count(), nodes_before);
+    // Repeat verification gives identical verdicts.
+    let a = verifier
+        .verify(&spammy_site(), "http://superpills.biz/")
+        .unwrap();
+    let b = verifier
+        .verify(&spammy_site(), "http://superpills.biz/")
+        .unwrap();
+    assert_eq!(a.text_score, b.text_score);
+    assert_eq!(a.trust_score, b.trust_score);
+}
