@@ -8,9 +8,7 @@ use pharmaverify_core::classify::build_web_graph;
 use pharmaverify_core::features::extract_corpus;
 use pharmaverify_corpus::{CorpusConfig, SyntheticWeb};
 use pharmaverify_crawl::{html, CrawlConfig, Crawler, Url};
-use pharmaverify_ml::{
-    Dataset, DecisionTree, Learner, LinearSvm, MultinomialNaiveBayes, Sampling,
-};
+use pharmaverify_ml::{Dataset, DecisionTree, Learner, LinearSvm, MultinomialNaiveBayes, Sampling};
 use pharmaverify_net::{trust_rank, TrustRankConfig};
 use pharmaverify_ngg::{GraphSimilarities, NGramGraphBuilder};
 use pharmaverify_text::{preprocess, TfIdfModel};
@@ -49,7 +47,7 @@ fn bench_text(c: &mut Criterion) {
     c.bench_function("preprocess_page", |b| b.iter(|| preprocess(&text)));
 
     let web = SyntheticWeb::generate(&CorpusConfig::small(), 12);
-    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
     c.bench_function("tfidf_fit_small_corpus", |b| {
         b.iter(|| TfIdfModel::fit(&corpus.tokens))
     });
@@ -57,7 +55,7 @@ fn bench_text(c: &mut Criterion) {
 
 fn bench_ngg(c: &mut Criterion) {
     let web = SyntheticWeb::generate(&CorpusConfig::small(), 13);
-    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
     let builder = NGramGraphBuilder::default();
     let text = &corpus.summaries[0];
     c.bench_function("ngg_build_doc_graph", |b| b.iter(|| builder.build(text)));
@@ -71,7 +69,7 @@ fn bench_ngg(c: &mut Criterion) {
 
 fn bench_network(c: &mut Criterion) {
     let web = SyntheticWeb::generate(&CorpusConfig::medium(), 14);
-    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
     let artifacts = build_web_graph(&corpus);
     let seeds: Vec<_> = (0..corpus.len())
         .filter(|&i| corpus.labels[i])
@@ -84,7 +82,7 @@ fn bench_network(c: &mut Criterion) {
 
 fn training_set() -> Dataset {
     let web = SyntheticWeb::generate(&CorpusConfig::small(), 15);
-    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
     let tfidf = TfIdfModel::fit(&corpus.tokens);
     let mut data = Dataset::new(tfidf.vocabulary().len().max(1));
     for (i, tokens) in corpus.tokens.iter().enumerate() {
@@ -99,9 +97,7 @@ fn bench_learners(c: &mut Criterion) {
         b.iter(|| MultinomialNaiveBayes::default().fit(&data))
     });
     c.bench_function("svm_fit", |b| b.iter(|| LinearSvm::default().fit(&data)));
-    c.bench_function("j48_fit", |b| {
-        b.iter(|| DecisionTree::default().fit(&data))
-    });
+    c.bench_function("j48_fit", |b| b.iter(|| DecisionTree::default().fit(&data)));
     c.bench_function("smote_resample", |b| {
         b.iter_batched(
             || data.clone(),

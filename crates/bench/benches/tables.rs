@@ -25,7 +25,10 @@ fn main() {
 
     let t = Instant::now();
     let grid = tables::tfidf_grid(&ctx);
-    eprintln!("[tables bench] TF-IDF grid in {:.1}s", t.elapsed().as_secs_f64());
+    eprintln!(
+        "[tables bench] TF-IDF grid in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
     println!("{}", tables::table3(&grid));
     let (a, b) = tables::table4(&grid);
     println!("{a}\n{b}");
@@ -35,7 +38,10 @@ fn main() {
 
     let t = Instant::now();
     let ngg = tables::ngg_grid(&ctx);
-    eprintln!("[tables bench] NGG grid in {:.1}s", t.elapsed().as_secs_f64());
+    eprintln!(
+        "[tables bench] NGG grid in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
     println!("{}", tables::table7(&ngg));
     let (a, b) = tables::table8(&ngg);
     println!("{a}\n{b}");
@@ -47,7 +53,10 @@ fn main() {
 
     let t = Instant::now();
     let network = tables::network_outcome(&ctx);
-    eprintln!("[tables bench] network in {:.1}s", t.elapsed().as_secs_f64());
+    eprintln!(
+        "[tables bench] network in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
     println!("{}", tables::table12(&network));
     println!("{}", tables::table13(&network));
     println!("{}", tables::ablation_pagerank(&ctx));
@@ -57,12 +66,18 @@ fn main() {
         "{}",
         tables::table14(&ctx, ngg.summaries[3][2], network.aggregate())
     );
-    eprintln!("[tables bench] ensemble in {:.1}s", t.elapsed().as_secs_f64());
+    eprintln!(
+        "[tables bench] ensemble in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
 
     let t = Instant::now();
     println!("{}", tables::table15(&ctx));
     println!("{}", tables::outlier_analysis(&ctx));
-    eprintln!("[tables bench] ranking in {:.1}s", t.elapsed().as_secs_f64());
+    eprintln!(
+        "[tables bench] ranking in {:.1}s",
+        t.elapsed().as_secs_f64()
+    );
 
     let t = Instant::now();
     let (t16, t17) = tables::table16_17(&ctx);

@@ -152,12 +152,14 @@ fn run(
             println!("{}", tables::ablation_pagerank(ctx));
         });
     }
+    // Both inputs are Some whenever table 14 is selected: the NGG grid
+    // runs on `want_table(14)` and the network block on 12..=14.
     if want_table(14) {
-        timed("table 14 (ensemble)", &mut || {
-            let mlp = mlp_1000.expect("NGG grid ran above");
-            let net = network_summary.expect("network ran above");
-            println!("{}", tables::table14(ctx, mlp, net));
-        });
+        if let (Some(mlp), Some(net)) = (mlp_1000, network_summary) {
+            timed("table 14 (ensemble)", &mut || {
+                println!("{}", tables::table14(ctx, mlp, net));
+            });
+        }
     }
     if want_table(15) {
         timed("table 15 (ranking) + outliers", &mut || {

@@ -72,8 +72,13 @@ impl ReproContext {
     pub fn new(scale: Scale) -> Self {
         let web = SyntheticWeb::generate(&scale.corpus_config(), REPRO_SEED);
         let crawl = CrawlConfig::default();
-        let corpus1 = extract_corpus(web.snapshot(), &crawl);
-        let corpus2 = extract_corpus(web.snapshot2(), &crawl);
+        // lint:allow(no-panic): experiment harness over generator-produced
+        // snapshots, whose seed URLs are well-formed by construction; a
+        // failure here is a generator bug and should abort the run loudly.
+        #[allow(clippy::expect_used)]
+        let corpus1 = extract_corpus(web.snapshot(), &crawl).expect("synthetic snapshot extracts");
+        #[allow(clippy::expect_used)]
+        let corpus2 = extract_corpus(web.snapshot2(), &crawl).expect("synthetic snapshot extracts");
         ReproContext {
             scale,
             snapshot1: web.snapshot().clone(),

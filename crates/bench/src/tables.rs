@@ -66,7 +66,11 @@ impl GridResults {
 pub fn table1(ctx: &ReproContext) -> Table {
     let mut t = Table::new(
         "Table 1: Datasets",
-        &["", "Dataset 1 (Date 1)", "Dataset 2 (Date 2, 6 months later)"],
+        &[
+            "",
+            "Dataset 1 (Date 1)",
+            "Dataset 2 (Date 2, 6 months later)",
+        ],
     );
     let s1 = ctx.snapshot1.stats();
     let s2 = ctx.snapshot2.stats();
@@ -82,8 +86,16 @@ pub fn table1(ctx: &ReproContext) -> Table {
     ]);
     t.push_row(vec![
         "# Illegitimate Examples".into(),
-        format!("{} ({:.0}%)", s1.illegitimate, 100.0 - s1.legitimate_percent()),
-        format!("{} ({:.0}%)", s2.illegitimate, 100.0 - s2.legitimate_percent()),
+        format!(
+            "{} ({:.0}%)",
+            s1.illegitimate,
+            100.0 - s1.legitimate_percent()
+        ),
+        format!(
+            "{} ({:.0}%)",
+            s2.illegitimate,
+            100.0 - s2.legitimate_percent()
+        ),
     ]);
     t
 }
@@ -104,8 +116,15 @@ pub fn tfidf_grid(ctx: &ReproContext) -> GridResults {
         let row: Vec<EvalSummary> = ReproContext::subsample_sizes()
             .iter()
             .map(|&(size, _)| {
-                evaluate_tfidf(&ctx.corpus1, learner.as_ref(), sampling, kind.weighting(), size, ctx.cv)
-                    .aggregate()
+                evaluate_tfidf(
+                    &ctx.corpus1,
+                    learner.as_ref(),
+                    sampling,
+                    kind.weighting(),
+                    size,
+                    ctx.cv,
+                )
+                .aggregate()
             })
             .collect();
         summaries.push(row);
@@ -163,49 +182,45 @@ pub fn ngg_grid(ctx: &ReproContext) -> GridResults {
         // graphs. Folds run in parallel.
         let texts_ref = &texts;
         let folds_ref = &folds;
-        let fold_datasets: Vec<(Vec<usize>, Dataset)> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = folds_ref
-                    .iter()
-                    .enumerate()
-                    .map(|(f, test_idx)| {
-                        scope.spawn(move |_| {
-                            let train_idx: Vec<usize> = (0..corpus.len())
-                                .filter(|i| !test_idx.contains(i))
-                                .collect();
-                            let legit: Vec<&str> = train_idx
-                                .iter()
-                                .filter(|&&i| corpus.labels[i])
-                                .map(|&i| texts_ref[i].as_str())
-                                .collect();
-                            let illegit: Vec<&str> = train_idx
-                                .iter()
-                                .filter(|&&i| !corpus.labels[i])
-                                .map(|&i| texts_ref[i].as_str())
-                                .collect();
-                            let graphs = NggClassGraphs::build(
-                                NGramGraphBuilder::default(),
-                                &legit,
-                                &illegit,
-                                cv.seed ^ (f as u64),
-                            );
-                            let mut all = Dataset::new(8);
-                            for (text, &label) in texts_ref.iter().zip(&corpus.labels) {
-                                let v = SparseVector::from_dense(
-                                    &graphs.features(text).to_vec(),
-                                );
-                                all.push(v, label);
-                            }
-                            (test_idx.clone(), all)
-                        })
+        let fold_datasets: Vec<(Vec<usize>, Dataset)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = folds_ref
+                .iter()
+                .enumerate()
+                .map(|(f, test_idx)| {
+                    scope.spawn(move || {
+                        let train_idx: Vec<usize> = (0..corpus.len())
+                            .filter(|i| !test_idx.contains(i))
+                            .collect();
+                        let legit: Vec<&str> = train_idx
+                            .iter()
+                            .filter(|&&i| corpus.labels[i])
+                            .map(|&i| texts_ref[i].as_str())
+                            .collect();
+                        let illegit: Vec<&str> = train_idx
+                            .iter()
+                            .filter(|&&i| !corpus.labels[i])
+                            .map(|&i| texts_ref[i].as_str())
+                            .collect();
+                        let graphs = NggClassGraphs::build(
+                            NGramGraphBuilder::default(),
+                            &legit,
+                            &illegit,
+                            cv.seed ^ (f as u64),
+                        );
+                        let mut all = Dataset::new(8);
+                        for (text, &label) in texts_ref.iter().zip(&corpus.labels) {
+                            let v = SparseVector::from_dense(&graphs.features(text).to_vec());
+                            all.push(v, label);
+                        }
+                        (test_idx.clone(), all)
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("fold thread panicked"))
-                    .collect()
-            })
-            .expect("ngg grid scope panicked");
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
 
         for (row, &kind) in NGG_ROWS.iter().enumerate() {
             let learner = kind.ngg_learner();
@@ -476,7 +491,11 @@ pub fn outlier_analysis(ctx: &ReproContext) -> Table {
     let report = pharmaverify_core::ranking_outliers(&ranking, k);
     let mut t = Table::new(
         "Outlier analysis (Section 6.4)",
-        &["Outlier group", "Expert-finding profile", "Fraction matching"],
+        &[
+            "Outlier group",
+            "Expert-finding profile",
+            "Fraction matching",
+        ],
     );
     t.push_row(vec![
         format!("top-{k} illegitimate"),
@@ -551,7 +570,6 @@ pub fn ablation_pagerank(ctx: &ReproContext) -> Table {
     t
 }
 
-
 /// Ablation: the full sampling grid the paper ran but reported only the
 /// best of ("we performed various tests with all combinations among
 /// classifiers and sampling techniques", §6.3.1). One row per classifier
@@ -559,9 +577,20 @@ pub fn ablation_pagerank(ctx: &ReproContext) -> Table {
 pub fn ablation_sampling(ctx: &ReproContext) -> Table {
     let mut t = Table::new(
         "Ablation: sampling treatments (1000-term subsamples)",
-        &["Classifier", "Sampling", "Acc.", "legit Rec.", "legit Prec.", "AUC ROC"],
+        &[
+            "Classifier",
+            "Sampling",
+            "Acc.",
+            "legit Rec.",
+            "legit Prec.",
+            "AUC ROC",
+        ],
     );
-    for kind in [TextLearnerKind::Nbm, TextLearnerKind::Svm, TextLearnerKind::J48] {
+    for kind in [
+        TextLearnerKind::Nbm,
+        TextLearnerKind::Svm,
+        TextLearnerKind::J48,
+    ] {
         for sampling in [Sampling::None, Sampling::Undersample, Sampling::Smote] {
             let s = tfidf_single(&ctx.corpus1, kind, sampling, Some(1000), ctx.cv);
             t.push_row(vec![
@@ -604,8 +633,7 @@ pub fn ablation_label_noise(ctx: &ReproContext) -> Table {
                     .filter(|i| !test_idx.contains(i))
                     .collect();
                 let mut rng = SmallRng::seed_from_u64(cv.seed ^ 0x4015e ^ (f as u64));
-                let train_docs: Vec<&Vec<String>> =
-                    train_idx.iter().map(|&i| &docs[i]).collect();
+                let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
                 let tfidf = TfIdfModel::fit(&train_docs[..]);
                 let weighting = kind.weighting();
                 let mut train = Dataset::new(tfidf.vocabulary().len().max(1));
@@ -708,7 +736,6 @@ pub fn future_work_combined(ctx: &ReproContext) -> Table {
     t
 }
 
-
 /// Ablation: the three text representations of the comparison study the
 /// paper builds on (\[13\], Giannakopoulos et al.): Term Vector (TF-IDF),
 /// Character N-Grams (bag of char 4-grams), and N-Gram Graphs — all under
@@ -725,17 +752,17 @@ pub fn ablation_representations(ctx: &ReproContext) -> Table {
 
     let mut t = Table::new(
         "Ablation: text representations under SVM (1000-term subsamples, cf. [13])",
-        &["Representation", "Acc.", "legit Rec.", "legit Prec.", "AUC ROC"],
+        &[
+            "Representation",
+            "Acc.",
+            "legit Rec.",
+            "legit Prec.",
+            "AUC ROC",
+        ],
     );
 
     // Term Vector and N-Gram Graphs reuse the standard pipelines.
-    let term_vector = tfidf_single(
-        corpus,
-        TextLearnerKind::Svm,
-        Sampling::None,
-        Some(1000),
-        cv,
-    );
+    let term_vector = tfidf_single(corpus, TextLearnerKind::Svm, Sampling::None, Some(1000), cv);
     let ngg = {
         let learner = TextLearnerKind::Svm.ngg_learner();
         pharmaverify_core::classify::evaluate_ngg(corpus, learner.as_ref(), Some(1000), cv)
@@ -749,8 +776,7 @@ pub fn ablation_representations(ctx: &ReproContext) -> Table {
             let train_idx: Vec<usize> = (0..corpus.len())
                 .filter(|i| !test_idx.contains(i))
                 .collect();
-            let train_texts: Vec<&str> =
-                train_idx.iter().map(|&i| texts[i].as_str()).collect();
+            let train_texts: Vec<&str> = train_idx.iter().map(|&i| texts[i].as_str()).collect();
             let model = CharNgramModel::fit(&train_texts, 4);
             let dim = model.vocabulary_size().max(1);
             let mut train = Dataset::new(dim);
@@ -798,9 +824,9 @@ pub fn ablation_representations(ctx: &ReproContext) -> Table {
 /// Platt-calibrated probability — measured by pairwise orderedness.
 pub fn ablation_svm_ranking(ctx: &ReproContext) -> Table {
     use pharmaverify_core::classify::subsampled_documents;
+    use pharmaverify_ml::metrics::pairwise_orderedness;
     use pharmaverify_ml::svm::LinearSvm;
     use pharmaverify_ml::PlattScaler;
-    use pharmaverify_ml::metrics::pairwise_orderedness;
     use pharmaverify_text::TfIdfModel;
 
     let corpus = &ctx.corpus1;
@@ -865,7 +891,13 @@ pub fn ablation_feature_selection(ctx: &ReproContext) -> Table {
     let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
     let mut t = Table::new(
         "Ablation: information-gain feature selection (NBM, 1000-term subsamples)",
-        &["Kept features", "Acc.", "legit Rec.", "legit Prec.", "AUC ROC"],
+        &[
+            "Kept features",
+            "Acc.",
+            "legit Rec.",
+            "legit Prec.",
+            "AUC ROC",
+        ],
     );
     for keep in [50usize, 200, 1000, usize::MAX] {
         let mut outcomes = Vec::new();
@@ -873,8 +905,7 @@ pub fn ablation_feature_selection(ctx: &ReproContext) -> Table {
             let train_idx: Vec<usize> = (0..corpus.len())
                 .filter(|i| !test_idx.contains(i))
                 .collect();
-            let train_docs: Vec<&Vec<String>> =
-                train_idx.iter().map(|&i| &docs[i]).collect();
+            let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
             let tfidf = TfIdfModel::fit(&train_docs[..]);
             let dim = tfidf.vocabulary().len().max(1);
             let mut train = Dataset::new(dim);
@@ -891,10 +922,14 @@ pub fn ablation_feature_selection(ctx: &ReproContext) -> Table {
             };
             let model = TextLearnerKind::Nbm.learner().fit(&train);
             let labels: Vec<bool> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
-            let scores: Vec<f64> =
-                test_idx.iter().map(|&i| model.score(&vectorize(i))).collect();
-            let predictions: Vec<bool> =
-                test_idx.iter().map(|&i| model.predict(&vectorize(i))).collect();
+            let scores: Vec<f64> = test_idx
+                .iter()
+                .map(|&i| model.score(&vectorize(i)))
+                .collect();
+            let predictions: Vec<bool> = test_idx
+                .iter()
+                .map(|&i| model.predict(&vectorize(i)))
+                .collect();
             outcomes.push(FoldOutcome {
                 summary: EvalSummary::compute(&labels, &predictions, &scores),
                 scores,
@@ -927,5 +962,13 @@ pub fn tfidf_single(
     cv: CvConfig,
 ) -> EvalSummary {
     let learner: Box<dyn Learner> = kind.learner();
-    evaluate_tfidf(corpus, learner.as_ref(), sampling, kind.weighting(), size, cv).aggregate()
+    evaluate_tfidf(
+        corpus,
+        learner.as_ref(),
+        sampling,
+        kind.weighting(),
+        size,
+        cv,
+    )
+    .aggregate()
 }

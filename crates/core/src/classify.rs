@@ -156,11 +156,7 @@ pub fn subsampled_documents(
         .collect()
 }
 
-fn fold_outcome(
-    labels: Vec<bool>,
-    scores: Vec<f64>,
-    predictions: Vec<bool>,
-) -> FoldOutcome {
+fn fold_outcome(labels: Vec<bool>, scores: Vec<f64>, predictions: Vec<bool>) -> FoldOutcome {
     FoldOutcome {
         summary: EvalSummary::compute(&labels, &predictions, &scores),
         scores,
@@ -182,11 +178,11 @@ pub fn evaluate_tfidf(
     let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
     let folds_ref = &folds;
     let docs_ref = &docs;
-    let outcomes: Vec<FoldOutcome> = crossbeam::thread::scope(|scope| {
+    let outcomes: Vec<FoldOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = folds_ref
             .iter()
             .map(|test_idx| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let train_idx: Vec<usize> = (0..corpus.len())
                         .filter(|i| !test_idx.contains(i))
                         .collect();
@@ -215,10 +211,9 @@ pub fn evaluate_tfidf(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("fold thread panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
-    })
-    .expect("cross-validation scope panicked");
+    });
     CvOutcome { folds: outcomes }
 }
 
@@ -251,12 +246,12 @@ pub fn evaluate_ngg(
     let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
     let folds_ref = &folds;
     let texts_ref = &texts;
-    let outcomes: Vec<FoldOutcome> = crossbeam::thread::scope(|scope| {
+    let outcomes: Vec<FoldOutcome> = std::thread::scope(|scope| {
         let handles: Vec<_> = folds_ref
             .iter()
             .enumerate()
             .map(|(f, test_idx)| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let train_idx: Vec<usize> = (0..corpus.len())
                         .filter(|i| !test_idx.contains(i))
                         .collect();
@@ -270,16 +265,10 @@ pub fn evaluate_ngg(
                         .filter(|&&i| !corpus.labels[i])
                         .map(|&i| texts_ref[i].as_str())
                         .collect();
-                    let class_graphs = NggClassGraphs::build(
-                        builder,
-                        &legit,
-                        &illegit,
-                        cv.seed ^ (f as u64),
-                    );
+                    let class_graphs =
+                        NggClassGraphs::build(builder, &legit, &illegit, cv.seed ^ (f as u64));
                     let featurize = |i: usize| -> SparseVector {
-                        SparseVector::from_dense(
-                            &class_graphs.features(&texts_ref[i]).to_vec(),
-                        )
+                        SparseVector::from_dense(&class_graphs.features(&texts_ref[i]).to_vec())
                     };
                     let mut train = Dataset::new(8);
                     for &i in &train_idx {
@@ -301,10 +290,9 @@ pub fn evaluate_ngg(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("fold thread panicked"))
+            .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
-    })
-    .expect("cross-validation scope panicked");
+    });
     CvOutcome { folds: outcomes }
 }
 
@@ -379,7 +367,10 @@ pub fn evaluate_network(corpus: &ExtractedCorpus, cv: CvConfig) -> CvOutcome {
         let trust = pharmacy_trust_scores(&artifacts, &seed_idx, &trust_config);
         let mut train = Dataset::new(1);
         for &i in &train_idx {
-            train.push(SparseVector::from_pairs(vec![(0, trust[i])]), corpus.labels[i]);
+            train.push(
+                SparseVector::from_pairs(vec![(0, trust[i])]),
+                corpus.labels[i],
+            );
         }
         let model = learner.fit(&train);
         let mut labels = Vec::with_capacity(test_idx.len());
@@ -476,8 +467,7 @@ pub fn evaluate_ensemble(
             .filter(|&&i| !corpus.labels[i])
             .map(|&i| texts[i].as_str())
             .collect();
-        let class_graphs =
-            NggClassGraphs::build(builder, &legit, &illegit, cv.seed ^ (f as u64));
+        let class_graphs = NggClassGraphs::build(builder, &legit, &illegit, cv.seed ^ (f as u64));
         let ngg_vec = |i: usize| -> SparseVector {
             SparseVector::from_dense(&class_graphs.features(&texts[i]).to_vec())
         };
@@ -488,25 +478,38 @@ pub fn evaluate_ensemble(
 
         type Vectorizer<'v> = Box<dyn Fn(usize) -> SparseVector + 'v>;
         for &(_, kind, use_ngg) in LIBRARY {
-            let learner = if use_ngg { kind.ngg_learner() } else { kind.learner() };
-            let (model, vectorize): (Box<dyn Model>, Vectorizer<'_>) =
-                if use_ngg {
-                    (learner.fit(&ngg_train), Box::new(ngg_vec))
-                } else {
-                    let weighting = kind.weighting();
-                    let mut train = Dataset::new(dim);
-                    for &i in &sub_idx {
-                        train.push(weighting.vectorize(&tfidf, &docs[i]), corpus.labels[i]);
-                    }
-                    let train = kind.paper_sampling().apply(&train, cv.seed);
-                    let docs_ref = &docs;
-                    (
-                        learner.fit(&train),
-                        Box::new(move |i: usize| weighting.vectorize(tfidf_ref, &docs_ref[i])),
-                    )
-                };
-            hill_scores.push(hill_idx.iter().map(|&i| model.score(&vectorize(i))).collect());
-            test_scores.push(test_idx.iter().map(|&i| model.score(&vectorize(i))).collect());
+            let learner = if use_ngg {
+                kind.ngg_learner()
+            } else {
+                kind.learner()
+            };
+            let (model, vectorize): (Box<dyn Model>, Vectorizer<'_>) = if use_ngg {
+                (learner.fit(&ngg_train), Box::new(ngg_vec))
+            } else {
+                let weighting = kind.weighting();
+                let mut train = Dataset::new(dim);
+                for &i in &sub_idx {
+                    train.push(weighting.vectorize(&tfidf, &docs[i]), corpus.labels[i]);
+                }
+                let train = kind.paper_sampling().apply(&train, cv.seed);
+                let docs_ref = &docs;
+                (
+                    learner.fit(&train),
+                    Box::new(move |i: usize| weighting.vectorize(tfidf_ref, &docs_ref[i])),
+                )
+            };
+            hill_scores.push(
+                hill_idx
+                    .iter()
+                    .map(|&i| model.score(&vectorize(i)))
+                    .collect(),
+            );
+            test_scores.push(
+                test_idx
+                    .iter()
+                    .map(|&i| model.score(&vectorize(i)))
+                    .collect(),
+            );
         }
 
         // Network view: seeds are the sub-training legitimate pharmacies.
@@ -518,12 +521,25 @@ pub fn evaluate_ensemble(
         let trust = pharmacy_trust_scores(&artifacts, &seed_idx, &trust_config);
         let mut net_train = Dataset::new(1);
         for &i in &sub_idx {
-            net_train.push(SparseVector::from_pairs(vec![(0, trust[i])]), corpus.labels[i]);
+            net_train.push(
+                SparseVector::from_pairs(vec![(0, trust[i])]),
+                corpus.labels[i],
+            );
         }
         let net_model = GaussianNaiveBayes::default().fit(&net_train);
         let net_vec = |i: usize| SparseVector::from_pairs(vec![(0, trust[i])]);
-        hill_scores.push(hill_idx.iter().map(|&i| net_model.score(&net_vec(i))).collect());
-        test_scores.push(test_idx.iter().map(|&i| net_model.score(&net_vec(i))).collect());
+        hill_scores.push(
+            hill_idx
+                .iter()
+                .map(|&i| net_model.score(&net_vec(i)))
+                .collect(),
+        );
+        test_scores.push(
+            test_idx
+                .iter()
+                .map(|&i| net_model.score(&net_vec(i)))
+                .collect(),
+        );
 
         // --- Greedy selection on the hillclimb set. ---
         let counts = greedy_auc_selection(&hill_scores, &hill_labels, 25);

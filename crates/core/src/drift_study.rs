@@ -56,7 +56,10 @@ pub fn train_old_test_new(
     subsample: Option<usize>,
     seed: u64,
 ) -> EvalSummary {
-    assert!(!old.is_empty() && !new.is_empty(), "corpora must not be empty");
+    assert!(
+        !old.is_empty() && !new.is_empty(),
+        "corpora must not be empty"
+    );
     let old_docs = subsampled_documents(old, subsample, seed);
     let new_docs = subsampled_documents(new, subsample, seed ^ NEW_SEED);
     let weighting = kind.weighting();

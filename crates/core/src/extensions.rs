@@ -46,11 +46,13 @@ pub fn portal_links(
     snapshot
         .portals
         .iter()
-        .map(|domain| {
-            let seed = Url::parse(&format!("http://{domain}/"))
-                .expect("portal domains produce valid URLs");
+        .filter_map(|domain| {
+            // A portal domain that does not form a crawlable URL (e.g. an
+            // empty string in a hand-edited snapshot) cannot contribute
+            // links; skip it rather than abort the whole extension.
+            let seed = Url::parse(&format!("http://{domain}/")).ok()?;
             let crawl = crawler.crawl(&snapshot.web, &seed);
-            (domain.clone(), crawl.outbound_endpoints())
+            Some((domain.clone(), crawl.outbound_endpoints()))
         })
         .collect()
 }
@@ -198,7 +200,11 @@ pub fn evaluate_network_variant(
                 .copied()
                 .filter(|&i| !corpus.labels[i])
                 .collect();
-            Some(pharmacy_distrust_scores(artifacts, &bad_seeds, &trust_config))
+            Some(pharmacy_distrust_scores(
+                artifacts,
+                &bad_seeds,
+                &trust_config,
+            ))
         } else {
             None
         };
@@ -215,9 +221,14 @@ pub fn evaluate_network_variant(
         }
         let model = learner.fit(&train);
         let labels: Vec<bool> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
-        let scores: Vec<f64> = test_idx.iter().map(|&i| model.score(&featurize(i))).collect();
-        let predictions: Vec<bool> =
-            test_idx.iter().map(|&i| model.predict(&featurize(i))).collect();
+        let scores: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| model.score(&featurize(i)))
+            .collect();
+        let predictions: Vec<bool> = test_idx
+            .iter()
+            .map(|&i| model.predict(&featurize(i)))
+            .collect();
         outcomes.push(FoldOutcome {
             summary: EvalSummary::compute(&labels, &predictions, &scores),
             scores,
@@ -291,9 +302,14 @@ pub fn evaluate_combined(
         let train = Sampling::None.apply(&train, cv.seed);
         let model = TextLearnerKind::Svm.learner().fit(&train);
         let labels: Vec<bool> = test_idx.iter().map(|&i| corpus.labels[i]).collect();
-        let scores: Vec<f64> = test_idx.iter().map(|&i| model.score(&featurize(i))).collect();
-        let predictions: Vec<bool> =
-            test_idx.iter().map(|&i| model.predict(&featurize(i))).collect();
+        let scores: Vec<f64> = test_idx
+            .iter()
+            .map(|&i| model.score(&featurize(i)))
+            .collect();
+        let predictions: Vec<bool> = test_idx
+            .iter()
+            .map(|&i| model.predict(&featurize(i)))
+            .collect();
         outcomes.push(FoldOutcome {
             summary: EvalSummary::compute(&labels, &predictions, &scores),
             scores,
@@ -312,7 +328,7 @@ mod tests {
     fn setup() -> (Snapshot, ExtractedCorpus) {
         let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
         let snap = web.snapshot().clone();
-        let corpus = extract_corpus(&snap, &CrawlConfig::default());
+        let corpus = extract_corpus(&snap, &CrawlConfig::default()).expect("extracts");
         (snap, corpus)
     }
 
@@ -376,7 +392,11 @@ mod tests {
         let artifacts = build_web_graph(&corpus);
         let with_distrust = evaluate_network_variant(&corpus, &artifacts, true, CV).aggregate();
         assert!(with_distrust.auc > 0.6, "auc {}", with_distrust.auc);
-        assert!(with_distrust.accuracy > 0.6, "acc {}", with_distrust.accuracy);
+        assert!(
+            with_distrust.accuracy > 0.6,
+            "acc {}",
+            with_distrust.accuracy
+        );
         // Distrust never flows into legitimate sites on this corpus.
         assert!(
             with_distrust.illegitimate.recall > 0.6,
@@ -399,9 +419,7 @@ mod tests {
     fn distrust_scores_target_affiliated_sites() {
         let (_snap, corpus) = setup();
         let artifacts = build_web_graph(&corpus);
-        let bad_seeds: Vec<usize> = (0..corpus.len())
-            .filter(|&i| !corpus.labels[i])
-            .collect();
+        let bad_seeds: Vec<usize> = (0..corpus.len()).filter(|&i| !corpus.labels[i]).collect();
         let distrust =
             pharmacy_distrust_scores(&artifacts, &bad_seeds, &TrustRankConfig::default());
         let mean = |want: bool| {

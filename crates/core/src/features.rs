@@ -9,6 +9,32 @@ use pharmaverify_corpus::{SiteProfile, Snapshot};
 use pharmaverify_crawl::{summarize, CrawlConfig, Crawler, Url};
 use pharmaverify_text::preprocess;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from corpus extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// A site's seed URL does not parse. Synthetic snapshots always carry
+    /// valid URLs, but snapshots loaded from disk are user input.
+    BadSeedUrl {
+        /// The offending site's domain.
+        domain: String,
+        /// The unparseable seed URL.
+        url: String,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::BadSeedUrl { domain, url } => {
+                write!(f, "site {domain} has unparseable seed URL {url:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
 
 /// Everything the pipelines need from one crawled snapshot, indexed by
 /// site position (same order as `Snapshot::sites`).
@@ -58,7 +84,14 @@ impl ExtractedCorpus {
 
 /// Crawls and preprocesses every pharmacy of `snapshot`. Sites crawl in
 /// parallel on scoped threads; results keep snapshot order.
-pub fn extract_corpus(snapshot: &Snapshot, crawl_config: &CrawlConfig) -> ExtractedCorpus {
+///
+/// # Errors
+/// Returns [`ExtractError::BadSeedUrl`] if any site's seed URL does not
+/// parse — possible for snapshots loaded from disk.
+pub fn extract_corpus(
+    snapshot: &Snapshot,
+    crawl_config: &CrawlConfig,
+) -> Result<ExtractedCorpus, ExtractError> {
     let crawler = Crawler::new(crawl_config.clone());
     let n = snapshot.sites.len();
     let threads = std::thread::available_parallelism()
@@ -67,24 +100,35 @@ pub fn extract_corpus(snapshot: &Snapshot, crawl_config: &CrawlConfig) -> Extrac
         .min(n.max(1));
     let chunk = n.div_ceil(threads.max(1));
 
+    // Validate every seed URL up front so the parallel crawl below works
+    // on data that is known to be good.
+    let seeds: Vec<Url> = snapshot
+        .sites
+        .iter()
+        .map(|site| {
+            Url::parse(&site.seed_url).map_err(|_| ExtractError::BadSeedUrl {
+                domain: site.domain.clone(),
+                url: site.seed_url.clone(),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+
     struct SiteResult {
         tokens: Vec<String>,
         summary: String,
         outbound: BTreeMap<String, usize>,
     }
 
-    let results: Vec<SiteResult> = crossbeam::thread::scope(|scope| {
+    let results: Vec<SiteResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for chunk_sites in snapshot.sites.chunks(chunk.max(1)) {
+        for chunk_seeds in seeds.chunks(chunk.max(1)) {
             let crawler = &crawler;
             let web = &snapshot.web;
-            handles.push(scope.spawn(move |_| {
-                chunk_sites
+            handles.push(scope.spawn(move || {
+                chunk_seeds
                     .iter()
-                    .map(|site| {
-                        let seed = Url::parse(&site.seed_url)
-                            .expect("snapshot seed URLs are valid");
-                        let crawl = crawler.crawl(web, &seed);
+                    .map(|seed| {
+                        let crawl = crawler.crawl(web, seed);
                         let summary = summarize(&crawl);
                         SiteResult {
                             tokens: preprocess(&summary),
@@ -97,10 +141,9 @@ pub fn extract_corpus(snapshot: &Snapshot, crawl_config: &CrawlConfig) -> Extrac
         }
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("crawl thread panicked"))
+            .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
             .collect()
-    })
-    .expect("crawl scope panicked");
+    });
 
     let mut corpus = ExtractedCorpus {
         domains: Vec::with_capacity(n),
@@ -118,7 +161,7 @@ pub fn extract_corpus(snapshot: &Snapshot, crawl_config: &CrawlConfig) -> Extrac
         corpus.summaries.push(result.summary);
         corpus.outbound.push(result.outbound);
     }
-    corpus
+    Ok(corpus)
 }
 
 #[cfg(test)]
@@ -128,7 +171,7 @@ mod tests {
 
     fn corpus() -> ExtractedCorpus {
         let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
-        extract_corpus(web.snapshot(), &CrawlConfig::default())
+        extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts")
     }
 
     #[test]
@@ -181,8 +224,8 @@ mod tests {
     #[test]
     fn extraction_is_deterministic() {
         let web = SyntheticWeb::generate(&CorpusConfig::small(), 9);
-        let a = extract_corpus(web.snapshot(), &CrawlConfig::default());
-        let b = extract_corpus(web.snapshot(), &CrawlConfig::default());
+        let a = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
+        let b = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
         assert_eq!(a.tokens, b.tokens);
         assert_eq!(a.outbound, b.outbound);
     }

@@ -38,8 +38,8 @@ pub mod system;
 pub mod verifier;
 
 pub use classify::{
-    evaluate_ensemble, evaluate_network, evaluate_ngg, evaluate_tfidf, CvConfig,
-    EnsembleOutcome, NetworkArtifacts, TextLearnerKind,
+    evaluate_ensemble, evaluate_network, evaluate_ngg, evaluate_tfidf, CvConfig, EnsembleOutcome,
+    NetworkArtifacts, TextLearnerKind,
 };
 pub use features::{extract_corpus, ExtractedCorpus};
 pub use outliers::{ranking_outliers, OutlierReport};

@@ -118,8 +118,7 @@ pub fn evaluate_ranking(
         match method {
             RankingMethod::TfIdf { kind, sampling } => {
                 let docs = subsampled_documents(corpus, subsample, cv.seed);
-                let train_docs: Vec<&Vec<String>> =
-                    train_idx.iter().map(|&i| &docs[i]).collect();
+                let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
                 let weighting = kind.weighting();
                 let tfidf = TfIdfModel::fit(&train_docs[..]);
                 let dim = tfidf.vocabulary().len().max(1);
@@ -181,10 +180,6 @@ pub fn evaluate_ranking(
         .collect();
     let scores: Vec<f64> = entries.iter().map(RankEntry::rank).collect();
     let pairord = pairwise_orderedness(&scores, &corpus.labels).unwrap_or(1.0);
-    entries.sort_by(|a, b| {
-        b.rank()
-            .partial_cmp(&a.rank())
-            .expect("rank scores are finite")
-    });
+    entries.sort_by(|a, b| b.rank().total_cmp(&a.rank()));
     RankingOutcome { entries, pairord }
 }

@@ -7,10 +7,10 @@
 //! facade.
 
 use crate::classify::{
-    evaluate_ensemble, evaluate_network, evaluate_ngg, evaluate_tfidf, CvConfig,
-    EnsembleOutcome, TextLearnerKind,
+    evaluate_ensemble, evaluate_network, evaluate_ngg, evaluate_tfidf, CvConfig, EnsembleOutcome,
+    TextLearnerKind,
 };
-use crate::features::{extract_corpus, ExtractedCorpus};
+use crate::features::{extract_corpus, ExtractError, ExtractedCorpus};
 use crate::rank::{evaluate_ranking, RankingMethod, RankingOutcome};
 use pharmaverify_corpus::Snapshot;
 use pharmaverify_crawl::CrawlConfig;
@@ -63,6 +63,14 @@ pub enum SystemError {
         /// Requested folds.
         folds: usize,
     },
+    /// Corpus extraction rejected the snapshot.
+    Extract(ExtractError),
+}
+
+impl From<ExtractError> for SystemError {
+    fn from(e: ExtractError) -> Self {
+        SystemError::Extract(e)
+    }
 }
 
 impl fmt::Display for SystemError {
@@ -73,6 +81,7 @@ impl fmt::Display for SystemError {
                 f,
                 "cannot stratify {minority} minority examples into {folds} folds"
             ),
+            SystemError::Extract(e) => write!(f, "{e}"),
         }
     }
 }
@@ -97,8 +106,12 @@ impl VerificationSystem {
     }
 
     /// Crawls and preprocesses a snapshot.
-    pub fn extract(&self, snapshot: &Snapshot) -> ExtractedCorpus {
-        extract_corpus(snapshot, &self.config.crawl)
+    ///
+    /// # Errors
+    /// Returns [`SystemError::Extract`] if any site's seed URL does not
+    /// parse.
+    pub fn extract(&self, snapshot: &Snapshot) -> Result<ExtractedCorpus, SystemError> {
+        Ok(extract_corpus(snapshot, &self.config.crawl)?)
     }
 
     fn validate(&self, corpus: &ExtractedCorpus) -> Result<(), SystemError> {
@@ -140,7 +153,7 @@ impl VerificationSystem {
         kind: TextLearnerKind,
         seed: u64,
     ) -> Result<CvOutcome, SystemError> {
-        let corpus = self.extract(snapshot);
+        let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
         Ok(evaluate_tfidf(
             &corpus,
@@ -159,7 +172,7 @@ impl VerificationSystem {
         kind: TextLearnerKind,
         seed: u64,
     ) -> Result<CvOutcome, SystemError> {
-        let corpus = self.extract(snapshot);
+        let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
         Ok(evaluate_ngg(
             &corpus,
@@ -175,7 +188,7 @@ impl VerificationSystem {
         snapshot: &Snapshot,
         seed: u64,
     ) -> Result<CvOutcome, SystemError> {
-        let corpus = self.extract(snapshot);
+        let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
         Ok(evaluate_network(&corpus, self.cv(seed)))
     }
@@ -186,9 +199,13 @@ impl VerificationSystem {
         snapshot: &Snapshot,
         seed: u64,
     ) -> Result<EnsembleOutcome, SystemError> {
-        let corpus = self.extract(snapshot);
+        let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
-        Ok(evaluate_ensemble(&corpus, self.config.subsample, self.cv(seed)))
+        Ok(evaluate_ensemble(
+            &corpus,
+            self.config.subsample,
+            self.cv(seed),
+        ))
     }
 
     /// Out-of-fold legitimacy ranking (OPR).
@@ -198,7 +215,7 @@ impl VerificationSystem {
         method: RankingMethod,
         seed: u64,
     ) -> Result<RankingOutcome, SystemError> {
-        let corpus = self.extract(snapshot);
+        let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
         Ok(evaluate_ranking(
             &corpus,
@@ -276,7 +293,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(SystemError::EmptySnapshot.to_string().contains("no pharmacies"));
+        assert!(SystemError::EmptySnapshot
+            .to_string()
+            .contains("no pharmacies"));
         let e = SystemError::NotEnoughExamples {
             minority: 1,
             folds: 3,

@@ -124,8 +124,7 @@ impl TrainedVerifier {
             .collect();
         let tfidf = TfIdfModel::fit(&docs);
         let weighting = kind.weighting();
-        let text_uses_counts =
-            weighting == crate::classify::TermWeighting::RawCounts;
+        let text_uses_counts = weighting == crate::classify::TermWeighting::RawCounts;
         let mut train = Dataset::new(tfidf.vocabulary().len().max(1));
         for (i, doc) in docs.iter().enumerate() {
             train.push(weighting.vectorize(&tfidf, doc), corpus.labels[i]);
@@ -137,11 +136,8 @@ impl TrainedVerifier {
         let artifacts = build_web_graph(corpus);
         let trust_config = TrustRankConfig::default();
         let seed_indices = pos;
-        let trust = crate::classify::pharmacy_trust_scores(
-            &artifacts,
-            &seed_indices,
-            &trust_config,
-        );
+        let trust =
+            crate::classify::pharmacy_trust_scores(&artifacts, &seed_indices, &trust_config);
         let trust_scale = artifacts.graph.node_count() as f64;
         let mut net_train = Dataset::new(1);
         for (i, &t) in trust.iter().enumerate() {
@@ -168,8 +164,7 @@ impl TrainedVerifier {
     /// text, splices its outbound links into the training link graph, and
     /// propagates trust.
     pub fn verify<H: WebHost>(&self, host: &H, seed_url: &str) -> Result<Verdict, VerifyError> {
-        let url =
-            Url::parse(seed_url).map_err(|_| VerifyError::BadUrl(seed_url.to_string()))?;
+        let url = Url::parse(seed_url).map_err(|_| VerifyError::BadUrl(seed_url.to_string()))?;
         let crawler = Crawler::new(self.crawl_config.clone());
         let crawl = crawler.crawl(host, &url);
         if crawl.pages.is_empty() {
@@ -230,7 +225,7 @@ mod tests {
 
     fn verifier_and_web() -> (TrainedVerifier, SyntheticWeb) {
         let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
-        let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+        let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
         let verifier = TrainedVerifier::fit(
             &corpus,
             TextLearnerKind::Nbm,
@@ -282,9 +277,7 @@ mod tests {
     fn verdict_displays_summary() {
         let (verifier, web) = verifier_and_web();
         let snap = web.snapshot();
-        let verdict = verifier
-            .verify(&snap.web, &snap.sites[0].seed_url)
-            .unwrap();
+        let verdict = verifier.verify(&snap.web, &snap.sites[0].seed_url).unwrap();
         let text = verdict.to_string();
         assert!(text.contains("likely"));
         assert!(text.contains("pages"));

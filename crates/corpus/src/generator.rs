@@ -126,12 +126,8 @@ impl SyntheticWeb {
     pub fn generate(config: &CorpusConfig, seed: u64) -> Self {
         let mut meta_rng = SmallRng::seed_from_u64(seed);
         let legit_meta = legitimate_metadata(config, &mut meta_rng);
-        let illegit_meta1 = illegitimate_metadata(
-            config,
-            config.n_illegitimate_snapshot1,
-            0,
-            &mut meta_rng,
-        );
+        let illegit_meta1 =
+            illegitimate_metadata(config, config.n_illegitimate_snapshot1, 0, &mut meta_rng);
         let illegit_meta2 = illegitimate_metadata(
             config,
             config.n_illegitimate_snapshot2,
@@ -365,9 +361,8 @@ fn render_portals(
             listed.sort_unstable();
             listed.dedup();
         }
-        let mut front = format!(
-            "<html><head><title>{domain}</title></head><body><h1>{domain}</h1>\n"
-        );
+        let mut front =
+            format!("<html><head><title>{domain}</title></head><body><h1>{domain}</h1>\n");
         let tokens = rng.gen_range(config.tokens_per_page.0..=config.tokens_per_page.1);
         front.push_str(&format!(
             "<p>{}</p>\n",
@@ -380,9 +375,7 @@ fn render_portals(
         }
         for trusted in ["fda.gov", "nih.gov", "cdc.gov"] {
             if rng.gen_bool(0.6) {
-                front.push_str(&format!(
-                    "<a href=\"http://{trusted}/\">resource</a>\n"
-                ));
+                front.push_str(&format!("<a href=\"http://{trusted}/\">resource</a>\n"));
             }
         }
         front.push_str("</body></html>");
@@ -741,7 +734,11 @@ mod tests {
         let crawler = Crawler::new(CrawlConfig::default());
         let site = &snap.sites[0];
         let result = crawler.crawl(&snap.web, &Url::parse(&site.seed_url).unwrap());
-        assert!(result.page_count() >= 2, "crawled {} pages", result.page_count());
+        assert!(
+            result.page_count() >= 2,
+            "crawled {} pages",
+            result.page_count()
+        );
         assert_eq!(result.dead_links, 0, "no dead internal links");
     }
 

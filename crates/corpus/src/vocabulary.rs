@@ -13,73 +13,306 @@ use rand::Rng;
 
 /// Health-domain vocabulary shared by both classes.
 pub const SHARED_HEALTH: &[&str] = &[
-    "medication", "dosage", "tablet", "capsule", "treatment", "symptom", "doctor", "patient",
-    "health", "medicine", "drug", "therapy", "clinical", "generic", "brand", "pain", "relief",
-    "allergy", "infection", "antibiotic", "blood", "pressure", "diabetes", "heart", "cholesterol",
-    "vitamin", "supplement", "skin", "care", "daily", "effects", "side", "warning", "label",
-    "active", "ingredient", "strength", "oral", "cream", "ointment", "injection", "asthma",
-    "inhaler", "migraine", "arthritis", "depression", "anxiety", "sleep", "insomnia", "thyroid",
-    "hormone", "cancer", "screening", "vaccine", "flu", "cold", "cough", "fever", "nausea",
-    "digestive", "stomach", "liver", "kidney", "chronic", "acute", "condition", "disease",
-    "wellness", "nutrition", "diet", "exercise", "weight", "smoking", "cessation", "first",
-    "aid", "bandage", "thermometer", "monitor", "glucose", "test", "strip", "pediatric",
-    "senior", "pregnancy", "children", "adult", "tablets", "dose", "missed", "overdose",
-    "storage", "expiry", "interactions", "contraindications", "hypertension", "cardiology",
+    "medication",
+    "dosage",
+    "tablet",
+    "capsule",
+    "treatment",
+    "symptom",
+    "doctor",
+    "patient",
+    "health",
+    "medicine",
+    "drug",
+    "therapy",
+    "clinical",
+    "generic",
+    "brand",
+    "pain",
+    "relief",
+    "allergy",
+    "infection",
+    "antibiotic",
+    "blood",
+    "pressure",
+    "diabetes",
+    "heart",
+    "cholesterol",
+    "vitamin",
+    "supplement",
+    "skin",
+    "care",
+    "daily",
+    "effects",
+    "side",
+    "warning",
+    "label",
+    "active",
+    "ingredient",
+    "strength",
+    "oral",
+    "cream",
+    "ointment",
+    "injection",
+    "asthma",
+    "inhaler",
+    "migraine",
+    "arthritis",
+    "depression",
+    "anxiety",
+    "sleep",
+    "insomnia",
+    "thyroid",
+    "hormone",
+    "cancer",
+    "screening",
+    "vaccine",
+    "flu",
+    "cold",
+    "cough",
+    "fever",
+    "nausea",
+    "digestive",
+    "stomach",
+    "liver",
+    "kidney",
+    "chronic",
+    "acute",
+    "condition",
+    "disease",
+    "wellness",
+    "nutrition",
+    "diet",
+    "exercise",
+    "weight",
+    "smoking",
+    "cessation",
+    "first",
+    "aid",
+    "bandage",
+    "thermometer",
+    "monitor",
+    "glucose",
+    "test",
+    "strip",
+    "pediatric",
+    "senior",
+    "pregnancy",
+    "children",
+    "adult",
+    "tablets",
+    "dose",
+    "missed",
+    "overdose",
+    "storage",
+    "expiry",
+    "interactions",
+    "contraindications",
+    "hypertension",
+    "cardiology",
 ];
 
 /// Store-presence and trust vocabulary characteristic of legitimate
 /// pharmacies.
 pub const LEGITIMATE_STORE: &[&str] = &[
-    "prescription", "pharmacist", "licensed", "refill", "transfer", "insurance", "copay",
-    "coverage", "medicare", "medicaid", "consultation", "verified", "accredited", "vipps",
-    "seal", "privacy", "policy", "terms", "contact", "address", "phone", "hours", "location",
-    "store", "pickup", "delivery", "account", "profile", "history", "records", "physician",
-    "provider", "network", "formulary", "counseling", "immunization", "flu", "shots",
-    "compounding", "specialty", "faq", "support", "secure", "hipaa", "confidential",
-    "notice", "state", "board", "regulation", "compliance", "registered", "credential",
+    "prescription",
+    "pharmacist",
+    "licensed",
+    "refill",
+    "transfer",
+    "insurance",
+    "copay",
+    "coverage",
+    "medicare",
+    "medicaid",
+    "consultation",
+    "verified",
+    "accredited",
+    "vipps",
+    "seal",
+    "privacy",
+    "policy",
+    "terms",
+    "contact",
+    "address",
+    "phone",
+    "hours",
+    "location",
+    "store",
+    "pickup",
+    "delivery",
+    "account",
+    "profile",
+    "history",
+    "records",
+    "physician",
+    "provider",
+    "network",
+    "formulary",
+    "counseling",
+    "immunization",
+    "flu",
+    "shots",
+    "compounding",
+    "specialty",
+    "faq",
+    "support",
+    "secure",
+    "hipaa",
+    "confidential",
+    "notice",
+    "state",
+    "board",
+    "regulation",
+    "compliance",
+    "registered",
+    "credential",
 ];
 
 /// Hard-sell spam vocabulary characteristic of illegitimate pharmacies.
 pub const ILLEGITIMATE_SPAM: &[&str] = &[
-    "viagra", "cialis", "levitra", "cheap", "cheapest", "discount", "bonus", "pills", "free",
-    "shipping", "worldwide", "order", "now", "buy", "online", "without", "prescription",
-    "needed", "required", "overnight", "express", "guaranteed", "lowest", "price", "prices",
-    "offer", "deal", "save", "sale", "bestsellers", "soft", "super", "professional", "generic",
-    "brand", "xanax", "valium", "tramadol", "phentermine", "ambien", "soma", "anonymous",
-    "discreet", "packaging", "visa", "mastercard", "echeck", "wire", "moneyback", "refund",
-    "trial", "pack", "mg", "pill", "per",
+    "viagra",
+    "cialis",
+    "levitra",
+    "cheap",
+    "cheapest",
+    "discount",
+    "bonus",
+    "pills",
+    "free",
+    "shipping",
+    "worldwide",
+    "order",
+    "now",
+    "buy",
+    "online",
+    "without",
+    "prescription",
+    "needed",
+    "required",
+    "overnight",
+    "express",
+    "guaranteed",
+    "lowest",
+    "price",
+    "prices",
+    "offer",
+    "deal",
+    "save",
+    "sale",
+    "bestsellers",
+    "soft",
+    "super",
+    "professional",
+    "generic",
+    "brand",
+    "xanax",
+    "valium",
+    "tramadol",
+    "phentermine",
+    "ambien",
+    "soma",
+    "anonymous",
+    "discreet",
+    "packaging",
+    "visa",
+    "mastercard",
+    "echeck",
+    "wire",
+    "moneyback",
+    "refund",
+    "trial",
+    "pack",
+    "mg",
+    "pill",
+    "per",
 ];
 
 /// Spam vocabulary that only appears in the *second* snapshot — the
 /// six-month churn of illegitimate marketing language.
 pub const DRIFT_SPAM: &[&str] = &[
-    "kamagra", "tadalafil", "sildenafil", "vardenafil", "dapoxetine", "modafinil", "bitcoin",
-    "crypto", "telegram", "whatsapp", "stealth", "reship", "vendor", "reviews", "trusted",
-    "original", "quality", "bulk", "wholesale", "coupon", "promo", "code", "flash", "clearance",
-    "megadeal", "hotsale", "instant", "checkout", "cart", "combo",
+    "kamagra",
+    "tadalafil",
+    "sildenafil",
+    "vardenafil",
+    "dapoxetine",
+    "modafinil",
+    "bitcoin",
+    "crypto",
+    "telegram",
+    "whatsapp",
+    "stealth",
+    "reship",
+    "vendor",
+    "reviews",
+    "trusted",
+    "original",
+    "quality",
+    "bulk",
+    "wholesale",
+    "coupon",
+    "promo",
+    "code",
+    "flash",
+    "clearance",
+    "megadeal",
+    "hotsale",
+    "instant",
+    "checkout",
+    "cart",
+    "combo",
 ];
 
 /// The thin vocabulary of refill-only legitimate pharmacies — the
 /// legitimate *outliers* of §6.4 ("the majority of them simply give the
 /// possibility to refill existing prescriptions").
 pub const REFILL_ONLY: &[&str] = &[
-    "refill", "prescription", "number", "enter", "submit", "ready", "pickup", "notify",
-    "reminder", "autofill", "transfer", "existing", "login", "account", "password",
+    "refill",
+    "prescription",
+    "number",
+    "enter",
+    "submit",
+    "ready",
+    "pickup",
+    "notify",
+    "reminder",
+    "autofill",
+    "transfer",
+    "existing",
+    "login",
+    "account",
+    "password",
 ];
 
 /// Outbound-link targets of legitimate pharmacies, most-linked first
 /// (Table 11, left column).
 pub const LEGITIMATE_TARGETS: &[&str] = &[
-    "facebook.com", "twitter.com", "fda.gov", "google.com", "youtube.com", "nih.gov",
-    "adobe.com", "cdc.gov", "doubleclick.net", "nabp.net",
+    "facebook.com",
+    "twitter.com",
+    "fda.gov",
+    "google.com",
+    "youtube.com",
+    "nih.gov",
+    "adobe.com",
+    "cdc.gov",
+    "doubleclick.net",
+    "nabp.net",
 ];
 
 /// Outbound-link targets of illegitimate pharmacies, most-linked first
 /// (Table 11, right column). `rxwinners.com` and the med-store domains are
 /// themselves illegitimate pharmacies — the affiliate-network signal.
 pub const ILLEGITIMATE_TARGETS: &[&str] = &[
-    "wikipedia.org", "wordpress.org", "drugs.com", "securebilling-page.com", "rxwinners.com",
-    "google.com", "providesupport.com", "euro-med-store.com", "statcounter.com", "cipla.com",
+    "wikipedia.org",
+    "wordpress.org",
+    "drugs.com",
+    "securebilling-page.com",
+    "rxwinners.com",
+    "google.com",
+    "providesupport.com",
+    "euro-med-store.com",
+    "statcounter.com",
+    "cipla.com",
 ];
 
 /// Zipf-weighted sampling from a word pool: word at rank `r` (0-based) is
@@ -114,7 +347,9 @@ pub const NOISE_POOL_SIZE: usize = 600;
 pub fn noise_pool(seed: u64) -> Vec<String> {
     use rand::SeedableRng;
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x7015e);
-    let mut pool: Vec<String> = (0..NOISE_POOL_SIZE).map(|_| pseudo_word(&mut rng)).collect();
+    let mut pool: Vec<String> = (0..NOISE_POOL_SIZE)
+        .map(|_| pseudo_word(&mut rng))
+        .collect();
     pool.sort_unstable();
     pool.dedup();
     pool

@@ -6,8 +6,8 @@
 //! links are recorded but not fetched) and returns, per page, the extracted
 //! text plus the outbound link targets used later by the network analysis.
 
-use crate::html;
 use crate::host::WebHost;
+use crate::html;
 use crate::robots::RobotsPolicy;
 use crate::url::Url;
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -275,7 +275,10 @@ mod tests {
         // Both pages link to each other; crawl must terminate.
         let mut web = InMemoryWeb::new();
         web.add_page("http://loop.com/", r#"<a href="/x">x</a>"#);
-        web.add_page("http://loop.com/x", r#"<a href="/">home</a> <a href="/x">self</a>"#);
+        web.add_page(
+            "http://loop.com/x",
+            r#"<a href="/">home</a> <a href="/x">self</a>"#,
+        );
         let crawler = Crawler::new(CrawlConfig::default());
         let result = crawler.crawl(&web, &Url::parse("http://loop.com/").unwrap());
         assert_eq!(result.page_count(), 2);
@@ -284,7 +287,10 @@ mod tests {
     #[test]
     fn robots_disallow_respected() {
         let mut web = InMemoryWeb::new();
-        web.add_page("http://x.com/robots.txt", "User-agent: *\nDisallow: /private\n");
+        web.add_page(
+            "http://x.com/robots.txt",
+            "User-agent: *\nDisallow: /private\n",
+        );
         web.add_page(
             "http://x.com/",
             r#"<a href="/private/a.html">p</a> <a href="/pub.html">ok</a>"#,
@@ -295,7 +301,10 @@ mod tests {
         let result = crawler.crawl(&web, &Url::parse("http://x.com/").unwrap());
         assert_eq!(result.page_count(), 2); // front + pub
         assert_eq!(result.robots_skipped, 1);
-        assert!(result.pages.iter().all(|p| !p.url.path().starts_with("/private")));
+        assert!(result
+            .pages
+            .iter()
+            .all(|p| !p.url.path().starts_with("/private")));
     }
 
     #[test]
@@ -324,7 +333,10 @@ mod tests {
     #[test]
     fn subdomains_are_internal() {
         let mut web = InMemoryWeb::new();
-        web.add_page("http://pharm.com/", r#"<a href="http://shop.pharm.com/">s</a>"#);
+        web.add_page(
+            "http://pharm.com/",
+            r#"<a href="http://shop.pharm.com/">s</a>"#,
+        );
         web.add_page("http://shop.pharm.com/", "shop front");
         let crawler = Crawler::new(CrawlConfig::default());
         let result = crawler.crawl(&web, &Url::parse("http://pharm.com/").unwrap());

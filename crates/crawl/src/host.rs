@@ -41,6 +41,9 @@ impl InMemoryWeb {
     /// # Panics
     /// Panics if `url` does not parse; fixture URLs are programmer input.
     pub fn add_page(&mut self, url: &str, html: impl Into<String>) {
+        // lint:allow(no-panic): fixture builder API — a bad URL is a bug in
+        // the calling test, and the documented panic is the useful report.
+        #[allow(clippy::expect_used)]
         let parsed = Url::parse(url).expect("fixture URL must be absolute http(s)");
         self.pages.insert(parsed.to_string(), html.into());
     }
@@ -93,7 +96,9 @@ mod tests {
     #[test]
     fn fetch_missing_is_none() {
         let web = InMemoryWeb::new();
-        assert!(web.fetch(&Url::parse("http://nowhere.com/").unwrap()).is_none());
+        assert!(web
+            .fetch(&Url::parse("http://nowhere.com/").unwrap())
+            .is_none());
         assert!(web.is_empty());
     }
 
@@ -112,6 +117,8 @@ mod tests {
         let mut web = InMemoryWeb::new();
         web.add_page("http://a.com/", "x");
         let by_ref: &dyn WebHost = &web;
-        assert!(by_ref.fetch(&Url::parse("http://a.com/").unwrap()).is_some());
+        assert!(by_ref
+            .fetch(&Url::parse("http://a.com/").unwrap())
+            .is_some());
     }
 }

@@ -112,8 +112,7 @@ fn attribute_value(tag_body: &str, name: &str) -> Option<String> {
         let at = search_from + rel;
         // Must be a standalone attribute name: preceded by whitespace and
         // followed (after optional spaces) by `=`.
-        let before_ok = at == 0
-            || lower.as_bytes()[at - 1].is_ascii_whitespace();
+        let before_ok = at == 0 || lower.as_bytes()[at - 1].is_ascii_whitespace();
         let after = lower[at + name.len()..].trim_start();
         if before_ok && after.starts_with('=') {
             let value_part = after[1..].trim_start();
@@ -176,7 +175,9 @@ pub fn decode_entities(input: &str) -> String {
                     _ => entity
                         .strip_prefix('#')
                         .and_then(|num| {
-                            if let Some(hex) = num.strip_prefix('x').or_else(|| num.strip_prefix('X')) {
+                            if let Some(hex) =
+                                num.strip_prefix('x').or_else(|| num.strip_prefix('X'))
+                            {
                                 u32::from_str_radix(hex, 16).ok()
                             } else {
                                 num.parse::<u32>().ok()
@@ -211,21 +212,27 @@ mod tests {
 
     #[test]
     fn extracts_plain_text() {
-        let e = extract("<html><body><h1>Online Pharmacy</h1><p>Refill your prescription.</p></body></html>");
+        let e = extract(
+            "<html><body><h1>Online Pharmacy</h1><p>Refill your prescription.</p></body></html>",
+        );
         assert_eq!(e.text, "Online Pharmacy Refill your prescription.");
         assert!(e.links.is_empty());
     }
 
     #[test]
     fn extracts_links() {
-        let e = extract(r#"<p>See <a href="http://fda.gov/x">FDA</a> and <a href='/about'>us</a>.</p>"#);
+        let e = extract(
+            r#"<p>See <a href="http://fda.gov/x">FDA</a> and <a href='/about'>us</a>.</p>"#,
+        );
         assert_eq!(e.links, vec!["http://fda.gov/x", "/about"]);
         assert_eq!(e.text, "See FDA and us .");
     }
 
     #[test]
     fn skips_script_and_style_content() {
-        let e = extract("<style>body { color: red }</style><script>var x = '<b>hi</b>';</script><p>visible</p>");
+        let e = extract(
+            "<style>body { color: red }</style><script>var x = '<b>hi</b>';</script><p>visible</p>",
+        );
         assert_eq!(e.text, "visible");
     }
 

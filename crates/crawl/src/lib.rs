@@ -19,8 +19,8 @@
 //!   pages of a pharmacy into one document.
 
 pub mod crawler;
-pub mod html;
 pub mod host;
+pub mod html;
 pub mod robots;
 pub mod summary;
 pub mod url;

@@ -37,9 +37,10 @@ impl RobotsPolicy {
         let mut current_rules: Vec<Rule> = Vec::new();
         let mut in_group_body = false;
 
-        let flush = |agents: &[String], rules: &[Rule],
-                         wildcard: &mut Vec<Rule>,
-                         specific: &mut Vec<Rule>| {
+        let flush = |agents: &[String],
+                     rules: &[Rule],
+                     wildcard: &mut Vec<Rule>,
+                     specific: &mut Vec<Rule>| {
             for agent in agents {
                 if agent == "*" {
                     wildcard.extend_from_slice(rules);

@@ -36,16 +36,16 @@ mod tests {
         let mut web = InMemoryWeb::new();
         web.add_page("http://p.com/", r#"first <a href="/2">n</a>"#);
         web.add_page("http://p.com/2", "second");
-        let crawl = Crawler::new(CrawlConfig::default())
-            .crawl(&web, &Url::parse("http://p.com/").unwrap());
+        let crawl =
+            Crawler::new(CrawlConfig::default()).crawl(&web, &Url::parse("http://p.com/").unwrap());
         assert_eq!(summarize(&crawl), "first n second");
     }
 
     #[test]
     fn empty_crawl_is_empty_summary() {
         let web = InMemoryWeb::new();
-        let crawl = Crawler::new(CrawlConfig::default())
-            .crawl(&web, &Url::parse("http://p.com/").unwrap());
+        let crawl =
+            Crawler::new(CrawlConfig::default()).crawl(&web, &Url::parse("http://p.com/").unwrap());
         assert_eq!(summarize(&crawl), "");
     }
 
@@ -55,8 +55,8 @@ mod tests {
         web.add_page("http://p.com/", r#"<a href="/2">x</a><a href="/3">y</a>"#);
         web.add_page("http://p.com/2", "<div></div>");
         web.add_page("http://p.com/3", "tail");
-        let crawl = Crawler::new(CrawlConfig::default())
-            .crawl(&web, &Url::parse("http://p.com/").unwrap());
+        let crawl =
+            Crawler::new(CrawlConfig::default()).crawl(&web, &Url::parse("http://p.com/").unwrap());
         assert_eq!(summarize(&crawl), "x y tail");
     }
 }

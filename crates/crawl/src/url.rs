@@ -86,11 +86,7 @@ impl Url {
             return Err(UrlError::MissingHost);
         }
         let path = normalize_path(strip_fragment(path_and_more));
-        Ok(Url {
-            scheme,
-            host,
-            path,
-        })
+        Ok(Url { scheme, host, path })
     }
 
     /// Resolves `reference` against this URL, per the subset of RFC 3986
@@ -169,8 +165,8 @@ impl fmt::Display for Url {
 /// Two-label public suffixes under which registrable domains need three
 /// labels. Deliberately small: enough for realistic pharmacy corpora.
 const TWO_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.nz", "co.jp",
-    "com.br", "com.cn", "co.in",
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "com.au", "net.au", "org.au", "co.nz", "co.jp", "com.br",
+    "com.cn", "co.in",
 ];
 
 /// Reduces a host name to its registrable (second-level) domain.
@@ -284,10 +280,7 @@ mod tests {
     #[test]
     fn join_resolves_path_relative() {
         let base = Url::parse("http://pharm.example.com/shop/index.html").unwrap();
-        assert_eq!(
-            base.join("cart.html").unwrap().path(),
-            "/shop/cart.html"
-        );
+        assert_eq!(base.join("cart.html").unwrap().path(), "/shop/cart.html");
         assert_eq!(base.join("../top.html").unwrap().path(), "/top.html");
     }
 

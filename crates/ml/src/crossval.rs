@@ -122,18 +122,16 @@ impl CrossValidation {
         let folds = stratified_folds(data.labels(), self.k, self.seed);
         let sampling = self.sampling;
         let seed = self.seed;
-        let outcomes: Vec<FoldOutcome> = crossbeam::thread::scope(|scope| {
+        let outcomes: Vec<FoldOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = folds
                 .iter()
                 .map(|test_idx| {
-                    scope.spawn(move |_| {
-                        let train_idx: Vec<usize> = (0..data.len())
-                            .filter(|i| !test_idx.contains(i))
-                            .collect();
+                    scope.spawn(move || {
+                        let train_idx: Vec<usize> =
+                            (0..data.len()).filter(|i| !test_idx.contains(i)).collect();
                         let train = sampling.apply(&data.subset(&train_idx), seed);
                         let model = learner.fit(&train);
-                        let labels: Vec<bool> =
-                            test_idx.iter().map(|&i| data.y(i)).collect();
+                        let labels: Vec<bool> = test_idx.iter().map(|&i| data.y(i)).collect();
                         let scores: Vec<f64> =
                             test_idx.iter().map(|&i| model.score(data.x(i))).collect();
                         let predictions: Vec<bool> =
@@ -148,10 +146,9 @@ impl CrossValidation {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("fold thread panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
-        })
-        .expect("cross-validation scope panicked");
+        });
         CvOutcome { folds: outcomes }
     }
 }

@@ -218,7 +218,10 @@ mod tests {
     #[test]
     fn from_parts_validates() {
         let err = Dataset::from_parts(1, vec![v(&[(5, 1.0)])], vec![true]).unwrap_err();
-        assert!(matches!(err, DatasetError::FeatureOutOfRange { feature: 5, .. }));
+        assert!(matches!(
+            err,
+            DatasetError::FeatureOutOfRange { feature: 5, .. }
+        ));
         let err = Dataset::from_parts(1, vec![], vec![true]).unwrap_err();
         assert!(matches!(err, DatasetError::LengthMismatch { .. }));
         assert!(Dataset::from_parts(6, vec![v(&[(5, 1.0)])], vec![true]).is_ok());

@@ -97,16 +97,14 @@ impl Learner for EnsembleSelection {
         let hill_labels: Vec<bool> = hillclimb_idx.iter().map(|&i| data.y(i)).collect();
 
         // Fit the whole library on the training part.
-        let models: Vec<Box<dyn Model>> =
-            self.library.iter().map(|l| l.fit(&train)).collect();
+        let models: Vec<Box<dyn Model>> = self.library.iter().map(|l| l.fit(&train)).collect();
         // Cache hillclimb scores per model.
         let hill_scores: Vec<Vec<f64>> = models
             .iter()
             .map(|m| hillclimb_idx.iter().map(|&i| m.score(data.x(i))).collect())
             .collect();
 
-        let final_counts =
-            greedy_auc_selection(&hill_scores, &hill_labels, self.config.rounds);
+        let final_counts = greedy_auc_selection(&hill_scores, &hill_labels, self.config.rounds);
         let total_weight: usize = final_counts.iter().sum();
         Box::new(EnsembleModel {
             members: models.into_iter().zip(final_counts).collect(),
@@ -155,7 +153,11 @@ pub fn greedy_auc_selection(
                 best_round = Some((auc, m));
             }
         }
-        let (auc, chosen) = best_round.expect("library is non-empty");
+        // `model_scores` is non-empty (asserted above), so a round always
+        // produces a winner; the let-else keeps the loop panic-free anyway.
+        let Some((auc, chosen)) = best_round else {
+            break;
+        };
         counts[chosen] += 1;
         total += 1;
         for (s, x) in sum_scores.iter_mut().zip(&model_scores[chosen]) {

@@ -68,8 +68,7 @@ pub fn top_k_features(data: &Dataset, k: usize) -> Vec<u32> {
     let mut order: Vec<u32> = (0..data.dim() as u32).collect();
     order.sort_by(|&a, &b| {
         gains[b as usize]
-            .partial_cmp(&gains[a as usize])
-            .expect("gains are finite")
+            .total_cmp(&gains[a as usize])
             .then(a.cmp(&b))
     });
     order.truncate(k);

@@ -72,14 +72,8 @@ impl Learner for HybridNaiveBayes {
         let bernoulli = binary
             .iter()
             .map(|&f| {
-                let ones_pos = data
-                    .iter()
-                    .filter(|&(x, y)| y && x.get(f) > 0.0)
-                    .count() as f64;
-                let ones_neg = data
-                    .iter()
-                    .filter(|&(x, y)| !y && x.get(f) > 0.0)
-                    .count() as f64;
+                let ones_pos = data.iter().filter(|&(x, y)| y && x.get(f) > 0.0).count() as f64;
+                let ones_neg = data.iter().filter(|&(x, y)| !y && x.get(f) > 0.0).count() as f64;
                 let p1_pos = (ones_pos + 1.0) / (n_pos + 2.0);
                 let p1_neg = (ones_neg + 1.0) / (n_neg + 2.0);
                 (

@@ -47,9 +47,9 @@ pub mod tree;
 
 pub use calibration::PlattScaler;
 pub use crossval::{stratified_folds, CrossValidation, CvOutcome, FoldOutcome};
-pub use feature_select::{information_gain, project, top_k_features};
 pub use dataset::{Dataset, DatasetError};
 pub use ensemble::{greedy_auc_selection, EnsembleSelection, EnsembleSelectionConfig};
+pub use feature_select::{information_gain, project, top_k_features};
 pub use gaussian_nb::GaussianNaiveBayes;
 pub use hybrid_nb::HybridNaiveBayes;
 pub use metrics::{ClassMetrics, ConfidenceInterval, ConfusionMatrix, EvalSummary};

@@ -171,7 +171,7 @@ pub fn pairwise_orderedness(scores: &[f64], labels: &[bool]) -> Option<f64> {
         .filter(|&(_, &l)| !l)
         .map(|(&s, _)| s)
         .collect();
-    illegit_scores.sort_unstable_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+    illegit_scores.sort_unstable_by(f64::total_cmp);
     let mut violations = 0usize;
     for (&s, &l) in scores.iter().zip(labels) {
         if !l {

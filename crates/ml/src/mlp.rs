@@ -111,7 +111,11 @@ impl Learner for Mlp {
                 dense
             })
             .collect();
-        let targets: Vec<f64> = data.labels().iter().map(|&l| if l { 1.0 } else { 0.0 }).collect();
+        let targets: Vec<f64> = data
+            .labels()
+            .iter()
+            .map(|&l| if l { 1.0 } else { 0.0 })
+            .collect();
 
         let init = |rng: &mut SmallRng, fan_in: usize| -> f64 {
             let bound = 1.0 / (fan_in as f64).sqrt();
@@ -149,8 +153,7 @@ impl Learner for Mlp {
                 v_b2 = cfg.momentum * v_b2 - cfg.learning_rate * delta_out;
                 model.b2 += v_b2;
                 for h in 0..hidden {
-                    let delta_h =
-                        delta_out * model.w2[h] * hidden_out[h] * (1.0 - hidden_out[h]);
+                    let delta_h = delta_out * model.w2[h] * hidden_out[h] * (1.0 - hidden_out[h]);
                     for j in 0..dim {
                         let grad = delta_h * x[j];
                         v_w1[h][j] = cfg.momentum * v_w1[h][j] - cfg.learning_rate * grad;

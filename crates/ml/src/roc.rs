@@ -8,7 +8,10 @@
 /// Returns `None` when either class is absent.
 ///
 /// # Panics
-/// Panics if the slices differ in length or a score is NaN.
+/// Panics if the slices differ in length.
+// lint:allow(float-eq): tie groups are *identical* scores after a sort;
+// bitwise equality is the definition, not an approximation gone wrong.
+#[allow(clippy::float_cmp)]
 pub fn auc_from_scores(scores: &[f64], labels: &[bool]) -> Option<f64> {
     assert_eq!(scores.len(), labels.len(), "length mismatch");
     let n_pos = labels.iter().filter(|&&l| l).count();
@@ -18,11 +21,7 @@ pub fn auc_from_scores(scores: &[f64], labels: &[bool]) -> Option<f64> {
     }
     // Sort indices by score; assign midranks to tied groups.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_unstable_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .expect("scores must not be NaN")
-    });
+    order.sort_unstable_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut rank_sum_pos = 0.0;
     let mut i = 0;
     while i < order.len() {
@@ -53,6 +52,9 @@ pub struct RocCurve {
 
 impl RocCurve {
     /// Computes the curve. Returns `None` when either class is absent.
+    // lint:allow(float-eq): identical-score tie grouping, as in
+    // `auc_from_scores`.
+    #[allow(clippy::float_cmp)]
     pub fn compute(scores: &[f64], labels: &[bool]) -> Option<Self> {
         assert_eq!(scores.len(), labels.len(), "length mismatch");
         let n_pos = labels.iter().filter(|&&l| l).count();
@@ -62,11 +64,7 @@ impl RocCurve {
         }
         let mut order: Vec<usize> = (0..scores.len()).collect();
         // Descending score: thresholds sweep from strict to lax.
-        order.sort_unstable_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .expect("scores must not be NaN")
-        });
+        order.sort_unstable_by(|&a, &b| scores[b].total_cmp(&scores[a]));
         let mut points = Vec::with_capacity(scores.len() + 1);
         points.push((0.0, 0.0));
         let (mut tp, mut fp) = (0usize, 0usize);

@@ -100,7 +100,7 @@ pub fn smote(data: &Dataset, k: usize, seed: u64) -> Dataset {
                 .filter(|&&j| j != i)
                 .map(|&j| (data.x(i).distance_sq(data.x(j)), j))
                 .collect();
-            dists.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("distance is NaN"));
+            dists.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
             dists.truncate(k);
             dists.into_iter().map(|(_, j)| j).collect()
         })

@@ -96,13 +96,13 @@ fn fit_impl(cfg: &SvmConfig, data: &Dataset) -> SvmModel {
         assert!(!data.is_empty(), "cannot fit SVM on an empty dataset");
         let n = data.len();
         let dim = data.dim();
-        let y: Vec<f64> = data.labels().iter().map(|&l| if l { 1.0 } else { -1.0 }).collect();
-        // Q_ii = x_i·x_i + 1 (the +1 is the bias augmentation).
-        let q_diag: Vec<f64> = data
-            .features()
+        let y: Vec<f64> = data
+            .labels()
             .iter()
-            .map(|x| x.dot(x) + 1.0)
+            .map(|&l| if l { 1.0 } else { -1.0 })
             .collect();
+        // Q_ii = x_i·x_i + 1 (the +1 is the bias augmentation).
+        let q_diag: Vec<f64> = data.features().iter().map(|x| x.dot(x) + 1.0).collect();
         let mut alpha = vec![0.0_f64; n];
         let mut w = vec![0.0_f64; dim];
         let mut b = 0.0_f64;
@@ -142,7 +142,10 @@ fn fit_impl(cfg: &SvmConfig, data: &Dataset) -> SvmModel {
                 break;
             }
         }
-        SvmModel { weights: w, bias: b }
+        SvmModel {
+            weights: w,
+            bias: b,
+        }
     }
 }
 

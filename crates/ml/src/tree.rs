@@ -177,9 +177,9 @@ impl<'a> Builder<'a> {
         let Some(best) = self.find_best_split(indices, pos, neg) else {
             return leaf;
         };
-        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices.iter().partition(|&&i| {
-            self.data.x(i as usize).get(best.feature) <= best.threshold
-        });
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices
+            .iter()
+            .partition(|&&i| self.data.x(i as usize).get(best.feature) <= best.threshold);
         debug_assert!(left_idx.len() >= self.config.min_leaf);
         debug_assert!(right_idx.len() >= self.config.min_leaf);
         let left = self.build_node(&left_idx, depth + 1);
@@ -194,6 +194,9 @@ impl<'a> Builder<'a> {
         }
     }
 
+    // lint:allow(float-eq): grouping *identical* feature values after a
+    // sort — exact equality is intended.
+    #[allow(clippy::float_cmp)]
     fn find_best_split(&mut self, indices: &[u32], pos: f64, neg: f64) -> Option<BestSplit> {
         let n = indices.len() as f64;
         let parent_entropy = entropy(pos, neg);
@@ -215,7 +218,7 @@ impl<'a> Builder<'a> {
             let nnz_pos = nonzero.iter().filter(|&&(_, l)| l).count() as f64;
             let zero_pos = pos - nnz_pos;
             let zero_neg = neg - (nonzero.len() as f64 - nnz_pos);
-            nonzero.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("value is NaN"));
+            nonzero.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
 
             // Group by distinct value, inserting the zero group in order.
             let mut groups: Vec<(f64, f64, f64)> = Vec::new(); // (value, pos, neg)
@@ -269,10 +272,7 @@ impl<'a> Builder<'a> {
                     continue;
                 }
                 let gain_ratio = gain / split_info;
-                if best
-                    .as_ref()
-                    .is_none_or(|b| gain_ratio > b.gain_ratio)
-                {
+                if best.as_ref().is_none_or(|b| gain_ratio > b.gain_ratio) {
                     best = Some(BestSplit {
                         feature: feature as u32,
                         threshold: (groups[w].0 + groups[w + 1].0) / 2.0,
@@ -351,8 +351,7 @@ fn add_errs(n: f64, e: f64, cf: f64) -> f64 {
     }
     let z = probit(1.0 - cf);
     let f = (e + 0.5) / n; // C4.5's continuity correction
-    let upper = (f + z * z / (2.0 * n)
-        + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
+    let upper = (f + z * z / (2.0 * n) + z * (f / n - f * f / n + z * z / (4.0 * n * n)).sqrt())
         / (1.0 + z * z / n);
     (upper * n - e).max(0.0)
 }

@@ -3,8 +3,8 @@
 
 use pharmaverify_ml::metrics::pairwise_orderedness;
 use pharmaverify_ml::{
-    auc_from_scores, smote, stratified_folds, undersample, ConfusionMatrix, Dataset,
-    DecisionTree, GaussianNaiveBayes, Learner, MultinomialNaiveBayes, RocCurve,
+    auc_from_scores, smote, stratified_folds, undersample, ConfusionMatrix, Dataset, DecisionTree,
+    GaussianNaiveBayes, Learner, MultinomialNaiveBayes, RocCurve,
 };
 use pharmaverify_text::SparseVector;
 use proptest::prelude::*;

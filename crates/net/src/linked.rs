@@ -53,13 +53,12 @@ mod tests {
 
     #[test]
     fn counts_distinct_pharmacies_not_links() {
-        let outbound = [vec!["fda.gov", "fda.gov", "facebook.com"],
+        let outbound = [
+            vec!["fda.gov", "fda.gov", "facebook.com"],
             vec!["fda.gov"],
-            vec!["facebook.com"]];
-        let rows = top_linked(
-            outbound.iter().map(|v| v.iter().copied()),
-            10,
-        );
+            vec!["facebook.com"],
+        ];
+        let rows = top_linked(outbound.iter().map(|v| v.iter().copied()), 10);
         assert_eq!(rows[0].domain, "facebook.com"); // tie broken alphabetically
         assert_eq!(rows[0].pharmacies, 2);
         assert_eq!(rows[1].domain, "fda.gov");
@@ -75,9 +74,11 @@ mod tests {
 
     #[test]
     fn orders_by_count_descending() {
-        let outbound = [vec!["popular.com", "rare.com"],
+        let outbound = [
+            vec!["popular.com", "rare.com"],
             vec!["popular.com"],
-            vec!["popular.com"]];
+            vec!["popular.com"],
+        ];
         let rows = top_linked(outbound.iter().map(|v| v.iter().copied()), 10);
         assert_eq!(rows[0].domain, "popular.com");
         assert_eq!(rows[0].pharmacies, 3);

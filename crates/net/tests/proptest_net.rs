@@ -13,7 +13,9 @@ fn random_graph() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
 
 fn build(n: usize, edges: &[(usize, usize)]) -> WebGraph {
     let mut g = WebGraph::new();
-    let ids: Vec<NodeId> = (0..n).map(|i| g.add_pharmacy(&format!("n{i}.com"))).collect();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| g.add_pharmacy(&format!("n{i}.com")))
+        .collect();
     for &(a, b) in edges {
         if a != b {
             g.add_link(ids[a], &format!("n{b}.com"), 1.0);

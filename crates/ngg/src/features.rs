@@ -34,8 +34,14 @@ pub struct NggFeatures {
 /// Human-readable names for the columns of [`NggFeatures::to_vec`].
 pub fn ngg_feature_names() -> [&'static str; 8] {
     [
-        "cs_legit", "ss_legit", "vs_legit", "nvs_legit", "cs_illegit", "ss_illegit",
-        "vs_illegit", "nvs_illegit",
+        "cs_legit",
+        "ss_legit",
+        "vs_legit",
+        "nvs_legit",
+        "cs_illegit",
+        "ss_illegit",
+        "vs_illegit",
+        "nvs_illegit",
     ]
 }
 
@@ -219,10 +225,7 @@ mod tests {
         let b = NGramGraphBuilder::default();
         let g1 = NggClassGraphs::build(b, LEGIT, ILLEGIT, 11);
         let g2 = NggClassGraphs::build(b, LEGIT, ILLEGIT, 11);
-        assert_eq!(
-            g1.legitimate().edge_count(),
-            g2.legitimate().edge_count()
-        );
+        assert_eq!(g1.legitimate().edge_count(), g2.legitimate().edge_count());
         let f1 = g1.features(LEGIT[0]).to_vec();
         let f2 = g2.features(LEGIT[0]).to_vec();
         assert_eq!(f1, f2);

@@ -1,10 +1,14 @@
 //! The n-gram graph data structure.
 //!
 //! Vertices are character n-grams, interned to dense `u32` ids. Edges are
-//! directed `(from, to)` pairs with `f64` weights, stored in a hash map —
-//! the similarity measures only ever need membership tests and weight
-//! lookups, both O(1).
+//! directed `(from, to)` pairs with `f64` weights, stored in an ordered
+//! map: iteration order must be deterministic because class-graph merging
+//! interns grams in edge-iteration order and the similarity measures sum
+//! `f64` weights over it — with a hash map both would vary run to run
+//! with the hasher's random state. Lookups go from O(1) to O(log E),
+//! which is invisible next to the graph-construction cost.
 
+use std::collections::BTreeMap;
 use std::collections::HashMap;
 
 /// A weighted directed graph over interned character n-grams.
@@ -12,7 +16,7 @@ use std::collections::HashMap;
 pub struct NGramGraph {
     grams: Vec<Box<str>>,
     index: HashMap<Box<str>, u32>,
-    edges: HashMap<(u32, u32), f64>,
+    edges: BTreeMap<(u32, u32), f64>,
 }
 
 impl NGramGraph {
@@ -96,6 +100,13 @@ impl NGramGraph {
     /// Total of all edge weights.
     pub fn total_weight(&self) -> f64 {
         self.edges.values().sum()
+    }
+
+    /// Multiplies every edge weight by `factor` (class-graph averaging).
+    pub fn scale_weights(&mut self, factor: f64) {
+        for w in self.edges.values_mut() {
+            *w *= factor;
+        }
     }
 }
 

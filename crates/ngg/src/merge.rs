@@ -59,16 +59,7 @@ impl ClassGraph {
     pub fn average(&self) -> NGramGraph {
         let mut avg = self.sums.clone();
         if self.merged > 1 {
-            let factor = 1.0 / self.merged as f64;
-            let edges: Vec<(String, String, f64)> = avg
-                .iter_edges()
-                .map(|(f, t, w)| (f.to_string(), t.to_string(), w))
-                .collect();
-            for (f, t, w) in edges {
-                let from = avg.gram_id(&f).expect("edge endpoint interned");
-                let to = avg.gram_id(&t).expect("edge endpoint interned");
-                avg.set_edge(from, to, w * factor);
-            }
+            avg.scale_weights(1.0 / self.merged as f64);
         }
         avg
     }

@@ -43,7 +43,11 @@ impl GraphSimilarities {
 pub fn containment_similarity(gi: &NGramGraph, gj: &NGramGraph) -> f64 {
     let min = gi.edge_count().min(gj.edge_count());
     if min == 0 {
-        return if gi.is_empty() && gj.is_empty() { 1.0 } else { 0.0 };
+        return if gi.is_empty() && gj.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let shared = gi
         .iter_edges()
@@ -163,7 +167,7 @@ mod tests {
     fn vs_penalizes_weight_mismatch() {
         let a = g("abab"); // a→b weight 2, b→a weight 1
         let b = g("ab"); // a→b weight 1
-        // Shared edge a→b: min/max = 1/2. max(|Gi|,|Gj|) = 2.
+                         // Shared edge a→b: min/max = 1/2. max(|Gi|,|Gj|) = 2.
         assert!((value_similarity(&a, &b) - 0.25).abs() < 1e-12);
         // VS is symmetric here because the shared-edge ratio is.
         assert!((value_similarity(&b, &a) - 0.25).abs() < 1e-12);

@@ -116,11 +116,7 @@ impl SparseVector {
 
     /// Euclidean norm.
     pub fn norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, v)| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt()
     }
 
     /// Sum of values (L1 mass for non-negative vectors).

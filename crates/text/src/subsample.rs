@@ -63,10 +63,7 @@ mod tests {
     fn preserves_document_order() {
         let d = doc(50);
         let s = subsample_terms(&d, 20, 3);
-        let positions: Vec<usize> = s
-            .iter()
-            .map(|t| t[1..].parse::<usize>().unwrap())
-            .collect();
+        let positions: Vec<usize> = s.iter().map(|t| t[1..].parse::<usize>().unwrap()).collect();
         assert!(positions.windows(2).all(|w| w[0] < w[1]));
     }
 

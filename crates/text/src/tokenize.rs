@@ -11,7 +11,10 @@ pub fn tokenize(text: &str) -> Vec<String> {
     let mut current = String::new();
     for ch in text.chars() {
         if ch.is_alphabetic() {
-            current.extend(ch.to_lowercase());
+            // Some lowercase expansions contain non-alphabetic combining
+            // marks (İ → "i\u{307}"); drop those so tokens stay purely
+            // alphabetic.
+            current.extend(ch.to_lowercase().filter(|c| c.is_alphabetic()));
         } else if !current.is_empty() {
             tokens.push(std::mem::take(&mut current));
         }

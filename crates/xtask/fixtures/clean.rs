@@ -1,0 +1,61 @@
+//! Lint fixture: near-miss patterns that must stay quiet. Test data for
+//! the xtask self-tests — never compiled into any crate.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+fn panics_only_in_disguise(x: Option<u32>) -> u32 {
+    // Fallback combinators are fine; only the panicking forms are banned.
+    let a = x.unwrap_or(0);
+    let b = x.unwrap_or_else(|| 7);
+    let c = x.unwrap_or_default();
+    // Pattern text inside string literals is data, not code.
+    let s = "call .unwrap() and panic! freely in prose";
+    let r = r#"raw .expect( too"#;
+    a + b + c + s.len() as u32 + r.len() as u32
+}
+
+// lint:allow(no-panic): fixture demonstrating a justified, documented site.
+fn allowed_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn ordered_iteration(report: &mut Vec<String>) {
+    // BTreeMap iterates in key order — deterministic, no finding.
+    let sorted: BTreeMap<String, usize> = BTreeMap::new();
+    for (key, value) in &sorted {
+        report.push(format!("{key}={value}"));
+    }
+    // Hash collections used for lookup only are fine.
+    let index: HashMap<String, usize> = HashMap::new();
+    let _ = index.get("x");
+    let seen: HashSet<u32> = HashSet::new();
+    let _ = seen.contains(&3);
+    // Iteration is fine when visibly sorted before emission.
+    let mut keys: Vec<&String> = index.keys().collect();
+    keys.sort();
+}
+
+fn zero_comparisons(v: f64) -> bool {
+    // Zero is exact for sparse data; ordered comparisons are always fine.
+    v != 0.0 && v > 0.5 && v < 2.5
+}
+
+fn documented_unsafe(p: *const u32) -> u32 {
+    // SAFETY: the caller guarantees `p` points at a live, aligned u32.
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code unwraps freely.
+    #[test]
+    fn tests_may_unwrap() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for (k, v) in &m {
+            assert!(k <= v);
+        }
+        assert!(0.75 == 0.75);
+    }
+}

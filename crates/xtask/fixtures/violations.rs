@@ -1,0 +1,45 @@
+//! Lint fixture: every expectation comment below must match exactly one
+//! diagnostic of the named lint. This file is test data for the xtask
+//! self-tests — it is never compiled into any crate.
+
+use std::collections::{HashMap, HashSet};
+
+fn no_panic_sites(x: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = x.unwrap(); // VIOLATION no-panic
+    let b = r.expect("must parse"); // VIOLATION no-panic
+    if a > b {
+        panic!("impossible"); // VIOLATION no-panic
+    }
+    unreachable!() // VIOLATION no-panic
+}
+
+fn hash_iteration(report: &mut Vec<String>) {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    counts.insert("a".to_string(), 1);
+    for (key, value) in counts.iter() {
+        // VIOLATION hash-iter (previous line)
+        report.push(format!("{key}={value}"));
+    }
+    let seen: HashSet<u32> = HashSet::new();
+    for item in &seen {
+        // VIOLATION hash-iter (previous line)
+        report.push(item.to_string());
+    }
+}
+
+fn float_equality(score: f64) -> bool {
+    if score == 0.75 {
+        // VIOLATION float-eq (previous line)
+        return true;
+    }
+    score != 1.5 // VIOLATION float-eq
+}
+
+fn undocumented_unsafe(p: *const u32) -> u32 {
+    unsafe { *p } // VIOLATION safety-comment
+}
+
+// lint:allow(no-panic) VIOLATION bad-allow (missing `: reason`)
+fn marker_without_reason(x: Option<u32>) -> u32 {
+    x.unwrap() // VIOLATION no-panic (the reasonless marker does not count)
+}

@@ -1,0 +1,69 @@
+//! Determinism audit: the reproduction's headline guarantee is that the
+//! whole experiment is a pure function of its seed. The audit runs the
+//! table harness twice at the small scale with the same seed and requires
+//! the two outputs to be byte-identical — any hash-order leak, time
+//! dependence, or thread-scheduling sensitivity shows up as a diff.
+
+use std::path::Path;
+use std::process::Command;
+
+/// Outcome of one audit run.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Bytes of harness output compared.
+    pub bytes: usize,
+}
+
+/// Arguments of the harness invocation (after `cargo`).
+const REPRO_ARGS: &[&str] = &[
+    "run",
+    "--release",
+    "-q",
+    "-p",
+    "pharmaverify-bench",
+    "--bin",
+    "repro",
+    "--",
+    "--scale",
+    "small",
+];
+
+/// Runs the table harness twice and compares outputs byte-for-byte.
+pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
+    let first = run_harness(workspace_root)?;
+    let second = run_harness(workspace_root)?;
+    if first == second {
+        return Ok(AuditReport { bytes: first.len() });
+    }
+    let at = first
+        .iter()
+        .zip(&second)
+        .position(|(a, b)| a != b)
+        .unwrap_or(first.len().min(second.len()));
+    let context = String::from_utf8_lossy(&first[at.saturating_sub(40)..first.len().min(at + 40)])
+        .into_owned();
+    Err(format!(
+        "harness output differs between identically-seeded runs \
+         (lengths {} vs {}, first divergence at byte {at}, near {context:?})",
+        first.len(),
+        second.len(),
+    ))
+}
+
+fn run_harness(workspace_root: &Path) -> Result<Vec<u8>, String> {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(REPRO_ARGS)
+        .current_dir(workspace_root)
+        .env("PHARMAVERIFY_SCALE", "small")
+        .output()
+        .map_err(|e| format!("cannot spawn harness: {e}"))?;
+    if !output.status.success() {
+        return Err(format!(
+            "harness exited with {}: {}",
+            output.status,
+            String::from_utf8_lossy(&output.stderr)
+        ));
+    }
+    Ok(output.stdout)
+}

@@ -1,0 +1,17 @@
+//! Workspace maintenance tasks (`cargo xtask …`).
+//!
+//! The binary front end lives in `main.rs`; the checking layers are
+//! libraries so the self-tests can drive them against fixture files:
+//!
+//! * [`lints`] — custom source lints (no-panic, hash-iter, float-eq,
+//!   safety-comment) with a marker-based allowlist;
+//! * [`walk`] — workspace file discovery shared by the lint layer;
+//! * [`audit`] — the determinism audit: run the table harness twice with
+//!   the same seed and require byte-identical output;
+//! * [`tools`] — wiring for `cargo fmt --check` and `cargo clippy`,
+//!   degrading gracefully when a component is not installed.
+
+pub mod audit;
+pub mod lints;
+pub mod tools;
+pub mod walk;

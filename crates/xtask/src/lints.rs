@@ -1,0 +1,699 @@
+//! Custom source lints over the workspace's library code.
+//!
+//! The lints encode invariants the reproduction depends on but that the
+//! stock toolchain cannot express precisely enough:
+//!
+//! * **no-panic** — library code must not call `.unwrap()` / `.expect()` /
+//!   `panic!` and friends; errors propagate as `Result` so a malformed
+//!   snapshot cannot abort an experiment half-way. Justified sites carry
+//!   a `lint:allow` marker (see below) or a site-local
+//!   `#[allow(clippy::…)]` attribute with a reason comment.
+//! * **hash-iter** — iterating a `HashMap`/`HashSet` has a random order
+//!   per process, so any iteration feeding output must be sorted or use a
+//!   `BTreeMap`/`BTreeSet`. The lint flags iteration over bindings whose
+//!   declaration in the same file names a hash type.
+//! * **float-eq** — comparing a float against a non-zero literal with
+//!   `==`/`!=` in metrics or ranking code silently depends on bit-exact
+//!   arithmetic; use a tolerance or an ordered comparison instead.
+//!   (Comparisons against `0.0` are idiomatic for sparse data and are
+//!   not flagged; general `a == b` float comparisons are covered by
+//!   `clippy::float_cmp`.)
+//! * **safety-comment** — every `unsafe` item needs a `// SAFETY:`
+//!   comment within the three preceding lines.
+//!
+//! Suppression: a comment `lint:allow(<name>): <reason>` on the offending
+//! line or up to two lines above it silences that lint for the site; the
+//! reason is mandatory. For `no-panic` and `float-eq`, a site-local
+//! `#[allow(clippy::unwrap_used)]`-style attribute counts too, because
+//! the clippy layer enforces the same invariant and an audited site
+//! should not need two markers.
+//!
+//! Test code (`#[cfg(test)]` regions) is exempt from every lint: tests
+//! may unwrap freely, and their hash iteration never reaches a report.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The custom lints, in reporting order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// Panicking call in library code.
+    NoPanic,
+    /// Iteration over a hash-ordered collection.
+    HashIter,
+    /// Float equality against a non-zero literal.
+    FloatEq,
+    /// `unsafe` without a `// SAFETY:` comment.
+    SafetyComment,
+    /// A malformed `lint:allow` marker (missing reason or unknown lint).
+    BadAllow,
+}
+
+impl Lint {
+    /// The marker name used in `lint:allow(<name>)` comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::NoPanic => "no-panic",
+            Lint::HashIter => "hash-iter",
+            Lint::FloatEq => "float-eq",
+            Lint::SafetyComment => "safety-comment",
+            Lint::BadAllow => "bad-allow",
+        }
+    }
+
+    /// Parses a marker name.
+    pub fn from_name(name: &str) -> Option<Lint> {
+        match name {
+            "no-panic" => Some(Lint::NoPanic),
+            "hash-iter" => Some(Lint::HashIter),
+            "float-eq" => Some(Lint::FloatEq),
+            "safety-comment" => Some(Lint::SafetyComment),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding, pointing at a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.lint,
+            self.message
+        )
+    }
+}
+
+/// A source line split into its lintable parts.
+#[derive(Debug, Default, Clone)]
+pub struct LineInfo {
+    /// The line with comments and string/char-literal contents removed.
+    pub code: String,
+    /// The concatenated comment text of the line.
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Strips comments and literal contents and marks `#[cfg(test)]` regions,
+/// producing one [`LineInfo`] per source line.
+pub fn model_source(source: &str) -> Vec<LineInfo> {
+    enum State {
+        Normal,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines = vec![LineInfo::default()];
+    let mut state = State::Normal;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            lines.push(LineInfo::default());
+            i += 1;
+            continue;
+        }
+        let line = match lines.last_mut() {
+            Some(l) => l,
+            None => break, // unreachable: `lines` starts non-empty
+        };
+        match state {
+            State::Normal => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && raw_string_hashes(&chars, i).is_some() {
+                    let hashes = raw_string_hashes(&chars, i).unwrap_or(0);
+                    line.code.push('"');
+                    // Skip prefix: r/b[r], hashes, opening quote.
+                    let mut j = i + 1;
+                    if chars.get(j) == Some(&'r') && c == 'b' {
+                        j += 1;
+                    }
+                    j += hashes as usize + 1;
+                    i = j;
+                    state = State::RawStr(hashes);
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal closes within a
+                    // couple of characters; a lifetime never closes.
+                    if next == Some('\\') {
+                        i += 2; // consume the escape introducer
+                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                            i += 1;
+                        }
+                        line.code.push_str("' '");
+                        i += 1; // closing quote
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        line.code.push_str("' '");
+                        i += 3;
+                    } else {
+                        line.code.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    line.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                line.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    line.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    line.code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    line.code.push('"');
+                    i += 1 + hashes as usize;
+                    state = State::Normal;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    mark_test_regions(&mut lines);
+    lines
+}
+
+/// If position `i` starts a raw-string opener (`r"`, `r#"`, `br##"`, …),
+/// returns the number of hashes.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i + 1;
+    if chars.get(i) == Some(&'b') {
+        if chars.get(j) != Some(&'r') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Whether the `"` at `i` is followed by enough `#`s to close a raw string.
+fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Marks every line inside a `#[cfg(test)]`-gated item.
+fn mark_test_regions(lines: &mut [LineInfo]) {
+    let mut depth: i32 = 0;
+    let mut pending_attr_depth: Option<i32> = None;
+    let mut region_floor: Option<i32> = None;
+    for line in lines.iter_mut() {
+        if region_floor.is_some() || pending_attr_depth.is_some() {
+            line.in_test = true;
+        }
+        if line.code.contains("#[cfg(test)]") {
+            pending_attr_depth = Some(depth);
+            line.in_test = true;
+        }
+        let opens = line.code.matches('{').count() as i32;
+        let closes = line.code.matches('}').count() as i32;
+        depth += opens - closes;
+        if let Some(attr_depth) = pending_attr_depth {
+            if depth > attr_depth {
+                region_floor = Some(attr_depth);
+                pending_attr_depth = None;
+            }
+        }
+        if let Some(floor) = region_floor {
+            if depth <= floor {
+                region_floor = None;
+            }
+        }
+    }
+}
+
+/// How far above a site a suppression marker may sit.
+const ALLOW_WINDOW: usize = 2;
+
+/// Clippy `#[allow]` attribute names accepted as site markers per lint.
+fn clippy_equivalents(lint: Lint) -> &'static [&'static str] {
+    match lint {
+        Lint::NoPanic => &[
+            "clippy::unwrap_used",
+            "clippy::expect_used",
+            "clippy::panic",
+        ],
+        Lint::FloatEq => &["clippy::float_cmp"],
+        _ => &[],
+    }
+}
+
+/// Whether line `idx` (0-based) is covered by a suppression for `lint`.
+fn suppressed(lines: &[LineInfo], idx: usize, lint: Lint) -> bool {
+    let start = idx.saturating_sub(ALLOW_WINDOW);
+    for info in &lines[start..=idx] {
+        if parse_allow_marker(&info.comment).is_some_and(|(l, has_reason)| l == lint && has_reason)
+        {
+            return true;
+        }
+        for attr in clippy_equivalents(lint) {
+            if info.code.contains("#[allow(") && info.code.contains(attr) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The name inside a `lint:allow(…)` marker, when the comment contains
+/// one that is *meant* as a marker — documentation placeholders such as
+/// `lint:allow(<name>)` use non-identifier characters and don't count.
+fn marker_name(comment: &str) -> Option<&str> {
+    let rest = comment.split("lint:allow(").nth(1)?;
+    let (name, _) = rest.split_once(')')?;
+    let name = name.trim();
+    (!name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c == '-')).then_some(name)
+}
+
+/// Parses `lint:allow(…): reason` out of a comment. Returns the lint and
+/// whether a non-empty reason follows.
+fn parse_allow_marker(comment: &str) -> Option<(Lint, bool)> {
+    let rest = comment.split("lint:allow(").nth(1)?;
+    let (name, after) = rest.split_once(')')?;
+    let lint = Lint::from_name(name.trim())?;
+    let has_reason = after
+        .strip_prefix(':')
+        .is_some_and(|r| !r.trim().is_empty());
+    Some((lint, has_reason))
+}
+
+/// Words that may legitimately follow `unsafe` as part of an identifier.
+fn contains_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let after_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The panicking constructs banned in library code.
+const PANIC_PATTERNS: &[&str] = &[
+    ".unwrap()",
+    ".expect(",
+    ".unwrap_err()",
+    "panic!",
+    "unreachable!",
+    "todo!",
+    "unimplemented!",
+];
+
+/// Collects identifiers bound to `HashMap`/`HashSet` in this file: let
+/// bindings, struct fields, and `Hash…::new()` initializers.
+fn hash_typed_names(lines: &[LineInfo]) -> Vec<String> {
+    let mut names = Vec::new();
+    for info in lines {
+        let code = &info.code;
+        for ty in ["HashMap", "HashSet"] {
+            let mut from = 0;
+            while let Some(pos) = code[from..].find(ty) {
+                let at = from + pos;
+                from = at + ty.len();
+                if let Some(name) = binding_left_of(code, at) {
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+        }
+    }
+    names
+}
+
+/// Walks left from a type-name occurrence to the identifier being bound:
+/// `let [mut] NAME: path::HashMap<…>` or `NAME: HashMap<…>` (field) or
+/// `let [mut] NAME = HashMap::new()`.
+fn binding_left_of(code: &str, type_pos: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = type_pos;
+    // Skip the qualified-path prefix (`std::collections::`).
+    while i > 0 && (is_ident_byte(bytes[i - 1]) || bytes[i - 1] == b':') {
+        i -= 1;
+    }
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    if i == 0 || (bytes[i - 1] != b':' && bytes[i - 1] != b'=') {
+        return None;
+    }
+    i -= 1;
+    if bytes[i] == b':' && i > 0 && bytes[i - 1] == b':' {
+        return None; // `::HashMap` path, already handled above
+    }
+    while i > 0 && bytes[i - 1] == b' ' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && is_ident_byte(bytes[i - 1]) {
+        i -= 1;
+    }
+    if i == end {
+        return None;
+    }
+    Some(code[i..end].to_string())
+}
+
+/// Whether `code` iterates the binding `name` (method call or for-loop).
+fn iterates(code: &str, name: &str) -> bool {
+    for method in [
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+    ] {
+        let needle = format!("{name}{method}");
+        if code.contains(&needle) && contains_word(code, name) {
+            return true;
+        }
+    }
+    if let Some(pos) = code.find(" in ") {
+        let tail = &code[pos + 4..];
+        let head = tail.trim_start_matches(['&', ' ']);
+        if head
+            .strip_prefix(name)
+            .is_some_and(|rest| !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_'))
+        {
+            return true;
+        }
+        // `for x in self.name` / `for x in map.name`
+        let dotted = format!(".{name}");
+        if head.split_once(&dotted).is_some_and(|(lhs, rest)| {
+            lhs.bytes().all(is_ident_byte)
+                && !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_' || c == '(')
+        }) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether an iteration line visibly restores determinism (sorted, or
+/// collected into an ordered structure).
+fn iteration_is_ordered(code: &str) -> bool {
+    code.contains("sort") || code.contains("BTree") || code.contains(".len()")
+}
+
+/// Finds a float-literal equality (`== 2.5`, `1.0 !=`) with a non-zero
+/// literal. Comparisons against zero are idiomatic for sparse data.
+fn float_literal_eq(code: &str) -> Option<String> {
+    for op in ["==", "!="] {
+        let mut from = 0;
+        while let Some(pos) = code[from..].find(op) {
+            let at = from + pos;
+            from = at + op.len();
+            // `!=` also matches inside `==`? No — but `==` matches inside
+            // `===`-like sequences never produced by rustfmt'd code.
+            if op == "==" && at > 0 && code.as_bytes()[at - 1] == b'!' {
+                continue; // counted once as `!=`
+            }
+            let right = code[at + op.len()..].trim_start();
+            let left = code[..at].trim_end();
+            for side in [float_prefix(right), float_suffix(left)] {
+                if let Some(lit) = side {
+                    if lit.parse::<f64>().is_ok_and(|v| v != 0.0) {
+                        return Some(lit);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Leading float literal of `s`, if any (`2.5`, `-0.75`, `1.`).
+fn float_prefix(s: &str) -> Option<String> {
+    let s = s.strip_prefix('-').map_or((s, ""), |rest| (rest, "-"));
+    let (body, sign) = s;
+    let digits = body.chars().take_while(|c| c.is_ascii_digit()).count();
+    if digits == 0 || body[digits..].chars().next() != Some('.') {
+        return None;
+    }
+    let frac = body[digits + 1..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .count();
+    Some(format!("{sign}{}", &body[..digits + 1 + frac]))
+}
+
+/// Trailing float literal of `s`, if any.
+fn float_suffix(s: &str) -> Option<String> {
+    let trimmed = s.trim_end_matches(|c: char| c.is_ascii_digit());
+    let frac_len = s.len() - trimmed.len();
+    let trimmed = trimmed.strip_suffix('.')?;
+    let int_start = trimmed
+        .rfind(|c: char| !c.is_ascii_digit())
+        .map_or(0, |p| p + 1);
+    let int_len = trimmed.len() - int_start;
+    if int_len == 0 {
+        return None;
+    }
+    // Reject method calls on literals (`1.0.max(x)`) — harmless anyway —
+    // and identifier-adjacent dots (`tuple.0 == …` has no digits before
+    // the dot? it does — `a.0`). Require the char before the integer part
+    // not be `.` or an identifier char.
+    if int_start > 0 {
+        let before = s.as_bytes()[int_start - 1];
+        if before == b'.' || is_ident_byte(before) {
+            return None;
+        }
+    }
+    Some(s[int_start..trimmed.len() + 1 + frac_len].to_string())
+}
+
+/// Lints one file's source text. `path` is used only for reporting.
+pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
+    let lines = model_source(source);
+    let hash_names = hash_typed_names(&lines);
+    let mut diags = Vec::new();
+    let mut push = |line: usize, lint: Lint, message: String| {
+        diags.push(Diagnostic {
+            file: path.to_path_buf(),
+            line: line + 1,
+            lint,
+            message,
+        });
+    };
+
+    for (idx, info) in lines.iter().enumerate() {
+        // Malformed markers are reported even in test code: a marker that
+        // silently does nothing is worse than none.
+        if let Some(name) = marker_name(&info.comment) {
+            match parse_allow_marker(&info.comment) {
+                Some((_, true)) => {}
+                Some((lint, false)) => push(
+                    idx,
+                    Lint::BadAllow,
+                    format!("lint:allow({lint}) needs a `: reason`"),
+                ),
+                None => push(
+                    idx,
+                    Lint::BadAllow,
+                    format!("lint:allow({name}) names an unknown lint"),
+                ),
+            }
+        }
+        if info.in_test {
+            continue;
+        }
+        let code = &info.code;
+
+        if !suppressed(&lines, idx, Lint::NoPanic) {
+            for pat in PANIC_PATTERNS {
+                if code.contains(pat) {
+                    push(
+                        idx,
+                        Lint::NoPanic,
+                        format!("`{pat}` in library code; propagate a Result instead"),
+                    );
+                    break;
+                }
+            }
+        }
+
+        // The collect-then-sort idiom restores order on the *next* line
+        // (`let mut v: Vec<_> = m.keys().collect(); v.sort();`), so the
+        // ordering evidence may sit one line ahead.
+        let ordered = iteration_is_ordered(code)
+            || lines
+                .get(idx + 1)
+                .is_some_and(|next| next.code.contains("sort"));
+        if !suppressed(&lines, idx, Lint::HashIter) && !ordered {
+            if let Some(name) = hash_names.iter().find(|n| iterates(code, n)) {
+                push(
+                    idx,
+                    Lint::HashIter,
+                    format!(
+                        "iterating hash-ordered `{name}`; sort first or use a BTree collection"
+                    ),
+                );
+            }
+        }
+
+        if !suppressed(&lines, idx, Lint::FloatEq) {
+            if let Some(lit) = float_literal_eq(code) {
+                push(
+                    idx,
+                    Lint::FloatEq,
+                    format!("float equality against `{lit}`; compare with a tolerance"),
+                );
+            }
+        }
+
+        if contains_word(code, "unsafe") && !code.contains("unsafe_code") {
+            let window = idx.saturating_sub(3);
+            let documented = lines[window..=idx]
+                .iter()
+                .any(|l| l.comment.contains("SAFETY:"));
+            if !documented && !suppressed(&lines, idx, Lint::SafetyComment) {
+                push(
+                    idx,
+                    Lint::SafetyComment,
+                    "`unsafe` without a `// SAFETY:` comment above".to_string(),
+                );
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        lint_source(Path::new("test.rs"), src)
+    }
+
+    #[test]
+    fn model_strips_strings_and_comments() {
+        let lines = model_source("let x = \"a.unwrap()\"; // c.expect(\n/* panic! */ y");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("c.expect("));
+        assert!(!lines[1].code.contains("panic"));
+        assert!(lines[1].code.contains('y'));
+    }
+
+    #[test]
+    fn model_handles_raw_strings_and_chars() {
+        let lines = model_source("let s = r#\"x.unwrap()\"#; let c = '\\n'; let l: &'a str;");
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let lines = model_source(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn allow_marker_requires_reason() {
+        let diags = lint("// lint:allow(no-panic)\nlet x = y.unwrap();\n");
+        assert!(diags.iter().any(|d| d.lint == Lint::BadAllow));
+        assert!(diags.iter().any(|d| d.lint == Lint::NoPanic));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        assert!(float_literal_eq("if x == 2.5 {").is_some());
+        assert!(float_literal_eq("if 1.0 != x {").is_some());
+        assert!(float_literal_eq("if x == 0.0 {").is_none());
+        assert!(float_literal_eq("if a.0 == b {").is_none());
+        assert!(float_literal_eq("let y = x >= 2.5;").is_none());
+    }
+
+    #[test]
+    fn hash_binding_extraction() {
+        let lines =
+            model_source("let mut seen: std::collections::HashSet<u32> = HashSet::new();\n");
+        assert_eq!(hash_typed_names(&lines), vec!["seen".to_string()]);
+    }
+}

@@ -1,0 +1,145 @@
+//! `cargo xtask` — workspace checks.
+//!
+//! ```text
+//! cargo xtask check [--skip LAYER]...   all layers (lints, fmt, clippy,
+//!                                       determinism)
+//! cargo xtask lint [PATH]...            custom source lints only; with no
+//!                                       PATH, lints the whole workspace
+//! ```
+//!
+//! Exit code 0 when every executed layer passes; 1 otherwise. Layer names
+//! for `--skip`: `lints`, `fmt`, `clippy`, `determinism`.
+
+use std::process::ExitCode;
+use xtask::{audit, lints, tools, walk};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(true)
+        }
+        Some(other) => Err(format!("unknown task '{other}' (try --help)")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "cargo xtask — workspace checks\n\n\
+         USAGE:\n\
+         \x20 cargo xtask check [--skip lints|fmt|clippy|determinism]...\n\
+         \x20 cargo xtask lint [PATH]..."
+    );
+}
+
+const LAYERS: &[&str] = &["lints", "fmt", "clippy", "determinism"];
+
+fn cmd_check(args: &[String]) -> Result<bool, String> {
+    let mut skip = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--skip" {
+            let layer = it.next().ok_or("--skip needs a layer name")?;
+            if !LAYERS.contains(&layer.as_str()) {
+                return Err(format!("unknown layer '{layer}' (layers: {LAYERS:?})"));
+            }
+            skip.push(layer.clone());
+        } else {
+            return Err(format!("unknown flag '{arg}'"));
+        }
+    }
+    let run = |layer: &str| !skip.iter().any(|s| s == layer);
+    let root = walk::workspace_root();
+    let mut ok = true;
+
+    if run("lints") {
+        ok &= run_lints()?;
+    }
+    if run("fmt") {
+        ok &= report_tool("cargo fmt --check", tools::fmt_check(&root));
+    }
+    if run("clippy") {
+        ok &= report_tool("cargo clippy", tools::clippy_check(&root));
+    }
+    if run("determinism") {
+        println!("determinism: running the table harness twice (seeded)...");
+        match audit::run(&root) {
+            Ok(report) => {
+                println!("determinism: ok ({} bytes byte-identical)", report.bytes);
+            }
+            Err(message) => {
+                println!("determinism: FAILED\n  {message}");
+                ok = false;
+            }
+        }
+    }
+
+    println!("\nxtask check: {}", if ok { "ok" } else { "FAILED" });
+    Ok(ok)
+}
+
+fn cmd_lint(args: &[String]) -> Result<bool, String> {
+    if args.is_empty() {
+        return run_lints();
+    }
+    // Explicit paths bypass the workspace walker (and its fixture/test
+    // exclusions) so the violation fixtures can be linted directly.
+    let files: Vec<std::path::PathBuf> = args.iter().map(std::path::PathBuf::from).collect();
+    lint_files(&files)
+}
+
+fn run_lints() -> Result<bool, String> {
+    let root = walk::workspace_root();
+    let files = walk::lintable_sources(&root).map_err(|e| format!("cannot walk sources: {e}"))?;
+    lint_files(&files)
+}
+
+fn lint_files(files: &[std::path::PathBuf]) -> Result<bool, String> {
+    let mut count = 0usize;
+    for file in files {
+        let source =
+            std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        for diag in lints::lint_source(file, &source) {
+            println!("{diag}");
+            count += 1;
+        }
+    }
+    if count == 0 {
+        println!("lints: ok ({} files)", files.len());
+        Ok(true)
+    } else {
+        println!("lints: {count} finding(s) in {} files", files.len());
+        Ok(false)
+    }
+}
+
+fn report_tool(name: &str, outcome: tools::ToolOutcome) -> bool {
+    match outcome {
+        tools::ToolOutcome::Passed => {
+            println!("{name}: ok");
+            true
+        }
+        tools::ToolOutcome::Unavailable => {
+            println!("{name}: skipped (component not installed)");
+            true
+        }
+        tools::ToolOutcome::Failed(output) => {
+            println!("{name}: FAILED");
+            for line in output.lines().take(40) {
+                println!("  {line}");
+            }
+            false
+        }
+    }
+}

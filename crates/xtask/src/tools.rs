@@ -1,0 +1,58 @@
+//! Toolchain layer: `cargo fmt --check` and `cargo clippy`.
+//!
+//! The clippy policy itself lives in the workspace `[workspace.lints]`
+//! table (root `Cargo.toml`), so a plain `cargo clippy` applies it; this
+//! module only invokes the tools and interprets their exit. Both
+//! components may be absent from a minimal toolchain, so an unavailable
+//! tool is reported as *skipped*, not failed: the custom lints in
+//! [`crate::lints`] enforce the non-negotiable subset on their own.
+
+use std::path::Path;
+use std::process::Command;
+
+/// How a toolchain check ended.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ToolOutcome {
+    /// Ran and passed.
+    Passed,
+    /// Ran and found problems (captured output attached).
+    Failed(String),
+    /// The component is not installed; check skipped.
+    Unavailable,
+}
+
+/// Runs `cargo fmt --check` over the workspace.
+pub fn fmt_check(workspace_root: &Path) -> ToolOutcome {
+    run_tool(workspace_root, &["fmt", "--check"])
+}
+
+/// Runs `cargo clippy` on library and binary targets. Test targets are
+/// deliberately excluded: the `[workspace.lints]` denies (`unwrap_used`,
+/// …) apply to production code only, and tests unwrap freely.
+pub fn clippy_check(workspace_root: &Path) -> ToolOutcome {
+    run_tool(workspace_root, &["clippy", "--workspace", "--quiet"])
+}
+
+fn run_tool(workspace_root: &Path, args: &[&str]) -> ToolOutcome {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = match Command::new(cargo)
+        .args(args)
+        .current_dir(workspace_root)
+        .output()
+    {
+        Ok(o) => o,
+        Err(e) => return ToolOutcome::Failed(format!("cannot spawn cargo: {e}")),
+    };
+    if output.status.success() {
+        return ToolOutcome::Passed;
+    }
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    // `cargo fmt`/`cargo clippy` without the rustup component installed
+    // fail with a "no such command" / "not installed" error; that is an
+    // environment limitation, not a finding.
+    if stderr.contains("no such command") || stderr.contains("not installed") {
+        return ToolOutcome::Unavailable;
+    }
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    ToolOutcome::Failed(format!("{stdout}{stderr}"))
+}

@@ -1,0 +1,80 @@
+//! Discovery of the Rust sources the custom lints apply to.
+//!
+//! The lint policy covers *library* code: `src/` trees of the workspace
+//! crates and of the root package. Test code (`tests/`), benches,
+//! examples, vendored dependency stubs, and the lint fixtures are out of
+//! scope — tests may unwrap freely, and vendor stubs mirror external
+//! APIs we do not control.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "fixtures", "tests", "benches", "examples",
+];
+
+/// Returns every `.rs` file under the workspace's lintable source trees,
+/// sorted for deterministic reporting.
+pub fn lintable_sources(workspace_root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut roots = vec![workspace_root.join("src")];
+    let crates_dir = workspace_root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for root in roots {
+        collect_rs(&root, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace root, derived from this crate's manifest location.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_workspace_sources() {
+        let files = lintable_sources(&workspace_root()).unwrap();
+        assert!(files.iter().any(|f| f.ends_with("crates/ngg/src/graph.rs")));
+        assert!(!files.iter().any(|f| f.to_string_lossy().contains("vendor")));
+        assert!(!files
+            .iter()
+            .any(|f| f.to_string_lossy().contains("fixtures")));
+        // Sorted output keeps diagnostics stable across runs.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

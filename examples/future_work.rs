@@ -17,7 +17,7 @@ use pharmaverify::crawl::CrawlConfig;
 fn main() {
     let web = SyntheticWeb::generate(&CorpusConfig::medium(), 2018);
     let snapshot = web.snapshot();
-    let corpus = extract_corpus(snapshot, &CrawlConfig::default());
+    let corpus = extract_corpus(snapshot, &CrawlConfig::default()).expect("extracts");
     let cv = CvConfig { k: 3, seed: 7 };
 
     // §7(a): "include in our network analysis non pharmacy websites that

@@ -15,8 +15,8 @@ use pharmaverify::crawl::CrawlConfig;
 fn main() {
     let web = SyntheticWeb::generate(&CorpusConfig::medium(), 2018);
     println!("extracting both snapshots (six months apart)…");
-    let old = extract_corpus(web.snapshot(), &CrawlConfig::default());
-    let new = extract_corpus(web.snapshot2(), &CrawlConfig::default());
+    let old = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
+    let new = extract_corpus(web.snapshot2(), &CrawlConfig::default()).expect("extracts");
     println!(
         "  old: {} pharmacies, new: {} pharmacies (illegitimate domains disjoint)\n",
         old.len(),
@@ -25,7 +25,11 @@ fn main() {
 
     let cv = CvConfig { k: 3, seed: 7 };
     println!("classifier    scenario   AUC    legit-precision");
-    for kind in [TextLearnerKind::Nbm, TextLearnerKind::Svm, TextLearnerKind::J48] {
+    for kind in [
+        TextLearnerKind::Nbm,
+        TextLearnerKind::Svm,
+        TextLearnerKind::J48,
+    ] {
         let row = drift_row(&old, &new, kind, kind.paper_sampling(), Some(1000), cv);
         for (name, cell) in [
             ("Old-Old", row.old_old),

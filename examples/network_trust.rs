@@ -14,7 +14,7 @@ use pharmaverify::net::{top_linked, trustrank_demo, TrustRankConfig};
 
 fn main() {
     let web = SyntheticWeb::generate(&CorpusConfig::medium(), 2018);
-    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
 
     // Most linked-to domains per class (Table 11's analysis).
     for (label, want) in [("legitimate", true), ("illegitimate", false)] {

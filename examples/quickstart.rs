@@ -34,12 +34,15 @@ fn main() {
             .unwrap();
         let text = pharmaverify::crawl::html::extract(&page.html).text;
         let preview: String = text.chars().take(160).collect();
-        println!("front page of {} ({}):\n  {preview}…\n", site.domain, site.class);
+        println!(
+            "front page of {} ({}):\n  {preview}…\n",
+            site.domain, site.class
+        );
     }
 
     // 2. Crawl + preprocess, then fit the verifier (NBM text model +
     //    TrustRank network model).
-    let corpus = extract_corpus(snapshot, &CrawlConfig::default());
+    let corpus = extract_corpus(snapshot, &CrawlConfig::default()).expect("extracts");
     let verifier = TrainedVerifier::fit(
         &corpus,
         TextLearnerKind::Nbm,

@@ -38,18 +38,34 @@ fn main() {
             entry.rank(),
             entry.text_rank,
             entry.network_rank,
-            if entry.label { "legitimate" } else { "ILLEGITIMATE" },
+            if entry.label {
+                "legitimate"
+            } else {
+                "ILLEGITIMATE"
+            },
         );
     }
     println!("\nbottom of the list (least legitimate):");
-    for entry in ranking.entries.iter().rev().take(5).collect::<Vec<_>>().iter().rev() {
+    for entry in ranking
+        .entries
+        .iter()
+        .rev()
+        .take(5)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         println!(
             "  {:<18} rank {:.3} (text {:.3} + network {:.3})  truth: {}",
             entry.domain,
             entry.rank(),
             entry.text_rank,
             entry.network_rank,
-            if entry.label { "LEGITIMATE" } else { "illegitimate" },
+            if entry.label {
+                "LEGITIMATE"
+            } else {
+                "illegitimate"
+            },
         );
     }
 

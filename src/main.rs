@@ -113,10 +113,7 @@ fn parse_model(name: &str) -> Result<TextLearnerKind, String> {
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
     let args = Args::parse(args)?;
-    let out = PathBuf::from(
-        args.get("out")
-            .ok_or("generate requires --out DIR")?,
-    );
+    let out = PathBuf::from(args.get("out").ok_or("generate requires --out DIR")?);
     let seed: u64 = args.get_parse("seed", 20180326)?;
     let config = match args.get("scale").unwrap_or("medium") {
         "small" => CorpusConfig::small(),
@@ -189,7 +186,11 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
         .evaluate_text_tfidf_with(&snapshot, kind, seed)
         .map_err(|e| e.to_string())?;
     let s = outcome.aggregate();
-    println!("model: {} ({})", kind.name(), kind.paper_sampling().abbreviation());
+    println!(
+        "model: {} ({})",
+        kind.name(),
+        kind.paper_sampling().abbreviation()
+    );
     println!("accuracy:            {:.3}", s.accuracy);
     println!("AUC ROC:             {:.3}", s.auc);
     println!("legitimate recall:   {:.3}", s.legitimate.recall);
@@ -232,7 +233,11 @@ fn cmd_rank(args: &[String]) -> Result<(), String> {
             "  {:<24} rank {:.3}  [{}]",
             e.domain,
             e.rank(),
-            if e.label { "legitimate" } else { "ILLEGITIMATE" }
+            if e.label {
+                "legitimate"
+            } else {
+                "ILLEGITIMATE"
+            }
         );
     }
     println!("\nleast legitimate:");
@@ -242,7 +247,11 @@ fn cmd_rank(args: &[String]) -> Result<(), String> {
             "  {:<24} rank {:.3}  [{}]",
             e.domain,
             e.rank(),
-            if e.label { "LEGITIMATE" } else { "illegitimate" }
+            if e.label {
+                "LEGITIMATE"
+            } else {
+                "illegitimate"
+            }
         );
     }
     Ok(())
@@ -250,13 +259,15 @@ fn cmd_rank(args: &[String]) -> Result<(), String> {
 
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     let args = Args::parse(args)?;
-    let train_path = args.get("train").ok_or("verify requires --train SNAPSHOT")?;
+    let train_path = args
+        .get("train")
+        .ok_or("verify requires --train SNAPSHOT")?;
     let web_path = args.get("web").ok_or("verify requires --web SNAPSHOT")?;
     let url = args.get("url").ok_or("verify requires --url URL")?;
     let subsample: usize = args.get_parse("subsample", 1000)?;
     let train = load(train_path)?;
     let web = load(web_path)?;
-    let corpus = extract_corpus(&train, &CrawlConfig::default());
+    let corpus = extract_corpus(&train, &CrawlConfig::default()).map_err(|e| e.to_string())?;
     let verifier = TrainedVerifier::fit(
         &corpus,
         TextLearnerKind::Nbm,
@@ -264,9 +275,7 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
         Some(subsample),
         7,
     );
-    let verdict = verifier
-        .verify(&web.web, url)
-        .map_err(|e| e.to_string())?;
+    let verdict = verifier.verify(&web.web, url).map_err(|e| e.to_string())?;
     println!("{verdict}");
     if let Some(label) = web.oracle(&verdict.domain) {
         println!(

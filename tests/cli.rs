@@ -130,7 +130,11 @@ fn generate_requires_out() {
 fn bad_model_name_is_an_error() {
     let dir = temp_dir("badmodel");
     let out = run(&[
-        "generate", "--out", dir.to_str().unwrap(), "--scale", "small",
+        "generate",
+        "--out",
+        dir.to_str().unwrap(),
+        "--scale",
+        "small",
     ]);
     assert!(out.status.success());
     let snap = dir.join("snapshot1.json");

@@ -2,12 +2,12 @@
 //! (Table 1), the two-snapshot protocol (§6.5), the outlier populations
 //! (§6.4), and the class-conditional link signal (Table 11 / §6.3.2).
 
+use pharmaverify::core::classify::TextLearnerKind;
 use pharmaverify::core::classify::{build_web_graph, pharmacy_trust_scores, CvConfig};
 use pharmaverify::core::drift_study::train_old_test_new;
 use pharmaverify::core::features::extract_corpus;
 use pharmaverify::core::outliers::ranking_outliers;
 use pharmaverify::core::rank::{evaluate_ranking, RankingMethod};
-use pharmaverify::core::classify::TextLearnerKind;
 use pharmaverify::corpus::{CorpusConfig, SiteProfile, SyntheticWeb};
 use pharmaverify::crawl::CrawlConfig;
 use pharmaverify::ml::Sampling;
@@ -45,7 +45,7 @@ fn table1_structure_holds() {
 #[test]
 fn class_conditional_link_targets() {
     let web = web();
-    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
     let per_class = |want: bool| -> Vec<String> {
         let outbound: Vec<Vec<&str>> = (0..corpus.len())
             .filter(|&i| corpus.labels[i] == want)
@@ -59,16 +59,24 @@ fn class_conditional_link_targets() {
     let legit = per_class(true);
     let illegit = per_class(false);
     // The signature targets of Table 11 appear on the right sides.
-    assert!(legit.iter().any(|d| d == "facebook.com" || d == "twitter.com" || d == "fda.gov"),
-            "legit top-5: {legit:?}");
-    assert!(illegit.iter().any(|d| d == "wikipedia.org" || d == "wordpress.org"),
-            "illegit top-5: {illegit:?}");
+    assert!(
+        legit
+            .iter()
+            .any(|d| d == "facebook.com" || d == "twitter.com" || d == "fda.gov"),
+        "legit top-5: {legit:?}"
+    );
+    assert!(
+        illegit
+            .iter()
+            .any(|d| d == "wikipedia.org" || d == "wordpress.org"),
+        "illegit top-5: {illegit:?}"
+    );
 }
 
 #[test]
 fn approximate_isolation_of_good_pages() {
     let web = web();
-    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
     let artifacts = build_web_graph(&corpus);
     let seeds: Vec<usize> = (0..corpus.len()).filter(|&i| corpus.labels[i]).collect();
     let trust = pharmacy_trust_scores(&artifacts, &seeds, &TrustRankConfig::default());
@@ -89,7 +97,7 @@ fn approximate_isolation_of_good_pages() {
 #[test]
 fn outlier_populations_surface_in_ranking() {
     let web = SyntheticWeb::generate(&CorpusConfig::medium(), 42);
-    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
     let ranking = evaluate_ranking(
         &corpus,
         RankingMethod::TfIdf {
@@ -121,8 +129,8 @@ fn outlier_populations_surface_in_ranking() {
 #[test]
 fn old_model_transfers_to_new_data() {
     let web = web();
-    let old = extract_corpus(web.snapshot(), &CrawlConfig::default());
-    let new = extract_corpus(web.snapshot2(), &CrawlConfig::default());
+    let old = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
+    let new = extract_corpus(web.snapshot2(), &CrawlConfig::default()).expect("extracts");
     let summary = train_old_test_new(
         &old,
         &new,
@@ -134,5 +142,9 @@ fn old_model_transfers_to_new_data() {
     // §6.5: the old model remains usable on new data (high AUC) even
     // though some precision is lost.
     assert!(summary.auc > 0.8, "old→new auc {}", summary.auc);
-    assert!(summary.accuracy > 0.75, "old→new accuracy {}", summary.accuracy);
+    assert!(
+        summary.accuracy > 0.75,
+        "old→new accuracy {}",
+        summary.accuracy
+    );
 }

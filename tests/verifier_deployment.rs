@@ -10,7 +10,7 @@ use pharmaverify::crawl::{CrawlConfig, InMemoryWeb};
 
 fn trained() -> TrainedVerifier {
     let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
-    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default());
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
     TrainedVerifier::fit(
         &corpus,
         TextLearnerKind::Nbm,
@@ -46,23 +46,33 @@ fn spammy_site() -> InMemoryWeb {
 /// content, and links to trusted institutions.
 fn proper_site() -> InMemoryWeb {
     let mut web = InMemoryWeb::new();
+    // The wording leans on the *head* of the legitimate store vocabulary
+    // (prescription, pharmacist, licensed, refill, insurance, …). The
+    // synthetic corpus gives 30% of illegitimate sites keyword-stuffing
+    // behaviour that repeats uniformly-drawn store terms, so rare
+    // tail-of-Zipf trust words ("compliance", "board", "records") are —
+    // deliberately — an *illegitimacy* signal in this world, and a page
+    // built from them reads as stuffed rather than legitimate.
     web.add_page(
         "http://community-health.com/",
         r#"<html><body><h1>community pharmacy</h1>
-        <p>our licensed pharmacist offers prescription refill and transfer
-        services insurance coverage medicare medicaid consultation health
-        screening immunization flu shots patient privacy policy hipaa
-        confidential records verified accredited state board compliance
-        medication dosage counseling chronic condition management</p>
+        <p>our licensed pharmacist offers prescription refill and
+        prescription transfer services with insurance coverage copay
+        support medicare medicaid consultation our pharmacist provides
+        medication consultation prescription counseling and refill
+        reminders licensed pharmacist consultation by phone insurance
+        coverage questions medicare medicaid copay refill transfer
+        prescription medication dosage treatment</p>
         <a href="/contact.html">contact</a>
         <a href="http://fda.gov/">drug safety</a>
         <a href="http://nih.gov/">health information</a></body></html>"#,
     );
     web.add_page(
         "http://community-health.com/contact.html",
-        r#"<html><body><p>contact our pharmacist store hours location
-        address phone consultation appointment insurance network provider
-        prescription records transfer refill reminder</p></body></html>"#,
+        r#"<html><body><p>contact our licensed pharmacist for prescription
+        refill transfer insurance coverage copay medicare medicaid
+        consultation medication dosage treatment symptom doctor patient
+        health medicine</p></body></html>"#,
     );
     web
 }

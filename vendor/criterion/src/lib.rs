@@ -1,0 +1,187 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the `Criterion`/`Bencher` API and the `criterion_group!`/
+//! `criterion_main!` macros so `cargo bench` compiles and produces
+//! simple wall-clock measurements (median of `sample_size` samples, each
+//! auto-calibrated to ~50ms), without the statistical machinery of the
+//! real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost. The stand-in re-runs setup
+/// per iteration regardless; the variants exist for call-site
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Runs one benchmark's timing loops.
+pub struct Bencher {
+    samples: usize,
+    /// Median sample duration and iteration count, filled by `iter*`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-calibrating iterations per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: find an iteration count lasting roughly 50ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(50) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 2).max(1);
+        }
+        let mut samples: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        self.result = Some((samples[samples.len() / 2], iters));
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup excluded
+    /// from timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                start.elapsed()
+            })
+            .collect();
+        samples.sort_unstable();
+        self.result = Some((samples[samples.len() / 2], 1));
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((median, iters)) => {
+                let per_iter = median.as_secs_f64() / iters as f64;
+                println!("{name:<40} {}", format_time(per_iter));
+            }
+            None => println!("{name:<40} (no measurement)"),
+        }
+        self
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s/iter")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms/iter", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs/iter", seconds * 1e6)
+    } else {
+        format!("{:.1} ns/iter", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_output() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 16],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn time_formatting_spans_units() {
+        assert!(format_time(2.0).ends_with("s/iter"));
+        assert!(format_time(2e-3).ends_with("ms/iter"));
+        assert!(format_time(2e-6).ends_with("µs/iter"));
+        assert!(format_time(2e-9).ends_with("ns/iter"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// The strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        assert!(self.size.start < self.size.end, "empty vec size range");
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy for vectors whose length is uniform over `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn lengths_and_elements_respect_strategies() {
+        let strat = vec(0usize..5, 2..9);
+        let mut rng = TestRng::for_case("vec-tests", 0);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn nested_tuple_elements() {
+        let strat = vec((0.0f64..1.0, any::<bool>()), 1..4);
+        let mut rng = TestRng::for_case("vec-tuple", 0);
+        let v = strat.generate(&mut rng);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|&(f, _)| (0.0..1.0).contains(&f)));
+    }
+}

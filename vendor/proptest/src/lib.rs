@@ -1,0 +1,180 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the subset of proptest that the workspace's property
+//! tests use: the `proptest!`/`prop_assert*`/`prop_assume!` macros, the
+//! [`strategy::Strategy`] trait with ranges, tuples, `Just`,
+//! `prop_flat_map`/`prop_map`, regex-subset string strategies, `any`,
+//! and `collection::vec`.
+//!
+//! Differences from upstream, by design:
+//! - generation is **deterministic**: each test case's RNG is seeded from
+//!   the test name and case index, so a failure reproduces on every run
+//!   (no persistence file needed);
+//! - there is **no shrinking** — the failing inputs are printed verbatim;
+//! - the default case count is 64 (override with `PROPTEST_CASES`).
+
+pub mod arbitrary;
+pub mod collection;
+pub mod pattern;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-export module mirroring proptest's `prop::` paths.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and should not count as a
+    /// failure.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (filtered-out) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Everything a proptest-style test module needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines deterministic property tests. Each `fn name(pat in strategy)`
+/// block becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(stringify!($name), |__rng, __desc| {
+                    $(
+                        let __v = $crate::strategy::Strategy::generate(&($strat), __rng);
+                        __desc.push(format!("{} = {:?}", stringify!($pat), &__v));
+                        let $pat = __v;
+                    )+
+                    let __outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    __outcome
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the generated
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)*)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: `{} == {}`\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                __l,
+                __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: `{} != {}`\n  both: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                __l
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed at {}:{}: `{} != {}`: {}\n  both: {:?}",
+                file!(),
+                line!(),
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)*),
+                __l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}

@@ -1,0 +1,310 @@
+//! A regex-subset generator for string strategies.
+//!
+//! Supports the pattern shapes used by the workspace's property tests: a
+//! sequence of atoms, each an arbitrary-char dot (`.`), a character class
+//! (`[a-z0-9_-]`, including ranges, escapes, and leading-`^` negation
+//! over printable ASCII), or a literal character; each atom optionally
+//! quantified with `{n}`, `{m,n}`, `?`, `*` (0..=8), or `+` (1..=8).
+
+use crate::test_runner::TestRng;
+
+/// One parsed pattern atom.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any char except `\n` (drawn from a mixed ASCII/Unicode pool).
+    Any,
+    /// A character class, expanded to its member chars.
+    Class(Vec<char>),
+    /// A literal character.
+    Lit(char),
+}
+
+/// Atom plus repetition bounds (inclusive).
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone)]
+pub struct Pattern {
+    pieces: Vec<Piece>,
+}
+
+/// The pool `.` draws from: printable ASCII plus a deliberate sprinkling
+/// of multi-byte, combining, uppercase-without-lowercase, and emoji
+/// chars, and the tab control character — adversarial but newline-free,
+/// like proptest's `.`.
+const DOT_EXTRAS: &[char] = &[
+    '\t',
+    'é',
+    'ß',
+    'Ω',
+    '中',
+    'я',
+    '𝔸',
+    '\u{0301}',
+    '\u{1F600}',
+    '\u{200B}',
+    '¿',
+    'İ',
+];
+
+impl Pattern {
+    /// Compiles `pattern`.
+    ///
+    /// # Panics
+    /// Panics on syntax this subset does not support — a pattern is test
+    /// code, so failing loudly at first use is the right behaviour.
+    pub fn compile(pattern: &str) -> Pattern {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    let (class, next) = parse_class(&chars, i + 1, pattern);
+                    i = next;
+                    Atom::Class(class)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars
+                        .get(i)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                    i += 1;
+                    Atom::Lit(unescape(c))
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (min, max, next) = parse_quantifier(&chars, i, pattern);
+            i = next;
+            pieces.push(Piece { atom, min, max });
+        }
+        Pattern { pieces }
+    }
+
+    /// Generates one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let span = (piece.max - piece.min + 1) as u64;
+            let count = piece.min + rng.below(span) as u32;
+            for _ in 0..count {
+                out.push(match &piece.atom {
+                    Atom::Lit(c) => *c,
+                    Atom::Class(chars) => chars[rng.below(chars.len() as u64) as usize],
+                    Atom::Any => {
+                        // 1-in-8 chance of a non-ASCII/exotic char.
+                        if rng.below(8) == 0 {
+                            DOT_EXTRAS[rng.below(DOT_EXTRAS.len() as u64) as usize]
+                        } else {
+                            char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ASCII")
+                        }
+                    }
+                });
+            }
+        }
+        out
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+/// Parses a `[...]` class starting after the `[`; returns the member
+/// chars and the index past `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut members = Vec::new();
+    let negated = chars.get(i) == Some(&'^');
+    if negated {
+        i += 1;
+    }
+    while let Some(&c) = chars.get(i) {
+        if c == ']' {
+            let set = if negated {
+                (0x20u32..0x7F)
+                    .filter_map(char::from_u32)
+                    .filter(|c| !members.contains(c))
+                    .collect()
+            } else {
+                members
+            };
+            assert!(
+                !set.is_empty(),
+                "character class matches nothing in pattern {pattern:?}"
+            );
+            return (set, i + 1);
+        }
+        let lo = if c == '\\' {
+            i += 1;
+            unescape(
+                *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in class of pattern {pattern:?}")),
+            )
+        } else {
+            c
+        };
+        i += 1;
+        // A `-` forms a range unless it is the last char before `]`.
+        if chars.get(i) == Some(&'-') && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            i += 1;
+            let mut hi = chars[i];
+            if hi == '\\' {
+                i += 1;
+                hi = unescape(chars[i]);
+            }
+            i += 1;
+            assert!(
+                lo <= hi,
+                "inverted class range {lo}-{hi} in pattern {pattern:?}"
+            );
+            members.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+        } else {
+            members.push(lo);
+        }
+    }
+    panic!("unterminated character class in pattern {pattern:?}");
+}
+
+/// Parses an optional quantifier at `i`; returns `(min, max, next_index)`.
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (u32, u32, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|off| i + off)
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{body}}} in pattern {pattern:?}")
+                    }),
+                    hi.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{body}}} in pattern {pattern:?}")
+                    }),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or_else(|_| {
+                        panic!("bad quantifier {{{body}}} in pattern {pattern:?}")
+                    });
+                    (n, n)
+                }
+            };
+            assert!(
+                min <= max,
+                "inverted quantifier {{{body}}} in pattern {pattern:?}"
+            );
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, case: u64) -> String {
+        let mut rng = TestRng::for_case("pattern-tests", case);
+        Pattern::compile(pattern).generate(&mut rng)
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        for case in 0..200 {
+            let s = gen("[a-zA-Z0-9:/._?#&=-]{0,80}", case);
+            assert!(s.chars().count() <= 80);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || ":/._?#&=-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut seen_dash = false;
+        for case in 0..300 {
+            let s = gen("[a-]{1,4}", case);
+            assert!(s.chars().all(|c| c == 'a' || c == '-'));
+            seen_dash |= s.contains('-');
+        }
+        assert!(seen_dash);
+    }
+
+    #[test]
+    fn escapes_in_classes() {
+        for case in 0..100 {
+            let s = gen("[ a-z<>/pb\\n\\t]{0,40}", case);
+            assert!(s
+                .chars()
+                .all(|c| c == ' ' || c.is_ascii_lowercase() || "<>/pb\n\t".contains(c)));
+        }
+    }
+
+    #[test]
+    fn dot_avoids_newline_and_length_respected() {
+        for case in 0..200 {
+            let s = gen(".{0,20}", case);
+            assert!(s.chars().count() <= 20);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn exact_and_bounded_quantifiers() {
+        for case in 0..50 {
+            assert_eq!(gen("[ab]{3}", case).chars().count(), 3);
+            let n = gen("x{2,5}", case).chars().count();
+            assert!((2..=5).contains(&n));
+            let q = gen("y?", case).chars().count();
+            assert!(q <= 1);
+            let p = gen("z+", case).chars().count();
+            assert!((1..=8).contains(&p));
+        }
+    }
+
+    #[test]
+    fn literal_sequences_pass_through() {
+        assert_eq!(gen("http", 0), "http");
+    }
+
+    #[test]
+    fn negated_class_excludes_members() {
+        for case in 0..100 {
+            let s = gen("[^ab]{1,10}", case);
+            assert!(!s.contains('a') && !s.contains('b'));
+        }
+    }
+
+    #[test]
+    fn dot_sometimes_produces_multibyte() {
+        let mut multibyte = false;
+        for case in 0..300 {
+            multibyte |= gen(".{10,10}", case).bytes().len() > 10;
+        }
+        assert!(multibyte, "dot pool should include non-ASCII chars");
+    }
+}

@@ -1,0 +1,154 @@
+//! Deterministic case driver and its RNG.
+
+use crate::TestCaseError;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-case deterministic generator (SplitMix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded from the test name and case index, so every run
+    /// of the suite generates the same cases.
+    pub fn for_case(test_name: &str, case: u64) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sampling bound");
+        let m = (self.next_u64() as u128) * (bound as u128);
+        (m >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `f` over `case_count()` generated cases. `f` receives the case
+/// RNG and a sink describing the generated inputs (used in failure
+/// reports). Panics on the first failing case.
+pub fn run_cases<F>(test_name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng, &mut Vec<String>) -> Result<(), TestCaseError>,
+{
+    let cases = case_count();
+    let mut rejected = 0u64;
+    for case in 0..cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        let mut desc: Vec<String> = Vec::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng, &mut desc)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError::Reject(_))) => rejected += 1,
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                panic!(
+                    "{test_name}: case #{case} failed\n{msg}\ninputs:\n  {}",
+                    desc.join("\n  ")
+                );
+            }
+            Err(payload) => {
+                eprintln!(
+                    "{test_name}: case #{case} panicked; inputs:\n  {}",
+                    desc.join("\n  ")
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+    // A property that rejects nearly everything is silently vacuous;
+    // surface that the same way upstream proptest does.
+    assert!(
+        rejected < cases,
+        "{test_name}: every generated case was rejected by prop_assume!"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let a: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 3);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = TestRng::for_case("t", 3);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(
+            TestRng::for_case("t", 4).next_u64(),
+            TestRng::for_case("t", 3).next_u64()
+        );
+        assert_ne!(
+            TestRng::for_case("u", 3).next_u64(),
+            TestRng::for_case("t", 3).next_u64()
+        );
+    }
+
+    #[test]
+    fn below_stays_in_bounds() {
+        let mut r = TestRng::for_case("bounds", 0);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn run_cases_passes_trivial_property() {
+        run_cases("trivial", |rng, _| {
+            let _ = rng.next_u64();
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "case #0 failed")]
+    fn run_cases_reports_failures() {
+        run_cases("failing", |_, desc| {
+            desc.push("x = 1".into());
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected")]
+    fn vacuous_property_is_an_error() {
+        run_cases("vacuous", |_, _| Err(TestCaseError::reject("always")));
+    }
+}

@@ -1,0 +1,304 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access. This crate provides a
+//! JSON-only serialization facility under the same names the real `serde`
+//! exposes — `Serialize`, `Deserialize`, and (behind the `derive`
+//! feature) derive macros for plain named-field structs and unit-variant
+//! enums. The data model is deliberately JSON-direct rather than serde's
+//! visitor architecture: `Serialize` writes JSON text, `Deserialize`
+//! reads from a parsed [`json::Value`] tree.
+
+pub mod json;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use json::{Error, Value};
+
+/// Types that can write themselves as a JSON value.
+pub trait Serialize {
+    /// Appends this value's JSON representation to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Types that can be read back from a parsed JSON value.
+pub trait Deserialize: Sized {
+    /// Builds `Self` from `v`, or reports the first structural mismatch.
+    fn deserialize_json(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize implementations for primitives and std containers.
+// ---------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(*self as i128).as_str());
+            }
+        }
+    )*};
+}
+
+serialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn itoa_buf(v: i128) -> String {
+    v.to_string()
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, out: &mut String) {
+        if self.is_finite() {
+            // Rust's shortest round-trip formatting; integral values get a
+            // trailing ".0" so the token still reads as a float.
+            let s = format!("{self}");
+            out.push_str(&s);
+            if !s.contains(['.', 'e', 'E']) {
+                out.push_str(".0");
+            }
+        } else {
+            // JSON has no NaN/Infinity token; match serde_json's lossy
+            // fallback for formats that must emit something.
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, out: &mut String) {
+        (*self as f64).serialize_json(out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_into(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        json::escape_into(self, out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(']');
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        self.0.serialize_json(out);
+        out.push(',');
+        self.1.serialize_json(out);
+        out.push(',');
+        self.2.serialize_json(out);
+        out.push(']');
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize implementations.
+// ---------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::expected("boolean", v))
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_json(v: &Value) -> Result<Self, Error> {
+                let n = v.as_f64().ok_or_else(|| Error::expected("number", v))?;
+                if n.fract() != 0.0 || n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::msg(format!(
+                        "number {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::expected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        f64::deserialize_json(v).map(|n| n as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", v))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        items.iter().map(T::deserialize_json).collect()
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        if items.len() != 2 {
+            return Err(Error::msg(format!(
+                "expected 2-element array, got {} elements",
+                items.len()
+            )));
+        }
+        Ok((
+            A::deserialize_json(&items[0])?,
+            B::deserialize_json(&items[1])?,
+        ))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        let items = v.as_array().ok_or_else(|| Error::expected("array", v))?;
+        if items.len() != 3 {
+            return Err(Error::msg(format!(
+                "expected 3-element array, got {} elements",
+                items.len()
+            )));
+        }
+        Ok((
+            A::deserialize_json(&items[0])?,
+            B::deserialize_json(&items[1])?,
+            C::deserialize_json(&items[2])?,
+        ))
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_json(&self, out: &mut String) {
+        self.write_json(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_json(&true), "true");
+        assert_eq!(to_json(&42u32), "42");
+        assert_eq!(to_json(&-7i64), "-7");
+        assert_eq!(to_json(&1.5f64), "1.5");
+        assert_eq!(to_json(&2.0f64), "2.0");
+        assert_eq!(to_json(&"a\"b".to_string()), "\"a\\\"b\"");
+        assert_eq!(to_json(&vec![1u8, 2, 3]), "[1,2,3]");
+        assert_eq!(to_json(&("x".to_string(), 3u32)), "[\"x\",3]");
+    }
+
+    #[test]
+    fn deserialize_validates_shape() {
+        let v = json::parse("[1,2]").unwrap();
+        assert_eq!(<(u32, u32)>::deserialize_json(&v).unwrap(), (1, 2));
+        assert!(<(u32, u32, u32)>::deserialize_json(&v).is_err());
+        assert!(String::deserialize_json(&v).is_err());
+        assert!(u8::deserialize_json(&json::parse("300").unwrap()).is_err());
+    }
+
+    #[test]
+    fn float_round_trips_through_text() {
+        for x in [0.1, 1.0 / 3.0, 6.02e23, -0.0, 123456.789] {
+            let v = json::parse(&to_json(&x)).unwrap();
+            assert_eq!(f64::deserialize_json(&v).unwrap(), x);
+        }
+    }
+
+    #[test]
+    fn option_maps_null() {
+        let v = json::parse("null").unwrap();
+        assert_eq!(Option::<u32>::deserialize_json(&v).unwrap(), None);
+        let v = json::parse("5").unwrap();
+        assert_eq!(Option::<u32>::deserialize_json(&v).unwrap(), Some(5));
+    }
+}

@@ -1,0 +1,301 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace serializes: structs with
+//! named fields (honouring `#[serde(skip)]` and `#[serde(default)]`) and
+//! enums whose variants are all unit variants (serialized as the variant
+//! name, serde's default representation). Anything else produces a
+//! `compile_error!` pointing at the limitation. Written against
+//! `proc_macro` directly because the build environment has no crates.io
+//! access for `syn`/`quote`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed named field.
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+/// The parsed item: its name plus either fields or unit variants.
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error token stream")
+}
+
+/// Scans a `#[...]` attribute group for `serde(...)` markers.
+fn scan_attr(group: &proc_macro::Group, skip: &mut bool, default: &mut bool) {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(word)) if word.to_string() == "serde" => {}
+        _ => return,
+    }
+    if let Some(TokenTree::Group(args)) = tokens.next() {
+        for t in args.stream() {
+            if let TokenTree::Ident(word) = t {
+                match word.to_string().as_str() {
+                    "skip" => *skip = true,
+                    "default" => *default = true,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Outer attributes (doc comments, derives already stripped, cfg, …).
+    while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        i += 2;
+    }
+    // Visibility.
+    if matches!(tokens.get(i), Some(TokenTree::Ident(w)) if w.to_string() == "pub") {
+        i += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(w)) => w.to_string(),
+        _ => return Err("expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(w)) => w.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "offline serde derive does not support generic type `{name}`"
+        ));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
+        _ => {
+            return Err(format!(
+                "offline serde derive only supports braced {kind} bodies (type `{name}`)"
+            ))
+        }
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_fields(&body)?),
+        "enum" => Shape::Enum(parse_variants(&body)?),
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn parse_fields(body: &proc_macro::Group) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (mut skip, mut default) = (false, false);
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                scan_attr(g, &mut skip, &mut default);
+            }
+            i += 2;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Ident(w)) if w.to_string() == "pub") {
+            i += 1;
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(w)) => w.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in struct body")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(w)) => w.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` in enum body")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "offline serde derive only supports unit enum variants (variant `{name}`)"
+                ))
+            }
+            Some(other) => {
+                return Err(format!("unexpected token `{other}` after variant `{name}`"))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+/// Derives JSON serialization (see crate docs for supported shapes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut code = String::from("out.push('{');\n");
+            let mut first = true;
+            for f in fields.iter().filter(|f| !f.skip) {
+                if !first {
+                    code.push_str("out.push(',');\n");
+                }
+                first = false;
+                code.push_str(&format!(
+                    "out.push_str(\"\\\"{0}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{0}, out);\n",
+                    f.name
+                ));
+            }
+            code.push_str("out.push('}');");
+            code
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!("{name}::{v} => ::serde::Serialize::serialize_json(\"{v}\", out),\n")
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives JSON deserialization (see crate docs for supported shapes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                    continue;
+                }
+                let missing = if f.default {
+                    "::core::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::core::result::Result::Err(\
+                         ::serde::json::Error::missing_field(\"{}\"))",
+                        f.name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{0}: match v.get(\"{0}\") {{\n\
+                     ::core::option::Option::Some(fv) => \
+                     ::serde::Deserialize::deserialize_json(fv)?,\n\
+                     ::core::option::Option::None => {missing},\n\
+                     }},\n",
+                    f.name
+                ));
+            }
+            format!(
+                "if v.as_object().is_none() {{\n\
+                 return ::core::result::Result::Err(\
+                 ::serde::json::Error::expected(\"object\", v));\n}}\n\
+                 ::core::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::core::option::Option::Some(\"{v}\") => \
+                         ::core::result::Result::Ok({name}::{v}),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "match v.as_str() {{\n{arms}\
+                 ::core::option::Option::Some(other) => ::core::result::Result::Err(\
+                 ::serde::json::Error::msg(\
+                 format!(\"unknown variant `{{other}}` of {name}\"))),\n\
+                 ::core::option::Option::None => ::core::result::Result::Err(\
+                 ::serde::json::Error::expected(\"string\", v)),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize_json(v: &::serde::json::Value) -> \
+         ::core::result::Result<Self, ::serde::json::Error> {{\n{body}\n}}\n}}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -1,0 +1,49 @@
+//! Offline stand-in for `serde_json`: the `to_string`/`from_str`/`Value`
+//! surface pharmaverify uses, delegating to the JSON tree in the local
+//! `serde` stand-in.
+
+pub use serde::json::{Error, Value};
+
+/// Serializes `value` as compact JSON.
+///
+/// Unlike upstream `serde_json`, serialization itself cannot fail here
+/// (non-finite floats degrade to `null`); the `Result` exists for
+/// call-site compatibility.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Parses `input` and deserializes a `T` from it.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = serde::json::parse(input)?;
+    T::deserialize_json(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trip() {
+        let v: Value = from_str(r#"{"sites": [{"seed_url": "http://x.com/"}]}"#).unwrap();
+        assert_eq!(v["sites"][0]["seed_url"].as_str(), Some("http://x.com/"));
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let pairs: Vec<(String, f64)> = vec![("a".into(), 1.5), ("b".into(), -2.0)];
+        let text = to_string(&pairs).unwrap();
+        let back: Vec<(String, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, pairs);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(from_str::<Value>("not json at all").is_err());
+    }
+}
