@@ -2,104 +2,46 @@
 //! the paper as part of the benchmark run, so the experiment record lands
 //! in the benchmark log. Scale is controlled by `PHARMAVERIFY_SCALE`
 //! (default `medium` here, to keep `cargo bench --workspace` in the
-//! minutes range; run the `repro` binary for a paper-scale pass).
+//! minutes range; run the `repro` binary for a paper-scale pass), worker
+//! count by `PHARMAVERIFY_JOBS` (default: available cores).
 
-use pharmaverify_bench::{figures, tables, ReproContext, Scale};
+use pharmaverify_bench::{render_report, ReproContext, Scale, Selection};
+use pharmaverify_core::pipeline::Executor;
 use std::time::Instant;
 
 fn main() {
-    let scale = std::env::var("PHARMAVERIFY_SCALE")
-        .ok()
-        .and_then(|s| Scale::parse(&s))
-        .unwrap_or(Scale::Medium);
+    let scale = Scale::from_env_default(Scale::Medium).unwrap_or_else(|e| {
+        eprintln!("[tables bench] {e}");
+        std::process::exit(2);
+    });
+    let exec = Executor::from_env().unwrap_or_else(|e| {
+        eprintln!("[tables bench] {e}");
+        std::process::exit(2);
+    });
     let started = Instant::now();
     eprintln!("[tables bench] generating corpus at {scale:?} scale…");
-    let ctx = ReproContext::new(scale);
+    let ctx = match ReproContext::try_new(scale) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("[tables bench] corpus extraction failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
-        "[tables bench] corpus ready in {:.1}s",
-        started.elapsed().as_secs_f64()
+        "[tables bench] corpus ready in {:.1}s ({} workers)",
+        started.elapsed().as_secs_f64(),
+        exec.jobs()
     );
 
-    println!("{}", tables::table1(&ctx));
-    println!("{}", tables::table2());
+    let report = render_report(&ctx, &Selection::everything(), exec);
+    print!("{}", report.output);
 
-    let t = Instant::now();
-    let grid = tables::tfidf_grid(&ctx);
+    for (name, secs) in &report.timings {
+        eprintln!("[tables bench] {name} in {secs:.1}s");
+    }
+    let (hits, misses) = ctx.store.totals();
     eprintln!(
-        "[tables bench] TF-IDF grid in {:.1}s",
-        t.elapsed().as_secs_f64()
-    );
-    println!("{}", tables::table3(&grid));
-    let (a, b) = tables::table4(&grid);
-    println!("{a}\n{b}");
-    let (a, b) = tables::table5(&grid);
-    println!("{a}\n{b}");
-    println!("{}", tables::table6(&grid));
-
-    let t = Instant::now();
-    let ngg = tables::ngg_grid(&ctx);
-    eprintln!(
-        "[tables bench] NGG grid in {:.1}s",
-        t.elapsed().as_secs_f64()
-    );
-    println!("{}", tables::table7(&ngg));
-    let (a, b) = tables::table8(&ngg);
-    println!("{a}\n{b}");
-    let (a, b) = tables::table9(&ngg);
-    println!("{a}\n{b}");
-    println!("{}", tables::table10(&ngg));
-
-    println!("{}", tables::table11(&ctx));
-
-    let t = Instant::now();
-    let network = tables::network_outcome(&ctx);
-    eprintln!(
-        "[tables bench] network in {:.1}s",
-        t.elapsed().as_secs_f64()
-    );
-    println!("{}", tables::table12(&network));
-    println!("{}", tables::table13(&network));
-    println!("{}", tables::ablation_pagerank(&ctx));
-
-    let t = Instant::now();
-    println!(
-        "{}",
-        tables::table14(&ctx, ngg.summaries[3][2], network.aggregate())
-    );
-    eprintln!(
-        "[tables bench] ensemble in {:.1}s",
-        t.elapsed().as_secs_f64()
-    );
-
-    let t = Instant::now();
-    println!("{}", tables::table15(&ctx));
-    println!("{}", tables::outlier_analysis(&ctx));
-    eprintln!(
-        "[tables bench] ranking in {:.1}s",
-        t.elapsed().as_secs_f64()
-    );
-
-    let t = Instant::now();
-    let (t16, t17) = tables::table16_17(&ctx);
-    eprintln!("[tables bench] drift in {:.1}s", t.elapsed().as_secs_f64());
-    println!("{t16}\n{t17}");
-
-    println!("{}", figures::figure3());
-
-    let t = Instant::now();
-    println!("{}", tables::ablation_sampling(&ctx));
-    println!("{}", tables::ablation_label_noise(&ctx));
-    println!("{}", tables::ablation_representations(&ctx));
-    println!("{}", tables::ablation_svm_ranking(&ctx));
-    println!("{}", tables::ablation_feature_selection(&ctx));
-    println!("{}", tables::future_work_network(&ctx));
-    println!("{}", tables::future_work_combined(&ctx));
-    eprintln!(
-        "[tables bench] ablations + future work in {:.1}s",
-        t.elapsed().as_secs_f64()
-    );
-    eprintln!(
-        "[tables bench] total {:.1}s",
+        "[tables bench] total {:.1}s ({hits} cache hits, {misses} misses)",
         started.elapsed().as_secs_f64()
     );
 }

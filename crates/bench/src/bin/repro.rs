@@ -1,20 +1,29 @@
 //! Reproduces the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale small|medium|paper] [--table N]... [--figure 3]
+//! repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N]
 //! ```
 //!
 //! With no selection, every table and figure is printed. Scale defaults
-//! to the `PHARMAVERIFY_SCALE` environment variable, then to `paper`.
+//! to the `PHARMAVERIFY_SCALE` environment variable, then to `paper`;
+//! worker count defaults to `PHARMAVERIFY_JOBS`, then to the available
+//! cores. Tables go to stdout; progress, per-stage timings, and artifact
+//! cache statistics go to stderr, so redirected output stays clean.
 
-use pharmaverify_bench::{tables, ReproContext, Scale};
-use std::collections::BTreeSet;
+use pharmaverify_bench::{render_report, ReproContext, Scale, Selection};
+use pharmaverify_core::pipeline::Executor;
 use std::time::Instant;
 
 fn main() {
-    let mut scale = Scale::from_env();
-    let mut selected_tables: BTreeSet<u32> = BTreeSet::new();
-    let mut selected_figures: BTreeSet<u32> = BTreeSet::new();
+    let mut scale = Scale::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut exec = Executor::from_env().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let mut sel = Selection::everything();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,7 +38,7 @@ fn main() {
                 let value = args.next().unwrap_or_default();
                 match value.parse() {
                     Ok(n) if (1..=17).contains(&n) => {
-                        selected_tables.insert(n);
+                        sel.add_table(n);
                     }
                     _ => {
                         eprintln!("--table expects a number in 1..=17, got '{value}'");
@@ -41,7 +50,7 @@ fn main() {
                 let value = args.next().unwrap_or_default();
                 match value.parse() {
                     Ok(3u32) => {
-                        selected_figures.insert(3);
+                        sel.add_figure(3);
                     }
                     _ => {
                         eprintln!("--figure expects 3 (the only data figure), got '{value}'");
@@ -49,8 +58,22 @@ fn main() {
                     }
                 }
             }
+            "--jobs" => {
+                let value = args.next().unwrap_or_default();
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        exec = Executor::new(n);
+                    }
+                    _ => {
+                        eprintln!("--jobs expects a positive worker count, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("repro [--scale small|medium|paper] [--table N]... [--figure 3]");
+                println!(
+                    "repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N]"
+                );
                 return;
             }
             other => {
@@ -59,137 +82,40 @@ fn main() {
             }
         }
     }
-    let all = selected_tables.is_empty() && selected_figures.is_empty();
-    let want_table = |n: u32| all || selected_tables.contains(&n);
-    let want_figure = |n: u32| all || selected_figures.contains(&n);
 
     let started = Instant::now();
     eprintln!("[repro] generating corpus at {scale:?} scale…");
-    let ctx = ReproContext::new(scale);
+    let ctx = match ReproContext::try_new(scale) {
+        Ok(ctx) => ctx,
+        Err(e) => {
+            eprintln!("[repro] corpus extraction failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
-        "[repro] corpus ready in {:.1}s ({} + {} pharmacies)",
+        "[repro] corpus ready in {:.1}s ({} + {} pharmacies, {} workers)",
         started.elapsed().as_secs_f64(),
         ctx.corpus1.len(),
-        ctx.corpus2.len()
+        ctx.corpus2.len(),
+        exec.jobs()
     );
-    run(&ctx, &want_table, &want_figure, all);
-    eprintln!("[repro] done in {:.1}s", started.elapsed().as_secs_f64());
-}
 
-fn run(
-    ctx: &ReproContext,
-    want_table: &dyn Fn(u32) -> bool,
-    want_figure: &dyn Fn(u32) -> bool,
-    all: bool,
-) {
-    let timed = |name: &str, f: &mut dyn FnMut()| {
-        let t = Instant::now();
-        f();
-        eprintln!("[repro] {name} in {:.1}s", t.elapsed().as_secs_f64());
-    };
+    let report = render_report(&ctx, &sel, exec);
+    print!("{}", report.output);
 
-    if want_table(1) {
-        println!("{}", tables::table1(ctx));
+    for (name, secs) in &report.timings {
+        eprintln!("[repro] {name} in {secs:.1}s");
     }
-    if want_table(2) {
-        println!("{}", tables::table2());
+    eprintln!("[repro] artifact cache (stage: hits/misses):");
+    for c in ctx.cache_counters() {
+        eprintln!(
+            "[repro]   {:<18} {:>4} hits / {:<4} misses",
+            c.stage, c.hits, c.misses
+        );
     }
-    if (3..=6).any(want_table) {
-        timed("tables 3-6 (TF-IDF grid)", &mut || {
-            let grid = tables::tfidf_grid(ctx);
-            if want_table(3) {
-                println!("{}", tables::table3(&grid));
-            }
-            if want_table(4) {
-                let (a, b) = tables::table4(&grid);
-                println!("{a}\n{b}");
-            }
-            if want_table(5) {
-                let (a, b) = tables::table5(&grid);
-                println!("{a}\n{b}");
-            }
-            if want_table(6) {
-                println!("{}", tables::table6(&grid));
-            }
-        });
-    }
-    let mut mlp_1000 = None;
-    if (7..=10).any(want_table) || want_table(14) {
-        timed("tables 7-10 (N-Gram-Graph grid)", &mut || {
-            let grid = tables::ngg_grid(ctx);
-            // MLP row, 1000-term column — reused by Table 14.
-            mlp_1000 = Some(grid.summaries[3][2]);
-            if want_table(7) {
-                println!("{}", tables::table7(&grid));
-            }
-            if want_table(8) {
-                let (a, b) = tables::table8(&grid);
-                println!("{a}\n{b}");
-            }
-            if want_table(9) {
-                let (a, b) = tables::table9(&grid);
-                println!("{a}\n{b}");
-            }
-            if want_table(10) {
-                println!("{}", tables::table10(&grid));
-            }
-        });
-    }
-    if want_table(11) {
-        println!("{}", tables::table11(ctx));
-    }
-    let mut network_summary = None;
-    if (12..=14).any(want_table) {
-        timed("tables 12-13 (network)", &mut || {
-            let outcome = tables::network_outcome(ctx);
-            network_summary = Some(outcome.aggregate());
-            if want_table(12) {
-                println!("{}", tables::table12(&outcome));
-            }
-            if want_table(13) {
-                println!("{}", tables::table13(&outcome));
-            }
-            println!("{}", tables::ablation_pagerank(ctx));
-        });
-    }
-    // Both inputs are Some whenever table 14 is selected: the NGG grid
-    // runs on `want_table(14)` and the network block on 12..=14.
-    if want_table(14) {
-        if let (Some(mlp), Some(net)) = (mlp_1000, network_summary) {
-            timed("table 14 (ensemble)", &mut || {
-                println!("{}", tables::table14(ctx, mlp, net));
-            });
-        }
-    }
-    if want_table(15) {
-        timed("table 15 (ranking) + outliers", &mut || {
-            println!("{}", tables::table15(ctx));
-            println!("{}", tables::outlier_analysis(ctx));
-        });
-    }
-    if want_table(16) || want_table(17) {
-        timed("tables 16-17 (drift)", &mut || {
-            let (t16, t17) = tables::table16_17(ctx);
-            if want_table(16) {
-                println!("{t16}");
-            }
-            if want_table(17) {
-                println!("{t17}");
-            }
-        });
-    }
-    if want_figure(3) {
-        println!("{}", pharmaverify_bench::figures::figure3());
-    }
-    if all {
-        timed("ablations + future work", &mut || {
-            println!("{}", tables::ablation_sampling(ctx));
-            println!("{}", tables::ablation_label_noise(ctx));
-            println!("{}", tables::ablation_representations(ctx));
-            println!("{}", tables::ablation_svm_ranking(ctx));
-            println!("{}", tables::ablation_feature_selection(ctx));
-            println!("{}", tables::future_work_network(ctx));
-            println!("{}", tables::future_work_combined(ctx));
-        });
-    }
+    let (hits, misses) = ctx.store.totals();
+    eprintln!(
+        "[repro] done in {:.1}s ({hits} cache hits, {misses} misses)",
+        started.elapsed().as_secs_f64()
+    );
 }

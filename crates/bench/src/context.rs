@@ -1,10 +1,14 @@
-//! Shared experiment state: the generated snapshots and their extracted
-//! corpora, built once and reused by every table.
+//! Shared experiment state: the generated snapshots, their extracted
+//! corpora, and the artifact store every table draws from — built once
+//! and reused by every table.
 
 use pharmaverify_core::features::{extract_corpus, ExtractedCorpus};
+use pharmaverify_core::pipeline::{corpus_fingerprint, ArtifactStore, CacheCounters, Pipeline};
+use pharmaverify_core::system::SystemError;
 use pharmaverify_core::CvConfig;
 use pharmaverify_corpus::{CorpusConfig, Snapshot, SyntheticWeb};
 use pharmaverify_crawl::CrawlConfig;
+use std::fmt;
 
 /// Corpus scale for the reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,6 +20,25 @@ pub enum Scale {
     /// The paper's Table 1 class counts (1459 / 1442 sites).
     Paper,
 }
+
+/// `PHARMAVERIFY_SCALE` held a value [`Scale::parse`] rejects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScaleError {
+    /// The rejected value.
+    pub value: String,
+}
+
+impl fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown PHARMAVERIFY_SCALE value {:?}; accepted values: small, medium, paper",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for ScaleError {}
 
 impl Scale {
     /// Parses `small` / `medium` / `paper` (case-insensitive).
@@ -29,12 +52,33 @@ impl Scale {
     }
 
     /// Reads `PHARMAVERIFY_SCALE` from the environment, defaulting to
-    /// `Paper`.
-    pub fn from_env() -> Scale {
-        std::env::var("PHARMAVERIFY_SCALE")
-            .ok()
-            .and_then(|s| Scale::parse(&s))
-            .unwrap_or(Scale::Paper)
+    /// `Paper` when unset.
+    ///
+    /// # Errors
+    /// Rejects unknown values instead of silently running the most
+    /// expensive scale on a typo.
+    pub fn from_env() -> Result<Scale, ScaleError> {
+        Scale::from_env_default(Scale::Paper)
+    }
+
+    /// [`Scale::from_env`] with a caller-chosen default for the unset
+    /// case (benches default to `Medium`).
+    ///
+    /// # Errors
+    /// Rejects unknown values, like [`Scale::from_env`].
+    pub fn from_env_default(default: Scale) -> Result<Scale, ScaleError> {
+        Scale::from_env_value(std::env::var("PHARMAVERIFY_SCALE").ok().as_deref(), default)
+    }
+
+    /// The pure core of [`Scale::from_env`]: `None` (unset) maps to the
+    /// default, a set value must parse.
+    fn from_env_value(value: Option<&str>, default: Scale) -> Result<Scale, ScaleError> {
+        match value {
+            None => Ok(default),
+            Some(raw) => Scale::parse(raw).ok_or_else(|| ScaleError {
+                value: raw.to_string(),
+            }),
+        }
     }
 
     /// The corpus configuration for this scale.
@@ -61,6 +105,10 @@ pub struct ReproContext {
     pub corpus2: ExtractedCorpus,
     /// Cross-validation configuration shared by all experiments.
     pub cv: CvConfig,
+    /// The shared artifact store every table draws from.
+    pub store: ArtifactStore,
+    fp1: u64,
+    fp2: u64,
 }
 
 /// The master seed of the reproduction. Changing it regenerates the whole
@@ -69,17 +117,19 @@ pub const REPRO_SEED: u64 = 20180326; // EDBT 2018 opened March 26.
 
 impl ReproContext {
     /// Generates the corpus and extracts features at the given scale.
-    pub fn new(scale: Scale) -> Self {
+    ///
+    /// # Errors
+    /// Returns [`SystemError::Extract`] if either snapshot fails corpus
+    /// extraction (a generator bug — the synthetic seed URLs are
+    /// well-formed by construction).
+    pub fn try_new(scale: Scale) -> Result<Self, SystemError> {
         let web = SyntheticWeb::generate(&scale.corpus_config(), REPRO_SEED);
         let crawl = CrawlConfig::default();
-        // lint:allow(no-panic): experiment harness over generator-produced
-        // snapshots, whose seed URLs are well-formed by construction; a
-        // failure here is a generator bug and should abort the run loudly.
-        #[allow(clippy::expect_used)]
-        let corpus1 = extract_corpus(web.snapshot(), &crawl).expect("synthetic snapshot extracts");
-        #[allow(clippy::expect_used)]
-        let corpus2 = extract_corpus(web.snapshot2(), &crawl).expect("synthetic snapshot extracts");
-        ReproContext {
+        let corpus1 = extract_corpus(web.snapshot(), &crawl)?;
+        let corpus2 = extract_corpus(web.snapshot2(), &crawl)?;
+        let fp1 = corpus_fingerprint(&corpus1);
+        let fp2 = corpus_fingerprint(&corpus2);
+        Ok(ReproContext {
             scale,
             snapshot1: web.snapshot().clone(),
             snapshot2: web.snapshot2().clone(),
@@ -89,7 +139,35 @@ impl ReproContext {
                 k: 3,
                 seed: REPRO_SEED,
             },
-        }
+            store: ArtifactStore::new(),
+            fp1,
+            fp2,
+        })
+    }
+
+    /// [`ReproContext::try_new`], panicking on extraction failure — for
+    /// tests and examples where a broken generator should abort loudly.
+    // lint:allow(no-panic): test/example convenience over
+    // generator-produced snapshots, whose seed URLs are well-formed by
+    // construction; a failure here is a generator bug.
+    #[allow(clippy::expect_used)]
+    pub fn new(scale: Scale) -> Self {
+        ReproContext::try_new(scale).expect("synthetic snapshot extracts")
+    }
+
+    /// The Dataset 1 pipeline over the shared store.
+    pub fn pipe1(&self) -> Pipeline<'_> {
+        Pipeline::with_fingerprint(&self.store, &self.corpus1, self.fp1)
+    }
+
+    /// The Dataset 2 pipeline over the shared store.
+    pub fn pipe2(&self) -> Pipeline<'_> {
+        Pipeline::with_fingerprint(&self.store, &self.corpus2, self.fp2)
+    }
+
+    /// Per-stage cache hit/miss counters of the shared store.
+    pub fn cache_counters(&self) -> Vec<CacheCounters> {
+        self.store.counters()
     }
 
     /// The paper's term-subsample axis: 100, 250, 1000, 2000, All.
@@ -117,6 +195,20 @@ mod tests {
     }
 
     #[test]
+    fn env_scale_rejects_unknown_values() {
+        assert_eq!(Scale::from_env_value(None, Scale::Paper), Ok(Scale::Paper));
+        assert_eq!(
+            Scale::from_env_value(Some("medium"), Scale::Paper),
+            Ok(Scale::Medium)
+        );
+        let err = Scale::from_env_value(Some("papre"), Scale::Paper)
+            .expect_err("typo must not fall back");
+        let message = err.to_string();
+        assert!(message.contains("papre"), "{message}");
+        assert!(message.contains("small, medium, paper"), "{message}");
+    }
+
+    #[test]
     fn scale_maps_to_corpus_configs() {
         assert_eq!(Scale::Paper.corpus_config().n_legitimate, 167);
         assert_eq!(Scale::Small.corpus_config().n_legitimate, 12);
@@ -137,5 +229,11 @@ mod tests {
         assert_eq!(ctx.corpus1.len(), 60);
         assert_eq!(ctx.corpus2.len(), 60);
         assert_eq!(ctx.cv.k, 3);
+        assert!(ctx.store.is_empty());
+        assert_ne!(
+            ctx.pipe1().fingerprint(),
+            ctx.pipe2().fingerprint(),
+            "the two datasets must occupy distinct cache key spaces"
+        );
     }
 }

@@ -11,12 +11,20 @@
 //! * `cargo bench --bench micro` — criterion micro-benchmarks of the hot
 //!   substrate paths.
 //!
+//! Independent tables (and the cells within the classifier grids) run in
+//! parallel over a shared artifact store; `PHARMAVERIFY_JOBS` (or
+//! `repro --jobs N`) sets the worker count, defaulting to the available
+//! cores. Output is byte-identical at any width — see `DESIGN.md`,
+//! "Artifact pipeline & caching".
+//!
 //! Numbers are *shape*-comparable to the paper, not identical: the corpus
 //! is synthetic (see `DESIGN.md` §1). EXPERIMENTS.md records the
 //! paper-vs-measured comparison for every table.
 
 pub mod context;
 pub mod figures;
+pub mod report;
 pub mod tables;
 
-pub use context::{ReproContext, Scale};
+pub use context::{ReproContext, Scale, ScaleError};
+pub use report::{render_report, ReproReport, Selection};

@@ -1,0 +1,343 @@
+//! Assembles the full reproduction report from the table generators.
+//!
+//! The report is a fixed-order concatenation of sections (tables 1–17,
+//! figure 3, then the ablations and future-work studies), but the
+//! sections themselves are independent up to two data dependencies —
+//! Table 14 reads the best text summary out of the NGG grid and the
+//! network summary out of the network block. [`render_report`] therefore
+//! runs in two phases: every independent section dispatches across the
+//! [`Executor`], then Table 14 runs against the (by now warm) artifact
+//! store. Assembly order is fixed, so the rendered output is
+//! byte-identical at any thread count.
+
+use crate::context::ReproContext;
+use crate::{figures, tables};
+use pharmaverify_core::pipeline::Executor;
+use pharmaverify_core::report::Table;
+use pharmaverify_ml::EvalSummary;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Which tables/figures to render. An empty selection means *everything*:
+/// all tables, all figures, plus the ablation and future-work studies
+/// (which only print in the everything mode, mirroring the paper's
+/// appendix material).
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    tables: BTreeSet<u32>,
+    figures: BTreeSet<u32>,
+}
+
+impl Selection {
+    /// The everything selection.
+    pub fn everything() -> Selection {
+        Selection::default()
+    }
+
+    /// Adds one table (1..=17) to the selection.
+    pub fn add_table(&mut self, n: u32) {
+        self.tables.insert(n);
+    }
+
+    /// Adds one figure (3 is the only data figure) to the selection.
+    pub fn add_figure(&mut self, n: u32) {
+        self.figures.insert(n);
+    }
+
+    /// True when nothing was selected explicitly, i.e. render everything.
+    pub fn is_everything(&self) -> bool {
+        self.tables.is_empty() && self.figures.is_empty()
+    }
+
+    /// Should table `n` be rendered?
+    pub fn wants_table(&self, n: u32) -> bool {
+        self.is_everything() || self.tables.contains(&n)
+    }
+
+    /// Should figure `n` be rendered?
+    pub fn wants_figure(&self, n: u32) -> bool {
+        self.is_everything() || self.figures.contains(&n)
+    }
+}
+
+/// A rendered report plus per-section wall-clock timings.
+#[derive(Debug, Clone)]
+pub struct ReproReport {
+    /// The full rendered output (what the `repro` binary prints to
+    /// stdout). Deterministic for a given context and selection.
+    pub output: String,
+    /// `(section name, seconds)` per rendered section, in output order.
+    /// Timings vary run to run; the output never does.
+    pub timings: Vec<(String, f64)>,
+}
+
+/// The independent sections of phase one, in output order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Table1,
+    Table2,
+    TfIdfGrid,
+    NggGrid,
+    Table11,
+    Network,
+    Ranking,
+    Drift,
+    Figure3,
+    AblSampling,
+    AblLabelNoise,
+    AblRepresentations,
+    AblSvmRanking,
+    AblFeatureSelection,
+    FutureNetwork,
+    FutureCombined,
+}
+
+impl Section {
+    fn name(self) -> &'static str {
+        match self {
+            Section::Table1 => "table 1 (datasets)",
+            Section::Table2 => "table 2 (abbreviations)",
+            Section::TfIdfGrid => "tables 3-6 (TF-IDF grid)",
+            Section::NggGrid => "tables 7-10 (N-Gram-Graph grid)",
+            Section::Table11 => "table 11 (top linked)",
+            Section::Network => "tables 12-13 (network)",
+            Section::Ranking => "table 15 (ranking) + outliers",
+            Section::Drift => "tables 16-17 (drift)",
+            Section::Figure3 => "figure 3 (TrustRank demo)",
+            Section::AblSampling => "ablation (sampling)",
+            Section::AblLabelNoise => "ablation (label noise)",
+            Section::AblRepresentations => "ablation (representations)",
+            Section::AblSvmRanking => "ablation (SVM ranking)",
+            Section::AblFeatureSelection => "ablation (feature selection)",
+            Section::FutureNetwork => "future work (network)",
+            Section::FutureCombined => "future work (combined)",
+        }
+    }
+}
+
+/// One rendered section plus the values later sections need.
+struct SectionOut {
+    section: Section,
+    text: String,
+    secs: f64,
+    /// MLP row, 1000-term column of the NGG grid — reused by Table 14.
+    mlp_1000: Option<EvalSummary>,
+    /// Aggregate network summary — reused by Table 14.
+    network: Option<EvalSummary>,
+}
+
+/// Appends a table the way `println!("{table}")` would.
+fn push_table(out: &mut String, t: &Table) {
+    out.push_str(&format!("{t}\n"));
+}
+
+fn push_pair(out: &mut String, (a, b): (Table, Table)) {
+    out.push_str(&format!("{a}\n{b}\n"));
+}
+
+fn run_section(
+    ctx: &ReproContext,
+    sel: &Selection,
+    exec: Executor,
+    section: Section,
+) -> SectionOut {
+    let started = Instant::now();
+    let mut text = String::new();
+    let mut mlp_1000 = None;
+    let mut network = None;
+    match section {
+        Section::Table1 => push_table(&mut text, &tables::table1(ctx)),
+        Section::Table2 => push_table(&mut text, &tables::table2()),
+        Section::TfIdfGrid => {
+            let grid = tables::tfidf_grid(ctx, exec);
+            if sel.wants_table(3) {
+                push_table(&mut text, &tables::table3(&grid));
+            }
+            if sel.wants_table(4) {
+                push_pair(&mut text, tables::table4(&grid));
+            }
+            if sel.wants_table(5) {
+                push_pair(&mut text, tables::table5(&grid));
+            }
+            if sel.wants_table(6) {
+                push_table(&mut text, &tables::table6(&grid));
+            }
+        }
+        Section::NggGrid => {
+            let grid = tables::ngg_grid(ctx, exec);
+            // MLP row, 1000-term column — reused by Table 14.
+            mlp_1000 = Some(grid.summaries[3][2]);
+            if sel.wants_table(7) {
+                push_table(&mut text, &tables::table7(&grid));
+            }
+            if sel.wants_table(8) {
+                push_pair(&mut text, tables::table8(&grid));
+            }
+            if sel.wants_table(9) {
+                push_pair(&mut text, tables::table9(&grid));
+            }
+            if sel.wants_table(10) {
+                push_table(&mut text, &tables::table10(&grid));
+            }
+        }
+        Section::Table11 => push_table(&mut text, &tables::table11(ctx)),
+        Section::Network => {
+            let outcome = tables::network_outcome(ctx);
+            network = Some(outcome.aggregate());
+            if sel.wants_table(12) {
+                push_table(&mut text, &tables::table12(&outcome));
+            }
+            if sel.wants_table(13) {
+                push_table(&mut text, &tables::table13(&outcome));
+            }
+            push_table(&mut text, &tables::ablation_pagerank(ctx));
+        }
+        Section::Ranking => {
+            push_table(&mut text, &tables::table15(ctx, exec));
+            push_table(&mut text, &tables::outlier_analysis(ctx));
+        }
+        Section::Drift => {
+            let (t16, t17) = tables::table16_17(ctx, exec);
+            if sel.wants_table(16) {
+                push_table(&mut text, &t16);
+            }
+            if sel.wants_table(17) {
+                push_table(&mut text, &t17);
+            }
+        }
+        Section::Figure3 => push_table(&mut text, &figures::figure3()),
+        Section::AblSampling => push_table(&mut text, &tables::ablation_sampling(ctx)),
+        Section::AblLabelNoise => push_table(&mut text, &tables::ablation_label_noise(ctx)),
+        Section::AblRepresentations => {
+            push_table(&mut text, &tables::ablation_representations(ctx));
+        }
+        Section::AblSvmRanking => push_table(&mut text, &tables::ablation_svm_ranking(ctx)),
+        Section::AblFeatureSelection => {
+            push_table(&mut text, &tables::ablation_feature_selection(ctx));
+        }
+        Section::FutureNetwork => push_table(&mut text, &tables::future_work_network(ctx)),
+        Section::FutureCombined => push_table(&mut text, &tables::future_work_combined(ctx)),
+    }
+    SectionOut {
+        section,
+        text,
+        secs: started.elapsed().as_secs_f64(),
+        mlp_1000,
+        network,
+    }
+}
+
+/// Renders the selected tables and figures against the context's shared
+/// artifact store, dispatching independent sections (and the grid cells
+/// within them) across `exec`. The returned output is byte-identical for
+/// any executor width.
+pub fn render_report(ctx: &ReproContext, sel: &Selection, exec: Executor) -> ReproReport {
+    let mut plan: Vec<Section> = Vec::new();
+    if sel.wants_table(1) {
+        plan.push(Section::Table1);
+    }
+    if sel.wants_table(2) {
+        plan.push(Section::Table2);
+    }
+    if (3..=6).any(|n| sel.wants_table(n)) {
+        plan.push(Section::TfIdfGrid);
+    }
+    if (7..=10).any(|n| sel.wants_table(n)) || sel.wants_table(14) {
+        plan.push(Section::NggGrid);
+    }
+    if sel.wants_table(11) {
+        plan.push(Section::Table11);
+    }
+    if (12..=14).any(|n| sel.wants_table(n)) {
+        plan.push(Section::Network);
+    }
+    if sel.wants_table(15) {
+        plan.push(Section::Ranking);
+    }
+    if sel.wants_table(16) || sel.wants_table(17) {
+        plan.push(Section::Drift);
+    }
+    if sel.wants_figure(3) {
+        plan.push(Section::Figure3);
+    }
+    if sel.is_everything() {
+        plan.extend([
+            Section::AblSampling,
+            Section::AblLabelNoise,
+            Section::AblRepresentations,
+            Section::AblSvmRanking,
+            Section::AblFeatureSelection,
+            Section::FutureNetwork,
+            Section::FutureCombined,
+        ]);
+    }
+
+    // Phase one: every section is independent; the executor preserves
+    // index (= output) order.
+    let plan_ref = &plan;
+    let sections: Vec<SectionOut> =
+        exec.run(plan.len(), |i| run_section(ctx, sel, exec, plan_ref[i]));
+
+    // Phase two: Table 14 needs the NGG grid's best text model and the
+    // network summary. Both are Some whenever table 14 is selected: the
+    // NGG grid runs on `wants_table(14)` and the network block on 12..=14.
+    let mlp_1000 = sections.iter().find_map(|s| s.mlp_1000);
+    let network = sections.iter().find_map(|s| s.network);
+    let table14 = match (sel.wants_table(14), mlp_1000, network) {
+        (true, Some(mlp), Some(net)) => {
+            let started = Instant::now();
+            let mut text = String::new();
+            push_table(&mut text, &tables::table14(ctx, mlp, net));
+            Some((text, started.elapsed().as_secs_f64()))
+        }
+        _ => None,
+    };
+
+    // Assembly: fixed output order; Table 14 slots in right after the
+    // network block, before the ranking section.
+    let mut output = String::new();
+    let mut timings = Vec::new();
+    for s in &sections {
+        output.push_str(&s.text);
+        timings.push((s.section.name().to_string(), s.secs));
+        if s.section == Section::Network {
+            if let Some((text, secs)) = &table14 {
+                output.push_str(text);
+                timings.push(("table 14 (ensemble)".to_string(), *secs));
+            }
+        }
+    }
+    ReproReport { output, timings }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_selection_means_everything() {
+        let sel = Selection::everything();
+        assert!(sel.is_everything());
+        assert!(sel.wants_table(1));
+        assert!(sel.wants_table(17));
+        assert!(sel.wants_figure(3));
+    }
+
+    #[test]
+    fn explicit_selection_excludes_the_rest() {
+        let mut sel = Selection::everything();
+        sel.add_table(3);
+        assert!(!sel.is_everything());
+        assert!(sel.wants_table(3));
+        assert!(!sel.wants_table(4));
+        assert!(!sel.wants_figure(3));
+    }
+
+    #[test]
+    fn figure_only_selection_skips_tables() {
+        let mut sel = Selection::everything();
+        sel.add_figure(3);
+        assert!(sel.wants_figure(3));
+        assert!(!sel.wants_table(1));
+    }
+}

@@ -1,19 +1,26 @@
 //! Table generators — one per table of the paper's evaluation section.
+//!
+//! Every generator draws its intermediate products (subsample draws, fold
+//! splits, fitted TF-IDF models, class graphs, link graphs, TrustRank
+//! vectors) from the context's shared [`ArtifactStore`], so tables that
+//! revisit the same configuration — and there are many: the ranking
+//! table, the outlier analysis, and four ablations all sit at the
+//! 1000-term subsample — reuse one computation. The grid generators
+//! additionally take an [`Executor`] and dispatch their independent cells
+//! across it; results are assembled in a fixed order, so the rendered
+//! tables are byte-identical at any thread count.
 
 use crate::context::ReproContext;
 use pharmaverify_core::classify::{
-    build_web_graph, evaluate_ensemble, evaluate_network, ngg_document_texts, CvConfig,
+    evaluate_ensemble_in, evaluate_network_in, evaluate_ngg_in, evaluate_tfidf_in, CvConfig,
     TextLearnerKind,
 };
-use pharmaverify_core::features::ExtractedCorpus;
-use pharmaverify_core::rank::{evaluate_ranking, RankingMethod};
+use pharmaverify_core::drift_study;
+use pharmaverify_core::pipeline::{Executor, Pipeline};
+use pharmaverify_core::rank::{evaluate_ranking_in, RankingMethod};
 use pharmaverify_core::report::{abbreviations, Table};
-use pharmaverify_core::{drift_study, evaluate_tfidf};
-use pharmaverify_ml::{
-    stratified_folds, CvOutcome, Dataset, EvalSummary, FoldOutcome, Learner, Sampling,
-};
+use pharmaverify_ml::{CvOutcome, Dataset, EvalSummary, FoldOutcome, Learner, Sampling};
 use pharmaverify_net::top_linked;
-use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
 use pharmaverify_text::SparseVector;
 
 /// The TF-IDF experiment rows of Tables 3–6.
@@ -106,30 +113,32 @@ pub fn table2() -> Table {
 }
 
 /// Runs the full TF-IDF grid (Tables 3–6): three classifier/sampling
-/// rows across the five subsample sizes.
-pub fn tfidf_grid(ctx: &ReproContext) -> GridResults {
-    let mut rows = Vec::new();
-    let mut summaries = Vec::new();
-    for &(kind, sampling) in TFIDF_ROWS {
-        rows.push(format!("{} {}", kind.name(), sampling.abbreviation()));
+/// rows across the five subsample sizes. The fifteen cells are
+/// independent and dispatch across the executor; the row-major assembly
+/// order keeps the output identical at any thread count.
+pub fn tfidf_grid(ctx: &ReproContext, exec: Executor) -> GridResults {
+    let sizes = ReproContext::subsample_sizes();
+    let cells: Vec<EvalSummary> = exec.run(TFIDF_ROWS.len() * sizes.len(), |idx| {
+        let (kind, sampling) = TFIDF_ROWS[idx / sizes.len()];
+        let (size, _) = sizes[idx % sizes.len()];
         let learner = kind.learner();
-        let row: Vec<EvalSummary> = ReproContext::subsample_sizes()
+        evaluate_tfidf_in(
+            ctx.pipe1(),
+            learner.as_ref(),
+            sampling,
+            kind.weighting(),
+            size,
+            ctx.cv,
+        )
+        .aggregate()
+    });
+    GridResults {
+        rows: TFIDF_ROWS
             .iter()
-            .map(|&(size, _)| {
-                evaluate_tfidf(
-                    &ctx.corpus1,
-                    learner.as_ref(),
-                    sampling,
-                    kind.weighting(),
-                    size,
-                    ctx.cv,
-                )
-                .aggregate()
-            })
-            .collect();
-        summaries.push(row);
+            .map(|(kind, sampling)| format!("{} {}", kind.name(), sampling.abbreviation()))
+            .collect(),
+        summaries: cells.chunks(sizes.len()).map(<[_]>::to_vec).collect(),
     }
-    GridResults { rows, summaries }
 }
 
 /// Table 3: TF-IDF overall accuracy.
@@ -169,50 +178,35 @@ pub fn table6(grid: &GridResults) -> Table {
 /// Runs the full N-Gram-Graph grid (Tables 7–10). The per-fold class
 /// graphs and document features are computed once per subsample size and
 /// shared by all four classifiers — the expensive part is the graph work,
-/// not the learning.
-pub fn ngg_grid(ctx: &ReproContext) -> GridResults {
+/// not the learning. Subsample sizes dispatch across the executor.
+pub fn ngg_grid(ctx: &ReproContext, exec: Executor) -> GridResults {
     let corpus = &ctx.corpus1;
     let cv = ctx.cv;
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
-    let mut summaries = vec![Vec::new(); NGG_ROWS.len()];
+    let pipe = ctx.pipe1();
+    let split = pipe.fold_split(cv.k, cv.seed);
+    let sizes = ReproContext::subsample_sizes();
 
-    for &(size, _) in ReproContext::subsample_sizes().iter() {
-        let texts = ngg_document_texts(corpus, size, cv.seed);
+    // columns[size][row] — each size is one executor job.
+    let columns: Vec<Vec<EvalSummary>> = exec.run(sizes.len(), |s| {
+        let (size, _) = sizes[s];
+        let texts = pipe.ngg_texts(size, cv.seed);
         // Per fold: features for every document against this fold's class
         // graphs. Folds run in parallel.
         let texts_ref = &texts;
-        let folds_ref = &folds;
-        let fold_datasets: Vec<(Vec<usize>, Dataset)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = folds_ref
-                .iter()
-                .enumerate()
-                .map(|(f, test_idx)| {
+        let split_ref = &split;
+        let fold_datasets: Vec<(&[usize], Dataset)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..split_ref.k())
+                .map(|f| {
                     scope.spawn(move || {
-                        let train_idx: Vec<usize> = (0..corpus.len())
-                            .filter(|i| !test_idx.contains(i))
-                            .collect();
-                        let legit: Vec<&str> = train_idx
-                            .iter()
-                            .filter(|&&i| corpus.labels[i])
-                            .map(|&i| texts_ref[i].as_str())
-                            .collect();
-                        let illegit: Vec<&str> = train_idx
-                            .iter()
-                            .filter(|&&i| !corpus.labels[i])
-                            .map(|&i| texts_ref[i].as_str())
-                            .collect();
-                        let graphs = NggClassGraphs::build(
-                            NGramGraphBuilder::default(),
-                            &legit,
-                            &illegit,
-                            cv.seed ^ (f as u64),
-                        );
+                        let test_idx = split_ref.test(f);
+                        let train_idx = split_ref.train(f);
+                        let graphs = pipe.ngg_class_graphs(size, cv.seed, f, train_idx);
                         let mut all = Dataset::new(8);
                         for (text, &label) in texts_ref.iter().zip(&corpus.labels) {
                             let v = SparseVector::from_dense(&graphs.features(text).to_vec());
                             all.push(v, label);
                         }
-                        (test_idx.clone(), all)
+                        (test_idx, all)
                     })
                 })
                 .collect();
@@ -222,36 +216,40 @@ pub fn ngg_grid(ctx: &ReproContext) -> GridResults {
                 .collect()
         });
 
-        for (row, &kind) in NGG_ROWS.iter().enumerate() {
-            let learner = kind.ngg_learner();
-            let outcomes: Vec<FoldOutcome> = fold_datasets
-                .iter()
-                .map(|(test_idx, all)| {
-                    let train_idx: Vec<usize> = (0..corpus.len())
-                        .filter(|i| !test_idx.contains(i))
-                        .collect();
-                    let model = learner.fit(&all.subset(&train_idx));
-                    let labels: Vec<bool> = test_idx.iter().map(|&i| all.y(i)).collect();
-                    let scores: Vec<f64> =
-                        test_idx.iter().map(|&i| model.score(all.x(i))).collect();
-                    let predictions: Vec<bool> =
-                        test_idx.iter().map(|&i| model.predict(all.x(i))).collect();
-                    FoldOutcome {
-                        summary: EvalSummary::compute(&labels, &predictions, &scores),
-                        scores,
-                        labels,
-                    }
-                })
-                .collect();
-            summaries[row].push(CvOutcome { folds: outcomes }.aggregate());
-        }
-    }
+        NGG_ROWS
+            .iter()
+            .map(|&kind| {
+                let learner = kind.ngg_learner();
+                let outcomes: Vec<FoldOutcome> = fold_datasets
+                    .iter()
+                    .enumerate()
+                    .map(|(f, (test_idx, all))| {
+                        let model = learner.fit(&all.subset(split_ref.train(f)));
+                        let labels: Vec<bool> = test_idx.iter().map(|&i| all.y(i)).collect();
+                        let scores: Vec<f64> =
+                            test_idx.iter().map(|&i| model.score(all.x(i))).collect();
+                        let predictions: Vec<bool> =
+                            test_idx.iter().map(|&i| model.predict(all.x(i))).collect();
+                        FoldOutcome {
+                            summary: EvalSummary::compute(&labels, &predictions, &scores),
+                            scores,
+                            labels,
+                        }
+                    })
+                    .collect();
+                CvOutcome { folds: outcomes }.aggregate()
+            })
+            .collect()
+    });
+
     GridResults {
         rows: NGG_ROWS
             .iter()
             .map(|k| format!("{} NO", k.name()))
             .collect(),
-        summaries,
+        summaries: (0..NGG_ROWS.len())
+            .map(|row| columns.iter().map(|col| col[row]).collect())
+            .collect(),
     }
 }
 
@@ -325,7 +323,7 @@ pub fn table11(ctx: &ReproContext) -> Table {
 
 /// Runs the network experiment once (shared by Tables 12–13).
 pub fn network_outcome(ctx: &ReproContext) -> CvOutcome {
-    evaluate_network(&ctx.corpus1, ctx.cv)
+    evaluate_network_in(ctx.pipe1(), ctx.cv)
 }
 
 /// Table 12: network classification accuracy and AUC.
@@ -369,7 +367,7 @@ pub fn table13(network: &CvOutcome) -> Table {
 /// Table 14: ensemble selection vs the best text model (MLP on NGG) and
 /// the network model, at the 1000-term subsample.
 pub fn table14(ctx: &ReproContext, mlp_text: EvalSummary, network: EvalSummary) -> Table {
-    let ensemble = evaluate_ensemble(&ctx.corpus1, Some(1000), ctx.cv);
+    let ensemble = evaluate_ensemble_in(ctx.pipe1(), Some(1000), ctx.cv);
     let s = ensemble.outcome.aggregate();
     let mut t = Table::new(
         "Table 14: Ensemble Classification Results (1000-term subsamples)",
@@ -400,12 +398,9 @@ pub fn table14(ctx: &ReproContext, mlp_text: EvalSummary, network: EvalSummary) 
     t
 }
 
-/// Table 15: pairwise orderedness of the four ranking variants.
-pub fn table15(ctx: &ReproContext) -> Table {
-    let mut t = Table::new(
-        "Table 15: Ranking using TF-IDF and N-Gram Graphs (1000-term subsamples)",
-        &["Method", "pairord"],
-    );
+/// Table 15: pairwise orderedness of the four ranking variants,
+/// dispatched across the executor.
+pub fn table15(ctx: &ReproContext, exec: Executor) -> Table {
     let methods = [
         RankingMethod::TfIdf {
             kind: TextLearnerKind::Nbm,
@@ -421,16 +416,23 @@ pub fn table15(ctx: &ReproContext) -> Table {
         },
         RankingMethod::NggEquation3,
     ];
-    for method in methods {
-        let outcome = evaluate_ranking(&ctx.corpus1, method, Some(1000), ctx.cv);
-        t.push_row(vec![method.name(), Table::fmt3(outcome.pairord)]);
+    let pairords: Vec<f64> = exec.run(methods.len(), |m| {
+        evaluate_ranking_in(ctx.pipe1(), methods[m], Some(1000), ctx.cv).pairord
+    });
+    let mut t = Table::new(
+        "Table 15: Ranking using TF-IDF and N-Gram Graphs (1000-term subsamples)",
+        &["Method", "pairord"],
+    );
+    for (method, pairord) in methods.iter().zip(pairords) {
+        t.push_row(vec![method.name(), Table::fmt3(pairord)]);
     }
     t
 }
 
 /// Tables 16 and 17: model evolution over time — AUC (16) and legitimate
 /// precision (17) for Old-Old / New-New / Old-New at 250 and 1000 terms.
-pub fn table16_17(ctx: &ReproContext) -> (Table, Table) {
+/// The six (classifier × size) drift rows dispatch across the executor.
+pub fn table16_17(ctx: &ReproContext, exec: Executor) -> (Table, Table) {
     let headers = &[
         "Classifier",
         "Old-Old 250",
@@ -448,18 +450,19 @@ pub fn table16_17(ctx: &ReproContext) -> (Table, Table) {
         "Table 17: TF-IDF - Model over Time - legitimate Precision",
         headers,
     );
-    for &(kind, sampling) in TFIDF_ROWS {
+    const SIZES: [Option<usize>; 2] = [Some(250), Some(1000)];
+    let cells: Vec<drift_study::DriftRow> = exec.run(TFIDF_ROWS.len() * SIZES.len(), |idx| {
+        let (kind, sampling) = TFIDF_ROWS[idx / SIZES.len()];
+        let size = SIZES[idx % SIZES.len()];
+        drift_study::drift_row_in(ctx.pipe1(), ctx.pipe2(), kind, sampling, size, ctx.cv)
+    });
+    for (r, &(kind, sampling)) in TFIDF_ROWS.iter().enumerate() {
         let label = format!("{} {}", kind.name(), sampling.abbreviation());
-        let rows: Vec<drift_study::DriftRow> = [Some(250), Some(1000)]
-            .into_iter()
-            .map(|size| {
-                drift_study::drift_row(&ctx.corpus1, &ctx.corpus2, kind, sampling, size, ctx.cv)
-            })
-            .collect();
-        let cells = |pick: &dyn Fn(&drift_study::DriftCell) -> f64| -> Vec<String> {
+        let rows = &cells[r * SIZES.len()..(r + 1) * SIZES.len()];
+        let cells_for = |pick: &dyn Fn(&drift_study::DriftCell) -> f64| -> Vec<String> {
             let mut c = vec![label.clone()];
             for scenario in 0..3 {
-                for row in &rows {
+                for row in rows {
                     let cell = match scenario {
                         0 => row.old_old,
                         1 => row.new_new,
@@ -470,16 +473,16 @@ pub fn table16_17(ctx: &ReproContext) -> (Table, Table) {
             }
             c
         };
-        t16.push_row(cells(&|c| c.auc));
-        t17.push_row(cells(&|c| c.legitimate_precision));
+        t16.push_row(cells_for(&|c| c.auc));
+        t17.push_row(cells_for(&|c| c.legitimate_precision));
     }
     (t16, t17)
 }
 
 /// The §6.4 outlier analysis, printed alongside Table 15.
 pub fn outlier_analysis(ctx: &ReproContext) -> Table {
-    let ranking = evaluate_ranking(
-        &ctx.corpus1,
+    let ranking = evaluate_ranking_in(
+        ctx.pipe1(),
         RankingMethod::TfIdf {
             kind: TextLearnerKind::Nbm,
             sampling: Sampling::None,
@@ -517,17 +520,15 @@ pub fn ablation_pagerank(ctx: &ReproContext) -> Table {
     use pharmaverify_ml::{GaussianNaiveBayes, Model};
     use pharmaverify_net::{pagerank, TrustRankConfig};
     let corpus = &ctx.corpus1;
-    let artifacts = build_web_graph(corpus);
+    let pipe = ctx.pipe1();
+    let artifacts = pipe.web_graph();
     let pr = pagerank(&artifacts.graph, &TrustRankConfig::default());
     let scale = artifacts.graph.node_count() as f64;
-    let folds = stratified_folds(&corpus.labels, ctx.cv.k, ctx.cv.seed);
+    let split = pipe.fold_split(ctx.cv.k, ctx.cv.seed);
     let mut outcomes = Vec::new();
-    for test_idx in &folds {
-        let train_idx: Vec<usize> = (0..corpus.len())
-            .filter(|i| !test_idx.contains(i))
-            .collect();
+    for (_, train_idx, test_idx) in split.iter() {
         let mut train = Dataset::new(1);
-        for &i in &train_idx {
+        for &i in train_idx {
             let score = pr[artifacts.pharmacy_nodes[i] as usize] * scale;
             train.push(SparseVector::from_pairs(vec![(0, score)]), corpus.labels[i]);
         }
@@ -592,7 +593,7 @@ pub fn ablation_sampling(ctx: &ReproContext) -> Table {
         TextLearnerKind::J48,
     ] {
         for sampling in [Sampling::None, Sampling::Undersample, Sampling::Smote] {
-            let s = tfidf_single(&ctx.corpus1, kind, sampling, Some(1000), ctx.cv);
+            let s = tfidf_single(ctx.pipe1(), kind, sampling, Some(1000), ctx.cv);
             t.push_row(vec![
                 kind.name().to_string(),
                 sampling.abbreviation().to_string(),
@@ -611,15 +612,14 @@ pub fn ablation_sampling(ctx: &ReproContext) -> Table {
 /// Mirylenka et al., DAMI 2017). A seeded fraction of *training* labels
 /// is flipped per fold; test labels stay clean.
 pub fn ablation_label_noise(ctx: &ReproContext) -> Table {
-    use pharmaverify_core::classify::subsampled_documents;
-    use pharmaverify_text::TfIdfModel;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
 
     let corpus = &ctx.corpus1;
     let cv = ctx.cv;
-    let docs = subsampled_documents(corpus, Some(1000), cv.seed);
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let pipe = ctx.pipe1();
+    let docs = pipe.subsampled_docs(Some(1000), cv.seed);
+    let split = pipe.fold_split(cv.k, cv.seed);
     let mut t = Table::new(
         "Ablation: training-label noise (1000-term subsamples)",
         &["Classifier", "0%", "5%", "10%", "20%"],
@@ -628,16 +628,12 @@ pub fn ablation_label_noise(ctx: &ReproContext) -> Table {
         let mut cells = vec![kind.name().to_string()];
         for noise in [0.0, 0.05, 0.10, 0.20] {
             let mut outcomes = Vec::new();
-            for (f, test_idx) in folds.iter().enumerate() {
-                let train_idx: Vec<usize> = (0..corpus.len())
-                    .filter(|i| !test_idx.contains(i))
-                    .collect();
+            for (f, train_idx, test_idx) in split.iter() {
                 let mut rng = SmallRng::seed_from_u64(cv.seed ^ 0x4015e ^ (f as u64));
-                let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
-                let tfidf = TfIdfModel::fit(&train_docs[..]);
+                let tfidf = pipe.fitted_tfidf(Some(1000), cv.seed, Some(f), train_idx);
                 let weighting = kind.weighting();
                 let mut train = Dataset::new(tfidf.vocabulary().len().max(1));
-                for &i in &train_idx {
+                for &i in train_idx {
                     let label = if noise > 0.0 && rng.gen_bool(noise) {
                         !corpus.labels[i]
                     } else {
@@ -677,7 +673,7 @@ pub fn future_work_network(ctx: &ReproContext) -> Table {
         build_extended_web_graph, evaluate_network_variant, portal_links,
     };
     let corpus = &ctx.corpus1;
-    let base = build_web_graph(corpus);
+    let base = ctx.pipe1().web_graph();
     let portals = portal_links(&ctx.snapshot1, &pharmaverify_crawl::CrawlConfig::default());
     let extended = build_extended_web_graph(corpus, &portals);
     let mut t = Table::new(
@@ -685,8 +681,8 @@ pub fn future_work_network(ctx: &ReproContext) -> Table {
         &["Variant", "Acc.", "AUC ROC", "legit Rec.", "legit Prec."],
     );
     let rows = [
-        ("TrustRank (paper baseline)", &base, false),
-        ("+ Anti-TrustRank distrust", &base, true),
+        ("TrustRank (paper baseline)", &*base, false),
+        ("+ Anti-TrustRank distrust", &*base, true),
         ("Extended graph (referrer portals)", &extended, false),
         ("Extended + distrust", &extended, true),
     ];
@@ -706,10 +702,10 @@ pub fn future_work_network(ctx: &ReproContext) -> Table {
 /// Future work §7(b): one classifier over combined text + network
 /// features, compared with the best single-view models.
 pub fn future_work_combined(ctx: &ReproContext) -> Table {
-    use pharmaverify_core::extensions::evaluate_combined;
-    let combined = evaluate_combined(&ctx.corpus1, Some(1000), ctx.cv).aggregate();
+    use pharmaverify_core::extensions::evaluate_combined_in;
+    let combined = evaluate_combined_in(ctx.pipe1(), Some(1000), ctx.cv).aggregate();
     let text_svm = tfidf_single(
-        &ctx.corpus1,
+        ctx.pipe1(),
         TextLearnerKind::Svm,
         Sampling::None,
         Some(1000),
@@ -741,14 +737,13 @@ pub fn future_work_combined(ctx: &ReproContext) -> Table {
 /// Character N-Grams (bag of char 4-grams), and N-Gram Graphs — all under
 /// the same SVM, at the 1000-term subsample.
 pub fn ablation_representations(ctx: &ReproContext) -> Table {
-    use pharmaverify_core::classify::{ngg_document_texts, subsampled_documents};
     use pharmaverify_text::CharNgramModel;
 
     let corpus = &ctx.corpus1;
     let cv = ctx.cv;
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
-    let docs = subsampled_documents(corpus, Some(1000), cv.seed);
-    let texts = ngg_document_texts(corpus, Some(1000), cv.seed);
+    let pipe = ctx.pipe1();
+    let split = pipe.fold_split(cv.k, cv.seed);
+    let texts = pipe.ngg_texts(Some(1000), cv.seed);
 
     let mut t = Table::new(
         "Ablation: text representations under SVM (1000-term subsamples, cf. [13])",
@@ -762,25 +757,21 @@ pub fn ablation_representations(ctx: &ReproContext) -> Table {
     );
 
     // Term Vector and N-Gram Graphs reuse the standard pipelines.
-    let term_vector = tfidf_single(corpus, TextLearnerKind::Svm, Sampling::None, Some(1000), cv);
+    let term_vector = tfidf_single(pipe, TextLearnerKind::Svm, Sampling::None, Some(1000), cv);
     let ngg = {
         let learner = TextLearnerKind::Svm.ngg_learner();
-        pharmaverify_core::classify::evaluate_ngg(corpus, learner.as_ref(), Some(1000), cv)
-            .aggregate()
+        evaluate_ngg_in(pipe, learner.as_ref(), Some(1000), cv).aggregate()
     };
 
     // Character N-Grams: char-4-gram tf·idf vectors under the same SVM.
     let char_ngrams = {
         let mut outcomes = Vec::new();
-        for test_idx in &folds {
-            let train_idx: Vec<usize> = (0..corpus.len())
-                .filter(|i| !test_idx.contains(i))
-                .collect();
+        for (_, train_idx, test_idx) in split.iter() {
             let train_texts: Vec<&str> = train_idx.iter().map(|&i| texts[i].as_str()).collect();
             let model = CharNgramModel::fit(&train_texts, 4);
             let dim = model.vocabulary_size().max(1);
             let mut train = Dataset::new(dim);
-            for &i in &train_idx {
+            for &i in train_idx {
                 train.push(model.transform(&texts[i]), corpus.labels[i]);
             }
             let svm = TextLearnerKind::Svm.learner().fit(&train);
@@ -801,7 +792,6 @@ pub fn ablation_representations(ctx: &ReproContext) -> Table {
         }
         CvOutcome { folds: outcomes }.aggregate()
     };
-    drop(docs);
 
     for (name, s) in [
         ("Term Vector (TF-IDF)", term_vector),
@@ -823,28 +813,23 @@ pub fn ablation_representations(ctx: &ReproContext) -> Table {
 /// paper's hard {0, 1} decision (§5), the raw margin, or a
 /// Platt-calibrated probability — measured by pairwise orderedness.
 pub fn ablation_svm_ranking(ctx: &ReproContext) -> Table {
-    use pharmaverify_core::classify::subsampled_documents;
     use pharmaverify_ml::metrics::pairwise_orderedness;
     use pharmaverify_ml::svm::LinearSvm;
     use pharmaverify_ml::PlattScaler;
-    use pharmaverify_text::TfIdfModel;
 
     let corpus = &ctx.corpus1;
     let cv = ctx.cv;
-    let docs = subsampled_documents(corpus, Some(1000), cv.seed);
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let pipe = ctx.pipe1();
+    let docs = pipe.subsampled_docs(Some(1000), cv.seed);
+    let split = pipe.fold_split(cv.k, cv.seed);
     let mut hard = vec![0.0; corpus.len()];
     let mut margin = vec![0.0; corpus.len()];
     let mut platt = vec![0.0; corpus.len()];
 
-    for test_idx in &folds {
-        let train_idx: Vec<usize> = (0..corpus.len())
-            .filter(|i| !test_idx.contains(i))
-            .collect();
-        let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
-        let tfidf = TfIdfModel::fit(&train_docs[..]);
+    for (f, train_idx, test_idx) in split.iter() {
+        let tfidf = pipe.fitted_tfidf(Some(1000), cv.seed, Some(f), train_idx);
         let mut train = Dataset::new(tfidf.vocabulary().len().max(1));
-        for &i in &train_idx {
+        for &i in train_idx {
             train.push(tfidf.transform(&docs[i]), corpus.labels[i]);
         }
         let model = LinearSvm::default().fit_svm(&train);
@@ -881,14 +866,13 @@ pub fn ablation_svm_ranking(ctx: &ReproContext) -> Table {
 /// vocabulary can get before accuracy suffers (cf. the scalable feature
 /// selection line of work the paper cites, \[7\]).
 pub fn ablation_feature_selection(ctx: &ReproContext) -> Table {
-    use pharmaverify_core::classify::subsampled_documents;
     use pharmaverify_ml::{project, top_k_features};
-    use pharmaverify_text::TfIdfModel;
 
     let corpus = &ctx.corpus1;
     let cv = ctx.cv;
-    let docs = subsampled_documents(corpus, Some(1000), cv.seed);
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let pipe = ctx.pipe1();
+    let docs = pipe.subsampled_docs(Some(1000), cv.seed);
+    let split = pipe.fold_split(cv.k, cv.seed);
     let mut t = Table::new(
         "Ablation: information-gain feature selection (NBM, 1000-term subsamples)",
         &[
@@ -901,15 +885,11 @@ pub fn ablation_feature_selection(ctx: &ReproContext) -> Table {
     );
     for keep in [50usize, 200, 1000, usize::MAX] {
         let mut outcomes = Vec::new();
-        for test_idx in &folds {
-            let train_idx: Vec<usize> = (0..corpus.len())
-                .filter(|i| !test_idx.contains(i))
-                .collect();
-            let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
-            let tfidf = TfIdfModel::fit(&train_docs[..]);
+        for (f, train_idx, test_idx) in split.iter() {
+            let tfidf = pipe.fitted_tfidf(Some(1000), cv.seed, Some(f), train_idx);
             let dim = tfidf.vocabulary().len().max(1);
             let mut train = Dataset::new(dim);
-            for &i in &train_idx {
+            for &i in train_idx {
                 train.push(tfidf.term_counts(&docs[i]), corpus.labels[i]);
             }
             let kept = top_k_features(&train, keep.min(dim));
@@ -952,23 +932,15 @@ pub fn ablation_feature_selection(ctx: &ReproContext) -> Table {
     t
 }
 
-/// Convenience: run the TF-IDF grid restricted to one subsample size
-/// (used by the smoke tests).
+/// Convenience: run the TF-IDF pipeline restricted to one subsample size
+/// (used by the ablations and smoke tests).
 pub fn tfidf_single(
-    corpus: &ExtractedCorpus,
+    pipe: Pipeline<'_>,
     kind: TextLearnerKind,
     sampling: Sampling,
     size: Option<usize>,
     cv: CvConfig,
 ) -> EvalSummary {
     let learner: Box<dyn Learner> = kind.learner();
-    evaluate_tfidf(
-        corpus,
-        learner.as_ref(),
-        sampling,
-        kind.weighting(),
-        size,
-        cv,
-    )
-    .aggregate()
+    evaluate_tfidf_in(pipe, learner.as_ref(), sampling, kind.weighting(), size, cv).aggregate()
 }

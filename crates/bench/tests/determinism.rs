@@ -1,0 +1,63 @@
+//! The table harness must produce byte-identical output regardless of
+//! executor width or cache warmth: a serial fresh run, a parallel run
+//! against the warm store, and a parallel fresh run all render the same
+//! report. This is the contract that lets `repro --jobs N` and the xtask
+//! determinism audit trust parallel execution.
+
+use pharmaverify_bench::{render_report, ReproContext, Scale, Selection};
+use pharmaverify_core::pipeline::Executor;
+
+#[test]
+fn report_is_identical_across_thread_counts_and_cache_warmth() {
+    let sel = Selection::everything();
+
+    let ctx = ReproContext::new(Scale::Small);
+    let serial = render_report(&ctx, &sel, Executor::serial());
+    assert!(!serial.output.is_empty());
+    let (hits_fresh, misses_fresh) = ctx.store.totals();
+    assert!(misses_fresh > 0, "a fresh run must compute artifacts");
+    assert!(
+        hits_fresh > 0,
+        "tables sharing a configuration must reuse artifacts"
+    );
+
+    // Same context, warm store, wide executor: artifacts served from
+    // cache, nothing recomputed, identical bytes.
+    let warm = render_report(&ctx, &sel, Executor::new(4));
+    assert_eq!(serial.output, warm.output, "warm parallel run must match");
+    let (_, misses_warm) = ctx.store.totals();
+    assert_eq!(
+        misses_fresh, misses_warm,
+        "a warm rerun must not recompute any artifact"
+    );
+
+    // Fresh context, wide executor: artifacts race to compute, but the
+    // per-key once-cell and ordered merge keep the bytes identical.
+    let ctx2 = ReproContext::new(Scale::Small);
+    let parallel = render_report(&ctx2, &sel, Executor::new(4));
+    assert_eq!(
+        serial.output, parallel.output,
+        "fresh parallel run must match the serial run"
+    );
+    let (_, misses_parallel) = ctx2.store.totals();
+    assert_eq!(
+        misses_fresh, misses_parallel,
+        "parallelism must not change which artifacts get computed"
+    );
+}
+
+#[test]
+fn explicit_selection_renders_only_the_selected_table() {
+    let ctx = ReproContext::new(Scale::Small);
+    let mut sel = Selection::everything();
+    sel.add_table(1);
+    sel.add_table(2);
+    let report = render_report(&ctx, &sel, Executor::serial());
+    assert!(report.output.contains("Table 1: Datasets"));
+    assert!(report.output.contains("Table 2:"));
+    assert!(!report.output.contains("Table 3:"));
+    assert!(!report.output.contains("Ablation:"));
+    let t1 = report.output.find("Table 1: Datasets");
+    let t2 = report.output.find("Table 2:");
+    assert!(t1 < t2, "sections must assemble in table order");
+}

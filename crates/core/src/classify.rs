@@ -20,13 +20,13 @@
 //!   fifth of each training split.
 
 use crate::features::ExtractedCorpus;
+use crate::pipeline::{ArtifactStore, Pipeline};
 use pharmaverify_ml::{
     greedy_auc_selection, stratified_folds, CvOutcome, Dataset, DecisionTree, EvalSummary,
     FoldOutcome, GaussianNaiveBayes, Learner, LinearSvm, Mlp, Model, MultinomialNaiveBayes,
     Sampling,
 };
 use pharmaverify_net::{trust_rank, NodeId, TrustRankConfig, WebGraph};
-use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
 use pharmaverify_text::subsample::subsample_opt;
 use pharmaverify_text::{SparseVector, TfIdfModel};
 
@@ -165,6 +165,10 @@ fn fold_outcome(labels: Vec<bool>, scores: Vec<f64>, predictions: Vec<bool>) -> 
 }
 
 /// TF-IDF text classification under cross-validation (§6.3.1).
+///
+/// Convenience wrapper over [`evaluate_tfidf_in`] with a transient
+/// artifact store; callers holding a shared store should use the `_in`
+/// variant so subsamples, fold splits, and fitted models are reused.
 pub fn evaluate_tfidf(
     corpus: &ExtractedCorpus,
     learner: &dyn Learner,
@@ -173,25 +177,43 @@ pub fn evaluate_tfidf(
     subsample: Option<usize>,
     cv: CvConfig,
 ) -> CvOutcome {
+    let store = ArtifactStore::new();
+    evaluate_tfidf_in(
+        Pipeline::new(&store, corpus),
+        learner,
+        sampling,
+        weighting,
+        subsample,
+        cv,
+    )
+}
+
+/// [`evaluate_tfidf`] against a shared artifact store: the subsample
+/// draw, fold split, and per-fold TF-IDF models are requested from the
+/// pipeline instead of rebuilt.
+pub fn evaluate_tfidf_in(
+    pipe: Pipeline<'_>,
+    learner: &dyn Learner,
+    sampling: Sampling,
+    weighting: TermWeighting,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> CvOutcome {
+    let corpus = pipe.corpus();
     assert!(!corpus.is_empty(), "corpus must not be empty");
-    let docs = subsampled_documents(corpus, subsample, cv.seed);
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
-    let folds_ref = &folds;
-    let docs_ref = &docs;
+    let docs = pipe.subsampled_docs(subsample, cv.seed);
+    let split = pipe.fold_split(cv.k, cv.seed);
+    let (split_ref, docs_ref) = (&split, &docs);
     let outcomes: Vec<FoldOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = folds_ref
-            .iter()
-            .map(|test_idx| {
+        let handles: Vec<_> = (0..split_ref.k())
+            .map(|f| {
                 scope.spawn(move || {
-                    let train_idx: Vec<usize> = (0..corpus.len())
-                        .filter(|i| !test_idx.contains(i))
-                        .collect();
-                    let train_docs: Vec<&Vec<String>> =
-                        train_idx.iter().map(|&i| &docs_ref[i]).collect();
-                    let tfidf = TfIdfModel::fit(&train_docs[..]);
+                    let test_idx = split_ref.test(f);
+                    let train_idx = split_ref.train(f);
+                    let tfidf = pipe.fitted_tfidf(subsample, cv.seed, Some(f), train_idx);
                     let dim = tfidf.vocabulary().len().max(1);
                     let mut train = Dataset::new(dim);
-                    for &i in &train_idx {
+                    for &i in train_idx {
                         train.push(weighting.vectorize(&tfidf, &docs_ref[i]), corpus.labels[i]);
                     }
                     let train = sampling.apply(&train, cv.seed);
@@ -240,38 +262,35 @@ pub fn evaluate_ngg(
     subsample: Option<usize>,
     cv: CvConfig,
 ) -> CvOutcome {
+    let store = ArtifactStore::new();
+    evaluate_ngg_in(Pipeline::new(&store, corpus), learner, subsample, cv)
+}
+
+/// [`evaluate_ngg`] against a shared artifact store: the joined document
+/// texts, fold split, and per-fold class graphs come from the pipeline.
+pub fn evaluate_ngg_in(
+    pipe: Pipeline<'_>,
+    learner: &dyn Learner,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> CvOutcome {
+    let corpus = pipe.corpus();
     assert!(!corpus.is_empty(), "corpus must not be empty");
-    let texts = ngg_document_texts(corpus, subsample, cv.seed);
-    let builder = NGramGraphBuilder::default();
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
-    let folds_ref = &folds;
-    let texts_ref = &texts;
+    let texts = pipe.ngg_texts(subsample, cv.seed);
+    let split = pipe.fold_split(cv.k, cv.seed);
+    let (split_ref, texts_ref) = (&split, &texts);
     let outcomes: Vec<FoldOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = folds_ref
-            .iter()
-            .enumerate()
-            .map(|(f, test_idx)| {
+        let handles: Vec<_> = (0..split_ref.k())
+            .map(|f| {
                 scope.spawn(move || {
-                    let train_idx: Vec<usize> = (0..corpus.len())
-                        .filter(|i| !test_idx.contains(i))
-                        .collect();
-                    let legit: Vec<&str> = train_idx
-                        .iter()
-                        .filter(|&&i| corpus.labels[i])
-                        .map(|&i| texts_ref[i].as_str())
-                        .collect();
-                    let illegit: Vec<&str> = train_idx
-                        .iter()
-                        .filter(|&&i| !corpus.labels[i])
-                        .map(|&i| texts_ref[i].as_str())
-                        .collect();
-                    let class_graphs =
-                        NggClassGraphs::build(builder, &legit, &illegit, cv.seed ^ (f as u64));
+                    let test_idx = split_ref.test(f);
+                    let train_idx = split_ref.train(f);
+                    let class_graphs = pipe.ngg_class_graphs(subsample, cv.seed, f, train_idx);
                     let featurize = |i: usize| -> SparseVector {
                         SparseVector::from_dense(&class_graphs.features(&texts_ref[i]).to_vec())
                     };
                     let mut train = Dataset::new(8);
-                    for &i in &train_idx {
+                    for &i in train_idx {
                         train.push(featurize(i), corpus.labels[i]);
                     }
                     let model = learner.fit(&train);
@@ -349,24 +368,29 @@ pub fn pharmacy_trust_scores(
 /// TrustRank score, seeded per fold by the training-fold legitimate
 /// pharmacies.
 pub fn evaluate_network(corpus: &ExtractedCorpus, cv: CvConfig) -> CvOutcome {
+    let store = ArtifactStore::new();
+    evaluate_network_in(Pipeline::new(&store, corpus), cv)
+}
+
+/// [`evaluate_network`] against a shared artifact store: the link graph
+/// is built once per store and the per-fold TrustRank score vectors are
+/// memoized by their seed set.
+pub fn evaluate_network_in(pipe: Pipeline<'_>, cv: CvConfig) -> CvOutcome {
+    let corpus = pipe.corpus();
     assert!(!corpus.is_empty(), "corpus must not be empty");
-    let artifacts = build_web_graph(corpus);
     let trust_config = TrustRankConfig::default();
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let split = pipe.fold_split(cv.k, cv.seed);
     let learner = GaussianNaiveBayes::default();
-    let mut outcomes = Vec::with_capacity(folds.len());
-    for test_idx in &folds {
-        let train_idx: Vec<usize> = (0..corpus.len())
-            .filter(|i| !test_idx.contains(i))
-            .collect();
+    let mut outcomes = Vec::with_capacity(split.k());
+    for (_, train_idx, test_idx) in split.iter() {
         let seed_idx: Vec<usize> = train_idx
             .iter()
             .copied()
             .filter(|&i| corpus.labels[i])
             .collect();
-        let trust = pharmacy_trust_scores(&artifacts, &seed_idx, &trust_config);
+        let trust = pipe.trust_scores(&trust_config, &seed_idx);
         let mut train = Dataset::new(1);
-        for &i in &train_idx {
+        for &i in train_idx {
             train.push(
                 SparseVector::from_pairs(vec![(0, trust[i])]),
                 corpus.labels[i],
@@ -406,6 +430,21 @@ pub fn evaluate_ensemble(
     subsample: Option<usize>,
     cv: CvConfig,
 ) -> EnsembleOutcome {
+    let store = ArtifactStore::new();
+    evaluate_ensemble_in(Pipeline::new(&store, corpus), subsample, cv)
+}
+
+/// [`evaluate_ensemble`] against a shared artifact store. The subsample
+/// draw, joined texts, fold split, and link graph are shared artifacts;
+/// the per-fold TF-IDF fit and class graphs are keyed by the ensemble's
+/// sub-training index set, so they never collide with (or shadow) the
+/// standard fold-training models of [`evaluate_tfidf_in`].
+pub fn evaluate_ensemble_in(
+    pipe: Pipeline<'_>,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> EnsembleOutcome {
+    let corpus = pipe.corpus();
     assert!(!corpus.is_empty(), "corpus must not be empty");
     const LIBRARY: &[(&str, TextLearnerKind, bool)] = &[
         // (name, learner kind, uses NGG features instead of TF-IDF)
@@ -415,24 +454,19 @@ pub fn evaluate_ensemble(
         ("MLP/ngg", TextLearnerKind::Mlp, true),
         ("NB/ngg", TextLearnerKind::Nb, true),
     ];
-    let docs = subsampled_documents(corpus, subsample, cv.seed);
-    let texts: Vec<String> = docs.iter().map(|d| d.join(" ")).collect();
-    let artifacts = build_web_graph(corpus);
+    let docs = pipe.subsampled_docs(subsample, cv.seed);
+    let texts = pipe.ngg_texts(subsample, cv.seed);
     let trust_config = TrustRankConfig::default();
-    let builder = NGramGraphBuilder::default();
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let split = pipe.fold_split(cv.k, cv.seed);
 
-    let mut outcomes = Vec::with_capacity(folds.len());
+    let mut outcomes = Vec::with_capacity(split.k());
     let mut composition: Vec<(&'static str, usize)> = LIBRARY
         .iter()
         .map(|&(name, _, _)| (name, 0))
         .chain(std::iter::once(("NB/network", 0)))
         .collect();
 
-    for (f, test_idx) in folds.iter().enumerate() {
-        let train_idx: Vec<usize> = (0..corpus.len())
-            .filter(|i| !test_idx.contains(i))
-            .collect();
+    for (f, train_idx, test_idx) in split.iter() {
         // Hold out a stratified fifth of the training split for
         // hillclimbing.
         let train_labels: Vec<bool> = train_idx.iter().map(|&i| corpus.labels[i]).collect();
@@ -452,22 +486,11 @@ pub fn evaluate_ensemble(
         let mut test_scores: Vec<Vec<f64>> = Vec::new();
 
         // TF-IDF view.
-        let sub_docs: Vec<&Vec<String>> = sub_idx.iter().map(|&i| &docs[i]).collect();
-        let tfidf = TfIdfModel::fit(&sub_docs[..]);
-        let tfidf_ref = &tfidf;
+        let tfidf = pipe.fitted_tfidf(subsample, cv.seed, Some(f), &sub_idx);
+        let tfidf_ref: &TfIdfModel = &tfidf;
         let dim = tfidf.vocabulary().len().max(1);
         // NGG view.
-        let legit: Vec<&str> = sub_idx
-            .iter()
-            .filter(|&&i| corpus.labels[i])
-            .map(|&i| texts[i].as_str())
-            .collect();
-        let illegit: Vec<&str> = sub_idx
-            .iter()
-            .filter(|&&i| !corpus.labels[i])
-            .map(|&i| texts[i].as_str())
-            .collect();
-        let class_graphs = NggClassGraphs::build(builder, &legit, &illegit, cv.seed ^ (f as u64));
+        let class_graphs = pipe.ngg_class_graphs(subsample, cv.seed, f, &sub_idx);
         let ngg_vec = |i: usize| -> SparseVector {
             SparseVector::from_dense(&class_graphs.features(&texts[i]).to_vec())
         };
@@ -518,7 +541,7 @@ pub fn evaluate_ensemble(
             .copied()
             .filter(|&i| corpus.labels[i])
             .collect();
-        let trust = pharmacy_trust_scores(&artifacts, &seed_idx, &trust_config);
+        let trust = pipe.trust_scores(&trust_config, &seed_idx);
         let mut net_train = Dataset::new(1);
         for &i in &sub_idx {
             net_train.push(

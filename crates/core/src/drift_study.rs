@@ -12,10 +12,10 @@
 //! (Table 17) — "the two most meaningful classification measures for our
 //! problem".
 
-use crate::classify::{evaluate_tfidf, subsampled_documents, CvConfig, TextLearnerKind};
+use crate::classify::{evaluate_tfidf_in, CvConfig, TextLearnerKind};
 use crate::features::ExtractedCorpus;
+use crate::pipeline::{ArtifactStore, Pipeline};
 use pharmaverify_ml::{Dataset, EvalSummary, Sampling};
-use pharmaverify_text::TfIdfModel;
 
 /// One cell of Tables 16/17.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,14 +56,39 @@ pub fn train_old_test_new(
     subsample: Option<usize>,
     seed: u64,
 ) -> EvalSummary {
+    let store = ArtifactStore::new();
+    train_old_test_new_in(
+        Pipeline::new(&store, old),
+        Pipeline::new(&store, new),
+        kind,
+        sampling,
+        subsample,
+        seed,
+    )
+}
+
+/// [`train_old_test_new`] against shared artifact stores: one pipeline
+/// per corpus (they may share the underlying store — the corpus
+/// fingerprint keeps the two datasets' artifacts apart).
+pub fn train_old_test_new_in(
+    old_pipe: Pipeline<'_>,
+    new_pipe: Pipeline<'_>,
+    kind: TextLearnerKind,
+    sampling: Sampling,
+    subsample: Option<usize>,
+    seed: u64,
+) -> EvalSummary {
+    let old = old_pipe.corpus();
+    let new = new_pipe.corpus();
     assert!(
         !old.is_empty() && !new.is_empty(),
         "corpora must not be empty"
     );
-    let old_docs = subsampled_documents(old, subsample, seed);
-    let new_docs = subsampled_documents(new, subsample, seed ^ NEW_SEED);
+    let old_docs = old_pipe.subsampled_docs(subsample, seed);
+    let new_docs = new_pipe.subsampled_docs(subsample, seed ^ NEW_SEED);
     let weighting = kind.weighting();
-    let tfidf = TfIdfModel::fit(&old_docs[..]);
+    let all_old: Vec<usize> = (0..old.len()).collect();
+    let tfidf = old_pipe.fitted_tfidf(subsample, seed, None, &all_old);
     let dim = tfidf.vocabulary().len().max(1);
     let mut train = Dataset::new(dim);
     for (doc, &label) in old_docs.iter().zip(&old.labels) {
@@ -73,7 +98,7 @@ pub fn train_old_test_new(
     let model = kind.learner().fit(&train);
     let mut scores = Vec::with_capacity(new.len());
     let mut predictions = Vec::with_capacity(new.len());
-    for doc in &new_docs {
+    for doc in new_docs.iter() {
         let x = weighting.vectorize(&tfidf, doc);
         scores.push(model.score(&x));
         predictions.push(model.predict(&x));
@@ -90,13 +115,49 @@ pub fn drift_row(
     subsample: Option<usize>,
     cv: CvConfig,
 ) -> DriftRow {
+    let store = ArtifactStore::new();
+    drift_row_in(
+        Pipeline::new(&store, old),
+        Pipeline::new(&store, new),
+        kind,
+        sampling,
+        subsample,
+        cv,
+    )
+}
+
+/// [`drift_row`] against shared artifact stores: the Old-Old and Old-New
+/// scenarios share Dataset 1's subsample draw, and repeated rows share
+/// both corpora's fold splits and fitted models across classifiers.
+pub fn drift_row_in(
+    old_pipe: Pipeline<'_>,
+    new_pipe: Pipeline<'_>,
+    kind: TextLearnerKind,
+    sampling: Sampling,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> DriftRow {
     let learner = kind.learner();
     let weighting = kind.weighting();
-    let old_old =
-        evaluate_tfidf(old, learner.as_ref(), sampling, weighting, subsample, cv).aggregate();
-    let new_new =
-        evaluate_tfidf(new, learner.as_ref(), sampling, weighting, subsample, cv).aggregate();
-    let old_new = train_old_test_new(old, new, kind, sampling, subsample, cv.seed);
+    let old_old = evaluate_tfidf_in(
+        old_pipe,
+        learner.as_ref(),
+        sampling,
+        weighting,
+        subsample,
+        cv,
+    )
+    .aggregate();
+    let new_new = evaluate_tfidf_in(
+        new_pipe,
+        learner.as_ref(),
+        sampling,
+        weighting,
+        subsample,
+        cv,
+    )
+    .aggregate();
+    let old_new = train_old_test_new_in(old_pipe, new_pipe, kind, sampling, subsample, cv.seed);
     DriftRow {
         old_old: old_old.into(),
         new_new: new_new.into(),

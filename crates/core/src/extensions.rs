@@ -20,10 +20,10 @@
 //!   space and trains a single discriminative model on it.
 
 use crate::classify::{
-    build_web_graph, ngg_document_texts, pharmacy_trust_scores, subsampled_documents, CvConfig,
-    NetworkArtifacts, TextLearnerKind,
+    build_web_graph, pharmacy_trust_scores, CvConfig, NetworkArtifacts, TextLearnerKind,
 };
 use crate::features::ExtractedCorpus;
+use crate::pipeline::{ArtifactStore, Pipeline};
 use pharmaverify_corpus::Snapshot;
 use pharmaverify_crawl::{CrawlConfig, Crawler, Url};
 use pharmaverify_ml::{
@@ -31,8 +31,7 @@ use pharmaverify_ml::{
     HybridNaiveBayes, Learner, Sampling,
 };
 use pharmaverify_net::{anti_trust_rank, trust_rank, NodeId, TrustRankConfig};
-use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
-use pharmaverify_text::{SparseVector, TfIdfModel};
+use pharmaverify_text::SparseVector;
 use std::collections::BTreeMap;
 
 /// Crawls the snapshot's non-pharmacy health portals and returns each
@@ -248,42 +247,40 @@ pub fn evaluate_combined(
     subsample: Option<usize>,
     cv: CvConfig,
 ) -> CvOutcome {
-    assert!(!corpus.is_empty(), "corpus must not be empty");
-    let docs = subsampled_documents(corpus, subsample, cv.seed);
-    let texts = ngg_document_texts(corpus, subsample, cv.seed);
-    let artifacts = build_web_graph(corpus);
-    let trust_config = TrustRankConfig::default();
-    let builder = NGramGraphBuilder::default();
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
-    let mut outcomes = Vec::with_capacity(folds.len());
+    let store = ArtifactStore::new();
+    evaluate_combined_in(Pipeline::new(&store, corpus), subsample, cv)
+}
 
-    for (f, test_idx) in folds.iter().enumerate() {
-        let train_idx: Vec<usize> = (0..corpus.len())
-            .filter(|i| !test_idx.contains(i))
-            .collect();
+/// [`evaluate_combined`] against a shared artifact store: every view it
+/// concatenates (subsample draw, per-fold TF-IDF model, class graphs,
+/// link graph, TrustRank vectors) is the same artifact the single-view
+/// pipelines request, so the combined run costs only the final SVM fit.
+pub fn evaluate_combined_in(
+    pipe: Pipeline<'_>,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> CvOutcome {
+    let corpus = pipe.corpus();
+    assert!(!corpus.is_empty(), "corpus must not be empty");
+    let docs = pipe.subsampled_docs(subsample, cv.seed);
+    let texts = pipe.ngg_texts(subsample, cv.seed);
+    let trust_config = TrustRankConfig::default();
+    let split = pipe.fold_split(cv.k, cv.seed);
+    let mut outcomes = Vec::with_capacity(split.k());
+
+    for (f, train_idx, test_idx) in split.iter() {
         // Text view.
-        let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
-        let tfidf = TfIdfModel::fit(&train_docs[..]);
+        let tfidf = pipe.fitted_tfidf(subsample, cv.seed, Some(f), train_idx);
         let text_dim = tfidf.vocabulary().len().max(1) as u32;
         // NGG view.
-        let legit: Vec<&str> = train_idx
-            .iter()
-            .filter(|&&i| corpus.labels[i])
-            .map(|&i| texts[i].as_str())
-            .collect();
-        let illegit: Vec<&str> = train_idx
-            .iter()
-            .filter(|&&i| !corpus.labels[i])
-            .map(|&i| texts[i].as_str())
-            .collect();
-        let class_graphs = NggClassGraphs::build(builder, &legit, &illegit, cv.seed ^ (f as u64));
+        let class_graphs = pipe.ngg_class_graphs(subsample, cv.seed, f, train_idx);
         // Network view.
         let good_seeds: Vec<usize> = train_idx
             .iter()
             .copied()
             .filter(|&i| corpus.labels[i])
             .collect();
-        let trust = pharmacy_trust_scores(&artifacts, &good_seeds, &trust_config);
+        let trust = pipe.trust_scores(&trust_config, &good_seeds);
 
         let featurize = |i: usize| -> SparseVector {
             let mut pairs: Vec<(u32, f64)> = tfidf.transform(&docs[i]).iter().collect();
@@ -296,7 +293,7 @@ pub fn evaluate_combined(
             SparseVector::from_pairs(pairs)
         };
         let mut train = Dataset::new(text_dim as usize + 9);
-        for &i in &train_idx {
+        for &i in train_idx {
             train.push(featurize(i), corpus.labels[i]);
         }
         let train = Sampling::None.apply(&train, cv.seed);

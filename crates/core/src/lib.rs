@@ -24,6 +24,9 @@
 //!   with non-pharmacy referrers, Anti-TrustRank distrust, and combined
 //!   text + network features;
 //! * [`outliers`] — the ranking-outlier analysis of §6.4;
+//! * [`pipeline`] — the artifact pipeline layer: a typed memo store over
+//!   the stages' intermediate products (subsamples, fold splits, fitted
+//!   models, graphs) plus a deterministic scoped-thread executor;
 //! * [`report`] — table rendering for the experiment harness;
 //! * [`system`] — the [`VerificationSystem`] facade.
 
@@ -32,18 +35,23 @@ pub mod drift_study;
 pub mod extensions;
 pub mod features;
 pub mod outliers;
+pub mod pipeline;
 pub mod rank;
 pub mod report;
 pub mod system;
 pub mod verifier;
 
 pub use classify::{
-    evaluate_ensemble, evaluate_network, evaluate_ngg, evaluate_tfidf, CvConfig, EnsembleOutcome,
+    evaluate_ensemble, evaluate_ensemble_in, evaluate_network, evaluate_network_in, evaluate_ngg,
+    evaluate_ngg_in, evaluate_tfidf, evaluate_tfidf_in, CvConfig, EnsembleOutcome,
     NetworkArtifacts, TextLearnerKind,
 };
 pub use features::{extract_corpus, ExtractedCorpus};
 pub use outliers::{ranking_outliers, OutlierReport};
-pub use rank::{evaluate_ranking, RankingMethod, RankingOutcome};
+pub use pipeline::{
+    corpus_fingerprint, ArtifactKey, ArtifactStore, CacheCounters, Executor, Pipeline, Stage,
+};
+pub use rank::{evaluate_ranking, evaluate_ranking_in, RankingMethod, RankingOutcome};
 pub use report::Table;
 pub use system::{SystemConfig, VerificationSystem};
 pub use verifier::{TrainedVerifier, Verdict, VerifyError};

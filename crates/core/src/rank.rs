@@ -14,17 +14,13 @@
 //! model that never saw it. Quality is measured by pairwise orderedness
 //! (§6.2).
 
-use crate::classify::{
-    build_web_graph, ngg_document_texts, pharmacy_trust_scores, subsampled_documents, CvConfig,
-    TextLearnerKind,
-};
+use crate::classify::{CvConfig, TextLearnerKind};
 use crate::features::ExtractedCorpus;
+use crate::pipeline::{ArtifactStore, Pipeline};
 use pharmaverify_corpus::SiteProfile;
 use pharmaverify_ml::metrics::pairwise_orderedness;
-use pharmaverify_ml::{stratified_folds, Dataset, Sampling};
+use pharmaverify_ml::{Dataset, Sampling};
 use pharmaverify_net::TrustRankConfig;
-use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
-use pharmaverify_text::TfIdfModel;
 
 /// Which text model produces `textRank`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,43 +83,56 @@ pub struct RankingOutcome {
 }
 
 /// Runs the ranking pipeline and evaluates pairwise orderedness.
+///
+/// Convenience wrapper over [`evaluate_ranking_in`] with a transient
+/// artifact store.
 pub fn evaluate_ranking(
     corpus: &ExtractedCorpus,
     method: RankingMethod,
     subsample: Option<usize>,
     cv: CvConfig,
 ) -> RankingOutcome {
+    let store = ArtifactStore::new();
+    evaluate_ranking_in(Pipeline::new(&store, corpus), method, subsample, cv)
+}
+
+/// [`evaluate_ranking`] against a shared artifact store. The per-fold
+/// TF-IDF models, class graphs, and TrustRank vectors are the same
+/// artifacts the classification pipelines request, so ranking a corpus
+/// after classifying it recomputes nothing.
+pub fn evaluate_ranking_in(
+    pipe: Pipeline<'_>,
+    method: RankingMethod,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> RankingOutcome {
+    let corpus = pipe.corpus();
     assert!(!corpus.is_empty(), "corpus must not be empty");
-    let artifacts = build_web_graph(corpus);
     let trust_config = TrustRankConfig::default();
-    let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
+    let split = pipe.fold_split(cv.k, cv.seed);
     let mut text_rank = vec![0.0; corpus.len()];
     let mut network_rank = vec![0.0; corpus.len()];
 
-    for (f, test_idx) in folds.iter().enumerate() {
-        let train_idx: Vec<usize> = (0..corpus.len())
-            .filter(|i| !test_idx.contains(i))
-            .collect();
+    for (f, train_idx, test_idx) in split.iter() {
         // networkRank: trust seeded by the training-fold legitimate sites.
         let seed_idx: Vec<usize> = train_idx
             .iter()
             .copied()
             .filter(|&i| corpus.labels[i])
             .collect();
-        let trust = pharmacy_trust_scores(&artifacts, &seed_idx, &trust_config);
+        let trust = pipe.trust_scores(&trust_config, &seed_idx);
         for &i in test_idx {
             network_rank[i] = trust[i];
         }
         // textRank: per method.
         match method {
             RankingMethod::TfIdf { kind, sampling } => {
-                let docs = subsampled_documents(corpus, subsample, cv.seed);
-                let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
+                let docs = pipe.subsampled_docs(subsample, cv.seed);
                 let weighting = kind.weighting();
-                let tfidf = TfIdfModel::fit(&train_docs[..]);
+                let tfidf = pipe.fitted_tfidf(subsample, cv.seed, Some(f), train_idx);
                 let dim = tfidf.vocabulary().len().max(1);
                 let mut train = Dataset::new(dim);
-                for &i in &train_idx {
+                for &i in train_idx {
                     train.push(weighting.vectorize(&tfidf, &docs[i]), corpus.labels[i]);
                 }
                 let train = sampling.apply(&train, cv.seed);
@@ -144,23 +153,8 @@ pub fn evaluate_ranking(
                 }
             }
             RankingMethod::NggEquation3 => {
-                let texts = ngg_document_texts(corpus, subsample, cv.seed);
-                let legit: Vec<&str> = train_idx
-                    .iter()
-                    .filter(|&&i| corpus.labels[i])
-                    .map(|&i| texts[i].as_str())
-                    .collect();
-                let illegit: Vec<&str> = train_idx
-                    .iter()
-                    .filter(|&&i| !corpus.labels[i])
-                    .map(|&i| texts[i].as_str())
-                    .collect();
-                let class_graphs = NggClassGraphs::build(
-                    NGramGraphBuilder::default(),
-                    &legit,
-                    &illegit,
-                    cv.seed ^ (f as u64),
-                );
+                let texts = pipe.ngg_texts(subsample, cv.seed);
+                let class_graphs = pipe.ngg_class_graphs(subsample, cv.seed, f, train_idx);
                 for &i in test_idx {
                     text_rank[i] = class_graphs.features(&texts[i]).text_rank();
                 }

@@ -7,15 +7,17 @@
 //! facade.
 
 use crate::classify::{
-    evaluate_ensemble, evaluate_network, evaluate_ngg, evaluate_tfidf, CvConfig, EnsembleOutcome,
-    TextLearnerKind,
+    evaluate_ensemble_in, evaluate_network_in, evaluate_ngg_in, evaluate_tfidf_in, CvConfig,
+    EnsembleOutcome, TextLearnerKind,
 };
 use crate::features::{extract_corpus, ExtractError, ExtractedCorpus};
-use crate::rank::{evaluate_ranking, RankingMethod, RankingOutcome};
+use crate::pipeline::{ArtifactStore, CacheCounters, Pipeline};
+use crate::rank::{evaluate_ranking_in, RankingMethod, RankingOutcome};
 use pharmaverify_corpus::Snapshot;
 use pharmaverify_crawl::CrawlConfig;
 use pharmaverify_ml::CvOutcome;
 use std::fmt;
+use std::sync::Arc;
 
 /// Configuration of the full system.
 #[derive(Debug, Clone)]
@@ -89,20 +91,38 @@ impl fmt::Display for SystemError {
 impl std::error::Error for SystemError {}
 
 /// The automated internet-pharmacy verification system.
+///
+/// Holds a shared [`ArtifactStore`], so repeated evaluations of the same
+/// snapshot reuse the subsample draws, fold splits, fitted models, and
+/// link graphs across calls (clones share the store).
 #[derive(Debug, Clone, Default)]
 pub struct VerificationSystem {
     config: SystemConfig,
+    store: Arc<ArtifactStore>,
 }
 
 impl VerificationSystem {
     /// Creates a system with the given configuration.
     pub fn new(config: SystemConfig) -> Self {
-        VerificationSystem { config }
+        VerificationSystem {
+            config,
+            store: Arc::new(ArtifactStore::new()),
+        }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
+    }
+
+    /// The shared artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Per-stage cache hit/miss counters of the shared store.
+    pub fn cache_counters(&self) -> Vec<CacheCounters> {
+        self.store.counters()
     }
 
     /// Crawls and preprocesses a snapshot.
@@ -155,8 +175,8 @@ impl VerificationSystem {
     ) -> Result<CvOutcome, SystemError> {
         let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
-        Ok(evaluate_tfidf(
-            &corpus,
+        Ok(evaluate_tfidf_in(
+            Pipeline::new(&self.store, &corpus),
             kind.learner().as_ref(),
             kind.paper_sampling(),
             kind.weighting(),
@@ -174,8 +194,8 @@ impl VerificationSystem {
     ) -> Result<CvOutcome, SystemError> {
         let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
-        Ok(evaluate_ngg(
-            &corpus,
+        Ok(evaluate_ngg_in(
+            Pipeline::new(&self.store, &corpus),
             kind.ngg_learner().as_ref(),
             self.config.subsample,
             self.cv(seed),
@@ -190,7 +210,10 @@ impl VerificationSystem {
     ) -> Result<CvOutcome, SystemError> {
         let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
-        Ok(evaluate_network(&corpus, self.cv(seed)))
+        Ok(evaluate_network_in(
+            Pipeline::new(&self.store, &corpus),
+            self.cv(seed),
+        ))
     }
 
     /// Cross-validated ensemble selection over text + network models.
@@ -201,8 +224,8 @@ impl VerificationSystem {
     ) -> Result<EnsembleOutcome, SystemError> {
         let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
-        Ok(evaluate_ensemble(
-            &corpus,
+        Ok(evaluate_ensemble_in(
+            Pipeline::new(&self.store, &corpus),
             self.config.subsample,
             self.cv(seed),
         ))
@@ -217,8 +240,8 @@ impl VerificationSystem {
     ) -> Result<RankingOutcome, SystemError> {
         let corpus = self.extract(snapshot)?;
         self.validate(&corpus)?;
-        Ok(evaluate_ranking(
-            &corpus,
+        Ok(evaluate_ranking_in(
+            Pipeline::new(&self.store, &corpus),
             method,
             self.config.subsample,
             self.cv(seed),

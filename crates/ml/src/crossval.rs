@@ -38,6 +38,74 @@ pub fn stratified_folds(labels: &[bool], k: usize, seed: u64) -> Vec<Vec<usize>>
     folds
 }
 
+/// A reusable stratified k-fold split: per-fold test indices *and* their
+/// precomputed training complements.
+///
+/// [`stratified_folds`] returns only the test side; every consumer then
+/// rebuilt the training side with an `O(n · k)` membership scan per fold.
+/// `FoldSplit` does that complement computation once, so the split can be
+/// shared as a cached artifact across every pipeline that uses the same
+/// `(labels, k, seed)` — the fold assignment is the backbone of the whole
+/// evaluation and must be bit-identical everywhere.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoldSplit {
+    test: Vec<Vec<usize>>,
+    train: Vec<Vec<usize>>,
+}
+
+impl FoldSplit {
+    /// Builds the stratified split (see [`stratified_folds`]) and its
+    /// training complements. Both sides are in ascending index order.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` or `k > labels.len()` (via [`stratified_folds`]).
+    pub fn stratified(labels: &[bool], k: usize, seed: u64) -> FoldSplit {
+        let test = stratified_folds(labels, k, seed);
+        let n = labels.len();
+        let train = test
+            .iter()
+            .map(|fold| {
+                let mut in_test = vec![false; n];
+                for &i in fold {
+                    in_test[i] = true;
+                }
+                (0..n).filter(|&i| !in_test[i]).collect()
+            })
+            .collect();
+        FoldSplit { test, train }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.test.len()
+    }
+
+    /// Test indices of fold `f`, ascending.
+    pub fn test(&self, f: usize) -> &[usize] {
+        &self.test[f]
+    }
+
+    /// Training indices of fold `f` (the complement of [`FoldSplit::test`]),
+    /// ascending.
+    pub fn train(&self, f: usize) -> &[usize] {
+        &self.train[f]
+    }
+
+    /// All test folds, in fold order.
+    pub fn test_folds(&self) -> &[Vec<usize>] {
+        &self.test
+    }
+
+    /// Iterates `(fold, train indices, test indices)` in fold order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize], &[usize])> {
+        self.train
+            .iter()
+            .zip(&self.test)
+            .enumerate()
+            .map(|(f, (train, test))| (f, train.as_slice(), test.as_slice()))
+    }
+}
+
 /// The measurements of one cross-validation fold.
 #[derive(Debug, Clone)]
 pub struct FoldOutcome {
@@ -119,17 +187,16 @@ impl CrossValidation {
     /// Runs cross-validation of `learner` over `data`, training folds in
     /// parallel on scoped threads.
     pub fn run(&self, data: &Dataset, learner: &dyn Learner) -> CvOutcome {
-        let folds = stratified_folds(data.labels(), self.k, self.seed);
+        let split = FoldSplit::stratified(data.labels(), self.k, self.seed);
+        let split_ref = &split;
         let sampling = self.sampling;
         let seed = self.seed;
         let outcomes: Vec<FoldOutcome> = std::thread::scope(|scope| {
-            let handles: Vec<_> = folds
-                .iter()
-                .map(|test_idx| {
+            let handles: Vec<_> = (0..split_ref.k())
+                .map(|f| {
                     scope.spawn(move || {
-                        let train_idx: Vec<usize> =
-                            (0..data.len()).filter(|i| !test_idx.contains(i)).collect();
-                        let train = sampling.apply(&data.subset(&train_idx), seed);
+                        let test_idx = split_ref.test(f);
+                        let train = sampling.apply(&data.subset(split_ref.train(f)), seed);
                         let model = learner.fit(&train);
                         let labels: Vec<bool> = test_idx.iter().map(|&i| data.y(i)).collect();
                         let scores: Vec<f64> =
@@ -196,6 +263,26 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn single_fold_panics() {
         stratified_folds(&labels(2, 2), 1, 0);
+    }
+
+    #[test]
+    fn fold_split_matches_stratified_folds() {
+        let y = labels(12, 88);
+        let split = FoldSplit::stratified(&y, 3, 7);
+        assert_eq!(split.test_folds(), &stratified_folds(&y, 3, 7)[..]);
+        assert_eq!(split.k(), 3);
+    }
+
+    #[test]
+    fn fold_split_train_is_the_sorted_complement() {
+        let y = labels(10, 20);
+        let split = FoldSplit::stratified(&y, 3, 1);
+        for (f, train, test) in split.iter() {
+            let rebuilt: Vec<usize> = (0..y.len()).filter(|i| !test.contains(i)).collect();
+            assert_eq!(train, &rebuilt[..], "fold {f}");
+            assert!(train.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(train.len() + test.len(), y.len());
+        }
     }
 
     fn separable_dataset() -> Dataset {

@@ -46,7 +46,7 @@ pub mod svm;
 pub mod tree;
 
 pub use calibration::PlattScaler;
-pub use crossval::{stratified_folds, CrossValidation, CvOutcome, FoldOutcome};
+pub use crossval::{stratified_folds, CrossValidation, CvOutcome, FoldOutcome, FoldSplit};
 pub use dataset::{Dataset, DatasetError};
 pub use ensemble::{greedy_auc_selection, EnsembleSelection, EnsembleSelectionConfig};
 pub use feature_select::{information_gain, project, top_k_features};

@@ -1,8 +1,10 @@
 //! Determinism audit: the reproduction's headline guarantee is that the
-//! whole experiment is a pure function of its seed. The audit runs the
-//! table harness twice at the small scale with the same seed and requires
-//! the two outputs to be byte-identical — any hash-order leak, time
-//! dependence, or thread-scheduling sensitivity shows up as a diff.
+//! whole experiment is a pure function of its seed — independent of
+//! thread scheduling. The audit runs the table harness twice at the small
+//! scale with the same seed, once single-threaded (`PHARMAVERIFY_JOBS=1`)
+//! and once with four workers, and requires the two outputs to be
+//! byte-identical — any hash-order leak, time dependence, or
+//! thread-scheduling sensitivity shows up as a diff.
 
 use std::path::Path;
 use std::process::Command;
@@ -28,34 +30,39 @@ const REPRO_ARGS: &[&str] = &[
     "small",
 ];
 
-/// Runs the table harness twice and compares outputs byte-for-byte.
+/// Runs the table harness serially and with four workers and compares
+/// outputs byte-for-byte.
 pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
-    let first = run_harness(workspace_root)?;
-    let second = run_harness(workspace_root)?;
-    if first == second {
-        return Ok(AuditReport { bytes: first.len() });
+    let serial = run_harness(workspace_root, "1")?;
+    let parallel = run_harness(workspace_root, "4")?;
+    if serial == parallel {
+        return Ok(AuditReport {
+            bytes: serial.len(),
+        });
     }
-    let at = first
+    let at = serial
         .iter()
-        .zip(&second)
+        .zip(&parallel)
         .position(|(a, b)| a != b)
-        .unwrap_or(first.len().min(second.len()));
-    let context = String::from_utf8_lossy(&first[at.saturating_sub(40)..first.len().min(at + 40)])
-        .into_owned();
+        .unwrap_or(serial.len().min(parallel.len()));
+    let context =
+        String::from_utf8_lossy(&serial[at.saturating_sub(40)..serial.len().min(at + 40)])
+            .into_owned();
     Err(format!(
-        "harness output differs between identically-seeded runs \
-         (lengths {} vs {}, first divergence at byte {at}, near {context:?})",
-        first.len(),
-        second.len(),
+        "harness output differs between serial and 4-worker runs of the \
+         same seed (lengths {} vs {}, first divergence at byte {at}, near {context:?})",
+        serial.len(),
+        parallel.len(),
     ))
 }
 
-fn run_harness(workspace_root: &Path) -> Result<Vec<u8>, String> {
+fn run_harness(workspace_root: &Path, jobs: &str) -> Result<Vec<u8>, String> {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let output = Command::new(cargo)
         .args(REPRO_ARGS)
         .current_dir(workspace_root)
         .env("PHARMAVERIFY_SCALE", "small")
+        .env("PHARMAVERIFY_JOBS", jobs)
         .output()
         .map_err(|e| format!("cannot spawn harness: {e}"))?;
     if !output.status.success() {

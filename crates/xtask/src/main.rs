@@ -73,7 +73,7 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
         ok &= report_tool("cargo clippy", tools::clippy_check(&root));
     }
     if run("determinism") {
-        println!("determinism: running the table harness twice (seeded)...");
+        println!("determinism: running the table harness serial vs 4-worker (seeded)...");
         match audit::run(&root) {
             Ok(report) => {
                 println!("determinism: ok ({} bytes byte-identical)", report.bytes);
