@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N]
+//!       [--fault-rate F]
 //! ```
 //!
 //! With no selection, every table and figure is printed. Scale defaults
 //! to the `PHARMAVERIFY_SCALE` environment variable, then to `paper`;
 //! worker count defaults to `PHARMAVERIFY_JOBS`, then to the available
-//! cores. Tables go to stdout; progress, per-stage timings, and artifact
-//! cache statistics go to stderr, so redirected output stays clean.
+//! cores. `--fault-rate F` (0 < F ≤ 1) appends the fault-injection
+//! robustness study after the regular output; the rest of the report is
+//! byte-identical to a run without the flag. Tables go to stdout;
+//! progress, per-stage timings, and artifact cache statistics go to
+//! stderr, so redirected output stays clean.
 
-use pharmaverify_bench::{render_report, ReproContext, Scale, Selection};
+use pharmaverify_bench::{render_report_with, ReproContext, Scale, Selection};
 use pharmaverify_core::pipeline::Executor;
 use std::time::Instant;
 
@@ -24,6 +28,7 @@ fn main() {
         std::process::exit(2);
     });
     let mut sel = Selection::everything();
+    let mut fault_rate = 0.0_f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -70,9 +75,22 @@ fn main() {
                     }
                 }
             }
+            "--fault-rate" => {
+                let value = args.next().unwrap_or_default();
+                match value.parse::<f64>() {
+                    Ok(f) if (0.0..=1.0).contains(&f) => {
+                        fault_rate = f;
+                    }
+                    _ => {
+                        eprintln!("--fault-rate expects a number in [0, 1], got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N]"
+                    "repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N] \
+                     [--fault-rate F]"
                 );
                 return;
             }
@@ -100,7 +118,7 @@ fn main() {
         exec.jobs()
     );
 
-    let report = render_report(&ctx, &sel, exec);
+    let report = render_report_with(&ctx, &sel, exec, fault_rate);
     print!("{}", report.output);
 
     for (name, secs) in &report.timings {

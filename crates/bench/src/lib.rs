@@ -27,4 +27,4 @@ pub mod report;
 pub mod tables;
 
 pub use context::{ReproContext, Scale, ScaleError};
-pub use report::{render_report, ReproReport, Selection};
+pub use report::{render_report, render_report_with, ReproReport, Selection};

@@ -90,6 +90,7 @@ enum Section {
     AblFeatureSelection,
     FutureNetwork,
     FutureCombined,
+    Robustness,
 }
 
 impl Section {
@@ -111,6 +112,7 @@ impl Section {
             Section::AblFeatureSelection => "ablation (feature selection)",
             Section::FutureNetwork => "future work (network)",
             Section::FutureCombined => "future work (combined)",
+            Section::Robustness => "robustness (fault injection)",
         }
     }
 }
@@ -139,6 +141,7 @@ fn run_section(
     ctx: &ReproContext,
     sel: &Selection,
     exec: Executor,
+    fault_rate: f64,
     section: Section,
 ) -> SectionOut {
     let started = Instant::now();
@@ -217,6 +220,9 @@ fn run_section(
         }
         Section::FutureNetwork => push_table(&mut text, &tables::future_work_network(ctx)),
         Section::FutureCombined => push_table(&mut text, &tables::future_work_combined(ctx)),
+        Section::Robustness => {
+            push_table(&mut text, &tables::robustness_study(ctx, exec, fault_rate));
+        }
     }
     SectionOut {
         section,
@@ -232,6 +238,21 @@ fn run_section(
 /// within them) across `exec`. The returned output is byte-identical for
 /// any executor width.
 pub fn render_report(ctx: &ReproContext, sel: &Selection, exec: Executor) -> ReproReport {
+    render_report_with(ctx, sel, exec, 0.0)
+}
+
+/// [`render_report`] plus the fault-injection robustness study: when
+/// `fault_rate > 0`, a robustness section (OPC/OPR at fault rates 0,
+/// rate/4, rate/2, rate) is appended *after* every other section, so the
+/// fault-free prefix of the output stays byte-identical to a plain
+/// [`render_report`] run. A `fault_rate` of 0 renders no extra section
+/// at all.
+pub fn render_report_with(
+    ctx: &ReproContext,
+    sel: &Selection,
+    exec: Executor,
+    fault_rate: f64,
+) -> ReproReport {
     let mut plan: Vec<Section> = Vec::new();
     if sel.wants_table(1) {
         plan.push(Section::Table1);
@@ -271,12 +292,18 @@ pub fn render_report(ctx: &ReproContext, sel: &Selection, exec: Executor) -> Rep
             Section::FutureCombined,
         ]);
     }
+    // The robustness study goes last so a faulted run's output is the
+    // fault-free output plus a suffix.
+    if fault_rate > 0.0 {
+        plan.push(Section::Robustness);
+    }
 
     // Phase one: every section is independent; the executor preserves
     // index (= output) order.
     let plan_ref = &plan;
-    let sections: Vec<SectionOut> =
-        exec.run(plan.len(), |i| run_section(ctx, sel, exec, plan_ref[i]));
+    let sections: Vec<SectionOut> = exec.run(plan.len(), |i| {
+        run_section(ctx, sel, exec, fault_rate, plan_ref[i])
+    });
 
     // Phase two: Table 14 needs the NGG grid's best text model and the
     // network summary. Both are Some whenever table 14 is selected: the

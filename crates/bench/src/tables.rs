@@ -10,15 +10,17 @@
 //! across it; results are assembled in a fixed order, so the rendered
 //! tables are byte-identical at any thread count.
 
-use crate::context::ReproContext;
+use crate::context::{ReproContext, REPRO_SEED};
 use pharmaverify_core::classify::{
     evaluate_ensemble_in, evaluate_network_in, evaluate_ngg_in, evaluate_tfidf_in, CvConfig,
     TextLearnerKind,
 };
 use pharmaverify_core::drift_study;
+use pharmaverify_core::features::extract_corpus_from;
 use pharmaverify_core::pipeline::{Executor, Pipeline};
 use pharmaverify_core::rank::{evaluate_ranking_in, RankingMethod};
 use pharmaverify_core::report::{abbreviations, Table};
+use pharmaverify_crawl::{CrawlConfig, FaultConfig, FaultyWeb};
 use pharmaverify_ml::{CvOutcome, Dataset, EvalSummary, FoldOutcome, Learner, Sampling};
 use pharmaverify_net::top_linked;
 use pharmaverify_text::SparseVector;
@@ -927,6 +929,91 @@ pub fn ablation_feature_selection(ctx: &ReproContext) -> Table {
             Table::fmt2(s.legitimate.recall),
             Table::fmt2(s.legitimate.precision),
             Table::fmt2(s.auc),
+        ]);
+    }
+    t
+}
+
+/// Robustness study: OPC quality (accuracy, AUC of the paper's primary
+/// NBM classifier) and OPR pairwise orderedness as a function of the
+/// injected fault rate. Dataset 1 is re-crawled through a seeded
+/// [`FaultyWeb`] at each rate — rate 0 reproduces the clean corpus
+/// exactly (and therefore shares its cached artifacts), while nonzero
+/// rates degrade summaries through retry exhaustion and breaker trips.
+/// The fault universe derives from the corpus RNG seed, never the wall
+/// clock, so two runs at the same rate are byte-identical.
+pub fn robustness_study(ctx: &ReproContext, exec: Executor, max_rate: f64) -> Table {
+    /// Salt separating the fault universe from every other seeded draw.
+    const FAULT_SALT: u64 = 0xFA17;
+    let rates: [f64; 4] = [0.0, max_rate * 0.25, max_rate * 0.5, max_rate];
+
+    struct RateRow {
+        opc: EvalSummary,
+        pairord: f64,
+        degraded: usize,
+        failed: usize,
+        retries: usize,
+    }
+
+    let rates_ref = &rates;
+    let rows: Vec<RateRow> = exec.run(rates.len(), |i| {
+        let rate = rates_ref[i];
+        let config = FaultConfig::new(rate, REPRO_SEED ^ FAULT_SALT ^ ((i as u64) << 24));
+        let web = FaultyWeb::new(&ctx.snapshot1.web, config);
+        // lint:allow(no-panic): the synthetic snapshot's seed URLs are
+        // well-formed by construction (see ReproContext::new); fault
+        // injection only affects fetches, never URL parsing.
+        #[allow(clippy::expect_used)]
+        let corpus = extract_corpus_from(&ctx.snapshot1.sites, &web, &CrawlConfig::default())
+            .expect("synthetic snapshot extracts");
+        let telemetry = corpus.total_fetch_telemetry();
+        let opc = tfidf_single(
+            Pipeline::new(&ctx.store, &corpus),
+            TextLearnerKind::Nbm,
+            Sampling::None,
+            Some(1000),
+            ctx.cv,
+        );
+        let pairord = evaluate_ranking_in(
+            Pipeline::new(&ctx.store, &corpus),
+            RankingMethod::TfIdf {
+                kind: TextLearnerKind::Nbm,
+                sampling: Sampling::None,
+            },
+            Some(1000),
+            ctx.cv,
+        )
+        .pairord;
+        RateRow {
+            opc,
+            pairord,
+            degraded: corpus.degraded_sites(),
+            failed: telemetry.failed_urls(),
+            retries: telemetry.retries,
+        }
+    });
+
+    let mut t = Table::new(
+        "Robustness: OPC/OPR vs injected fault rate (NBM, 1000-term subsamples)",
+        &[
+            "Fault rate",
+            "OPC Acc.",
+            "OPC AUC",
+            "OPR pairord",
+            "degraded sites",
+            "failed fetches",
+            "retries",
+        ],
+    );
+    for (rate, row) in rates.iter().zip(rows) {
+        t.push_row(vec![
+            format!("{rate:.3}"),
+            Table::fmt2(row.opc.accuracy),
+            Table::fmt2(row.opc.auc),
+            Table::fmt3(row.pairord),
+            row.degraded.to_string(),
+            row.failed.to_string(),
+            row.retries.to_string(),
         ]);
     }
     t

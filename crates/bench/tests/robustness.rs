@@ -1,0 +1,57 @@
+//! The fault-injection robustness study must uphold three contracts:
+//! the fault universe is a pure function of the seed (two runs at the
+//! same rate are byte-identical at any executor width), the faulted
+//! report is the fault-free report plus a pure suffix, and the appended
+//! table sweeps at least three distinct fault rates.
+
+use pharmaverify_bench::{render_report, render_report_with, ReproContext, Scale, Selection};
+use pharmaverify_core::pipeline::Executor;
+
+#[test]
+fn fault_injected_report_is_deterministic_and_a_pure_suffix() {
+    let sel = Selection::everything();
+
+    // Fault-free baseline, then a faulted run over the same warm store.
+    let ctx = ReproContext::new(Scale::Small);
+    let clean = render_report(&ctx, &sel, Executor::serial());
+    let faulted = render_report_with(&ctx, &sel, Executor::serial(), 0.2);
+
+    assert!(
+        faulted.output.starts_with(&clean.output),
+        "faulted output must extend the fault-free output, not perturb it"
+    );
+    let suffix = &faulted.output[clean.output.len()..];
+    assert!(
+        suffix.contains("Robustness"),
+        "appended section must be the robustness study, got: {suffix:?}"
+    );
+
+    // The study sweeps rate 0 plus at least three nonzero rates.
+    for rate in ["0.000", "0.050", "0.100", "0.200"] {
+        assert!(
+            suffix.contains(&format!("| {rate}")),
+            "missing fault-rate row {rate} in: {suffix}"
+        );
+    }
+
+    // Fresh context, wide executor: the faulted report must come out
+    // byte-identical — fault schedules, retries, and breaker trips are
+    // all seed-derived, never scheduling-derived.
+    let ctx2 = ReproContext::new(Scale::Small);
+    let parallel = render_report_with(&ctx2, &sel, Executor::new(4), 0.2);
+    assert_eq!(
+        faulted.output, parallel.output,
+        "fault injection must stay deterministic across thread counts"
+    );
+}
+
+#[test]
+fn zero_fault_rate_appends_nothing() {
+    let ctx = ReproContext::new(Scale::Small);
+    let mut sel = Selection::everything();
+    sel.add_table(1);
+    let plain = render_report(&ctx, &sel, Executor::serial());
+    let zero = render_report_with(&ctx, &sel, Executor::serial(), 0.0);
+    assert_eq!(plain.output, zero.output);
+    assert!(!zero.output.contains("Robustness"));
+}

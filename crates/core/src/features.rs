@@ -5,8 +5,8 @@
 //! §4.1) happens once per snapshot; every experiment then reuses the
 //! [`ExtractedCorpus`].
 
-use pharmaverify_corpus::{SiteProfile, Snapshot};
-use pharmaverify_crawl::{summarize, CrawlConfig, Crawler, Url};
+use pharmaverify_corpus::{PharmacySite, SiteProfile, Snapshot};
+use pharmaverify_crawl::{summarize_crawl, CrawlConfig, Crawler, FetchTelemetry, Url, WebHost};
 use pharmaverify_text::preprocess;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -54,6 +54,10 @@ pub struct ExtractedCorpus {
     pub summaries: Vec<String>,
     /// Outbound link endpoints (second-level domains) with multiplicities.
     pub outbound: Vec<BTreeMap<String, usize>>,
+    /// Per-site fetch telemetry from the acquisition crawl. Against a
+    /// fault-free host every entry is failure-free; under fault injection
+    /// this records which sites' summaries are degraded.
+    pub fetch: Vec<FetchTelemetry>,
 }
 
 impl ExtractedCorpus {
@@ -65,6 +69,21 @@ impl ExtractedCorpus {
     /// True when the corpus has no pharmacies.
     pub fn is_empty(&self) -> bool {
         self.domains.is_empty()
+    }
+
+    /// Number of sites whose crawl lost coverage (transient-failure
+    /// exhaustion or circuit-breaker trip).
+    pub fn degraded_sites(&self) -> usize {
+        self.fetch.iter().filter(|t| t.is_degraded()).count()
+    }
+
+    /// All sites' fetch telemetry merged into one corpus-level record.
+    pub fn total_fetch_telemetry(&self) -> FetchTelemetry {
+        let mut total = FetchTelemetry::default();
+        for t in &self.fetch {
+            total.merge(t);
+        }
+        total
     }
 
     /// Indices of legitimate and illegitimate pharmacies.
@@ -92,8 +111,24 @@ pub fn extract_corpus(
     snapshot: &Snapshot,
     crawl_config: &CrawlConfig,
 ) -> Result<ExtractedCorpus, ExtractError> {
+    extract_corpus_from(&snapshot.sites, &snapshot.web, crawl_config)
+}
+
+/// [`extract_corpus`] generalized over the fetch substrate: the same
+/// site list can be crawled through any [`WebHost`] — in particular a
+/// `FaultyWeb` wrapper, which is how the bench robustness study measures
+/// OPC/OPR under injected fault rates.
+///
+/// # Errors
+/// Returns [`ExtractError::BadSeedUrl`] if any site's seed URL does not
+/// parse.
+pub fn extract_corpus_from<H: WebHost + Sync>(
+    sites: &[PharmacySite],
+    host: &H,
+    crawl_config: &CrawlConfig,
+) -> Result<ExtractedCorpus, ExtractError> {
     let crawler = Crawler::new(crawl_config.clone());
-    let n = snapshot.sites.len();
+    let n = sites.len();
     let threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
@@ -102,8 +137,7 @@ pub fn extract_corpus(
 
     // Validate every seed URL up front so the parallel crawl below works
     // on data that is known to be good.
-    let seeds: Vec<Url> = snapshot
-        .sites
+    let seeds: Vec<Url> = sites
         .iter()
         .map(|site| {
             Url::parse(&site.seed_url).map_err(|_| ExtractError::BadSeedUrl {
@@ -117,23 +151,24 @@ pub fn extract_corpus(
         tokens: Vec<String>,
         summary: String,
         outbound: BTreeMap<String, usize>,
+        fetch: FetchTelemetry,
     }
 
     let results: Vec<SiteResult> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for chunk_seeds in seeds.chunks(chunk.max(1)) {
             let crawler = &crawler;
-            let web = &snapshot.web;
             handles.push(scope.spawn(move || {
                 chunk_seeds
                     .iter()
                     .map(|seed| {
-                        let crawl = crawler.crawl(web, seed);
-                        let summary = summarize(&crawl);
+                        let crawl = crawler.crawl(host, seed);
+                        let summary = summarize_crawl(&crawl);
                         SiteResult {
-                            tokens: preprocess(&summary),
+                            tokens: preprocess(&summary.text),
                             outbound: crawl.outbound_endpoints(),
-                            summary,
+                            summary: summary.text,
+                            fetch: crawl.telemetry,
                         }
                     })
                     .collect::<Vec<_>>()
@@ -152,14 +187,16 @@ pub fn extract_corpus(
         tokens: Vec::with_capacity(n),
         summaries: Vec::with_capacity(n),
         outbound: Vec::with_capacity(n),
+        fetch: Vec::with_capacity(n),
     };
-    for (site, result) in snapshot.sites.iter().zip(results) {
+    for (site, result) in sites.iter().zip(results) {
         corpus.domains.push(site.domain.clone());
         corpus.labels.push(site.label());
         corpus.profiles.push(site.profile);
         corpus.tokens.push(result.tokens);
         corpus.summaries.push(result.summary);
         corpus.outbound.push(result.outbound);
+        corpus.fetch.push(result.fetch);
     }
     Ok(corpus)
 }

@@ -187,6 +187,13 @@ pub fn corpus_fingerprint(corpus: &ExtractedCorpus) -> u64 {
             h.write_u64(count as u64);
         }
     }
+    // Fetch health participates so a degraded crawl (fault injection)
+    // never shares cache entries with a clean crawl of the same sites,
+    // even when the surviving summaries happen to coincide.
+    for t in &corpus.fetch {
+        h.write_u64(t.failed_urls() as u64);
+        h.write(&[u8::from(t.is_degraded())]);
+    }
     h.finish()
 }
 

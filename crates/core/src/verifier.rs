@@ -13,7 +13,7 @@
 
 use crate::classify::{build_web_graph, NetworkArtifacts, TextLearnerKind};
 use crate::features::ExtractedCorpus;
-use pharmaverify_crawl::{summarize, CrawlConfig, Crawler, Url, WebHost};
+use pharmaverify_crawl::{summarize_crawl, CrawlConfig, Crawler, Url, WebHost};
 use pharmaverify_ml::{Dataset, GaussianNaiveBayes, Learner, Model};
 use pharmaverify_net::{trust_rank, TrustRankConfig};
 use pharmaverify_text::subsample::subsample_opt;
@@ -38,6 +38,12 @@ pub struct Verdict {
     pub rank: f64,
     /// Hard decision of the text model (the paper's primary classifier).
     pub predicted_legitimate: bool,
+    /// True when the crawl lost coverage (transient fetch failures or a
+    /// circuit-breaker trip), so the scores rest on a partial summary.
+    pub degraded: bool,
+    /// Fraction of discovered pages that were actually fetched; 1.0 for a
+    /// clean crawl.
+    pub crawl_coverage: f64,
 }
 
 impl fmt::Display for Verdict {
@@ -55,7 +61,15 @@ impl fmt::Display for Verdict {
             self.trust_score,
             self.rank,
             self.pages_crawled,
-        )
+        )?;
+        if self.degraded {
+            write!(
+                f,
+                " [degraded crawl: {:.0}% coverage — low confidence]",
+                self.crawl_coverage * 100.0
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -64,8 +78,20 @@ impl fmt::Display for Verdict {
 pub enum VerifyError {
     /// The seed URL did not parse.
     BadUrl(String),
-    /// The crawl fetched no pages (site offline or empty).
+    /// The crawl fetched no pages and every failure was permanent: the
+    /// site genuinely has no content to score.
     EmptySite(String),
+    /// The crawl fetched no pages but the failures were transient
+    /// (timeouts, 5xx, refused connections): the site may well exist,
+    /// so no verdict should be recorded against it — retry later.
+    Unreachable {
+        /// Second-level domain of the unreachable site.
+        domain: String,
+        /// Total fetch attempts made before giving up.
+        attempts: usize,
+        /// How many of those attempts were retries.
+        retries: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -73,6 +99,15 @@ impl fmt::Display for VerifyError {
         match self {
             VerifyError::BadUrl(u) => write!(f, "cannot parse URL: {u}"),
             VerifyError::EmptySite(d) => write!(f, "no pages crawled from {d}"),
+            VerifyError::Unreachable {
+                domain,
+                attempts,
+                retries,
+            } => write!(
+                f,
+                "{domain} unreachable: transient failures only \
+                 ({attempts} attempts, {retries} retries) — retry later"
+            ),
         }
     }
 }
@@ -168,10 +203,22 @@ impl TrainedVerifier {
         let crawler = Crawler::new(self.crawl_config.clone());
         let crawl = crawler.crawl(host, &url);
         if crawl.pages.is_empty() {
+            let t = &crawl.telemetry;
+            // Only transient failures and nothing fetched: the site may
+            // exist but could not be reached — distinct from a site that
+            // answered 404 to everything.
+            if t.transient_failures > 0 && t.permanent_failures == 0 {
+                return Err(VerifyError::Unreachable {
+                    domain: url.endpoint(),
+                    attempts: t.attempts,
+                    retries: t.retries,
+                });
+            }
             return Err(VerifyError::EmptySite(url.endpoint()));
         }
         // Text score.
-        let tokens = preprocess(&summarize(&crawl));
+        let summary = summarize_crawl(&crawl);
+        let tokens = preprocess(&summary.text);
         let doc = subsample_opt(&tokens, self.subsample, self.seed);
         let x = if self.text_uses_counts {
             self.tfidf.term_counts(&doc)
@@ -208,6 +255,8 @@ impl TrainedVerifier {
             network_score,
             rank: text_score + trust_score,
             predicted_legitimate: predicted,
+            degraded: crawl.is_degraded(),
+            crawl_coverage: crawl.coverage(),
         })
     }
 
@@ -271,6 +320,80 @@ mod tests {
             verifier.verify(&web.snapshot().web, "http://offline-pharmacy.com/"),
             Err(VerifyError::EmptySite(_))
         ));
+    }
+
+    /// A host where every fetch times out: all failures are transient.
+    struct DownHost;
+
+    impl pharmaverify_crawl::WebHost for DownHost {
+        fn fetch(
+            &self,
+            _url: &pharmaverify_crawl::Url,
+        ) -> Result<pharmaverify_crawl::Page, pharmaverify_crawl::FetchError> {
+            Err(pharmaverify_crawl::FetchError::Timeout)
+        }
+    }
+
+    #[test]
+    fn transiently_down_site_is_unreachable_not_empty() {
+        let (verifier, _web) = verifier_and_web();
+        match verifier.verify(&DownHost, "http://down-pharmacy.com/") {
+            Err(VerifyError::Unreachable {
+                domain,
+                attempts,
+                retries,
+            }) => {
+                assert_eq!(domain, "down-pharmacy.com");
+                assert!(attempts > retries);
+                assert!(retries > 0, "transient errors must have been retried");
+            }
+            other => panic!("expected Unreachable, got {other:?}"),
+        }
+    }
+
+    /// Wrapper that makes some non-seed URLs fail transiently every time,
+    /// forcing retry exhaustion and a degraded (but nonempty) crawl.
+    struct Patchy<'a, H> {
+        inner: &'a H,
+    }
+
+    impl<H: pharmaverify_crawl::WebHost> pharmaverify_crawl::WebHost for Patchy<'_, H> {
+        fn fetch(
+            &self,
+            url: &pharmaverify_crawl::Url,
+        ) -> Result<pharmaverify_crawl::Page, pharmaverify_crawl::FetchError> {
+            let path = url.path_without_query();
+            if path != "/" && path != "/robots.txt" {
+                return Err(pharmaverify_crawl::FetchError::Timeout);
+            }
+            self.inner.fetch(url)
+        }
+    }
+
+    #[test]
+    fn degraded_crawl_yields_caveated_verdict() {
+        let (verifier, web) = verifier_and_web();
+        let snap = web.snapshot();
+        let host = Patchy { inner: &snap.web };
+        let verdict = verifier.verify(&host, &snap.sites[0].seed_url).unwrap();
+        assert!(
+            verdict.degraded,
+            "lost pages must mark the verdict degraded"
+        );
+        assert!(verdict.crawl_coverage < 1.0);
+        let text = verdict.to_string();
+        assert!(text.contains("degraded crawl"), "no caveat in: {text}");
+        assert!(text.contains("low confidence"));
+    }
+
+    #[test]
+    fn clean_crawl_verdict_has_no_caveat() {
+        let (verifier, web) = verifier_and_web();
+        let snap = web.snapshot();
+        let verdict = verifier.verify(&snap.web, &snap.sites[0].seed_url).unwrap();
+        assert!(!verdict.degraded);
+        assert!((verdict.crawl_coverage - 1.0).abs() < f64::EPSILON);
+        assert!(!verdict.to_string().contains("degraded"));
     }
 
     #[test]

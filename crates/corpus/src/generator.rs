@@ -748,7 +748,7 @@ mod tests {
         for site in &w.snapshot().sites {
             let url = Url::parse(&site.seed_url).unwrap();
             assert!(
-                w.snapshot().web.fetch(&url).is_some(),
+                w.snapshot().web.fetch(&url).is_ok(),
                 "missing front page for {}",
                 site.domain
             );

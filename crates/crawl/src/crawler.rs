@@ -5,9 +5,16 @@
 //! crawler stays on the seed's site (internal links are followed; outbound
 //! links are recorded but not fetched) and returns, per page, the extracted
 //! text plus the outbound link targets used later by the network analysis.
+//!
+//! Fetching is fault-tolerant: transient errors are retried under the
+//! configured [`RetryPolicy`], a per-crawl error budget trips a circuit
+//! breaker instead of letting a dying host burn the whole page cap, and
+//! the [`CrawlResult`] carries full [`FetchTelemetry`] so downstream
+//! consumers can tell a complete crawl from a degraded one.
 
 use crate::host::WebHost;
 use crate::html;
+use crate::retry::{FetchTelemetry, RetryPolicy};
 use crate::robots::RobotsPolicy;
 use crate::url::Url;
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -23,6 +30,11 @@ pub struct CrawlConfig {
     pub respect_robots: bool,
     /// User-agent string matched against robots.txt groups.
     pub user_agent: String,
+    /// Retry policy for transient fetch errors.
+    pub retry: RetryPolicy,
+    /// URLs that may ultimately fail (after retries) before the circuit
+    /// breaker stops the crawl and marks the result degraded.
+    pub error_budget: usize,
 }
 
 impl Default for CrawlConfig {
@@ -31,6 +43,8 @@ impl Default for CrawlConfig {
             max_pages: 200,
             respect_robots: true,
             user_agent: "pharmaverify-crawler".to_string(),
+            retry: RetryPolicy::default(),
+            error_budget: 32,
         }
     }
 }
@@ -56,10 +70,14 @@ pub struct CrawlResult {
     pub domain: String,
     /// Pages in breadth-first fetch order.
     pub pages: Vec<CrawledPage>,
-    /// Links that the crawler attempted but the host failed to serve.
+    /// Links that the crawler attempted but the host failed to serve
+    /// (after retries).
     pub dead_links: usize,
     /// URLs skipped because robots.txt disallowed them.
     pub robots_skipped: usize,
+    /// Fetch-level telemetry: attempts, retries, transient/permanent
+    /// error counts, virtual backoff, and circuit-breaker state.
+    pub telemetry: FetchTelemetry,
 }
 
 impl CrawlResult {
@@ -80,6 +98,23 @@ impl CrawlResult {
     pub fn page_count(&self) -> usize {
         self.pages.len()
     }
+
+    /// True when the crawl lost coverage to transient failures or the
+    /// circuit breaker — the summary document underrepresents the site.
+    pub fn is_degraded(&self) -> bool {
+        self.telemetry.is_degraded()
+    }
+
+    /// Fraction of attempted page URLs that were actually fetched, in
+    /// `(0, 1]`; `1.0` for an empty crawl with nothing attempted.
+    pub fn coverage(&self) -> f64 {
+        let attempted =
+            self.pages.len() + self.telemetry.failed_urls() + self.telemetry.skipped_after_trip;
+        if attempted == 0 {
+            return 1.0;
+        }
+        self.pages.len() as f64 / attempted as f64
+    }
 }
 
 /// Breadth-first crawler over a [`WebHost`].
@@ -95,6 +130,7 @@ impl CrawlResult {
 /// let crawler = Crawler::new(CrawlConfig::default());
 /// let result = crawler.crawl(&web, &Url::parse("http://pharm.com/").unwrap());
 /// assert_eq!(result.page_count(), 2);
+/// assert!(!result.is_degraded());
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Crawler {
@@ -108,11 +144,15 @@ impl Crawler {
     }
 
     /// Crawls the site containing `seed`, breadth-first, up to
-    /// `max_pages` fetched pages.
+    /// `max_pages` fetched pages. Transient fetch errors are retried per
+    /// the configured [`RetryPolicy`]; once `error_budget` URLs have
+    /// ultimately failed, the circuit breaker abandons the remaining
+    /// queue and the result is marked degraded rather than aborting.
     pub fn crawl<H: WebHost>(&self, host: &H, seed: &Url) -> CrawlResult {
         let domain = seed.endpoint();
+        let mut telemetry = FetchTelemetry::default();
         let robots = if self.config.respect_robots {
-            self.fetch_robots(host, seed)
+            self.fetch_robots(host, seed, &mut telemetry)
         } else {
             RobotsPolicy::allow_all()
         };
@@ -121,6 +161,7 @@ impl Crawler {
             pages: Vec::new(),
             dead_links: 0,
             robots_skipped: 0,
+            telemetry: FetchTelemetry::default(),
         };
         let mut queue = VecDeque::new();
         let mut enqueued: HashSet<String> = HashSet::new();
@@ -131,13 +172,29 @@ impl Crawler {
             if result.pages.len() >= self.config.max_pages {
                 break;
             }
+            if telemetry.breaker_tripped {
+                // Everything still queued (including this URL) is
+                // abandoned; the count records the lost coverage.
+                telemetry.skipped_after_trip = queue.len() + 1;
+                break;
+            }
             if !robots.allows(url.path()) {
                 result.robots_skipped += 1;
                 continue;
             }
-            let Some(page) = host.fetch(&url) else {
-                result.dead_links += 1;
-                continue;
+            let page = match self
+                .config
+                .retry
+                .fetch_with_retry(host, &url, &mut telemetry)
+            {
+                Ok(page) => page,
+                Err(_) => {
+                    result.dead_links += 1;
+                    if telemetry.failed_urls() >= self.config.error_budget.max(1) {
+                        telemetry.breaker_tripped = true;
+                    }
+                    continue;
+                }
             };
             let extracted = html::extract(&page.html);
             let mut internal = Vec::new();
@@ -162,27 +219,43 @@ impl Crawler {
                 outbound_links: outbound,
             });
         }
+        result.telemetry = telemetry;
         result
     }
 
     /// Fetches and parses the seed host's robots.txt; a missing file
-    /// means everything is allowed.
-    fn fetch_robots<H: WebHost>(&self, host: &H, seed: &Url) -> RobotsPolicy {
+    /// means everything is allowed. The probe's attempts and retries are
+    /// recorded in `telemetry`, but a failed probe is not counted as lost
+    /// page coverage (absence of robots.txt is the ordinary case).
+    fn fetch_robots<H: WebHost>(
+        &self,
+        host: &H,
+        seed: &Url,
+        telemetry: &mut FetchTelemetry,
+    ) -> RobotsPolicy {
         let robots_url = match seed.join("/robots.txt") {
             Ok(u) => u,
             Err(_) => return RobotsPolicy::allow_all(),
         };
-        match host.fetch(&robots_url) {
-            Some(page) => RobotsPolicy::parse(&page.html, &self.config.user_agent),
-            None => RobotsPolicy::allow_all(),
-        }
+        let mut probe = FetchTelemetry::default();
+        let policy = match self
+            .config
+            .retry
+            .fetch_with_retry(host, &robots_url, &mut probe)
+        {
+            Ok(page) => RobotsPolicy::parse(&page.html, &self.config.user_agent),
+            Err(_) => RobotsPolicy::allow_all(),
+        };
+        telemetry.absorb_probe(&probe);
+        policy
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::host::InMemoryWeb;
+    use crate::host::{FetchError, InMemoryWeb, Page};
+    use std::sync::Mutex;
 
     fn site() -> InMemoryWeb {
         let mut web = InMemoryWeb::new();
@@ -206,6 +279,42 @@ mod tests {
         web
     }
 
+    /// Fails the first `fail_first` attempts at URLs whose path contains
+    /// `needle` with a fixed transient error, then serves normally.
+    struct Flaky {
+        inner: InMemoryWeb,
+        needle: &'static str,
+        fail_first: u32,
+        error: FetchError,
+        attempts: Mutex<std::collections::HashMap<String, u32>>,
+    }
+
+    impl Flaky {
+        fn new(inner: InMemoryWeb, needle: &'static str, fail_first: u32) -> Self {
+            Flaky {
+                inner,
+                needle,
+                fail_first,
+                error: FetchError::Timeout,
+                attempts: Mutex::new(Default::default()),
+            }
+        }
+    }
+
+    impl WebHost for Flaky {
+        fn fetch(&self, url: &Url) -> Result<Page, FetchError> {
+            if url.path().contains(self.needle) {
+                let mut attempts = self.attempts.lock().unwrap();
+                let n = attempts.entry(url.to_string()).or_insert(0);
+                *n += 1;
+                if *n <= self.fail_first {
+                    return Err(self.error.clone());
+                }
+            }
+            self.inner.fetch(url)
+        }
+    }
+
     #[test]
     fn crawls_whole_site_breadth_first() {
         let web = site();
@@ -215,6 +324,8 @@ mod tests {
         let order: Vec<&str> = result.pages.iter().map(|p| p.url.path()).collect();
         assert_eq!(order, vec!["/", "/a.html", "/b.html", "/c.html"]);
         assert_eq!(result.dead_links, 0);
+        assert!(!result.is_degraded());
+        assert_eq!(result.coverage(), 1.0);
     }
 
     #[test]
@@ -259,6 +370,10 @@ mod tests {
         let result = crawler.crawl(&web, &Url::parse("http://x.com/").unwrap());
         assert_eq!(result.page_count(), 1);
         assert_eq!(result.dead_links, 1);
+        // A plain 404 is a property of the site, not lost coverage.
+        assert!(!result.is_degraded());
+        assert_eq!(result.telemetry.permanent_failures, 1);
+        assert_eq!(result.telemetry.retries, 0, "404s must not be retried");
     }
 
     #[test]
@@ -268,6 +383,57 @@ mod tests {
         let result = crawler.crawl(&web, &Url::parse("http://gone.com/").unwrap());
         assert_eq!(result.page_count(), 0);
         assert_eq!(result.dead_links, 1);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_recovered() {
+        // /a.html times out twice; the default 3-attempt policy rides it out.
+        let host = Flaky::new(site(), "a.html", 2);
+        let crawler = Crawler::new(CrawlConfig::default());
+        let result = crawler.crawl(&host, &Url::parse("http://pharm.com/").unwrap());
+        assert_eq!(result.page_count(), 4, "all pages recovered");
+        assert_eq!(result.dead_links, 0);
+        assert_eq!(result.telemetry.retries, 2);
+        assert_eq!(result.telemetry.transient_errors, 2);
+        assert!(result.telemetry.virtual_backoff_ms > 0);
+        assert!(!result.is_degraded(), "recovered crawl is not degraded");
+    }
+
+    #[test]
+    fn retry_exhaustion_degrades_the_crawl() {
+        // /a.html stays down through the whole retry budget.
+        let host = Flaky::new(site(), "a.html", 99);
+        let crawler = Crawler::new(CrawlConfig::default());
+        let result = crawler.crawl(&host, &Url::parse("http://pharm.com/").unwrap());
+        // /c.html is only discoverable through the dead /a.html, so the
+        // crawl reaches just the front page and /b.html.
+        assert_eq!(result.page_count(), 2, "the reachable pages still crawl");
+        assert_eq!(result.dead_links, 1);
+        assert_eq!(result.telemetry.transient_failures, 1);
+        assert!(result.is_degraded());
+        assert!(result.coverage() < 1.0);
+    }
+
+    #[test]
+    fn circuit_breaker_trips_on_error_budget() {
+        // Front page links to many dead URLs; budget 2 stops the bleeding.
+        let mut web = InMemoryWeb::new();
+        web.add_page(
+            "http://x.com/",
+            r#"<a href="/d1">1</a> <a href="/d2">2</a> <a href="/d3">3</a>
+               <a href="/d4">4</a> <a href="/d5">5</a>"#,
+        );
+        let crawler = Crawler::new(CrawlConfig {
+            error_budget: 2,
+            ..CrawlConfig::default()
+        });
+        let result = crawler.crawl(&web, &Url::parse("http://x.com/").unwrap());
+        assert_eq!(result.page_count(), 1);
+        assert_eq!(result.dead_links, 2, "breaker stops after the budget");
+        assert!(result.telemetry.breaker_tripped);
+        assert_eq!(result.telemetry.skipped_after_trip, 3);
+        assert!(result.is_degraded());
+        assert!(result.coverage() < 1.0);
     }
 
     #[test]
@@ -308,6 +474,27 @@ mod tests {
     }
 
     #[test]
+    fn robots_anchored_rule_applies_to_query_urls() {
+        // `Disallow: /*.php$` must also block `/page.php?x=1`: the query
+        // string is not part of the resource the rule names.
+        let mut web = InMemoryWeb::new();
+        web.add_page(
+            "http://x.com/robots.txt",
+            "User-agent: *\nDisallow: /*.php$\n",
+        );
+        web.add_page(
+            "http://x.com/",
+            r#"<a href="/page.php?x=1">q</a> <a href="/ok.html">ok</a>"#,
+        );
+        web.add_page("http://x.com/page.php?x=1", "blocked");
+        web.add_page("http://x.com/ok.html", "fine");
+        let crawler = Crawler::new(CrawlConfig::default());
+        let result = crawler.crawl(&web, &Url::parse("http://x.com/").unwrap());
+        assert_eq!(result.robots_skipped, 1);
+        assert!(result.pages.iter().all(|p| !p.url.path().contains(".php")));
+    }
+
+    #[test]
     fn robots_can_be_disabled() {
         let mut web = InMemoryWeb::new();
         web.add_page("http://x.com/robots.txt", "User-agent: *\nDisallow: /\n");
@@ -328,6 +515,10 @@ mod tests {
         let result = crawler.crawl(&web, &Url::parse("http://pharm.com/").unwrap());
         assert_eq!(result.robots_skipped, 0);
         assert_eq!(result.page_count(), 4);
+        // The failed robots probe is attempts-only telemetry, not a
+        // failure: the crawl stays clean.
+        assert_eq!(result.telemetry.permanent_failures, 0);
+        assert!(result.telemetry.attempts > result.page_count());
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Seeded, deterministic fault injection for [`WebHost`]s.
+//!
+//! [`FaultyWeb`] wraps any host and injects fetch failures according to a
+//! per-URL schedule derived purely from the configured seed — the same
+//! RNG family the corpus generator uses, and no wall clock anywhere. Two
+//! runs with the same seed see byte-identical fault sequences, so the
+//! xtask determinism audit can byte-compare fault-injected crawls, and
+//! the bench robustness study is reproducible like every other table.
+//!
+//! The schedule is derived per URL, not per fetch: whether a URL is
+//! faulty, which [`FetchError`] it raises, and after how many failed
+//! attempts a *transient* fault clears are all pure functions of
+//! `(seed, url)`. Only the attempt counter is stateful, so a retry loop
+//! observes the recovery the schedule prescribes.
+
+use crate::host::{FetchError, Page, WebHost};
+use crate::url::Url;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Fault-injection knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability that a given URL is faulty at all, in `[0, 1]`.
+    pub rate: f64,
+    /// Seed of the fault universe. Different seeds fault different URLs.
+    pub seed: u64,
+    /// A transient fault clears after `1..=max_failures` failed attempts
+    /// (drawn per URL). Set this above the retry budget to model hosts
+    /// that stay down for a whole crawl.
+    pub max_failures: u32,
+}
+
+impl FaultConfig {
+    /// A config faulting `rate` of all URLs under `seed`, with transient
+    /// faults clearing within three attempts.
+    pub fn new(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            rate,
+            seed,
+            max_failures: 3,
+        }
+    }
+}
+
+/// What the per-URL schedule says about one URL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Schedule {
+    /// The URL is served normally.
+    Healthy,
+    /// Every fetch of the URL fails with this permanent error.
+    Permanent(FetchError),
+    /// The first `failures` fetch attempts fail with this transient
+    /// error; later attempts reach the inner host.
+    Transient(FetchError, u32),
+}
+
+/// A [`WebHost`] wrapper that injects deterministic fetch faults.
+#[derive(Debug)]
+pub struct FaultyWeb<H> {
+    inner: H,
+    config: FaultConfig,
+    attempts: Mutex<BTreeMap<String, u32>>,
+}
+
+impl<H> FaultyWeb<H> {
+    /// Wraps `inner`, faulting URLs per `config`.
+    pub fn new(inner: H, config: FaultConfig) -> Self {
+        FaultyWeb {
+            inner,
+            config,
+            attempts: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The wrapped host.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+
+    /// Forgets all attempt counters, replaying every fault schedule from
+    /// the beginning (for running several independent crawls through one
+    /// wrapper).
+    pub fn reset(&self) {
+        self.lock_attempts().clear();
+    }
+
+    fn lock_attempts(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, u32>> {
+        match self.attempts.lock() {
+            Ok(guard) => guard,
+            // A poisoned counter map only means another thread panicked
+            // mid-increment; the counters themselves stay usable.
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// The fault schedule for `url` — a pure function of `(seed, url)`.
+    fn schedule(&self, url: &str) -> Schedule {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ fnv1a(url));
+        if !rng.gen_bool(self.config.rate.clamp(0.0, 1.0)) {
+            return Schedule::Healthy;
+        }
+        // One permanent kind (a vanished page) and five transient kinds,
+        // drawn uniformly: a faulted crawl sees both lost coverage it can
+        // never recover and outages the retry policy may ride out.
+        match rng.gen_range(0..6u32) {
+            0 => Schedule::Permanent(FetchError::NotFound),
+            1 => Schedule::Transient(
+                FetchError::ServerError(500),
+                rng.gen_range(1..=self.config.max_failures.max(1)),
+            ),
+            2 => Schedule::Transient(
+                FetchError::ServerError(503),
+                rng.gen_range(1..=self.config.max_failures.max(1)),
+            ),
+            3 => Schedule::Transient(
+                FetchError::Timeout,
+                rng.gen_range(1..=self.config.max_failures.max(1)),
+            ),
+            4 => Schedule::Transient(
+                FetchError::ConnectionRefused,
+                rng.gen_range(1..=self.config.max_failures.max(1)),
+            ),
+            _ => Schedule::Transient(
+                FetchError::Truncated,
+                rng.gen_range(1..=self.config.max_failures.max(1)),
+            ),
+        }
+    }
+}
+
+impl<H: WebHost> WebHost for FaultyWeb<H> {
+    fn fetch(&self, url: &Url) -> Result<Page, FetchError> {
+        if self.config.rate <= 0.0 {
+            return self.inner.fetch(url);
+        }
+        let key = url.to_string();
+        match self.schedule(&key) {
+            Schedule::Healthy => self.inner.fetch(url),
+            Schedule::Permanent(e) => Err(e),
+            Schedule::Transient(e, failures) => {
+                let attempt = {
+                    let mut attempts = self.lock_attempts();
+                    let n = attempts.entry(key).or_insert(0);
+                    *n += 1;
+                    *n
+                };
+                if attempt <= failures {
+                    Err(e)
+                } else {
+                    self.inner.fetch(url)
+                }
+            }
+        }
+    }
+}
+
+/// FNV-1a over the URL string: the workspace's stable, dependency-free
+/// hash (same constants as the pipeline's artifact keys). Mixed into the
+/// seed it gives every URL its own deterministic RNG stream.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::InMemoryWeb;
+
+    fn web_with(urls: &[&str]) -> InMemoryWeb {
+        let mut web = InMemoryWeb::new();
+        for url in urls {
+            web.add_page(url, format!("page at {url}"));
+        }
+        web
+    }
+
+    fn fetch_outcomes(faulty: &FaultyWeb<InMemoryWeb>, urls: &[&str], rounds: usize) -> Vec<bool> {
+        let mut outcomes = Vec::new();
+        for _ in 0..rounds {
+            for url in urls {
+                outcomes.push(faulty.fetch(&Url::parse(url).unwrap()).is_ok());
+            }
+        }
+        outcomes
+    }
+
+    const URLS: &[&str] = &[
+        "http://a.com/",
+        "http://a.com/one",
+        "http://a.com/two",
+        "http://b.com/",
+        "http://b.com/x",
+        "http://c.com/",
+        "http://c.com/y",
+        "http://c.com/z",
+    ];
+
+    #[test]
+    fn zero_rate_passes_everything_through() {
+        let faulty = FaultyWeb::new(web_with(URLS), FaultConfig::new(0.0, 7));
+        assert!(fetch_outcomes(&faulty, URLS, 2).iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let a = FaultyWeb::new(web_with(URLS), FaultConfig::new(0.5, 99));
+        let b = FaultyWeb::new(web_with(URLS), FaultConfig::new(0.5, 99));
+        assert_eq!(fetch_outcomes(&a, URLS, 3), fetch_outcomes(&b, URLS, 3));
+    }
+
+    #[test]
+    fn different_seeds_fault_different_urls() {
+        let a = FaultyWeb::new(web_with(URLS), FaultConfig::new(0.5, 1));
+        let b = FaultyWeb::new(web_with(URLS), FaultConfig::new(0.5, 2));
+        assert_ne!(fetch_outcomes(&a, URLS, 3), fetch_outcomes(&b, URLS, 3));
+    }
+
+    #[test]
+    fn full_rate_faults_every_url_initially() {
+        let faulty = FaultyWeb::new(web_with(URLS), FaultConfig::new(1.0, 5));
+        for url in URLS {
+            assert!(faulty.fetch(&Url::parse(url).unwrap()).is_err());
+        }
+    }
+
+    #[test]
+    fn transient_faults_clear_after_scheduled_failures() {
+        // At rate 1.0 with max_failures 1, every transiently faulted URL
+        // recovers on the second attempt; permanently faulted URLs never do.
+        let config = FaultConfig {
+            rate: 1.0,
+            seed: 11,
+            max_failures: 1,
+        };
+        let faulty = FaultyWeb::new(web_with(URLS), config);
+        let mut recovered = 0;
+        for url in URLS {
+            let parsed = Url::parse(url).unwrap();
+            assert!(faulty.fetch(&parsed).is_err(), "first attempt faults");
+            let second = faulty.fetch(&parsed);
+            match second {
+                Ok(_) => recovered += 1,
+                Err(e) => assert!(e.is_permanent(), "unrecovered fault must be permanent"),
+            }
+        }
+        assert!(recovered > 0, "some URL must recover");
+    }
+
+    #[test]
+    fn reset_replays_the_schedule() {
+        let config = FaultConfig {
+            rate: 1.0,
+            seed: 11,
+            max_failures: 1,
+        };
+        let faulty = FaultyWeb::new(web_with(URLS), config);
+        let first = fetch_outcomes(&faulty, URLS, 2);
+        faulty.reset();
+        let second = fetch_outcomes(&faulty, URLS, 2);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn injected_errors_carry_the_scheduled_kind() {
+        // Across enough URLs at full rate, both transient and permanent
+        // kinds must appear.
+        let faulty = FaultyWeb::new(InMemoryWeb::new(), FaultConfig::new(1.0, 3));
+        let mut transient = 0;
+        let mut permanent = 0;
+        for i in 0..64 {
+            let url = Url::parse(&format!("http://site{i}.com/")).unwrap();
+            match faulty.fetch(&url) {
+                Err(e) if e.is_transient() => transient += 1,
+                Err(_) => permanent += 1,
+                Ok(_) => {}
+            }
+        }
+        assert!(transient > 0, "no transient faults injected");
+        assert!(permanent > 0, "no permanent faults injected");
+    }
+}

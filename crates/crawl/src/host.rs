@@ -3,10 +3,13 @@
 //! In the paper the crawler fetches from the live web; here fetching is
 //! behind the [`WebHost`] trait so that the same crawl path runs against the
 //! synthetic web (see `pharmaverify-corpus`), an in-memory fixture in tests,
-//! or — in a real deployment — an HTTP client.
+//! or — in a real deployment — an HTTP client. Fetching returns a typed
+//! [`FetchError`] rather than a bare `Option`, so the crawler can tell a
+//! permanent 404 from a transient timeout and retry only the latter.
 
 use crate::url::Url;
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// One fetched page.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,10 +20,61 @@ pub struct Page {
     pub html: String,
 }
 
+/// Why a fetch failed. The split into transient and permanent errors
+/// drives the retry policy: retrying a 404 wastes the error budget, while
+/// retrying a timeout is exactly what a production crawler must do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FetchError {
+    /// The resource does not exist (HTTP 404/410). Permanent.
+    NotFound,
+    /// The host did not answer within the fetch deadline. Transient.
+    Timeout,
+    /// The host answered with an error status. 5xx statuses are treated
+    /// as transient (overload, restart); anything else is permanent.
+    ServerError(u16),
+    /// The response body was cut off mid-transfer. Transient.
+    Truncated,
+    /// The host refused the TCP connection. Transient: churning pharmacy
+    /// infrastructure often comes back minutes later.
+    ConnectionRefused,
+}
+
+impl FetchError {
+    /// True when retrying the fetch may succeed.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            FetchError::NotFound => false,
+            FetchError::Timeout | FetchError::Truncated | FetchError::ConnectionRefused => true,
+            FetchError::ServerError(status) => (500..=599).contains(status),
+        }
+    }
+
+    /// True when the failure is final and must not be retried.
+    pub fn is_permanent(&self) -> bool {
+        !self.is_transient()
+    }
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::NotFound => write!(f, "not found"),
+            FetchError::Timeout => write!(f, "timed out"),
+            FetchError::ServerError(status) => write!(f, "server error {status}"),
+            FetchError::Truncated => write!(f, "response truncated"),
+            FetchError::ConnectionRefused => write!(f, "connection refused"),
+        }
+    }
+}
+
+impl std::error::Error for FetchError {}
+
 /// Something pages can be fetched from.
 pub trait WebHost {
-    /// Fetches the page at `url`, or `None` for a 404/offline host.
-    fn fetch(&self, url: &Url) -> Option<Page>;
+    /// Fetches the page at `url`. A missing page is
+    /// [`FetchError::NotFound`]; hosts modelling an unreliable network
+    /// return the other variants.
+    fn fetch(&self, url: &Url) -> Result<Page, FetchError>;
 }
 
 /// A deterministic in-memory web: a map from URL string to HTML body.
@@ -65,16 +119,19 @@ impl InMemoryWeb {
 }
 
 impl WebHost for InMemoryWeb {
-    fn fetch(&self, url: &Url) -> Option<Page> {
-        self.pages.get(&url.to_string()).map(|html| Page {
-            url: url.clone(),
-            html: html.clone(),
-        })
+    fn fetch(&self, url: &Url) -> Result<Page, FetchError> {
+        self.pages
+            .get(&url.to_string())
+            .map(|html| Page {
+                url: url.clone(),
+                html: html.clone(),
+            })
+            .ok_or(FetchError::NotFound)
     }
 }
 
 impl<H: WebHost + ?Sized> WebHost for &H {
-    fn fetch(&self, url: &Url) -> Option<Page> {
+    fn fetch(&self, url: &Url) -> Result<Page, FetchError> {
         (**self).fetch(url)
     }
 }
@@ -94,11 +151,12 @@ mod tests {
     }
 
     #[test]
-    fn fetch_missing_is_none() {
+    fn fetch_missing_is_not_found() {
         let web = InMemoryWeb::new();
-        assert!(web
-            .fetch(&Url::parse("http://nowhere.com/").unwrap())
-            .is_none());
+        assert_eq!(
+            web.fetch(&Url::parse("http://nowhere.com/").unwrap()),
+            Err(FetchError::NotFound)
+        );
         assert!(web.is_empty());
     }
 
@@ -108,7 +166,7 @@ mod tests {
         web.add_page("http://Pharm.COM/x#frag", "body");
         assert!(web
             .fetch(&Url::parse("http://pharm.com/x").unwrap())
-            .is_some());
+            .is_ok());
         assert_eq!(web.len(), 1);
     }
 
@@ -117,8 +175,18 @@ mod tests {
         let mut web = InMemoryWeb::new();
         web.add_page("http://a.com/", "x");
         let by_ref: &dyn WebHost = &web;
-        assert!(by_ref
-            .fetch(&Url::parse("http://a.com/").unwrap())
-            .is_some());
+        assert!(by_ref.fetch(&Url::parse("http://a.com/").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn transient_permanent_classification() {
+        assert!(FetchError::Timeout.is_transient());
+        assert!(FetchError::Truncated.is_transient());
+        assert!(FetchError::ConnectionRefused.is_transient());
+        assert!(FetchError::ServerError(500).is_transient());
+        assert!(FetchError::ServerError(503).is_transient());
+        assert!(FetchError::NotFound.is_permanent());
+        assert!(FetchError::ServerError(403).is_permanent());
+        assert!(FetchError::ServerError(418).is_permanent());
     }
 }

@@ -9,24 +9,34 @@
 //! * [`html`] — HTML text extraction (tags stripped, entities decoded,
 //!   `script`/`style` skipped) and anchor `href` extraction;
 //! * [`host`] — the [`host::WebHost`] abstraction the crawler
-//!   fetches from, with an in-memory implementation for tests and for the
+//!   fetches from, with typed [`host::FetchError`]s (transient vs
+//!   permanent) and an in-memory implementation for tests and for the
 //!   synthetic web;
+//! * [`fault`] — [`fault::FaultyWeb`], a seeded deterministic
+//!   fault-injection wrapper over any host;
+//! * [`retry`] — bounded retries with a virtual-time backoff schedule
+//!   and per-crawl [`retry::FetchTelemetry`];
 //! * [`robots`] — robots.txt parsing with the de-facto wildcard/anchor
 //!   extensions and longest-match conflict resolution;
-//! * [`crawler`] — breadth-first crawl of a domain with a page cap and
-//!   robots compliance, separating internal from outbound links;
+//! * [`crawler`] — breadth-first crawl of a domain with a page cap,
+//!   robots compliance, an error budget with a circuit breaker, and
+//!   graceful degradation, separating internal from outbound links;
 //! * [`summary`] — the paper's *summarization* step, merging all crawled
-//!   pages of a pharmacy into one document.
+//!   pages of a pharmacy into one document, with crawl-health metadata.
 
 pub mod crawler;
+pub mod fault;
 pub mod host;
 pub mod html;
+pub mod retry;
 pub mod robots;
 pub mod summary;
 pub mod url;
 
 pub use crawler::{CrawlConfig, CrawlResult, CrawledPage, Crawler};
-pub use host::{InMemoryWeb, Page, WebHost};
+pub use fault::{FaultConfig, FaultyWeb};
+pub use host::{FetchError, InMemoryWeb, Page, WebHost};
+pub use retry::{FetchTelemetry, RetryPolicy};
 pub use robots::RobotsPolicy;
-pub use summary::summarize;
+pub use summary::{summarize, summarize_crawl, CrawlSummary};
 pub use url::Url;

@@ -1,0 +1,287 @@
+//! Bounded retries with a virtual-time backoff schedule.
+//!
+//! The paper's acquisition layer crawls ~1 400 live domains, where
+//! transient failures are the norm. [`RetryPolicy`] re-fetches URLs whose
+//! errors are classified transient (see [`FetchError::is_transient`]),
+//! with exponentially growing backoff. The backoff is *virtual*: instead
+//! of sleeping, the would-be waiting time accumulates into the crawl's
+//! [`FetchTelemetry`]. That keeps the whole crawl a pure function of its
+//! inputs — no wall clock enters any output, which is what lets the xtask
+//! determinism audit byte-compare fault-injected runs.
+
+use crate::host::{FetchError, Page, WebHost};
+use crate::url::Url;
+
+/// Retry policy for one crawl: how often to re-fetch after a transient
+/// error, and how the (virtual) backoff grows between attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per URL, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Virtual backoff before the second attempt, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Multiplier applied to the backoff after every further failure.
+    pub backoff_multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 100,
+            backoff_multiplier: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt per URL).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Virtual backoff in milliseconds before attempt number `attempt`
+    /// (1-based; the first attempt has no backoff).
+    pub fn backoff_before(&self, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            return 0;
+        }
+        let mut backoff = self.base_backoff_ms;
+        for _ in 2..attempt {
+            backoff = backoff.saturating_mul(u64::from(self.backoff_multiplier));
+        }
+        backoff
+    }
+
+    /// Fetches `url` from `host`, retrying transient errors up to
+    /// `max_attempts` total attempts. Every attempt, retry, error, and
+    /// virtual backoff period is recorded in `telemetry`; an ultimate
+    /// failure increments the matching `*_failures` counter.
+    pub fn fetch_with_retry<H: WebHost>(
+        &self,
+        host: &H,
+        url: &Url,
+        telemetry: &mut FetchTelemetry,
+    ) -> Result<Page, FetchError> {
+        let max_attempts = self.max_attempts.max(1);
+        let mut attempt = 1u32;
+        loop {
+            telemetry.attempts += 1;
+            match host.fetch(url) {
+                Ok(page) => return Ok(page),
+                Err(e) if e.is_transient() => {
+                    telemetry.transient_errors += 1;
+                    if attempt >= max_attempts {
+                        telemetry.transient_failures += 1;
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    telemetry.retries += 1;
+                    telemetry.virtual_backoff_ms += self.backoff_before(attempt);
+                }
+                Err(e) => {
+                    telemetry.permanent_errors += 1;
+                    telemetry.permanent_failures += 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Fetch-level telemetry for one crawl (or, merged, one corpus
+/// extraction). All counters are deterministic for a deterministic host:
+/// the backoff column is virtual time, never measured time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FetchTelemetry {
+    /// Fetch attempts issued, including retries.
+    pub attempts: usize,
+    /// Re-fetches after a transient error.
+    pub retries: usize,
+    /// Transient errors observed (several per URL are possible).
+    pub transient_errors: usize,
+    /// Permanent errors observed.
+    pub permanent_errors: usize,
+    /// URLs given up on after exhausting the retry budget.
+    pub transient_failures: usize,
+    /// URLs that failed permanently (404 and friends).
+    pub permanent_failures: usize,
+    /// Total virtual backoff the retry schedule would have waited.
+    pub virtual_backoff_ms: u64,
+    /// True when the per-crawl error budget was exhausted and the
+    /// circuit breaker stopped the crawl early.
+    pub breaker_tripped: bool,
+    /// Queued URLs abandoned after the breaker tripped.
+    pub skipped_after_trip: usize,
+}
+
+impl FetchTelemetry {
+    /// URLs that ultimately failed (after any retries).
+    pub fn failed_urls(&self) -> usize {
+        self.transient_failures + self.permanent_failures
+    }
+
+    /// True when the crawl lost coverage for reasons other than plain
+    /// dead links: a URL stayed unreachable through the whole retry
+    /// budget, or the circuit breaker cut the crawl short. A permanent
+    /// 404 is *not* degradation — broken links are a property of the
+    /// site, not of the fetch path.
+    pub fn is_degraded(&self) -> bool {
+        self.breaker_tripped || self.transient_failures > 0
+    }
+
+    /// Adds `other`'s counters into `self` (corpus-level aggregation).
+    pub fn merge(&mut self, other: &FetchTelemetry) {
+        self.attempts += other.attempts;
+        self.retries += other.retries;
+        self.transient_errors += other.transient_errors;
+        self.permanent_errors += other.permanent_errors;
+        self.transient_failures += other.transient_failures;
+        self.permanent_failures += other.permanent_failures;
+        self.virtual_backoff_ms += other.virtual_backoff_ms;
+        self.breaker_tripped |= other.breaker_tripped;
+        self.skipped_after_trip += other.skipped_after_trip;
+    }
+
+    /// Adds the attempt/retry/error counters of a robots.txt probe, but
+    /// not its failure counters: a missing robots.txt is the ordinary
+    /// "no policy" case, not lost page coverage.
+    pub fn absorb_probe(&mut self, probe: &FetchTelemetry) {
+        self.attempts += probe.attempts;
+        self.retries += probe.retries;
+        self.transient_errors += probe.transient_errors;
+        self.permanent_errors += probe.permanent_errors;
+        self.virtual_backoff_ms += probe.virtual_backoff_ms;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::InMemoryWeb;
+    use std::sync::Mutex;
+
+    /// Test host: fails the first `fail_first` attempts at every URL with
+    /// a fixed error, then delegates to the inner web.
+    struct Flaky {
+        inner: InMemoryWeb,
+        fail_first: u32,
+        error: FetchError,
+        attempts: Mutex<std::collections::HashMap<String, u32>>,
+    }
+
+    impl Flaky {
+        fn new(inner: InMemoryWeb, fail_first: u32, error: FetchError) -> Self {
+            Flaky {
+                inner,
+                fail_first,
+                error,
+                attempts: Mutex::new(Default::default()),
+            }
+        }
+    }
+
+    impl WebHost for Flaky {
+        fn fetch(&self, url: &Url) -> Result<Page, FetchError> {
+            let mut attempts = self.attempts.lock().unwrap();
+            let n = attempts.entry(url.to_string()).or_insert(0);
+            *n += 1;
+            if *n <= self.fail_first {
+                return Err(self.error.clone());
+            }
+            self.inner.fetch(url)
+        }
+    }
+
+    fn one_page_web() -> InMemoryWeb {
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://p.com/", "hello");
+        web
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff_before(1), 0);
+        assert_eq!(policy.backoff_before(2), 100);
+        assert_eq!(policy.backoff_before(3), 200);
+        assert_eq!(policy.backoff_before(4), 400);
+    }
+
+    #[test]
+    fn transient_error_is_retried_until_success() {
+        let host = Flaky::new(one_page_web(), 2, FetchError::Timeout);
+        let policy = RetryPolicy::default(); // 3 attempts
+        let mut t = FetchTelemetry::default();
+        let url = Url::parse("http://p.com/").unwrap();
+        let page = policy.fetch_with_retry(&host, &url, &mut t).unwrap();
+        assert_eq!(page.html, "hello");
+        assert_eq!(t.attempts, 3);
+        assert_eq!(t.retries, 2);
+        assert_eq!(t.transient_errors, 2);
+        assert_eq!(t.failed_urls(), 0);
+        assert_eq!(t.virtual_backoff_ms, 100 + 200);
+        assert!(!t.is_degraded());
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_a_transient_failure() {
+        let host = Flaky::new(one_page_web(), 99, FetchError::ConnectionRefused);
+        let policy = RetryPolicy::default();
+        let mut t = FetchTelemetry::default();
+        let url = Url::parse("http://p.com/").unwrap();
+        let err = policy.fetch_with_retry(&host, &url, &mut t).unwrap_err();
+        assert_eq!(err, FetchError::ConnectionRefused);
+        assert_eq!(t.attempts, 3);
+        assert_eq!(t.transient_failures, 1);
+        assert_eq!(t.permanent_failures, 0);
+        assert!(t.is_degraded());
+    }
+
+    #[test]
+    fn permanent_error_is_not_retried() {
+        let policy = RetryPolicy::default();
+        let mut t = FetchTelemetry::default();
+        let url = Url::parse("http://gone.com/").unwrap();
+        let err = policy
+            .fetch_with_retry(&InMemoryWeb::new(), &url, &mut t)
+            .unwrap_err();
+        assert_eq!(err, FetchError::NotFound);
+        assert_eq!(t.attempts, 1);
+        assert_eq!(t.retries, 0);
+        assert_eq!(t.permanent_failures, 1);
+        assert!(!t.is_degraded());
+    }
+
+    #[test]
+    fn merge_accumulates_and_probe_skips_failures() {
+        let mut total = FetchTelemetry::default();
+        let part = FetchTelemetry {
+            attempts: 3,
+            retries: 2,
+            transient_errors: 2,
+            transient_failures: 1,
+            ..FetchTelemetry::default()
+        };
+        total.merge(&part);
+        total.merge(&part);
+        assert_eq!(total.attempts, 6);
+        assert_eq!(total.transient_failures, 2);
+        assert!(total.is_degraded());
+
+        let mut crawl = FetchTelemetry::default();
+        let probe = FetchTelemetry {
+            attempts: 1,
+            permanent_errors: 1,
+            permanent_failures: 1,
+            ..FetchTelemetry::default()
+        };
+        crawl.absorb_probe(&probe);
+        assert_eq!(crawl.attempts, 1);
+        assert_eq!(crawl.permanent_errors, 1);
+        assert_eq!(crawl.permanent_failures, 0, "probe failures don't count");
+    }
+}

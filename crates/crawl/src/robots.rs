@@ -105,10 +105,25 @@ impl RobotsPolicy {
     }
 
     /// True when `path` may be fetched under this policy.
+    ///
+    /// Rules are matched against the query-stripped path: `/page.php?x=1`
+    /// is the same resource as `/page.php`, so a `$`-anchored rule like
+    /// `Disallow: /*.php$` applies to both. A rule whose pattern itself
+    /// contains `?` (e.g. `Disallow: /*?sessionid=`) explicitly targets
+    /// the query and is matched against the full path.
     pub fn allows(&self, path: &str) -> bool {
+        let stripped = match path.find('?') {
+            Some(idx) => &path[..idx],
+            None => path,
+        };
         let mut best: Option<(usize, bool)> = None; // (pattern length, allow)
         for rule in &self.rules {
-            if pattern_matches(&rule.pattern, path) {
+            let target = if rule.pattern.contains('?') {
+                path
+            } else {
+                stripped
+            };
+            if pattern_matches(&rule.pattern, target) {
                 let len = rule.pattern.len();
                 let better = match best {
                     None => true,
@@ -232,6 +247,25 @@ Disallow: /
         let p = RobotsPolicy::parse("User-agent: *\nDisallow: /*.pdf$\n", "x");
         assert!(!p.allows("/doc.pdf"));
         assert!(p.allows("/doc.pdf.html"));
+    }
+
+    #[test]
+    fn anchored_patterns_apply_to_query_carrying_paths() {
+        // Regression: matching ran on the raw path, so the query string
+        // defeated `$`-anchored rules.
+        let p = RobotsPolicy::parse("User-agent: *\nDisallow: /*.php$\n", "x");
+        assert!(!p.allows("/page.php"));
+        assert!(!p.allows("/page.php?x=1"));
+        assert!(!p.allows("/a/b/script.php?session=abc&x=2"));
+        assert!(p.allows("/page.phtml?x=1"));
+    }
+
+    #[test]
+    fn query_targeting_patterns_still_see_the_query() {
+        let p = RobotsPolicy::parse("User-agent: *\nDisallow: /*?sessionid=\n", "x");
+        assert!(!p.allows("/cart?sessionid=123"));
+        assert!(p.allows("/cart"));
+        assert!(p.allows("/cart?page=2"));
     }
 
     #[test]

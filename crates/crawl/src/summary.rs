@@ -4,8 +4,26 @@
 //! the pages crawled into a single document." Documents of 160 000 terms
 //! are reported as "not unusual", so the merge is careful to do a single
 //! allocation of the right size.
+//!
+//! [`summarize_crawl`] additionally carries the crawl's degradation state
+//! alongside the text: a summary produced from a partially fetched site
+//! underrepresents it, and downstream feature extraction needs to know.
 
 use crate::crawler::CrawlResult;
+
+/// A summary document plus the crawl-health facts about how it was made.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrawlSummary {
+    /// Merged text of every crawled page, in breadth-first order.
+    pub text: String,
+    /// Number of pages merged.
+    pub pages: usize,
+    /// True when the crawl lost coverage to transient failures or the
+    /// circuit breaker (see [`CrawlResult::is_degraded`]).
+    pub degraded: bool,
+    /// Fraction of attempted page URLs actually fetched, in `(0, 1]`.
+    pub coverage: f64,
+}
 
 /// Merges the text of every crawled page into one summary document,
 /// in crawl (breadth-first) order, separated by single spaces.
@@ -24,10 +42,22 @@ pub fn summarize(crawl: &CrawlResult) -> String {
     doc
 }
 
+/// [`summarize`] plus the crawl-health metadata downstream consumers use
+/// to caveat features extracted from a degraded crawl.
+pub fn summarize_crawl(crawl: &CrawlResult) -> CrawlSummary {
+    CrawlSummary {
+        text: summarize(crawl),
+        pages: crawl.pages.len(),
+        degraded: crawl.is_degraded(),
+        coverage: crawl.coverage(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::crawler::{CrawlConfig, Crawler};
+    use crate::fault::{FaultConfig, FaultyWeb};
     use crate::host::InMemoryWeb;
     use crate::url::Url;
 
@@ -58,5 +88,56 @@ mod tests {
         let crawl =
             Crawler::new(CrawlConfig::default()).crawl(&web, &Url::parse("http://p.com/").unwrap());
         assert_eq!(summarize(&crawl), "x y tail");
+    }
+
+    #[test]
+    fn clean_crawl_summary_is_not_degraded() {
+        let mut web = InMemoryWeb::new();
+        web.add_page("http://p.com/", "all fine");
+        let crawl =
+            Crawler::new(CrawlConfig::default()).crawl(&web, &Url::parse("http://p.com/").unwrap());
+        let summary = summarize_crawl(&crawl);
+        assert_eq!(summary.text, "all fine");
+        assert_eq!(summary.pages, 1);
+        assert!(!summary.degraded);
+        assert_eq!(summary.coverage, 1.0);
+    }
+
+    #[test]
+    fn degraded_crawl_summary_reports_lost_coverage() {
+        // Fault every URL with a schedule that outlasts the retry budget:
+        // whatever survives, the summary must flag the damage.
+        let mut web = InMemoryWeb::new();
+        web.add_page(
+            "http://p.com/",
+            r#"head <a href="/a">a</a> <a href="/b">b</a> <a href="/c">c</a>"#,
+        );
+        web.add_page("http://p.com/a", "alpha");
+        web.add_page("http://p.com/b", "beta");
+        web.add_page("http://p.com/c", "gamma");
+        // Deterministically find a fault seed whose schedule leaves the
+        // front page reachable but keeps at least one other URL down
+        // through the whole retry budget.
+        let crawl = (0..1000)
+            .map(|seed| {
+                let config = FaultConfig {
+                    rate: 0.7,
+                    seed,
+                    max_failures: 50,
+                };
+                let faulty = FaultyWeb::new(&web, config);
+                Crawler::new(CrawlConfig::default())
+                    .crawl(&faulty, &Url::parse("http://p.com/").unwrap())
+            })
+            .find(|c| !c.pages.is_empty() && c.telemetry.transient_failures > 0)
+            .expect("some fault universe partially degrades the crawl");
+        let summary = summarize_crawl(&crawl);
+        assert_eq!(summary.pages, crawl.pages.len());
+        assert!(summary.degraded);
+        assert!(summary.coverage < 1.0);
+        // The summary text only contains fetched pages.
+        for page in &crawl.pages {
+            assert!(summary.text.contains(page.text.split(' ').next().unwrap()));
+        }
     }
 }

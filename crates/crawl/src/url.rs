@@ -107,9 +107,13 @@ impl Url {
                 let path = if let Some(root) = reference.strip_prefix('/') {
                     normalize_path(&format!("/{root}"))
                 } else {
-                    // Relative to the directory of the current path.
-                    let dir = match self.path.rfind('/') {
-                        Some(idx) => &self.path[..=idx],
+                    // Relative to the directory of the current path. The
+                    // query must not take part in the directory split: for
+                    // a base of `/a/b?x=c/d` the directory is `/a/`, not
+                    // the slash inside the query.
+                    let base = self.path_without_query();
+                    let dir = match base.rfind('/') {
+                        Some(idx) => &base[..=idx],
                         None => "/",
                     };
                     normalize_path(&format!("{dir}{reference}"))
@@ -137,6 +141,15 @@ impl Url {
     /// The normalized path (always starts with `/`; query string retained).
     pub fn path(&self) -> &str {
         &self.path
+    }
+
+    /// The normalized path with any query string removed — the resource
+    /// identity used for relative resolution and robots matching.
+    pub fn path_without_query(&self) -> &str {
+        match self.path.find('?') {
+            Some(idx) => &self.path[..idx],
+            None => &self.path,
+        }
     }
 
     /// The paper's `endpoint()` function (Algorithm 1, line 7): the final
@@ -282,6 +295,27 @@ mod tests {
         let base = Url::parse("http://pharm.example.com/shop/index.html").unwrap();
         assert_eq!(base.join("cart.html").unwrap().path(), "/shop/cart.html");
         assert_eq!(base.join("../top.html").unwrap().path(), "/top.html");
+    }
+
+    #[test]
+    fn join_ignores_base_query_when_splitting_directory() {
+        // Regression: the directory split used to run on the raw path, so
+        // a slash inside the query became the "directory".
+        let base = Url::parse("http://shop.com/a/b?x=c/d").unwrap();
+        assert_eq!(base.join("e.html").unwrap().path(), "/a/e.html");
+        let base = Url::parse("http://shop.com/list.php?cat=drugs/otc").unwrap();
+        assert_eq!(base.join("item.php").unwrap().path(), "/item.php");
+        // A query on a directory-style base must not leak either.
+        let base = Url::parse("http://shop.com/dir/?page=2").unwrap();
+        assert_eq!(base.join("next.html").unwrap().path(), "/dir/next.html");
+    }
+
+    #[test]
+    fn path_without_query_strips_only_the_query() {
+        let u = Url::parse("http://a.com/x/y.php?q=1&r=2").unwrap();
+        assert_eq!(u.path_without_query(), "/x/y.php");
+        let u = Url::parse("http://a.com/plain.html").unwrap();
+        assert_eq!(u.path_without_query(), "/plain.html");
     }
 
     #[test]

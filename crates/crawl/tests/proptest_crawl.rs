@@ -78,4 +78,53 @@ proptest! {
         let out = html::decode_entities(&input);
         prop_assert!(out.chars().count() <= input.chars().count() + 1);
     }
+
+    /// A successful join produces a URL whose display form re-parses to
+    /// the same value — joins never construct non-normalized URLs.
+    #[test]
+    fn join_then_parse_round_trips(reference in "[a-zA-Z0-9:/._?#&=-]{0,80}") {
+        let base = Url::parse("http://pharmacy.example.com/shop/index.html").unwrap();
+        if let Ok(joined) = base.join(&reference) {
+            let reparsed = Url::parse(&joined.to_string()).expect("joined URL must re-parse");
+            prop_assert_eq!(&reparsed, &joined);
+        }
+    }
+
+    /// Joining the same relative reference from a joined URL's own
+    /// directory is stable: join(join(b, r), r) resolves against the
+    /// same directory, so a plain filename reference is idempotent.
+    #[test]
+    fn filename_join_idempotent(name in "[a-z0-9_-]{1,20}\\.html") {
+        let base = Url::parse("http://pharm.com/a/b/c.html").unwrap();
+        let once = base.join(&name).unwrap();
+        let twice = once.join(&name).unwrap();
+        prop_assert_eq!(&once, &twice);
+    }
+
+    /// The base URL's query never leaks into directory resolution:
+    /// joining a relative reference against `p?q` equals joining it
+    /// against plain `p`, whatever the query contains — including `/`.
+    #[test]
+    fn join_ignores_base_query(
+        query in "[a-z0-9/=&.?-]{0,40}",
+        reference in "[a-z0-9._-]{1,30}",
+    ) {
+        let plain = Url::parse("http://pharm.com/shop/list.php").unwrap();
+        let with_query = Url::parse(&format!("http://pharm.com/shop/list.php?{query}"))
+            .expect("query URL must parse");
+        let a = plain.join(&reference).unwrap();
+        let b = with_query.join(&reference).unwrap();
+        prop_assert_eq!(&a, &b);
+    }
+
+    /// `path_without_query` strips everything from the first `?` and
+    /// never otherwise alters the path.
+    #[test]
+    fn path_without_query_is_prefix(input in "[a-zA-Z0-9:/._?#&=-]{0,80}") {
+        if let Ok(url) = Url::parse(&input) {
+            let stripped = url.path_without_query();
+            prop_assert!(!stripped.contains('?'));
+            prop_assert!(url.path().starts_with(stripped));
+        }
+    }
 }

@@ -5,6 +5,14 @@
 //! and once with four workers, and requires the two outputs to be
 //! byte-identical — any hash-order leak, time dependence, or
 //! thread-scheduling sensitivity shows up as a diff.
+//!
+//! The same double-run is then repeated with fault injection enabled
+//! (`--fault-rate 0.2`): the injected fault universe is derived from the
+//! corpus RNG, so a crawl that times out, retries, and trips circuit
+//! breakers must still be a pure function of the seed. The faulted
+//! output must additionally *start with* the fault-free output — the
+//! robustness study is an appended section, never a perturbation of the
+//! regular tables.
 
 use std::path::Path;
 use std::process::Command;
@@ -12,8 +20,10 @@ use std::process::Command;
 /// Outcome of one audit run.
 #[derive(Debug)]
 pub struct AuditReport {
-    /// Bytes of harness output compared.
+    /// Bytes of fault-free harness output compared.
     pub bytes: usize,
+    /// Bytes of fault-injected harness output compared.
+    pub fault_bytes: usize,
 }
 
 /// Arguments of the harness invocation (after `cargo`).
@@ -30,36 +40,58 @@ const REPRO_ARGS: &[&str] = &[
     "small",
 ];
 
-/// Runs the table harness serially and with four workers and compares
-/// outputs byte-for-byte.
+/// Fault rate of the injected-fault audit runs.
+const FAULT_ARGS: &[&str] = &["--fault-rate", "0.2"];
+
+/// Runs the table harness serially and with four workers — first clean,
+/// then under fault injection — and compares outputs byte-for-byte.
 pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
-    let serial = run_harness(workspace_root, "1")?;
-    let parallel = run_harness(workspace_root, "4")?;
+    let serial = run_harness(workspace_root, "1", &[])?;
+    let parallel = run_harness(workspace_root, "4", &[])?;
+    compare(&serial, &parallel, "fault-free")?;
+
+    let fault_serial = run_harness(workspace_root, "1", FAULT_ARGS)?;
+    let fault_parallel = run_harness(workspace_root, "4", FAULT_ARGS)?;
+    compare(&fault_serial, &fault_parallel, "fault-injected")?;
+    if !fault_serial.starts_with(&serial) {
+        return Err(
+            "fault-injected output does not start with the fault-free output: \
+             the robustness study must be a pure suffix"
+                .to_string(),
+        );
+    }
+
+    Ok(AuditReport {
+        bytes: serial.len(),
+        fault_bytes: fault_serial.len(),
+    })
+}
+
+fn compare(serial: &[u8], parallel: &[u8], mode: &str) -> Result<(), String> {
     if serial == parallel {
-        return Ok(AuditReport {
-            bytes: serial.len(),
-        });
+        return Ok(());
     }
     let at = serial
         .iter()
-        .zip(&parallel)
+        .zip(parallel)
         .position(|(a, b)| a != b)
         .unwrap_or(serial.len().min(parallel.len()));
     let context =
         String::from_utf8_lossy(&serial[at.saturating_sub(40)..serial.len().min(at + 40)])
             .into_owned();
     Err(format!(
-        "harness output differs between serial and 4-worker runs of the \
+        "{mode} harness output differs between serial and 4-worker runs of the \
          same seed (lengths {} vs {}, first divergence at byte {at}, near {context:?})",
         serial.len(),
         parallel.len(),
     ))
 }
 
-fn run_harness(workspace_root: &Path, jobs: &str) -> Result<Vec<u8>, String> {
+fn run_harness(workspace_root: &Path, jobs: &str, extra_args: &[&str]) -> Result<Vec<u8>, String> {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let output = Command::new(cargo)
         .args(REPRO_ARGS)
+        .args(extra_args)
         .current_dir(workspace_root)
         .env("PHARMAVERIFY_SCALE", "small")
         .env("PHARMAVERIFY_JOBS", jobs)

@@ -76,7 +76,10 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
         println!("determinism: running the table harness serial vs 4-worker (seeded)...");
         match audit::run(&root) {
             Ok(report) => {
-                println!("determinism: ok ({} bytes byte-identical)", report.bytes);
+                println!(
+                    "determinism: ok ({} bytes byte-identical; {} with fault injection)",
+                    report.bytes, report.fault_bytes
+                );
             }
             Err(message) => {
                 println!("determinism: FAILED\n  {message}");
