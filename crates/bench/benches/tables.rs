@@ -36,8 +36,15 @@ fn main() {
     let report = render_report(&ctx, &Selection::everything(), exec);
     print!("{}", report.output);
 
-    for (name, secs) in &report.timings {
-        eprintln!("[tables bench] {name} in {secs:.1}s");
+    for (path, count, micros) in pharmaverify_obs::global().span_totals() {
+        if let Some(name) = path.strip_prefix("report/section/") {
+            if !name.contains('/') {
+                eprintln!(
+                    "[tables bench] {name} in {:.1}s (×{count})",
+                    micros as f64 / 1_000_000.0
+                );
+            }
+        }
     }
     let (hits, misses) = ctx.store.totals();
     eprintln!(

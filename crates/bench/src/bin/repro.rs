@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N]
-//!       [--fault-rate F]
+//!       [--fault-rate F] [--trace PATH]
 //! ```
 //!
 //! With no selection, every table and figure is printed. Scale defaults
@@ -10,13 +10,28 @@
 //! worker count defaults to `PHARMAVERIFY_JOBS`, then to the available
 //! cores. `--fault-rate F` (0 < F ≤ 1) appends the fault-injection
 //! robustness study after the regular output; the rest of the report is
-//! byte-identical to a run without the flag. Tables go to stdout;
-//! progress, per-stage timings, and artifact cache statistics go to
+//! byte-identical to a run without the flag. `--trace PATH` (or the
+//! `PHARMAVERIFY_TRACE` environment variable) writes the full
+//! metrics-and-spans trace as canonical JSON; its deterministic view is
+//! byte-identical across worker counts at the same seed. Tables go to
+//! stdout; progress, span summaries, and artifact cache statistics go to
 //! stderr, so redirected output stays clean.
 
 use pharmaverify_bench::{render_report_with, ReproContext, Scale, Selection};
 use pharmaverify_core::pipeline::Executor;
 use std::time::Instant;
+
+/// Environment variable naming a trace output file (`--trace` wins).
+const TRACE_ENV: &str = "PHARMAVERIFY_TRACE";
+
+/// The value following `flag`, or a uniform "missing value" error on
+/// exit code 2 when the command line ends at the flag.
+fn require_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("missing value for '{flag}'");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
     let mut scale = Scale::from_env().unwrap_or_else(|e| {
@@ -29,18 +44,19 @@ fn main() {
     });
     let mut sel = Selection::everything();
     let mut fault_rate = 0.0_f64;
+    let mut trace_path = std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                let value = args.next().unwrap_or_default();
+                let value = require_value(&mut args, "--scale");
                 scale = Scale::parse(&value).unwrap_or_else(|| {
                     eprintln!("unknown scale '{value}' (small|medium|paper)");
                     std::process::exit(2);
                 });
             }
             "--table" => {
-                let value = args.next().unwrap_or_default();
+                let value = require_value(&mut args, "--table");
                 match value.parse() {
                     Ok(n) if (1..=17).contains(&n) => {
                         sel.add_table(n);
@@ -52,7 +68,7 @@ fn main() {
                 }
             }
             "--figure" => {
-                let value = args.next().unwrap_or_default();
+                let value = require_value(&mut args, "--figure");
                 match value.parse() {
                     Ok(3u32) => {
                         sel.add_figure(3);
@@ -64,7 +80,7 @@ fn main() {
                 }
             }
             "--jobs" => {
-                let value = args.next().unwrap_or_default();
+                let value = require_value(&mut args, "--jobs");
                 match value.parse::<usize>() {
                     Ok(n) if n >= 1 => {
                         exec = Executor::new(n);
@@ -76,7 +92,7 @@ fn main() {
                 }
             }
             "--fault-rate" => {
-                let value = args.next().unwrap_or_default();
+                let value = require_value(&mut args, "--fault-rate");
                 match value.parse::<f64>() {
                     Ok(f) if (0.0..=1.0).contains(&f) => {
                         fault_rate = f;
@@ -87,10 +103,13 @@ fn main() {
                     }
                 }
             }
+            "--trace" => {
+                trace_path = Some(require_value(&mut args, "--trace"));
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N] \
-                     [--fault-rate F]"
+                     [--fault-rate F] [--trace PATH]"
                 );
                 return;
             }
@@ -121,8 +140,16 @@ fn main() {
     let report = render_report_with(&ctx, &sel, exec, fault_rate);
     print!("{}", report.output);
 
-    for (name, secs) in &report.timings {
-        eprintln!("[repro] {name} in {secs:.1}s");
+    let obs = pharmaverify_obs::global();
+    for (path, count, micros) in obs.span_totals() {
+        if let Some(name) = path.strip_prefix("report/section/") {
+            if !name.contains('/') {
+                eprintln!(
+                    "[repro] {name} in {:.1}s (×{count})",
+                    micros as f64 / 1_000_000.0
+                );
+            }
+        }
     }
     eprintln!("[repro] artifact cache (stage: hits/misses):");
     for c in ctx.cache_counters() {
@@ -130,6 +157,13 @@ fn main() {
             "[repro]   {:<18} {:>4} hits / {:<4} misses",
             c.stage, c.hits, c.misses
         );
+    }
+    if let Some(path) = trace_path {
+        if let Err(e) = std::fs::write(&path, obs.render_trace()) {
+            eprintln!("[repro] failed to write trace to '{path}': {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[repro] trace written to {path}");
     }
     let (hits, misses) = ctx.store.totals();
     eprintln!(

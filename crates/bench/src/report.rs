@@ -16,7 +16,6 @@ use pharmaverify_core::pipeline::Executor;
 use pharmaverify_core::report::Table;
 use pharmaverify_ml::EvalSummary;
 use std::collections::BTreeSet;
-use std::time::Instant;
 
 /// Which tables/figures to render. An empty selection means *everything*:
 /// all tables, all figures, plus the ablation and future-work studies
@@ -60,15 +59,15 @@ impl Selection {
     }
 }
 
-/// A rendered report plus per-section wall-clock timings.
+/// A rendered report. Per-section timing moved into the observability
+/// layer: every section runs under a `report/section/<name>` span in the
+/// process-wide registry, where the durations live in the trace's
+/// non-deterministic view instead of a side-channel field.
 #[derive(Debug, Clone)]
 pub struct ReproReport {
     /// The full rendered output (what the `repro` binary prints to
     /// stdout). Deterministic for a given context and selection.
     pub output: String,
-    /// `(section name, seconds)` per rendered section, in output order.
-    /// Timings vary run to run; the output never does.
-    pub timings: Vec<(String, f64)>,
 }
 
 /// The independent sections of phase one, in output order.
@@ -121,7 +120,6 @@ impl Section {
 struct SectionOut {
     section: Section,
     text: String,
-    secs: f64,
     /// MLP row, 1000-term column of the NGG grid — reused by Table 14.
     mlp_1000: Option<EvalSummary>,
     /// Aggregate network summary — reused by Table 14.
@@ -144,7 +142,7 @@ fn run_section(
     fault_rate: f64,
     section: Section,
 ) -> SectionOut {
-    let started = Instant::now();
+    let _span = pharmaverify_obs::global().span(&format!("report/section/{}", section.name()));
     let mut text = String::new();
     let mut mlp_1000 = None;
     let mut network = None;
@@ -227,7 +225,6 @@ fn run_section(
     SectionOut {
         section,
         text,
-        secs: started.elapsed().as_secs_f64(),
         mlp_1000,
         network,
     }
@@ -312,10 +309,10 @@ pub fn render_report_with(
     let network = sections.iter().find_map(|s| s.network);
     let table14 = match (sel.wants_table(14), mlp_1000, network) {
         (true, Some(mlp), Some(net)) => {
-            let started = Instant::now();
+            let _span = pharmaverify_obs::global().span("report/section/table 14 (ensemble)");
             let mut text = String::new();
             push_table(&mut text, &tables::table14(ctx, mlp, net));
-            Some((text, started.elapsed().as_secs_f64()))
+            Some(text)
         }
         _ => None,
     };
@@ -323,18 +320,15 @@ pub fn render_report_with(
     // Assembly: fixed output order; Table 14 slots in right after the
     // network block, before the ranking section.
     let mut output = String::new();
-    let mut timings = Vec::new();
     for s in &sections {
         output.push_str(&s.text);
-        timings.push((s.section.name().to_string(), s.secs));
         if s.section == Section::Network {
-            if let Some((text, secs)) = &table14 {
+            if let Some(text) = &table14 {
                 output.push_str(text);
-                timings.push(("table 14 (ensemble)".to_string(), *secs));
             }
         }
     }
-    ReproReport { output, timings }
+    ReproReport { output }
 }
 
 #[cfg(test)]

@@ -1,0 +1,145 @@
+//! Black-box tests of the `repro` binary's argument handling: every
+//! value-taking flag reports a uniform "missing value" error when the
+//! command line ends at the flag, and every malformed value names the
+//! flag's accepted range — all on exit code 2, before any expensive
+//! corpus work starts.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env_remove("PHARMAVERIFY_SCALE")
+        .env_remove("PHARMAVERIFY_TRACE")
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stderr).to_string()
+}
+
+/// Every value-taking flag of the harness.
+const VALUE_FLAGS: &[&str] = &[
+    "--scale",
+    "--table",
+    "--figure",
+    "--jobs",
+    "--fault-rate",
+    "--trace",
+];
+
+#[test]
+fn trailing_flag_without_value_exits_two_with_uniform_message() {
+    for flag in VALUE_FLAGS {
+        let out = run(&[flag]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{flag}: expected exit 2, got {:?}",
+            out.status.code()
+        );
+        let err = stderr(&out);
+        assert!(
+            err.contains(&format!("missing value for '{flag}'")),
+            "{flag}: stderr was {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_scale_is_rejected() {
+    let out = run(&["--scale", "huge"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("unknown scale 'huge'"), "{err:?}");
+    assert!(err.contains("small|medium|paper"), "{err:?}");
+}
+
+#[test]
+fn bad_table_numbers_are_rejected() {
+    for value in ["0", "18", "twelve", "-1"] {
+        let out = run(&["--table", value]);
+        assert_eq!(out.status.code(), Some(2), "--table {value}");
+        assert!(
+            stderr(&out).contains("--table expects a number in 1..=17"),
+            "--table {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn bad_figure_numbers_are_rejected() {
+    for value in ["1", "4", "pie"] {
+        let out = run(&["--figure", value]);
+        assert_eq!(out.status.code(), Some(2), "--figure {value}");
+        assert!(
+            stderr(&out).contains("--figure expects 3"),
+            "--figure {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn bad_job_counts_are_rejected() {
+    for value in ["0", "-2", "many"] {
+        let out = run(&["--jobs", value]);
+        assert_eq!(out.status.code(), Some(2), "--jobs {value}");
+        assert!(
+            stderr(&out).contains("--jobs expects a positive worker count"),
+            "--jobs {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn bad_fault_rates_are_rejected() {
+    for value in ["1.5", "-0.1", "often"] {
+        let out = run(&["--fault-rate", value]);
+        assert_eq!(out.status.code(), Some(2), "--fault-rate {value}");
+        assert!(
+            stderr(&out).contains("--fault-rate expects a number in [0, 1]"),
+            "--fault-rate {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn unknown_arguments_are_rejected() {
+    let out = run(&["--tables", "3"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown argument '--tables'"));
+}
+
+#[test]
+fn help_short_circuits_without_running() {
+    for help in ["--help", "-h"] {
+        let out = run(&[help]);
+        assert!(out.status.success(), "{help}");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("--trace PATH"), "{help}: {text}");
+        assert!(text.contains("--fault-rate F"), "{help}: {text}");
+    }
+}
+
+#[test]
+fn unwritable_trace_path_fails_after_reporting() {
+    let out = run(&[
+        "--scale",
+        "small",
+        "--table",
+        "2",
+        "--trace",
+        "/nonexistent-dir/trace.json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("failed to write trace"),
+        "{:?}",
+        stderr(&out)
+    );
+}

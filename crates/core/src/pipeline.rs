@@ -38,6 +38,7 @@ use crate::features::ExtractedCorpus;
 use pharmaverify_ml::FoldSplit;
 use pharmaverify_net::TrustRankConfig;
 use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
+use pharmaverify_obs::Registry;
 use pharmaverify_text::TfIdfModel;
 use std::collections::HashMap;
 use std::fmt;
@@ -249,8 +250,10 @@ impl<V> Memo<V> {
         &self,
         key: ArtifactKey,
         stats: &StageStats,
+        obs: &Registry,
         f: impl FnOnce() -> V,
     ) -> Arc<V> {
+        let stage = key.stage.name();
         let cell = {
             let mut cells = self.cells.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(cells.entry(key).or_default())
@@ -258,12 +261,20 @@ impl<V> Memo<V> {
         let mut computed = false;
         let value = Arc::clone(cell.get_or_init(|| {
             computed = true;
+            let _span = obs.span(&format!("pipeline/stage/{stage}"));
             Arc::new(f())
         }));
+        // Both counter families are deterministic: misses equal the number
+        // of distinct keys (the closure runs once per key no matter how
+        // many threads race), and hits equal requests minus misses, with
+        // the request sequence fixed by the harness rather than the
+        // scheduler.
         if computed {
             stats.misses.fetch_add(1, Ordering::Relaxed);
+            obs.add(&format!("pipeline/cache/{stage}/misses"), 1);
         } else {
             stats.hits.fetch_add(1, Ordering::Relaxed);
+            obs.add(&format!("pipeline/cache/{stage}/hits"), 1);
         }
         value
     }
@@ -300,11 +311,19 @@ pub struct ArtifactStore {
     web: Memo<NetworkArtifacts>,
     trust: Memo<Vec<f64>>,
     stats: [StageStats; 7],
+    obs: Arc<Registry>,
 }
 
 impl ArtifactStore {
-    /// Creates an empty store.
+    /// Creates an empty store reporting into the process-wide observability
+    /// registry.
     pub fn new() -> ArtifactStore {
+        ArtifactStore::with_obs(pharmaverify_obs::global_arc())
+    }
+
+    /// Creates an empty store reporting into `obs` — for tests that need
+    /// metric isolation from the rest of the process.
+    pub fn with_obs(obs: Arc<Registry>) -> ArtifactStore {
         ArtifactStore {
             docs: Memo::new(),
             texts: Memo::new(),
@@ -314,7 +333,13 @@ impl ArtifactStore {
             web: Memo::new(),
             trust: Memo::new(),
             stats: Default::default(),
+            obs,
         }
+    }
+
+    /// The observability registry this store reports into.
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// Per-stage hit/miss counters, in [`Stage::ALL`] order.
@@ -435,11 +460,12 @@ impl<'a> Pipeline<'a> {
     pub fn subsampled_docs(&self, subsample: Option<usize>, seed: u64) -> Arc<Vec<Vec<String>>> {
         let stage = Stage::SubsampledDocs;
         let key = self.key(stage, seed, NO_FOLD, encode_subsample(subsample), 0);
-        self.store
-            .docs
-            .get_or_compute(key, &self.store.stats[stage.index()], || {
-                subsampled_documents(self.corpus, subsample, seed)
-            })
+        self.store.docs.get_or_compute(
+            key,
+            &self.store.stats[stage.index()],
+            &self.store.obs,
+            || subsampled_documents(self.corpus, subsample, seed),
+        )
     }
 
     /// Subsampled documents re-joined with spaces — the N-Gram-Graph
@@ -449,22 +475,24 @@ impl<'a> Pipeline<'a> {
         let stage = Stage::NggTexts;
         let key = self.key(stage, seed, NO_FOLD, encode_subsample(subsample), 0);
         let docs = self.subsampled_docs(subsample, seed);
-        self.store
-            .texts
-            .get_or_compute(key, &self.store.stats[stage.index()], || {
-                docs.iter().map(|tokens| tokens.join(" ")).collect()
-            })
+        self.store.texts.get_or_compute(
+            key,
+            &self.store.stats[stage.index()],
+            &self.store.obs,
+            || docs.iter().map(|tokens| tokens.join(" ")).collect(),
+        )
     }
 
     /// The stratified fold split for `(k, seed)` (stage: `fold-split`).
     pub fn fold_split(&self, k: usize, seed: u64) -> Arc<FoldSplit> {
         let stage = Stage::FoldSplit;
         let key = self.key(stage, seed, NO_FOLD, k as u64, 0);
-        self.store
-            .folds
-            .get_or_compute(key, &self.store.stats[stage.index()], || {
-                FoldSplit::stratified(&self.corpus.labels, k, seed)
-            })
+        self.store.folds.get_or_compute(
+            key,
+            &self.store.stats[stage.index()],
+            &self.store.obs,
+            || FoldSplit::stratified(&self.corpus.labels, k, seed),
+        )
     }
 
     /// Convenience: the fold split of a [`CvConfig`].
@@ -493,12 +521,15 @@ impl<'a> Pipeline<'a> {
             indices_fingerprint(train_idx),
         );
         let docs = self.subsampled_docs(subsample, seed);
-        self.store
-            .tfidf
-            .get_or_compute(key, &self.store.stats[stage.index()], || {
+        self.store.tfidf.get_or_compute(
+            key,
+            &self.store.stats[stage.index()],
+            &self.store.obs,
+            || {
                 let train_docs: Vec<&Vec<String>> = train_idx.iter().map(|&i| &docs[i]).collect();
                 TfIdfModel::fit(&train_docs)
-            })
+            },
+        )
     }
 
     /// The per-fold N-Gram-Graph class graphs (stage: `ngg-class-graphs`):
@@ -521,9 +552,11 @@ impl<'a> Pipeline<'a> {
             indices_fingerprint(train_idx),
         );
         let texts = self.ngg_texts(subsample, base_seed);
-        self.store
-            .ngg_graphs
-            .get_or_compute(key, &self.store.stats[stage.index()], || {
+        self.store.ngg_graphs.get_or_compute(
+            key,
+            &self.store.stats[stage.index()],
+            &self.store.obs,
+            || {
                 let legit: Vec<&str> = train_idx
                     .iter()
                     .filter(|&&i| self.corpus.labels[i])
@@ -540,18 +573,20 @@ impl<'a> Pipeline<'a> {
                     &illegit,
                     base_seed ^ (fold as u64),
                 )
-            })
+            },
+        )
     }
 
     /// The Algorithm 1 outbound-link graph (stage: `web-graph`).
     pub fn web_graph(&self) -> Arc<NetworkArtifacts> {
         let stage = Stage::WebGraph;
         let key = self.key(stage, 0, NO_FOLD, 0, 0);
-        self.store
-            .web
-            .get_or_compute(key, &self.store.stats[stage.index()], || {
-                build_web_graph(self.corpus)
-            })
+        self.store.web.get_or_compute(
+            key,
+            &self.store.stats[stage.index()],
+            &self.store.obs,
+            || build_web_graph(self.corpus),
+        )
     }
 
     /// Per-pharmacy TrustRank scores over the base web graph, seeded by
@@ -567,11 +602,12 @@ impl<'a> Pipeline<'a> {
             indices_fingerprint(seed_idx),
         );
         let web = self.web_graph();
-        self.store
-            .trust
-            .get_or_compute(key, &self.store.stats[stage.index()], || {
-                pharmacy_trust_scores(&web, seed_idx, config)
-            })
+        self.store.trust.get_or_compute(
+            key,
+            &self.store.stats[stage.index()],
+            &self.store.obs,
+            || pharmacy_trust_scores(&web, seed_idx, config),
+        )
     }
 }
 
@@ -642,6 +678,13 @@ impl Executor {
         F: Fn(usize) -> T + Sync,
     {
         let workers = self.jobs.min(n);
+        // Run count and queue depth are functions of the submitted work,
+        // so they are deterministic; the effective width depends on the
+        // configured thread count and is flagged accordingly.
+        let obs = pharmaverify_obs::global();
+        obs.add("pipeline/executor/runs", 1);
+        obs.observe("pipeline/executor/queue_depth", n as u64);
+        obs.max_gauge_nondet("pipeline/executor/width", workers as i64);
         if workers <= 1 {
             return (0..n).map(&f).collect();
         }
@@ -863,6 +906,40 @@ mod tests {
     fn executor_new_clamps_zero_to_one() {
         assert_eq!(Executor::new(0).jobs(), 1);
         assert_eq!(Executor::serial().jobs(), 1);
+    }
+
+    #[test]
+    fn store_reports_cache_metrics_into_its_registry() {
+        let c = corpus();
+        let obs = Arc::new(pharmaverify_obs::Registry::with_clock(Box::new(
+            pharmaverify_obs::VirtualClock::new(1),
+        )));
+        let store = ArtifactStore::with_obs(Arc::clone(&obs));
+        let pipe = Pipeline::new(&store, &c);
+        pipe.fold_split(3, 9);
+        pipe.fold_split(3, 9);
+        pipe.fold_split(5, 9);
+        assert_eq!(obs.counter("pipeline/cache/fold-split/misses"), 2);
+        assert_eq!(obs.counter("pipeline/cache/fold-split/hits"), 1);
+        // Each miss ran under the stage span; hits never re-enter it.
+        assert_eq!(obs.span_count("pipeline/stage/fold-split"), 2);
+        // The obs counters agree with the legacy counter API.
+        let stats = counters_for(&store, Stage::FoldSplit);
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert!(std::ptr::eq(store.obs(), obs.as_ref()));
+    }
+
+    #[test]
+    fn executor_records_runs_and_queue_depth() {
+        let obs = pharmaverify_obs::global();
+        let runs_before = obs.counter("pipeline/executor/runs");
+        Executor::new(2).run(5, |i| i);
+        Executor::serial().run(3, |i| i);
+        assert_eq!(obs.counter("pipeline/executor/runs"), runs_before + 2);
+        let depth = obs
+            .histogram("pipeline/executor/queue_depth")
+            .expect("executor ran");
+        assert!(depth.count >= 2);
     }
 
     #[test]

@@ -124,6 +124,13 @@ pub struct SyntheticWeb {
 impl SyntheticWeb {
     /// Generates both snapshots from a single seed.
     pub fn generate(config: &CorpusConfig, seed: u64) -> Self {
+        let obs = pharmaverify_obs::global();
+        let _span = obs.span("corpus/generate");
+        obs.add("corpus/generated_webs", 1);
+        obs.set_gauge(
+            "corpus/sites_per_snapshot",
+            (config.n_legitimate + config.n_illegitimate_snapshot1) as i64,
+        );
         let mut meta_rng = SmallRng::seed_from_u64(seed);
         let legit_meta = legitimate_metadata(config, &mut meta_rng);
         let illegit_meta1 =

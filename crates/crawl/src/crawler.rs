@@ -149,6 +149,8 @@ impl Crawler {
     /// ultimately failed, the circuit breaker abandons the remaining
     /// queue and the result is marked degraded rather than aborting.
     pub fn crawl<H: WebHost>(&self, host: &H, seed: &Url) -> CrawlResult {
+        let obs = pharmaverify_obs::global();
+        let _span = obs.span("crawl/site");
         let domain = seed.endpoint();
         let mut telemetry = FetchTelemetry::default();
         let robots = if self.config.respect_robots {
@@ -220,6 +222,11 @@ impl Crawler {
             });
         }
         result.telemetry = telemetry;
+        result.telemetry.publish(obs);
+        obs.add("crawl/sites", 1);
+        obs.add("crawl/pages/fetched", result.pages.len() as u64);
+        obs.add("crawl/pages/dead_links", result.dead_links as u64);
+        obs.add("crawl/pages/robots_skipped", result.robots_skipped as u64);
         result
     }
 

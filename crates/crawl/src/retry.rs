@@ -156,6 +156,31 @@ impl FetchTelemetry {
         self.permanent_errors += probe.permanent_errors;
         self.virtual_backoff_ms += probe.virtual_backoff_ms;
     }
+
+    /// Publishes this summary into an observability registry under the
+    /// `crawl/` namespace. Every counter is touched even at zero, so the
+    /// metric set of a trace does not depend on whether faults occurred —
+    /// only the values do. All of them are deterministic: the backoff is
+    /// virtual time and everything else counts host responses, which a
+    /// deterministic host fixes per seed.
+    pub fn publish(&self, obs: &pharmaverify_obs::Registry) {
+        obs.add("crawl/fetch/attempts", self.attempts as u64);
+        obs.add("crawl/fetch/retries", self.retries as u64);
+        obs.add("crawl/fetch/errors/transient", self.transient_errors as u64);
+        obs.add("crawl/fetch/errors/permanent", self.permanent_errors as u64);
+        obs.add(
+            "crawl/fetch/failures/transient",
+            self.transient_failures as u64,
+        );
+        obs.add(
+            "crawl/fetch/failures/permanent",
+            self.permanent_failures as u64,
+        );
+        obs.add("crawl/backoff/virtual_ms", self.virtual_backoff_ms);
+        obs.observe("crawl/backoff/per_site_ms", self.virtual_backoff_ms);
+        obs.add("crawl/breaker/trips", u64::from(self.breaker_tripped));
+        obs.add("crawl/breaker/skipped_urls", self.skipped_after_trip as u64);
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +279,40 @@ mod tests {
         assert_eq!(t.retries, 0);
         assert_eq!(t.permanent_failures, 1);
         assert!(!t.is_degraded());
+    }
+
+    #[test]
+    fn publish_mirrors_every_counter_into_obs() {
+        let obs = pharmaverify_obs::Registry::new();
+        let t = FetchTelemetry {
+            attempts: 7,
+            retries: 2,
+            transient_errors: 2,
+            permanent_errors: 1,
+            transient_failures: 1,
+            permanent_failures: 1,
+            virtual_backoff_ms: 300,
+            breaker_tripped: true,
+            skipped_after_trip: 4,
+        };
+        t.publish(&obs);
+        assert_eq!(obs.counter("crawl/fetch/attempts"), 7);
+        assert_eq!(obs.counter("crawl/fetch/retries"), 2);
+        assert_eq!(obs.counter("crawl/fetch/errors/transient"), 2);
+        assert_eq!(obs.counter("crawl/fetch/errors/permanent"), 1);
+        assert_eq!(obs.counter("crawl/fetch/failures/transient"), 1);
+        assert_eq!(obs.counter("crawl/fetch/failures/permanent"), 1);
+        assert_eq!(obs.counter("crawl/backoff/virtual_ms"), 300);
+        assert_eq!(obs.counter("crawl/breaker/trips"), 1);
+        assert_eq!(obs.counter("crawl/breaker/skipped_urls"), 4);
+        let backoff = obs.histogram("crawl/backoff/per_site_ms").unwrap();
+        assert_eq!((backoff.count, backoff.sum), (1, 300));
+        // A clean publish still creates the keys, at zero.
+        let clean = pharmaverify_obs::Registry::new();
+        FetchTelemetry::default().publish(&clean);
+        assert_eq!(clean.counter("crawl/breaker/trips"), 0);
+        let view = clean.render_deterministic();
+        assert!(view.contains("\"crawl/breaker/trips\": 0"));
     }
 
     #[test]

@@ -195,9 +195,14 @@ impl CrossValidation {
             let handles: Vec<_> = (0..split_ref.k())
                 .map(|f| {
                     scope.spawn(move || {
+                        let obs = pharmaverify_obs::global();
                         let test_idx = split_ref.test(f);
                         let train = sampling.apply(&data.subset(split_ref.train(f)), seed);
-                        let model = learner.fit(&train);
+                        let model = {
+                            let _fit = obs.span(&format!("ml/fit/{}", learner.name()));
+                            learner.fit(&train)
+                        };
+                        let _predict = obs.span(&format!("ml/predict/{}", learner.name()));
                         let labels: Vec<bool> = test_idx.iter().map(|&i| data.y(i)).collect();
                         let scores: Vec<f64> =
                             test_idx.iter().map(|&i| model.score(data.x(i))).collect();

@@ -314,6 +314,51 @@ mod tests {
     }
 
     #[test]
+    fn eval_summary_single_class_fold_falls_back_to_half_auc() {
+        // A CV fold whose test split drew only illegitimate sites: AUC is
+        // undefined (no positive to rank), so compute() reports the
+        // chance value instead of poisoning the fold average.
+        let labels = [false, false, false];
+        let preds = [false, true, false];
+        let scores = [0.2, 0.8, 0.4];
+        let s = EvalSummary::compute(&labels, &preds, &scores);
+        assert_eq!(s.auc, 0.5);
+        assert!((s.accuracy - 2.0 / 3.0).abs() < 1e-12);
+        // No true positives anywhere → the legitimate class is all zeros.
+        assert_eq!(s.legitimate, ClassMetrics::default());
+    }
+
+    #[test]
+    fn eval_summary_on_empty_prediction_vector() {
+        // Empty fold: every measure degrades to its defined zero/chance
+        // value rather than dividing by zero.
+        let s = EvalSummary::compute(&[], &[], &[]);
+        assert_eq!(s.accuracy, 0.0);
+        assert_eq!(s.auc, 0.5);
+        assert_eq!(s.legitimate, ClassMetrics::default());
+        assert_eq!(s.illegitimate, ClassMetrics::default());
+    }
+
+    #[test]
+    fn pairord_on_fully_sorted_ranking() {
+        // Scores already sorted with every legitimate site on top: no
+        // cross-class pair is inverted regardless of within-class order.
+        let scores = [0.9, 0.8, 0.7, 0.3, 0.2, 0.1];
+        let labels = [true, true, true, false, false, false];
+        assert_eq!(pairwise_orderedness(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn pairord_on_reversed_ranking() {
+        // Worst case: every illegitimate site outranks every legitimate
+        // one. All 3×3 cross pairs violate out of C(6,2)=15 total pairs.
+        let scores = [0.1, 0.2, 0.3, 0.7, 0.8, 0.9];
+        let labels = [true, true, true, false, false, false];
+        let p = pairwise_orderedness(&scores, &labels).unwrap();
+        assert!((p - 6.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn eval_summary_end_to_end() {
         let labels = [true, false, false, false];
         let preds = [true, false, false, true];

@@ -133,6 +133,24 @@ mod tests {
     }
 
     #[test]
+    fn curve_with_fully_tied_scores_is_the_diagonal_chord() {
+        // Every score identical: one threshold step from (0,0) straight
+        // to (1,1); the trapezoid area agrees with the rank AUC of 0.5.
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, true, false, false];
+        let curve = RocCurve::compute(&scores, &labels).unwrap();
+        assert_eq!(curve.points, vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert!((curve.auc() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_is_none_on_single_class_or_empty_input() {
+        assert_eq!(RocCurve::compute(&[0.1, 0.2], &[false, false]), None);
+        assert_eq!(RocCurve::compute(&[0.1, 0.2], &[true, true]), None);
+        assert_eq!(RocCurve::compute(&[], &[]), None);
+    }
+
+    #[test]
     fn known_value_with_partial_overlap() {
         // pos scores {0.8, 0.4}; neg scores {0.6, 0.2}.
         // Pairs won: (0.8>0.6),(0.8>0.2),(0.4>0.2)=3 of 4 → 0.75.

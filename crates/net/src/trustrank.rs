@@ -55,6 +55,7 @@ impl Default for TrustRankConfig {
 /// Panics if a seed id is out of range, `alpha` is outside `(0, 1)`, or
 /// `iterations` is 0.
 pub fn trust_rank(graph: &WebGraph, seeds: &[NodeId], config: &TrustRankConfig) -> Vec<f64> {
+    let _span = pharmaverify_obs::global().span("net/trustrank/run");
     assert!(
         config.alpha > 0.0 && config.alpha < 1.0,
         "alpha must be in (0, 1)"

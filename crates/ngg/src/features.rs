@@ -86,6 +86,7 @@ impl NggClassGraphs {
         illegitimate_texts: &[&str],
         seed: u64,
     ) -> Self {
+        let _span = pharmaverify_obs::global().span("ngg/class-graphs/build");
         let mut rng = SmallRng::seed_from_u64(seed);
         let legitimate = Self::merge_half(&builder, legitimate_texts, &mut rng);
         let illegitimate = Self::merge_half(&builder, illegitimate_texts, &mut rng);

@@ -1,0 +1,112 @@
+//! Pluggable time sources for span timing.
+//!
+//! Spans never read the system clock directly: the registry holds a
+//! [`Clock`], and the binary installs a [`WallClock`] while tests install
+//! a [`VirtualClock`] — the same virtual-time discipline the crawl layer
+//! uses for retry backoff. Durations therefore stay *out* of every
+//! deterministic code path; only the trace's non-deterministic section
+//! ever contains them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic time source, read as microseconds since an arbitrary
+/// origin.
+pub trait Clock: Send + Sync {
+    /// Current time in microseconds. Must be monotonic per clock
+    /// instance; the origin is unspecified.
+    fn now_micros(&self) -> u64;
+}
+
+/// Wall-clock time relative to the clock's creation. The default clock of
+/// a [`crate::Registry`] — used by the binaries, where real durations are
+/// the point.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock starting at zero now.
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_micros(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock: every reading advances an atomic tick counter
+/// by a fixed step, so a serial sequence of spans observes exact,
+/// reproducible durations. Clones share the underlying counter, letting a
+/// test keep a handle to [`VirtualClock::advance`] the time by hand while
+/// the registry owns the boxed clock.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    ticks: Arc<AtomicU64>,
+    step: u64,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at zero that advances `step_micros` per
+    /// reading.
+    pub fn new(step_micros: u64) -> VirtualClock {
+        VirtualClock {
+            ticks: Arc::new(AtomicU64::new(0)),
+            step: step_micros,
+        }
+    }
+
+    /// Advances the clock by `micros` without producing a reading.
+    pub fn advance(&self, micros: u64) {
+        self.ticks.fetch_add(micros, Ordering::Relaxed);
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_micros(&self) -> u64 {
+        self.ticks.fetch_add(self.step, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now_micros();
+        let b = clock.now_micros();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_steps_per_reading() {
+        let clock = VirtualClock::new(10);
+        assert_eq!(clock.now_micros(), 0);
+        assert_eq!(clock.now_micros(), 10);
+        clock.advance(100);
+        assert_eq!(clock.now_micros(), 120);
+    }
+
+    #[test]
+    fn virtual_clock_clones_share_time() {
+        let a = VirtualClock::new(1);
+        let b = a.clone();
+        a.advance(41);
+        assert_eq!(b.now_micros(), 41);
+    }
+}

@@ -1,0 +1,71 @@
+//! Deterministic observability for the pharmacy-verification stack.
+//!
+//! One [`Registry`] holds three metric families — counters, gauges, and
+//! fixed-bound histograms — plus a tree of hierarchical spans keyed by
+//! `/`-separated paths. Every metric carries a determinism flag fixed at
+//! first use: deterministic metrics must reach the same value for the
+//! same seed regardless of worker count, and only they appear in the
+//! deterministic view of the rendered trace. Span *counts* are
+//! deterministic (the tree is aggregated by path, so scheduling cannot
+//! reshape it); span *durations* come from a pluggable [`Clock`] and live
+//! exclusively in the non-deterministic section.
+//!
+//! Library crates record into the process-wide registry via [`global`];
+//! tests that need isolation construct their own `Registry` (usually with
+//! a [`VirtualClock`]) and inject it where supported.
+//!
+//! ```
+//! use pharmaverify_obs::{Registry, VirtualClock};
+//!
+//! let reg = Registry::with_clock(Box::new(VirtualClock::new(5)));
+//! reg.add("crawl/fetch/attempts", 3);
+//! {
+//!     let _span = reg.span("pipeline/stage/fitted-tfidf");
+//! }
+//! assert_eq!(reg.counter("crawl/fetch/attempts"), 3);
+//! assert_eq!(reg.span_count("pipeline/stage/fitted-tfidf"), 1);
+//! let view = reg.render_deterministic();
+//! assert!(view.contains("\"crawl/fetch/attempts\": 3"));
+//! ```
+
+mod clock;
+mod registry;
+mod render;
+
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use registry::{HistogramSnapshot, Registry, SpanGuard, SpanNode, HISTOGRAM_BOUNDS};
+pub use render::{deterministic_slice, render_trace};
+
+use std::sync::{Arc, OnceLock};
+
+static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+
+/// The process-wide registry, created on first use with a wall clock.
+/// Library crates record here so the binary can dump one unified trace.
+pub fn global() -> &'static Registry {
+    global_arc_ref()
+}
+
+fn global_arc_ref() -> &'static Arc<Registry> {
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+/// A shared handle to the process-wide registry, for components that
+/// store their registry (for example the artifact pipeline, which can
+/// also be given a private one in tests).
+pub fn global_arc() -> Arc<Registry> {
+    Arc::clone(global_arc_ref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        global().add("test/lib/global_counter", 2);
+        let arc = global_arc();
+        arc.add("test/lib/global_counter", 1);
+        assert!(global().counter("test/lib/global_counter") >= 3);
+    }
+}

@@ -1,0 +1,454 @@
+//! The metric registry: counters, gauges, histograms, and hierarchical
+//! spans.
+//!
+//! Every metric carries a *determinism* flag fixed at first use: a
+//! deterministic metric's value must be a pure function of the workload
+//! (the same at any thread count, on any machine), while a
+//! non-deterministic one may depend on scheduling or wall time (executor
+//! width, peak concurrency). The renderer splits the trace along this
+//! flag, and the determinism audit byte-compares only the deterministic
+//! side.
+//!
+//! Spans are aggregated *by path*, not by instance: two spans recorded at
+//! `pipeline/stage/fitted-tfidf` merge into one node with `count == 2`,
+//! so the tree's shape and counts are scheduling-independent even when
+//! the spans themselves ran on different worker threads. Durations
+//! accumulate into the node too, but only the non-deterministic trace
+//! section ever renders them.
+
+use crate::clock::{Clock, WallClock};
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Upper bucket bounds of every histogram, in powers of ten — wide enough
+/// for millisecond backoff totals and queue depths alike. Values above
+/// the last bound land in the overflow bucket.
+pub const HISTOGRAM_BOUNDS: [u64; 7] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+#[derive(Debug, Clone, Copy)]
+struct Counter {
+    value: u64,
+    deterministic: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Gauge {
+    value: i64,
+    deterministic: bool,
+}
+
+/// A fixed-bucket histogram: observation count, sum, and one counter per
+/// bound of [`HISTOGRAM_BOUNDS`] plus overflow. Commutative by
+/// construction — the multiset of observations determines it, their
+/// order never does.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Observations `<=` each bound of [`HISTOGRAM_BOUNDS`], cumulative
+    /// per bucket (non-cumulative across buckets), plus overflow last.
+    pub buckets: [u64; HISTOGRAM_BOUNDS.len() + 1],
+}
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; HISTOGRAM_BOUNDS.len() + 1],
+    deterministic: bool,
+}
+
+impl Histogram {
+    fn new(deterministic: bool) -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; HISTOGRAM_BOUNDS.len() + 1],
+            deterministic,
+        }
+    }
+
+    fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        let slot = HISTOGRAM_BOUNDS
+            .iter()
+            .position(|&bound| value <= bound)
+            .unwrap_or(HISTOGRAM_BOUNDS.len());
+        self.buckets[slot] += 1;
+    }
+}
+
+/// One node of the aggregated span tree.
+#[derive(Debug, Default, Clone)]
+pub struct SpanNode {
+    /// Times a span ended at exactly this path. Intermediate path
+    /// segments that were never opened themselves stay at zero.
+    pub count: u64,
+    /// Accumulated duration of those spans, in clock microseconds.
+    /// Scheduling-dependent — never part of the deterministic view.
+    pub total_micros: u64,
+    /// Child spans, keyed by path segment (deterministically ordered).
+    pub children: BTreeMap<String, SpanNode>,
+}
+
+/// A live span: records `(count += 1, total += elapsed)` at its path when
+/// dropped.
+#[must_use = "a span records its duration when dropped"]
+pub struct SpanGuard<'a> {
+    registry: &'a Registry,
+    path: String,
+    start: u64,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = self.registry.clock.now_micros();
+        self.registry
+            .record_span(&self.path, end.saturating_sub(self.start));
+    }
+}
+
+/// A thread-safe registry of counters, gauges, histograms, and spans.
+///
+/// Metric names are flat strings; span paths use `/` as the hierarchy
+/// separator (`pipeline/stage/fitted-tfidf`). All maps are B-tree ordered
+/// so rendering is canonical without a sort pass.
+pub struct Registry {
+    clock: Box<dyn Clock>,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    spans: Mutex<SpanNode>,
+}
+
+impl Registry {
+    /// A registry timed by a fresh [`WallClock`].
+    pub fn new() -> Registry {
+        Registry::with_clock(Box::new(WallClock::new()))
+    }
+
+    /// A registry timed by the given clock (tests pass a
+    /// [`crate::VirtualClock`]).
+    pub fn with_clock(clock: Box<dyn Clock>) -> Registry {
+        Registry {
+            clock,
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(SpanNode::default()),
+        }
+    }
+
+    /// Adds `delta` to the deterministic counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.bump(name, delta, true);
+    }
+
+    /// Adds `delta` to the non-deterministic counter `name` (values that
+    /// may legitimately differ between runs of the same seed).
+    pub fn add_nondet(&self, name: &str, delta: u64) {
+        self.bump(name, delta, false);
+    }
+
+    fn bump(&self, name: &str, delta: u64, deterministic: bool) {
+        let mut counters = self.counters.lock().unwrap_or_else(PoisonError::into_inner);
+        let counter = counters.entry(name.to_string()).or_insert(Counter {
+            value: 0,
+            deterministic,
+        });
+        counter.value = counter.value.saturating_add(delta);
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .map_or(0, |c| c.value)
+    }
+
+    /// Sets the deterministic gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: i64) {
+        self.put_gauge(name, value, true, false);
+    }
+
+    /// Sets the non-deterministic gauge `name`.
+    pub fn set_gauge_nondet(&self, name: &str, value: i64) {
+        self.put_gauge(name, value, false, false);
+    }
+
+    /// Raises the non-deterministic gauge `name` to `value` if higher
+    /// (peak tracking, e.g. maximum observed concurrency).
+    pub fn max_gauge_nondet(&self, name: &str, value: i64) {
+        self.put_gauge(name, value, false, true);
+    }
+
+    fn put_gauge(&self, name: &str, value: i64, deterministic: bool, max_only: bool) {
+        let mut gauges = self.gauges.lock().unwrap_or_else(PoisonError::into_inner);
+        let gauge = gauges.entry(name.to_string()).or_insert(Gauge {
+            value,
+            deterministic,
+        });
+        if !max_only || value > gauge.value {
+            gauge.value = value;
+        }
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .map(|g| g.value)
+    }
+
+    /// Records `value` into the deterministic histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(true))
+            .observe(value);
+    }
+
+    /// Snapshot of histogram `name`, if it exists.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSnapshot> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .map(|h| HistogramSnapshot {
+                count: h.count,
+                sum: h.sum,
+                buckets: h.buckets,
+            })
+    }
+
+    /// Opens a span at `path` (segments separated by `/`). The span
+    /// records into the tree when the returned guard drops.
+    pub fn span(&self, path: &str) -> SpanGuard<'_> {
+        SpanGuard {
+            registry: self,
+            path: path.to_string(),
+            start: self.clock.now_micros(),
+        }
+    }
+
+    /// Low-level span recording: `count += 1`, `total += micros` at
+    /// `path`, creating intermediate nodes as needed.
+    pub fn record_span(&self, path: &str, micros: u64) {
+        let mut root = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut node = &mut *root;
+        for segment in path.split('/').filter(|s| !s.is_empty()) {
+            node = node.children.entry(segment.to_string()).or_default();
+        }
+        node.count += 1;
+        node.total_micros = node.total_micros.saturating_add(micros);
+    }
+
+    /// Completed-span count at exactly `path` (0 if the node does not
+    /// exist or was only ever an intermediate segment).
+    pub fn span_count(&self, path: &str) -> u64 {
+        let root = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut node = &*root;
+        for segment in path.split('/').filter(|s| !s.is_empty()) {
+            match node.children.get(segment) {
+                Some(child) => node = child,
+                None => return 0,
+            }
+        }
+        node.count
+    }
+
+    /// Every span node as `(path, count, total_micros)` in depth-first
+    /// path order — the flat form the binaries print to stderr.
+    pub fn span_totals(&self) -> Vec<(String, u64, u64)> {
+        fn walk(prefix: &str, node: &SpanNode, out: &mut Vec<(String, u64, u64)>) {
+            for (name, child) in &node.children {
+                let path = if prefix.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{prefix}/{name}")
+                };
+                out.push((path.clone(), child.count, child.total_micros));
+                walk(&path, child, out);
+            }
+        }
+        let root = self.spans.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = Vec::new();
+        walk("", &root, &mut out);
+        out
+    }
+
+    /// Internal snapshot for the renderer: `(deterministic?, name, value)`
+    /// triples plus the span tree, all under a single consistent lock
+    /// schedule.
+    pub(crate) fn snapshot(&self) -> RegistrySnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value, v.deterministic))
+            .collect();
+        let gauges = self
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.value, v.deterministic))
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: v.count,
+                        sum: v.sum,
+                        buckets: v.buckets,
+                    },
+                    v.deterministic,
+                )
+            })
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        RegistrySnapshot {
+            counters,
+            gauges,
+            histograms,
+            spans,
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Registry")
+            .field("counters", &snap.counters.len())
+            .field("gauges", &snap.gauges.len())
+            .field("histograms", &snap.histograms.len())
+            .finish()
+    }
+}
+
+/// A point-in-time copy of every metric, consumed by the renderer.
+pub(crate) struct RegistrySnapshot {
+    pub counters: Vec<(String, u64, bool)>,
+    pub gauges: Vec<(String, i64, bool)>,
+    pub histograms: Vec<(String, HistogramSnapshot, bool)>,
+    pub spans: SpanNode,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let reg = Registry::new();
+        reg.add("a/b", 2);
+        reg.add("a/b", 3);
+        assert_eq!(reg.counter("a/b"), 5);
+        assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let reg = Registry::new();
+        reg.set_gauge("g", 7);
+        reg.set_gauge("g", 3);
+        assert_eq!(reg.gauge("g"), Some(3));
+        reg.max_gauge_nondet("peak", 4);
+        reg.max_gauge_nondet("peak", 2);
+        reg.max_gauge_nondet("peak", 9);
+        assert_eq!(reg.gauge("peak"), Some(9));
+        assert_eq!(reg.gauge("absent"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_by_powers_of_ten() {
+        let reg = Registry::new();
+        for v in [0, 1, 5, 100, 1_000_000, 2_000_000] {
+            reg.observe("h", v);
+        }
+        let h = reg.histogram("h").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 3_000_106);
+        assert_eq!(h.buckets[0], 2, "0 and 1 are <= 1");
+        assert_eq!(h.buckets[1], 1, "5 is <= 10");
+        assert_eq!(h.buckets[2], 1, "100 is <= 100");
+        assert_eq!(h.buckets[6], 1, "1e6 is <= 1e6");
+        assert_eq!(h.buckets[7], 1, "2e6 overflows");
+    }
+
+    #[test]
+    fn spans_aggregate_by_path_with_virtual_durations() {
+        let clock = VirtualClock::new(10);
+        let reg = Registry::with_clock(Box::new(clock));
+        {
+            let _outer = reg.span("report/section/table 1");
+        }
+        {
+            let _again = reg.span("report/section/table 1");
+        }
+        // Each guard takes two readings (start, end) at 10µs per reading.
+        assert_eq!(reg.span_count("report/section/table 1"), 2);
+        assert_eq!(reg.span_count("report/section"), 0, "intermediate node");
+        assert_eq!(reg.span_count("report"), 0);
+        let totals = reg.span_totals();
+        assert_eq!(
+            totals,
+            vec![
+                ("report".to_string(), 0, 0),
+                ("report/section".to_string(), 0, 0),
+                ("report/section/table 1".to_string(), 2, 20),
+            ]
+        );
+    }
+
+    #[test]
+    fn record_span_creates_intermediate_nodes() {
+        let reg = Registry::new();
+        reg.record_span("a/b/c", 5);
+        reg.record_span("a", 1);
+        assert_eq!(reg.span_count("a"), 1);
+        assert_eq!(reg.span_count("a/b"), 0);
+        assert_eq!(reg.span_count("a/b/c"), 1);
+        assert_eq!(reg.span_count("a/b/c/d"), 0);
+    }
+
+    #[test]
+    fn determinism_flag_sticks_to_first_use() {
+        let reg = Registry::new();
+        reg.add_nondet("n", 1);
+        reg.add("n", 1); // later deterministic add keeps the nondet flag
+        let snap = reg.snapshot();
+        let (_, value, deterministic) = &snap.counters[0];
+        assert_eq!(*value, 2);
+        assert!(!deterministic);
+    }
+}

@@ -1,0 +1,357 @@
+//! Canonical JSON rendering of a registry, split into a deterministic
+//! and a non-deterministic section.
+//!
+//! The output is byte-stable by construction: objects are written from
+//! B-tree-ordered maps with a fixed 2-space indent, all values are
+//! integers, and strings use a fixed escaping scheme. The top level has
+//! exactly two keys:
+//!
+//! * `"deterministic"` — counters/gauges/histograms flagged
+//!   deterministic, plus the span tree *without durations* (names and
+//!   counts only). Two runs of the same seed must render this section
+//!   byte-identically at any thread count; the xtask determinism audit
+//!   enforces it.
+//! * `"nondeterministic"` — everything scheduling- or wall-clock-
+//!   dependent: non-deterministic metrics and the span tree's
+//!   accumulated `total_micros`. Quantizing timings out of the
+//!   deterministic view (durations are *dropped* there, not rounded)
+//!   is what makes the contract exact rather than approximate.
+//!
+//! [`deterministic_slice`] cuts the `"deterministic"` object back out of
+//! a rendered trace, so tests and the audit can byte-compare the
+//! deterministic views of two trace files without a JSON parser.
+
+use crate::registry::{Registry, RegistrySnapshot, SpanNode, HISTOGRAM_BOUNDS};
+
+/// Appends `s` as a JSON string literal (quotes included).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Writes `"key": ` at `depth`.
+fn push_key(out: &mut String, depth: usize, key: &str) {
+    push_indent(out, depth);
+    push_json_string(out, key);
+    out.push_str(": ");
+}
+
+/// Writes an object of scalar entries; `entries` must already be sorted.
+fn push_scalar_map<T: std::fmt::Display>(out: &mut String, depth: usize, entries: &[(String, T)]) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, (key, value)) in entries.iter().enumerate() {
+        push_key(out, depth + 1, key);
+        out.push_str(&value.to_string());
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    push_indent(out, depth);
+    out.push('}');
+}
+
+/// Writes one histogram object: buckets, count, sum (alphabetical).
+fn push_histogram(out: &mut String, depth: usize, hist: &crate::registry::HistogramSnapshot) {
+    out.push_str("{\n");
+    push_key(out, depth + 1, "buckets");
+    let mut buckets: Vec<(String, u64)> = HISTOGRAM_BOUNDS
+        .iter()
+        .zip(hist.buckets.iter())
+        .map(|(bound, &n)| (format!("le_{bound}"), n))
+        .collect();
+    buckets.push(("over".to_string(), hist.buckets[HISTOGRAM_BOUNDS.len()]));
+    push_scalar_map(out, depth + 1, &buckets);
+    out.push_str(",\n");
+    push_key(out, depth + 1, "count");
+    out.push_str(&hist.count.to_string());
+    out.push_str(",\n");
+    push_key(out, depth + 1, "sum");
+    out.push_str(&hist.sum.to_string());
+    out.push('\n');
+    push_indent(out, depth);
+    out.push('}');
+}
+
+/// Writes a span subtree. With `timings` the nodes carry `total_micros`
+/// (the non-deterministic rendering); without, only `children` and
+/// `count` (the deterministic rendering).
+fn push_span_children(out: &mut String, depth: usize, node: &SpanNode, timings: bool) {
+    if node.children.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    let last = node.children.len() - 1;
+    for (i, (name, child)) in node.children.iter().enumerate() {
+        push_key(out, depth + 1, name);
+        out.push_str("{\n");
+        push_key(out, depth + 2, "children");
+        push_span_children(out, depth + 2, child, timings);
+        out.push_str(",\n");
+        push_key(out, depth + 2, "count");
+        out.push_str(&child.count.to_string());
+        if timings {
+            out.push_str(",\n");
+            push_key(out, depth + 2, "total_micros");
+            out.push_str(&child.total_micros.to_string());
+        }
+        out.push('\n');
+        push_indent(out, depth + 1);
+        out.push('}');
+        if i < last {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    push_indent(out, depth);
+    out.push('}');
+}
+
+fn push_section(out: &mut String, snapshot: &RegistrySnapshot, deterministic: bool) {
+    let counters: Vec<(String, u64)> = snapshot
+        .counters
+        .iter()
+        .filter(|(_, _, det)| *det == deterministic)
+        .map(|(k, v, _)| (k.clone(), *v))
+        .collect();
+    let gauges: Vec<(String, i64)> = snapshot
+        .gauges
+        .iter()
+        .filter(|(_, _, det)| *det == deterministic)
+        .map(|(k, v, _)| (k.clone(), *v))
+        .collect();
+
+    out.push_str("{\n");
+    push_key(out, 2, "counters");
+    push_scalar_map(out, 2, &counters);
+    out.push_str(",\n");
+    push_key(out, 2, "gauges");
+    push_scalar_map(out, 2, &gauges);
+    out.push_str(",\n");
+    if deterministic {
+        push_key(out, 2, "histograms");
+        let hists: Vec<_> = snapshot
+            .histograms
+            .iter()
+            .filter(|(_, _, det)| *det)
+            .collect();
+        if hists.is_empty() {
+            out.push_str("{}");
+        } else {
+            out.push_str("{\n");
+            for (i, (name, hist, _)) in hists.iter().enumerate() {
+                push_key(out, 3, name);
+                push_histogram(out, 3, hist);
+                if i + 1 < hists.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            push_indent(out, 2);
+            out.push('}');
+        }
+        out.push_str(",\n");
+        push_key(out, 2, "spans");
+        push_span_children(out, 2, &snapshot.spans, false);
+    } else {
+        push_key(out, 2, "span_micros");
+        push_span_children(out, 2, &snapshot.spans, true);
+    }
+    out.push('\n');
+    push_indent(out, 1);
+    out.push('}');
+}
+
+/// Renders the full canonical trace of `registry`: the deterministic
+/// section first, then the non-deterministic one.
+pub fn render_trace(registry: &Registry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::new();
+    out.push_str("{\n");
+    push_key(&mut out, 1, "deterministic");
+    push_section(&mut out, &snapshot, true);
+    out.push_str(",\n");
+    push_key(&mut out, 1, "nondeterministic");
+    push_section(&mut out, &snapshot, false);
+    out.push('\n');
+    out.push_str("}\n");
+    out
+}
+
+/// The `"deterministic"` object of a rendered trace, exactly as it
+/// appears in the trace text (same bytes, same indentation) — the unit
+/// of byte comparison for the determinism contract. Returns `None` when
+/// `trace` is not a rendered trace.
+pub fn deterministic_slice(trace: &str) -> Option<&str> {
+    let key = "\"deterministic\":";
+    let after_key = trace.find(key)? + key.len();
+    let open = after_key + trace[after_key..].find('{')?;
+    let bytes = trace.as_bytes();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes[open..].iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&trace[open..=open + i]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+impl Registry {
+    /// Renders the full trace (see [`render_trace`]).
+    pub fn render_trace(&self) -> String {
+        render_trace(self)
+    }
+
+    /// Renders only the deterministic view — implemented as the literal
+    /// [`deterministic_slice`] of [`Registry::render_trace`], so the two
+    /// can never drift apart.
+    pub fn render_deterministic(&self) -> String {
+        let trace = self.render_trace();
+        deterministic_slice(&trace).unwrap_or_default().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::with_clock(Box::new(VirtualClock::new(7)));
+        reg.add("crawl/fetch/attempts", 12);
+        reg.add("pipeline/cache/fitted-tfidf/misses", 3);
+        reg.add_nondet("scratch/threads_seen", 4);
+        reg.set_gauge("corpus/sites", 60);
+        reg.set_gauge_nondet("pipeline/executor/width", 4);
+        reg.observe("crawl/backoff/per_site_ms", 300);
+        reg.observe("crawl/backoff/per_site_ms", 0);
+        {
+            let _a = reg.span("report/section/table 1");
+        }
+        {
+            let _b = reg.span("pipeline/stage/fitted-tfidf");
+        }
+        reg
+    }
+
+    #[test]
+    fn trace_renders_both_sections_sorted() {
+        let trace = sample_registry().render_trace();
+        let det_at = trace.find("\"deterministic\"").unwrap();
+        let nondet_at = trace.find("\"nondeterministic\"").unwrap();
+        assert!(det_at < nondet_at);
+        // Deterministic side: sorted counters, histogram, span counts.
+        let det = deterministic_slice(&trace).unwrap();
+        assert!(det.contains("\"crawl/fetch/attempts\": 12"));
+        assert!(det.contains("\"pipeline/cache/fitted-tfidf/misses\": 3"));
+        assert!(det.contains("\"corpus/sites\": 60"));
+        assert!(det.contains("\"le_1000\": 1"));
+        assert!(det.contains("\"sum\": 300"));
+        assert!(!det.contains("total_micros"), "durations leaked: {det}");
+        assert!(!det.contains("threads_seen"));
+        assert!(!det.contains("executor/width"));
+        // Non-deterministic side: the rest, with durations.
+        let tail = &trace[det_at + det.len()..];
+        assert!(tail.contains("\"scratch/threads_seen\": 4"));
+        assert!(tail.contains("\"pipeline/executor/width\": 4"));
+        assert!(tail.contains("\"total_micros\": 7"));
+    }
+
+    #[test]
+    fn deterministic_view_ignores_wall_time() {
+        // Two registries with identical deterministic activity but
+        // different clock behaviour must agree on the deterministic view.
+        let fast = Registry::with_clock(Box::new(VirtualClock::new(1)));
+        let slow = Registry::with_clock(Box::new(VirtualClock::new(9999)));
+        for reg in [&fast, &slow] {
+            reg.add("a", 1);
+            reg.observe("h", 42);
+            let _span = reg.span("x/y");
+        }
+        assert_eq!(fast.render_deterministic(), slow.render_deterministic());
+        assert_ne!(fast.render_trace(), slow.render_trace());
+    }
+
+    #[test]
+    fn slice_matches_render_deterministic() {
+        let reg = sample_registry();
+        let trace = reg.render_trace();
+        assert_eq!(
+            deterministic_slice(&trace).unwrap(),
+            reg.render_deterministic()
+        );
+    }
+
+    #[test]
+    fn slice_survives_braces_and_quotes_in_names() {
+        let reg = Registry::new();
+        reg.add("odd{name}/with\"quote", 1);
+        reg.record_span("section/tables 3-6 {grid}", 5);
+        let trace = reg.render_trace();
+        let det = deterministic_slice(&trace).unwrap();
+        assert!(det.starts_with('{') && det.ends_with('}'));
+        assert!(det.contains("odd{name}"));
+        assert!(det.contains("tables 3-6 {grid}"));
+    }
+
+    #[test]
+    fn slice_of_garbage_is_none() {
+        assert_eq!(deterministic_slice("not a trace"), None);
+        assert_eq!(deterministic_slice("\"deterministic\": ["), None);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_maps() {
+        let trace = Registry::new().render_trace();
+        assert!(trace.contains("\"counters\": {}"));
+        assert!(trace.contains("\"spans\": {}"));
+        assert!(trace.ends_with("}\n"));
+    }
+
+    #[test]
+    fn rendering_is_reproducible() {
+        let reg = sample_registry();
+        assert_eq!(reg.render_deterministic(), reg.render_deterministic());
+    }
+}

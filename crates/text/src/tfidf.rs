@@ -44,6 +44,7 @@ pub struct TfIdfModel {
 impl TfIdfModel {
     /// Fits vocabulary and IDF weights on tokenized training documents.
     pub fn fit<D: AsRef<[String]>>(docs: &[D]) -> Self {
+        let _span = pharmaverify_obs::global().span("text/tfidf/fit");
         let vocab = Vocabulary::build(docs);
         let n = vocab.n_docs() as f64;
         let idf = (0..vocab.len() as u32)

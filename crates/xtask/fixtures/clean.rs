@@ -45,6 +45,15 @@ fn documented_unsafe(p: *const u32) -> u32 {
     unsafe { *p }
 }
 
+fn stderr_only_in_disguise() -> usize {
+    // The macro name inside string literals or comments is data, not a
+    // call: eprintln! here must not fire.
+    let doc = "diagnostics go through obs, not eprintln!(...)";
+    // lint:allow(no-raw-eprintln): fixture demonstrating a justified site.
+    eprintln!("documented exception");
+    doc.len()
+}
+
 #[cfg(test)]
 mod tests {
     // Test code unwraps freely.

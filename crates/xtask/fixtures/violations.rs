@@ -39,6 +39,10 @@ fn undocumented_unsafe(p: *const u32) -> u32 {
     unsafe { *p } // VIOLATION safety-comment
 }
 
+fn raw_stderr_reporting(pages: usize) {
+    eprintln!("crawled {pages} pages"); // VIOLATION no-raw-eprintln
+}
+
 // lint:allow(no-panic) VIOLATION bad-allow (missing `: reason`)
 fn marker_without_reason(x: Option<u32>) -> u32 {
     x.unwrap() // VIOLATION no-panic (the reasonless marker does not count)

@@ -13,6 +13,15 @@
 //! output must additionally *start with* the fault-free output — the
 //! robustness study is an appended section, never a perturbation of the
 //! regular tables.
+//!
+//! Every run also writes an observability trace (`--trace`), and the
+//! audit byte-compares the traces' *deterministic views* (the
+//! `"deterministic"` object extracted by
+//! [`pharmaverify_obs::deterministic_slice`]) across worker counts: the
+//! metric registry and span tree must be as scheduling-independent as
+//! the report itself. The fault-injected trace must *differ* from the
+//! clean one — injected faults that leave no metric behind would mean
+//! the crawl health instrumentation is dead.
 
 use std::path::Path;
 use std::process::Command;
@@ -24,6 +33,8 @@ pub struct AuditReport {
     pub bytes: usize,
     /// Bytes of fault-injected harness output compared.
     pub fault_bytes: usize,
+    /// Bytes of deterministic trace view compared per fault-free run.
+    pub trace_bytes: usize,
 }
 
 /// Arguments of the harness invocation (after `cargo`).
@@ -46,13 +57,16 @@ const FAULT_ARGS: &[&str] = &["--fault-rate", "0.2"];
 /// Runs the table harness serially and with four workers — first clean,
 /// then under fault injection — and compares outputs byte-for-byte.
 pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
-    let serial = run_harness(workspace_root, "1", &[])?;
-    let parallel = run_harness(workspace_root, "4", &[])?;
+    let (serial, serial_trace) = run_harness(workspace_root, "1", &[])?;
+    let (parallel, parallel_trace) = run_harness(workspace_root, "4", &[])?;
     compare(&serial, &parallel, "fault-free")?;
+    let det = compare_trace_views(&serial_trace, &parallel_trace, "fault-free")?;
 
-    let fault_serial = run_harness(workspace_root, "1", FAULT_ARGS)?;
-    let fault_parallel = run_harness(workspace_root, "4", FAULT_ARGS)?;
+    let (fault_serial, fault_serial_trace) = run_harness(workspace_root, "1", FAULT_ARGS)?;
+    let (fault_parallel, fault_parallel_trace) = run_harness(workspace_root, "4", FAULT_ARGS)?;
     compare(&fault_serial, &fault_parallel, "fault-injected")?;
+    let fault_det =
+        compare_trace_views(&fault_serial_trace, &fault_parallel_trace, "fault-injected")?;
     if !fault_serial.starts_with(&serial) {
         return Err(
             "fault-injected output does not start with the fault-free output: \
@@ -60,11 +74,35 @@ pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
                 .to_string(),
         );
     }
+    if fault_det == det {
+        return Err(
+            "fault-injected trace is identical to the fault-free trace: \
+             injected faults left no metric behind, the crawl health \
+             instrumentation is not recording"
+                .to_string(),
+        );
+    }
 
     Ok(AuditReport {
         bytes: serial.len(),
         fault_bytes: fault_serial.len(),
+        trace_bytes: det.len(),
     })
+}
+
+/// Byte-compares the deterministic views of two rendered traces and
+/// returns the (shared) view.
+fn compare_trace_views(serial: &str, parallel: &str, mode: &str) -> Result<String, String> {
+    let a = pharmaverify_obs::deterministic_slice(serial)
+        .ok_or_else(|| format!("{mode} serial trace has no deterministic section"))?;
+    let b = pharmaverify_obs::deterministic_slice(parallel)
+        .ok_or_else(|| format!("{mode} 4-worker trace has no deterministic section"))?;
+    compare(
+        a.as_bytes(),
+        b.as_bytes(),
+        &format!("{mode} trace (deterministic view)"),
+    )?;
+    Ok(a.to_string())
 }
 
 fn compare(serial: &[u8], parallel: &[u8], mode: &str) -> Result<(), String> {
@@ -87,11 +125,22 @@ fn compare(serial: &[u8], parallel: &[u8], mode: &str) -> Result<(), String> {
     ))
 }
 
-fn run_harness(workspace_root: &Path, jobs: &str, extra_args: &[&str]) -> Result<Vec<u8>, String> {
+/// Runs the harness once, returning `(stdout, rendered trace)`.
+fn run_harness(
+    workspace_root: &Path,
+    jobs: &str,
+    extra_args: &[&str],
+) -> Result<(Vec<u8>, String), String> {
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let trace_path = std::env::temp_dir().join(format!(
+        "pharmaverify-audit-{}-j{jobs}-f{}.trace.json",
+        std::process::id(),
+        extra_args.len()
+    ));
     let output = Command::new(cargo)
         .args(REPRO_ARGS)
         .args(extra_args)
+        .args([std::ffi::OsStr::new("--trace"), trace_path.as_os_str()])
         .current_dir(workspace_root)
         .env("PHARMAVERIFY_SCALE", "small")
         .env("PHARMAVERIFY_JOBS", jobs)
@@ -104,5 +153,8 @@ fn run_harness(workspace_root: &Path, jobs: &str, extra_args: &[&str]) -> Result
             String::from_utf8_lossy(&output.stderr)
         ));
     }
-    Ok(output.stdout)
+    let trace = std::fs::read_to_string(&trace_path)
+        .map_err(|e| format!("harness wrote no trace at {}: {e}", trace_path.display()))?;
+    let _ = std::fs::remove_file(&trace_path);
+    Ok((output.stdout, trace))
 }

@@ -20,6 +20,12 @@
 //!   `clippy::float_cmp`.)
 //! * **safety-comment** — every `unsafe` item needs a `// SAFETY:`
 //!   comment within the three preceding lines.
+//! * **no-raw-eprintln** — library crates must report through the `obs`
+//!   metric registry (or the binary-facing `log_*` helpers), never raw
+//!   `eprintln!`: ad-hoc stderr lines are invisible to the trace and can
+//!   interleave nondeterministically under the parallel executor. Binary
+//!   sources (`main.rs`, anything under a `bin/` directory) are exempt —
+//!   stderr is their user interface.
 //!
 //! Suppression: a comment `lint:allow(<name>): <reason>` on the offending
 //! line or up to two lines above it silences that lint for the site; the
@@ -45,6 +51,8 @@ pub enum Lint {
     FloatEq,
     /// `unsafe` without a `// SAFETY:` comment.
     SafetyComment,
+    /// Raw `eprintln!` in library code (binaries are exempt).
+    NoRawEprintln,
     /// A malformed `lint:allow` marker (missing reason or unknown lint).
     BadAllow,
 }
@@ -57,6 +65,7 @@ impl Lint {
             Lint::HashIter => "hash-iter",
             Lint::FloatEq => "float-eq",
             Lint::SafetyComment => "safety-comment",
+            Lint::NoRawEprintln => "no-raw-eprintln",
             Lint::BadAllow => "bad-allow",
         }
     }
@@ -68,6 +77,7 @@ impl Lint {
             "hash-iter" => Some(Lint::HashIter),
             "float-eq" => Some(Lint::FloatEq),
             "safety-comment" => Some(Lint::SafetyComment),
+            "no-raw-eprintln" => Some(Lint::NoRawEprintln),
             _ => None,
         }
     }
@@ -544,10 +554,20 @@ fn float_suffix(s: &str) -> Option<String> {
     Some(s[int_start..trimmed.len() + 1 + frac_len].to_string())
 }
 
-/// Lints one file's source text. `path` is used only for reporting.
+/// Whether `path` names a binary source: a crate-root `main.rs` or any
+/// file under a `bin/` directory. Binaries own their stderr and are
+/// exempt from [`Lint::NoRawEprintln`].
+pub fn is_binary_source(path: &Path) -> bool {
+    path.file_name().is_some_and(|f| f == "main.rs")
+        || path.components().any(|c| c.as_os_str() == "bin")
+}
+
+/// Lints one file's source text. `path` selects the binary exemption of
+/// `no-raw-eprintln` and is otherwise used only for reporting.
 pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
     let lines = model_source(source);
     let hash_names = hash_typed_names(&lines);
+    let binary = is_binary_source(path);
     let mut diags = Vec::new();
     let mut push = |line: usize, lint: Lint, message: String| {
         diags.push(Diagnostic {
@@ -621,6 +641,15 @@ pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
                     format!("float equality against `{lit}`; compare with a tolerance"),
                 );
             }
+        }
+
+        if !binary && code.contains("eprintln!") && !suppressed(&lines, idx, Lint::NoRawEprintln) {
+            push(
+                idx,
+                Lint::NoRawEprintln,
+                "raw `eprintln!` in library code; record through the obs registry instead"
+                    .to_string(),
+            );
         }
 
         if contains_word(code, "unsafe") && !code.contains("unsafe_code") {

@@ -77,8 +77,9 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
         match audit::run(&root) {
             Ok(report) => {
                 println!(
-                    "determinism: ok ({} bytes byte-identical; {} with fault injection)",
-                    report.bytes, report.fault_bytes
+                    "determinism: ok ({} bytes byte-identical; {} with fault injection; \
+                     {} bytes of deterministic trace view)",
+                    report.bytes, report.fault_bytes, report.trace_bytes
                 );
             }
             Err(message) => {

@@ -68,6 +68,7 @@ fn violations_fixture_fires_every_lint() {
         Lint::HashIter,
         Lint::FloatEq,
         Lint::SafetyComment,
+        Lint::NoRawEprintln,
         Lint::BadAllow,
     ] {
         assert!(
@@ -99,6 +100,20 @@ fn diagnostics_render_file_line_and_lint() {
     let rendered = diags[0].to_string();
     assert!(rendered.contains("violations.rs:"));
     assert!(rendered.contains("[no-panic]"));
+}
+
+#[test]
+fn binaries_are_exempt_from_no_raw_eprintln() {
+    let src = "fn main() {\n    eprintln!(\"progress to the user\");\n}\n";
+    for path in ["src/main.rs", "crates/bench/src/bin/repro.rs"] {
+        assert!(
+            lint_source(Path::new(path), src).is_empty(),
+            "{path} should be exempt"
+        );
+    }
+    let diags = lint_source(Path::new("crates/crawl/src/crawler.rs"), src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].lint, Lint::NoRawEprintln);
 }
 
 #[test]

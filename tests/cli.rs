@@ -127,6 +127,16 @@ fn generate_requires_out() {
 }
 
 #[test]
+fn trailing_flag_without_value_exits_two() {
+    let out = run(&["generate", "--out"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("flag --out needs a value"));
+    let out = run(&["evaluate", "snap.json", "--model"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("flag --model needs a value"));
+}
+
+#[test]
 fn bad_model_name_is_an_error() {
     let dir = temp_dir("badmodel");
     let out = run(&[

@@ -3,7 +3,9 @@
 //! (§6.4), and the class-conditional link signal (Table 11 / §6.3.2).
 
 use pharmaverify::core::classify::TextLearnerKind;
-use pharmaverify::core::classify::{build_web_graph, pharmacy_trust_scores, CvConfig};
+use pharmaverify::core::classify::{
+    build_web_graph, evaluate_tfidf, pharmacy_trust_scores, CvConfig,
+};
 use pharmaverify::core::drift_study::train_old_test_new;
 use pharmaverify::core::features::extract_corpus;
 use pharmaverify::core::outliers::ranking_outliers;
@@ -124,6 +126,103 @@ fn outlier_populations_surface_in_ranking() {
     // And the profiles exist in the corpus in the first place.
     assert!(corpus.profiles.contains(&SiteProfile::MimicOutlier));
     assert!(corpus.profiles.contains(&SiteProfile::RefillOnly));
+}
+
+/// The paper's qualitative claims must not be artifacts of one lucky
+/// random universe: this sweep regenerates the whole experiment under
+/// three master seeds and re-checks the table-level invariants in each.
+#[test]
+fn three_seed_sweep_preserves_table_invariants() {
+    for seed in [42u64, 7, 3] {
+        let web = SyntheticWeb::generate(&CorpusConfig::small(), seed);
+        let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
+        let cv = CvConfig { k: 3, seed };
+
+        // Table 1: legitimate pharmacies stay the minority class.
+        assert!(
+            web.snapshot().stats().legitimate_percent() < 50.0,
+            "seed {seed}: class balance flipped"
+        );
+
+        // Tables 3/6 (NBM column): accuracy and AUC floors hold per-seed.
+        let kind = TextLearnerKind::Nbm;
+        let learner = kind.learner();
+        let summary = evaluate_tfidf(
+            &corpus,
+            learner.as_ref(),
+            Sampling::None,
+            kind.weighting(),
+            Some(1000),
+            cv,
+        )
+        .aggregate();
+        assert!(
+            summary.accuracy >= 0.8,
+            "seed {seed}: NBM accuracy {}",
+            summary.accuracy
+        );
+        assert!(summary.auc >= 0.8, "seed {seed}: NBM auc {}", summary.auc);
+
+        // Table 15: rank(p) = textRank(p) + networkRank(p), the list is
+        // sorted by decreasing combined rank, and orderedness stays high.
+        let ranking = evaluate_ranking(
+            &corpus,
+            RankingMethod::TfIdf {
+                kind,
+                sampling: Sampling::None,
+            },
+            Some(500),
+            cv,
+        );
+        for e in &ranking.entries {
+            assert!(
+                e.rank().total_cmp(&(e.text_rank + e.network_rank)).is_eq(),
+                "seed {seed}: rank of {} is not textRank + networkRank",
+                e.domain
+            );
+        }
+        for w in ranking.entries.windows(2) {
+            assert!(
+                w[0].rank() >= w[1].rank(),
+                "seed {seed}: entries not sorted by decreasing rank"
+            );
+        }
+        assert!(
+            (0.7..=1.0).contains(&ranking.pairord),
+            "seed {seed}: pairwise orderedness {}",
+            ranking.pairord
+        );
+
+        // Table 11: linked-site counts are non-increasing down the table.
+        let outbound: Vec<Vec<&str>> = (0..corpus.len())
+            .map(|i| corpus.outbound[i].keys().map(String::as_str).collect())
+            .collect();
+        let linked = top_linked(outbound, 10);
+        assert!(!linked.is_empty(), "seed {seed}: no linked sites");
+        for w in linked.windows(2) {
+            assert!(
+                w[0].pharmacies >= w[1].pharmacies,
+                "seed {seed}: top-linked table not monotone"
+            );
+        }
+
+        // Table 12 signal: trust separates the classes at every seed.
+        let artifacts = build_web_graph(&corpus);
+        let seed_idx: Vec<usize> = (0..corpus.len()).filter(|&i| corpus.labels[i]).collect();
+        let trust = pharmacy_trust_scores(&artifacts, &seed_idx, &TrustRankConfig::default());
+        let mean = |want: bool| {
+            let idx: Vec<usize> = (0..corpus.len())
+                .filter(|&i| corpus.labels[i] == want)
+                .collect();
+            idx.iter().map(|&i| trust[i]).sum::<f64>() / idx.len() as f64
+        };
+        assert!(
+            mean(true) > mean(false),
+            "seed {seed}: legit mean trust {} vs illegit {}",
+            mean(true),
+            mean(false)
+        );
+    }
 }
 
 #[test]
