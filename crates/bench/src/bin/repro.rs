@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N]
-//!       [--fault-rate F] [--trace PATH]
+//!       [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W]
 //! ```
 //!
 //! With no selection, every table and figure is printed. Scale defaults
@@ -13,11 +13,16 @@
 //! byte-identical to a run without the flag. `--trace PATH` (or the
 //! `PHARMAVERIFY_TRACE` environment variable) writes the full
 //! metrics-and-spans trace as canonical JSON; its deterministic view is
-//! byte-identical across worker counts at the same seed. Tables go to
+//! byte-identical across worker counts at the same seed.
+//! `--serve-workload N` replays N seeded requests through the concurrent
+//! verification service (`--serve-workers W` sizes its worker pool,
+//! default 2) and appends the "Serving" section after the regular
+//! output — a pure suffix whose counts are byte-identical at any worker
+//! count; throughput and latency quantiles go to stderr. Tables go to
 //! stdout; progress, span summaries, and artifact cache statistics go to
 //! stderr, so redirected output stays clean.
 
-use pharmaverify_bench::{render_report_with, ReproContext, Scale, Selection};
+use pharmaverify_bench::{render_report_with, serving_study, ReproContext, Scale, Selection};
 use pharmaverify_core::pipeline::Executor;
 use std::time::Instant;
 
@@ -44,6 +49,8 @@ fn main() {
     });
     let mut sel = Selection::everything();
     let mut fault_rate = 0.0_f64;
+    let mut serve_workload: Option<usize> = None;
+    let mut serve_workers = 2usize;
     let mut trace_path = std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -103,13 +110,39 @@ fn main() {
                     }
                 }
             }
+            "--serve-workload" => {
+                let value = require_value(&mut args, "--serve-workload");
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        serve_workload = Some(n);
+                    }
+                    _ => {
+                        eprintln!(
+                            "--serve-workload expects a positive request count, got '{value}'"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--serve-workers" => {
+                let value = require_value(&mut args, "--serve-workers");
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        serve_workers = n;
+                    }
+                    _ => {
+                        eprintln!("--serve-workers expects a positive worker count, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--trace" => {
                 trace_path = Some(require_value(&mut args, "--trace"));
             }
             "--help" | "-h" => {
                 println!(
                     "repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N] \
-                     [--fault-rate F] [--trace PATH]"
+                     [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W]"
                 );
                 return;
             }
@@ -139,6 +172,31 @@ fn main() {
 
     let report = render_report_with(&ctx, &sel, exec, fault_rate);
     print!("{}", report.output);
+
+    if let Some(requests) = serve_workload {
+        // A pure suffix, like the robustness study: everything above is
+        // byte-identical to a run without the flag, and the section
+        // itself is byte-identical at any worker count.
+        let serve_started = Instant::now();
+        let (table, stats) = serving_study(&ctx, requests, serve_workers);
+        println!("{table}");
+        let elapsed = serve_started.elapsed().as_secs_f64();
+        let obs = pharmaverify_obs::global();
+        let quantile = |q: f64| {
+            obs.histogram("serve/latency_micros")
+                .and_then(|h| h.quantile(q))
+                .map_or_else(|| "n/a".to_string(), |v| format!("≤{v}µs"))
+        };
+        eprintln!(
+            "[repro] serving: {} requests in {elapsed:.1}s ({:.0} req/s, {} workers), \
+             latency p50 {} p99 {}",
+            stats.requests,
+            stats.requests as f64 / elapsed.max(f64::EPSILON),
+            serve_workers,
+            quantile(0.5),
+            quantile(0.99),
+        );
+    }
 
     let obs = pharmaverify_obs::global();
     for (path, count, micros) in obs.span_totals() {

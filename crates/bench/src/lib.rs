@@ -15,7 +15,10 @@
 //! parallel over a shared artifact store; `PHARMAVERIFY_JOBS` (or
 //! `repro --jobs N`) sets the worker count, defaulting to the available
 //! cores. Output is byte-identical at any width — see `DESIGN.md`,
-//! "Artifact pipeline & caching".
+//! "Artifact pipeline & caching". `repro --serve-workload N` appends the
+//! serving study (`serving::serving_study`): a seeded workload replayed
+//! through the concurrent verification service, byte-identical at any
+//! `--serve-workers` count — see `DESIGN.md` §10.
 //!
 //! Numbers are *shape*-comparable to the paper, not identical: the corpus
 //! is synthetic (see `DESIGN.md` §1). EXPERIMENTS.md records the
@@ -24,7 +27,9 @@
 pub mod context;
 pub mod figures;
 pub mod report;
+pub mod serving;
 pub mod tables;
 
 pub use context::{ReproContext, Scale, ScaleError};
 pub use report::{render_report, render_report_with, ReproReport, Selection};
+pub use serving::serving_study;

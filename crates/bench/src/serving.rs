@@ -1,0 +1,103 @@
+//! The serving study: replays a seeded workload against a
+//! [`pharmaverify_serve::VerifyService`] and renders the deterministic
+//! tally as a report section.
+//!
+//! The section is a **pure suffix** of the report (like the robustness
+//! study): a run with `--serve-workload N` prints everything a plain run
+//! prints, then this table. Its contents are counts and verdict tallies
+//! only — throughput and latency quantiles are timing-dependent, so the
+//! `repro` binary reports them on stderr, never here. The xtask
+//! determinism audit byte-compares this section between
+//! `--serve-workers 1` and `--serve-workers 4` runs of the same seed.
+
+use crate::context::{ReproContext, REPRO_SEED};
+use pharmaverify_core::report::Table;
+use pharmaverify_core::{TextLearnerKind, TrainedVerifier};
+use pharmaverify_obs::Registry;
+use pharmaverify_serve::{replay_workload, ReplayConfig, ServingStats};
+use std::sync::Arc;
+
+/// Term-subsample size of the served verifier's text model (the paper's
+/// best-OPC column).
+const SERVE_SUBSAMPLE: usize = 1000;
+
+/// Runs the serving study: fits a verifier on Dataset 1, replays
+/// `requests` seeded requests with `workers` workers against the
+/// Dataset 2 web, and returns the rendered section plus the raw tally.
+/// Everything in the table is worker-count-independent by the service's
+/// determinism contract. Records into the process-global registry (so
+/// `serve/*` metrics land in the trace).
+pub fn serving_study(ctx: &ReproContext, requests: usize, workers: usize) -> (Table, ServingStats) {
+    serving_study_in(ctx, requests, workers, pharmaverify_obs::global_arc())
+}
+
+/// [`serving_study`] with an injected registry — tests use a private
+/// [`Registry`] so concurrently running replays cannot interleave their
+/// counter deltas.
+pub fn serving_study_in(
+    ctx: &ReproContext,
+    requests: usize,
+    workers: usize,
+    obs: Arc<Registry>,
+) -> (Table, ServingStats) {
+    let _span = obs.span("report/section/serving (workload replay)");
+    let verifier = Arc::new(TrainedVerifier::fit(
+        &ctx.corpus1,
+        TextLearnerKind::Nbm,
+        Default::default(),
+        Some(SERVE_SUBSAMPLE),
+        REPRO_SEED,
+    ));
+    let config = ReplayConfig::new(requests, workers, REPRO_SEED);
+    let stats = replay_workload(
+        verifier,
+        &ctx.snapshot1,
+        &ctx.snapshot2,
+        &config,
+        Arc::clone(&obs),
+    );
+
+    // The title deliberately omits the worker count: the section must be
+    // byte-identical at any worker count for the same seed.
+    let mut t = Table::new(
+        &format!("Serving: workload replay ({requests} requests, seed {REPRO_SEED})"),
+        &["Metric", "Count"],
+    );
+    for (label, value) in stats.lines() {
+        t.push_row(vec![label, value.to_string()]);
+    }
+    (t, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+    use pharmaverify_obs::VirtualClock;
+
+    fn private_obs() -> Arc<Registry> {
+        Arc::new(Registry::with_clock(Box::new(VirtualClock::new(0))))
+    }
+
+    #[test]
+    fn serving_section_is_worker_count_independent() {
+        let ctx = ReproContext::new(Scale::Small);
+        let (table_1, stats_1) = serving_study_in(&ctx, 48, 1, private_obs());
+        let (table_4, stats_4) = serving_study_in(&ctx, 48, 4, private_obs());
+        assert_eq!(stats_1, stats_4, "worker count leaked into the tally");
+        assert_eq!(table_1.to_string(), table_4.to_string());
+    }
+
+    #[test]
+    fn serving_section_renders_every_stat_line() {
+        let ctx = ReproContext::new(Scale::Small);
+        let (table, stats) = serving_study_in(&ctx, 32, 2, private_obs());
+        let text = table.to_string();
+        assert!(text.contains("Serving: workload replay (32 requests"));
+        for (label, _) in stats.lines() {
+            assert!(text.contains(&label), "missing line {label:?}:\n{text}");
+        }
+        assert_eq!(stats.requests, 32);
+        assert!(stats.cache_misses > 0);
+    }
+}

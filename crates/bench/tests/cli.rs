@@ -27,6 +27,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--jobs",
     "--fault-rate",
     "--trace",
+    "--serve-workload",
+    "--serve-workers",
 ];
 
 #[test]
@@ -109,6 +111,32 @@ fn bad_fault_rates_are_rejected() {
 }
 
 #[test]
+fn bad_serve_workloads_are_rejected() {
+    for value in ["0", "-5", "lots", "2.5"] {
+        let out = run(&["--serve-workload", value]);
+        assert_eq!(out.status.code(), Some(2), "--serve-workload {value}");
+        assert!(
+            stderr(&out).contains("--serve-workload expects a positive request count"),
+            "--serve-workload {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn bad_serve_worker_counts_are_rejected() {
+    for value in ["0", "-1", "pool"] {
+        let out = run(&["--serve-workers", value]);
+        assert_eq!(out.status.code(), Some(2), "--serve-workers {value}");
+        assert!(
+            stderr(&out).contains("--serve-workers expects a positive worker count"),
+            "--serve-workers {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
 fn unknown_arguments_are_rejected() {
     let out = run(&["--tables", "3"]);
     assert_eq!(out.status.code(), Some(2));
@@ -123,6 +151,8 @@ fn help_short_circuits_without_running() {
         let text = String::from_utf8_lossy(&out.stdout);
         assert!(text.contains("--trace PATH"), "{help}: {text}");
         assert!(text.contains("--fault-rate F"), "{help}: {text}");
+        assert!(text.contains("--serve-workload N"), "{help}: {text}");
+        assert!(text.contains("--serve-workers W"), "{help}: {text}");
     }
 }
 

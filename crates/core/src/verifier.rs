@@ -50,17 +50,28 @@ impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: {} (text {:.3}, trust {:.4}, rank {:.3}, {} pages)",
+            "{}: {}",
             self.domain,
             if self.predicted_legitimate {
                 "likely LEGITIMATE"
             } else {
                 "likely ILLEGITIMATE"
             },
-            self.text_score,
-            self.trust_score,
-            self.rank,
-            self.pages_crawled,
+        )?;
+        // Degradation belongs in the one-line summary, not only in the
+        // trailing caveat: a reviewer scanning one verdict per line must
+        // see reduced confidence without reading to the end.
+        if self.degraded {
+            write!(
+                f,
+                " DEGRADED (coverage {:.0}%)",
+                self.crawl_coverage * 100.0
+            )?;
+        }
+        write!(
+            f,
+            " (text {:.3}, trust {:.4}, rank {:.3}, {} pages)",
+            self.text_score, self.trust_score, self.rank, self.pages_crawled,
         )?;
         if self.degraded {
             write!(
@@ -74,7 +85,7 @@ impl fmt::Display for Verdict {
 }
 
 /// Errors from verification.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum VerifyError {
     /// The seed URL did not parse.
     BadUrl(String),
@@ -199,6 +210,64 @@ impl TrainedVerifier {
     /// text, splices its outbound links into the training link graph, and
     /// propagates trust.
     pub fn verify<H: WebHost>(&self, host: &H, seed_url: &str) -> Result<Verdict, VerifyError> {
+        let crawl = self.crawl_site(host, seed_url)?;
+        let mut graph = self.artifacts.graph.clone();
+        Ok(self.score_crawl(&crawl, &mut graph))
+    }
+
+    /// Verifies a batch of sites against **one** clone of the training
+    /// graph, returning one result per seed URL in order.
+    ///
+    /// Sequential [`TrainedVerifier::verify`] pays for a full graph clone
+    /// per site; here the clone happens at most once per batch and each
+    /// site is spliced in, propagated, and rolled back via
+    /// [`pharmaverify_net::WebGraph::unsplice`] before the next. Two
+    /// further savings fall out of the splice design:
+    ///
+    /// * a site whose domain is *not* a node of the training graph skips
+    ///   trust propagation entirely — nothing in the training graph links
+    ///   to a fresh domain, so every TrustRank iteration assigns it
+    ///   exactly `0.0` mass (teleport is seeds-only and dangling mass
+    ///   returns to the seeds), and `verify` would compute a trust score
+    ///   of exactly `0.0` for it;
+    /// * an all-fresh (or all-error) batch never clones the graph at all.
+    ///
+    /// Because `unsplice` restores the graph bit-for-bit and sites are
+    /// crawled in argument order, the verdicts are **exactly** those of
+    /// calling `verify` once per URL in the same order — including on
+    /// faulty or otherwise stateful hosts.
+    pub fn verify_batch<H: WebHost>(
+        &self,
+        host: &H,
+        seed_urls: &[&str],
+    ) -> Vec<Result<Verdict, VerifyError>> {
+        let obs = pharmaverify_obs::global();
+        let _span = obs.span("core/verifier/batch");
+        obs.add("core/verifier/batch_requests", seed_urls.len() as u64);
+        let mut shared_graph: Option<pharmaverify_net::WebGraph> = None;
+        seed_urls
+            .iter()
+            .map(|seed_url| {
+                let crawl = self.crawl_site(host, seed_url)?;
+                let verdict = if self.artifacts.graph.node(&crawl.domain).is_none() {
+                    obs.add("core/verifier/batch_fresh", 1);
+                    self.score_crawl_fresh(&crawl)
+                } else {
+                    obs.add("core/verifier/batch_spliced", 1);
+                    let graph = shared_graph.get_or_insert_with(|| self.artifacts.graph.clone());
+                    self.score_crawl(&crawl, graph)
+                };
+                Ok(verdict)
+            })
+            .collect()
+    }
+
+    /// Crawls one site and applies the emptiness/unreachability checks.
+    fn crawl_site<H: WebHost>(
+        &self,
+        host: &H,
+        seed_url: &str,
+    ) -> Result<pharmaverify_crawl::CrawlResult, VerifyError> {
         let url = Url::parse(seed_url).map_err(|_| VerifyError::BadUrl(seed_url.to_string()))?;
         let crawler = Crawler::new(self.crawl_config.clone());
         let crawl = crawler.crawl(host, &url);
@@ -216,8 +285,12 @@ impl TrainedVerifier {
             }
             return Err(VerifyError::EmptySite(url.endpoint()));
         }
-        // Text score.
-        let summary = summarize_crawl(&crawl);
+        Ok(crawl)
+    }
+
+    /// Text component: summarize, preprocess, subsample, vectorize, score.
+    fn text_component(&self, crawl: &pharmaverify_crawl::CrawlResult) -> (f64, bool) {
+        let summary = summarize_crawl(crawl);
         let tokens = preprocess(&summary.text);
         let doc = subsample_opt(&tokens, self.subsample, self.seed);
         let x = if self.text_uses_counts {
@@ -225,29 +298,54 @@ impl TrainedVerifier {
         } else {
             self.tfidf.transform(&doc)
         };
-        let text_score = self.text_model.score(&x);
-        let predicted = self.text_model.predict(&x);
+        (self.text_model.score(&x), self.text_model.predict(&x))
+    }
 
-        // Network score: add the new site to a copy of the graph.
-        let mut graph = self.artifacts.graph.clone();
-        let node = graph.add_pharmacy(&crawl.domain);
-        for (target, count) in crawl.outbound_endpoints() {
-            if target != crawl.domain {
-                graph.add_link(node, &target, count as f64);
-            }
-        }
+    /// Scores a crawled site against `graph` (a clone of the training
+    /// graph, possibly reused across a batch): splice the site in,
+    /// propagate trust, roll the splice back.
+    fn score_crawl(
+        &self,
+        crawl: &pharmaverify_crawl::CrawlResult,
+        graph: &mut pharmaverify_net::WebGraph,
+    ) -> Verdict {
+        let (text_score, predicted) = self.text_component(crawl);
+        let links: Vec<(String, f64)> = crawl
+            .outbound_endpoints()
+            .into_iter()
+            .map(|(target, count)| (target, count as f64))
+            .collect();
+        let splice = graph.splice_pharmacy(&crawl.domain, &links);
         let seeds: Vec<_> = self
             .seed_indices
             .iter()
             .map(|&i| self.artifacts.pharmacy_nodes[i])
             .collect();
-        let trust = trust_rank(&graph, &seeds, &self.trust_config);
-        let trust_score = trust[node as usize] * self.trust_scale;
+        let trust = trust_rank(graph, &seeds, &self.trust_config);
+        let trust_score = trust[splice.node() as usize] * self.trust_scale;
+        graph.unsplice(splice);
+        self.finish_verdict(crawl, text_score, predicted, trust_score)
+    }
+
+    /// Scores a crawled site whose domain has no node in the training
+    /// graph: its trust score is exactly `0.0` (see
+    /// [`TrainedVerifier::verify_batch`]), so propagation is skipped.
+    fn score_crawl_fresh(&self, crawl: &pharmaverify_crawl::CrawlResult) -> Verdict {
+        let (text_score, predicted) = self.text_component(crawl);
+        self.finish_verdict(crawl, text_score, predicted, 0.0)
+    }
+
+    fn finish_verdict(
+        &self,
+        crawl: &pharmaverify_crawl::CrawlResult,
+        text_score: f64,
+        predicted: bool,
+        trust_score: f64,
+    ) -> Verdict {
         let network_score = self
             .trust_model
             .score(&SparseVector::from_pairs(vec![(0, trust_score)]));
-
-        Ok(Verdict {
+        Verdict {
             domain: crawl.domain.clone(),
             pages_crawled: crawl.pages.len(),
             text_score,
@@ -257,7 +355,7 @@ impl TrainedVerifier {
             predicted_legitimate: predicted,
             degraded: crawl.is_degraded(),
             crawl_coverage: crawl.coverage(),
-        })
+        }
     }
 
     /// The training population's link graph (pharmacies + link targets).
@@ -265,6 +363,15 @@ impl TrainedVerifier {
         &self.artifacts.graph
     }
 }
+
+// `VerifyService` shares one frozen verifier across worker threads; these
+// bindings fail to compile if a field change ever makes that unsound.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TrainedVerifier>();
+    assert_send_sync::<Verdict>();
+    assert_send_sync::<VerifyError>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -404,5 +511,107 @@ mod tests {
         let text = verdict.to_string();
         assert!(text.contains("likely"));
         assert!(text.contains("pages"));
+    }
+
+    fn sample_verdict(degraded: bool) -> Verdict {
+        Verdict {
+            domain: "example-pharmacy.com".into(),
+            pages_crawled: 12,
+            text_score: 0.8,
+            trust_score: 0.05,
+            network_score: 0.6,
+            rank: 0.85,
+            predicted_legitimate: true,
+            degraded,
+            crawl_coverage: if degraded { 0.4 } else { 1.0 },
+        }
+    }
+
+    #[test]
+    fn degraded_summary_line_is_marked_before_the_scores() {
+        let text = sample_verdict(true).to_string();
+        assert!(
+            text.contains("DEGRADED (coverage 40%)"),
+            "summary must flag degradation inline: {text}"
+        );
+        // The marker belongs to the headline, before the score breakdown.
+        let marker = text.find("DEGRADED").unwrap();
+        let scores = text.find("(text").unwrap();
+        assert!(marker < scores, "marker after scores in: {text}");
+        // The detailed caveat is still there too.
+        assert!(text.contains("low confidence"));
+    }
+
+    #[test]
+    fn clean_summary_line_has_no_degraded_marker() {
+        let text = sample_verdict(false).to_string();
+        assert!(!text.contains("DEGRADED"), "clean verdict flagged: {text}");
+        assert!(!text.contains("degraded"));
+    }
+
+    fn assert_same_verdict(a: &Verdict, b: &Verdict) {
+        assert_eq!(a.domain, b.domain);
+        assert_eq!(a.pages_crawled, b.pages_crawled);
+        // Bit-exact, not approximate: batch must run the same arithmetic.
+        assert_eq!(a.text_score.to_bits(), b.text_score.to_bits());
+        assert_eq!(a.trust_score.to_bits(), b.trust_score.to_bits());
+        assert_eq!(a.network_score.to_bits(), b.network_score.to_bits());
+        assert_eq!(a.rank.to_bits(), b.rank.to_bits());
+        assert_eq!(a.predicted_legitimate, b.predicted_legitimate);
+        assert_eq!(a.degraded, b.degraded);
+        assert_eq!(a.crawl_coverage.to_bits(), b.crawl_coverage.to_bits());
+    }
+
+    #[test]
+    fn batch_matches_sequential_verify_exactly() {
+        let (verifier, web) = verifier_and_web();
+        let snap2 = web.snapshot2();
+        // Mix of training-graph members (snapshot-2 keeps snapshot-1's
+        // legitimate domains), fresh domains (new illegitimate sites), a
+        // duplicate, and error cases.
+        let mut urls: Vec<String> = Vec::new();
+        for site in snap2.sites.iter().filter(|s| s.label()).take(3) {
+            urls.push(site.seed_url.clone());
+        }
+        for site in snap2.sites.iter().filter(|s| !s.label()).take(3) {
+            urls.push(site.seed_url.clone());
+        }
+        urls.push(urls[0].clone());
+        urls.push("http://offline-pharmacy.com/".to_string());
+        urls.push("not a url".to_string());
+        let refs: Vec<&str> = urls.iter().map(String::as_str).collect();
+
+        let batch = verifier.verify_batch(&snap2.web, &refs);
+        assert_eq!(batch.len(), refs.len());
+        let mut saw_fresh = false;
+        let mut saw_member = false;
+        for (url, got) in refs.iter().zip(&batch) {
+            let want = verifier.verify(&snap2.web, url);
+            match (got, want) {
+                (Ok(g), Ok(w)) => {
+                    assert_same_verdict(g, &w);
+                    if verifier.graph().node(&g.domain).is_none() {
+                        saw_fresh = true;
+                    } else {
+                        saw_member = true;
+                    }
+                }
+                (Err(g), Err(w)) => {
+                    assert_eq!(g.to_string(), w.to_string(), "for {url}");
+                }
+                (g, w) => panic!("batch {g:?} vs sequential {w:?} for {url}"),
+            }
+        }
+        assert!(saw_fresh, "batch exercised no fresh-domain shortcut");
+        assert!(saw_member, "batch exercised no spliced propagation");
+    }
+
+    #[test]
+    fn batch_of_errors_only_reports_each_error() {
+        let (verifier, web) = verifier_and_web();
+        let snap = web.snapshot();
+        let batch = verifier.verify_batch(&snap.web, &["bogus", "http://offline-pharmacy.com/"]);
+        assert!(matches!(batch[0], Err(VerifyError::BadUrl(_))));
+        assert!(matches!(batch[1], Err(VerifyError::EmptySite(_))));
     }
 }

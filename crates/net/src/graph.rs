@@ -126,6 +126,96 @@ impl WebGraph {
             .map(|(i, n)| (n.clone(), i as NodeId))
             .collect();
     }
+
+    /// Temporarily splices a pharmacy node for `domain` with the given
+    /// outbound `links` into the graph, returning an undo token for
+    /// [`WebGraph::unsplice`].
+    ///
+    /// This is the batched-verification primitive: instead of cloning the
+    /// whole training graph once per candidate site, a verifier clones it
+    /// once per *batch* and splices/unsplices each candidate in turn.
+    /// Unsplicing restores the graph to the exact pre-splice state —
+    /// node ids, edge order, and edge weights are bit-identical — so a
+    /// propagation run between splice and unsplice observes precisely the
+    /// graph a fresh clone-and-add would have produced.
+    ///
+    /// # Panics
+    /// Panics if any link weight is not positive (see
+    /// [`WebGraph::add_link`]).
+    pub fn splice_pharmacy(&mut self, domain: &str, links: &[(String, f64)]) -> Splice {
+        let base_nodes = self.node_count();
+        let prior = self.node(domain).map(|id| {
+            (
+                id,
+                self.out_edges[id as usize].clone(),
+                self.is_pharmacy[id as usize],
+            )
+        });
+        let node = self.add_pharmacy(domain);
+        for (target, weight) in links {
+            if target != domain {
+                self.add_link(node, target, *weight);
+            }
+        }
+        Splice {
+            base_nodes,
+            node,
+            prior,
+        }
+    }
+
+    /// Reverts a [`WebGraph::splice_pharmacy`]: removes every node the
+    /// splice interned and restores the spliced node's prior edges and
+    /// pharmacy flag. Splices must be unwound in LIFO order — the token
+    /// encodes the node count to roll back to.
+    ///
+    /// # Panics
+    /// Panics if `splice` did not come from this graph's most recent
+    /// un-reverted splice (the recorded base node count would exceed the
+    /// current one).
+    pub fn unsplice(&mut self, splice: Splice) {
+        assert!(
+            splice.base_nodes <= self.node_count(),
+            "unsplice of a stale token"
+        );
+        for name in self.names.drain(splice.base_nodes..) {
+            self.index.remove(&name);
+        }
+        self.out_edges.truncate(splice.base_nodes);
+        self.is_pharmacy.truncate(splice.base_nodes);
+        if let Some((id, edges, was_pharmacy)) = splice.prior {
+            self.out_edges[id as usize] = edges;
+            self.is_pharmacy[id as usize] = was_pharmacy;
+        }
+    }
+}
+
+/// Undo token of one [`WebGraph::splice_pharmacy`], consumed by
+/// [`WebGraph::unsplice`].
+#[derive(Debug)]
+pub struct Splice {
+    /// Node count before the splice; later nodes are removed on unsplice.
+    base_nodes: usize,
+    /// The spliced pharmacy node.
+    node: NodeId,
+    /// `(id, out-edges, is_pharmacy)` of the spliced node before the
+    /// splice, when the domain already existed in the graph.
+    prior: Option<(NodeId, Vec<(NodeId, f64)>, bool)>,
+}
+
+impl Splice {
+    /// The node id of the spliced site.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// True when the spliced domain was already a node of the base graph
+    /// (a link target or training pharmacy) — the case where splicing
+    /// redirects previously-dangling trust mass and the propagation
+    /// result genuinely differs from the base graph's.
+    pub fn domain_preexisted(&self) -> bool {
+        self.prior.is_some()
+    }
 }
 
 #[cfg(test)]
@@ -193,6 +283,97 @@ mod tests {
         let mut g = WebGraph::new();
         let p = g.add_pharmacy("p.com");
         g.add_link(p, "x.com", 0.0);
+    }
+
+    fn training_graph() -> WebGraph {
+        let mut g = WebGraph::new();
+        let a = g.add_pharmacy("a.com");
+        let b = g.add_pharmacy("b.com");
+        g.add_link(a, "b.com", 2.0);
+        g.add_link(a, "ext.org", 1.0);
+        g.add_link(b, "ext.org", 3.0);
+        g
+    }
+
+    fn graph_state(g: &WebGraph) -> (usize, usize, Vec<(String, bool, Vec<(NodeId, f64)>)>) {
+        (
+            g.node_count(),
+            g.edge_count(),
+            g.nodes()
+                .map(|id| {
+                    (
+                        g.name(id).to_string(),
+                        g.is_pharmacy(id),
+                        g.out_edges(id).to_vec(),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn splice_of_fresh_domain_adds_and_unsplice_removes() {
+        let mut g = training_graph();
+        let before = graph_state(&g);
+        let splice = g.splice_pharmacy(
+            "new-pharm.com",
+            &[("ext.org".to_string(), 1.0), ("other.net".to_string(), 2.0)],
+        );
+        assert!(!splice.domain_preexisted());
+        assert!(g.is_pharmacy(splice.node()));
+        assert_eq!(g.node_count(), before.0 + 2, "site + one unseen target");
+        assert_eq!(g.out_weight(splice.node()), 3.0);
+        g.unsplice(splice);
+        assert_eq!(graph_state(&g), before);
+        assert_eq!(g.node("new-pharm.com"), None);
+        assert_eq!(g.node("other.net"), None);
+    }
+
+    #[test]
+    fn splice_of_preexisting_domain_restores_prior_edges_and_flag() {
+        let mut g = training_graph();
+        let before = graph_state(&g);
+        // ext.org already exists as an external (non-pharmacy) node with
+        // no out-edges; splicing upgrades it and gives it links.
+        let splice = g.splice_pharmacy(
+            "ext.org",
+            &[("a.com".to_string(), 1.0), ("fresh.net".to_string(), 1.0)],
+        );
+        assert!(splice.domain_preexisted());
+        assert!(g.is_pharmacy(splice.node()));
+        assert_eq!(g.out_weight(splice.node()), 2.0);
+        g.unsplice(splice);
+        assert_eq!(graph_state(&g), before);
+        let ext = g.node("ext.org").expect("ext.org is a base node");
+        assert!(!g.is_pharmacy(ext));
+        assert!(g.out_edges(ext).is_empty());
+    }
+
+    #[test]
+    fn splice_skips_self_links_and_merges_duplicates() {
+        let mut g = training_graph();
+        let splice = g.splice_pharmacy(
+            "p.com",
+            &[
+                ("p.com".to_string(), 5.0),
+                ("x.com".to_string(), 1.0),
+                ("x.com".to_string(), 2.0),
+            ],
+        );
+        assert_eq!(g.out_edges(splice.node()).len(), 1, "self-link skipped");
+        assert_eq!(g.out_weight(splice.node()), 3.0, "duplicates merged");
+        g.unsplice(splice);
+    }
+
+    #[test]
+    fn sequential_splices_are_independent() {
+        let mut g = training_graph();
+        let before = graph_state(&g);
+        for domain in ["s1.com", "s2.com", "ext.org"] {
+            let splice = g.splice_pharmacy(domain, &[("tgt.net".to_string(), 1.0)]);
+            g.unsplice(splice);
+            assert_eq!(graph_state(&g), before, "state leaked after {domain}");
+        }
     }
 
     #[test]

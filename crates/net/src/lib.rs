@@ -15,7 +15,7 @@ pub mod pagerank;
 pub mod trustrank;
 
 pub use anti_trustrank::{anti_trust_rank, transpose};
-pub use graph::{NodeId, WebGraph};
+pub use graph::{NodeId, Splice, WebGraph};
 pub use linked::{top_linked, LinkedSite};
 pub use pagerank::pagerank;
 pub use trustrank::{trust_rank, trustrank_demo, TrustRankConfig};

@@ -52,6 +52,36 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; HISTOGRAM_BOUNDS.len() + 1],
 }
 
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`0 < q <= 1`): the bound
+    /// of the first bucket at which the cumulative count reaches
+    /// `ceil(q * count)`. Returns `None` for an empty histogram; an
+    /// overflow-bucket quantile reports the last finite bound (the value
+    /// is only known to exceed it). With power-of-ten buckets this is an
+    /// order-of-magnitude figure, which is all a latency summary needs.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // ceil(q * count) without float rounding at the top end.
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (slot, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return Some(
+                    HISTOGRAM_BOUNDS
+                        .get(slot)
+                        .copied()
+                        .unwrap_or(HISTOGRAM_BOUNDS[HISTOGRAM_BOUNDS.len() - 1]),
+                );
+            }
+        }
+        None
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Histogram {
     count: u64,
@@ -209,13 +239,25 @@ impl Registry {
 
     /// Records `value` into the deterministic histogram `name`.
     pub fn observe(&self, name: &str, value: u64) {
+        self.record_observation(name, value, true);
+    }
+
+    /// Records `value` into the non-deterministic histogram `name` —
+    /// for observations that legitimately vary between runs of the same
+    /// seed, such as wall-clock request latencies. Rendered only in the
+    /// trace's non-deterministic section.
+    pub fn observe_nondet(&self, name: &str, value: u64) {
+        self.record_observation(name, value, false);
+    }
+
+    fn record_observation(&self, name: &str, value: u64, deterministic: bool) {
         let mut histograms = self
             .histograms
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         histograms
             .entry(name.to_string())
-            .or_insert_with(|| Histogram::new(true))
+            .or_insert_with(|| Histogram::new(deterministic))
             .observe(value);
     }
 
@@ -403,6 +445,46 @@ mod tests {
         assert_eq!(h.buckets[2], 1, "100 is <= 100");
         assert_eq!(h.buckets[6], 1, "1e6 is <= 1e6");
         assert_eq!(h.buckets[7], 1, "2e6 overflows");
+    }
+
+    #[test]
+    fn nondet_histograms_carry_the_flag() {
+        let reg = Registry::new();
+        reg.observe_nondet("lat", 5);
+        reg.observe_nondet("lat", 50);
+        let snap = reg.snapshot();
+        let (_, hist, deterministic) = &snap.histograms[0];
+        assert_eq!(hist.count, 2);
+        assert!(!deterministic);
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        let reg = Registry::new();
+        // 10 observations: 8 in le_10, 1 in le_1000, 1 in overflow.
+        for _ in 0..8 {
+            reg.observe("h", 7);
+        }
+        reg.observe("h", 500);
+        reg.observe("h", 5_000_000);
+        let h = reg.histogram("h").unwrap();
+        assert_eq!(h.quantile(0.5), Some(10));
+        assert_eq!(h.quantile(0.8), Some(10));
+        assert_eq!(h.quantile(0.9), Some(1_000));
+        assert_eq!(
+            h.quantile(1.0),
+            Some(1_000_000),
+            "overflow quantile reports the last finite bound"
+        );
+        assert_eq!(
+            HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                buckets: [0; HISTOGRAM_BOUNDS.len() + 1],
+            }
+            .quantile(0.5),
+            None
+        );
     }
 
     #[test]

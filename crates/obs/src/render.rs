@@ -149,29 +149,29 @@ fn push_section(out: &mut String, snapshot: &RegistrySnapshot, deterministic: bo
     push_key(out, 2, "gauges");
     push_scalar_map(out, 2, &gauges);
     out.push_str(",\n");
-    if deterministic {
-        push_key(out, 2, "histograms");
-        let hists: Vec<_> = snapshot
-            .histograms
-            .iter()
-            .filter(|(_, _, det)| *det)
-            .collect();
-        if hists.is_empty() {
-            out.push_str("{}");
-        } else {
-            out.push_str("{\n");
-            for (i, (name, hist, _)) in hists.iter().enumerate() {
-                push_key(out, 3, name);
-                push_histogram(out, 3, hist);
-                if i + 1 < hists.len() {
-                    out.push(',');
-                }
-                out.push('\n');
+    push_key(out, 2, "histograms");
+    let hists: Vec<_> = snapshot
+        .histograms
+        .iter()
+        .filter(|(_, _, det)| *det == deterministic)
+        .collect();
+    if hists.is_empty() {
+        out.push_str("{}");
+    } else {
+        out.push_str("{\n");
+        for (i, (name, hist, _)) in hists.iter().enumerate() {
+            push_key(out, 3, name);
+            push_histogram(out, 3, hist);
+            if i + 1 < hists.len() {
+                out.push(',');
             }
-            push_indent(out, 2);
-            out.push('}');
+            out.push('\n');
         }
-        out.push_str(",\n");
+        push_indent(out, 2);
+        out.push('}');
+    }
+    out.push_str(",\n");
+    if deterministic {
         push_key(out, 2, "spans");
         push_span_children(out, 2, &snapshot.spans, false);
     } else {
@@ -296,6 +296,20 @@ mod tests {
         assert!(tail.contains("\"scratch/threads_seen\": 4"));
         assert!(tail.contains("\"pipeline/executor/width\": 4"));
         assert!(tail.contains("\"total_micros\": 7"));
+    }
+
+    #[test]
+    fn nondeterministic_histograms_stay_out_of_the_deterministic_view() {
+        let reg = Registry::new();
+        reg.observe("det/h", 5);
+        reg.observe_nondet("serve/latency_micros", 5_000);
+        let trace = reg.render_trace();
+        let det = deterministic_slice(&trace).unwrap();
+        assert!(det.contains("\"det/h\""));
+        assert!(!det.contains("latency_micros"), "leaked: {det}");
+        let tail = &trace[trace.find("\"nondeterministic\"").unwrap()..];
+        assert!(tail.contains("\"serve/latency_micros\""));
+        assert!(tail.contains("\"le_10000\": 1"));
     }
 
     #[test]

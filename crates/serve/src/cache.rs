@@ -1,0 +1,422 @@
+//! Seeded response cache: domain → verification outcome.
+//!
+//! The cache is a *pure* data structure — it never reads a clock itself;
+//! every operation takes an explicit `now` in microseconds, supplied by
+//! the service from its injected [`pharmaverify_obs::Clock`]. Under a
+//! frozen [`pharmaverify_obs::VirtualClock`] the whole cache behaves as a
+//! deterministic function of the operation sequence, which is what lets
+//! the replay harness produce byte-identical hit/miss/eviction counts at
+//! any worker count.
+//!
+//! # Reservation protocol
+//!
+//! The cache's membership (which domains occupy its slots, and which get
+//! evicted) must never change on a worker thread — workers complete
+//! batches in a scheduling-dependent order, and an insert-at-completion
+//! design makes mid-wave lookups race against evictions. So membership
+//! changes only through two submission-thread operations:
+//!
+//! * [`ResponseCache::lookup`] — may *remove* a stale entry (TTL lapse);
+//! * [`ResponseCache::reserve`] — claims a slot for a domain about to be
+//!   verified, evicting the smallest-seq entry if over capacity.
+//!
+//! Workers only ever *transition a reserved slot in place* via
+//! [`ResponseCache::fill`] / [`ResponseCache::fail`] — if the
+//! reservation was evicted in the meantime, the result is simply
+//! dropped. A slot moves through:
+//!
+//! ```text
+//! reserve ─→ Pending ──fill(clean)────→ Ready(verdict)   (TTL applies)
+//!                    ├─fill(degraded)─→ Vacated          (always a miss)
+//!                    └─fail(error)────→ Failed(error)    (same wave only)
+//! ```
+//!
+//! Three disciplines, all load-bearing:
+//!
+//! * **Degraded verdicts are never cached.** A verdict computed from a
+//!   partial crawl is low-confidence by construction (the same rule
+//!   `core::pipeline` applies to fingerprinted artifacts: degraded
+//!   inputs must not poison durable state). Filling with a degraded
+//!   verdict vacates the slot; the next lookup is a miss and the site
+//!   re-verifies.
+//! * **Eviction is by smallest submission sequence number.** The seq is
+//!   assigned under the service lock at admission, so whichever thread
+//!   interleaving plays out, the surviving set is always the `capacity`
+//!   entries with the largest seqs — insertion-order LRU would make
+//!   cache contents depend on worker scheduling.
+//! * **Error outcomes are served only at the instant they were
+//!   recorded.** A [`Slot::Failed`] entry answers lookups at the exact
+//!   clock reading of its completion (under a frozen virtual clock, the
+//!   rest of that wave; under a wall clock, essentially never) and is
+//!   dropped afterwards — transient errors must not stick.
+
+use pharmaverify_core::{Verdict, VerifyError};
+use std::collections::BTreeMap;
+
+/// One cache slot. See the module docs for the state machine.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// Reserved: a verification for this domain is in flight.
+    Pending,
+    /// A clean verdict, fresh until its TTL lapses.
+    Ready { verdict: Verdict, inserted_at: u64 },
+    /// A verification error, served only at `inserted_at` itself.
+    Failed {
+        error: VerifyError,
+        inserted_at: u64,
+    },
+    /// A degraded verdict landed here: the slot is held but empty, and
+    /// every lookup misses (forcing re-verification).
+    Vacated,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    slot: Slot,
+    /// Submission sequence number of the claiming request — the
+    /// deterministic eviction key.
+    seq: u64,
+}
+
+/// What a lookup found.
+#[derive(Debug, Clone)]
+pub enum Lookup {
+    /// A fresh verdict; cloned out.
+    Hit(Verdict),
+    /// A same-instant error outcome; cloned out.
+    HitError(VerifyError),
+    /// The domain is reserved: a verification is already in flight.
+    Pending,
+    /// An entry existed but its TTL had lapsed; it has been removed.
+    Expired,
+    /// No usable entry.
+    Miss,
+}
+
+/// What a reserve did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reserve {
+    /// Slot claimed without displacing anything.
+    Stored,
+    /// Slot claimed; the named domain's entry was evicted to make room.
+    Evicted(String),
+    /// The cache has zero capacity (caching disabled); nothing claimed.
+    RejectedDisabled,
+}
+
+/// What a fill did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// The verdict is now served for this domain.
+    Stored,
+    /// The verdict was degraded: the slot was vacated instead.
+    RejectedDegraded,
+    /// The reservation was evicted (or never made); result dropped.
+    Dropped,
+}
+
+/// A capacity-bounded domain → outcome cache with deterministic
+/// smallest-seq eviction and virtual-time TTL. See the module docs.
+#[derive(Debug)]
+pub struct ResponseCache {
+    capacity: usize,
+    ttl_micros: u64,
+    entries: BTreeMap<String, Entry>,
+}
+
+impl ResponseCache {
+    /// An empty cache holding at most `capacity` domains, verdicts fresh
+    /// for `ttl_micros` (0 = verdicts never expire).
+    pub fn new(capacity: usize, ttl_micros: u64) -> ResponseCache {
+        ResponseCache {
+            capacity,
+            ttl_micros,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Looks up `domain` at time `now`, removing entries whose useful
+    /// life is over (TTL-lapsed verdicts, past-instant errors).
+    pub fn lookup(&mut self, domain: &str, now: u64) -> Lookup {
+        enum Action {
+            Keep(Lookup),
+            RemoveExpired,
+            RemoveSilently,
+        }
+        let action = match self.entries.get(domain) {
+            None => return Lookup::Miss,
+            Some(entry) => match &entry.slot {
+                Slot::Pending => Action::Keep(Lookup::Pending),
+                Slot::Vacated => Action::Keep(Lookup::Miss),
+                Slot::Ready {
+                    verdict,
+                    inserted_at,
+                } => {
+                    if self.ttl_micros > 0 && now.saturating_sub(*inserted_at) >= self.ttl_micros {
+                        Action::RemoveExpired
+                    } else {
+                        Action::Keep(Lookup::Hit(verdict.clone()))
+                    }
+                }
+                Slot::Failed { error, inserted_at } => {
+                    if now == *inserted_at {
+                        Action::Keep(Lookup::HitError(error.clone()))
+                    } else {
+                        Action::RemoveSilently
+                    }
+                }
+            },
+        };
+        match action {
+            Action::Keep(lookup) => lookup,
+            Action::RemoveExpired => {
+                self.entries.remove(domain);
+                Lookup::Expired
+            }
+            Action::RemoveSilently => {
+                self.entries.remove(domain);
+                Lookup::Miss
+            }
+        }
+    }
+
+    /// Claims a slot for `domain` with submission seq `seq`. An existing
+    /// entry (vacated or otherwise superseded) is re-claimed in place
+    /// without eviction; a genuinely new domain may evict the
+    /// smallest-seq entry. Call only from the submission path, after a
+    /// [`Lookup::Miss`] / [`Lookup::Expired`].
+    pub fn reserve(&mut self, domain: &str, seq: u64) -> Reserve {
+        if self.capacity == 0 {
+            return Reserve::RejectedDisabled;
+        }
+        if let Some(entry) = self.entries.get_mut(domain) {
+            entry.slot = Slot::Pending;
+            entry.seq = seq;
+            return Reserve::Stored;
+        }
+        self.entries.insert(
+            domain.to_string(),
+            Entry {
+                slot: Slot::Pending,
+                seq,
+            },
+        );
+        if self.entries.len() <= self.capacity {
+            return Reserve::Stored;
+        }
+        // Evict the entry with the smallest submission seq. BTreeMap
+        // iteration is ordered, so ties (impossible for distinct
+        // requests) would still break deterministically.
+        let victim = self
+            .entries
+            .iter()
+            .min_by_key(|(_, e)| e.seq)
+            .map(|(d, _)| d.clone());
+        match victim {
+            Some(d) => {
+                self.entries.remove(&d);
+                Reserve::Evicted(d)
+            }
+            // Unreachable: len > capacity >= 1 implies a minimum exists.
+            None => Reserve::Stored,
+        }
+    }
+
+    /// Completes a reservation with a verdict at time `now`. Degraded
+    /// verdicts vacate the slot instead of being stored; an evicted
+    /// reservation drops the result. Never changes membership.
+    pub fn fill(&mut self, domain: &str, verdict: &Verdict, now: u64) -> Fill {
+        match self.entries.get_mut(domain) {
+            Some(entry) if matches!(entry.slot, Slot::Pending) => {
+                if verdict.degraded {
+                    entry.slot = Slot::Vacated;
+                    Fill::RejectedDegraded
+                } else {
+                    entry.slot = Slot::Ready {
+                        verdict: verdict.clone(),
+                        inserted_at: now,
+                    };
+                    Fill::Stored
+                }
+            }
+            _ => Fill::Dropped,
+        }
+    }
+
+    /// Completes a reservation with an error at time `now`; the outcome
+    /// answers lookups at that instant only. Never changes membership.
+    pub fn fail(&mut self, domain: &str, error: &VerifyError, now: u64) {
+        if let Some(entry) = self.entries.get_mut(domain) {
+            if matches!(entry.slot, Slot::Pending) {
+                entry.slot = Slot::Failed {
+                    error: error.clone(),
+                    inserted_at: now,
+                };
+            }
+        }
+    }
+
+    /// Number of occupied slots (including pending and vacated).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when `domain` currently holds a slot (in any state).
+    pub fn contains(&self, domain: &str) -> bool {
+        self.entries.contains_key(domain)
+    }
+
+    /// Occupied domains in lexicographic order (for tests and
+    /// debugging).
+    pub fn domains(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict(domain: &str, degraded: bool) -> Verdict {
+        Verdict {
+            domain: domain.to_string(),
+            pages_crawled: 3,
+            text_score: 0.5,
+            trust_score: 0.0,
+            network_score: 0.5,
+            rank: 0.5,
+            predicted_legitimate: true,
+            degraded,
+            crawl_coverage: if degraded { 0.5 } else { 1.0 },
+        }
+    }
+
+    /// Reserve + fill in one step, panicking on unexpected outcomes.
+    fn put(cache: &mut ResponseCache, domain: &str, seq: u64, now: u64) -> Reserve {
+        let reserved = cache.reserve(domain, seq);
+        assert_eq!(
+            cache.fill(domain, &verdict(domain, false), now),
+            Fill::Stored
+        );
+        reserved
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut cache = ResponseCache::new(4, 0);
+        assert!(matches!(cache.lookup("a.com", 0), Lookup::Miss));
+        put(&mut cache, "a.com", 1, 0);
+        assert!(matches!(cache.lookup("a.com", 1_000_000), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn reserved_domain_reads_as_pending() {
+        let mut cache = ResponseCache::new(4, 0);
+        cache.reserve("a.com", 1);
+        assert!(matches!(cache.lookup("a.com", 0), Lookup::Pending));
+    }
+
+    #[test]
+    fn degraded_fill_vacates_the_slot() {
+        let mut cache = ResponseCache::new(4, 0);
+        cache.reserve("a.com", 1);
+        assert_eq!(
+            cache.fill("a.com", &verdict("a.com", true), 0),
+            Fill::RejectedDegraded
+        );
+        // The slot is held but lookups miss — forcing re-verification.
+        assert_eq!(cache.len(), 1);
+        assert!(matches!(cache.lookup("a.com", 0), Lookup::Miss));
+    }
+
+    #[test]
+    fn failed_outcome_is_served_same_instant_only() {
+        let mut cache = ResponseCache::new(4, 0);
+        cache.reserve("bad.com", 1);
+        cache.fail("bad.com", &VerifyError::EmptySite("bad.com".into()), 70);
+        assert!(matches!(cache.lookup("bad.com", 70), Lookup::HitError(_)));
+        assert!(matches!(cache.lookup("bad.com", 71), Lookup::Miss));
+        // And the tombstone is gone entirely.
+        assert!(!cache.contains("bad.com"));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResponseCache::new(0, 0);
+        assert_eq!(cache.reserve("a.com", 1), Reserve::RejectedDisabled);
+        assert_eq!(
+            cache.fill("a.com", &verdict("a.com", false), 0),
+            Fill::Dropped
+        );
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut cache = ResponseCache::new(4, 100);
+        put(&mut cache, "a.com", 1, 50);
+        assert!(matches!(cache.lookup("a.com", 149), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup("a.com", 150), Lookup::Expired));
+        // The expired entry is gone: a second lookup is a plain miss.
+        assert!(matches!(cache.lookup("a.com", 150), Lookup::Miss));
+    }
+
+    #[test]
+    fn eviction_removes_smallest_seq_regardless_of_insert_order() {
+        // Simulate two interleavings of the same three inserts into a
+        // capacity-2 cache; the surviving set must be identical.
+        let orders: [[u64; 3]; 2] = [[1, 2, 3], [3, 2, 1]];
+        let mut finals = Vec::new();
+        for order in orders {
+            let mut cache = ResponseCache::new(2, 0);
+            for seq in order {
+                let d = format!("seq{seq}.com");
+                cache.reserve(&d, seq);
+                cache.fill(&d, &verdict(&d, false), 0);
+            }
+            finals.push(cache.domains());
+        }
+        assert_eq!(finals[0], finals[1]);
+        assert_eq!(
+            finals[0],
+            vec!["seq2.com".to_string(), "seq3.com".to_string()]
+        );
+    }
+
+    #[test]
+    fn filling_an_evicted_reservation_is_dropped() {
+        let mut cache = ResponseCache::new(1, 0);
+        cache.reserve("a.com", 1);
+        // b.com's reservation evicts a.com's (smaller seq).
+        assert_eq!(cache.reserve("b.com", 2), Reserve::Evicted("a.com".into()));
+        assert_eq!(
+            cache.fill("a.com", &verdict("a.com", false), 0),
+            Fill::Dropped
+        );
+        assert!(!cache.contains("a.com"));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn reclaiming_a_vacated_slot_does_not_evict() {
+        let mut cache = ResponseCache::new(2, 0);
+        cache.reserve("a.com", 1);
+        cache.fill("a.com", &verdict("a.com", true), 0); // vacates
+        put(&mut cache, "b.com", 2, 0);
+        // Re-reserving a.com reuses its held slot: no eviction even
+        // though the cache is at capacity.
+        assert_eq!(cache.reserve("a.com", 3), Reserve::Stored);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains("b.com"));
+    }
+}

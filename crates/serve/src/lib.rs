@@ -1,0 +1,30 @@
+//! Concurrent verification serving (the deployment story of §6).
+//!
+//! The paper's system is framed as a service "assisting the human
+//! reviewers": requests to verify a pharmacy arrive continuously, and
+//! the verifier — expensive to run, because each verification crawls a
+//! site and propagates trust through the link graph — must be shared,
+//! batched, and cached behind a front-end. This crate is that front-end:
+//!
+//! * [`service`] — [`VerifyService`]: a worker pool over a frozen
+//!   [`pharmaverify_core::TrainedVerifier`], with bounded admission
+//!   (reject, never block), request batching by distinct domain, and a
+//!   degradation breaker that sheds load when crawl health collapses;
+//! * [`cache`] — [`ResponseCache`]: domain → verdict, capacity-bounded
+//!   with deterministic smallest-seq eviction and virtual-time TTL;
+//!   degraded verdicts are never cached;
+//! * [`workload`] — [`WorkloadGenerator`]: seeded, Zipf-skewed request
+//!   streams drawn from the synthetic corpus's two snapshots;
+//! * [`replay`] — [`replay_workload`]: the wave-driven harness whose
+//!   [`ServingStats`] are byte-identical across worker counts for the
+//!   same seed (enforced by `cargo xtask check`'s determinism audit).
+
+pub mod cache;
+pub mod replay;
+pub mod service;
+pub mod workload;
+
+pub use cache::{Fill, Lookup, Reserve, ResponseCache};
+pub use replay::{replay_workload, ReplayConfig, ServingStats};
+pub use service::{Outcome, ServeConfig, ServeError, Ticket, VerifyService};
+pub use workload::{Request, RequestKind, WorkloadGenerator};

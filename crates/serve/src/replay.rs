@@ -1,0 +1,217 @@
+//! Deterministic workload replay: drive a [`VerifyService`] with a
+//! seeded request stream and tally what happened.
+//!
+//! The harness submits requests in **waves**: up to `queue_capacity`
+//! submissions, then a [`VerifyService::flush`], then a blocking wait on
+//! every ticket of the wave, then a virtual-clock advance. The wave
+//! barrier is what pins down the deterministic view — within a wave,
+//! workers race freely (that is the point of the worker pool), but
+//! every wave starts from a settled state: no request in flight, cache
+//! contents a pure function of the submission history, clock advanced by
+//! a fixed amount. Combined with the service's determinism contract
+//! (submission-side batching, merged hit counting, seq-based eviction),
+//! every field of [`ServingStats`] is byte-identical across worker
+//! counts for the same seed.
+//!
+//! Latency is the one thing the barrier cannot (and should not) pin
+//! down; it is recorded non-deterministically by the service and
+//! reported by the binary on stderr, never inside the report.
+
+use crate::service::{ServeConfig, ServeError, Ticket, VerifyService};
+use crate::workload::WorkloadGenerator;
+use pharmaverify_core::{TrainedVerifier, VerifyError};
+use pharmaverify_corpus::Snapshot;
+use pharmaverify_crawl::InMemoryWeb;
+use pharmaverify_obs::{Registry, VirtualClock};
+use std::sync::Arc;
+
+/// Replay knobs.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Total requests to draw from the workload generator.
+    pub requests: usize,
+    /// Workload seed (site mix and repeat pattern).
+    pub seed: u64,
+    /// Service configuration (worker count, queue, batch, cache, breaker).
+    pub serve: ServeConfig,
+    /// Virtual-clock micros advanced between waves (drives cache TTL).
+    pub advance_micros: u64,
+}
+
+impl ReplayConfig {
+    /// A replay of `requests` requests with `workers` workers and
+    /// defaults chosen so cache hits, misses, evictions, and TTL expiry
+    /// all actually occur at small workload sizes.
+    pub fn new(requests: usize, workers: usize, seed: u64) -> ReplayConfig {
+        ReplayConfig {
+            requests,
+            seed,
+            serve: ServeConfig {
+                workers,
+                queue_capacity: 16,
+                max_batch: 4,
+                // Sized against the small corpus (~60 verifiable
+                // domains): tight enough to evict, roomy enough that a
+                // hot entry usually lives past its two-wave TTL —
+                // seq-based eviction is FIFO, so an over-tight cache
+                // would evict every entry before it could expire.
+                cache_capacity: 16,
+                cache_ttl_micros: 200,
+                ..ServeConfig::default()
+            },
+            advance_micros: 100,
+        }
+    }
+}
+
+/// Deterministic tally of one replay. Every field is a pure function of
+/// the seed and configuration — worker count must not change any of
+/// them (the xtask determinism audit enforces this end to end).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ServingStats {
+    /// Requests drawn from the generator.
+    pub requests: u64,
+    /// Requests admitted past the breaker and queue.
+    pub accepted: u64,
+    /// Rejections with [`ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Rejections with [`ServeError::Shedding`].
+    pub shed: u64,
+    /// Cache hits (completed entries plus coalesced in-flight joins).
+    pub cache_hits: u64,
+    /// Requests that triggered a verification.
+    pub cache_misses: u64,
+    /// Capacity evictions.
+    pub cache_evictions: u64,
+    /// TTL expirations observed at lookup.
+    pub cache_expired: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Verdicts predicting a legitimate site.
+    pub verdicts_legitimate: u64,
+    /// Verdicts predicting an illegitimate site.
+    pub verdicts_illegitimate: u64,
+    /// Verdicts flagged degraded (partial crawl).
+    pub verdicts_degraded: u64,
+    /// `EmptySite` errors (vanished sites).
+    pub errors_empty_site: u64,
+    /// `Unreachable` errors (transient-only crawl failures).
+    pub errors_unreachable: u64,
+    /// Any other error (bad URLs, lost requests).
+    pub errors_other: u64,
+}
+
+impl ServingStats {
+    /// Stable, alignment-free report lines (label + value pairs). The
+    /// repro binary turns these into the "Serving" report section; tests
+    /// byte-compare them across worker counts.
+    pub fn lines(&self) -> Vec<(String, u64)> {
+        vec![
+            ("requests".to_string(), self.requests),
+            ("accepted".to_string(), self.accepted),
+            ("rejected (overloaded)".to_string(), self.rejected),
+            ("shed (breaker)".to_string(), self.shed),
+            ("cache hits".to_string(), self.cache_hits),
+            ("cache misses".to_string(), self.cache_misses),
+            ("cache evictions".to_string(), self.cache_evictions),
+            ("cache TTL expiries".to_string(), self.cache_expired),
+            ("batches".to_string(), self.batches),
+            ("verdicts: legitimate".to_string(), self.verdicts_legitimate),
+            (
+                "verdicts: illegitimate".to_string(),
+                self.verdicts_illegitimate,
+            ),
+            ("verdicts: degraded".to_string(), self.verdicts_degraded),
+            ("errors: empty site".to_string(), self.errors_empty_site),
+            ("errors: unreachable".to_string(), self.errors_unreachable),
+            ("errors: other".to_string(), self.errors_other),
+        ]
+    }
+}
+
+/// Counter names the replay reads back as deltas.
+const COUNTERS: [(&str, fn(&mut ServingStats) -> &mut u64); 7] = [
+    ("serve/enqueue", |s| &mut s.accepted),
+    ("serve/rejected", |s| &mut s.rejected),
+    ("serve/shed", |s| &mut s.shed),
+    ("serve/cache/hit", |s| &mut s.cache_hits),
+    ("serve/cache/miss", |s| &mut s.cache_misses),
+    ("serve/cache/evict", |s| &mut s.cache_evictions),
+    ("serve/cache/expired", |s| &mut s.cache_expired),
+];
+
+/// Replays a seeded workload against a service built from `verifier`
+/// and the snapshot-2 web, recording metrics into `obs`. Returns the
+/// deterministic tally. See the module docs for the wave protocol.
+pub fn replay_workload(
+    verifier: Arc<TrainedVerifier>,
+    snapshot1: &Snapshot,
+    snapshot2: &Snapshot,
+    config: &ReplayConfig,
+    obs: Arc<Registry>,
+) -> ServingStats {
+    let _span = obs.span("serve/replay");
+    let host: Arc<InMemoryWeb> = Arc::new(snapshot2.web.clone());
+    // Frozen virtual time: readings never advance the clock, only the
+    // inter-wave step does — so TTL expiry is a pure function of the
+    // wave schedule, independent of how often anyone reads the clock.
+    let clock = VirtualClock::new(0);
+    let mut generator = WorkloadGenerator::new(snapshot1, snapshot2, config.seed);
+    let before: Vec<u64> = COUNTERS.iter().map(|(name, _)| obs.counter(name)).collect();
+    let batches_before = obs.counter("serve/batch");
+
+    let service = VerifyService::with_observability(
+        verifier,
+        host,
+        config.serve.clone(),
+        Arc::clone(&obs),
+        Arc::new(clock.clone()),
+    );
+    let mut stats = ServingStats {
+        requests: config.requests as u64,
+        ..ServingStats::default()
+    };
+    let wave_size = config.serve.queue_capacity.max(1);
+    let mut remaining = config.requests;
+    while remaining > 0 {
+        let wave = remaining.min(wave_size);
+        remaining -= wave;
+        let mut tickets: Vec<Ticket> = Vec::with_capacity(wave);
+        for request in generator.take(wave) {
+            match service.submit(&request.seed_url) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(ServeError::Overloaded) | Err(ServeError::Shedding) => {}
+                Err(_) => stats.errors_other += 1,
+            }
+        }
+        service.flush();
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(verdict) => {
+                    if verdict.predicted_legitimate {
+                        stats.verdicts_legitimate += 1;
+                    } else {
+                        stats.verdicts_illegitimate += 1;
+                    }
+                    if verdict.degraded {
+                        stats.verdicts_degraded += 1;
+                    }
+                }
+                Err(ServeError::Verify(VerifyError::EmptySite(_))) => {
+                    stats.errors_empty_site += 1;
+                }
+                Err(ServeError::Verify(VerifyError::Unreachable { .. })) => {
+                    stats.errors_unreachable += 1;
+                }
+                Err(_) => stats.errors_other += 1,
+            }
+        }
+        clock.advance(config.advance_micros);
+    }
+    service.shutdown();
+    for (i, (name, field)) in COUNTERS.iter().enumerate() {
+        *field(&mut stats) = obs.counter(name).saturating_sub(before[i]);
+    }
+    stats.batches = obs.counter("serve/batch").saturating_sub(batches_before);
+    stats
+}

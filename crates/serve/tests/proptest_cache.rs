@@ -1,0 +1,191 @@
+//! Property-based tests for the response cache (ISSUE 5, satellite 3):
+//! capacity is never exceeded under arbitrary operation sequences,
+//! eviction is insertion-order-independent, and degraded verdicts never
+//! come back out.
+
+use pharmaverify_core::Verdict;
+use pharmaverify_serve::{Fill, Lookup, ResponseCache};
+use proptest::prelude::*;
+
+fn verdict(domain: &str, degraded: bool) -> Verdict {
+    Verdict {
+        domain: domain.to_string(),
+        pages_crawled: 1,
+        text_score: 0.5,
+        trust_score: 0.0,
+        network_score: 0.5,
+        rank: 0.5,
+        predicted_legitimate: true,
+        degraded,
+        crawl_coverage: if degraded { 0.3 } else { 1.0 },
+    }
+}
+
+/// One cache operation drawn by proptest.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Reserve a slot then complete it with a verdict — the whole
+    /// submission-to-completion arc of one request.
+    Store {
+        domain: u8,
+        degraded: bool,
+    },
+    /// Reserve a slot and leave it pending (an in-flight request).
+    Reserve {
+        domain: u8,
+    },
+    Lookup {
+        domain: u8,
+    },
+    Advance {
+        micros: u16,
+    },
+}
+
+/// Encodes an operation from plain tuple draws (the vendored proptest
+/// has no `prop_oneof!`): selector picks the variant, the other fields
+/// feed it.
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (0u8..5, 0u8..24, any::<bool>(), 0u16..1000).prop_map(
+            |(selector, domain, degraded, micros)| match selector {
+                0 | 1 => Op::Store { domain, degraded },
+                2 => Op::Reserve { domain },
+                3 => Op::Lookup { domain },
+                _ => Op::Advance { micros },
+            },
+        ),
+        0..120,
+    )
+}
+
+proptest! {
+    /// The cache never holds more than `capacity` entries, whatever the
+    /// operation sequence (pending and vacated slots count too).
+    #[test]
+    fn capacity_is_never_exceeded(
+        capacity in 0usize..8,
+        ttl in 0u64..500,
+        ops in ops(),
+    ) {
+        let mut cache = ResponseCache::new(capacity, ttl);
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Op::Store { domain, degraded } => {
+                    let d = format!("d{domain}.com");
+                    cache.reserve(&d, seq);
+                    seq += 1;
+                    let filled = cache.fill(&d, &verdict(&d, degraded), now);
+                    if capacity > 0 && degraded {
+                        // A reservation immediately followed by its fill
+                        // cannot have been evicted in between.
+                        prop_assert_eq!(filled, Fill::RejectedDegraded);
+                    }
+                    if capacity == 0 {
+                        prop_assert_eq!(filled, Fill::Dropped);
+                    }
+                }
+                Op::Reserve { domain } => {
+                    let d = format!("d{domain}.com");
+                    cache.reserve(&d, seq);
+                    seq += 1;
+                }
+                Op::Lookup { domain } => {
+                    let d = format!("d{domain}.com");
+                    let _ = cache.lookup(&d, now);
+                }
+                Op::Advance { micros } => now += u64::from(micros),
+            }
+            prop_assert!(
+                cache.len() <= capacity,
+                "len {} > capacity {}", cache.len(), capacity
+            );
+        }
+    }
+
+    /// A degraded verdict is never served from the cache: after any
+    /// operation sequence, every hit is a non-degraded verdict.
+    #[test]
+    fn degraded_verdicts_never_come_back(ops in ops()) {
+        let mut cache = ResponseCache::new(6, 300);
+        let mut now = 0u64;
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Op::Store { domain, degraded } => {
+                    let d = format!("d{domain}.com");
+                    cache.reserve(&d, seq);
+                    seq += 1;
+                    cache.fill(&d, &verdict(&d, degraded), now);
+                }
+                Op::Reserve { domain } => {
+                    let d = format!("d{domain}.com");
+                    cache.reserve(&d, seq);
+                    seq += 1;
+                }
+                Op::Lookup { domain } => {
+                    let d = format!("d{domain}.com");
+                    if let Lookup::Hit(v) = cache.lookup(&d, now) {
+                        prop_assert!(!v.degraded, "degraded verdict served for {d}");
+                    }
+                }
+                Op::Advance { micros } => now += u64::from(micros),
+            }
+        }
+    }
+
+    /// TTL: an entry is a hit strictly before `inserted_at + ttl` and
+    /// expired at or after it.
+    #[test]
+    fn ttl_boundary_is_exact(ttl in 1u64..10_000, age in 0u64..20_000) {
+        let mut cache = ResponseCache::new(4, ttl);
+        cache.reserve("a.com", 0);
+        cache.fill("a.com", &verdict("a.com", false), 100);
+        let looked = cache.lookup("a.com", 100 + age);
+        if age < ttl {
+            prop_assert!(matches!(looked, Lookup::Hit(_)), "fresh entry missed at age {age}");
+        } else {
+            prop_assert!(matches!(looked, Lookup::Expired), "stale entry served at age {age}");
+        }
+    }
+
+    /// Insertion order does not matter: any rotation of the same
+    /// (domain, seq) inserts leaves the same surviving set — the
+    /// `capacity` largest seqs.
+    #[test]
+    fn eviction_is_insertion_order_independent(
+        raw in prop::collection::vec(0u64..64, 1..16),
+        rotation in 0usize..16,
+        capacity in 1usize..8,
+    ) {
+        let mut seqs = raw;
+        seqs.sort_unstable();
+        seqs.dedup();
+        let mut rotated = seqs.clone();
+        rotated.rotate_left(rotation % seqs.len());
+        let run = |order: &[u64]| {
+            let mut cache = ResponseCache::new(capacity, 0);
+            for &s in order {
+                let d = format!("s{s:03}.com");
+                cache.reserve(&d, s);
+                cache.fill(&d, &verdict(&d, false), 0);
+            }
+            cache.domains()
+        };
+        let a = run(&seqs);
+        let b = run(&rotated);
+        prop_assert_eq!(&a, &b, "orders {:?} vs {:?}", &seqs, &rotated);
+        // The survivors are exactly the top-capacity seqs.
+        let expect: Vec<String> = seqs
+            .iter()
+            .rev()
+            .take(capacity)
+            .map(|s| format!("s{s:03}.com"))
+            .collect();
+        let mut expect_sorted = expect;
+        expect_sorted.sort();
+        prop_assert_eq!(a, expect_sorted);
+    }
+}

@@ -1,0 +1,289 @@
+//! Service-level integration tests (ISSUE 5, satellites 3 and 4):
+//! admission control rejects instead of hanging, the degradation
+//! breaker sheds under sustained crawl faults, TTL expiry re-verifies,
+//! and degraded verdicts are never served from the cache.
+
+use pharmaverify_core::{extract_corpus, TextLearnerKind, TrainedVerifier};
+use pharmaverify_corpus::{CorpusConfig, Snapshot, SyntheticWeb};
+use pharmaverify_crawl::{
+    CrawlConfig, FaultConfig, FaultyWeb, FetchError, InMemoryWeb, Page, Url, WebHost,
+};
+use pharmaverify_obs::{Registry, VirtualClock};
+use pharmaverify_serve::{ServeConfig, ServeError, VerifyService};
+use std::sync::{Arc, Condvar, Mutex};
+
+fn trained() -> (Arc<TrainedVerifier>, Snapshot, Snapshot) {
+    let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
+    let verifier = TrainedVerifier::fit(
+        &corpus,
+        TextLearnerKind::Nbm,
+        CrawlConfig::default(),
+        Some(250),
+        7,
+    );
+    (
+        Arc::new(verifier),
+        web.snapshot().clone(),
+        web.snapshot2().clone(),
+    )
+}
+
+fn test_obs() -> (Arc<Registry>, VirtualClock) {
+    let clock = VirtualClock::new(0);
+    let reg = Registry::with_clock(Box::new(clock.clone()));
+    (Arc::new(reg), clock)
+}
+
+/// A host whose fetches block until the gate opens — lets a test pin
+/// every worker and fill the admission queue deterministically.
+struct GateHost {
+    inner: InMemoryWeb,
+    open: Mutex<bool>,
+    turn: Condvar,
+}
+
+impl GateHost {
+    fn closed(inner: InMemoryWeb) -> GateHost {
+        GateHost {
+            inner,
+            open: Mutex::new(false),
+            turn: Condvar::new(),
+        }
+    }
+
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.turn.notify_all();
+    }
+}
+
+impl WebHost for GateHost {
+    fn fetch(&self, url: &Url) -> Result<Page, FetchError> {
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            open = self.turn.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.fetch(url)
+    }
+}
+
+#[test]
+fn full_queue_rejects_overloaded_instead_of_hanging() {
+    let (verifier, snap1, _snap2) = trained();
+    let (obs, clock) = test_obs();
+    let host = Arc::new(GateHost::closed(snap1.web.clone()));
+    let capacity = 4;
+    let service = VerifyService::with_observability(
+        verifier,
+        Arc::clone(&host),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: capacity,
+            max_batch: 1, // every submission dispatches immediately
+            cache_capacity: 8,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&obs),
+        Arc::new(clock),
+    );
+
+    let urls: Vec<&str> = snap1
+        .sites
+        .iter()
+        .take(6)
+        .map(|s| s.seed_url.as_str())
+        .collect();
+    assert!(urls.len() > capacity, "corpus too small for this test");
+    let mut tickets = Vec::new();
+    let mut overloaded = 0usize;
+    for url in &urls {
+        match service.submit(url) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded) => overloaded += 1,
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+    }
+    assert_eq!(tickets.len(), capacity, "exactly queue_capacity admitted");
+    assert_eq!(overloaded, urls.len() - capacity);
+    assert_eq!(
+        obs.counter("serve/rejected"),
+        (urls.len() - capacity) as u64
+    );
+    assert_eq!(service.pending(), capacity);
+
+    // Release the workers; every admitted ticket completes (the test
+    // finishing at all proves no wait() hung).
+    host.open();
+    for ticket in tickets {
+        ticket.wait().expect("gated site verifies once released");
+    }
+    assert_eq!(service.pending(), 0);
+
+    // With the queue drained, admission works again.
+    let ticket = service.submit(urls[urls.len() - 1]).expect("queue drained");
+    ticket.wait().expect("verifies");
+}
+
+#[test]
+fn sustained_faults_open_the_breaker_and_shed() {
+    let (verifier, snap1, _snap2) = trained();
+    let (obs, clock) = test_obs();
+    // Fault nearly every URL, with transient faults outliving the retry
+    // budget: most crawls come back degraded or unreachable.
+    let host = Arc::new(FaultyWeb::new(
+        snap1.web.clone(),
+        FaultConfig {
+            rate: 0.9,
+            seed: 99,
+            max_failures: 50,
+        },
+    ));
+    let service = VerifyService::with_observability(
+        verifier,
+        host,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 2,
+            cache_capacity: 8,
+            breaker_threshold: 0.5,
+            breaker_window: 8,
+            breaker_min_samples: 4,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&obs),
+        Arc::new(clock),
+    );
+
+    let mut shed = 0usize;
+    let mut tickets = Vec::new();
+    for site in snap1.sites.iter().cycle().take(60) {
+        match service.submit(&site.seed_url) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Shedding) => shed += 1,
+            Err(ServeError::Overloaded) => {}
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+        // Let in-flight work finish so outcomes reach the window.
+        service.flush();
+        if tickets.len() >= 8 {
+            for t in tickets.drain(..) {
+                let _ = t.wait();
+            }
+        }
+    }
+    for t in tickets {
+        let _ = t.wait();
+    }
+    assert!(shed > 0, "breaker never opened under 90% faults");
+    assert!(obs.counter("serve/shed") >= shed as u64);
+    assert!(service.shedding(), "window should still be mostly degraded");
+}
+
+#[test]
+fn ttl_expiry_forces_reverification() {
+    let (verifier, snap1, _snap2) = trained();
+    let (obs, clock) = test_obs();
+    let host = Arc::new(snap1.web.clone());
+    let service = VerifyService::with_observability(
+        verifier,
+        host,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 1,
+            cache_capacity: 8,
+            cache_ttl_micros: 1_000,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&obs),
+        Arc::new(clock.clone()),
+    );
+    let url = &snap1.sites[0].seed_url;
+
+    service
+        .submit(url)
+        .expect("admitted")
+        .wait()
+        .expect("verifies");
+    assert_eq!(obs.counter("serve/cache/miss"), 1);
+
+    // Within TTL: served from cache, no new verification.
+    service
+        .submit(url)
+        .expect("admitted")
+        .wait()
+        .expect("cached");
+    assert_eq!(obs.counter("serve/cache/hit"), 1);
+    assert_eq!(obs.counter("serve/cache/miss"), 1);
+
+    // Past TTL: the entry expires and the domain is re-verified.
+    clock.advance(1_000);
+    service
+        .submit(url)
+        .expect("admitted")
+        .wait()
+        .expect("re-verified");
+    assert_eq!(obs.counter("serve/cache/expired"), 1);
+    assert_eq!(obs.counter("serve/cache/miss"), 2);
+}
+
+/// Wrapper failing all non-root pages transiently: crawls stay nonempty
+/// but lose coverage, so every verdict is degraded.
+struct Patchy {
+    inner: InMemoryWeb,
+}
+
+impl WebHost for Patchy {
+    fn fetch(&self, url: &Url) -> Result<Page, FetchError> {
+        let path = url.path_without_query();
+        if path != "/" && path != "/robots.txt" {
+            return Err(FetchError::Timeout);
+        }
+        self.inner.fetch(url)
+    }
+}
+
+#[test]
+fn degraded_verdicts_are_never_served_from_cache() {
+    let (verifier, snap1, _snap2) = trained();
+    let (obs, clock) = test_obs();
+    let host = Arc::new(Patchy {
+        inner: snap1.web.clone(),
+    });
+    let service = VerifyService::with_observability(
+        verifier,
+        host,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 1,
+            cache_capacity: 8,
+            breaker_min_samples: 1_000, // keep the breaker out of this test
+            ..ServeConfig::default()
+        },
+        Arc::clone(&obs),
+        Arc::new(clock),
+    );
+    let url = &snap1.sites[0].seed_url;
+    let first = service
+        .submit(url)
+        .expect("admitted")
+        .wait()
+        .expect("verifies");
+    assert!(first.degraded, "patchy host must degrade the crawl");
+    assert_eq!(obs.counter("serve/cache/skip_degraded"), 1);
+
+    // The degraded verdict was not cached: the repeat is a fresh miss
+    // and a second verification.
+    let second = service
+        .submit(url)
+        .expect("admitted")
+        .wait()
+        .expect("verifies");
+    assert!(second.degraded);
+    assert_eq!(obs.counter("serve/cache/miss"), 2);
+    assert_eq!(obs.counter("serve/cache/hit"), 0);
+}

@@ -22,6 +22,14 @@
 //! the report itself. The fault-injected trace must *differ* from the
 //! clean one — injected faults that leave no metric behind would mean
 //! the crawl health instrumentation is dead.
+//!
+//! Finally the double-run is repeated with the serving engine enabled
+//! (`--serve-workload 60`), once with `--serve-workers 1` and once with
+//! `--serve-workers 4`: the "Serving" report section and the trace's
+//! deterministic view (admission, batch, and cache counters; span
+//! counts) must be byte-identical across *service* worker counts too —
+//! the whole point of the service's determinism contract. The serving
+//! section must also be a pure suffix of the fault-free output.
 
 use std::path::Path;
 use std::process::Command;
@@ -35,6 +43,8 @@ pub struct AuditReport {
     pub fault_bytes: usize,
     /// Bytes of deterministic trace view compared per fault-free run.
     pub trace_bytes: usize,
+    /// Bytes of serve-workload harness output compared.
+    pub serve_bytes: usize,
 }
 
 /// Arguments of the harness invocation (after `cargo`).
@@ -53,6 +63,11 @@ const REPRO_ARGS: &[&str] = &[
 
 /// Fault rate of the injected-fault audit runs.
 const FAULT_ARGS: &[&str] = &["--fault-rate", "0.2"];
+
+/// Request count of the serve-workload audit runs (the worker count is
+/// the variable under test).
+const SERVE_SERIAL_ARGS: &[&str] = &["--serve-workload", "60", "--serve-workers", "1"];
+const SERVE_PARALLEL_ARGS: &[&str] = &["--serve-workload", "60", "--serve-workers", "4"];
 
 /// Runs the table harness serially and with four workers — first clean,
 /// then under fault injection — and compares outputs byte-for-byte.
@@ -83,10 +98,31 @@ pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
         );
     }
 
+    let (serve_serial, serve_serial_trace) = run_harness(workspace_root, "1", SERVE_SERIAL_ARGS)?;
+    let (serve_parallel, serve_parallel_trace) =
+        run_harness(workspace_root, "4", SERVE_PARALLEL_ARGS)?;
+    compare(&serve_serial, &serve_parallel, "serve-workload")?;
+    let serve_det =
+        compare_trace_views(&serve_serial_trace, &serve_parallel_trace, "serve-workload")?;
+    if !serve_serial.starts_with(&serial) {
+        return Err(
+            "serve-workload output does not start with the plain output: \
+             the serving study must be a pure suffix"
+                .to_string(),
+        );
+    }
+    if serve_det == det {
+        return Err("serve-workload trace is identical to the plain trace: the \
+             serving engine left no metric behind, its instrumentation \
+             is not recording"
+            .to_string());
+    }
+
     Ok(AuditReport {
         bytes: serial.len(),
         fault_bytes: fault_serial.len(),
         trace_bytes: det.len(),
+        serve_bytes: serve_serial.len(),
     })
 }
 

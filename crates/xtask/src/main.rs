@@ -78,8 +78,8 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
             Ok(report) => {
                 println!(
                     "determinism: ok ({} bytes byte-identical; {} with fault injection; \
-                     {} bytes of deterministic trace view)",
-                    report.bytes, report.fault_bytes, report.trace_bytes
+                     {} with serve workload; {} bytes of deterministic trace view)",
+                    report.bytes, report.fault_bytes, report.serve_bytes, report.trace_bytes
                 );
             }
             Err(message) => {
