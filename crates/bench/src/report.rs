@@ -142,6 +142,7 @@ fn run_section(
     fault_rate: f64,
     section: Section,
 ) -> SectionOut {
+    // lint:allow(obs-name): section names come from the fixed Section enum, not input data.
     let _span = pharmaverify_obs::global().span(&format!("report/section/{}", section.name()));
     let mut text = String::new();
     let mut mlp_1000 = None;

@@ -199,9 +199,11 @@ impl CrossValidation {
                         let test_idx = split_ref.test(f);
                         let train = sampling.apply(&data.subset(split_ref.train(f)), seed);
                         let model = {
+                            // lint:allow(obs-name): learner names are a closed compile-time set of well-formed segments.
                             let _fit = obs.span(&format!("ml/fit/{}", learner.name()));
                             learner.fit(&train)
                         };
+                        // lint:allow(obs-name): learner names are a closed compile-time set of well-formed segments.
                         let _predict = obs.span(&format!("ml/predict/{}", learner.name()));
                         let labels: Vec<bool> = test_idx.iter().map(|&i| data.y(i)).collect();
                         let scores: Vec<f64> =

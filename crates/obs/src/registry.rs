@@ -136,6 +136,7 @@ pub struct SpanGuard<'a> {
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
         let end = self.registry.clock.now_micros();
+        // lint:allow(obs-name): replays the path the guard was opened with; `span()` validated it.
         self.registry
             .record_span(&self.path, end.saturating_sub(self.start));
     }

@@ -188,6 +188,7 @@ impl Ticket {
             if let Some(outcome) = guard.take() {
                 return outcome;
             }
+            // lint:allow(lock-order): the condvar wait atomically releases and reacquires this slot mutex.
             guard = wait(&self.slot.ready, guard);
         }
     }
@@ -541,14 +542,10 @@ fn process_batch<H: WebHost + Send + Sync>(shared: &Shared<H>, batch: SealedBatc
     let wall_now = shared.wall.now_micros();
     let cfg = &shared.config;
     let mut fulfilled: Vec<(Vec<Arc<Slot>>, Outcome)> = Vec::with_capacity(batch.requests.len());
+    let mut skipped_degraded = 0u64;
     {
         let mut state = lock(&shared.state);
         for (req, result) in batch.requests.iter().zip(results) {
-            let _req_span = obs.span("serve/request");
-            obs.observe_nondet(
-                "serve/latency_micros",
-                wall_now.saturating_sub(req.submitted_wall),
-            );
             let degraded_outcome = match &result {
                 Ok(v) => v.degraded,
                 Err(VerifyError::Unreachable { .. }) => true,
@@ -562,7 +559,7 @@ fn process_batch<H: WebHost + Send + Sync>(shared: &Shared<H>, batch: SealedBatc
             match &result {
                 Ok(verdict) => {
                     if let Fill::RejectedDegraded = state.cache.fill(&req.domain, verdict, now) {
-                        obs.add("serve/cache/skip_degraded", 1);
+                        skipped_degraded += 1;
                     }
                 }
                 Err(error) => state.cache.fail(&req.domain, error, now),
@@ -572,6 +569,20 @@ fn process_batch<H: WebHost + Send + Sync>(shared: &Shared<H>, batch: SealedBatc
             let outcome: Outcome = result.map_err(ServeError::Verify);
             fulfilled.push((waiters, outcome));
         }
+    }
+    // Record per-request observability outside the state lock: the obs
+    // registry takes its own internal locks, and a worker must never
+    // enter them while holding the service state mutex (lock-order
+    // hygiene — see the xtask lock-order lint).
+    for req in &batch.requests {
+        let _req_span = obs.span("serve/request");
+        obs.observe_nondet(
+            "serve/latency_micros",
+            wall_now.saturating_sub(req.submitted_wall),
+        );
+    }
+    if skipped_degraded > 0 {
+        obs.add("serve/cache/skip_degraded", skipped_degraded);
     }
     // Notify outside the state lock so woken waiters never contend on it.
     for (waiters, outcome) in fulfilled {

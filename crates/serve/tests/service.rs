@@ -287,3 +287,41 @@ fn degraded_verdicts_are_never_served_from_cache() {
     assert_eq!(obs.counter("serve/cache/miss"), 2);
     assert_eq!(obs.counter("serve/cache/hit"), 0);
 }
+
+/// Regression for the lock-order fix in `process_batch`: per-request
+/// observability (the `serve/request` span and the latency histogram)
+/// is recorded after the state lock is released but before waiters are
+/// fulfilled — so by the time `wait()` returns, every completed request
+/// is visible in the registry.
+#[test]
+fn request_metrics_are_recorded_before_fulfillment() {
+    let (verifier, snap1, _snap2) = trained();
+    let (obs, clock) = test_obs();
+    let host = Arc::new(snap1.web.clone());
+    let service = VerifyService::with_observability(
+        verifier,
+        host,
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 1,
+            cache_capacity: 8,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&obs),
+        Arc::new(clock),
+    );
+    for (i, site) in snap1.sites.iter().take(2).enumerate() {
+        service
+            .submit(&site.seed_url)
+            .expect("admitted")
+            .wait()
+            .expect("verifies");
+        let done = (i + 1) as u64;
+        assert_eq!(obs.span_count("serve/request"), done);
+        let latency = obs
+            .histogram("serve/latency_micros")
+            .expect("latency histogram exists once a request completes");
+        assert_eq!(latency.count, done);
+    }
+}

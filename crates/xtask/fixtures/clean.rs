@@ -54,6 +54,73 @@ fn stderr_only_in_disguise() -> usize {
     doc.len()
 }
 
+// Regression: the sort may close a multiline chain statement instead of
+// sharing the iteration's line (collect-then-sort across lines).
+fn collect_then_sort_multiline(counts: HashMap<String, usize>) -> Vec<(String, usize)> {
+    let mut rows: Vec<(String, usize)> = counts
+        .into_iter()
+        .collect();
+    rows.sort();
+    rows
+}
+
+// Regression: `item.iter()` must stay quiet even though hash-typed `m`
+// exists and `"m.iter()"` is a substring of `"item.iter()"`.
+fn exact_receiver_resolution(report: &mut Vec<String>) {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let item: Vec<u32> = vec![1];
+    for v in item.iter() {
+        report.push((v + m.get(v).copied().unwrap_or(0)).to_string());
+    }
+}
+
+/// Regression: doc-comment prose and fenced examples are comments, not
+/// code — `x.unwrap()`, `panic!`, `for k in m.iter()`, `score == 0.75`,
+/// and `eprintln!` here must all stay quiet.
+fn documented(x: u32) -> u32 {
+    x
+}
+
+// Reading any variable inside a `from_env*` constructor is the blessed
+// configuration pattern.
+fn from_env_default() -> Option<String> {
+    std::env::var("FIXTURE_ANYTHING").ok()
+}
+
+const JOBS_ENV: &str = "PHARMAVERIFY_JOBS";
+
+fn blessed_env_names() {
+    // `PHARMAVERIFY_*` names are blessed, literally or via a const.
+    let _ = std::env::var("PHARMAVERIFY_SCALE");
+    let _ = std::env::var(JOBS_ENV);
+}
+
+fn seeded_rng_is_fine() -> u64 {
+    // Explicit seeds replay; only entropy-derived construction is flagged.
+    let mut rng = SmallRng::seed_from_u64(7);
+    let mut rng2 = StdRng::from_seed([0u8; 32]);
+    rng.next_u64() ^ rng2.next_u64()
+}
+
+// lint:allow(nondet): fixture demonstrating a justified wall-clock read.
+fn allowed_clock_read() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn obs_clean_sites(obs: &Registry) {
+    // Literal, well-formed, kind-consistent paths are the contract.
+    obs.add("fixture/clean/counter", 1);
+    obs.observe("fixture/clean/histogram", 3);
+    let _span = obs.span("fixture/clean/span");
+    // lint:allow(obs-name): fixture demonstrating a justified dynamic path.
+    obs.add(&format!("fixture/clean/{}", 1), 1);
+}
+
+fn obs_like_methods_on_other_receivers(a: &SparseVector, b: &SparseVector) -> SparseVector {
+    // `.add(…)` on a non-obs receiver is vector arithmetic, not a metric.
+    a.add(b)
+}
+
 #[cfg(test)]
 mod tests {
     // Test code unwraps freely.
@@ -66,5 +133,7 @@ mod tests {
             assert!(k <= v);
         }
         assert!(0.75 == 0.75);
+        // Nondeterminism is fine in tests too.
+        let _ = std::time::Instant::now();
     }
 }

@@ -1,0 +1,58 @@
+//! Lock-order fixture: a genuine ABBA deadlock shape, in two flavors.
+//! Test data for the xtask self-tests — never compiled into any crate.
+//!
+//! The self-test requires the analysis to report a lock-order cycle for
+//! both the direct two-function ABBA and the cycle that only closes
+//! through the call graph; losing either detection fails the suite (and
+//! the CI deadlock-canary step).
+
+use std::sync::Mutex;
+
+static ORDER_A: Mutex<u64> = Mutex::new(0);
+static ORDER_B: Mutex<u64> = Mutex::new(0);
+
+// Direct ABBA: one thread runs `transfer_ab`, another `transfer_ba`,
+// each blocks on the lock the other holds.
+fn transfer_ab() -> u64 {
+    let a = ORDER_A.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let b = ORDER_B.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *a + *b
+}
+
+fn transfer_ba() -> u64 {
+    let b = ORDER_B.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let a = ORDER_A.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *a + *b
+}
+
+static ORDER_C: Mutex<u64> = Mutex::new(0);
+static ORDER_D: Mutex<u64> = Mutex::new(0);
+
+// Call-graph ABBA: neither function takes both locks itself; the cycle
+// only appears once the callee's acquisitions propagate to the caller.
+fn with_c_then_touch_d() -> u64 {
+    let c = ORDER_C.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *c + touch_d()
+}
+
+fn touch_d() -> u64 {
+    *ORDER_D.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn with_d_then_touch_c() -> u64 {
+    let d = ORDER_D.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *d + touch_c()
+}
+
+fn touch_c() -> u64 {
+    *ORDER_C.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// Self-deadlock: reacquiring a non-reentrant lock while holding it.
+static ORDER_E: Mutex<u64> = Mutex::new(0);
+
+fn reacquire_e() -> u64 {
+    let first = ORDER_E.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let second = ORDER_E.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *first + *second
+}

@@ -1,0 +1,23 @@
+//! Lock-order fixture: the same ABBA shape as `locks_abba.rs`, with
+//! every inner acquisition carrying a reasoned `lint:allow(lock-order)`
+//! marker — the analysis must stay silent. Test data for the xtask
+//! self-tests — never compiled into any crate.
+
+use std::sync::{Mutex, PoisonError};
+
+static ORDER_A: Mutex<u64> = Mutex::new(0);
+static ORDER_B: Mutex<u64> = Mutex::new(0);
+
+fn transfer_ab() -> u64 {
+    let a = ORDER_A.lock().unwrap_or_else(PoisonError::into_inner);
+    // lint:allow(lock-order): fixture demonstrating a documented, audited pairing.
+    let b = ORDER_B.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+fn transfer_ba() -> u64 {
+    let b = ORDER_B.lock().unwrap_or_else(PoisonError::into_inner);
+    // lint:allow(lock-order): fixture demonstrating a documented, audited pairing.
+    let a = ORDER_A.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}

@@ -1,0 +1,55 @@
+//! Lock-order fixture: disciplined locking patterns that must produce
+//! zero findings. Test data for the xtask self-tests — never compiled
+//! into any crate.
+
+use std::sync::{Mutex, PoisonError, RwLock};
+
+static FIRST: Mutex<u64> = Mutex::new(0);
+static SECOND: RwLock<u64> = RwLock::new(0);
+
+// Consistent order everywhere: FIRST before SECOND, never the reverse.
+fn read_both() -> u64 {
+    let a = FIRST.lock().unwrap_or_else(PoisonError::into_inner);
+    let b = SECOND.read().unwrap_or_else(PoisonError::into_inner);
+    *a + *b
+}
+
+fn write_both() {
+    let mut a = FIRST.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut b = SECOND.write().unwrap_or_else(PoisonError::into_inner);
+    *a += 1;
+    *b += 1;
+}
+
+// Releasing before the next acquisition breaks any would-be edge:
+// an explicit drop …
+fn drop_then_take() -> u64 {
+    let b = SECOND.read().unwrap_or_else(PoisonError::into_inner);
+    let snapshot = *b;
+    drop(b);
+    let a = FIRST.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + snapshot
+}
+
+// … a block scope …
+fn scope_then_take() -> u64 {
+    let snapshot = {
+        let b = SECOND.read().unwrap_or_else(PoisonError::into_inner);
+        *b
+    };
+    let a = FIRST.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + snapshot
+}
+
+// … or a temporary guard that dies with its own statement.
+fn statement_then_take() -> u64 {
+    let snapshot = *SECOND.read().unwrap_or_else(PoisonError::into_inner);
+    let a = FIRST.lock().unwrap_or_else(PoisonError::into_inner);
+    *a + snapshot
+}
+
+// Locks reached through a non-`self` parameter have no stable identity
+// here; the caller's own scan covers its acquisition order.
+fn helper(shared: &Mutex<u64>) -> u64 {
+    *shared.lock().unwrap_or_else(PoisonError::into_inner)
+}

@@ -47,3 +47,32 @@ fn raw_stderr_reporting(pages: usize) {
 fn marker_without_reason(x: Option<u32>) -> u32 {
     x.unwrap() // VIOLATION no-panic (the reasonless marker does not count)
 }
+
+fn nondeterminism_sources() -> u64 {
+    let started = std::time::Instant::now(); // VIOLATION nondet
+    let stamp = std::time::SystemTime::now(); // VIOLATION nondet
+    let who = std::thread::current().id(); // VIOLATION nondet
+    let home = std::env::var("HOME"); // VIOLATION nondet
+    let mut rng = SmallRng::from_entropy(); // VIOLATION nondet
+    let _ = (started, stamp, who, home, rng.next_u64());
+    0
+}
+
+fn obs_path_problems(obs: &Registry, stage: &str) {
+    obs.add(&format!("fixture/cache/{stage}/hits"), 1); // VIOLATION obs-name (dynamic path)
+    obs.add("fixture//double", 1); // VIOLATION obs-name (empty segment)
+    obs.add("fixture/conflict", 1);
+    obs.observe("fixture/conflict", 2); // VIOLATION obs-name (counter vs histogram)
+    obs.add("fixture/mixed", 1);
+    obs.add_nondet("fixture/mixed", 1); // VIOLATION obs-name (det vs nondet)
+}
+
+// Regression: a compact single-line test module must not leave the rest
+// of the file marked as test code (the old engine counted braces by
+// line and lost track here).
+#[cfg(test)]
+mod compact_tests { fn t() { let x: Option<u32> = None; let _ = x.unwrap(); } }
+
+fn after_compact_test_module(x: Option<u32>) -> u32 {
+    x.unwrap() // VIOLATION no-panic
+}

@@ -167,6 +167,7 @@ fn run_harness(
     jobs: &str,
     extra_args: &[&str],
 ) -> Result<(Vec<u8>, String), String> {
+    // lint:allow(nondet): xtask is tooling; honoring cargo's own CARGO env is the documented protocol.
     let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
     let trace_path = std::env::temp_dir().join(format!(
         "pharmaverify-audit-{}-j{jobs}-f{}.trace.json",

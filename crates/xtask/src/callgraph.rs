@@ -1,0 +1,108 @@
+//! Conservative workspace call graph for the lock-order analysis.
+//!
+//! Resolution is by *name within a crate*: a call site resolves to the
+//! key `"{crate}::{fn_name}"`, where the crate is chosen from the call
+//! shape (free calls and `self.`-rooted method calls resolve to the
+//! calling crate; obs-shaped receivers resolve to the `obs` crate; other
+//! method calls are unresolved and contribute nothing). Two functions
+//! with the same name in one crate are merged — the analysis sees the
+//! union of their behavior. Both choices over-approximate what a callee
+//! may acquire, which is the safe direction for deadlock detection: a
+//! merged callee can add edges, never hide one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What one function contributes to the call graph.
+#[derive(Debug, Clone)]
+pub struct FnFacts {
+    /// `"{crate}::{fn_name}"`.
+    pub key: String,
+    /// Lock identities the body acquires directly.
+    pub direct: BTreeSet<String>,
+    /// Resolved callee keys (`"{crate}::{fn_name}"`).
+    pub callees: BTreeSet<String>,
+}
+
+/// Computes, for every known function key, the set of lock identities it
+/// may acquire directly or through any chain of known calls (a monotone
+/// fixpoint, so call-graph cycles converge).
+pub fn transitive_locksets(facts: &[FnFacts]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut sets: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in facts {
+        sets.entry(f.key.clone())
+            .or_default()
+            .extend(f.direct.iter().cloned());
+        calls
+            .entry(f.key.clone())
+            .or_default()
+            .extend(f.callees.iter().cloned());
+    }
+    let keys: Vec<String> = sets.keys().cloned().collect();
+    loop {
+        let mut changed = false;
+        for k in &keys {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            if let Some(cs) = calls.get(k) {
+                for callee in cs {
+                    if callee == k {
+                        continue;
+                    }
+                    if let Some(s) = sets.get(callee) {
+                        add.extend(s.iter().cloned());
+                    }
+                }
+            }
+            if let Some(own) = sets.get_mut(k) {
+                let before = own.len();
+                own.extend(add);
+                if own.len() != before {
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return sets;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn facts(key: &str, direct: &[&str], callees: &[&str]) -> FnFacts {
+        FnFacts {
+            key: key.to_string(),
+            direct: direct.iter().map(|s| s.to_string()).collect(),
+            callees: callees.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn locks_propagate_through_call_chains() {
+        let sets = transitive_locksets(&[
+            facts("a::top", &[], &["a::mid"]),
+            facts("a::mid", &["a::m1"], &["b::leaf"]),
+            facts("b::leaf", &["b::m2"], &[]),
+        ]);
+        let top: Vec<&str> = sets["a::top"].iter().map(String::as_str).collect();
+        assert_eq!(top, vec!["a::m1", "b::m2"]);
+    }
+
+    #[test]
+    fn recursive_call_graphs_converge() {
+        let sets = transitive_locksets(&[
+            facts("a::f", &["a::m1"], &["a::g"]),
+            facts("a::g", &["a::m2"], &["a::f", "a::g"]),
+        ]);
+        assert!(sets["a::f"].contains("a::m2"));
+        assert!(sets["a::g"].contains("a::m1"));
+    }
+
+    #[test]
+    fn unknown_callees_contribute_nothing() {
+        let sets = transitive_locksets(&[facts("a::f", &["a::m"], &["std::anything"])]);
+        assert_eq!(sets["a::f"].len(), 1);
+    }
+}

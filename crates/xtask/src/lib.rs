@@ -3,8 +3,13 @@
 //! The binary front end lives in `main.rs`; the checking layers are
 //! libraries so the self-tests can drive them against fixture files:
 //!
-//! * [`lints`] — custom source lints (no-panic, hash-iter, float-eq,
-//!   safety-comment) with a marker-based allowlist;
+//! * [`tokens`] — the string/comment-aware Rust tokenizer and the
+//!   per-file item/block model every analysis shares;
+//! * [`lints`] — token-level source lints (no-panic, hash-iter,
+//!   float-eq, safety-comment, no-raw-eprintln, nondet, obs-name) with
+//!   a marker-based allowlist;
+//! * [`callgraph`] — the conservative name-per-crate call graph;
+//! * [`locks`] — the workspace lock-order (deadlock-shape) analysis;
 //! * [`walk`] — workspace file discovery shared by the lint layer;
 //! * [`audit`] — the determinism audit: run the table harness twice with
 //!   the same seed and require byte-identical output;
@@ -12,6 +17,9 @@
 //!   degrading gracefully when a component is not installed.
 
 pub mod audit;
+pub mod callgraph;
 pub mod lints;
+pub mod locks;
+pub mod tokens;
 pub mod tools;
 pub mod walk;

@@ -1,31 +1,41 @@
 //! Custom source lints over the workspace's library code.
 //!
-//! The lints encode invariants the reproduction depends on but that the
-//! stock toolchain cannot express precisely enough:
+//! The lints run on the token stream and item index built by
+//! [`crate::tokens`] — not on raw lines — so pattern text inside string
+//! literals, doc comments, and `#[cfg(test)]` regions can never produce
+//! or mask a finding. They encode invariants the reproduction depends on
+//! but that the stock toolchain cannot express precisely enough:
 //!
 //! * **no-panic** — library code must not call `.unwrap()` / `.expect()` /
 //!   `panic!` and friends; errors propagate as `Result` so a malformed
-//!   snapshot cannot abort an experiment half-way. Justified sites carry
-//!   a `lint:allow` marker (see below) or a site-local
-//!   `#[allow(clippy::…)]` attribute with a reason comment.
+//!   snapshot cannot abort an experiment half-way.
 //! * **hash-iter** — iterating a `HashMap`/`HashSet` has a random order
 //!   per process, so any iteration feeding output must be sorted or use a
-//!   `BTreeMap`/`BTreeSet`. The lint flags iteration over bindings whose
+//!   `BTreeMap`/`BTreeSet`. The lint resolves the actual receiver of an
+//!   `.iter()`-family call (or `for … in` head) against bindings whose
 //!   declaration in the same file names a hash type.
 //! * **float-eq** — comparing a float against a non-zero literal with
-//!   `==`/`!=` in metrics or ranking code silently depends on bit-exact
-//!   arithmetic; use a tolerance or an ordered comparison instead.
-//!   (Comparisons against `0.0` are idiomatic for sparse data and are
-//!   not flagged; general `a == b` float comparisons are covered by
-//!   `clippy::float_cmp`.)
+//!   `==`/`!=` silently depends on bit-exact arithmetic; use a tolerance
+//!   or an ordered comparison. (Comparisons against `0.0` are idiomatic
+//!   for sparse data and are not flagged.)
 //! * **safety-comment** — every `unsafe` item needs a `// SAFETY:`
 //!   comment within the three preceding lines.
-//! * **no-raw-eprintln** — library crates must report through the `obs`
-//!   metric registry (or the binary-facing `log_*` helpers), never raw
-//!   `eprintln!`: ad-hoc stderr lines are invisible to the trace and can
-//!   interleave nondeterministically under the parallel executor. Binary
-//!   sources (`main.rs`, anything under a `bin/` directory) are exempt —
-//!   stderr is their user interface.
+//! * **no-raw-eprintln** — library crates report through the `obs`
+//!   registry, never raw `eprintln!`. Binary sources (`main.rs`,
+//!   anything under `bin/`) are exempt — stderr is their UI.
+//! * **nondet** — sources of run-to-run nondeterminism must not reach
+//!   library code: `Instant::now` / `SystemTime::now`,
+//!   `thread::current()`, `env::var` outside blessed config entry points
+//!   (a `from_env*` constructor, or a `PHARMAVERIFY_*` variable named by
+//!   a literal or a file-local const), and RNG construction without an
+//!   explicit seed. Binary sources own their environment and are exempt.
+//! * **obs-name** — every obs counter/gauge/histogram/span path must be
+//!   a well-formed `/`-separated string literal, and one path must not be
+//!   recorded under two different kinds or determinism classes. The
+//!   workspace pass additionally cross-checks paths asserted by the
+//!   trace contract test against paths actually recorded.
+//! * **lock-order** — implemented in [`crate::locks`]: the workspace
+//!   lock-acquisition graph must be acyclic.
 //!
 //! Suppression: a comment `lint:allow(<name>): <reason>` on the offending
 //! line or up to two lines above it silences that lint for the site; the
@@ -37,11 +47,14 @@
 //! Test code (`#[cfg(test)]` regions) is exempt from every lint: tests
 //! may unwrap freely, and their hash iteration never reaches a report.
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use crate::tokens::{self, FileModel, TokenKind};
+
 /// The custom lints, in reporting order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Lint {
     /// Panicking call in library code.
     NoPanic,
@@ -53,6 +66,13 @@ pub enum Lint {
     SafetyComment,
     /// Raw `eprintln!` in library code (binaries are exempt).
     NoRawEprintln,
+    /// Wall-clock, thread-identity, environment, or unseeded-RNG read in
+    /// library code.
+    Nondet,
+    /// Malformed, dynamic, or conflicting obs metric/span path.
+    ObsName,
+    /// Cycle in the workspace lock-acquisition graph.
+    LockOrder,
     /// A malformed `lint:allow` marker (missing reason or unknown lint).
     BadAllow,
 }
@@ -66,6 +86,9 @@ impl Lint {
             Lint::FloatEq => "float-eq",
             Lint::SafetyComment => "safety-comment",
             Lint::NoRawEprintln => "no-raw-eprintln",
+            Lint::Nondet => "nondet",
+            Lint::ObsName => "obs-name",
+            Lint::LockOrder => "lock-order",
             Lint::BadAllow => "bad-allow",
         }
     }
@@ -78,6 +101,9 @@ impl Lint {
             "float-eq" => Some(Lint::FloatEq),
             "safety-comment" => Some(Lint::SafetyComment),
             "no-raw-eprintln" => Some(Lint::NoRawEprintln),
+            "nondet" => Some(Lint::Nondet),
+            "obs-name" => Some(Lint::ObsName),
+            "lock-order" => Some(Lint::LockOrder),
             _ => None,
         }
     }
@@ -102,6 +128,38 @@ pub struct Diagnostic {
     pub message: String,
 }
 
+impl Diagnostic {
+    /// Renders the finding as one JSON object (for `--format json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"lint\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.file.display().to_string()),
+            self.line,
+            self.lint,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -115,240 +173,43 @@ impl fmt::Display for Diagnostic {
     }
 }
 
-/// A source line split into its lintable parts.
-#[derive(Debug, Default, Clone)]
-pub struct LineInfo {
-    /// The line with comments and string/char-literal contents removed.
-    pub code: String,
-    /// The concatenated comment text of the line.
-    pub comment: String,
-    /// Whether the line sits inside a `#[cfg(test)]` region.
-    pub in_test: bool,
-}
-
-/// Strips comments and literal contents and marks `#[cfg(test)]` regions,
-/// producing one [`LineInfo`] per source line.
-pub fn model_source(source: &str) -> Vec<LineInfo> {
-    enum State {
-        Normal,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-    }
-
-    let chars: Vec<char> = source.chars().collect();
-    let mut lines = vec![LineInfo::default()];
-    let mut state = State::Normal;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if matches!(state, State::LineComment) {
-                state = State::Normal;
-            }
-            lines.push(LineInfo::default());
-            i += 1;
-            continue;
-        }
-        let line = match lines.last_mut() {
-            Some(l) => l,
-            None => break, // unreachable: `lines` starts non-empty
-        };
-        match state {
-            State::Normal => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    state = State::LineComment;
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(1);
-                    i += 2;
-                } else if c == '"' {
-                    line.code.push('"');
-                    state = State::Str;
-                    i += 1;
-                } else if (c == 'r' || c == 'b') && raw_string_hashes(&chars, i).is_some() {
-                    let hashes = raw_string_hashes(&chars, i).unwrap_or(0);
-                    line.code.push('"');
-                    // Skip prefix: r/b[r], hashes, opening quote.
-                    let mut j = i + 1;
-                    if chars.get(j) == Some(&'r') && c == 'b' {
-                        j += 1;
-                    }
-                    j += hashes as usize + 1;
-                    i = j;
-                    state = State::RawStr(hashes);
-                } else if c == '\'' {
-                    // Char literal vs lifetime: a literal closes within a
-                    // couple of characters; a lifetime never closes.
-                    if next == Some('\\') {
-                        i += 2; // consume the escape introducer
-                        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
-                            i += 1;
-                        }
-                        line.code.push_str("' '");
-                        i += 1; // closing quote
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        line.code.push_str("' '");
-                        i += 3;
-                    } else {
-                        line.code.push('\'');
-                        i += 1;
-                    }
-                } else {
-                    line.code.push(c);
-                    i += 1;
-                }
-            }
-            State::LineComment => {
-                line.comment.push(c);
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    state = if depth == 1 {
-                        State::Normal
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                } else if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    i += 2;
-                } else {
-                    line.comment.push(c);
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    i += 2;
-                } else if c == '"' {
-                    line.code.push('"');
-                    state = State::Normal;
-                    i += 1;
-                } else {
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' && closes_raw_string(&chars, i, hashes) {
-                    line.code.push('"');
-                    i += 1 + hashes as usize;
-                    state = State::Normal;
-                } else {
-                    i += 1;
-                }
-            }
-        }
-    }
-
-    mark_test_regions(&mut lines);
-    lines
-}
-
-/// If position `i` starts a raw-string opener (`r"`, `r#"`, `br##"`, …),
-/// returns the number of hashes.
-fn raw_string_hashes(chars: &[char], i: usize) -> Option<u32> {
-    let mut j = i + 1;
-    if chars.get(i) == Some(&'b') {
-        if chars.get(j) != Some(&'r') {
-            return None;
-        }
-        j += 1;
-    }
-    let mut hashes = 0u32;
-    while chars.get(j) == Some(&'#') {
-        hashes += 1;
-        j += 1;
-    }
-    (chars.get(j) == Some(&'"')).then_some(hashes)
-}
-
-/// Whether the `"` at `i` is followed by enough `#`s to close a raw string.
-fn closes_raw_string(chars: &[char], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
-}
-
-/// Marks every line inside a `#[cfg(test)]`-gated item.
-fn mark_test_regions(lines: &mut [LineInfo]) {
-    let mut depth: i32 = 0;
-    let mut pending_attr_depth: Option<i32> = None;
-    let mut region_floor: Option<i32> = None;
-    for line in lines.iter_mut() {
-        if region_floor.is_some() || pending_attr_depth.is_some() {
-            line.in_test = true;
-        }
-        if line.code.contains("#[cfg(test)]") {
-            pending_attr_depth = Some(depth);
-            line.in_test = true;
-        }
-        let opens = line.code.matches('{').count() as i32;
-        let closes = line.code.matches('}').count() as i32;
-        depth += opens - closes;
-        if let Some(attr_depth) = pending_attr_depth {
-            if depth > attr_depth {
-                region_floor = Some(attr_depth);
-                pending_attr_depth = None;
-            }
-        }
-        if let Some(floor) = region_floor {
-            if depth <= floor {
-                region_floor = None;
-            }
-        }
-    }
-}
-
 /// How far above a site a suppression marker may sit.
 const ALLOW_WINDOW: usize = 2;
 
 /// Clippy `#[allow]` attribute names accepted as site markers per lint.
 fn clippy_equivalents(lint: Lint) -> &'static [&'static str] {
     match lint {
-        Lint::NoPanic => &[
-            "clippy::unwrap_used",
-            "clippy::expect_used",
-            "clippy::panic",
-        ],
-        Lint::FloatEq => &["clippy::float_cmp"],
+        Lint::NoPanic => &["unwrap_used", "expect_used", "panic"],
+        Lint::FloatEq => &["float_cmp"],
         _ => &[],
     }
-}
-
-/// Whether line `idx` (0-based) is covered by a suppression for `lint`.
-fn suppressed(lines: &[LineInfo], idx: usize, lint: Lint) -> bool {
-    let start = idx.saturating_sub(ALLOW_WINDOW);
-    for info in &lines[start..=idx] {
-        if parse_allow_marker(&info.comment).is_some_and(|(l, has_reason)| l == lint && has_reason)
-        {
-            return true;
-        }
-        for attr in clippy_equivalents(lint) {
-            if info.code.contains("#[allow(") && info.code.contains(attr) {
-                return true;
-            }
-        }
-    }
-    false
 }
 
 /// The name inside a `lint:allow(…)` marker, when the comment contains
 /// one that is *meant* as a marker — documentation placeholders such as
 /// `lint:allow(<name>)` use non-identifier characters and don't count.
 fn marker_name(comment: &str) -> Option<&str> {
-    let rest = comment.split("lint:allow(").nth(1)?;
+    let (_, rest) = split_marker(comment)?;
     let (name, _) = rest.split_once(')')?;
     let name = name.trim();
     (!name.is_empty() && name.chars().all(|c| c.is_ascii_lowercase() || c == '-')).then_some(name)
 }
 
+/// Splits a comment at the first `lint:allow(` that is *meant* as a
+/// marker — a backtick-quoted `` `lint:allow(…)` `` is prose quoting the
+/// syntax, not a marker.
+fn split_marker(comment: &str) -> Option<(&str, &str)> {
+    let at = comment.find("lint:allow(")?;
+    if comment[..at].ends_with('`') {
+        return None;
+    }
+    Some((&comment[..at], &comment[at + "lint:allow(".len()..]))
+}
+
 /// Parses `lint:allow(…): reason` out of a comment. Returns the lint and
 /// whether a non-empty reason follows.
 fn parse_allow_marker(comment: &str) -> Option<(Lint, bool)> {
-    let rest = comment.split("lint:allow(").nth(1)?;
+    let (_, rest) = split_marker(comment)?;
     let (name, after) = rest.split_once(')')?;
     let lint = Lint::from_name(name.trim())?;
     let has_reason = after
@@ -357,313 +218,815 @@ fn parse_allow_marker(comment: &str) -> Option<(Lint, bool)> {
     Some((lint, has_reason))
 }
 
-/// Words that may legitimately follow `unsafe` as part of an identifier.
-fn contains_word(code: &str, word: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(word) {
-        let start = from + pos;
-        let end = start + word.len();
-        let before_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
-        let after_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
-        if before_ok && after_ok {
+/// Whether a reasoned `lint:allow(<lint>)` marker covers `line` (the
+/// marker may sit on the line itself or up to [`ALLOW_WINDOW`] lines
+/// above). This is the marker-only check shared with the workspace-level
+/// analyses; the per-file [`Ctx`] adds clippy-attribute equivalents.
+pub(crate) fn marker_suppressed(m: &FileModel, line: usize, lint: Lint) -> bool {
+    let start = line.saturating_sub(ALLOW_WINDOW);
+    (start..=line)
+        .any(|l| parse_allow_marker(m.comment_on(l)).is_some_and(|(k, reason)| k == lint && reason))
+}
+
+/// Whether `path` names a binary source: a crate-root `main.rs` or any
+/// file under a `bin/` directory. Binaries own their stderr and their
+/// environment, so they are exempt from [`Lint::NoRawEprintln`] and
+/// [`Lint::Nondet`].
+pub fn is_binary_source(path: &Path) -> bool {
+    path.file_name().is_some_and(|f| f == "main.rs")
+        || path.components().any(|c| c.as_os_str() == "bin")
+}
+
+/// Per-file lint context: the model plus precomputed suppression and
+/// per-line identifier indexes.
+struct Ctx<'a> {
+    m: &'a FileModel,
+    /// Line of a `#[allow(clippy::…)]` attribute → the clippy names.
+    allow_attrs: BTreeMap<usize, Vec<String>>,
+    /// 1-based line → identifier texts on that line.
+    line_idents: BTreeMap<usize, Vec<String>>,
+    binary: bool,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(m: &'a FileModel) -> Self {
+        let mut allow_attrs: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        let mut ci = 0usize;
+        while ci < m.code.len() {
+            if m.is_punct(ci, "#") {
+                let mut open = ci + 1;
+                if m.is_punct(open, "!") {
+                    open += 1;
+                }
+                if m.is_punct(open, "[") && m.is_ident(open + 1, "allow") {
+                    let close = tokens::matching_close(m, open, "[", "]");
+                    for k in open + 1..close {
+                        if m.is_punct(k, "::")
+                            && k >= 1
+                            && m.is_ident(k - 1, "clippy")
+                            && m.tok(k + 1).kind == TokenKind::Ident
+                        {
+                            allow_attrs
+                                .entry(m.line(ci))
+                                .or_default()
+                                .push(m.text(k + 1).to_string());
+                        }
+                    }
+                    ci = close + 1;
+                    continue;
+                }
+            }
+            ci += 1;
+        }
+        let mut line_idents: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+        for ci in 0..m.code.len() {
+            let t = m.tok(ci);
+            if t.kind == TokenKind::Ident {
+                line_idents.entry(t.line).or_default().push(t.text.clone());
+            }
+        }
+        Ctx {
+            binary: is_binary_source(&m.path),
+            m,
+            allow_attrs,
+            line_idents,
+        }
+    }
+
+    fn suppressed(&self, line: usize, lint: Lint) -> bool {
+        if marker_suppressed(self.m, line, lint) {
             return true;
         }
-        from = end;
+        let start = line.saturating_sub(ALLOW_WINDOW);
+        (start..=line).any(|l| {
+            self.allow_attrs.get(&l).is_some_and(|names| {
+                clippy_equivalents(lint)
+                    .iter()
+                    .any(|a| names.iter().any(|n| n == a))
+            })
+        })
     }
-    false
+
+    fn push(&self, diags: &mut Vec<Diagnostic>, line: usize, lint: Lint, message: String) {
+        diags.push(Diagnostic {
+            file: self.m.path.clone(),
+            line,
+            lint,
+            message,
+        });
+    }
+
+    /// Whether iteration at code index `ci` (on `line`) visibly restores
+    /// order: a sort/BTree/len mention on the line, a `sort` on the
+    /// following line, or — for a multiline chain statement — a `sort`
+    /// where the statement ends (the collect-then-sort idiom).
+    fn ordered_evidence(&self, line: usize, ci: usize) -> bool {
+        let on = |l: usize, pred: &dyn Fn(&str) -> bool| {
+            self.line_idents
+                .get(&l)
+                .is_some_and(|v| v.iter().any(|i| pred(i)))
+        };
+        let sorts = |i: &str| i.contains("sort");
+        if on(line, &|i: &str| {
+            i.contains("sort") || i.contains("BTree") || i == "len"
+        }) || on(line + 1, &sorts)
+        {
+            return true;
+        }
+        // Walk the chain statement to its `;`; a `{` at chain depth is a
+        // loop body, which never collects.
+        let m = self.m;
+        let mut depth = 0i64;
+        let mut k = ci;
+        while k < m.code.len() && k - ci < 96 {
+            if m.is_punct(k, "(") || m.is_punct(k, "[") {
+                depth += 1;
+            } else if m.is_punct(k, ")") || m.is_punct(k, "]") {
+                depth -= 1;
+            } else if depth <= 0 && m.is_punct(k, "{") {
+                return false;
+            } else if depth <= 0 && m.is_punct(k, ";") {
+                let end = m.line(k);
+                return end > line && (on(end, &sorts) || on(end + 1, &sorts));
+            }
+            k += 1;
+        }
+        false
+    }
 }
 
-fn is_ident_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
+/// Lints one file's source text. `path` selects the binary exemptions
+/// and is otherwise used only for reporting. The lock-order analysis is
+/// workspace-level and does not run here; everything else does,
+/// including obs-path collision detection *within* the file.
+pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
+    let m = tokens::model(path, source);
+    let mut diags = file_lints(&m);
+    let (sites, mut site_diags) = collect_obs_sites(&m);
+    diags.append(&mut site_diags);
+    diags.extend(obs_conflicts(&sites));
+    diags.extend(crate::locks::analyze(std::slice::from_ref(&m)));
+    finish(diags)
 }
 
-/// The panicking constructs banned in library code.
-const PANIC_PATTERNS: &[&str] = &[
-    ".unwrap()",
-    ".expect(",
-    ".unwrap_err()",
-    "panic!",
-    "unreachable!",
-    "todo!",
-    "unimplemented!",
+/// Lints the whole workspace: per-file lints, cross-file obs-path
+/// conflicts, the trace-contract cross-check, and the lock-order
+/// analysis.
+pub fn lint_workspace(
+    files: &[(PathBuf, String)],
+    trace: Option<(&Path, &str)>,
+) -> Vec<Diagnostic> {
+    let models: Vec<FileModel> = files.iter().map(|(p, s)| tokens::model(p, s)).collect();
+    let mut diags = Vec::new();
+    let mut sites = Vec::new();
+    for m in &models {
+        diags.extend(file_lints(m));
+        let (s, d) = collect_obs_sites(m);
+        sites.extend(s);
+        diags.extend(d);
+    }
+    sites.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    diags.extend(obs_conflicts(&sites));
+    if let Some((trace_path, trace_source)) = trace {
+        diags.extend(crosscheck_trace(&sites, trace_path, trace_source));
+    }
+    diags.extend(crate::locks::analyze(&models));
+    finish(diags)
+}
+
+/// Sorts findings into reporting order and drops same-(file,line,lint)
+/// duplicates.
+fn finish(mut diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.lint.cmp(&b.lint))
+    });
+    diags.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.lint == b.lint);
+    diags
+}
+
+/// All per-file token lints.
+fn file_lints(m: &FileModel) -> Vec<Diagnostic> {
+    let ctx = Ctx::new(m);
+    let mut diags = Vec::new();
+    bad_allow(&ctx, &mut diags);
+    no_panic(&ctx, &mut diags);
+    hash_iter(&ctx, &mut diags);
+    float_eq(&ctx, &mut diags);
+    safety_comment(&ctx, &mut diags);
+    no_raw_eprintln(&ctx, &mut diags);
+    nondet(&ctx, &mut diags);
+    diags
+}
+
+/// Malformed markers are reported even in test code: a marker that
+/// silently does nothing is worse than none.
+fn bad_allow(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    for (&line, comment) in &ctx.m.comments {
+        if let Some(name) = marker_name(comment) {
+            match parse_allow_marker(comment) {
+                Some((_, true)) => {}
+                Some((lint, false)) => ctx.push(
+                    diags,
+                    line,
+                    Lint::BadAllow,
+                    format!("lint:allow({lint}) needs a `: reason`"),
+                ),
+                None => ctx.push(
+                    diags,
+                    line,
+                    Lint::BadAllow,
+                    format!("lint:allow({name}) names an unknown lint"),
+                ),
+            }
+        }
+    }
+}
+
+fn no_panic(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let m = ctx.m;
+    for ci in 0..m.code.len() {
+        if m.in_test[ci] || m.tok(ci).kind != TokenKind::Ident {
+            continue;
+        }
+        let pat = match m.text(ci) {
+            "unwrap" if m.is_punct(ci.wrapping_sub(1), ".") && m.is_punct(ci + 1, "(") => {
+                ".unwrap()"
+            }
+            "expect" if m.is_punct(ci.wrapping_sub(1), ".") && m.is_punct(ci + 1, "(") => {
+                ".expect("
+            }
+            "unwrap_err" if m.is_punct(ci.wrapping_sub(1), ".") && m.is_punct(ci + 1, "(") => {
+                ".unwrap_err()"
+            }
+            name @ ("panic" | "unreachable" | "todo" | "unimplemented")
+                if m.is_punct(ci + 1, "!") =>
+            {
+                match name {
+                    "panic" => "panic!",
+                    "unreachable" => "unreachable!",
+                    "todo" => "todo!",
+                    _ => "unimplemented!",
+                }
+            }
+            _ => continue,
+        };
+        let line = m.line(ci);
+        if !ctx.suppressed(line, Lint::NoPanic) {
+            ctx.push(
+                diags,
+                line,
+                Lint::NoPanic,
+                format!("`{pat}` in library code; propagate a Result instead"),
+            );
+        }
+    }
+}
+
+/// Methods whose return value iterates the receiver.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "drain",
 ];
 
-/// Collects identifiers bound to `HashMap`/`HashSet` in this file: let
-/// bindings, struct fields, and `Hash…::new()` initializers.
-fn hash_typed_names(lines: &[LineInfo]) -> Vec<String> {
+/// Collects identifiers bound to `HashMap`/`HashSet` outside test code:
+/// `let [mut] name: path::HashMap<…>`, struct fields `name: HashMap<…>`,
+/// and `name = HashMap::new()` initializers.
+fn hash_typed_names(m: &FileModel) -> Vec<String> {
     let mut names = Vec::new();
-    for info in lines {
-        let code = &info.code;
-        for ty in ["HashMap", "HashSet"] {
-            let mut from = 0;
-            while let Some(pos) = code[from..].find(ty) {
-                let at = from + pos;
-                from = at + ty.len();
-                if let Some(name) = binding_left_of(code, at) {
-                    if !names.contains(&name) {
-                        names.push(name);
-                    }
-                }
+    for ci in 0..m.code.len() {
+        if m.in_test[ci] || !(m.is_ident(ci, "HashMap") || m.is_ident(ci, "HashSet")) {
+            continue;
+        }
+        // Walk to the head of the qualified path (`std::collections::…`).
+        let mut head = ci;
+        while head >= 2 && m.is_punct(head - 1, "::") && m.tok(head - 2).kind == TokenKind::Ident {
+            head -= 2;
+        }
+        if head < 2 {
+            continue;
+        }
+        let binds = (m.is_punct(head - 1, ":") || m.is_punct(head - 1, "="))
+            && m.tok(head - 2).kind == TokenKind::Ident;
+        if binds {
+            let name = m.text(head - 2).to_string();
+            if !names.contains(&name) {
+                names.push(name);
             }
         }
     }
     names
 }
 
-/// Walks left from a type-name occurrence to the identifier being bound:
-/// `let [mut] NAME: path::HashMap<…>` or `NAME: HashMap<…>` (field) or
-/// `let [mut] NAME = HashMap::new()`.
-fn binding_left_of(code: &str, type_pos: usize) -> Option<String> {
-    let bytes = code.as_bytes();
-    let mut i = type_pos;
-    // Skip the qualified-path prefix (`std::collections::`).
-    while i > 0 && (is_ident_byte(bytes[i - 1]) || bytes[i - 1] == b':') {
-        i -= 1;
+fn hash_iter(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let m = ctx.m;
+    let names = hash_typed_names(m);
+    if names.is_empty() {
+        return;
     }
-    while i > 0 && bytes[i - 1] == b' ' {
-        i -= 1;
-    }
-    if i == 0 || (bytes[i - 1] != b':' && bytes[i - 1] != b'=') {
-        return None;
-    }
-    i -= 1;
-    if bytes[i] == b':' && i > 0 && bytes[i - 1] == b':' {
-        return None; // `::HashMap` path, already handled above
-    }
-    while i > 0 && bytes[i - 1] == b' ' {
-        i -= 1;
-    }
-    let end = i;
-    while i > 0 && is_ident_byte(bytes[i - 1]) {
-        i -= 1;
-    }
-    if i == end {
-        return None;
-    }
-    Some(code[i..end].to_string())
-}
-
-/// Whether `code` iterates the binding `name` (method call or for-loop).
-fn iterates(code: &str, name: &str) -> bool {
-    for method in [
-        ".iter()",
-        ".iter_mut()",
-        ".keys()",
-        ".values()",
-        ".values_mut()",
-        ".into_iter()",
-        ".drain(",
-    ] {
-        let needle = format!("{name}{method}");
-        if code.contains(&needle) && contains_word(code, name) {
-            return true;
+    let fire = |ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>, line: usize, ci: usize, name: &str| {
+        if !ctx.suppressed(line, Lint::HashIter) && !ctx.ordered_evidence(line, ci) {
+            ctx.push(
+                diags,
+                line,
+                Lint::HashIter,
+                format!("iterating hash-ordered `{name}`; sort first or use a BTree collection"),
+            );
         }
-    }
-    if let Some(pos) = code.find(" in ") {
-        let tail = &code[pos + 4..];
-        let head = tail.trim_start_matches(['&', ' ']);
-        if head
-            .strip_prefix(name)
-            .is_some_and(|rest| !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_'))
-        {
-            return true;
-        }
-        // `for x in self.name` / `for x in map.name`
-        let dotted = format!(".{name}");
-        if head.split_once(&dotted).is_some_and(|(lhs, rest)| {
-            lhs.bytes().all(is_ident_byte)
-                && !rest.starts_with(|c: char| c.is_alphanumeric() || c == '_' || c == '(')
-        }) {
-            return true;
-        }
-    }
-    false
-}
-
-/// Whether an iteration line visibly restores determinism (sorted, or
-/// collected into an ordered structure).
-fn iteration_is_ordered(code: &str) -> bool {
-    code.contains("sort") || code.contains("BTree") || code.contains(".len()")
-}
-
-/// Finds a float-literal equality (`== 2.5`, `1.0 !=`) with a non-zero
-/// literal. Comparisons against zero are idiomatic for sparse data.
-fn float_literal_eq(code: &str) -> Option<String> {
-    for op in ["==", "!="] {
-        let mut from = 0;
-        while let Some(pos) = code[from..].find(op) {
-            let at = from + pos;
-            from = at + op.len();
-            // `!=` also matches inside `==`? No — but `==` matches inside
-            // `===`-like sequences never produced by rustfmt'd code.
-            if op == "==" && at > 0 && code.as_bytes()[at - 1] == b'!' {
-                continue; // counted once as `!=`
-            }
-            let right = code[at + op.len()..].trim_start();
-            let left = code[..at].trim_end();
-            for side in [float_prefix(right), float_suffix(left)] {
-                if let Some(lit) = side {
-                    if lit.parse::<f64>().is_ok_and(|v| v != 0.0) {
-                        return Some(lit);
-                    }
-                }
-            }
-        }
-    }
-    None
-}
-
-/// Leading float literal of `s`, if any (`2.5`, `-0.75`, `1.`).
-fn float_prefix(s: &str) -> Option<String> {
-    let s = s.strip_prefix('-').map_or((s, ""), |rest| (rest, "-"));
-    let (body, sign) = s;
-    let digits = body.chars().take_while(|c| c.is_ascii_digit()).count();
-    if digits == 0 || body[digits..].chars().next() != Some('.') {
-        return None;
-    }
-    let frac = body[digits + 1..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit())
-        .count();
-    Some(format!("{sign}{}", &body[..digits + 1 + frac]))
-}
-
-/// Trailing float literal of `s`, if any.
-fn float_suffix(s: &str) -> Option<String> {
-    let trimmed = s.trim_end_matches(|c: char| c.is_ascii_digit());
-    let frac_len = s.len() - trimmed.len();
-    let trimmed = trimmed.strip_suffix('.')?;
-    let int_start = trimmed
-        .rfind(|c: char| !c.is_ascii_digit())
-        .map_or(0, |p| p + 1);
-    let int_len = trimmed.len() - int_start;
-    if int_len == 0 {
-        return None;
-    }
-    // Reject method calls on literals (`1.0.max(x)`) — harmless anyway —
-    // and identifier-adjacent dots (`tuple.0 == …` has no digits before
-    // the dot? it does — `a.0`). Require the char before the integer part
-    // not be `.` or an identifier char.
-    if int_start > 0 {
-        let before = s.as_bytes()[int_start - 1];
-        if before == b'.' || is_ident_byte(before) {
-            return None;
-        }
-    }
-    Some(s[int_start..trimmed.len() + 1 + frac_len].to_string())
-}
-
-/// Whether `path` names a binary source: a crate-root `main.rs` or any
-/// file under a `bin/` directory. Binaries own their stderr and are
-/// exempt from [`Lint::NoRawEprintln`].
-pub fn is_binary_source(path: &Path) -> bool {
-    path.file_name().is_some_and(|f| f == "main.rs")
-        || path.components().any(|c| c.as_os_str() == "bin")
-}
-
-/// Lints one file's source text. `path` selects the binary exemption of
-/// `no-raw-eprintln` and is otherwise used only for reporting.
-pub fn lint_source(path: &Path, source: &str) -> Vec<Diagnostic> {
-    let lines = model_source(source);
-    let hash_names = hash_typed_names(&lines);
-    let binary = is_binary_source(path);
-    let mut diags = Vec::new();
-    let mut push = |line: usize, lint: Lint, message: String| {
-        diags.push(Diagnostic {
-            file: path.to_path_buf(),
-            line: line + 1,
-            lint,
-            message,
-        });
     };
-
-    for (idx, info) in lines.iter().enumerate() {
-        // Malformed markers are reported even in test code: a marker that
-        // silently does nothing is worse than none.
-        if let Some(name) = marker_name(&info.comment) {
-            match parse_allow_marker(&info.comment) {
-                Some((_, true)) => {}
-                Some((lint, false)) => push(
-                    idx,
-                    Lint::BadAllow,
-                    format!("lint:allow({lint}) needs a `: reason`"),
-                ),
-                None => push(
-                    idx,
-                    Lint::BadAllow,
-                    format!("lint:allow({name}) names an unknown lint"),
-                ),
-            }
-        }
-        if info.in_test {
+    for ci in 0..m.code.len() {
+        if m.in_test[ci] {
             continue;
         }
-        let code = &info.code;
-
-        if !suppressed(&lines, idx, Lint::NoPanic) {
-            for pat in PANIC_PATTERNS {
-                if code.contains(pat) {
-                    push(
-                        idx,
-                        Lint::NoPanic,
-                        format!("`{pat}` in library code; propagate a Result instead"),
-                    );
-                    break;
+        // Method form: `recv.iter()` — the receiver chain must *end* at a
+        // hash-typed binding (`item.iter()` never fires because binding
+        // `m` exists somewhere in the file).
+        if m.tok(ci).kind == TokenKind::Ident
+            && ITER_METHODS.contains(&m.text(ci))
+            && ci >= 2
+            && m.is_punct(ci - 1, ".")
+            && m.is_punct(ci + 1, "(")
+        {
+            let chain = m.receiver_chain(ci - 2);
+            if let Some(recv) = chain.last() {
+                if names.iter().any(|n| n == recv) {
+                    fire(ctx, diags, m.line(ci), ci, recv);
                 }
             }
         }
-
-        // The collect-then-sort idiom restores order on the *next* line
-        // (`let mut v: Vec<_> = m.keys().collect(); v.sort();`), so the
-        // ordering evidence may sit one line ahead.
-        let ordered = iteration_is_ordered(code)
-            || lines
-                .get(idx + 1)
-                .is_some_and(|next| next.code.contains("sort"));
-        if !suppressed(&lines, idx, Lint::HashIter) && !ordered {
-            if let Some(name) = hash_names.iter().find(|n| iterates(code, n)) {
-                push(
-                    idx,
-                    Lint::HashIter,
-                    format!(
-                        "iterating hash-ordered `{name}`; sort first or use a BTree collection"
-                    ),
-                );
+        // For-loop form: `for pat in [&][mut] recv[.field]* {`.
+        if m.is_ident(ci, "for") {
+            let mut k = ci + 1;
+            let mut depth = 0i64;
+            let mut in_at = None;
+            while k < m.code.len() && k - ci < 64 {
+                if m.is_punct(k, "(") || m.is_punct(k, "[") {
+                    depth += 1;
+                } else if m.is_punct(k, ")") || m.is_punct(k, "]") {
+                    depth -= 1;
+                } else if depth == 0 && m.is_ident(k, "in") {
+                    in_at = Some(k);
+                    break;
+                } else if depth == 0 && m.is_punct(k, "{") {
+                    break;
+                }
+                k += 1;
+            }
+            let Some(in_at) = in_at else { continue };
+            let mut t = in_at + 1;
+            while m.is_punct(t, "&") || m.is_ident(t, "mut") {
+                t += 1;
+            }
+            if m.tok(t).kind != TokenKind::Ident {
+                continue;
+            }
+            let mut last = t;
+            while m.is_punct(last + 1, ".") && m.tok(last + 2).kind == TokenKind::Ident {
+                last += 2;
+            }
+            // A trailing call (`counts.iter()`) is the method form above.
+            if m.is_punct(last + 1, "(") {
+                continue;
+            }
+            let recv = m.text(last);
+            if names.iter().any(|n| n == recv) {
+                fire(ctx, diags, m.line(ci), ci, recv);
             }
         }
+    }
+}
 
-        if !suppressed(&lines, idx, Lint::FloatEq) {
-            if let Some(lit) = float_literal_eq(code) {
-                push(
-                    idx,
-                    Lint::FloatEq,
-                    format!("float equality against `{lit}`; compare with a tolerance"),
-                );
+fn float_eq(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let m = ctx.m;
+    for ci in 0..m.code.len() {
+        if m.in_test[ci] || !(m.is_punct(ci, "==") || m.is_punct(ci, "!=")) {
+            continue;
+        }
+        // Literal on the right (with optional unary minus) or the left.
+        let mut lit: Option<(f64, String)> = None;
+        let (rhs, neg) = if m.is_punct(ci + 1, "-") {
+            (ci + 2, true)
+        } else {
+            (ci + 1, false)
+        };
+        if m.tok(rhs).kind == TokenKind::Num {
+            if let Some(v) = tokens::float_value(m.text(rhs)) {
+                let text = if neg {
+                    format!("-{}", m.text(rhs))
+                } else {
+                    m.text(rhs).to_string()
+                };
+                lit = Some((v, text));
             }
         }
+        if lit.is_none() && ci >= 1 && m.tok(ci - 1).kind == TokenKind::Num {
+            if let Some(v) = tokens::float_value(m.text(ci - 1)) {
+                lit = Some((v, m.text(ci - 1).to_string()));
+            }
+        }
+        let Some((value, text)) = lit else { continue };
+        let line = m.line(ci);
+        if value != 0.0 && !ctx.suppressed(line, Lint::FloatEq) {
+            ctx.push(
+                diags,
+                line,
+                Lint::FloatEq,
+                format!("float equality against `{text}`; compare with a tolerance"),
+            );
+        }
+    }
+}
 
-        if !binary && code.contains("eprintln!") && !suppressed(&lines, idx, Lint::NoRawEprintln) {
-            push(
-                idx,
+fn safety_comment(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    let m = ctx.m;
+    for ci in 0..m.code.len() {
+        if m.in_test[ci] || !m.is_ident(ci, "unsafe") {
+            continue;
+        }
+        let line = m.line(ci);
+        let documented =
+            (line.saturating_sub(3)..=line).any(|l| m.comment_on(l).contains("SAFETY:"));
+        if !documented && !ctx.suppressed(line, Lint::SafetyComment) {
+            ctx.push(
+                diags,
+                line,
+                Lint::SafetyComment,
+                "`unsafe` without a `// SAFETY:` comment above".to_string(),
+            );
+        }
+    }
+}
+
+fn no_raw_eprintln(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    if ctx.binary {
+        return;
+    }
+    let m = ctx.m;
+    for ci in 0..m.code.len() {
+        if m.in_test[ci] || !m.is_ident(ci, "eprintln") || !m.is_punct(ci + 1, "!") {
+            continue;
+        }
+        let line = m.line(ci);
+        if !ctx.suppressed(line, Lint::NoRawEprintln) {
+            ctx.push(
+                diags,
+                line,
                 Lint::NoRawEprintln,
                 "raw `eprintln!` in library code; record through the obs registry instead"
                     .to_string(),
             );
         }
+    }
+}
 
-        if contains_word(code, "unsafe") && !code.contains("unsafe_code") {
-            let window = idx.saturating_sub(3);
-            let documented = lines[window..=idx]
-                .iter()
-                .any(|l| l.comment.contains("SAFETY:"));
-            if !documented && !suppressed(&lines, idx, Lint::SafetyComment) {
-                push(
-                    idx,
-                    Lint::SafetyComment,
-                    "`unsafe` without a `// SAFETY:` comment above".to_string(),
-                );
+/// RNG constructors that pull entropy from the host instead of a seed.
+const UNSEEDED_RNG: &[&str] = &["thread_rng", "from_entropy", "from_os_rng"];
+
+fn nondet(ctx: &Ctx<'_>, diags: &mut Vec<Diagnostic>) {
+    if ctx.binary {
+        return;
+    }
+    let m = ctx.m;
+    let path_call = |ci: usize, seg: &str, prev: &[&str]| -> bool {
+        m.is_ident(ci, seg)
+            && ci >= 2
+            && m.is_punct(ci - 1, "::")
+            && prev.iter().any(|p| m.is_ident(ci - 2, *p))
+            && m.is_punct(ci + 1, "(")
+    };
+    for ci in 0..m.code.len() {
+        if m.in_test[ci] || m.tok(ci).kind != TokenKind::Ident {
+            continue;
+        }
+        let message = if path_call(ci, "now", &["Instant", "SystemTime"]) {
+            Some(format!(
+                "`{}::now()` leaks wall-clock time into library code; route time through the obs `Clock`",
+                m.text(ci - 2)
+            ))
+        } else if path_call(ci, "current", &["thread"]) {
+            Some(
+                "`thread::current()` depends on executor scheduling; derive identity from the workload instead"
+                    .to_string(),
+            )
+        } else if (m.is_ident(ci, "var") || m.is_ident(ci, "var_os"))
+            && ci >= 2
+            && m.is_punct(ci - 1, "::")
+            && m.is_ident(ci - 2, "env")
+            && m.is_punct(ci + 1, "(")
+        {
+            env_read_finding(m, ci)
+        } else if UNSEEDED_RNG.contains(&m.text(ci)) && m.is_punct(ci + 1, "(") {
+            Some(format!(
+                "`{}()` constructs an RNG without an explicit seed; use `seed_from_u64`/`from_seed` so runs replay",
+                m.text(ci)
+            ))
+        } else if m.is_ident(ci, "OsRng")
+            || (m.is_ident(ci, "random")
+                && ci >= 2
+                && m.is_punct(ci - 1, "::")
+                && m.is_ident(ci - 2, "rand"))
+        {
+            Some(
+                "host-entropy RNG in library code; use a seeded generator so runs replay"
+                    .to_string(),
+            )
+        } else {
+            None
+        };
+        let Some(message) = message else { continue };
+        let line = m.line(ci);
+        if !ctx.suppressed(line, Lint::Nondet) {
+            ctx.push(diags, line, Lint::Nondet, message);
+        }
+    }
+}
+
+/// Judges one `env::var(arg)` call at code index `ci` (of `var`): reads
+/// inside a `from_env*` constructor or of a `PHARMAVERIFY_*` variable
+/// (named by a literal or a file-local const) are blessed config entry
+/// points; everything else is a finding.
+fn env_read_finding(m: &FileModel, ci: usize) -> Option<String> {
+    if m.enclosing_fn(ci)
+        .is_some_and(|f| f.name.starts_with("from_env"))
+    {
+        return None;
+    }
+    let mut arg = ci + 2;
+    if m.is_punct(arg, "&") {
+        arg += 1;
+    }
+    let blessed = match m.tok(arg).kind {
+        TokenKind::Str => tokens::str_contents(m.text(arg)).starts_with("PHARMAVERIFY_"),
+        TokenKind::Ident => m
+            .consts
+            .get(m.text(arg))
+            .is_some_and(|v| v.starts_with("PHARMAVERIFY_")),
+        _ => false,
+    };
+    if blessed {
+        None
+    } else {
+        Some(format!(
+            "`env::var({})` outside a blessed config entry point; use a `PHARMAVERIFY_*` name or a `from_env*` constructor",
+            m.text(arg)
+        ))
+    }
+}
+
+/// What an obs path names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ObsKind {
+    /// Monotonic counter (`add`/`add_nondet`).
+    Counter,
+    /// Last-write or max gauge.
+    Gauge,
+    /// Value distribution (`observe`).
+    Histogram,
+    /// Timed span.
+    Span,
+}
+
+impl ObsKind {
+    /// Lowercase kind name for messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObsKind::Counter => "counter",
+            ObsKind::Gauge => "gauge",
+            ObsKind::Histogram => "histogram",
+            ObsKind::Span => "span",
+        }
+    }
+}
+
+/// One literal obs recording site found in library code.
+#[derive(Debug, Clone)]
+pub struct ObsSite {
+    /// The recorded path.
+    pub name: String,
+    /// Metric kind implied by the method.
+    pub kind: ObsKind,
+    /// Whether the method records into the deterministic view.
+    pub det: bool,
+    /// File of the call.
+    pub file: PathBuf,
+    /// 1-based line of the call.
+    pub line: usize,
+    /// Whether an `obs-name` suppression covers the site (it still
+    /// contributes its path to the trace cross-check inventory).
+    pub suppressed: bool,
+}
+
+/// Maps an obs method name to `(kind, deterministic, ambiguous)`.
+/// Ambiguous names (`add`, `observe`) collide with ordinary methods on
+/// other types and require an obs-shaped receiver.
+fn obs_method(name: &str) -> Option<(ObsKind, bool, bool)> {
+    match name {
+        "add" => Some((ObsKind::Counter, true, true)),
+        "add_nondet" => Some((ObsKind::Counter, false, false)),
+        "observe" => Some((ObsKind::Histogram, true, true)),
+        "observe_nondet" => Some((ObsKind::Histogram, false, false)),
+        "set_gauge" => Some((ObsKind::Gauge, true, false)),
+        "set_gauge_nondet" | "max_gauge_nondet" => Some((ObsKind::Gauge, false, false)),
+        "span" | "record_span" => Some((ObsKind::Span, true, false)),
+        _ => None,
+    }
+}
+
+/// Whether the receiver ending just before the `.` at `dot` is
+/// obs-shaped: a dotted path ending in `obs`/`registry`/`reg`, or a
+/// direct `global()`/`global_arc()` call result. Shared with the
+/// lock-order analysis, which uses it to resolve obs method calls to the
+/// obs crate.
+pub(crate) fn obs_receiver(m: &FileModel, dot: usize) -> bool {
+    if dot == 0 {
+        return false;
+    }
+    let before = dot - 1;
+    if m.tok(before).kind == TokenKind::Ident {
+        let chain = m.receiver_chain(before);
+        return chain
+            .last()
+            .is_some_and(|r| r == "obs" || r == "registry" || r == "reg");
+    }
+    if m.is_punct(before, ")") {
+        // Walk back to the matching `(` and look at the callee.
+        let mut depth = 0i64;
+        let mut k = before;
+        loop {
+            if m.is_punct(k, ")") {
+                depth += 1;
+            } else if m.is_punct(k, "(") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
             }
+            if k == 0 {
+                return false;
+            }
+            k -= 1;
+        }
+        if k >= 1 && m.tok(k - 1).kind == TokenKind::Ident {
+            let callee = m.text(k - 1);
+            return callee == "global" || callee == "global_arc";
+        }
+    }
+    false
+}
+
+/// Whether a metric path is well-formed: non-empty `/`-separated
+/// segments with no brace/quote/backslash noise.
+fn well_formed_path(name: &str) -> bool {
+    !name.is_empty()
+        && !name.contains(['{', '}', '"', '\\'])
+        && name.split('/').all(|seg| !seg.trim().is_empty())
+}
+
+/// Extracts every obs recording site in non-test code, reporting
+/// dynamic (non-literal) and malformed paths as it goes.
+fn collect_obs_sites(m: &FileModel) -> (Vec<ObsSite>, Vec<Diagnostic>) {
+    let mut sites = Vec::new();
+    let mut diags = Vec::new();
+    for ci in 0..m.code.len() {
+        if m.in_test[ci] || m.tok(ci).kind != TokenKind::Ident {
+            continue;
+        }
+        let Some((kind, det, ambiguous)) = obs_method(m.text(ci)) else {
+            continue;
+        };
+        if ci == 0 || !m.is_punct(ci - 1, ".") || !m.is_punct(ci + 1, "(") {
+            continue;
+        }
+        if ambiguous && !obs_receiver(m, ci - 1) {
+            continue;
+        }
+        let line = m.line(ci);
+        let suppressed = marker_suppressed(m, line, Lint::ObsName);
+        let mut arg = ci + 2;
+        if m.is_punct(arg, "&") {
+            arg += 1;
+        }
+        if m.tok(arg).kind == TokenKind::Str {
+            let name = tokens::str_contents(m.text(arg)).to_string();
+            if well_formed_path(&name) {
+                sites.push(ObsSite {
+                    name,
+                    kind,
+                    det,
+                    file: m.path.clone(),
+                    line,
+                    suppressed,
+                });
+            } else if !suppressed {
+                diags.push(Diagnostic {
+                    file: m.path.clone(),
+                    line,
+                    lint: Lint::ObsName,
+                    message: format!(
+                        "obs {} path `{name}` is malformed: paths are non-empty `/`-separated segments without braces, quotes, or backslashes",
+                        kind.name()
+                    ),
+                });
+            }
+        } else if !suppressed {
+            diags.push(Diagnostic {
+                file: m.path.clone(),
+                line,
+                lint: Lint::ObsName,
+                message: format!(
+                    "obs {} name is built at runtime; metric paths must be string literals (or carry a reasoned lint:allow(obs-name))",
+                    kind.name()
+                ),
+            });
+        }
+    }
+    (sites, diags)
+}
+
+/// Reports one path recorded under two kinds or two determinism classes.
+/// `sites` must be sorted by (file, line) so the anchor (first site) is
+/// deterministic.
+fn obs_conflicts(sites: &[ObsSite]) -> Vec<Diagnostic> {
+    let mut by_name: BTreeMap<&str, Vec<&ObsSite>> = BTreeMap::new();
+    for s in sites {
+        by_name.entry(&s.name).or_default().push(s);
+    }
+    let mut diags = Vec::new();
+    for (name, group) in by_name {
+        let anchor = group[0];
+        for s in &group[1..] {
+            if s.suppressed || anchor.suppressed {
+                continue;
+            }
+            if s.kind != anchor.kind {
+                diags.push(Diagnostic {
+                    file: s.file.clone(),
+                    line: s.line,
+                    lint: Lint::ObsName,
+                    message: format!(
+                        "metric `{name}` is recorded as a {} here but as a {} at {}:{}",
+                        s.kind.name(),
+                        anchor.kind.name(),
+                        anchor.file.display(),
+                        anchor.line
+                    ),
+                });
+            } else if s.det != anchor.det {
+                diags.push(Diagnostic {
+                    file: s.file.clone(),
+                    line: s.line,
+                    lint: Lint::ObsName,
+                    message: format!(
+                        "metric `{name}` mixes deterministic and `_nondet` recording; other site at {}:{}",
+                        anchor.file.display(),
+                        anchor.line
+                    ),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// Cross-checks metric paths asserted by the trace contract test against
+/// the paths the library actually records. A literal in the trace test
+/// counts as an assertion when it looks like a concrete path: contains a
+/// `/`, no `format!` placeholder braces, and is well-formed.
+fn crosscheck_trace(sites: &[ObsSite], trace_path: &Path, trace_source: &str) -> Vec<Diagnostic> {
+    let known: std::collections::BTreeSet<&str> = sites.iter().map(|s| s.name.as_str()).collect();
+    let mut diags = Vec::new();
+    for t in tokens::lex(trace_source) {
+        if t.kind != TokenKind::Str {
+            continue;
+        }
+        let name = tokens::str_contents(&t.text);
+        // A candidate must *look like* a metric path: slash-separated and
+        // space-free (assert messages mention paths inside prose; span
+        // names may carry spaces but are asserted via the tree view, not
+        // by path lookup).
+        if !name.contains('/')
+            || name.contains('{')
+            || name.contains(char::is_whitespace)
+            || !well_formed_path(name)
+        {
+            continue;
+        }
+        if !known.contains(name) {
+            diags.push(Diagnostic {
+                file: trace_path.to_path_buf(),
+                line: t.line,
+                lint: Lint::ObsName,
+                message: format!(
+                    "trace test asserts metric `{name}` that no library obs call records"
+                ),
+            });
         }
     }
     diags
@@ -674,55 +1037,159 @@ mod tests {
     use super::*;
 
     fn lint(src: &str) -> Vec<Diagnostic> {
-        lint_source(Path::new("test.rs"), src)
+        lint_source(Path::new("crates/demo/src/test.rs"), src)
+    }
+
+    fn fired(diags: &[Diagnostic], lint: Lint) -> usize {
+        diags.iter().filter(|d| d.lint == lint).count()
     }
 
     #[test]
-    fn model_strips_strings_and_comments() {
-        let lines = model_source("let x = \"a.unwrap()\"; // c.expect(\n/* panic! */ y");
-        assert!(!lines[0].code.contains("unwrap"));
-        assert!(lines[0].comment.contains("c.expect("));
-        assert!(!lines[1].code.contains("panic"));
-        assert!(lines[1].code.contains('y'));
-    }
-
-    #[test]
-    fn model_handles_raw_strings_and_chars() {
-        let lines = model_source("let s = r#\"x.unwrap()\"#; let c = '\\n'; let l: &'a str;");
-        assert!(!lines[0].code.contains("unwrap"));
-        assert!(lines[0].code.contains("&'a str"));
-    }
-
-    #[test]
-    fn cfg_test_region_is_marked() {
-        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
-        let lines = model_source(src);
-        assert!(!lines[0].in_test);
-        assert!(lines[1].in_test);
-        assert!(lines[3].in_test);
-        assert!(!lines[5].in_test);
+    fn strings_and_comments_never_fire() {
+        let diags = lint(
+            "fn f() -> usize {\n    let s = \"x.unwrap() and panic! and == 0.75\";\n    // m.iter() eprintln!(\"x\") unsafe\n    s.len()\n}\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]
     fn allow_marker_requires_reason() {
-        let diags = lint("// lint:allow(no-panic)\nlet x = y.unwrap();\n");
-        assert!(diags.iter().any(|d| d.lint == Lint::BadAllow));
-        assert!(diags.iter().any(|d| d.lint == Lint::NoPanic));
+        let diags =
+            lint("fn f(y: Option<u32>) {\n// lint:allow(no-panic)\nlet x = y.unwrap();\n}\n");
+        assert_eq!(fired(&diags, Lint::BadAllow), 1);
+        assert_eq!(fired(&diags, Lint::NoPanic), 1);
     }
 
     #[test]
-    fn float_literal_detection() {
-        assert!(float_literal_eq("if x == 2.5 {").is_some());
-        assert!(float_literal_eq("if 1.0 != x {").is_some());
-        assert!(float_literal_eq("if x == 0.0 {").is_none());
-        assert!(float_literal_eq("if a.0 == b {").is_none());
-        assert!(float_literal_eq("let y = x >= 2.5;").is_none());
+    fn clippy_allow_attr_suppresses_no_panic() {
+        let diags = lint(
+            "fn f(y: Option<u32>) -> u32 {\n    #[allow(clippy::unwrap_used)]\n    let x = y.unwrap();\n    x\n}\n",
+        );
+        assert_eq!(fired(&diags, Lint::NoPanic), 0);
     }
 
     #[test]
-    fn hash_binding_extraction() {
-        let lines =
-            model_source("let mut seen: std::collections::HashSet<u32> = HashSet::new();\n");
-        assert_eq!(hash_typed_names(&lines), vec!["seen".to_string()]);
+    fn float_eq_on_tokens() {
+        assert_eq!(
+            fired(&lint("fn f(x: f64) -> bool { x == 0.75 }"), Lint::FloatEq),
+            1
+        );
+        assert_eq!(
+            fired(&lint("fn f(x: f64) -> bool { x != -1.5 }"), Lint::FloatEq),
+            1
+        );
+        assert_eq!(
+            fired(&lint("fn f(x: f64) -> bool { 2.5f64 == x }"), Lint::FloatEq),
+            1
+        );
+        assert_eq!(
+            fired(&lint("fn f(x: f64) -> bool { x == 0.0 }"), Lint::FloatEq),
+            0
+        );
+        assert_eq!(
+            fired(&lint("fn f(x: u64) -> bool { x == 10 }"), Lint::FloatEq),
+            0
+        );
+        assert_eq!(
+            fired(
+                &lint("fn f(t: (f64, u8)) -> bool { t.1 == 3 }"),
+                Lint::FloatEq
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn hash_iter_resolves_the_receiver_exactly() {
+        // `item.iter()` must not fire even though `m` is hash-typed and
+        // `"m.iter()"` is a substring of `"item.iter()"`.
+        let src = "fn f(report: &mut Vec<String>) {\n    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();\n    let item: Vec<u32> = vec![1];\n    for v in item.iter() {\n        report.push((v + m.get(v).copied().unwrap_or(0)).to_string());\n    }\n}\n";
+        assert_eq!(fired(&lint(src), Lint::HashIter), 0);
+        let src = "fn f(report: &mut Vec<String>) {\n    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();\n    for (k, v) in m.iter() {\n        report.push(format!(\"{k}{v}\"));\n    }\n}\n";
+        assert_eq!(fired(&lint(src), Lint::HashIter), 1);
+    }
+
+    #[test]
+    fn test_region_hash_bindings_do_not_poison_production() {
+        let src = "fn f(counts: &[u32], report: &mut Vec<String>) {\n    let counts: Vec<u32> = counts.to_vec();\n    for v in counts.iter() {\n        report.push(v.to_string());\n    }\n}\n#[cfg(test)]\nmod tests {\n    fn g() {\n        let counts: std::collections::HashMap<u32, u32> = Default::default();\n        let _ = counts.len();\n    }\n}\n";
+        assert_eq!(fired(&lint(src), Lint::HashIter), 0);
+    }
+
+    #[test]
+    fn nondet_blessings() {
+        // Blessed: PHARMAVERIFY_* literal, a resolved const, a from_env* fn.
+        let src = "const SCALE_ENV: &str = \"PHARMAVERIFY_SCALE\";\nfn from_env_default() -> Option<String> { std::env::var(\"ANYTHING\").ok() }\nfn reads() {\n    let _ = std::env::var(\"PHARMAVERIFY_JOBS\");\n    let _ = std::env::var(SCALE_ENV);\n}\n";
+        assert_eq!(fired(&lint(src), Lint::Nondet), 0);
+        // Not blessed: a foreign variable outside a from_env* fn.
+        let src = "fn reads() { let _ = std::env::var(\"HOME\"); }\n";
+        assert_eq!(fired(&lint(src), Lint::Nondet), 1);
+    }
+
+    #[test]
+    fn nondet_clock_thread_and_rng() {
+        let diags = lint(
+            "fn f() {\n    let t = std::time::Instant::now();\n    let s = std::time::SystemTime::now();\n    let id = std::thread::current().id();\n    let r = rand::thread_rng();\n}\n",
+        );
+        assert_eq!(fired(&diags, Lint::Nondet), 4);
+        let diags = lint("fn f() { let rng = SmallRng::seed_from_u64(7); }");
+        assert_eq!(fired(&diags, Lint::Nondet), 0);
+    }
+
+    #[test]
+    fn binaries_are_exempt_from_nondet() {
+        let diags = lint_source(
+            Path::new("crates/bench/src/bin/repro.rs"),
+            "fn main() { let t = std::time::Instant::now(); eprintln!(\"{t:?}\"); }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn obs_sites_require_obs_receivers() {
+        // A SparseVector-style `.add(&other)` is not an obs call.
+        let diags = lint("fn f(a: &V, b: &V) -> V { a.add(b) }");
+        assert_eq!(fired(&diags, Lint::ObsName), 0);
+        // An `obs.add(&format!(…))` without a marker is one.
+        let diags = lint("fn f(obs: &R) { obs.add(&format!(\"a/{}\", 1), 1); }");
+        assert_eq!(fired(&diags, Lint::ObsName), 1);
+        // Unambiguous methods need no receiver shape.
+        let diags = lint("fn f(x: &R) { x.observe_nondet(&format!(\"a/{}\", 1), 1); }");
+        assert_eq!(fired(&diags, Lint::ObsName), 1);
+    }
+
+    #[test]
+    fn obs_path_conflicts_within_a_file() {
+        let src = "fn f(obs: &R) {\n    obs.add(\"a/b\", 1);\n    obs.observe(\"a/b\", 2);\n    obs.add(\"c/d\", 1);\n    obs.add_nondet(\"c/d\", 1);\n    obs.add(\"e//f\", 1);\n}\n";
+        let diags = lint(src);
+        assert_eq!(fired(&diags, Lint::ObsName), 3, "{diags:?}");
+    }
+
+    #[test]
+    fn trace_crosscheck_flags_unrecorded_paths() {
+        let lib = (
+            PathBuf::from("crates/demo/src/lib.rs"),
+            "fn f(obs: &R) { obs.add(\"crawl/sites\", 1); }".to_string(),
+        );
+        let trace = "fn t() {\n    assert!(counter_value(v, \"crawl/sites\") > 0);\n    assert!(counter_value(v, \"crawl/ghost\") > 0);\n    let _ = format!(\"pipeline/cache/{stage}/misses\");\n}\n";
+        let diags = lint_workspace(
+            std::slice::from_ref(&lib),
+            Some((Path::new("trace.rs"), trace)),
+        );
+        assert_eq!(fired(&diags, Lint::ObsName), 1, "{diags:?}");
+        assert!(diags[0].message.contains("crawl/ghost"));
+    }
+
+    #[test]
+    fn diagnostic_json_escapes() {
+        let d = Diagnostic {
+            file: PathBuf::from("a.rs"),
+            line: 3,
+            lint: Lint::NoPanic,
+            message: "say \"hi\"\\".to_string(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"file\":\"a.rs\",\"line\":3,\"lint\":\"no-panic\",\"message\":\"say \\\"hi\\\"\\\\\"}"
+        );
     }
 }

@@ -1,0 +1,871 @@
+//! A small Rust tokenizer and lightweight item parser for the custom
+//! lints.
+//!
+//! The PR-1 lints were line-regex matchers: they could be fooled by
+//! pattern text inside string literals, lost track of `#[cfg(test)]`
+//! boundaries when brace counting met unusual lines, and could not
+//! answer questions like "which identifier does this `.iter()` actually
+//! receive?". This module replaces that substrate with a real token
+//! stream plus just enough item structure (functions, parameters,
+//! `cfg(test)` regions, string consts) for the analyses in
+//! [`crate::lints`] and [`crate::locks`] to reason about code instead of
+//! lines.
+//!
+//! Design constraints:
+//!
+//! * **No external deps** — the workspace is vendored-offline; this is a
+//!   hand-rolled lexer, not `syn`.
+//! * **Round-trip fidelity** — concatenating every token's text
+//!   reproduces the input byte-for-byte (property-tested), so nothing in
+//!   the source can hide between tokens.
+//! * **Strings and comments are terminal** — their contents never leak
+//!   into the code-token sequence, which is what makes the lints immune
+//!   to `".unwrap()"` in prose.
+//!
+//! The parser layer is deliberately *lightweight*: it recognizes
+//! function items (name, parameter names, body token range), `#[cfg(test)]`
+//! regions (attribute through the end of the gated item), and
+//! file-local `const NAME: &str = "…";` definitions. It does not build
+//! an AST; analyses pattern-match over the code-token sequence with this
+//! index for orientation.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`.
+    Str,
+    /// Character or byte-character literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal, including float forms and type suffixes.
+    Num,
+    /// `// …` comment (plain or doc), excluding the newline.
+    LineComment,
+    /// `/* … */` comment (possibly nested, possibly spanning lines).
+    BlockComment,
+    /// Whitespace run, including newlines.
+    Whitespace,
+    /// Operator or delimiter (multi-character operators are one token).
+    Punct,
+}
+
+impl TokenKind {
+    /// Whether tokens of this kind participate in code (as opposed to
+    /// comments and spacing).
+    pub fn is_code(self) -> bool {
+        !matches!(
+            self,
+            TokenKind::LineComment | TokenKind::BlockComment | TokenKind::Whitespace
+        )
+    }
+}
+
+/// One lexed token: kind, exact source text, and 1-based start line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Exact source text (round-trip safe).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+/// Multi-character operators, longest first so maximal munch is a linear
+/// scan of this table.
+const OPERATORS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes Rust source into a token stream whose concatenated text equals
+/// the input exactly. The lexer never fails: malformed or unterminated
+/// constructs are absorbed into the current token up to end of input,
+/// which is the right behavior for a lint (garbage stays quarantined in
+/// one token instead of derailing the rest of the file).
+pub fn lex(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let start = i;
+        let start_line = line;
+        let c = chars[i];
+        let kind = if c.is_whitespace() {
+            while i < chars.len() && chars[i].is_whitespace() {
+                i += 1;
+            }
+            TokenKind::Whitespace
+        } else if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            TokenKind::LineComment
+        } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+            i = scan_block_comment(&chars, i);
+            TokenKind::BlockComment
+        } else if let Some(end) = scan_raw_string(&chars, i) {
+            i = end;
+            TokenKind::Str
+        } else if c == '"' || (c == 'b' && chars.get(i + 1) == Some(&'"')) {
+            i = scan_string(&chars, if c == 'b' { i + 1 } else { i });
+            TokenKind::Str
+        } else if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            i = scan_char(&chars, i + 1);
+            TokenKind::Char
+        } else if c == 'r'
+            && chars.get(i + 1) == Some(&'#')
+            && chars.get(i + 2).is_some_and(|&c| is_ident_start(c))
+        {
+            // Raw identifier `r#type`.
+            i += 2;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if c == '\'' {
+            match classify_quote(&chars, i) {
+                Quote::Lifetime => {
+                    i += 1;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                    TokenKind::Lifetime
+                }
+                Quote::Char => {
+                    i = scan_char(&chars, i);
+                    TokenKind::Char
+                }
+            }
+        } else if is_ident_start(c) {
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            i = scan_number(&chars, i);
+            TokenKind::Num
+        } else {
+            i += scan_operator(&chars, i);
+            TokenKind::Punct
+        };
+        let text: String = chars[start..i].iter().collect();
+        line += text.matches('\n').count();
+        tokens.push(Token {
+            kind,
+            text,
+            line: start_line,
+        });
+    }
+    tokens
+}
+
+/// Consumes a possibly-nested block comment starting at `/*`; returns the
+/// index one past `*/` (or end of input if unterminated).
+fn scan_block_comment(chars: &[char], mut i: usize) -> usize {
+    let mut depth = 0u32;
+    while i < chars.len() {
+        if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+            depth += 1;
+            i += 2;
+        } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// If `i` starts a raw-string opener (`r"`, `r#"`, `br##"`, …), consumes
+/// the whole literal and returns the end index.
+fn scan_raw_string(chars: &[char], start: usize) -> Option<usize> {
+    let mut i = start;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) != Some(&'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0usize;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) != Some(&'"') {
+        return None;
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#')) {
+            return Some(i + 1 + hashes);
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+/// Consumes a cooked string starting at its opening quote; returns the
+/// index one past the closing quote (or end of input).
+fn scan_string(chars: &[char], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2, // may step past a truncated escape at EOF
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i.min(chars.len())
+}
+
+/// Consumes a character literal starting at its opening quote; returns
+/// the index one past the closing quote (or end of input).
+fn scan_char(chars: &[char], open: usize) -> usize {
+    let mut i = open + 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2, // may step past a truncated escape at EOF
+            '\'' => return i + 1,
+            '\n' => return i, // unterminated; don't eat the line
+            _ => i += 1,
+        }
+    }
+    i.min(chars.len())
+}
+
+enum Quote {
+    Lifetime,
+    Char,
+}
+
+/// Disambiguates `'` between a lifetime/label and a char literal: `'a'`
+/// closes within two characters, `'a` (lifetime) never does, and an
+/// escape (`'\n'`) is always a char literal.
+fn classify_quote(chars: &[char], i: usize) -> Quote {
+    match chars.get(i + 1) {
+        Some(&'\\') => Quote::Char,
+        Some(&c) if is_ident_start(c) || c.is_ascii_digit() => {
+            if chars.get(i + 2) == Some(&'\'') {
+                Quote::Char
+            } else {
+                Quote::Lifetime
+            }
+        }
+        _ => Quote::Char,
+    }
+}
+
+/// Consumes a numeric literal: integer or float, with radix prefixes,
+/// digit separators, exponents, and type suffixes. A `.` followed by an
+/// identifier (method call on a literal) or another `.` (range) is not
+/// part of the number.
+fn scan_number(chars: &[char], start: usize) -> usize {
+    let mut i = start;
+    let radix_prefixed =
+        chars[i] == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B'));
+    if radix_prefixed {
+        i += 2;
+        while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+        i += 1;
+    }
+    // Fractional part: `1.5` and trailing-dot `1.`, but not `1.max(…)`
+    // and not `1..n`.
+    if chars.get(i) == Some(&'.') {
+        let after = chars.get(i + 1).copied();
+        if after.is_some_and(|c| c.is_ascii_digit()) {
+            i += 1;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+        } else if !after.is_some_and(|c| is_ident_start(c) || c == '.') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if matches!(chars.get(i), Some('e' | 'E')) {
+        let mut j = i + 1;
+        if matches!(chars.get(j), Some('+' | '-')) {
+            j += 1;
+        }
+        if chars.get(j).is_some_and(char::is_ascii_digit) {
+            i = j;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, `usize`).
+    if chars.get(i).is_some_and(|&c| is_ident_start(c)) {
+        while i < chars.len() && is_ident_continue(chars[i]) {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Length of the operator token at `i`: the longest match in
+/// [`OPERATORS`], else one character.
+fn scan_operator(chars: &[char], i: usize) -> usize {
+    for op in OPERATORS {
+        if op
+            .chars()
+            .enumerate()
+            .all(|(k, c)| chars.get(i + k) == Some(&c))
+        {
+            return op.chars().count();
+        }
+    }
+    1
+}
+
+/// The inner text of a string-literal token: prefixes (`b`, `r`, `#`s)
+/// and quotes stripped, escapes left as written.
+pub fn str_contents(text: &str) -> &str {
+    let t = text.strip_prefix('b').unwrap_or(text);
+    let t = t.strip_prefix('r').unwrap_or(t);
+    let t = t.trim_start_matches('#');
+    let t = t.strip_prefix('"').unwrap_or(t);
+    let t = t.trim_end_matches('#');
+    t.strip_suffix('"').unwrap_or(t)
+}
+
+/// The numeric value of a [`TokenKind::Num`] token if it lexes as a
+/// *float* literal (has a fractional part or exponent). Integer literals
+/// return `None` — they are not float-equality hazards.
+pub fn float_value(text: &str) -> Option<f64> {
+    let body: String = text.chars().filter(|&c| c != '_').collect();
+    if body.starts_with("0x") || body.starts_with("0X") {
+        return None;
+    }
+    // Strip a type suffix (`f32`/`f64`), if any.
+    let body = body.strip_suffix("f64").unwrap_or(&body);
+    let body = body.strip_suffix("f32").unwrap_or(body);
+    if !(body.contains('.') || body.contains('e') || body.contains('E')) {
+        return None;
+    }
+    body.parse::<f64>().ok()
+}
+
+/// One function item found in a file.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Parameter names, in order (`self` is not included).
+    pub params: Vec<String>,
+    /// Code-token index range of the body, inclusive of both braces;
+    /// `None` for a bodiless signature (trait method declaration).
+    pub body: Option<(usize, usize)>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the function sits inside a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// A lexed file plus the lightweight item index the analyses consume.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Where the file came from (for diagnostics).
+    pub path: PathBuf,
+    /// Owning crate, derived from the path (`crates/<name>/…` → name,
+    /// root `src/` → `root`, anything else → file stem).
+    pub crate_name: String,
+    /// The full token stream.
+    pub tokens: Vec<Token>,
+    /// Indices into [`FileModel::tokens`] of the code tokens (everything
+    /// but comments and whitespace).
+    pub code: Vec<usize>,
+    /// Per-code-token flag: inside a `#[cfg(test)]` region.
+    pub in_test: Vec<bool>,
+    /// Function items, with body ranges as indices into
+    /// [`FileModel::code`].
+    pub fns: Vec<FnItem>,
+    /// File-local `const NAME: &str = "…";` values (used to resolve
+    /// environment-variable names read through a const).
+    pub consts: BTreeMap<String, String>,
+    /// Concatenated comment text per 1-based line (block comments
+    /// contribute to every line they span).
+    pub comments: BTreeMap<usize, String>,
+}
+
+impl FileModel {
+    /// The code token at code index `ci`.
+    pub fn tok(&self, ci: usize) -> &Token {
+        static EMPTY: Token = Token {
+            kind: TokenKind::Whitespace,
+            text: String::new(),
+            line: 0,
+        };
+        self.code
+            .get(ci)
+            .and_then(|&ti| self.tokens.get(ti))
+            .unwrap_or(&EMPTY)
+    }
+
+    /// Text of the code token at code index `ci` ("" out of range).
+    pub fn text(&self, ci: usize) -> &str {
+        &self.tok(ci).text
+    }
+
+    /// 1-based line of the code token at `ci` (0 out of range).
+    pub fn line(&self, ci: usize) -> usize {
+        self.tok(ci).line
+    }
+
+    /// Whether code index `ci` is an identifier with exactly this text.
+    pub fn is_ident(&self, ci: usize, text: &str) -> bool {
+        let t = self.tok(ci);
+        t.kind == TokenKind::Ident && t.text == text
+    }
+
+    /// Whether code index `ci` is a punctuation token with this text.
+    pub fn is_punct(&self, ci: usize, text: &str) -> bool {
+        let t = self.tok(ci);
+        t.kind == TokenKind::Punct && t.text == text
+    }
+
+    /// The comment text attached to `line` ("" if none).
+    pub fn comment_on(&self, line: usize) -> &str {
+        self.comments.get(&line).map_or("", String::as_str)
+    }
+
+    /// The function item whose body contains code index `ci`, if any
+    /// (innermost wins, so nested `fn`s resolve to themselves).
+    pub fn enclosing_fn(&self, ci: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.is_some_and(|(s, e)| s <= ci && ci <= e))
+            .min_by_key(|f| f.body.map_or(usize::MAX, |(s, e)| e - s))
+    }
+
+    /// Walks a dotted receiver chain *backwards* from the code index just
+    /// before a `.method` pair: returns the chain of identifier segments
+    /// (`self.shared.state` → `["self", "shared", "state"]`). An empty
+    /// vector means the receiver is not a plain dotted path (a call
+    /// result, an index expression, …).
+    pub fn receiver_chain(&self, mut ci: usize) -> Vec<String> {
+        let mut rev = Vec::new();
+        loop {
+            let t = self.tok(ci);
+            if t.kind != TokenKind::Ident {
+                break;
+            }
+            rev.push(t.text.clone());
+            if ci >= 2 && self.is_punct(ci - 1, ".") && self.tok(ci - 2).kind == TokenKind::Ident {
+                ci -= 2;
+            } else {
+                break;
+            }
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// Derives the owning crate name from a workspace-relative or absolute
+/// path.
+fn crate_of(path: &Path) -> String {
+    let mut components = path.components().peekable();
+    while let Some(c) = components.next() {
+        if c.as_os_str() == "crates" {
+            if let Some(name) = components.peek() {
+                return name.as_os_str().to_string_lossy().into_owned();
+            }
+        }
+    }
+    // Root package `src/` tree, or a free-standing fixture file.
+    let under_src = path.components().any(|c| c.as_os_str() == "src");
+    if under_src {
+        "root".to_string()
+    } else {
+        path.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "file".to_string())
+    }
+}
+
+/// Lexes and indexes one source file.
+pub fn model(path: &Path, source: &str) -> FileModel {
+    let tokens = lex(source);
+    let code: Vec<usize> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.kind.is_code())
+        .map(|(i, _)| i)
+        .collect();
+    let mut comments: BTreeMap<usize, String> = BTreeMap::new();
+    for t in &tokens {
+        match t.kind {
+            TokenKind::LineComment => {
+                comments.entry(t.line).or_default().push_str(&t.text);
+            }
+            TokenKind::BlockComment => {
+                for (offset, part) in t.text.lines().enumerate() {
+                    comments.entry(t.line + offset).or_default().push_str(part);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut m = FileModel {
+        path: path.to_path_buf(),
+        crate_name: crate_of(path),
+        tokens,
+        in_test: vec![false; code.len()],
+        code,
+        fns: Vec::new(),
+        consts: BTreeMap::new(),
+        comments,
+    };
+    mark_test_regions(&mut m);
+    collect_consts(&mut m);
+    collect_fns(&mut m);
+    m
+}
+
+/// Finds the code index of the matching close delimiter for the open
+/// delimiter at `open` (`{`/`}`, `(`/`)`, `[`/`]`). Returns the last
+/// code index if unbalanced.
+pub fn matching_close(m: &FileModel, open: usize, open_text: &str, close_text: &str) -> usize {
+    let mut depth = 0i64;
+    let mut ci = open;
+    while ci < m.code.len() {
+        if m.is_punct(ci, open_text) {
+            depth += 1;
+        } else if m.is_punct(ci, close_text) {
+            depth -= 1;
+            if depth == 0 {
+                return ci;
+            }
+        }
+        ci += 1;
+    }
+    m.code.len().saturating_sub(1)
+}
+
+/// Marks every code token covered by a `#[cfg(test)]`-gated item: the
+/// attribute itself, any further attributes, and the item through its
+/// closing brace (or terminating semicolon for a bodiless item).
+fn mark_test_regions(m: &mut FileModel) {
+    let mut ci = 0usize;
+    while ci < m.code.len() {
+        if !(m.is_punct(ci, "#") && m.is_punct(ci + 1, "[")) {
+            ci += 1;
+            continue;
+        }
+        let close = matching_close(m, ci + 1, "[", "]");
+        // `cfg(test)` / `cfg(all(test, …))` gate test code; `cfg(not(test))`
+        // gates *production* code and must not be exempted.
+        let is_cfg_test = m.is_ident(ci + 2, "cfg")
+            && (ci + 2..close).any(|k| m.is_ident(k, "test"))
+            && !(ci + 2..close).any(|k| m.is_ident(k, "not"));
+        if !is_cfg_test {
+            ci = close + 1;
+            continue;
+        }
+        // Skip trailing attributes, then cover the item.
+        let mut item = close + 1;
+        while m.is_punct(item, "#") && m.is_punct(item + 1, "[") {
+            item = matching_close(m, item + 1, "[", "]") + 1;
+        }
+        let mut end = item;
+        while end < m.code.len() {
+            if m.is_punct(end, ";") {
+                break;
+            }
+            if m.is_punct(end, "{") {
+                end = matching_close(m, end, "{", "}");
+                break;
+            }
+            end += 1;
+        }
+        let hi = end.min(m.in_test.len().saturating_sub(1));
+        for flag in m.in_test[ci..=hi].iter_mut() {
+            *flag = true;
+        }
+        ci = end + 1;
+    }
+}
+
+/// Collects `const NAME: &str = "…";` (and `static`) definitions whose
+/// value is a single string literal.
+fn collect_consts(m: &mut FileModel) {
+    let mut found = Vec::new();
+    for ci in 0..m.code.len() {
+        if !(m.is_ident(ci, "const") || m.is_ident(ci, "static")) {
+            continue;
+        }
+        let name_tok = m.tok(ci + 1);
+        if name_tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = name_tok.text.clone();
+        if !m.is_punct(ci + 2, ":") {
+            continue;
+        }
+        // Scan forward to `=` within this item, then expect [&] "…" ;
+        let mut k = ci + 3;
+        while k < m.code.len() && !m.is_punct(k, "=") && !m.is_punct(k, ";") {
+            k += 1;
+        }
+        if !m.is_punct(k, "=") {
+            continue;
+        }
+        let mut v = k + 1;
+        if m.is_punct(v, "&") {
+            v += 1;
+        }
+        if m.tok(v).kind == TokenKind::Str && m.is_punct(v + 1, ";") {
+            found.push((name, str_contents(m.text(v)).to_string()));
+        }
+    }
+    for (name, value) in found {
+        m.consts.insert(name, value);
+    }
+}
+
+/// Collects function items: name, parameter names, and body range.
+fn collect_fns(m: &mut FileModel) {
+    let mut found = Vec::new();
+    for ci in 0..m.code.len() {
+        if !m.is_ident(ci, "fn") {
+            continue;
+        }
+        let name_tok = m.tok(ci + 1);
+        if name_tok.kind != TokenKind::Ident {
+            continue; // `fn(u32) -> u32` pointer type
+        }
+        let name = name_tok.text.clone();
+        // Skip generics to the parameter list.
+        let mut k = ci + 2;
+        if m.is_punct(k, "<") {
+            let mut depth = 0i64;
+            while k < m.code.len() {
+                match m.text(k) {
+                    "<" => depth += 1,
+                    ">" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    "<<" => depth += 2,
+                    ">>" => depth -= 2,
+                    _ => {}
+                }
+                k += 1;
+            }
+        }
+        if !m.is_punct(k, "(") {
+            continue;
+        }
+        let params_end = matching_close(m, k, "(", ")");
+        let mut params = Vec::new();
+        let mut p = k + 1;
+        let mut depth = 1i64;
+        while p < params_end {
+            match m.text(p) {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth -= 1,
+                _ => {
+                    if depth == 1
+                        && m.tok(p).kind == TokenKind::Ident
+                        && m.is_punct(p + 1, ":")
+                        && !m.is_punct(p + 2, ":")
+                        && (m.is_punct(p - 1, "(")
+                            || m.is_punct(p - 1, ",")
+                            || m.is_ident(p - 1, "mut"))
+                    {
+                        params.push(m.text(p).to_string());
+                    }
+                }
+            }
+            p += 1;
+        }
+        // Body: the first `{` before a `;` ends the signature.
+        let mut b = params_end + 1;
+        let mut body = None;
+        while b < m.code.len() {
+            if m.is_punct(b, ";") {
+                break;
+            }
+            if m.is_punct(b, "{") {
+                body = Some((b, matching_close(m, b, "{", "}")));
+                break;
+            }
+            b += 1;
+        }
+        let in_test = m.in_test.get(ci).copied().unwrap_or(false);
+        found.push(FnItem {
+            name,
+            params,
+            body,
+            line: m.line(ci),
+            in_test,
+        });
+    }
+    m.fns = found;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn round_trips_mixed_source() {
+        let src = "fn f(x: u32) -> u32 { // c\n  let s = \"a.unwrap()\"; /* b */ x + 1.5e3 }\n";
+        let joined: String = lex(src).iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn strings_and_comments_are_terminal() {
+        for src in [
+            "let s = \"call .unwrap() now\";",
+            "let r = r#\"panic! \"inner\" \"#;",
+            "let b = b\"bytes .expect(\";",
+            "// .unwrap()\nlet x = 1;",
+            "/* outer /* nested .unwrap() */ still */ let y = 2;",
+        ] {
+            // String/char literals are single tokens of their own kind;
+            // their contents must never surface as Ident/Punct tokens.
+            let has_unwrap_code = lex(src).iter().any(|t| {
+                matches!(t.kind, TokenKind::Ident | TokenKind::Punct)
+                    && (t.text.contains("unwrap") || t.text.contains("panic"))
+            });
+            assert!(!has_unwrap_code, "leaked code token in {src:?}");
+        }
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds("let c: char = 'x'; let l: &'a str = s; 'outer: loop { break 'outer; }");
+        assert!(toks.contains(&(TokenKind::Char, "'x'".to_string())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".to_string())));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'outer".to_string())));
+        let esc = kinds(r"let n = '\n'; let q = '\'';");
+        assert!(esc.contains(&(TokenKind::Char, r"'\n'".to_string())));
+        assert!(esc.contains(&(TokenKind::Char, r"'\''".to_string())));
+    }
+
+    #[test]
+    fn numbers_floats_methods_and_ranges() {
+        let toks = kinds("1.5 1.5e3 1. 0x1f 1_000 2.5f64 1.max(2) 0..10");
+        assert!(toks.contains(&(TokenKind::Num, "1.5".to_string())));
+        assert!(toks.contains(&(TokenKind::Num, "1.5e3".to_string())));
+        assert!(toks.contains(&(TokenKind::Num, "1.".to_string())));
+        assert!(toks.contains(&(TokenKind::Num, "0x1f".to_string())));
+        assert!(toks.contains(&(TokenKind::Num, "2.5f64".to_string())));
+        // Method call on a literal: the dot is punctuation.
+        assert!(toks.contains(&(TokenKind::Num, "1".to_string())));
+        assert!(toks.contains(&(TokenKind::Ident, "max".to_string())));
+        // Range: `0..10` is three tokens.
+        assert!(toks.contains(&(TokenKind::Punct, "..".to_string())));
+        assert_eq!(float_value("1.5"), Some(1.5));
+        assert_eq!(float_value("2.5f64"), Some(2.5));
+        assert_eq!(float_value("10"), None);
+        assert_eq!(float_value("0x1f"), None);
+    }
+
+    #[test]
+    fn str_contents_strips_all_flavors() {
+        assert_eq!(str_contents("\"abc\""), "abc");
+        assert_eq!(str_contents("r#\"a\"b\"#"), "a\"b");
+        assert_eq!(str_contents("br##\"x\"##"), "x");
+        assert_eq!(str_contents("b\"y\""), "y");
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_item() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let m = model(Path::new("x.rs"), src);
+        let fns: Vec<(&str, bool)> = m.fns.iter().map(|f| (f.name.as_str(), f.in_test)).collect();
+        assert_eq!(fns, vec![("a", false), ("b", true), ("c", false)]);
+    }
+
+    #[test]
+    fn cfg_test_in_a_string_is_not_a_region() {
+        let src = "fn a() { let s = \"#[cfg(test)]\"; }\nfn b() {}\n";
+        let m = model(Path::new("x.rs"), src);
+        assert!(m.fns.iter().all(|f| !f.in_test));
+    }
+
+    #[test]
+    fn fn_items_capture_params_and_bodies() {
+        let src = "fn f<T: Clone>(a: u32, mut b: T, c: &str) -> u32 { a }\nfn sig(x: u32);\n";
+        let m = model(Path::new("x.rs"), src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].params, vec!["a", "b", "c"]);
+        assert!(m.fns[0].body.is_some());
+        assert!(m.fns[1].body.is_none());
+    }
+
+    #[test]
+    fn consts_resolve_string_values() {
+        let src = "pub const JOBS_ENV: &str = \"PHARMAVERIFY_JOBS\";\nconst N: usize = 4;\n";
+        let m = model(Path::new("x.rs"), src);
+        assert_eq!(
+            m.consts.get("JOBS_ENV").map(String::as_str),
+            Some("PHARMAVERIFY_JOBS")
+        );
+        assert!(!m.consts.contains_key("N"));
+    }
+
+    #[test]
+    fn receiver_chains_walk_dotted_paths() {
+        let src = "fn f() { self.shared.state.lock(); item.iter(); }";
+        let m = model(Path::new("x.rs"), src);
+        // Find the `lock` ident and walk back from the token before `.`.
+        let lock_at = (0..m.code.len())
+            .find(|&ci| m.is_ident(ci, "lock"))
+            .unwrap();
+        assert_eq!(
+            m.receiver_chain(lock_at - 2),
+            vec!["self", "shared", "state"]
+        );
+        let iter_at = (0..m.code.len())
+            .find(|&ci| m.is_ident(ci, "iter"))
+            .unwrap();
+        assert_eq!(m.receiver_chain(iter_at - 2), vec!["item"]);
+    }
+
+    #[test]
+    fn crate_names_derive_from_paths() {
+        assert_eq!(crate_of(Path::new("crates/serve/src/service.rs")), "serve");
+        assert_eq!(crate_of(Path::new("src/lib.rs")), "root");
+        assert_eq!(crate_of(Path::new("fixtures/locks_abba.rs")), "locks_abba");
+    }
+}

@@ -62,13 +62,16 @@ fn violations_fixture_fires_every_lint() {
             .collect::<Vec<_>>()
             .join("\n")
     );
-    // Every lint is exercised at least once.
+    // Every lint is exercised at least once (lock-order has its own
+    // fixture trio driven by tests/locks.rs).
     for lint in [
         Lint::NoPanic,
         Lint::HashIter,
         Lint::FloatEq,
         Lint::SafetyComment,
         Lint::NoRawEprintln,
+        Lint::Nondet,
+        Lint::ObsName,
         Lint::BadAllow,
     ] {
         assert!(
@@ -119,13 +122,22 @@ fn binaries_are_exempt_from_no_raw_eprintln() {
 #[test]
 fn whole_workspace_is_lint_clean() {
     let root = xtask::walk::workspace_root();
-    let files = xtask::walk::lintable_sources(&root).unwrap();
-    assert!(files.len() > 50, "walker found only {} files", files.len());
-    let mut all = Vec::new();
-    for file in files {
-        let source = std::fs::read_to_string(&file).unwrap();
-        all.extend(lint_source(&file, &source));
-    }
+    let paths = xtask::walk::lintable_sources(&root).unwrap();
+    assert!(paths.len() > 50, "walker found only {} files", paths.len());
+    let files: Vec<(PathBuf, String)> = paths
+        .into_iter()
+        .map(|p| {
+            let source = std::fs::read_to_string(&p).unwrap();
+            (p, source)
+        })
+        .collect();
+    // The full workspace analysis, exactly as `cargo xtask check` runs
+    // it: per-file lints, cross-file obs conflicts, the trace-contract
+    // cross-check, and the whole-workspace lock-order pass.
+    let trace_path = root.join("crates/bench/tests/trace.rs");
+    let trace_source = std::fs::read_to_string(&trace_path).unwrap();
+    let all =
+        xtask::lints::lint_workspace(&files, Some((trace_path.as_path(), trace_source.as_str())));
     assert!(
         all.is_empty(),
         "workspace has lint findings:\n{}",

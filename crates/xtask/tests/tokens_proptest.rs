@@ -1,0 +1,93 @@
+//! Property-based tests for the lint tokenizer: the whole analysis
+//! stack trusts two invariants — lexing loses no bytes (round-trip),
+//! and text inside string literals or comments never surfaces as code
+//! tokens.
+
+use proptest::prelude::*;
+use xtask::tokens::{lex, TokenKind};
+
+/// Joins every token's text back into one string.
+fn rejoin(tokens: &[xtask::tokens::Token]) -> String {
+    tokens.iter().map(|t| t.text.as_str()).collect()
+}
+
+/// Joins only the tokens code analysis would look at (everything except
+/// the given kind), preserving order.
+fn rejoin_except(tokens: &[xtask::tokens::Token], skip: TokenKind) -> String {
+    tokens
+        .iter()
+        .filter(|t| t.kind != skip)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+proptest! {
+    /// Concatenating all token text reproduces the input byte-for-byte,
+    /// for arbitrary (even non-Rust) input.
+    #[test]
+    fn lex_round_trips_arbitrary_input(input in ".{0,300}") {
+        prop_assert_eq!(rejoin(&lex(&input)), input);
+    }
+
+    /// Same round-trip over a code-shaped alphabet that stresses the
+    /// tricky boundaries: quotes, comment starters, raw strings,
+    /// lifetimes, floats, and punctuation runs.
+    #[test]
+    fn lex_round_trips_code_like_input(
+        input in r#"[a-zA-Z0-9_ \t\n"'#./*=!<>&|;:,(){}\[\]+-]{0,300}"#
+    ) {
+        prop_assert_eq!(rejoin(&lex(&input)), input);
+    }
+
+    /// A string literal lexes as ONE `Str` token: the surrounding code
+    /// tokens are exactly the frame, so nothing inside the quotes can
+    /// ever look like a call or keyword to the lints.
+    #[test]
+    fn string_contents_never_become_code(content in r"[a-zA-Z0-9_ .!?&|=<>()+-]{0,60}") {
+        let source = format!("let s = \"{content}\";");
+        let tokens = lex(&source);
+        let strs: Vec<_> = tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert_eq!(&strs[0].text, &format!("\"{content}\""));
+        prop_assert_eq!(rejoin_except(&tokens, TokenKind::Str), "let s = ;");
+    }
+
+    /// Line-comment contents are one comment token; the code seen by
+    /// the lints is exactly the statement before the `//`.
+    #[test]
+    fn line_comment_contents_never_become_code(content in r"[a-zA-Z0-9_ .!?&|=<>()+-]{0,60}") {
+        let source = format!("let x = 1; //{content}\n");
+        let tokens = lex(&source);
+        prop_assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::LineComment).count(),
+            1
+        );
+        prop_assert_eq!(
+            rejoin_except(&tokens, TokenKind::LineComment),
+            "let x = 1; \n"
+        );
+    }
+
+    /// Block-comment contents (no `*`/`/`, so the body cannot open or
+    /// close a nesting level) are one comment token.
+    #[test]
+    fn block_comment_contents_never_become_code(content in r"[a-zA-Z0-9_ .!?&|=<>()+-]{0,60}") {
+        let source = format!("let x = 1; /*{content}*/ let y = 2;");
+        let tokens = lex(&source);
+        prop_assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::BlockComment).count(),
+            1
+        );
+        prop_assert_eq!(
+            rejoin_except(&tokens, TokenKind::BlockComment),
+            "let x = 1;  let y = 2;"
+        );
+    }
+
+    /// No lexer output token is ever empty (an empty token would stall
+    /// any consumer that advances by token length).
+    #[test]
+    fn no_empty_tokens(input in ".{0,200}") {
+        prop_assert!(lex(&input).iter().all(|t| !t.text.is_empty()));
+    }
+}
