@@ -9,7 +9,7 @@ use pharmaverify_core::features::extract_corpus;
 use pharmaverify_corpus::{CorpusConfig, SyntheticWeb};
 use pharmaverify_crawl::{html, CrawlConfig, Crawler, Url};
 use pharmaverify_ml::{Dataset, DecisionTree, Learner, LinearSvm, MultinomialNaiveBayes, Sampling};
-use pharmaverify_net::{trust_rank, TrustRankConfig};
+use pharmaverify_net::TrustRankConfig;
 use pharmaverify_ngg::{GraphSimilarities, NGramGraphBuilder};
 use pharmaverify_text::{preprocess, TfIdfModel};
 
@@ -76,7 +76,11 @@ fn bench_network(c: &mut Criterion) {
         .map(|i| artifacts.pharmacy_nodes[i])
         .collect();
     c.bench_function("trustrank_medium_graph", |b| {
-        b.iter(|| trust_rank(&artifacts.graph, &seeds, &TrustRankConfig::default()))
+        b.iter(|| {
+            artifacts
+                .graph
+                .trust_rank(&seeds, &TrustRankConfig::default())
+        })
     });
 }
 

@@ -1,0 +1,287 @@
+//! Micro-benchmarks of the graph substrate: sharded corpus generation,
+//! CSR freeze, and the three power-iteration kernels — each on both the
+//! frozen CSR representation and the legacy adjacency [`WebGraph`].
+//!
+//! ```text
+//! microbench [--domains N] [--repeat R] [--out PATH]
+//! ```
+//!
+//! Every benchmark runs `R` times (default 3) and reports the *minimum*
+//! wall clock — the least-noisy estimate on a shared machine. Results go
+//! to stderr as they complete; `--out PATH` additionally writes one JSON
+//! document (schema `pharmaverify-microbench-v1`) with per-bench
+//! wall-clock seconds and items-per-second throughput. `cargo xtask
+//! bench` drives this binary and captures `BENCH_7.json` at the
+//! workspace root.
+//!
+//! The workload is the web-tier generator at `--domains N` (default
+//! 50000) under the reproduction seed, so the numbers describe the same
+//! graph shape the `--scale web` report ranks.
+
+use pharmaverify_corpus::{DomainRecord, ShardedWebGenerator, WebScaleConfig};
+use pharmaverify_net::{
+    anti_trust_rank, pagerank, trust_rank, CsrGraph, GraphBuilder, NodeId, TrustRankConfig,
+    WebGraph,
+};
+use std::time::Instant;
+
+/// The reproduction's master seed (`bench::context::REPRO_SEED`).
+const SEED: u64 = 20180326;
+
+/// One benchmark's outcome.
+struct BenchResult {
+    /// Stable bench name, `area/what` style.
+    name: &'static str,
+    /// Work items processed per run (see `unit`).
+    items: usize,
+    /// What `items` counts: `domains`, `edges`, or `edge-traversals`.
+    unit: &'static str,
+    /// Minimum wall clock over the repeat runs, in seconds.
+    wall_secs: f64,
+}
+
+impl BenchResult {
+    fn throughput(&self) -> f64 {
+        self.items as f64 / self.wall_secs.max(f64::EPSILON)
+    }
+}
+
+/// Times `f` over `repeat` runs and keeps the fastest.
+fn bench<T>(
+    name: &'static str,
+    items: usize,
+    unit: &'static str,
+    repeat: usize,
+    mut f: impl FnMut() -> T,
+) -> BenchResult {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeat {
+        let started = Instant::now();
+        let result = f();
+        best = best.min(started.elapsed().as_secs_f64());
+        drop(result);
+    }
+    let out = BenchResult {
+        name,
+        items,
+        unit,
+        wall_secs: best,
+    };
+    eprintln!(
+        "[microbench] {:<24} {:>9.4}s  {:>14.0} {}/s",
+        out.name,
+        out.wall_secs,
+        out.throughput(),
+        out.unit
+    );
+    out
+}
+
+/// Generates the full web-tier record stream once, for the graph-build
+/// benches to consume without re-timing generation.
+fn generate_records(config: WebScaleConfig) -> Vec<DomainRecord> {
+    ShardedWebGenerator::new(config).flatten().collect()
+}
+
+/// Builds the mutable CSR builder from pre-generated records.
+fn fill_builder(records: &[DomainRecord]) -> GraphBuilder {
+    let mut builder = GraphBuilder::new();
+    for record in records {
+        let node = if record.is_pharmacy {
+            builder.add_pharmacy(&record.domain)
+        } else {
+            builder.add_external(&record.domain)
+        };
+        for (target, weight) in &record.links {
+            builder.add_link(node, target, *weight);
+        }
+    }
+    builder
+}
+
+/// Builds the legacy adjacency graph from the same records.
+fn fill_legacy(records: &[DomainRecord]) -> WebGraph {
+    let mut graph = WebGraph::new();
+    for record in records {
+        let node = if record.is_pharmacy {
+            graph.add_pharmacy(&record.domain)
+        } else {
+            graph.add_external(&record.domain)
+        };
+        for (target, weight) in &record.links {
+            graph.add_link(node, target, *weight);
+        }
+    }
+    graph
+}
+
+/// Resolves the generator's trusted-seed prefix against the frozen graph.
+fn resolve_seeds(config: WebScaleConfig, graph: &CsrGraph) -> Vec<NodeId> {
+    ShardedWebGenerator::new(config)
+        .trusted_domains()
+        .iter()
+        .filter_map(|d| graph.node(d))
+        .collect()
+}
+
+/// The value following `flag`, or a uniform "missing value" error on
+/// exit code 2 — same convention as the `repro` binary.
+fn require_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("missing value for '{flag}'");
+        std::process::exit(2);
+    })
+}
+
+fn render_json(domains: usize, repeat: usize, results: &[BenchResult]) -> String {
+    let benches: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"items\": {}, \"unit\": \"{}\", \
+                 \"wall_secs\": {:.6}, \"throughput_per_sec\": {:.1}}}",
+                r.name,
+                r.items,
+                r.unit,
+                r.wall_secs,
+                r.throughput()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": \"pharmaverify-microbench-v1\",\n  \"seed\": {SEED},\n  \
+         \"domains\": {domains},\n  \"repeat\": {repeat},\n  \"benches\": [\n{}\n  ]\n}}\n",
+        benches.join(",\n")
+    )
+}
+
+fn main() {
+    let mut domains = 50_000usize;
+    let mut repeat = 3usize;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--domains" => {
+                let value = require_value(&mut args, "--domains");
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => domains = n,
+                    _ => {
+                        eprintln!("--domains expects a positive domain count, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--repeat" => {
+                let value = require_value(&mut args, "--repeat");
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => repeat = n,
+                    _ => {
+                        eprintln!("--repeat expects a positive run count, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--out" => {
+                out_path = Some(require_value(&mut args, "--out"));
+            }
+            "--help" | "-h" => {
+                println!("microbench [--domains N] [--repeat R] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = WebScaleConfig::new(domains, SEED);
+    eprintln!("[microbench] {domains} domains, seed {SEED}, best of {repeat} run(s)");
+    let mut results = Vec::new();
+
+    results.push(bench(
+        "corpus/shard_generate",
+        domains,
+        "domains",
+        repeat,
+        || generate_records(config),
+    ));
+
+    let records = generate_records(config);
+    let raw_edges = fill_builder(&records).raw_edge_count();
+    results.push(bench("csr/freeze", raw_edges, "edges", repeat, || {
+        fill_builder(&records).freeze()
+    }));
+    results.push(bench("legacy/build", raw_edges, "edges", repeat, || {
+        fill_legacy(&records)
+    }));
+
+    let graph = fill_builder(&records).freeze();
+    let legacy = fill_legacy(&records);
+    let seeds = resolve_seeds(config, &graph);
+    let rank_config = TrustRankConfig::default();
+    let traversals = graph.edge_count() * rank_config.iterations;
+    eprintln!(
+        "[microbench] graph: {} nodes, {} merged edges, {} seeds, {} iterations",
+        graph.node_count(),
+        graph.edge_count(),
+        seeds.len(),
+        rank_config.iterations
+    );
+
+    results.push(bench(
+        "csr/trust_rank",
+        traversals,
+        "edge-traversals",
+        repeat,
+        || graph.trust_rank(&seeds, &rank_config),
+    ));
+    results.push(bench(
+        "csr/pagerank",
+        traversals,
+        "edge-traversals",
+        repeat,
+        || graph.pagerank(&rank_config),
+    ));
+    results.push(bench(
+        "csr/anti_trust_rank",
+        traversals,
+        "edge-traversals",
+        repeat,
+        || graph.anti_trust_rank(&seeds, &rank_config),
+    ));
+    results.push(bench(
+        "legacy/trust_rank",
+        traversals,
+        "edge-traversals",
+        repeat,
+        || trust_rank(&legacy, &seeds, &rank_config),
+    ));
+    results.push(bench(
+        "legacy/pagerank",
+        traversals,
+        "edge-traversals",
+        repeat,
+        || pagerank(&legacy, &rank_config),
+    ));
+    results.push(bench(
+        "legacy/anti_trust_rank",
+        traversals,
+        "edge-traversals",
+        repeat,
+        || anti_trust_rank(&legacy, &seeds, &rank_config),
+    ));
+
+    let json = render_json(domains, repeat, &results);
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("[microbench] failed to write '{path}': {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[microbench] results written to {path}");
+        }
+        None => print!("{json}"),
+    }
+}

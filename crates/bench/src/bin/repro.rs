@@ -1,8 +1,9 @@
 //! Reproduces the paper's tables and figures.
 //!
 //! ```text
-//! repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N]
+//! repro [--scale small|medium|paper|web] [--table N]... [--figure 3] [--jobs N]
 //!       [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W]
+//!       [--web-domains N]
 //! ```
 //!
 //! With no selection, every table and figure is printed. Scale defaults
@@ -21,8 +22,18 @@
 //! count; throughput and latency quantiles go to stderr. Tables go to
 //! stdout; progress, span summaries, and artifact cache statistics go to
 //! stderr, so redirected output stays clean.
+//!
+//! `--scale web` runs the paper pipeline on the small corpus, then
+//! streams a sharded synthetic web (`--web-domains N`, default 100000)
+//! through the CSR graph builder, ranks it with the block TrustRank
+//! kernel, and appends the "Scale" section — another pure suffix,
+//! byte-identical at any worker count; domains/sec and edges/sec per
+//! power iteration go to stderr.
 
-use pharmaverify_bench::{render_report_with, serving_study, ReproContext, Scale, Selection};
+use pharmaverify_bench::{
+    build_web_tier, rank_web_tier, render_report_with, scale_section, serving_study, ReproContext,
+    Scale, Selection,
+};
 use pharmaverify_core::pipeline::Executor;
 use std::time::Instant;
 
@@ -51,6 +62,7 @@ fn main() {
     let mut fault_rate = 0.0_f64;
     let mut serve_workload: Option<usize> = None;
     let mut serve_workers = 2usize;
+    let mut web_domains = 100_000usize;
     let mut trace_path = std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -58,7 +70,7 @@ fn main() {
             "--scale" => {
                 let value = require_value(&mut args, "--scale");
                 scale = Scale::parse(&value).unwrap_or_else(|| {
-                    eprintln!("unknown scale '{value}' (small|medium|paper)");
+                    eprintln!("unknown scale '{value}' (small|medium|paper|web)");
                     std::process::exit(2);
                 });
             }
@@ -136,13 +148,26 @@ fn main() {
                     }
                 }
             }
+            "--web-domains" => {
+                let value = require_value(&mut args, "--web-domains");
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        web_domains = n;
+                    }
+                    _ => {
+                        eprintln!("--web-domains expects a positive domain count, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--trace" => {
                 trace_path = Some(require_value(&mut args, "--trace"));
             }
             "--help" | "-h" => {
                 println!(
-                    "repro [--scale small|medium|paper] [--table N]... [--figure 3] [--jobs N] \
-                     [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W]"
+                    "repro [--scale small|medium|paper|web] [--table N]... [--figure 3] [--jobs N] \
+                     [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W] \
+                     [--web-domains N]"
                 );
                 return;
             }
@@ -195,6 +220,35 @@ fn main() {
             serve_workers,
             quantile(0.5),
             quantile(0.99),
+        );
+    }
+
+    if scale == Scale::Web {
+        // The final pure suffix: web-tier scale study. Wall clocks stay
+        // on stderr; the table holds only seed-determined facts.
+        let obs = pharmaverify_obs::global();
+        let build_started = Instant::now();
+        let build = build_web_tier(web_domains, obs);
+        let build_secs = build_started.elapsed().as_secs_f64();
+        let rank_started = Instant::now();
+        let scores = rank_web_tier(&build, &exec, obs);
+        let rank_secs = rank_started.elapsed().as_secs_f64();
+        println!("{}", scale_section(&build, &scores));
+        eprintln!(
+            "[repro] scale: generated {} domains in {build_secs:.1}s ({:.0} domains/sec, \
+             {} shards)",
+            build.config.domains,
+            build.config.domains as f64 / build_secs.max(f64::EPSILON),
+            build.shards,
+        );
+        eprintln!(
+            "[repro] scale: {} power iterations over {} edges in {rank_secs:.1}s \
+             ({:.0} edges/sec/iteration, {} workers)",
+            scores.config.iterations,
+            build.graph.edge_count(),
+            (build.graph.edge_count() * scores.config.iterations) as f64
+                / rank_secs.max(f64::EPSILON),
+            exec.jobs(),
         );
     }
 

@@ -19,6 +19,11 @@ pub enum Scale {
     Medium,
     /// The paper's Table 1 class counts (1459 / 1442 sites).
     Paper,
+    /// The production tier: the small paper-pipeline corpus **plus** the
+    /// sharded web-scale link graph (10⁵–10⁶ synthetic domains streamed
+    /// through the CSR builder). The table output is a pure prefix-match
+    /// of a `Small` run; the scale report rides as a suffix section.
+    Web,
 }
 
 /// `PHARMAVERIFY_SCALE` held a value [`Scale::parse`] rejects.
@@ -32,7 +37,7 @@ impl fmt::Display for ScaleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "unknown PHARMAVERIFY_SCALE value {:?}; accepted values: small, medium, paper",
+            "unknown PHARMAVERIFY_SCALE value {:?}; accepted values: small, medium, paper, web",
             self.value
         )
     }
@@ -41,12 +46,13 @@ impl fmt::Display for ScaleError {
 impl std::error::Error for ScaleError {}
 
 impl Scale {
-    /// Parses `small` / `medium` / `paper` (case-insensitive).
+    /// Parses `small` / `medium` / `paper` / `web` (case-insensitive).
     pub fn parse(s: &str) -> Option<Scale> {
         match s.to_ascii_lowercase().as_str() {
             "small" => Some(Scale::Small),
             "medium" => Some(Scale::Medium),
             "paper" => Some(Scale::Paper),
+            "web" => Some(Scale::Web),
             _ => None,
         }
     }
@@ -81,10 +87,13 @@ impl Scale {
         }
     }
 
-    /// The corpus configuration for this scale.
+    /// The corpus configuration for this scale. The web tier runs the
+    /// paper pipeline on the small corpus — its extra volume lives in the
+    /// sharded link graph, not in crawled page content — so a web-tier
+    /// report is a pure prefix-match of a small run.
     pub fn corpus_config(self) -> CorpusConfig {
         match self {
-            Scale::Small => CorpusConfig::small(),
+            Scale::Small | Scale::Web => CorpusConfig::small(),
             Scale::Medium => CorpusConfig::medium(),
             Scale::Paper => CorpusConfig::paper(),
         }

@@ -27,9 +27,11 @@
 pub mod context;
 pub mod figures;
 pub mod report;
+pub mod scale;
 pub mod serving;
 pub mod tables;
 
 pub use context::{ReproContext, Scale, ScaleError};
 pub use report::{render_report, render_report_with, ReproReport, Selection};
+pub use scale::{build_web_tier, rank_web_tier, scale_section, WebTierBuild, WebTierScores};
 pub use serving::serving_study;

@@ -520,11 +520,11 @@ pub fn outlier_analysis(ctx: &ReproContext) -> Table {
 /// (the design choice §4.2 motivates).
 pub fn ablation_pagerank(ctx: &ReproContext) -> Table {
     use pharmaverify_ml::{GaussianNaiveBayes, Model};
-    use pharmaverify_net::{pagerank, TrustRankConfig};
+    use pharmaverify_net::TrustRankConfig;
     let corpus = &ctx.corpus1;
     let pipe = ctx.pipe1();
     let artifacts = pipe.web_graph();
-    let pr = pagerank(&artifacts.graph, &TrustRankConfig::default());
+    let pr = artifacts.graph.pagerank(&TrustRankConfig::default());
     let scale = artifacts.graph.node_count() as f64;
     let split = pipe.fold_split(ctx.cv.k, ctx.cv.seed);
     let mut outcomes = Vec::new();

@@ -29,6 +29,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--trace",
     "--serve-workload",
     "--serve-workers",
+    "--web-domains",
 ];
 
 #[test]
@@ -137,6 +138,19 @@ fn bad_serve_worker_counts_are_rejected() {
 }
 
 #[test]
+fn bad_web_domain_counts_are_rejected() {
+    for value in ["0", "-100", "huge", "1e6"] {
+        let out = run(&["--web-domains", value]);
+        assert_eq!(out.status.code(), Some(2), "--web-domains {value}");
+        assert!(
+            stderr(&out).contains("--web-domains expects a positive domain count"),
+            "--web-domains {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
 fn unknown_arguments_are_rejected() {
     let out = run(&["--tables", "3"]);
     assert_eq!(out.status.code(), Some(2));
@@ -153,6 +167,7 @@ fn help_short_circuits_without_running() {
         assert!(text.contains("--fault-rate F"), "{help}: {text}");
         assert!(text.contains("--serve-workload N"), "{help}: {text}");
         assert!(text.contains("--serve-workers W"), "{help}: {text}");
+        assert!(text.contains("--web-domains N"), "{help}: {text}");
     }
 }
 

@@ -20,13 +20,13 @@
 //!   fifth of each training split.
 
 use crate::features::ExtractedCorpus;
-use crate::pipeline::{ArtifactStore, Pipeline};
+use crate::pipeline::{ArtifactStore, Executor, Pipeline};
 use pharmaverify_ml::{
     greedy_auc_selection, stratified_folds, CvOutcome, Dataset, DecisionTree, EvalSummary,
     FoldOutcome, GaussianNaiveBayes, Learner, LinearSvm, Mlp, Model, MultinomialNaiveBayes,
     Sampling,
 };
-use pharmaverify_net::{trust_rank, NodeId, TrustRankConfig, WebGraph};
+use pharmaverify_net::{CsrGraph, GraphBuilder, NodeId, TrustRankConfig};
 use pharmaverify_text::subsample::subsample_opt;
 use pharmaverify_text::{SparseVector, TfIdfModel};
 
@@ -316,31 +316,52 @@ pub fn evaluate_ngg_in(
 }
 
 /// The link graph of Algorithm 1 plus the node id of each pharmacy.
+///
+/// The graph is a frozen [`CsrGraph`]: construction goes through
+/// [`web_graph_builder`] (or [`build_web_graph`], which freezes for you),
+/// and ranking runs the CSR block kernels — bit-identical to the legacy
+/// adjacency implementation at any worker count.
 #[derive(Debug, Clone)]
 pub struct NetworkArtifacts {
-    /// The domain graph (pharmacies + external link targets).
-    pub graph: WebGraph,
+    /// The domain graph (pharmacies + external link targets), frozen.
+    pub graph: CsrGraph,
     /// `pharmacy_nodes[i]` is the node of `corpus.domains[i]`.
     pub pharmacy_nodes: Vec<NodeId>,
 }
 
-/// Builds the Algorithm 1 graph from a corpus's outbound endpoints.
-pub fn build_web_graph(corpus: &ExtractedCorpus) -> NetworkArtifacts {
-    let mut graph = WebGraph::new();
+/// The Algorithm 1 graph as a still-mutable [`GraphBuilder`], for callers
+/// that add more nodes (portals, spliced shards) before freezing.
+pub fn web_graph_builder(corpus: &ExtractedCorpus) -> (GraphBuilder, Vec<NodeId>) {
+    let mut builder = GraphBuilder::new();
     let pharmacy_nodes: Vec<NodeId> = corpus
         .domains
         .iter()
-        .map(|d| graph.add_pharmacy(d))
+        .map(|d| builder.add_pharmacy(d))
         .collect();
     for (i, outbound) in corpus.outbound.iter().enumerate() {
         for (target, &count) in outbound {
-            graph.add_link(pharmacy_nodes[i], target, count as f64);
+            builder.add_link(pharmacy_nodes[i], target, count as f64);
         }
     }
+    (builder, pharmacy_nodes)
+}
+
+/// Builds and freezes the Algorithm 1 graph from a corpus's outbound
+/// endpoints.
+pub fn build_web_graph(corpus: &ExtractedCorpus) -> NetworkArtifacts {
+    let (builder, pharmacy_nodes) = web_graph_builder(corpus);
     NetworkArtifacts {
-        graph,
+        graph: builder.freeze(),
         pharmacy_nodes,
     }
+}
+
+/// The block dispatcher the rank kernels run on: the configured executor
+/// width (`PHARMAVERIFY_JOBS`), falling back to serial when the variable
+/// is malformed — the scores are byte-identical either way, so a bad
+/// value degrades throughput, never correctness.
+pub(crate) fn rank_executor() -> Executor {
+    Executor::from_env().unwrap_or_else(|_| Executor::serial())
 }
 
 /// Per-pharmacy TrustRank scores with the given legitimate seed indices
@@ -355,7 +376,9 @@ pub fn pharmacy_trust_scores(
         .iter()
         .map(|&i| artifacts.pharmacy_nodes[i])
         .collect();
-    let trust = trust_rank(&artifacts.graph, &seeds, config);
+    let trust = artifacts
+        .graph
+        .trust_rank_with(&seeds, config, &rank_executor());
     let scale = artifacts.graph.node_count() as f64;
     artifacts
         .pharmacy_nodes

@@ -20,7 +20,8 @@
 //!   space and trains a single discriminative model on it.
 
 use crate::classify::{
-    build_web_graph, pharmacy_trust_scores, CvConfig, NetworkArtifacts, TextLearnerKind,
+    pharmacy_trust_scores, rank_executor, web_graph_builder, CvConfig, NetworkArtifacts,
+    TextLearnerKind,
 };
 use crate::features::ExtractedCorpus;
 use crate::pipeline::{ArtifactStore, Pipeline};
@@ -30,7 +31,7 @@ use pharmaverify_ml::{
     stratified_folds, CvOutcome, Dataset, EvalSummary, FoldOutcome, GaussianNaiveBayes,
     HybridNaiveBayes, Learner, Sampling,
 };
-use pharmaverify_net::{anti_trust_rank, trust_rank, NodeId, TrustRankConfig};
+use pharmaverify_net::{NodeId, TrustRankConfig};
 use pharmaverify_text::SparseVector;
 use std::collections::BTreeMap;
 
@@ -63,16 +64,19 @@ pub fn build_extended_web_graph(
     corpus: &ExtractedCorpus,
     portals: &[(String, BTreeMap<String, usize>)],
 ) -> NetworkArtifacts {
-    let mut artifacts = build_web_graph(corpus);
+    let (mut builder, pharmacy_nodes) = web_graph_builder(corpus);
     for (domain, outbound) in portals {
-        let node = artifacts.graph.add_external(domain);
+        let node = builder.add_external(domain);
         for (target, &count) in outbound {
             if target != domain {
-                artifacts.graph.add_link(node, target, count as f64);
+                builder.add_link(node, target, count as f64);
             }
         }
     }
-    artifacts
+    NetworkArtifacts {
+        graph: builder.freeze(),
+        pharmacy_nodes,
+    }
 }
 
 /// Per-pharmacy Anti-TrustRank distrust scores with the given
@@ -94,7 +98,9 @@ pub fn pharmacy_distrust_scores(
         .iter()
         .map(|&i| artifacts.pharmacy_nodes[i])
         .collect();
-    let distrust = anti_trust_rank(&artifacts.graph, &seeds, config);
+    let distrust = artifacts
+        .graph
+        .anti_trust_rank_with(&seeds, config, &rank_executor());
     let scale = artifacts.graph.node_count() as f64;
     let teleport = if seeds.is_empty() {
         0.0
@@ -131,7 +137,9 @@ pub fn pharmacy_propagated_trust_scores(
         .iter()
         .map(|&i| artifacts.pharmacy_nodes[i])
         .collect();
-    let trust = trust_rank(&artifacts.graph, &seeds, config);
+    let trust = artifacts
+        .graph
+        .trust_rank_with(&seeds, config, &rank_executor());
     let scale = artifacts.graph.node_count() as f64;
     let teleport = if seeds.is_empty() {
         0.0
@@ -319,6 +327,7 @@ pub fn evaluate_combined_in(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::classify::build_web_graph;
     use crate::features::extract_corpus;
     use pharmaverify_corpus::{CorpusConfig, SyntheticWeb};
 

@@ -43,8 +43,8 @@ pub mod verifier;
 
 pub use classify::{
     evaluate_ensemble, evaluate_ensemble_in, evaluate_network, evaluate_network_in, evaluate_ngg,
-    evaluate_ngg_in, evaluate_tfidf, evaluate_tfidf_in, CvConfig, EnsembleOutcome,
-    NetworkArtifacts, TextLearnerKind,
+    evaluate_ngg_in, evaluate_tfidf, evaluate_tfidf_in, web_graph_builder, CvConfig,
+    EnsembleOutcome, NetworkArtifacts, TextLearnerKind,
 };
 pub use features::{extract_corpus, ExtractedCorpus};
 pub use outliers::{ranking_outliers, OutlierReport};

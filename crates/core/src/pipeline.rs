@@ -731,6 +731,17 @@ impl Default for Executor {
     }
 }
 
+/// The CSR rank kernels in `net` fan their node blocks out through any
+/// [`pharmaverify_net::BlockDispatch`]; the executor's index-ordered
+/// merge is exactly that contract, so power iteration parallelizes over
+/// the same worker pool as the table harness — and stays byte-identical
+/// at any width, which the determinism audit checks end to end.
+impl pharmaverify_net::BlockDispatch for Executor {
+    fn dispatch(&self, blocks: usize, f: &(dyn Fn(usize) -> Vec<f64> + Sync)) -> Vec<Vec<f64>> {
+        self.run(blocks, f)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

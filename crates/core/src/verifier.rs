@@ -10,12 +10,18 @@
 //! crawls a previously-unseen site, splices it into the link graph,
 //! propagates trust, and returns both component scores and the combined
 //! legitimacy rank.
+//!
+//! The training graph is a frozen [`pharmaverify_net::CsrGraph`]; a
+//! verification never clones it. Each candidate site is layered on as a
+//! [`SpliceOverlay`] delta (the base arrays stay untouched), trust is
+//! propagated over base + delta, and the overlay is rolled back — so the
+//! per-site cost is the propagation itself, not a graph copy.
 
 use crate::classify::{build_web_graph, NetworkArtifacts, TextLearnerKind};
 use crate::features::ExtractedCorpus;
 use pharmaverify_crawl::{summarize_crawl, CrawlConfig, Crawler, Url, WebHost};
 use pharmaverify_ml::{Dataset, GaussianNaiveBayes, Learner, Model};
-use pharmaverify_net::{trust_rank, TrustRankConfig};
+use pharmaverify_net::{SpliceOverlay, TrustRankConfig};
 use pharmaverify_text::subsample::subsample_opt;
 use pharmaverify_text::{preprocess, SparseVector, TfIdfModel};
 use std::fmt;
@@ -207,22 +213,21 @@ impl TrainedVerifier {
     }
 
     /// Verifies one site: crawls it from `seed_url` on `host`, scores its
-    /// text, splices its outbound links into the training link graph, and
-    /// propagates trust.
+    /// text, layers its outbound links over the frozen training graph as
+    /// a [`SpliceOverlay`], and propagates trust.
     pub fn verify<H: WebHost>(&self, host: &H, seed_url: &str) -> Result<Verdict, VerifyError> {
         let crawl = self.crawl_site(host, seed_url)?;
-        let mut graph = self.artifacts.graph.clone();
-        Ok(self.score_crawl(&crawl, &mut graph))
+        let mut overlay = SpliceOverlay::new(&self.artifacts.graph);
+        Ok(self.score_crawl(&crawl, &mut overlay))
     }
 
-    /// Verifies a batch of sites against **one** clone of the training
-    /// graph, returning one result per seed URL in order.
+    /// Verifies a batch of sites against **one** overlay over the frozen
+    /// training graph, returning one result per seed URL in order.
     ///
-    /// Sequential [`TrainedVerifier::verify`] pays for a full graph clone
-    /// per site; here the clone happens at most once per batch and each
-    /// site is spliced in, propagated, and rolled back via
-    /// [`pharmaverify_net::WebGraph::unsplice`] before the next. Two
-    /// further savings fall out of the splice design:
+    /// No site ever clones the base graph: each is spliced into the
+    /// overlay's delta, propagated, and rolled back via
+    /// [`SpliceOverlay::unsplice`] before the next. Two further savings
+    /// fall out of the splice design:
     ///
     /// * a site whose domain is *not* a node of the training graph skips
     ///   trust propagation entirely — nothing in the training graph links
@@ -230,9 +235,10 @@ impl TrainedVerifier {
     ///   exactly `0.0` mass (teleport is seeds-only and dangling mass
     ///   returns to the seeds), and `verify` would compute a trust score
     ///   of exactly `0.0` for it;
-    /// * an all-fresh (or all-error) batch never clones the graph at all.
+    /// * the overlay's delta structures are reused across the batch, so
+    ///   per-site allocation is proportional to that site's links.
     ///
-    /// Because `unsplice` restores the graph bit-for-bit and sites are
+    /// Because `unsplice` clears the delta bit-for-bit and sites are
     /// crawled in argument order, the verdicts are **exactly** those of
     /// calling `verify` once per URL in the same order — including on
     /// faulty or otherwise stateful hosts.
@@ -244,7 +250,7 @@ impl TrainedVerifier {
         let obs = pharmaverify_obs::global();
         let _span = obs.span("core/verifier/batch");
         obs.add("core/verifier/batch_requests", seed_urls.len() as u64);
-        let mut shared_graph: Option<pharmaverify_net::WebGraph> = None;
+        let mut overlay = SpliceOverlay::new(&self.artifacts.graph);
         seed_urls
             .iter()
             .map(|seed_url| {
@@ -254,8 +260,7 @@ impl TrainedVerifier {
                     self.score_crawl_fresh(&crawl)
                 } else {
                     obs.add("core/verifier/batch_spliced", 1);
-                    let graph = shared_graph.get_or_insert_with(|| self.artifacts.graph.clone());
-                    self.score_crawl(&crawl, graph)
+                    self.score_crawl(&crawl, &mut overlay)
                 };
                 Ok(verdict)
             })
@@ -301,13 +306,13 @@ impl TrainedVerifier {
         (self.text_model.score(&x), self.text_model.predict(&x))
     }
 
-    /// Scores a crawled site against `graph` (a clone of the training
-    /// graph, possibly reused across a batch): splice the site in,
-    /// propagate trust, roll the splice back.
+    /// Scores a crawled site against an overlay over the frozen training
+    /// graph (possibly reused across a batch): splice the site into the
+    /// delta, propagate trust, roll the delta back.
     fn score_crawl(
         &self,
         crawl: &pharmaverify_crawl::CrawlResult,
-        graph: &mut pharmaverify_net::WebGraph,
+        overlay: &mut SpliceOverlay<'_>,
     ) -> Verdict {
         let (text_score, predicted) = self.text_component(crawl);
         let links: Vec<(String, f64)> = crawl
@@ -315,15 +320,15 @@ impl TrainedVerifier {
             .into_iter()
             .map(|(target, count)| (target, count as f64))
             .collect();
-        let splice = graph.splice_pharmacy(&crawl.domain, &links);
+        let node = overlay.splice_pharmacy(&crawl.domain, &links);
         let seeds: Vec<_> = self
             .seed_indices
             .iter()
             .map(|&i| self.artifacts.pharmacy_nodes[i])
             .collect();
-        let trust = trust_rank(graph, &seeds, &self.trust_config);
-        let trust_score = trust[splice.node() as usize] * self.trust_scale;
-        graph.unsplice(splice);
+        let trust = overlay.trust_rank(&seeds, &self.trust_config);
+        let trust_score = trust[node as usize] * self.trust_scale;
+        overlay.unsplice();
         self.finish_verdict(crawl, text_score, predicted, trust_score)
     }
 
@@ -358,8 +363,9 @@ impl TrainedVerifier {
         }
     }
 
-    /// The training population's link graph (pharmacies + link targets).
-    pub fn graph(&self) -> &pharmaverify_net::WebGraph {
+    /// The training population's link graph (pharmacies + link targets),
+    /// frozen.
+    pub fn graph(&self) -> &pharmaverify_net::CsrGraph {
         &self.artifacts.graph
     }
 }

@@ -27,11 +27,13 @@
 
 pub mod generator;
 pub mod persist;
+pub mod shard;
 pub mod site;
 pub mod snapshot;
 pub mod vocabulary;
 
 pub use generator::{CorpusConfig, SyntheticWeb};
 pub use persist::{load_snapshot, save_snapshot, PersistError};
+pub use shard::{DomainRecord, ShardedWebGenerator, WebScaleConfig};
 pub use site::{PharmacySite, SiteClass, SiteProfile};
 pub use snapshot::{Snapshot, SnapshotStats};

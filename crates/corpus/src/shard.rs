@@ -1,0 +1,262 @@
+//! Sharded streaming generation of a web-scale synthetic link graph.
+//!
+//! The paper's corpus (~3k sites) fits comfortably in memory, but the
+//! ROADMAP's production tier needs 10⁵–10⁶ domains — far too many to
+//! materialize as full [`crate::PharmacySite`]s with page content. This
+//! module generates only what the link-analysis stage consumes: a stream
+//! of [`DomainRecord`]s (domain name, pharmacy flag, weighted outbound
+//! links), produced shard by shard so peak memory is one shard, never the
+//! whole web.
+//!
+//! Determinism contract: every record is a pure function of
+//! `(config.seed, domain index)` — the RNG is re-seeded per domain, not
+//! carried across the stream — so the concatenated output is identical
+//! for **any** shard size. Consumers may therefore pick a shard size for
+//! memory reasons alone; the frozen graph (and every rank score computed
+//! from it) comes out bit-identical.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Shape of the synthetic web-scale graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WebScaleConfig {
+    /// Total number of domains to generate.
+    pub domains: usize,
+    /// Domains per shard (memory high-water mark of the stream).
+    pub shard_size: usize,
+    /// The first `trusted_seeds` domains are known-legitimate pharmacies
+    /// — the TrustRank seed set of the web tier.
+    pub trusted_seeds: usize,
+    /// Base seed; every domain derives its own RNG from this.
+    pub seed: u64,
+}
+
+impl WebScaleConfig {
+    /// A web-tier config over `domains` domains.
+    pub fn new(domains: usize, seed: u64) -> WebScaleConfig {
+        WebScaleConfig {
+            domains,
+            shard_size: 8192,
+            trusted_seeds: (domains / 200).clamp(1, 500),
+            seed,
+        }
+    }
+}
+
+/// One domain of the web-scale graph: exactly the fields the CSR builder
+/// consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainRecord {
+    /// Second-level domain name, unique per index.
+    pub domain: String,
+    /// True for pharmacy domains (trusted seeds and the pharmacy stride).
+    pub is_pharmacy: bool,
+    /// Weighted outbound links (target domain, link count). Weights are
+    /// integer-valued counts, like every link weight in the system.
+    pub links: Vec<(String, f64)>,
+}
+
+/// Every `PHARMACY_STRIDE`-th domain is a pharmacy (besides the trusted
+/// seed prefix), giving the web tier a sprinkling of candidate sites to
+/// rank among the ordinary web.
+const PHARMACY_STRIDE: usize = 41;
+
+/// Out-degree range per domain.
+const MIN_DEGREE: usize = 3;
+const MAX_DEGREE: usize = 9;
+
+/// Fraction of links aimed at the hub prefix (the low-index head of the
+/// power-law target distribution).
+const HUB_BIAS: f64 = 0.35;
+
+/// Top-level domains cycled through by [`domain_name`].
+const TLDS: &[&str] = &["com", "net", "org", "info", "biz"];
+
+/// The stable name of domain `i`.
+pub fn domain_name(i: usize) -> String {
+    format!("site{i}.{}", TLDS[i % TLDS.len()])
+}
+
+/// Derives the per-domain RNG seed: a splitmix-style scramble of the
+/// index keeps neighbouring domains decorrelated while staying a pure
+/// function of `(seed, i)`.
+fn domain_seed(seed: u64, i: usize) -> u64 {
+    let mut z = seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates domain `i` of the configured web. Pure in `(config, i)`.
+pub fn domain_record(config: &WebScaleConfig, i: usize) -> DomainRecord {
+    let mut rng = SmallRng::seed_from_u64(domain_seed(config.seed, i));
+    let hubs = (config.domains / 50).max(16).min(config.domains);
+    let degree = rng.gen_range(MIN_DEGREE..=MAX_DEGREE);
+    let mut links: Vec<(String, f64)> = Vec::with_capacity(degree);
+    for _ in 0..degree {
+        let target = if rng.gen_range(0.0..1.0) < HUB_BIAS {
+            // Head of the distribution: the hub prefix.
+            rng.gen_range(0..hubs)
+        } else {
+            // Tail: quadratic skew toward low indices so in-degree
+            // follows a power-law-like decay without a lookup table.
+            let u = rng.gen_range(0.0..1.0);
+            ((config.domains as f64) * u * u) as usize % config.domains.max(1)
+        };
+        if target == i {
+            continue; // the graph builder would keep a self-link; skip it
+        }
+        links.push((domain_name(target), rng.gen_range(1..=3) as f64));
+    }
+    DomainRecord {
+        domain: domain_name(i),
+        is_pharmacy: i < config.trusted_seeds || i % PHARMACY_STRIDE == 0,
+        links,
+    }
+}
+
+/// Streaming generator: yields shards of [`DomainRecord`]s until the
+/// configured domain count is exhausted. Never holds more than one shard.
+#[derive(Debug, Clone)]
+pub struct ShardedWebGenerator {
+    config: WebScaleConfig,
+    next_index: usize,
+}
+
+impl ShardedWebGenerator {
+    /// A generator positioned at the first shard.
+    pub fn new(config: WebScaleConfig) -> ShardedWebGenerator {
+        assert!(config.domains > 0, "need at least one domain");
+        assert!(config.shard_size > 0, "shard size must be positive");
+        ShardedWebGenerator {
+            config,
+            next_index: 0,
+        }
+    }
+
+    /// The generator's configuration.
+    pub fn config(&self) -> &WebScaleConfig {
+        &self.config
+    }
+
+    /// Domains generated so far.
+    pub fn generated(&self) -> usize {
+        self.next_index
+    }
+
+    /// The TrustRank seed set of the web tier: the trusted-prefix domain
+    /// names (their node ids depend on the consumer's interning order).
+    pub fn trusted_domains(&self) -> Vec<String> {
+        (0..self.config.trusted_seeds.min(self.config.domains))
+            .map(domain_name)
+            .collect()
+    }
+}
+
+impl Iterator for ShardedWebGenerator {
+    type Item = Vec<DomainRecord>;
+
+    fn next(&mut self) -> Option<Vec<DomainRecord>> {
+        if self.next_index >= self.config.domains {
+            return None;
+        }
+        let _span = pharmaverify_obs::global().span("corpus/shard/generate");
+        let end = self
+            .config
+            .domains
+            .min(self.next_index + self.config.shard_size);
+        let shard: Vec<DomainRecord> = (self.next_index..end)
+            .map(|i| domain_record(&self.config, i))
+            .collect();
+        self.next_index = end;
+        Some(shard)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(domains: usize, shard_size: usize) -> WebScaleConfig {
+        WebScaleConfig {
+            domains,
+            shard_size,
+            trusted_seeds: 5,
+            seed: 99,
+        }
+    }
+
+    #[test]
+    fn output_is_independent_of_shard_size() {
+        let a: Vec<DomainRecord> = ShardedWebGenerator::new(config(500, 7)).flatten().collect();
+        let b: Vec<DomainRecord> = ShardedWebGenerator::new(config(500, 128))
+            .flatten()
+            .collect();
+        let c: Vec<DomainRecord> = ShardedWebGenerator::new(config(500, 500))
+            .flatten()
+            .collect();
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(a.len(), 500);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a: Vec<DomainRecord> = ShardedWebGenerator::new(config(200, 64))
+            .flatten()
+            .collect();
+        let b: Vec<DomainRecord> = ShardedWebGenerator::new(config(200, 64))
+            .flatten()
+            .collect();
+        assert_eq!(a, b);
+        let mut other = config(200, 64);
+        other.seed = 100;
+        let c: Vec<DomainRecord> = ShardedWebGenerator::new(other).flatten().collect();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn shard_sizes_and_domain_names_are_stable() {
+        let shards: Vec<Vec<DomainRecord>> = ShardedWebGenerator::new(config(250, 100)).collect();
+        assert_eq!(
+            shards.iter().map(Vec::len).collect::<Vec<_>>(),
+            vec![100, 100, 50]
+        );
+        assert_eq!(shards[0][0].domain, domain_name(0));
+        assert_eq!(shards[2][49].domain, domain_name(249));
+        // Names are unique across the stream.
+        let mut names: Vec<&str> = shards.iter().flatten().map(|r| r.domain.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 250);
+    }
+
+    #[test]
+    fn trusted_prefix_is_pharmacies_and_weights_are_counts() {
+        let cfg = config(300, 300);
+        let records: Vec<DomainRecord> = ShardedWebGenerator::new(cfg).flatten().collect();
+        for (i, r) in records.iter().enumerate().take(5) {
+            assert!(r.is_pharmacy, "trusted seed {i} must be a pharmacy");
+        }
+        for r in &records {
+            for (target, w) in &r.links {
+                assert_ne!(target, &r.domain, "self-links are skipped");
+                assert!(
+                    (1.0..=3.0).contains(w) && w.fract() == 0.0,
+                    "weights are integer link counts, got {w}"
+                );
+            }
+        }
+        let gen = ShardedWebGenerator::new(cfg);
+        assert_eq!(gen.trusted_domains().len(), 5);
+        assert_eq!(gen.trusted_domains()[0], domain_name(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one domain")]
+    fn empty_config_panics() {
+        ShardedWebGenerator::new(config(0, 10));
+    }
+}

@@ -7,20 +7,32 @@
 //! and non-pharmacy external domains — the first three are *pharmacy*
 //! nodes here, distinguishable via [`WebGraph::is_pharmacy`].
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use std::collections::HashMap;
 
 /// Dense node identifier.
 pub type NodeId = u32;
 
 /// A directed, weighted domain graph.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand (not derived): the name→id
+/// `index` and per-row `edge_pos` maps are redundant with the
+/// serialized arrays, so deserialization rebuilds them instead of
+/// shipping them — and, unlike the old `#[serde(skip)]` derive, a
+/// deserialized graph resolves [`WebGraph::node`] lookups immediately.
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct WebGraph {
     names: Vec<String>,
     #[serde(skip)]
     index: HashMap<String, NodeId>,
     out_edges: Vec<Vec<(NodeId, f64)>>,
     is_pharmacy: Vec<bool>,
+    /// Per-row target → position map, so [`WebGraph::add_link`] merges
+    /// duplicates in O(1) instead of scanning the row — high-degree hub
+    /// nodes made construction quadratic. Never iterated (order is
+    /// carried by `out_edges`), rebuilt on deserialize.
+    #[serde(skip)]
+    edge_pos: Vec<HashMap<NodeId, usize>>,
 }
 
 impl WebGraph {
@@ -41,6 +53,7 @@ impl WebGraph {
         self.index.insert(domain.to_string(), id);
         self.out_edges.push(Vec::new());
         self.is_pharmacy.push(pharmacy);
+        self.edge_pos.push(HashMap::new());
         id
     }
 
@@ -68,9 +81,12 @@ impl WebGraph {
         assert!(weight > 0.0, "link weight must be positive");
         let to = self.intern(to_domain, false);
         let edges = &mut self.out_edges[from as usize];
-        match edges.iter_mut().find(|(t, _)| *t == to) {
-            Some((_, w)) => *w += weight,
-            None => edges.push((to, weight)),
+        match self.edge_pos[from as usize].get(&to) {
+            Some(&p) => edges[p].1 += weight,
+            None => {
+                self.edge_pos[from as usize].insert(to, edges.len());
+                edges.push((to, weight));
+            }
         }
     }
 
@@ -117,7 +133,10 @@ impl WebGraph {
         0..self.names.len() as NodeId
     }
 
-    /// Rebuilds the name→id index after deserialization.
+    /// Rebuilds the name→id index and the per-row edge-position maps
+    /// from the serialized arrays. Deserialization calls this
+    /// automatically; it is public for callers that assemble a graph
+    /// from raw parts.
     pub fn rebuild_index(&mut self) {
         self.index = self
             .names
@@ -125,6 +144,16 @@ impl WebGraph {
             .enumerate()
             .map(|(i, n)| (n.clone(), i as NodeId))
             .collect();
+        self.edge_pos = self
+            .out_edges
+            .iter()
+            .map(|row| Self::row_positions(row))
+            .collect();
+    }
+
+    /// The target → position map of one edge row.
+    fn row_positions(row: &[(NodeId, f64)]) -> HashMap<NodeId, usize> {
+        row.iter().enumerate().map(|(p, &(t, _))| (t, p)).collect()
     }
 
     /// Temporarily splices a pharmacy node for `domain` with the given
@@ -183,10 +212,34 @@ impl WebGraph {
         }
         self.out_edges.truncate(splice.base_nodes);
         self.is_pharmacy.truncate(splice.base_nodes);
+        self.edge_pos.truncate(splice.base_nodes);
         if let Some((id, edges, was_pharmacy)) = splice.prior {
+            self.edge_pos[id as usize] = Self::row_positions(&edges);
             self.out_edges[id as usize] = edges;
             self.is_pharmacy[id as usize] = was_pharmacy;
         }
+    }
+}
+
+/// Hand-written so a deserialized graph is immediately usable: the
+/// derived impl honored `#[serde(skip)]` by leaving `index` (and
+/// `edge_pos`) empty, silently breaking every [`WebGraph::node`] lookup
+/// until [`WebGraph::rebuild_index`] was called by hand.
+impl serde::Deserialize for WebGraph {
+    fn deserialize_json(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::json::Error::missing_field(name))
+        };
+        let mut graph = WebGraph {
+            names: serde::Deserialize::deserialize_json(field("names")?)?,
+            index: HashMap::new(),
+            out_edges: serde::Deserialize::deserialize_json(field("out_edges")?)?,
+            is_pharmacy: serde::Deserialize::deserialize_json(field("is_pharmacy")?)?,
+            edge_pos: Vec::new(),
+        };
+        graph.rebuild_index();
+        Ok(graph)
     }
 }
 
@@ -377,14 +430,51 @@ mod tests {
     }
 
     #[test]
-    fn rebuild_index_restores_lookup() {
+    fn deserialized_graph_is_immediately_usable() {
         let mut g = WebGraph::new();
         let p = g.add_pharmacy("p.com");
         g.add_link(p, "x.com", 1.0);
+        g.add_link(p, "y.com", 2.0);
         let json = serde_json::to_string(&g).unwrap();
         let mut back: WebGraph = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.node("p.com"), None); // index skipped by serde
-        back.rebuild_index();
+        // The name→id index is rebuilt by deserialization itself — no
+        // rebuild_index() call needed before lookups work.
         assert_eq!(back.node("p.com"), Some(p));
+        let x = back.node("x.com").expect("targets indexed too");
+        assert!(!back.is_pharmacy(x));
+        // And the edge-position maps are live: merging still works.
+        back.add_link(p, "x.com", 4.0);
+        assert_eq!(back.out_edges(p).len(), 2);
+        assert_eq!(back.out_weight(p), 7.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_structure() {
+        let mut g = training_graph();
+        let s = g.splice_pharmacy("z.com", &[("a.com".to_string(), 1.0)]);
+        g.unsplice(s);
+        let before = graph_state(&g);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: WebGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(graph_state(&back), before);
+    }
+
+    #[test]
+    fn duplicate_merge_on_high_degree_row_stays_in_insertion_order() {
+        // The O(1) edge-position map must preserve the legacy row
+        // semantics: first-appearance order, incremental weight merge.
+        let mut g = WebGraph::new();
+        let hub = g.add_pharmacy("hub.com");
+        for i in 0..50 {
+            g.add_link(hub, &format!("t{i}.com"), 1.0);
+        }
+        g.add_link(hub, "t7.com", 2.0);
+        g.add_link(hub, "t0.com", 1.0);
+        assert_eq!(g.out_edges(hub).len(), 50);
+        assert_eq!(g.out_edges(hub)[7].1, 3.0);
+        assert_eq!(g.out_edges(hub)[0].1, 2.0);
+        let order: Vec<&str> = g.out_edges(hub).iter().map(|&(t, _)| g.name(t)).collect();
+        assert_eq!(order[0], "t0.com");
+        assert_eq!(order[49], "t49.com");
     }
 }

@@ -6,16 +6,28 @@
 //!   biased PageRank seeded with the known-legitimate pharmacies;
 //! * [`mod@pagerank`] — unbiased PageRank, kept for ablations (TrustRank with
 //!   a uniform teleport is exactly PageRank);
-//! * [`linked`] — the most-linked-to analysis behind Table 11.
+//! * [`linked`] — the most-linked-to analysis behind Table 11;
+//! * [`csr`] — the frozen compact-sparse-row representation the production
+//!   pipeline ranks on: [`GraphBuilder`] interning API → [`CsrGraph`] with
+//!   contiguous edge arrays, a string-free transpose, and block-based power
+//!   iteration dispatched through any [`BlockDispatch`] (worker-count
+//!   independent by index-ordered merge);
+//! * [`overlay`] — [`SpliceOverlay`], the delta side structure that lets
+//!   verification splice a candidate pharmacy over a frozen [`CsrGraph`]
+//!   without cloning or mutating the base arrays.
 
 pub mod anti_trustrank;
+pub mod csr;
 pub mod graph;
 pub mod linked;
+pub mod overlay;
 pub mod pagerank;
 pub mod trustrank;
 
 pub use anti_trustrank::{anti_trust_rank, transpose};
+pub use csr::{BlockDispatch, CsrGraph, GraphBuilder, SerialDispatch};
 pub use graph::{NodeId, Splice, WebGraph};
 pub use linked::{top_linked, LinkedSite};
+pub use overlay::SpliceOverlay;
 pub use pagerank::pagerank;
 pub use trustrank::{trust_rank, trustrank_demo, TrustRankConfig};

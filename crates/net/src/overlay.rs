@@ -1,0 +1,476 @@
+//! Delta overlay over a frozen [`CsrGraph`]: splice without cloning.
+//!
+//! Batch verification needs to add a candidate pharmacy (and its unseen
+//! link targets) to the training graph, propagate trust, and roll the
+//! graph back — thousands of times per workload. The adjacency path
+//! solved this with [`crate::WebGraph::splice_pharmacy`] on a per-batch
+//! *clone* of the whole graph; a frozen CSR graph cannot be mutated at
+//! all, so [`SpliceOverlay`] layers the delta in a small side structure
+//! instead: the base arrays are never touched, never copied, and may be
+//! shared by any number of concurrent overlays.
+//!
+//! The overlay replicates the splice semantics of the adjacency path
+//! exactly — same node ids (appended nodes get ids from the base node
+//! count upward in first-appearance order), same incremental
+//! duplicate-link merging, same self-link skip — and its serial push
+//! kernel visits nodes in the same order as [`crate::trust_rank`], so
+//! the trust vector is bit-identical to cloning the adjacency graph and
+//! splicing into it (proptested in `tests/proptest_net.rs`; integer
+//! link weights, see the `csr` module docs for the normalizer caveat).
+
+use crate::csr::CsrGraph;
+use crate::graph::NodeId;
+use crate::trustrank::TrustRankConfig;
+use std::collections::HashMap;
+
+/// The spliced node's replacement forward row, when the domain already
+/// existed in the base graph: the base row materialized (in CSR order)
+/// with the splice's links merged in.
+#[derive(Debug)]
+struct ReplacedRow {
+    node: NodeId,
+    edges: Vec<(NodeId, f64)>,
+    /// Target → position in `edges`, for O(1) duplicate merging.
+    pos: HashMap<NodeId, usize>,
+}
+
+/// A temporary splice of one pharmacy over a shared `&CsrGraph`.
+///
+/// At most one splice is active at a time (the batch-verification access
+/// pattern); [`SpliceOverlay::unsplice`] discards the delta, restoring
+/// the view to exactly the frozen base.
+#[derive(Debug)]
+pub struct SpliceOverlay<'g> {
+    base: &'g CsrGraph,
+    /// Nodes appended past the base, in intern order: id of
+    /// `added_names[i]` is `base.node_count() + i`.
+    added_names: Vec<String>,
+    added_index: HashMap<String, NodeId>,
+    added_pharmacy: Vec<bool>,
+    added_rows: Vec<Vec<(NodeId, f64)>>,
+    replaced: Option<ReplacedRow>,
+    spliced: Option<NodeId>,
+}
+
+impl<'g> SpliceOverlay<'g> {
+    /// An empty overlay: a view identical to `base`.
+    pub fn new(base: &'g CsrGraph) -> Self {
+        SpliceOverlay {
+            base,
+            added_names: Vec::new(),
+            added_index: HashMap::new(),
+            added_pharmacy: Vec::new(),
+            added_rows: Vec::new(),
+            replaced: None,
+            spliced: None,
+        }
+    }
+
+    /// The frozen base graph this overlay wraps.
+    pub fn base(&self) -> &'g CsrGraph {
+        self.base
+    }
+
+    /// Total nodes in the overlaid view (base + appended).
+    pub fn node_count(&self) -> usize {
+        self.base.node_count() + self.added_names.len()
+    }
+
+    /// The id of `domain` in the overlaid view, if present.
+    pub fn node(&self, domain: &str) -> Option<NodeId> {
+        self.base
+            .node(domain)
+            .or_else(|| self.added_index.get(domain).copied())
+    }
+
+    /// The domain name of node `id` in the overlaid view.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn name(&self, id: NodeId) -> &str {
+        let base_n = self.base.node_count();
+        if (id as usize) < base_n {
+            self.base.name(id)
+        } else {
+            &self.added_names[id as usize - base_n]
+        }
+    }
+
+    /// True when node `id` is a pharmacy in the overlaid view (the
+    /// spliced node reads as a pharmacy even if the base node was not).
+    pub fn is_pharmacy(&self, id: NodeId) -> bool {
+        if self.spliced == Some(id) {
+            return true;
+        }
+        let base_n = self.base.node_count();
+        if (id as usize) < base_n {
+            self.base.is_pharmacy(id)
+        } else {
+            self.added_pharmacy[id as usize - base_n]
+        }
+    }
+
+    /// True when a splice is currently active.
+    pub fn is_spliced(&self) -> bool {
+        self.spliced.is_some()
+    }
+
+    fn intern_added(&mut self, domain: &str, pharmacy: bool) -> NodeId {
+        if let Some(&id) = self.added_index.get(domain) {
+            if pharmacy {
+                self.added_pharmacy[id as usize - self.base.node_count()] = true;
+            }
+            return id;
+        }
+        let id = (self.base.node_count() + self.added_names.len()) as NodeId;
+        self.added_names.push(domain.to_string());
+        self.added_index.insert(domain.to_string(), id);
+        self.added_pharmacy.push(pharmacy);
+        self.added_rows.push(Vec::new());
+        id
+    }
+
+    /// Splices a pharmacy node for `domain` with the given outbound
+    /// `links` over the base graph, returning its node id. Semantics
+    /// mirror [`crate::WebGraph::splice_pharmacy`]: a preexisting domain
+    /// keeps its id and gains the links on top of its base row; unseen
+    /// targets are appended in first-appearance order; self-links are
+    /// skipped; duplicate links merge incrementally.
+    ///
+    /// # Panics
+    /// Panics if a splice is already active or a link weight is not
+    /// positive.
+    pub fn splice_pharmacy(&mut self, domain: &str, links: &[(String, f64)]) -> NodeId {
+        assert!(
+            self.spliced.is_none(),
+            "overlay already holds an active splice"
+        );
+        let node = match self.base.node(domain) {
+            Some(id) => {
+                let edges: Vec<(NodeId, f64)> = self.base.out_edges(id).collect();
+                let pos = edges
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(t, _))| (t, i))
+                    .collect();
+                self.replaced = Some(ReplacedRow {
+                    node: id,
+                    edges,
+                    pos,
+                });
+                id
+            }
+            None => self.intern_added(domain, true),
+        };
+        self.spliced = Some(node);
+        for (target, weight) in links {
+            assert!(*weight > 0.0, "link weight must be positive");
+            if target != domain {
+                let to = match self.node(target) {
+                    Some(id) => id,
+                    None => self.intern_added(target, false),
+                };
+                self.merge_link(node, to, *weight);
+            }
+        }
+        node
+    }
+
+    /// Merges a link out of the spliced node, matching the incremental
+    /// `*w += weight` of the adjacency path.
+    fn merge_link(&mut self, from: NodeId, to: NodeId, weight: f64) {
+        let base_n = self.base.node_count();
+        let (edges, pos) = match &mut self.replaced {
+            Some(row) if row.node == from => (&mut row.edges, &mut row.pos),
+            _ => {
+                let i = from as usize - base_n;
+                // Appended rows are small; an index map would cost more
+                // than it saves, but the access pattern is identical:
+                // merge-or-append in first-appearance order.
+                let row = &mut self.added_rows[i];
+                if let Some(entry) = row.iter_mut().find(|(t, _)| *t == to) {
+                    entry.1 += weight;
+                } else {
+                    row.push((to, weight));
+                }
+                return;
+            }
+        };
+        match pos.get(&to) {
+            Some(&p) => edges[p].1 += weight,
+            None => {
+                pos.insert(to, edges.len());
+                edges.push((to, weight));
+            }
+        }
+    }
+
+    /// Discards the active splice, restoring the view to exactly the
+    /// frozen base. A no-op when nothing is spliced.
+    pub fn unsplice(&mut self) {
+        self.added_names.clear();
+        self.added_index.clear();
+        self.added_pharmacy.clear();
+        self.added_rows.clear();
+        self.replaced = None;
+        self.spliced = None;
+    }
+
+    /// Total outgoing weight of node `id` in the overlaid view.
+    fn out_weight(&self, id: NodeId) -> f64 {
+        if let Some(row) = &self.replaced {
+            if row.node == id {
+                return row.edges.iter().map(|&(_, w)| w).sum();
+            }
+        }
+        let base_n = self.base.node_count();
+        if (id as usize) < base_n {
+            self.base.out_weight(id)
+        } else {
+            self.added_rows[id as usize - base_n]
+                .iter()
+                .map(|&(_, w)| w)
+                .sum()
+        }
+    }
+
+    /// Visits the outgoing edges of node `id` in the overlaid view.
+    fn for_each_out(&self, id: NodeId, mut f: impl FnMut(NodeId, f64)) {
+        if let Some(row) = &self.replaced {
+            if row.node == id {
+                for &(v, w) in &row.edges {
+                    f(v, w);
+                }
+                return;
+            }
+        }
+        let base_n = self.base.node_count();
+        if (id as usize) < base_n {
+            for (v, w) in self.base.out_edges(id) {
+                f(v, w);
+            }
+        } else {
+            for &(v, w) in &self.added_rows[id as usize - base_n] {
+                f(v, w);
+            }
+        }
+    }
+
+    /// TrustRank over the overlaid view: the push iteration of
+    /// [`crate::trust_rank`], node for node, so the result is
+    /// bit-identical to cloning the adjacency graph and splicing into
+    /// it. Serial — the overlay serves one splice at a time, and the
+    /// spliced graphs stay at training size.
+    ///
+    /// # Panics
+    /// Panics if a seed id is out of range, `alpha` is outside `(0, 1)`,
+    /// or `iterations` is 0.
+    pub fn trust_rank(&self, seeds: &[NodeId], config: &TrustRankConfig) -> Vec<f64> {
+        let _span = pharmaverify_obs::global().span("net/overlay/trustrank");
+        assert!(
+            config.alpha > 0.0 && config.alpha < 1.0,
+            "alpha must be in (0, 1)"
+        );
+        assert!(config.iterations > 0, "need at least one iteration");
+        let n = self.node_count();
+        if n == 0 || seeds.is_empty() {
+            return vec![0.0; n];
+        }
+        for &s in seeds {
+            assert!((s as usize) < n, "seed {s} out of range");
+        }
+        let mut d = vec![0.0; n];
+        let share = 1.0 / seeds.len() as f64;
+        for &s in seeds {
+            d[s as usize] += share;
+        }
+        let mut t = d.clone();
+        let mut next = vec![0.0; n];
+        for _ in 0..config.iterations {
+            next.iter_mut().for_each(|v| *v = 0.0);
+            let mut dangling = 0.0;
+            for u in 0..n {
+                let mass = t[u];
+                if mass == 0.0 {
+                    continue;
+                }
+                let out = self.out_weight(u as NodeId);
+                if out == 0.0 {
+                    dangling += mass;
+                    continue;
+                }
+                self.for_each_out(u as NodeId, |v, w| next[v as usize] += mass * w / out);
+            }
+            for ((ti, &ni), &di) in t.iter_mut().zip(&next).zip(&d) {
+                *ti = config.alpha * (ni + dangling * di) + (1.0 - config.alpha) * di;
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{trust_rank, GraphBuilder, WebGraph};
+
+    /// The splice test fixture of `graph.rs`, in both representations.
+    fn training_pair() -> (WebGraph, CsrGraph) {
+        let mut legacy = WebGraph::new();
+        let mut builder = GraphBuilder::new();
+        for g in [&mut legacy as &mut dyn Interner, &mut builder] {
+            let a = g.pharmacy("a.com");
+            let b = g.pharmacy("b.com");
+            g.link(a, "b.com", 2.0);
+            g.link(a, "ext.org", 1.0);
+            g.link(b, "ext.org", 3.0);
+        }
+        (legacy, builder.freeze())
+    }
+
+    /// Uniform construction over both graph APIs, so fixtures stay in
+    /// lockstep.
+    trait Interner {
+        fn pharmacy(&mut self, d: &str) -> NodeId;
+        fn link(&mut self, from: NodeId, to: &str, w: f64);
+    }
+    impl Interner for WebGraph {
+        fn pharmacy(&mut self, d: &str) -> NodeId {
+            self.add_pharmacy(d)
+        }
+        fn link(&mut self, from: NodeId, to: &str, w: f64) {
+            self.add_link(from, to, w);
+        }
+    }
+    impl Interner for GraphBuilder {
+        fn pharmacy(&mut self, d: &str) -> NodeId {
+            self.add_pharmacy(d)
+        }
+        fn link(&mut self, from: NodeId, to: &str, w: f64) {
+            self.add_link(from, to, w);
+        }
+    }
+
+    fn bits(v: &[f64]) -> Vec<u64> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn fresh_splice_appends_and_unsplice_restores() {
+        let (_, csr) = training_pair();
+        let mut ov = SpliceOverlay::new(&csr);
+        let before_nodes = ov.node_count();
+        let node = ov.splice_pharmacy(
+            "new-pharm.com",
+            &[("ext.org".to_string(), 1.0), ("other.net".to_string(), 2.0)],
+        );
+        assert!(ov.is_spliced());
+        assert!(ov.is_pharmacy(node));
+        assert_eq!(
+            ov.node_count(),
+            before_nodes + 2,
+            "site + one unseen target"
+        );
+        assert_eq!(ov.out_weight(node), 3.0);
+        assert_eq!(ov.node("other.net"), Some(node + 1));
+        ov.unsplice();
+        assert_eq!(ov.node_count(), before_nodes);
+        assert_eq!(ov.node("new-pharm.com"), None);
+        assert_eq!(ov.node("other.net"), None);
+        assert!(!ov.is_spliced());
+    }
+
+    #[test]
+    fn preexisting_splice_layers_over_base_row() {
+        let (_, csr) = training_pair();
+        let mut ov = SpliceOverlay::new(&csr);
+        let ext = csr.node("ext.org").unwrap();
+        assert!(!csr.is_pharmacy(ext));
+        let node = ov.splice_pharmacy(
+            "ext.org",
+            &[("a.com".to_string(), 1.0), ("fresh.net".to_string(), 1.0)],
+        );
+        assert_eq!(node, ext, "preexisting domain keeps its base id");
+        assert!(ov.is_pharmacy(node));
+        assert_eq!(ov.out_weight(node), 2.0);
+        ov.unsplice();
+        assert!(!ov.is_pharmacy(ext), "flag override discarded");
+        assert_eq!(ov.out_weight(ext), 0.0, "base row untouched");
+    }
+
+    #[test]
+    fn splice_skips_self_links_and_merges_duplicates() {
+        let (_, csr) = training_pair();
+        let mut ov = SpliceOverlay::new(&csr);
+        let node = ov.splice_pharmacy(
+            "p.com",
+            &[
+                ("p.com".to_string(), 5.0),
+                ("x.com".to_string(), 1.0),
+                ("x.com".to_string(), 2.0),
+            ],
+        );
+        assert_eq!(ov.out_weight(node), 3.0, "self skipped, duplicates merged");
+        ov.unsplice();
+    }
+
+    #[test]
+    #[should_panic(expected = "active splice")]
+    fn double_splice_panics() {
+        let (_, csr) = training_pair();
+        let mut ov = SpliceOverlay::new(&csr);
+        ov.splice_pharmacy("one.com", &[]);
+        ov.splice_pharmacy("two.com", &[]);
+    }
+
+    /// The equivalence that lets the verifier drop its graph clones:
+    /// overlay propagation == clone + splice + adjacency propagation.
+    #[test]
+    fn overlay_trust_matches_clone_and_splice() {
+        let (legacy, csr) = training_pair();
+        let cfg = TrustRankConfig::default();
+        let seeds = [0, 1];
+        for (domain, links) in [
+            (
+                "cand.com",
+                vec![("ext.org".to_string(), 2.0), ("new.net".to_string(), 1.0)],
+            ),
+            (
+                "ext.org",
+                vec![("a.com".to_string(), 1.0), ("b.com".to_string(), 3.0)],
+            ),
+            (
+                "b.com",
+                vec![("ext.org".to_string(), 1.0), ("b.com".to_string(), 9.0)],
+            ),
+        ] {
+            let mut cloned = legacy.clone();
+            let splice = cloned.splice_pharmacy(domain, &links);
+            let want = trust_rank(&cloned, &seeds, &cfg);
+            cloned.unsplice(splice);
+
+            let mut ov = SpliceOverlay::new(&csr);
+            let node = ov.splice_pharmacy(domain, &links);
+            let got = ov.trust_rank(&seeds, &cfg);
+            ov.unsplice();
+
+            assert_eq!(bits(&want), bits(&got), "domain {domain}");
+            assert_eq!(
+                ov.node_count(),
+                csr.node_count(),
+                "unsplice restored the frozen view for {domain} (node {node})"
+            );
+        }
+    }
+
+    #[test]
+    fn unspliced_overlay_matches_base_trust() {
+        let (legacy, csr) = training_pair();
+        let cfg = TrustRankConfig::default();
+        let ov = SpliceOverlay::new(&csr);
+        assert_eq!(
+            bits(&trust_rank(&legacy, &[0], &cfg)),
+            bits(&ov.trust_rank(&[0], &cfg))
+        );
+    }
+}

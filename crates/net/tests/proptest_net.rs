@@ -1,6 +1,13 @@
-//! Property-based tests for the link graph and trust propagation.
+//! Property-based tests for the link graph and trust propagation —
+//! including the contract the CSR refactor rests on: the frozen
+//! [`CsrGraph`] kernels are **bit-identical** to the legacy adjacency
+//! kernels on any graph, and a [`SpliceOverlay`] splice/unsplice cycle
+//! restores the exact frozen scores.
 
-use pharmaverify_net::{pagerank, trust_rank, NodeId, TrustRankConfig, WebGraph};
+use pharmaverify_net::{
+    anti_trust_rank, pagerank, trust_rank, CsrGraph, GraphBuilder, NodeId, SpliceOverlay,
+    TrustRankConfig, WebGraph,
+};
 use proptest::prelude::*;
 
 /// A random directed graph: `edges[i] = (from, to)` over `n` nodes.
@@ -22,6 +29,56 @@ fn build(n: usize, edges: &[(usize, usize)]) -> WebGraph {
         }
     }
     g
+}
+
+/// A random *weighted* mixed graph: per-node pharmacy flags plus
+/// `edges[i] = (from, to, weight)` with integer weights in {1, 2, 3} and
+/// duplicate `(from, to)` pairs allowed — duplicates exercise the
+/// builder's freeze-time merge against the legacy incremental merge.
+#[allow(clippy::type_complexity)]
+fn random_weighted_graph() -> impl Strategy<Value = (Vec<bool>, Vec<(usize, usize, f64)>)> {
+    (2usize..20).prop_flat_map(|n| {
+        let pharmacy = prop::collection::vec(any::<bool>(), n..n + 1);
+        let edges = prop::collection::vec((0..n, 0..n, (1usize..4).prop_map(|w| w as f64)), 0..60);
+        (pharmacy, edges)
+    })
+}
+
+/// Builds the legacy adjacency graph and the frozen CSR graph from the
+/// same insertion sequence. Node ids coincide by construction: both
+/// representations intern domains in first-appearance order.
+fn build_both(pharmacy: &[bool], edges: &[(usize, usize, f64)]) -> (WebGraph, CsrGraph) {
+    let mut legacy = WebGraph::new();
+    let mut builder = GraphBuilder::new();
+    for (i, &is_pharmacy) in pharmacy.iter().enumerate() {
+        let name = format!("n{i}.com");
+        if is_pharmacy {
+            legacy.add_pharmacy(&name);
+            builder.add_pharmacy(&name);
+        } else {
+            legacy.add_external(&name);
+            builder.add_external(&name);
+        }
+    }
+    for &(a, b, w) in edges {
+        if a != b {
+            let target = format!("n{b}.com");
+            legacy.add_link(a as NodeId, &target, w);
+            builder.add_link(a as NodeId, &target, w);
+        }
+    }
+    (legacy, builder.freeze())
+}
+
+/// Seed ids selected by a random bit vector, clipped to the node range.
+fn seeds_from_bits(n: usize, bits: &[bool]) -> Vec<NodeId> {
+    (0..n as NodeId)
+        .filter(|&i| bits.get(i as usize).copied().unwrap_or(false))
+        .collect()
+}
+
+fn bits(scores: &[f64]) -> Vec<u64> {
+    scores.iter().map(|s| s.to_bits()).collect()
 }
 
 proptest! {
@@ -99,5 +156,67 @@ proptest! {
             .copied()
             .collect();
         prop_assert_eq!(g.edge_count(), distinct.len());
+    }
+
+    /// The three CSR kernels reproduce the legacy adjacency kernels
+    /// **bit for bit** on any weighted graph with duplicate links — the
+    /// refactor's core contract: freezing is a representation change,
+    /// never a numeric one.
+    #[test]
+    fn csr_kernels_match_legacy_bit_for_bit(
+        (pharmacy, edges) in random_weighted_graph(),
+        seed_bits in prop::collection::vec(any::<bool>(), 2..20),
+    ) {
+        let n = pharmacy.len();
+        let (legacy, csr) = build_both(&pharmacy, &edges);
+        prop_assert_eq!(csr.node_count(), legacy.node_count());
+        prop_assert_eq!(csr.edge_count(), legacy.edge_count());
+        let seeds = seeds_from_bits(n, &seed_bits);
+        let config = TrustRankConfig::default();
+        prop_assert_eq!(
+            bits(&csr.trust_rank(&seeds, &config)),
+            bits(&trust_rank(&legacy, &seeds, &config))
+        );
+        prop_assert_eq!(
+            bits(&csr.pagerank(&config)),
+            bits(&pagerank(&legacy, &config))
+        );
+        prop_assert_eq!(
+            bits(&csr.anti_trust_rank(&seeds, &config)),
+            bits(&anti_trust_rank(&legacy, &seeds, &config))
+        );
+    }
+
+    /// A splice/unsplice cycle on the overlay restores the exact frozen
+    /// state: scores after unsplicing are bit-identical to the base
+    /// graph's, and the spliced candidate is gone.
+    #[test]
+    fn overlay_splice_unsplice_round_trips(
+        (pharmacy, edges) in random_weighted_graph(),
+        seed_bits in prop::collection::vec(any::<bool>(), 2..20),
+        link_bits in prop::collection::vec(any::<bool>(), 2..20),
+    ) {
+        let n = pharmacy.len();
+        let (_, csr) = build_both(&pharmacy, &edges);
+        let seeds = seeds_from_bits(n, &seed_bits);
+        let config = TrustRankConfig::default();
+        let base = csr.trust_rank(&seeds, &config);
+
+        let links: Vec<(String, f64)> = (0..n)
+            .filter(|&i| link_bits.get(i).copied().unwrap_or(false))
+            .map(|i| (format!("n{i}.com"), 1.0 + (i % 3) as f64))
+            .collect();
+        let mut overlay = SpliceOverlay::new(&csr);
+        let candidate = overlay.splice_pharmacy("candidate.example", &links);
+        prop_assert!(overlay.is_spliced());
+        let spliced = overlay.trust_rank(&seeds, &config);
+        prop_assert_eq!(spliced.len(), n + 1);
+        prop_assert_eq!(candidate as usize, n);
+
+        overlay.unsplice();
+        prop_assert!(!overlay.is_spliced());
+        prop_assert_eq!(overlay.node_count(), csr.node_count());
+        prop_assert_eq!(overlay.node("candidate.example"), None);
+        prop_assert_eq!(bits(&overlay.trust_rank(&seeds, &config)), bits(&base));
     }
 }

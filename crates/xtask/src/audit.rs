@@ -30,6 +30,14 @@
 //! counts) must be byte-identical across *service* worker counts too —
 //! the whole point of the service's determinism contract. The serving
 //! section must also be a pure suffix of the fault-free output.
+//!
+//! The last double-run exercises the web-scale tier (`--scale web
+//! --web-domains 12000`): the sharded generator streams twelve thousand
+//! domains into the CSR builder and the block TrustRank kernel ranks the
+//! frozen graph on 1 vs 4 workers. The whole report — paper tables plus
+//! the appended "Scale" section — must be byte-identical across worker
+//! counts, and must *start with* the plain fault-free output: the scale
+//! study is a pure suffix too.
 
 use std::path::Path;
 use std::process::Command;
@@ -45,6 +53,8 @@ pub struct AuditReport {
     pub trace_bytes: usize,
     /// Bytes of serve-workload harness output compared.
     pub serve_bytes: usize,
+    /// Bytes of web-tier harness output compared.
+    pub web_bytes: usize,
 }
 
 /// Arguments of the harness invocation (after `cargo`).
@@ -68,6 +78,10 @@ const FAULT_ARGS: &[&str] = &["--fault-rate", "0.2"];
 /// the variable under test).
 const SERVE_SERIAL_ARGS: &[&str] = &["--serve-workload", "60", "--serve-workers", "1"];
 const SERVE_PARALLEL_ARGS: &[&str] = &["--serve-workload", "60", "--serve-workers", "4"];
+
+/// Domain count of the web-tier audit runs — big enough to shard
+/// (default shard size 8192), small enough to keep the audit quick.
+const WEB_ARGS: &[&str] = &["--scale", "web", "--web-domains", "12000"];
 
 /// Runs the table harness serially and with four workers — first clean,
 /// then under fault injection — and compares outputs byte-for-byte.
@@ -118,11 +132,37 @@ pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
             .to_string());
     }
 
+    let (web_serial, web_serial_trace) = run_harness(workspace_root, "1", WEB_ARGS)?;
+    let (web_parallel, web_parallel_trace) = run_harness(workspace_root, "4", WEB_ARGS)?;
+    compare(&web_serial, &web_parallel, "web-tier")?;
+    let web_det = compare_trace_views(&web_serial_trace, &web_parallel_trace, "web-tier")?;
+    if web_det == det {
+        return Err("web-tier trace is identical to the plain trace: the scale \
+             build and rank phases left no metric behind, their \
+             instrumentation is not recording"
+            .to_string());
+    }
+    if !web_serial.starts_with(&serial) {
+        return Err(
+            "web-tier output does not start with the plain small output: \
+             the scale study must be a pure suffix"
+                .to_string(),
+        );
+    }
+    if web_serial.len() <= serial.len() {
+        return Err(
+            "web-tier output appended no scale section: the `--scale web` \
+             run printed nothing beyond the plain small report"
+                .to_string(),
+        );
+    }
+
     Ok(AuditReport {
         bytes: serial.len(),
         fault_bytes: fault_serial.len(),
         trace_bytes: det.len(),
         serve_bytes: serve_serial.len(),
+        web_bytes: web_serial.len(),
     })
 }
 

@@ -7,6 +7,10 @@
 //! cargo xtask lint [PATH]... [--format human|json] [--lint NAME]...
 //!                                       custom source lints only; with no
 //!                                       PATH, lints the whole workspace
+//! cargo xtask bench [--domains N] [--repeat R] [--out PATH]
+//!                                       graph-kernel and corpus-generation
+//!                                       micro-benches; writes BENCH_7.json
+//!                                       at the workspace root by default
 //! ```
 //!
 //! `--lint NAME` restricts the custom-lint layer to the named lints
@@ -26,6 +30,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(true)
@@ -48,7 +53,8 @@ fn print_usage() {
          USAGE:\n\
          \x20 cargo xtask check [--skip lints|fmt|clippy|determinism]...\n\
          \x20                   [--format human|json] [--lint NAME]...\n\
-         \x20 cargo xtask lint [PATH]... [--format human|json] [--lint NAME]..."
+         \x20 cargo xtask lint [PATH]... [--format human|json] [--lint NAME]...\n\
+         \x20 cargo xtask bench [--domains N] [--repeat R] [--out PATH]"
     );
 }
 
@@ -191,8 +197,13 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
             Ok(report) => {
                 let detail = format!(
                     "{} bytes byte-identical; {} with fault injection; \
-                     {} with serve workload; {} bytes of deterministic trace view",
-                    report.bytes, report.fault_bytes, report.serve_bytes, report.trace_bytes
+                     {} with serve workload; {} with the web-scale tier; \
+                     {} bytes of deterministic trace view",
+                    report.bytes,
+                    report.fault_bytes,
+                    report.serve_bytes,
+                    report.web_bytes,
+                    report.trace_bytes
                 );
                 if !json {
                     println!("determinism: ok ({detail})");
@@ -225,6 +236,61 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
         println!("\nxtask check: {}", if ok { "ok" } else { "FAILED" });
     }
     Ok(ok)
+}
+
+/// `cargo xtask bench`: builds and runs the `microbench` binary,
+/// recording kernel wall clocks and throughput in `BENCH_7.json` at the
+/// workspace root (`--out` overrides; `--domains` / `--repeat` pass
+/// through to the binary).
+fn cmd_bench(args: &[String]) -> Result<bool, String> {
+    let mut out = "BENCH_7.json".to_string();
+    let mut passthrough: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = it.next().ok_or("--out needs a path")?.clone();
+            }
+            "--domains" | "--repeat" => {
+                let value = it.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                passthrough.push(arg.clone());
+                passthrough.push(value.clone());
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let root = walk::workspace_root();
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    println!("bench: running micro-benchmarks (results -> {out})...");
+    let status = std::process::Command::new(cargo)
+        .args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "pharmaverify-bench",
+            "--bin",
+            "microbench",
+            "--",
+            "--out",
+        ])
+        .arg(&out)
+        .args(&passthrough)
+        .current_dir(&root)
+        .status()
+        .map_err(|e| format!("cannot spawn microbench: {e}"))?;
+    if !status.success() {
+        return Err(format!("microbench exited with {status}"));
+    }
+    let written = root.join(&out);
+    if !written.exists() {
+        return Err(format!(
+            "microbench wrote no report at {}",
+            written.display()
+        ));
+    }
+    println!("bench: ok ({})", written.display());
+    Ok(true)
 }
 
 fn cmd_lint(args: &[String]) -> Result<bool, String> {
