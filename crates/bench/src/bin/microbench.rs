@@ -11,7 +11,7 @@
 //! to stderr as they complete; `--out PATH` additionally writes one JSON
 //! document (schema `pharmaverify-microbench-v1`) with per-bench
 //! wall-clock seconds and items-per-second throughput. `cargo xtask
-//! bench` drives this binary and captures `BENCH_7.json` at the
+//! bench` drives this binary and captures `BENCH_8.json` at the
 //! workspace root.
 //!
 //! The workload is the web-tier generator at `--domains N` (default
@@ -20,8 +20,8 @@
 
 use pharmaverify_corpus::{DomainRecord, ShardedWebGenerator, WebScaleConfig};
 use pharmaverify_net::{
-    anti_trust_rank, pagerank, trust_rank, CsrGraph, GraphBuilder, NodeId, TrustRankConfig,
-    WebGraph,
+    anti_trust_rank, pagerank, trust_rank, CsrGraph, GraphBuilder, IncrementalConfig, NodeId,
+    SpliceOverlay, TrustRankConfig, TrustTrajectory, WebGraph,
 };
 use std::time::Instant;
 
@@ -271,6 +271,41 @@ fn main() {
         "edge-traversals",
         repeat,
         || anti_trust_rank(&legacy, &seeds, &rank_config),
+    ));
+
+    // Online-serving pair: re-rank after splicing one pharmacy over the
+    // frozen graph, full power iteration vs. the incremental replay of
+    // a recorded trajectory (DESIGN.md §12). Items count splices, so
+    // the throughputs compare directly as per-splice serving cost.
+    let trajectory = TrustTrajectory::compute(&graph, &seeds, &rank_config);
+    let inc_config = IncrementalConfig {
+        tolerance: 1e-7,
+        max_frontier: graph.node_count() / 2,
+    };
+    // A preexisting peripheral domain gaining a few links — the
+    // small-churn shape the incremental path is built for. (Splicing a
+    // trusted-seed hub instead would legitimately perturb most of the
+    // graph and trip the frontier fallback.)
+    let splice_domain = pharmaverify_corpus::domain_name(domains - 3);
+    let splice_links: Vec<(String, f64)> = [1usize, 2, 3]
+        .iter()
+        .map(|&i| (pharmaverify_corpus::domain_name(i), 1.0))
+        .collect();
+    results.push(bench("overlay/full_rerank", 1, "splices", repeat, || {
+        let mut overlay = SpliceOverlay::new(&graph);
+        overlay.splice_pharmacy(&splice_domain, &splice_links);
+        overlay.trust_rank(&seeds, &rank_config)
+    }));
+    results.push(bench(
+        "overlay/incremental_rerank",
+        1,
+        "splices",
+        repeat,
+        || {
+            let mut overlay = SpliceOverlay::new(&graph);
+            overlay.splice_pharmacy(&splice_domain, &splice_links);
+            overlay.trust_rank_incremental(&trajectory, &inc_config)
+        },
     ));
 
     let json = render_json(domains, repeat, &results);

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--scale small|medium|paper|web] [--table N]... [--figure 3] [--jobs N]
 //!       [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W]
-//!       [--web-domains N]
+//!       [--online-waves N] [--web-domains N]
 //! ```
 //!
 //! With no selection, every table and figure is printed. Scale defaults
@@ -19,7 +19,11 @@
 //! verification service (`--serve-workers W` sizes its worker pool,
 //! default 2) and appends the "Serving" section after the regular
 //! output — a pure suffix whose counts are byte-identical at any worker
-//! count; throughput and latency quantiles go to stderr. Tables go to
+//! count; throughput and latency quantiles go to stderr.
+//! `--online-waves N` replays N waves of a mix-shifting workload through
+//! the service with drift monitoring, retraining, and mid-replay model
+//! hot-swap, and appends the "Online" section — a pure suffix,
+//! byte-identical at any `--serve-workers` count. Tables go to
 //! stdout; progress, span summaries, and artifact cache statistics go to
 //! stderr, so redirected output stays clean.
 //!
@@ -31,8 +35,8 @@
 //! power iteration go to stderr.
 
 use pharmaverify_bench::{
-    build_web_tier, rank_web_tier, render_report_with, scale_section, serving_study, ReproContext,
-    Scale, Selection,
+    build_web_tier, online_study, rank_web_tier, render_report_with, scale_section, serving_study,
+    ReproContext, Scale, Selection,
 };
 use pharmaverify_core::pipeline::Executor;
 use std::time::Instant;
@@ -61,6 +65,7 @@ fn main() {
     let mut sel = Selection::everything();
     let mut fault_rate = 0.0_f64;
     let mut serve_workload: Option<usize> = None;
+    let mut online_waves: Option<usize> = None;
     let mut serve_workers = 2usize;
     let mut web_domains = 100_000usize;
     let mut trace_path = std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty());
@@ -136,6 +141,18 @@ fn main() {
                     }
                 }
             }
+            "--online-waves" => {
+                let value = require_value(&mut args, "--online-waves");
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        online_waves = Some(n);
+                    }
+                    _ => {
+                        eprintln!("--online-waves expects a positive wave count, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--serve-workers" => {
                 let value = require_value(&mut args, "--serve-workers");
                 match value.parse::<usize>() {
@@ -167,7 +184,7 @@ fn main() {
                 println!(
                     "repro [--scale small|medium|paper|web] [--table N]... [--figure 3] [--jobs N] \
                      [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W] \
-                     [--web-domains N]"
+                     [--online-waves N] [--web-domains N]"
                 );
                 return;
             }
@@ -220,6 +237,23 @@ fn main() {
             serve_workers,
             quantile(0.5),
             quantile(0.99),
+        );
+    }
+
+    if let Some(waves) = online_waves {
+        // Another pure suffix: the online study replays a drifting
+        // workload, retrains on trigger, and hot-swaps the model while
+        // the service keeps answering. Counts only; wall time on stderr.
+        let online_started = Instant::now();
+        let (table, stats) = online_study(&ctx, waves, serve_workers);
+        println!("{table}");
+        eprintln!(
+            "[repro] online: {} responses over {waves} waves in {:.1}s \
+             ({} retrains, final model v{})",
+            stats.responses,
+            online_started.elapsed().as_secs_f64(),
+            stats.retrains,
+            stats.final_version,
         );
     }
 

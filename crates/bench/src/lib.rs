@@ -18,7 +18,10 @@
 //! "Artifact pipeline & caching". `repro --serve-workload N` appends the
 //! serving study (`serving::serving_study`): a seeded workload replayed
 //! through the concurrent verification service, byte-identical at any
-//! `--serve-workers` count — see `DESIGN.md` §10.
+//! `--serve-workers` count — see `DESIGN.md` §10. `repro
+//! --online-waves N` appends the online study (`online::online_study`):
+//! a drifting workload whose drift monitor triggers a seeded retrain
+//! and a mid-replay model hot-swap — see `DESIGN.md` §12.
 //!
 //! Numbers are *shape*-comparable to the paper, not identical: the corpus
 //! is synthetic (see `DESIGN.md` §1). EXPERIMENTS.md records the
@@ -26,12 +29,14 @@
 
 pub mod context;
 pub mod figures;
+pub mod online;
 pub mod report;
 pub mod scale;
 pub mod serving;
 pub mod tables;
 
 pub use context::{ReproContext, Scale, ScaleError};
+pub use online::online_study;
 pub use report::{render_report, render_report_with, ReproReport, Selection};
 pub use scale::{build_web_tier, rank_web_tier, scale_section, WebTierBuild, WebTierScores};
 pub use serving::serving_study;

@@ -1,0 +1,103 @@
+//! The online-verification study: replays a drifting workload against a
+//! live service, lets the drift monitor trigger a seeded retrain, and
+//! hot-swaps the retrained model mid-replay.
+//!
+//! Like the serving study, the section is a **pure suffix** of the
+//! report: a run with `--online-waves N` prints everything a plain run
+//! prints, then this table. Every row is a deterministic count — drift
+//! windows, triggers, retrains, model versions, per-version verdict
+//! tallies — byte-identical across worker counts for the same seed. The
+//! xtask determinism audit byte-compares this section between
+//! `--serve-workers 1` and `--serve-workers 4` runs.
+
+use crate::context::{ReproContext, REPRO_SEED};
+use pharmaverify_core::report::Table;
+use pharmaverify_core::{TextLearnerKind, TrainedVerifier};
+use pharmaverify_obs::Registry;
+use pharmaverify_serve::{replay_online, OnlineConfig, OnlineStats};
+use std::sync::Arc;
+
+/// Term-subsample size of the served verifier's text model (matches the
+/// serving study).
+const ONLINE_SUBSAMPLE: usize = 1000;
+
+/// Runs the online study: fits a verifier on Dataset 1, replays `waves`
+/// waves of a mix-shifting workload with `workers` workers, and returns
+/// the rendered section plus the raw tally. Records into the
+/// process-global registry.
+pub fn online_study(ctx: &ReproContext, waves: usize, workers: usize) -> (Table, OnlineStats) {
+    online_study_in(ctx, waves, workers, pharmaverify_obs::global_arc())
+}
+
+/// [`online_study`] with an injected registry for test isolation.
+pub fn online_study_in(
+    ctx: &ReproContext,
+    waves: usize,
+    workers: usize,
+    obs: Arc<Registry>,
+) -> (Table, OnlineStats) {
+    let _span = obs.span("report/section/online (drift replay)");
+    let verifier = Arc::new(TrainedVerifier::fit(
+        &ctx.corpus1,
+        TextLearnerKind::Nbm,
+        Default::default(),
+        Some(ONLINE_SUBSAMPLE),
+        REPRO_SEED,
+    ));
+    let config = OnlineConfig::new(waves, workers, REPRO_SEED);
+    let stats = replay_online(
+        verifier,
+        &ctx.snapshot1,
+        &ctx.snapshot2,
+        &config,
+        Arc::clone(&obs),
+    );
+
+    // As with the serving section, the worker count stays out of the
+    // title: the section must be byte-identical at any worker count.
+    let mut t = Table::new(
+        &format!("Online: drift-triggered retrain ({waves} waves, seed {REPRO_SEED})"),
+        &["Metric", "Count"],
+    );
+    for (label, value) in stats.lines() {
+        t.push_row(vec![label, value.to_string()]);
+    }
+    (t, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+    use pharmaverify_obs::VirtualClock;
+
+    fn private_obs() -> Arc<Registry> {
+        Arc::new(Registry::with_clock(Box::new(VirtualClock::new(0))))
+    }
+
+    #[test]
+    fn online_section_is_worker_count_independent() {
+        let ctx = ReproContext::new(Scale::Small);
+        let (table_1, stats_1) = online_study_in(&ctx, 6, 1, private_obs());
+        let (table_4, stats_4) = online_study_in(&ctx, 6, 4, private_obs());
+        assert_eq!(stats_1, stats_4, "worker count leaked into the tally");
+        assert_eq!(table_1.to_string(), table_4.to_string());
+    }
+
+    #[test]
+    fn online_section_shows_a_swap_under_drift() {
+        let ctx = ReproContext::new(Scale::Small);
+        let (table, stats) = online_study_in(&ctx, 8, 2, private_obs());
+        let text = table.to_string();
+        assert!(text.contains("Online: drift-triggered retrain (8 waves"));
+        for (label, _) in stats.lines() {
+            assert!(text.contains(&label), "missing line {label:?}:\n{text}");
+        }
+        assert!(
+            stats.triggers >= 1,
+            "no drift trigger at 8 waves: {stats:?}"
+        );
+        assert!(stats.final_version >= 1);
+        assert_eq!(stats.responses, stats.serving.accepted);
+    }
+}

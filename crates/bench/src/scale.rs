@@ -133,6 +133,14 @@ pub fn scale_section(build: &WebTierBuild, scores: &WebTierScores) -> Table {
         "Links generated (raw)".into(),
         build.generated_links.to_string(),
     ]);
+    // The generator's link-target map changed in v8 (pure-integer
+    // self-excluding skew — see `pharmaverify_corpus::shard`), which
+    // breaks byte-identity of this section against pre-v8 runs. The row
+    // makes the generation lineage visible in the report itself.
+    t.push_row(vec![
+        "Link target map".into(),
+        "self-excluding integer skew (v2)".into(),
+    ]);
     t.push_row(vec![
         "Pharmacy domains".into(),
         build.pharmacies.to_string(),
@@ -220,6 +228,7 @@ mod tests {
             "Scale: web tier (2500 domains",
             "Domains generated",
             "Graph edges (peak, merged)",
+            "Link target map",
             "Trusted seeds",
             "Nodes with nonzero trust",
             "Trust mass held by seeds",

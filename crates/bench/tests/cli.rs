@@ -29,6 +29,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--trace",
     "--serve-workload",
     "--serve-workers",
+    "--online-waves",
     "--web-domains",
 ];
 
@@ -138,6 +139,19 @@ fn bad_serve_worker_counts_are_rejected() {
 }
 
 #[test]
+fn bad_online_wave_counts_are_rejected() {
+    for value in ["0", "-2", "forever", "1.5"] {
+        let out = run(&["--online-waves", value]);
+        assert_eq!(out.status.code(), Some(2), "--online-waves {value}");
+        assert!(
+            stderr(&out).contains("--online-waves expects a positive wave count"),
+            "--online-waves {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
 fn bad_web_domain_counts_are_rejected() {
     for value in ["0", "-100", "huge", "1e6"] {
         let out = run(&["--web-domains", value]);
@@ -167,6 +181,7 @@ fn help_short_circuits_without_running() {
         assert!(text.contains("--fault-rate F"), "{help}: {text}");
         assert!(text.contains("--serve-workload N"), "{help}: {text}");
         assert!(text.contains("--serve-workers W"), "{help}: {text}");
+        assert!(text.contains("--online-waves N"), "{help}: {text}");
         assert!(text.contains("--web-domains N"), "{help}: {text}");
     }
 }

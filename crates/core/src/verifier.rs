@@ -21,7 +21,9 @@ use crate::classify::{build_web_graph, NetworkArtifacts, TextLearnerKind};
 use crate::features::ExtractedCorpus;
 use pharmaverify_crawl::{summarize_crawl, CrawlConfig, Crawler, Url, WebHost};
 use pharmaverify_ml::{Dataset, GaussianNaiveBayes, Learner, Model};
-use pharmaverify_net::{SpliceOverlay, TrustRankConfig};
+use pharmaverify_net::{
+    IncrementalConfig, IncrementalOutcome, SpliceOverlay, TrustRankConfig, TrustTrajectory,
+};
 use pharmaverify_text::subsample::subsample_opt;
 use pharmaverify_text::{preprocess, SparseVector, TfIdfModel};
 use std::fmt;
@@ -50,6 +52,12 @@ pub struct Verdict {
     /// Fraction of discovered pages that were actually fetched; 1.0 for a
     /// clean crawl.
     pub crawl_coverage: f64,
+    /// Version of the fitted model that produced this verdict. `0` for a
+    /// verifier used directly; the serving registry stamps published
+    /// versions (see `pharmaverify-serve`'s `ModelRegistry`), and a batch
+    /// keeps the version it was pinned to even if a hot-swap lands while
+    /// it is in flight.
+    pub model_version: u64,
 }
 
 impl fmt::Display for Verdict {
@@ -140,10 +148,11 @@ pub struct TrainedVerifier {
     text_model: Box<dyn Model>,
     text_uses_counts: bool,
     artifacts: NetworkArtifacts,
-    seed_indices: Vec<usize>,
-    trust_config: TrustRankConfig,
     trust_model: Box<dyn Model>,
     trust_scale: f64,
+    trajectory: TrustTrajectory,
+    incremental: IncrementalConfig,
+    model_version: u64,
 }
 
 impl TrainedVerifier {
@@ -197,6 +206,20 @@ impl TrainedVerifier {
         }
         let trust_model = GaussianNaiveBayes::default().fit(&net_train);
 
+        // Record the base graph's full propagation history once, so each
+        // verification can re-rank only the spliced neighborhood. Exact
+        // mode (tolerance 0.0): the incremental scores are bit-identical
+        // to a full recompute whether or not the frontier cap trips.
+        let seed_nodes: Vec<_> = seed_indices
+            .iter()
+            .map(|&i| artifacts.pharmacy_nodes[i])
+            .collect();
+        let trajectory = TrustTrajectory::compute(&artifacts.graph, &seed_nodes, &trust_config);
+        let incremental = IncrementalConfig {
+            tolerance: 0.0,
+            max_frontier: (artifacts.graph.node_count() / 2).max(64),
+        };
+
         TrainedVerifier {
             crawl_config,
             subsample,
@@ -205,11 +228,26 @@ impl TrainedVerifier {
             text_model,
             text_uses_counts,
             artifacts,
-            seed_indices,
-            trust_config,
             trust_model,
             trust_scale,
+            trajectory,
+            incremental,
+            model_version: 0,
         }
+    }
+
+    /// Stamps this fitted model with a registry-assigned version; every
+    /// verdict it produces carries the version. Fit leaves it at `0`.
+    #[must_use]
+    pub fn with_model_version(mut self, version: u64) -> Self {
+        self.model_version = version;
+        self
+    }
+
+    /// The version stamped by [`TrainedVerifier::with_model_version`]
+    /// (`0` until published through a registry).
+    pub fn model_version(&self) -> u64 {
+        self.model_version
     }
 
     /// Verifies one site: crawls it from `seed_url` on `host`, scores its
@@ -321,13 +359,17 @@ impl TrainedVerifier {
             .map(|(target, count)| (target, count as f64))
             .collect();
         let node = overlay.splice_pharmacy(&crawl.domain, &links);
-        let seeds: Vec<_> = self
-            .seed_indices
-            .iter()
-            .map(|&i| self.artifacts.pharmacy_nodes[i])
-            .collect();
-        let trust = overlay.trust_rank(&seeds, &self.trust_config);
-        let trust_score = trust[node as usize] * self.trust_scale;
+        // Incremental re-rank from the recorded base trajectory: only the
+        // spliced neighborhood is recomputed; when the touched frontier
+        // exceeds the cap the kernel falls back to full iteration. Exact
+        // mode keeps both paths bit-identical to a full recompute.
+        let trust = overlay.trust_rank_incremental(&self.trajectory, &self.incremental);
+        let obs = pharmaverify_obs::global();
+        match trust.outcome {
+            IncrementalOutcome::Incremental => obs.add("core/verifier/trust_incremental", 1),
+            IncrementalOutcome::FellBack => obs.add("core/verifier/trust_fallback", 1),
+        }
+        let trust_score = trust.scores[node as usize] * self.trust_scale;
         overlay.unsplice();
         self.finish_verdict(crawl, text_score, predicted, trust_score)
     }
@@ -360,6 +402,7 @@ impl TrainedVerifier {
             predicted_legitimate: predicted,
             degraded: crawl.is_degraded(),
             crawl_coverage: crawl.coverage(),
+            model_version: self.model_version,
         }
     }
 
@@ -530,6 +573,7 @@ mod tests {
             predicted_legitimate: true,
             degraded,
             crawl_coverage: if degraded { 0.4 } else { 1.0 },
+            model_version: 0,
         }
     }
 
@@ -566,6 +610,31 @@ mod tests {
         assert_eq!(a.predicted_legitimate, b.predicted_legitimate);
         assert_eq!(a.degraded, b.degraded);
         assert_eq!(a.crawl_coverage.to_bits(), b.crawl_coverage.to_bits());
+        assert_eq!(a.model_version, b.model_version);
+    }
+
+    #[test]
+    fn verdicts_carry_the_stamped_model_version() {
+        let (verifier, web) = verifier_and_web();
+        let snap = web.snapshot();
+        let unstamped = verifier.verify(&snap.web, &snap.sites[0].seed_url).unwrap();
+        assert_eq!(unstamped.model_version, 0, "fit leaves the version at 0");
+        let stamped = TrainedVerifier::fit(
+            &extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts"),
+            TextLearnerKind::Nbm,
+            CrawlConfig::default(),
+            Some(250),
+            7,
+        )
+        .with_model_version(3);
+        assert_eq!(stamped.model_version(), 3);
+        let verdict = stamped.verify(&snap.web, &snap.sites[0].seed_url).unwrap();
+        assert_eq!(verdict.model_version, 3);
+        // The version is a label, not an input: scores are unchanged.
+        assert_eq!(
+            verdict.trust_score.to_bits(),
+            unstamped.trust_score.to_bits()
+        );
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod vocabulary;
 
 pub use generator::{CorpusConfig, SyntheticWeb};
 pub use persist::{load_snapshot, save_snapshot, PersistError};
-pub use shard::{DomainRecord, ShardedWebGenerator, WebScaleConfig};
+pub use shard::{domain_name, DomainRecord, ShardedWebGenerator, WebScaleConfig};
 pub use site::{PharmacySite, SiteClass, SiteProfile};
 pub use snapshot::{Snapshot, SnapshotStats};

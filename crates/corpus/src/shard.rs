@@ -95,19 +95,34 @@ pub fn domain_record(config: &WebScaleConfig, i: usize) -> DomainRecord {
     let hubs = (config.domains / 50).max(16).min(config.domains);
     let degree = rng.gen_range(MIN_DEGREE..=MAX_DEGREE);
     let mut links: Vec<(String, f64)> = Vec::with_capacity(degree);
+    // A web of one domain has no valid link target at all.
     for _ in 0..degree {
-        let target = if rng.gen_range(0.0..1.0) < HUB_BIAS {
+        if config.domains < 2 {
+            break;
+        }
+        let drawn = if rng.gen_range(0.0..1.0) < HUB_BIAS {
             // Head of the distribution: the hub prefix.
             rng.gen_range(0..hubs)
         } else {
             // Tail: quadratic skew toward low indices so in-degree
             // follows a power-law-like decay without a lookup table.
-            let u = rng.gen_range(0.0..1.0);
-            ((config.domains as f64) * u * u) as usize % config.domains.max(1)
+            // Pure integer arithmetic — ⌊x²/n⌋ for uniform x in [0, n)
+            // — rather than the old `(n·u²) as usize % n` float map,
+            // whose truncation biased the tail and whose modulo was a
+            // no-op wart.
+            let x = rng.gen_range(0..config.domains as u64);
+            ((x as u128 * x as u128) / config.domains as u128) as usize
         };
-        if target == i {
-            continue; // the graph builder would keep a self-link; skip it
-        }
+        // Self-excluding remap instead of a silent drop: the old code
+        // skipped self-targets entirely, quietly deflating the
+        // out-degree of exactly the low-index domains the skew favours
+        // (and leaving some domains dangling). Every drawn edge now
+        // lands, so out-degree always equals the drawn degree.
+        let target = if drawn == i {
+            (i + 1) % config.domains
+        } else {
+            drawn
+        };
         links.push((domain_name(target), rng.gen_range(1..=3) as f64));
     }
     DomainRecord {
@@ -242,7 +257,7 @@ mod tests {
         }
         for r in &records {
             for (target, w) in &r.links {
-                assert_ne!(target, &r.domain, "self-links are skipped");
+                assert_ne!(target, &r.domain, "self-links are excluded by remap");
                 assert!(
                     (1.0..=3.0).contains(w) && w.fract() == 0.0,
                     "weights are integer link counts, got {w}"
@@ -252,6 +267,89 @@ mod tests {
         let gen = ShardedWebGenerator::new(cfg);
         assert_eq!(gen.trusted_domains().len(), 5);
         assert_eq!(gen.trusted_domains()[0], domain_name(0));
+    }
+
+    /// Pins the exact `(seed, index) → record` map of the v2 target
+    /// distribution (pure-integer self-excluding skew). Any change to
+    /// the RNG draw sequence, the skew arithmetic, or the self-remap
+    /// shows up here as a concrete diff, not a silent drift of every
+    /// downstream web-tier score.
+    #[test]
+    fn records_are_pinned_per_seed_and_index() {
+        let cfg = config(500, 500);
+        let records: Vec<DomainRecord> = ShardedWebGenerator::new(cfg).flatten().collect();
+        let record = |domain: &str, is_pharmacy: bool, links: &[(&str, f64)]| DomainRecord {
+            domain: domain.to_string(),
+            is_pharmacy,
+            links: links.iter().map(|(t, w)| (t.to_string(), *w)).collect(),
+        };
+        // Index 0 draws itself once; the remap sends that link to
+        // `site1.net` instead of dropping it (degree stays 5).
+        assert_eq!(
+            records[0],
+            record(
+                "site0.com",
+                true,
+                &[
+                    ("site356.net", 1.0),
+                    ("site3.info", 1.0),
+                    ("site1.net", 1.0),
+                    ("site8.info", 3.0),
+                    ("site194.biz", 3.0),
+                ],
+            )
+        );
+        assert_eq!(
+            records[106],
+            record(
+                "site106.net",
+                false,
+                &[
+                    ("site235.com", 3.0),
+                    ("site12.org", 2.0),
+                    ("site2.org", 3.0),
+                    ("site390.com", 3.0),
+                    ("site15.com", 3.0),
+                ],
+            )
+        );
+        assert_eq!(
+            records[499],
+            record(
+                "site499.biz",
+                false,
+                &[
+                    ("site9.biz", 1.0),
+                    ("site387.org", 2.0),
+                    ("site72.org", 3.0),
+                    ("site4.biz", 3.0),
+                ],
+            )
+        );
+    }
+
+    /// The old map silently dropped self-targeted draws, so low-index
+    /// domains could come out below `MIN_DEGREE` (or dangling). The
+    /// remap guarantees every drawn edge lands.
+    #[test]
+    fn out_degree_always_honors_the_drawn_degree() {
+        let records: Vec<DomainRecord> = ShardedWebGenerator::new(config(2000, 512))
+            .flatten()
+            .collect();
+        for (i, r) in records.iter().enumerate() {
+            assert!(
+                (MIN_DEGREE..=MAX_DEGREE).contains(&r.links.len()),
+                "domain {i} has out-degree {} outside {MIN_DEGREE}..={MAX_DEGREE}",
+                r.links.len()
+            );
+        }
+    }
+
+    #[test]
+    fn single_domain_web_has_no_links() {
+        let records: Vec<DomainRecord> = ShardedWebGenerator::new(config(1, 1)).flatten().collect();
+        assert_eq!(records.len(), 1);
+        assert!(records[0].links.is_empty(), "no valid non-self target");
     }
 
     #[test]

@@ -325,6 +325,21 @@ impl CsrGraph {
         self.out_weights[id as usize]
     }
 
+    /// Incoming edges of node `id` as `(source, weight)`, in ascending
+    /// source order — the transpose's accumulation order, which is also
+    /// the order a push kernel's contributions arrive in.
+    pub fn in_edges(&self, id: NodeId) -> impl Iterator<Item = (NodeId, f64)> + '_ {
+        let v = id as usize;
+        self.t_sources[self.t_offsets[v]..self.t_offsets[v + 1]]
+            .iter()
+            .copied()
+            .zip(
+                self.t_weights[self.t_offsets[v]..self.t_offsets[v + 1]]
+                    .iter()
+                    .copied(),
+            )
+    }
+
     /// TrustRank over the frozen graph, serial. See
     /// [`CsrGraph::trust_rank_with`].
     pub fn trust_rank(&self, seeds: &[NodeId], config: &TrustRankConfig) -> Vec<f64> {

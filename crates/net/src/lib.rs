@@ -14,11 +14,17 @@
 //!   independent by index-ordered merge);
 //! * [`overlay`] — [`SpliceOverlay`], the delta side structure that lets
 //!   verification splice a candidate pharmacy over a frozen [`CsrGraph`]
-//!   without cloning or mutating the base arrays.
+//!   without cloning or mutating the base arrays;
+//! * [`incremental`] — online re-ranking on splice: [`TrustTrajectory`]
+//!   records the base graph's per-iteration history once, and
+//!   [`SpliceOverlay::trust_rank_incremental`] replays only the affected
+//!   neighborhood, with a deterministic tolerance boundary and a
+//!   frontier-capped fallback to the full kernel.
 
 pub mod anti_trustrank;
 pub mod csr;
 pub mod graph;
+pub mod incremental;
 pub mod linked;
 pub mod overlay;
 pub mod pagerank;
@@ -27,6 +33,7 @@ pub mod trustrank;
 pub use anti_trustrank::{anti_trust_rank, transpose};
 pub use csr::{BlockDispatch, CsrGraph, GraphBuilder, SerialDispatch};
 pub use graph::{NodeId, Splice, WebGraph};
+pub use incremental::{IncrementalConfig, IncrementalOutcome, IncrementalTrust, TrustTrajectory};
 pub use linked::{top_linked, LinkedSite};
 pub use overlay::SpliceOverlay;
 pub use pagerank::pagerank;

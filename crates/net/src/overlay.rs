@@ -115,6 +115,23 @@ impl<'g> SpliceOverlay<'g> {
         self.spliced.is_some()
     }
 
+    /// The node id of the active splice, if any.
+    pub fn spliced_node(&self) -> Option<NodeId> {
+        self.spliced
+    }
+
+    /// The forward row of the spliced node in the overlaid view: the
+    /// replaced row for a preexisting domain, the appended row for a
+    /// fresh one, empty when nothing is spliced. Targets are unique
+    /// (links merge on insert).
+    pub(crate) fn spliced_row(&self) -> &[(NodeId, f64)] {
+        match (&self.replaced, self.spliced) {
+            (Some(row), _) => &row.edges,
+            (None, Some(s)) => &self.added_rows[s as usize - self.base.node_count()],
+            (None, None) => &[],
+        }
+    }
+
     fn intern_added(&mut self, domain: &str, pharmacy: bool) -> NodeId {
         if let Some(&id) = self.added_index.get(domain) {
             if pharmacy {
@@ -396,6 +413,65 @@ mod tests {
         ov.unsplice();
         assert!(!ov.is_pharmacy(ext), "flag override discarded");
         assert_eq!(ov.out_weight(ext), 0.0, "base row untouched");
+    }
+
+    /// Mirror of `graph.rs`'s
+    /// `splice_of_preexisting_domain_restores_prior_edges_and_flag` for
+    /// the overlay: after unsplicing a splice over a preexisting domain,
+    /// every observable of the view — names, flags, edge rows, weights,
+    /// and propagation bits — is restored exactly.
+    #[test]
+    fn splice_of_preexisting_domain_restores_prior_state_bit_exactly() {
+        let (_, csr) = training_pair();
+        let cfg = TrustRankConfig::default();
+        let state = |ov: &SpliceOverlay| {
+            let mut rows = Vec::new();
+            for id in 0..ov.node_count() as NodeId {
+                let mut edges = Vec::new();
+                ov.for_each_out(id, |v, w| edges.push((v, w.to_bits())));
+                rows.push((
+                    ov.name(id).to_string(),
+                    ov.is_pharmacy(id),
+                    ov.out_weight(id).to_bits(),
+                    edges,
+                ));
+            }
+            rows
+        };
+        let mut ov = SpliceOverlay::new(&csr);
+        let before = state(&ov);
+        let trust_before = bits(&ov.trust_rank(&[0, 1], &cfg));
+        let ext = csr.node("ext.org").unwrap();
+        // ext.org already exists as an external (non-pharmacy) node with
+        // no out-edges; splicing upgrades it and gives it links — one to
+        // a base node, one to an unseen target.
+        let node = ov.splice_pharmacy(
+            "ext.org",
+            &[("a.com".to_string(), 1.0), ("fresh.net".to_string(), 1.0)],
+        );
+        assert_eq!(node, ext, "preexisting domain keeps its base id");
+        assert!(ov.is_pharmacy(node));
+        assert_eq!(ov.out_weight(node), 2.0);
+        ov.unsplice();
+        assert_eq!(
+            state(&ov),
+            before,
+            "unsplice must restore every row bit-exactly"
+        );
+        assert_eq!(bits(&ov.trust_rank(&[0, 1], &cfg)), trust_before);
+        assert_eq!(ov.node("fresh.net"), None, "appended target discarded");
+        assert!(!ov.is_pharmacy(ext), "pharmacy upgrade discarded");
+        // A second splice over the same domain starts from clean state:
+        // no residue of the first splice's appended nodes or merged row.
+        let again = ov.splice_pharmacy("ext.org", &[("b.com".to_string(), 3.0)]);
+        assert_eq!(again, ext);
+        assert_eq!(
+            ov.out_weight(again),
+            3.0,
+            "first splice's links must not leak"
+        );
+        ov.unsplice();
+        assert_eq!(state(&ov), before);
     }
 
     #[test]

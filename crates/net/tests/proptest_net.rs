@@ -5,8 +5,8 @@
 //! restores the exact frozen scores.
 
 use pharmaverify_net::{
-    anti_trust_rank, pagerank, trust_rank, CsrGraph, GraphBuilder, NodeId, SpliceOverlay,
-    TrustRankConfig, WebGraph,
+    anti_trust_rank, pagerank, trust_rank, CsrGraph, GraphBuilder, IncrementalConfig, NodeId,
+    SpliceOverlay, TrustRankConfig, TrustTrajectory, WebGraph,
 };
 use proptest::prelude::*;
 
@@ -218,5 +218,56 @@ proptest! {
         prop_assert_eq!(overlay.node_count(), csr.node_count());
         prop_assert_eq!(overlay.node("candidate.example"), None);
         prop_assert_eq!(bits(&overlay.trust_rank(&seeds, &config)), bits(&base));
+    }
+
+    /// Random churn: interleaved splice/unsplice sequences over one
+    /// overlay and one recorded trajectory. After every splice the
+    /// incremental kernel must match the full recompute — bit-identical
+    /// in exact mode, within the documented `tolerance·F/(1−α)` bound in
+    /// tolerance mode, and bit-identical again through the zero-cap
+    /// fallback path; after every unsplice it must reproduce the base
+    /// trajectory's final bits.
+    #[test]
+    fn incremental_matches_full_over_random_churn(
+        (pharmacy, edges) in random_weighted_graph(),
+        seed_bits in prop::collection::vec(any::<bool>(), 2..20),
+        churn in prop::collection::vec(
+            ((0usize..24), prop::collection::vec((0usize..24, 1usize..4), 0..6)),
+            1..8,
+        ),
+    ) {
+        let n = pharmacy.len();
+        let (_, csr) = build_both(&pharmacy, &edges);
+        let seeds = seeds_from_bits(n, &seed_bits);
+        let cfg = TrustRankConfig::default();
+        let traj = TrustTrajectory::compute(&csr, &seeds, &cfg);
+        let exact = IncrementalConfig { tolerance: 0.0, max_frontier: n + 64 };
+        let loose = IncrementalConfig { tolerance: 1e-9, max_frontier: n + 64 };
+        let capped = IncrementalConfig { tolerance: 0.0, max_frontier: 0 };
+        let bound = loose.tolerance * loose.max_frontier as f64 / (1.0 - cfg.alpha);
+        let mut overlay = SpliceOverlay::new(&csr);
+        // Domain indices range past `n`, so splices mix preexisting
+        // nodes (replaced rows, dangling flips) with fresh ones
+        // (appended nodes); links include self-links and duplicates.
+        for (dom, links) in churn {
+            let domain = format!("n{dom}.com");
+            let links: Vec<(String, f64)> = links
+                .iter()
+                .map(|&(t, w)| (format!("n{t}.com"), w as f64))
+                .collect();
+            overlay.splice_pharmacy(&domain, &links);
+            let full = overlay.trust_rank(&seeds, &cfg);
+            let inc = overlay.trust_rank_incremental(&traj, &exact);
+            prop_assert_eq!(bits(&inc.scores), bits(&full));
+            let approx = overlay.trust_rank_incremental(&traj, &loose);
+            for (a, b) in approx.scores.iter().zip(&full) {
+                prop_assert!((a - b).abs() <= bound, "{a} vs {b} beyond {bound}");
+            }
+            let fb = overlay.trust_rank_incremental(&traj, &capped);
+            prop_assert_eq!(bits(&fb.scores), bits(&full));
+            overlay.unsplice();
+            let reset = overlay.trust_rank_incremental(&traj, &exact);
+            prop_assert_eq!(bits(&reset.scores), bits(traj.final_scores()));
+        }
     }
 }

@@ -127,6 +127,12 @@ pub struct ResponseCache {
 impl ResponseCache {
     /// An empty cache holding at most `capacity` domains, verdicts fresh
     /// for `ttl_micros` (0 = verdicts never expire).
+    ///
+    /// The freshness window is **half-open**: a verdict filled at time
+    /// `t` answers lookups for `now ∈ [t, t + ttl_micros)` and reads as
+    /// [`Lookup::Expired`] at exactly `now == t + ttl_micros`. A lookup
+    /// with `now < t` (a rewound clock) is treated as age zero — stale
+    /// entries can only age out, never flicker back by clock skew.
     pub fn new(capacity: usize, ttl_micros: u64) -> ResponseCache {
         ResponseCache {
             capacity,
@@ -136,7 +142,9 @@ impl ResponseCache {
     }
 
     /// Looks up `domain` at time `now`, removing entries whose useful
-    /// life is over (TTL-lapsed verdicts, past-instant errors).
+    /// life is over (TTL-lapsed verdicts, past-instant errors). A
+    /// verdict inserted at `t` is fresh on `[t, t + ttl)` and expired
+    /// from `t + ttl` on — see [`ResponseCache::new`].
     pub fn lookup(&mut self, domain: &str, now: u64) -> Lookup {
         enum Action {
             Keep(Lookup),
@@ -298,6 +306,7 @@ mod tests {
             predicted_legitimate: true,
             degraded,
             crawl_coverage: if degraded { 0.5 } else { 1.0 },
+            model_version: 0,
         }
     }
 
@@ -369,6 +378,38 @@ mod tests {
         assert!(matches!(cache.lookup("a.com", 150), Lookup::Expired));
         // The expired entry is gone: a second lookup is a plain miss.
         assert!(matches!(cache.lookup("a.com", 150), Lookup::Miss));
+    }
+
+    /// Pins the half-open freshness window `[insert, insert + ttl)` on
+    /// both edges exactly: a hit at the insert instant and at
+    /// `insert + ttl − 1`, expiry at precisely `insert + ttl`.
+    #[test]
+    fn ttl_window_is_half_open_on_both_edges() {
+        let mut cache = ResponseCache::new(4, 100);
+        put(&mut cache, "a.com", 1, 50);
+        // Left edge: fresh at the very instant it was inserted.
+        assert!(matches!(cache.lookup("a.com", 50), Lookup::Hit(_)));
+        // Interior: still fresh one tick before the boundary.
+        assert!(matches!(cache.lookup("a.com", 149), Lookup::Hit(_)));
+        // Right edge: expired at exactly insert + ttl, not one later.
+        assert!(matches!(cache.lookup("a.com", 150), Lookup::Expired));
+
+        // A ttl of 1 gives a window of exactly one instant.
+        let mut tight = ResponseCache::new(4, 1);
+        put(&mut tight, "b.com", 1, 10);
+        assert!(matches!(tight.lookup("b.com", 10), Lookup::Hit(_)));
+        assert!(matches!(tight.lookup("b.com", 11), Lookup::Expired));
+    }
+
+    /// A lookup before the insert instant (rewound clock) reads as age
+    /// zero rather than wrapping into instant expiry.
+    #[test]
+    fn ttl_treats_a_rewound_clock_as_age_zero() {
+        let mut cache = ResponseCache::new(4, 100);
+        put(&mut cache, "a.com", 1, 500);
+        assert!(matches!(cache.lookup("a.com", 0), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup("a.com", 499), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup("a.com", 600), Lookup::Expired));
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //! * [`cache`] — [`ResponseCache`]: domain → verdict, capacity-bounded
 //!   with deterministic smallest-seq eviction and virtual-time TTL;
 //!   degraded verdicts are never cached;
+//! * [`registry`] — [`ModelRegistry`]: versioned `Arc` swap of the
+//!   fitted model; batches pin the version they were dispatched with, so
+//!   a hot-swap never blocks readers or mixes models within a batch;
+//! * [`drift`] — [`DriftMonitor`]: windowed verdict-score histograms and
+//!   a deterministic shift statistic that triggers retraining;
 //! * [`workload`] — [`WorkloadGenerator`]: seeded, Zipf-skewed request
 //!   streams drawn from the synthetic corpus's two snapshots;
 //! * [`replay`] — [`replay_workload`]: the wave-driven harness whose
@@ -20,11 +25,17 @@
 //!   same seed (enforced by `cargo xtask check`'s determinism audit).
 
 pub mod cache;
+pub mod drift;
+pub mod registry;
 pub mod replay;
 pub mod service;
 pub mod workload;
 
 pub use cache::{Fill, Lookup, Reserve, ResponseCache};
-pub use replay::{replay_workload, ReplayConfig, ServingStats};
+pub use drift::{DriftConfig, DriftMonitor, DriftVerdict};
+pub use registry::ModelRegistry;
+pub use replay::{
+    replay_online, replay_workload, OnlineConfig, OnlineStats, ReplayConfig, ServingStats,
+};
 pub use service::{Outcome, ServeConfig, ServeError, Ticket, VerifyService};
 pub use workload::{Request, RequestKind, WorkloadGenerator};

@@ -1,0 +1,77 @@
+//! Versioned model registry: hot-swap a fitted [`TrainedVerifier`]
+//! under a live service without pausing traffic.
+//!
+//! # Swap protocol
+//!
+//! * The registry holds the **current** model as an `Arc<TrainedVerifier>`
+//!   behind an `RwLock`. A reader takes the shared lock only long enough
+//!   to clone the `Arc` — it never holds any registry lock while scoring.
+//! * [`ModelRegistry::publish`] stamps the incoming model with the next
+//!   version (monotonic, starting one past the initial model's version)
+//!   and swaps the `Arc` atomically under the write lock. Versions are
+//!   assigned *under* the write lock, so version order equals swap order.
+//! * A batch **pins** the model it was dispatched with: the service
+//!   captures [`ModelRegistry::current`] when a sealed batch leaves the
+//!   submission path, and the worker scores the whole batch on that pin.
+//!   A swap landing mid-batch therefore never mixes models within a
+//!   batch, and in-flight batches finish on the version they started
+//!   with. Every [`pharmaverify_core::Verdict`] carries the
+//!   `model_version` of the model that produced it.
+//! * The old model's memory is released when the last pinned batch
+//!   drops its `Arc` — no epoch bookkeeping needed.
+
+use pharmaverify_core::TrainedVerifier;
+use std::sync::{Arc, RwLock};
+
+/// Versioned holder of the live [`TrainedVerifier`]. See the module docs
+/// for the swap protocol.
+pub struct ModelRegistry {
+    current: RwLock<Arc<TrainedVerifier>>,
+}
+
+impl ModelRegistry {
+    /// Wraps an already-shared model as version whatever it carries
+    /// (`0` for a freshly fitted one).
+    pub fn new(initial: Arc<TrainedVerifier>) -> ModelRegistry {
+        ModelRegistry {
+            current: RwLock::new(initial),
+        }
+    }
+
+    /// The live model. Cheap: clones an `Arc` under a shared lock.
+    pub fn current(&self) -> Arc<TrainedVerifier> {
+        Arc::clone(&read(&self.current))
+    }
+
+    /// The live model's version.
+    pub fn current_version(&self) -> u64 {
+        read(&self.current).model_version()
+    }
+
+    /// Publishes a newly fitted model: stamps it with the next version
+    /// and makes it the live model. Returns the assigned version.
+    /// Batches already pinned to the previous version are unaffected.
+    pub fn publish(&self, model: TrainedVerifier) -> u64 {
+        let mut slot = write(&self.current);
+        let version = slot.model_version() + 1;
+        *slot = Arc::new(model.with_model_version(version));
+        version
+    }
+}
+
+/// Shared-locks recovering from poison (a panicked publisher must not
+/// wedge every reader).
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|poison| poison.into_inner())
+}
+
+// The registry is shared between the submission path and any number of
+// workers and retrainers.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ModelRegistry>();
+};

@@ -17,11 +17,12 @@
 //! down; it is recorded non-deterministically by the service and
 //! reported by the binary on stderr, never inside the report.
 
+use crate::drift::{DriftConfig, DriftMonitor, DriftVerdict};
 use crate::service::{ServeConfig, ServeError, Ticket, VerifyService};
-use crate::workload::WorkloadGenerator;
-use pharmaverify_core::{TrainedVerifier, VerifyError};
+use crate::workload::{Request, RequestKind, WorkloadGenerator};
+use pharmaverify_core::{extract_corpus, TextLearnerKind, TrainedVerifier, VerifyError};
 use pharmaverify_corpus::Snapshot;
-use pharmaverify_crawl::InMemoryWeb;
+use pharmaverify_crawl::{CrawlConfig, InMemoryWeb};
 use pharmaverify_obs::{Registry, VirtualClock};
 use std::sync::Arc;
 
@@ -214,4 +215,250 @@ pub fn replay_workload(
     }
     stats.batches = obs.counter("serve/batch").saturating_sub(batches_before);
     stats
+}
+
+/// Knobs for [`replay_online`], layered on a [`ReplayConfig`].
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// The underlying wave-driven replay (requests, seed, service).
+    pub replay: ReplayConfig,
+    /// Drift monitor tuning.
+    pub drift: DriftConfig,
+    /// Submission index at which the incoming mix shifts from
+    /// established sites to snapshot-2 newcomers (the simulated wave of
+    /// new rogue pharmacies whose score distribution the monitor should
+    /// catch).
+    pub shift_at: usize,
+}
+
+impl OnlineConfig {
+    /// An online replay of `waves` waves with `workers` workers: the
+    /// request mix shifts halfway through, and drift windows are sized
+    /// so at least one clean window completes on each side of the shift.
+    pub fn new(waves: usize, workers: usize, seed: u64) -> OnlineConfig {
+        let replay = ReplayConfig::new(waves * 16, workers, seed);
+        let wave = replay.serve.queue_capacity.max(1);
+        OnlineConfig {
+            shift_at: waves / 2 * wave,
+            replay,
+            drift: DriftConfig {
+                buckets: 16,
+                window: 24,
+                threshold: 0.3,
+            },
+        }
+    }
+}
+
+/// Deterministic tally of one online replay: the serving tally plus the
+/// drift/retrain/hot-swap ledger. Byte-identical across worker counts
+/// for the same seed, exactly like [`ServingStats`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OnlineStats {
+    /// The underlying serving tally.
+    pub serving: ServingStats,
+    /// Responses delivered (every admitted request answers exactly once,
+    /// in submission order — so this always equals `serving.accepted`).
+    pub responses: u64,
+    /// Drift windows closed (reference window included).
+    pub windows: u64,
+    /// Windows that crossed the drift threshold.
+    pub triggers: u64,
+    /// Seeded retrains performed (one per trigger).
+    pub retrains: u64,
+    /// Model version live when the replay finished.
+    pub final_version: u64,
+    /// Verdicts produced by the initial model (version 0).
+    pub verdicts_v0: u64,
+    /// Verdicts produced by hot-swapped models (version ≥ 1).
+    pub verdicts_swapped: u64,
+}
+
+impl OnlineStats {
+    /// Report lines in the same shape as [`ServingStats::lines`]; the
+    /// repro binary renders them as the "Online" section.
+    pub fn lines(&self) -> Vec<(String, u64)> {
+        let mut lines = vec![
+            ("requests".to_string(), self.serving.requests),
+            ("accepted".to_string(), self.serving.accepted),
+            ("responses".to_string(), self.responses),
+            ("drift windows".to_string(), self.windows),
+            ("drift triggers".to_string(), self.triggers),
+            ("retrains".to_string(), self.retrains),
+            ("model swaps".to_string(), self.retrains),
+            ("final model version".to_string(), self.final_version),
+            ("verdicts on v0".to_string(), self.verdicts_v0),
+            (
+                "verdicts on swapped models".to_string(),
+                self.verdicts_swapped,
+            ),
+        ];
+        lines.push((
+            "verdicts: legitimate".to_string(),
+            self.serving.verdicts_legitimate,
+        ));
+        lines.push((
+            "verdicts: illegitimate".to_string(),
+            self.serving.verdicts_illegitimate,
+        ));
+        lines
+    }
+}
+
+/// Draws up to `n` requests of the wanted population from the shared
+/// generator: established sites (`Known`/`Vanished`) before the shift,
+/// snapshot-2 newcomers (`Unknown`) after it. Skipped draws still
+/// consume RNG state, so the sequence stays a pure function of the seed.
+fn draw_phase(generator: &mut WorkloadGenerator, newcomers: bool, n: usize) -> Vec<Request> {
+    let mut out = Vec::with_capacity(n);
+    let mut budget = n.saturating_mul(200).max(1);
+    while out.len() < n && budget > 0 {
+        budget -= 1;
+        match generator.next_request() {
+            Some(r) if (r.kind == RequestKind::Unknown) == newcomers => out.push(r),
+            Some(_) => {}
+            None => break,
+        }
+    }
+    out
+}
+
+/// Online verification replay: the wave protocol of [`replay_workload`]
+/// plus a [`DriftMonitor`] fed every completed verdict (in submission
+/// order, on this thread), a **seeded retrain on the snapshot-2 corpus**
+/// whenever a window drifts, and an atomic hot-swap of the retrained
+/// model through the service's [`crate::ModelRegistry`] — mid-replay,
+/// while the service keeps answering.
+///
+/// Determinism: batches pin their model at dispatch time and all of a
+/// wave's batches dispatch before any drift trigger can fire (triggers
+/// are observed while waiting the wave's tickets), so the version each
+/// verdict carries is a pure function of the submission history. Every
+/// field of [`OnlineStats`] is byte-identical across worker counts.
+///
+/// No response is dropped or reordered across a swap: every admitted
+/// ticket is waited in submission order, swap or no swap, and the
+/// `responses` field double-entry-checks `accepted`.
+pub fn replay_online(
+    verifier: Arc<TrainedVerifier>,
+    snapshot1: &Snapshot,
+    snapshot2: &Snapshot,
+    config: &OnlineConfig,
+    obs: Arc<Registry>,
+) -> OnlineStats {
+    let _span = obs.span("serve/replay_online");
+    let host: Arc<InMemoryWeb> = Arc::new(snapshot2.web.clone());
+    let clock = VirtualClock::new(0);
+    let replay = &config.replay;
+    let mut generator = WorkloadGenerator::new(snapshot1, snapshot2, replay.seed);
+    let before: Vec<u64> = COUNTERS.iter().map(|(name, _)| obs.counter(name)).collect();
+    let batches_before = obs.counter("serve/batch");
+    let triggers_before = obs.counter("serve/drift/triggers");
+
+    let service = VerifyService::with_observability(
+        verifier,
+        host,
+        replay.serve.clone(),
+        Arc::clone(&obs),
+        Arc::new(clock.clone()),
+    );
+    let mut drift = DriftMonitor::new(config.drift.clone());
+    let mut stats = OnlineStats {
+        serving: ServingStats {
+            requests: replay.requests as u64,
+            ..ServingStats::default()
+        },
+        ..OnlineStats::default()
+    };
+    let wave_size = replay.serve.queue_capacity.max(1);
+    let mut submitted = 0usize;
+    let mut remaining = replay.requests;
+    while remaining > 0 {
+        let wave = remaining.min(wave_size);
+        remaining -= wave;
+        let newcomers = submitted >= config.shift_at;
+        submitted += wave;
+        let mut tickets: Vec<Ticket> = Vec::with_capacity(wave);
+        for request in draw_phase(&mut generator, newcomers, wave) {
+            match service.submit(&request.seed_url) {
+                Ok(ticket) => tickets.push(ticket),
+                Err(ServeError::Overloaded) | Err(ServeError::Shedding) => {}
+                Err(_) => stats.serving.errors_other += 1,
+            }
+        }
+        service.flush();
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(verdict) => {
+                    stats.responses += 1;
+                    if verdict.model_version == 0 {
+                        stats.verdicts_v0 += 1;
+                    } else {
+                        stats.verdicts_swapped += 1;
+                    }
+                    if verdict.predicted_legitimate {
+                        stats.serving.verdicts_legitimate += 1;
+                    } else {
+                        stats.serving.verdicts_illegitimate += 1;
+                    }
+                    if verdict.degraded {
+                        stats.serving.verdicts_degraded += 1;
+                    }
+                    if let Some(DriftVerdict::Drifted { .. }) = drift.observe(verdict.rank, &obs) {
+                        // The score population moved: retrain on the
+                        // current (snapshot-2) population with the replay
+                        // seed and hot-swap, mid-replay. In-flight
+                        // batches finish on their pinned version; the
+                        // remaining tickets of this wave were all
+                        // dispatched before the swap and are unaffected.
+                        let retrained = retrain_on(snapshot2, replay.seed);
+                        service.swap_model(retrained);
+                        stats.retrains += 1;
+                        drift.rebase();
+                    }
+                }
+                Err(ServeError::Verify(VerifyError::EmptySite(_))) => {
+                    stats.responses += 1;
+                    stats.serving.errors_empty_site += 1;
+                }
+                Err(ServeError::Verify(VerifyError::Unreachable { .. })) => {
+                    stats.responses += 1;
+                    stats.serving.errors_unreachable += 1;
+                }
+                Err(_) => {
+                    stats.responses += 1;
+                    stats.serving.errors_other += 1;
+                }
+            }
+        }
+        clock.advance(replay.advance_micros);
+    }
+    stats.windows = drift.windows_closed();
+    stats.triggers = obs
+        .counter("serve/drift/triggers")
+        .saturating_sub(triggers_before);
+    stats.final_version = service.model_version();
+    service.shutdown();
+    for (i, (name, field)) in COUNTERS.iter().enumerate() {
+        *field(&mut stats.serving) = obs.counter(name).saturating_sub(before[i]);
+    }
+    stats.serving.batches = obs.counter("serve/batch").saturating_sub(batches_before);
+    stats
+}
+
+/// The drift response: a fresh fit on the snapshot-2 corpus, fully
+/// seeded so any two runs (and any two worker counts) retrain the exact
+/// same model.
+fn retrain_on(snapshot2: &Snapshot, seed: u64) -> TrainedVerifier {
+    // lint:allow(no-panic): the replay harness runs on synthetic
+    // snapshots that always extract; a failure here is a corpus bug.
+    #[allow(clippy::expect_used)]
+    let corpus = extract_corpus(snapshot2, &CrawlConfig::default()).expect("snapshot-2 extracts");
+    TrainedVerifier::fit(
+        &corpus,
+        TextLearnerKind::Nbm,
+        CrawlConfig::default(),
+        Some(250),
+        seed,
+    )
 }

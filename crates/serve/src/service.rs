@@ -51,6 +51,7 @@
 //! [`ServeError::Shedding`] until a probe request refreshes the window).
 
 use crate::cache::{Fill, Lookup, ResponseCache};
+use crate::registry::ModelRegistry;
 use pharmaverify_core::{TrainedVerifier, Verdict, VerifyError};
 use pharmaverify_crawl::{Url, WebHost};
 use pharmaverify_obs::{Clock, Registry, WallClock};
@@ -210,9 +211,12 @@ struct BatchRequest {
     submitted_wall: u64,
 }
 
-/// A sealed batch handed to the worker pool.
+/// A sealed batch handed to the worker pool, pinned to the model that
+/// was live when it left the submission path: a hot-swap never mixes
+/// models within a batch (see [`ModelRegistry`]).
 struct SealedBatch {
     requests: Vec<BatchRequest>,
+    model: Arc<TrainedVerifier>,
 }
 
 /// Everything behind the single service lock. One mutex (not separate
@@ -230,7 +234,7 @@ struct ServeState {
 }
 
 struct Shared<H> {
-    verifier: Arc<TrainedVerifier>,
+    registry: ModelRegistry,
     host: Arc<H>,
     config: ServeConfig,
     obs: Arc<Registry>,
@@ -289,7 +293,7 @@ impl<H: WebHost + Send + Sync + 'static> VerifyService<H> {
         let worker_count = config.workers.max(1);
         let cache = ResponseCache::new(config.cache_capacity, config.cache_ttl_micros);
         let shared = Arc::new(Shared {
-            verifier,
+            registry: ModelRegistry::new(verifier),
             host,
             config,
             obs,
@@ -405,9 +409,7 @@ impl<H: WebHost + Send + Sync + 'static> VerifyService<H> {
                     submitted_wall: self.shared.wall.now_micros(),
                 });
                 if state.forming.len() >= self.shared.config.max_batch.max(1) {
-                    sealed = Some(SealedBatch {
-                        requests: std::mem::take(&mut state.forming),
-                    });
+                    sealed = Some(std::mem::take(&mut state.forming));
                 }
                 ticket
             }
@@ -426,14 +428,27 @@ impl<H: WebHost + Send + Sync + 'static> VerifyService<H> {
             if state.forming.is_empty() {
                 None
             } else {
-                Some(SealedBatch {
-                    requests: std::mem::take(&mut state.forming),
-                })
+                Some(std::mem::take(&mut state.forming))
             }
         };
         if let Some(batch) = sealed {
             self.dispatch(batch);
         }
+    }
+
+    /// Publishes a newly fitted model and hot-swaps it in: batches
+    /// dispatched from now on score on the new model; in-flight batches
+    /// finish on the version they were pinned to. Returns the assigned
+    /// version. Never blocks readers or drops requests.
+    pub fn swap_model(&self, model: TrainedVerifier) -> u64 {
+        let version = self.shared.registry.publish(model);
+        self.shared.obs.add("serve/model/swap", 1);
+        version
+    }
+
+    /// The live model's version (what newly dispatched batches will pin).
+    pub fn model_version(&self) -> u64 {
+        self.shared.registry.current_version()
     }
 
     /// Admitted-but-unfulfilled request count (the "queue depth").
@@ -459,7 +474,14 @@ impl<H: WebHost + Send + Sync + 'static> VerifyService<H> {
                 >= cfg.breaker_threshold * state.window.len() as f64
     }
 
-    fn dispatch(&self, batch: SealedBatch) {
+    fn dispatch(&self, requests: Vec<BatchRequest>) {
+        // Pin the live model here, after the state lock is released and
+        // before the batch can reach a worker: the batch's composition
+        // and its model version are both fixed at dispatch time.
+        let batch = SealedBatch {
+            requests,
+            model: self.shared.registry.current(),
+        };
         self.shared.obs.add("serve/batch", 1);
         let undeliverable = match &self.tx {
             Some(tx) => tx.send(batch).err().map(|e| e.0),
@@ -536,7 +558,7 @@ fn process_batch<H: WebHost + Send + Sync>(shared: &Shared<H>, batch: SealedBatc
     let obs = &shared.obs;
     let span = obs.span("serve/batch/run");
     let urls: Vec<&str> = batch.requests.iter().map(|r| r.seed_url.as_str()).collect();
-    let results = shared.verifier.verify_batch(shared.host.as_ref(), &urls);
+    let results = batch.model.verify_batch(shared.host.as_ref(), &urls);
     drop(span);
     let now = shared.clock.now_micros();
     let wall_now = shared.wall.now_micros();

@@ -18,6 +18,7 @@ fn verdict(domain: &str, degraded: bool) -> Verdict {
         predicted_legitimate: true,
         degraded,
         crawl_coverage: if degraded { 0.3 } else { 1.0 },
+        model_version: 0,
     }
 }
 

@@ -7,7 +7,9 @@ use pharmaverify_core::{extract_corpus, TextLearnerKind, TrainedVerifier};
 use pharmaverify_corpus::{CorpusConfig, Snapshot, SyntheticWeb};
 use pharmaverify_crawl::CrawlConfig;
 use pharmaverify_obs::{Registry, VirtualClock};
-use pharmaverify_serve::{replay_workload, ReplayConfig, ServingStats};
+use pharmaverify_serve::{
+    replay_online, replay_workload, OnlineConfig, OnlineStats, ReplayConfig, ServingStats,
+};
 use std::sync::Arc;
 
 fn trained() -> (Arc<TrainedVerifier>, Snapshot, Snapshot) {
@@ -70,6 +72,48 @@ fn workload_exercises_the_interesting_paths() {
     // whose URL never reached the cache path (none here — bad URLs are
     // rejected at the door, and vanished sites still count as misses).
     assert_eq!(stats.cache_hits + stats.cache_misses, stats.accepted);
+}
+
+fn run_online(workers: usize, waves: usize) -> OnlineStats {
+    let (verifier, snap1, snap2) = trained();
+    let obs = Arc::new(Registry::with_clock(Box::new(VirtualClock::new(0))));
+    let config = OnlineConfig::new(waves, workers, 20180326);
+    replay_online(verifier, &snap1, &snap2, &config, obs)
+}
+
+#[test]
+fn online_stats_are_identical_across_worker_counts() {
+    let serial = run_online(1, 8);
+    let four = run_online(4, 8);
+    assert_eq!(serial, four, "worker count leaked into the online stats");
+    assert_eq!(serial.lines(), four.lines());
+}
+
+#[test]
+fn online_replay_drifts_retrains_and_swaps_without_dropping_responses() {
+    let stats = run_online(2, 8);
+    assert_eq!(
+        stats.responses, stats.serving.accepted,
+        "every admitted request must answer exactly once across the swap"
+    );
+    assert!(stats.windows >= 2, "too few drift windows: {stats:?}");
+    assert!(
+        stats.triggers >= 1,
+        "the mix shift must register as drift: {stats:?}"
+    );
+    assert_eq!(stats.retrains, stats.triggers, "one retrain per trigger");
+    assert!(
+        stats.final_version >= 1,
+        "a retrain must have been hot-swapped in: {stats:?}"
+    );
+    assert!(
+        stats.verdicts_v0 > 0,
+        "pre-swap verdicts missing: {stats:?}"
+    );
+    assert!(
+        stats.verdicts_swapped > 0,
+        "post-swap verdicts must carry the new version: {stats:?}"
+    );
 }
 
 #[test]

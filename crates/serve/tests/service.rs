@@ -288,6 +288,64 @@ fn degraded_verdicts_are_never_served_from_cache() {
     assert_eq!(obs.counter("serve/cache/hit"), 0);
 }
 
+/// Hot-swap protocol: a batch already dispatched keeps the model it was
+/// pinned to; batches dispatched after the swap score on the new
+/// version; nothing is dropped and every verdict names its model.
+#[test]
+fn hot_swap_pins_in_flight_batches_and_versions_new_ones() {
+    let (verifier, snap1, _snap2) = trained();
+    let (obs, clock) = test_obs();
+    let host = Arc::new(GateHost::closed(snap1.web.clone()));
+    let service = VerifyService::with_observability(
+        verifier,
+        Arc::clone(&host),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 8,
+            max_batch: 1, // every submission dispatches (and pins) immediately
+            cache_capacity: 8,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&obs),
+        Arc::new(clock),
+    );
+    assert_eq!(service.model_version(), 0, "initial model is unversioned");
+
+    // First request dispatches pinned to version 0 and blocks at the gate.
+    let before = service.submit(&snap1.sites[0].seed_url).expect("admitted");
+
+    // Retrain (same corpus — the version stamp is what we're testing)
+    // and hot-swap while the first batch is still in flight.
+    let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
+    let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
+    let retrained = TrainedVerifier::fit(
+        &corpus,
+        TextLearnerKind::Nbm,
+        CrawlConfig::default(),
+        Some(250),
+        7,
+    );
+    assert_eq!(service.swap_model(retrained), 1);
+    assert_eq!(service.model_version(), 1);
+    assert_eq!(obs.counter("serve/model/swap"), 1);
+
+    // Second request dispatches after the swap: pinned to version 1.
+    let after = service.submit(&snap1.sites[1].seed_url).expect("admitted");
+
+    host.open();
+    let first = before.wait().expect("pre-swap request completes");
+    let second = after.wait().expect("post-swap request completes");
+    assert_eq!(
+        first.model_version, 0,
+        "in-flight batch must finish on its pinned version"
+    );
+    assert_eq!(
+        second.model_version, 1,
+        "post-swap batch must carry the new version"
+    );
+    assert_eq!(service.pending(), 0, "no request dropped across the swap");
+}
+
 /// Regression for the lock-order fix in `process_batch`: per-request
 /// observability (the `serve/request` span and the latency histogram)
 /// is recorded after the state lock is released but before waiters are

@@ -31,6 +31,16 @@
 //! the whole point of the service's determinism contract. The serving
 //! section must also be a pure suffix of the fault-free output.
 //!
+//! The online double-run (`--online-waves 6`, `--serve-workers 1` vs
+//! `4`) drives the drift-monitored replay: the workload mix shifts
+//! mid-replay, the drift monitor triggers a seeded retrain, and the
+//! retrained model is hot-swapped through the registry while requests
+//! keep flowing. The "Online" section — drift windows, triggers,
+//! retrains, per-model-version verdict tallies — must be byte-identical
+//! across service worker counts and a pure suffix of the fault-free
+//! output: the swap protocol must not let scheduling touch a single
+//! count.
+//!
 //! The last double-run exercises the web-scale tier (`--scale web
 //! --web-domains 12000`): the sharded generator streams twelve thousand
 //! domains into the CSR builder and the block TrustRank kernel ranks the
@@ -53,6 +63,8 @@ pub struct AuditReport {
     pub trace_bytes: usize,
     /// Bytes of serve-workload harness output compared.
     pub serve_bytes: usize,
+    /// Bytes of online (drift + hot-swap) harness output compared.
+    pub online_bytes: usize,
     /// Bytes of web-tier harness output compared.
     pub web_bytes: usize,
 }
@@ -78,6 +90,11 @@ const FAULT_ARGS: &[&str] = &["--fault-rate", "0.2"];
 /// the variable under test).
 const SERVE_SERIAL_ARGS: &[&str] = &["--serve-workload", "60", "--serve-workers", "1"];
 const SERVE_PARALLEL_ARGS: &[&str] = &["--serve-workload", "60", "--serve-workers", "4"];
+
+/// Wave count of the online audit runs — enough waves that the mix
+/// shift closes at least one drifted window and forces a retrain+swap.
+const ONLINE_SERIAL_ARGS: &[&str] = &["--online-waves", "6", "--serve-workers", "1"];
+const ONLINE_PARALLEL_ARGS: &[&str] = &["--online-waves", "6", "--serve-workers", "4"];
 
 /// Domain count of the web-tier audit runs — big enough to shard
 /// (default shard size 8192), small enough to keep the audit quick.
@@ -132,6 +149,38 @@ pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
             .to_string());
     }
 
+    let (online_serial, online_serial_trace) =
+        run_harness(workspace_root, "1", ONLINE_SERIAL_ARGS)?;
+    let (online_parallel, online_parallel_trace) =
+        run_harness(workspace_root, "4", ONLINE_PARALLEL_ARGS)?;
+    compare(&online_serial, &online_parallel, "online")?;
+    let online_det = compare_trace_views(&online_serial_trace, &online_parallel_trace, "online")?;
+    if !online_serial.starts_with(&serial) {
+        return Err("online output does not start with the plain output: \
+             the online study must be a pure suffix"
+            .to_string());
+    }
+    if online_det == det {
+        return Err("online trace is identical to the plain trace: the drift \
+             monitor and model registry left no metric behind, their \
+             instrumentation is not recording"
+            .to_string());
+    }
+    // Hot-swap smoke: the audited run must actually have drifted,
+    // retrained, and swapped — a drift monitor that never fires would
+    // make the byte-compare above vacuous.
+    let online_text = String::from_utf8_lossy(&online_serial);
+    if !online_text.contains("Online: drift-triggered retrain") {
+        return Err("online run printed no \"Online\" section".to_string());
+    }
+    if !swap_happened(&online_text) {
+        return Err(
+            "online run never hot-swapped a model: the drift monitor did not \
+             trigger a retrain over the audited workload"
+                .to_string(),
+        );
+    }
+
     let (web_serial, web_serial_trace) = run_harness(workspace_root, "1", WEB_ARGS)?;
     let (web_parallel, web_parallel_trace) = run_harness(workspace_root, "4", WEB_ARGS)?;
     compare(&web_serial, &web_parallel, "web-tier")?;
@@ -162,7 +211,21 @@ pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
         fault_bytes: fault_serial.len(),
         trace_bytes: det.len(),
         serve_bytes: serve_serial.len(),
+        online_bytes: online_serial.len(),
         web_bytes: web_serial.len(),
+    })
+}
+
+/// True when the rendered "Online" section records a nonzero model
+/// version — i.e. at least one drift-triggered retrain was swapped in.
+fn swap_happened(report: &str) -> bool {
+    report.lines().any(|line| {
+        let mut cells = line.split('|').map(str::trim).filter(|c| !c.is_empty());
+        cells.next() == Some("final model version")
+            && cells
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .is_some_and(|v| v > 0)
     })
 }
 

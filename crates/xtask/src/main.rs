@@ -9,7 +9,7 @@
 //!                                       PATH, lints the whole workspace
 //! cargo xtask bench [--domains N] [--repeat R] [--out PATH]
 //!                                       graph-kernel and corpus-generation
-//!                                       micro-benches; writes BENCH_7.json
+//!                                       micro-benches; writes BENCH_8.json
 //!                                       at the workspace root by default
 //! ```
 //!
@@ -197,11 +197,13 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
             Ok(report) => {
                 let detail = format!(
                     "{} bytes byte-identical; {} with fault injection; \
-                     {} with serve workload; {} with the web-scale tier; \
-                     {} bytes of deterministic trace view",
+                     {} with serve workload; {} with the online drift \
+                     replay (hot-swap verified); {} with the web-scale \
+                     tier; {} bytes of deterministic trace view",
                     report.bytes,
                     report.fault_bytes,
                     report.serve_bytes,
+                    report.online_bytes,
                     report.web_bytes,
                     report.trace_bytes
                 );
@@ -239,11 +241,11 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
 }
 
 /// `cargo xtask bench`: builds and runs the `microbench` binary,
-/// recording kernel wall clocks and throughput in `BENCH_7.json` at the
+/// recording kernel wall clocks and throughput in `BENCH_8.json` at the
 /// workspace root (`--out` overrides; `--domains` / `--repeat` pass
 /// through to the binary).
 fn cmd_bench(args: &[String]) -> Result<bool, String> {
-    let mut out = "BENCH_7.json".to_string();
+    let mut out = "BENCH_8.json".to_string();
     let mut passthrough: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
