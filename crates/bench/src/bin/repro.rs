@@ -4,6 +4,7 @@
 //! repro [--scale small|medium|paper|web] [--table N]... [--figure 3] [--jobs N]
 //!       [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W]
 //!       [--online-waves N] [--web-domains N]
+//!       [--attack link-farm|cloak|mimicry] [--attack-strength S]
 //! ```
 //!
 //! With no selection, every table and figure is printed. Scale defaults
@@ -27,6 +28,13 @@
 //! stdout; progress, span summaries, and artifact cache statistics go to
 //! stderr, so redirected output stays clean.
 //!
+//! `--attack <kind>` appends the adversarial study: the named attack
+//! (link-farm, cloak, or mimicry) mutates the Dataset 1 snapshot at
+//! strengths 0, S/2, and S (`--attack-strength S`, default 0.6), and
+//! the "Adversarial" section reports OPC accuracy/AUC and OPR pairwise
+//! orderedness with the spam-mass defense off vs on — a pure suffix,
+//! byte-identical at any worker count.
+//!
 //! `--scale web` runs the paper pipeline on the small corpus, then
 //! streams a sharded synthetic web (`--web-domains N`, default 100000)
 //! through the CSR graph builder, ranks it with the block TrustRank
@@ -35,10 +43,11 @@
 //! power iteration go to stderr.
 
 use pharmaverify_bench::{
-    build_web_tier, online_study, rank_web_tier, render_report_with, scale_section, serving_study,
-    ReproContext, Scale, Selection,
+    adversarial_study, build_web_tier, online_study, rank_web_tier, render_report_with,
+    scale_section, serving_study, ReproContext, Scale, Selection,
 };
 use pharmaverify_core::pipeline::Executor;
+use pharmaverify_corpus::AttackKind;
 use std::time::Instant;
 
 /// Environment variable naming a trace output file (`--trace` wins).
@@ -68,6 +77,8 @@ fn main() {
     let mut online_waves: Option<usize> = None;
     let mut serve_workers = 2usize;
     let mut web_domains = 100_000usize;
+    let mut attack: Option<AttackKind> = None;
+    let mut attack_strength = 0.6_f64;
     let mut trace_path = std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -177,6 +188,25 @@ fn main() {
                     }
                 }
             }
+            "--attack" => {
+                let value = require_value(&mut args, "--attack");
+                attack = Some(AttackKind::parse(&value).unwrap_or_else(|| {
+                    eprintln!("unknown attack '{value}' (link-farm|cloak|mimicry)");
+                    std::process::exit(2);
+                }));
+            }
+            "--attack-strength" => {
+                let value = require_value(&mut args, "--attack-strength");
+                match value.parse::<f64>() {
+                    Ok(s) if (0.0..=1.0).contains(&s) => {
+                        attack_strength = s;
+                    }
+                    _ => {
+                        eprintln!("--attack-strength expects a number in [0, 1], got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--trace" => {
                 trace_path = Some(require_value(&mut args, "--trace"));
             }
@@ -184,7 +214,8 @@ fn main() {
                 println!(
                     "repro [--scale small|medium|paper|web] [--table N]... [--figure 3] [--jobs N] \
                      [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W] \
-                     [--online-waves N] [--web-domains N]"
+                     [--online-waves N] [--web-domains N] \
+                     [--attack link-farm|cloak|mimicry] [--attack-strength S]"
                 );
                 return;
             }
@@ -254,6 +285,19 @@ fn main() {
             online_started.elapsed().as_secs_f64(),
             stats.retrains,
             stats.final_version,
+        );
+    }
+
+    if let Some(kind) = attack {
+        // Another pure suffix: the adversarial study replays the attack
+        // at strengths 0, S/2, S and measures OPC/OPR with the spam-mass
+        // defense off and on. Byte-identical at any worker count.
+        let attack_started = Instant::now();
+        let table = adversarial_study(&ctx, exec, kind, attack_strength);
+        println!("{table}");
+        eprintln!(
+            "[repro] adversarial: {kind} sweep to strength {attack_strength:.2} in {:.1}s",
+            attack_started.elapsed().as_secs_f64(),
         );
     }
 

@@ -21,12 +21,17 @@
 //! `--serve-workers` count — see `DESIGN.md` §10. `repro
 //! --online-waves N` appends the online study (`online::online_study`):
 //! a drifting workload whose drift monitor triggers a seeded retrain
-//! and a mid-replay model hot-swap — see `DESIGN.md` §12.
+//! and a mid-replay model hot-swap — see `DESIGN.md` §12. `repro
+//! --attack <kind> --attack-strength S` appends the adversarial study
+//! (`adversarial::adversarial_study`): link-farm / cloaking / mimicry
+//! attacks swept over strengths 0, S/2, S with the spam-mass defense
+//! off and on — see `DESIGN.md` §13.
 //!
 //! Numbers are *shape*-comparable to the paper, not identical: the corpus
 //! is synthetic (see `DESIGN.md` §1). EXPERIMENTS.md records the
 //! paper-vs-measured comparison for every table.
 
+pub mod adversarial;
 pub mod context;
 pub mod figures;
 pub mod online;
@@ -35,6 +40,7 @@ pub mod scale;
 pub mod serving;
 pub mod tables;
 
+pub use adversarial::adversarial_study;
 pub use context::{ReproContext, Scale, ScaleError};
 pub use online::online_study;
 pub use report::{render_report, render_report_with, ReproReport, Selection};

@@ -672,7 +672,7 @@ pub fn ablation_label_noise(ctx: &ReproContext) -> Table {
 /// non-pharmacy referrer portals (two-hop trust paths).
 pub fn future_work_network(ctx: &ReproContext) -> Table {
     use pharmaverify_core::extensions::{
-        build_extended_web_graph, evaluate_network_variant, portal_links,
+        build_extended_web_graph, evaluate_network_variant, portal_links, NetworkVariant,
     };
     let corpus = &ctx.corpus1;
     let base = ctx.pipe1().web_graph();
@@ -683,13 +683,25 @@ pub fn future_work_network(ctx: &ReproContext) -> Table {
         &["Variant", "Acc.", "AUC ROC", "legit Rec.", "legit Prec."],
     );
     let rows = [
-        ("TrustRank (paper baseline)", &*base, false),
-        ("+ Anti-TrustRank distrust", &*base, true),
-        ("Extended graph (referrer portals)", &extended, false),
-        ("Extended + distrust", &extended, true),
+        ("TrustRank (paper baseline)", &*base, NetworkVariant::Trust),
+        (
+            "+ Anti-TrustRank distrust",
+            &*base,
+            NetworkVariant::TrustAndDistrust,
+        ),
+        (
+            "Extended graph (referrer portals)",
+            &extended,
+            NetworkVariant::Trust,
+        ),
+        (
+            "Extended + distrust",
+            &extended,
+            NetworkVariant::TrustAndDistrust,
+        ),
     ];
-    for (name, artifacts, use_distrust) in rows {
-        let s = evaluate_network_variant(corpus, artifacts, use_distrust, ctx.cv).aggregate();
+    for (name, artifacts, variant) in rows {
+        let s = evaluate_network_variant(corpus, artifacts, variant, ctx.cv).aggregate();
         t.push_row(vec![
             name.to_string(),
             Table::fmt2(s.accuracy),

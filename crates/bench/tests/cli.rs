@@ -31,6 +31,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--serve-workers",
     "--online-waves",
     "--web-domains",
+    "--attack",
+    "--attack-strength",
 ];
 
 #[test]
@@ -165,6 +167,61 @@ fn bad_web_domain_counts_are_rejected() {
 }
 
 #[test]
+fn bad_attack_kinds_are_rejected() {
+    for value in ["ddos", "LINK-FARM", "linkfarm", ""] {
+        let out = run(&["--attack", value]);
+        assert_eq!(out.status.code(), Some(2), "--attack {value}");
+        assert!(
+            stderr(&out).contains(&format!(
+                "unknown attack '{value}' (link-farm|cloak|mimicry)"
+            )),
+            "--attack {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn bad_attack_strengths_are_rejected() {
+    for value in ["1.5", "-0.1", "strong", "NaN"] {
+        let out = run(&["--attack-strength", value]);
+        assert_eq!(out.status.code(), Some(2), "--attack-strength {value}");
+        assert!(
+            stderr(&out).contains("--attack-strength expects a number in [0, 1]"),
+            "--attack-strength {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn attacked_run_appends_adversarial_section_as_pure_suffix() {
+    let plain = run(&["--scale", "small", "--table", "2"]);
+    assert!(plain.status.success(), "{:?}", stderr(&plain));
+    let attacked = run(&[
+        "--scale",
+        "small",
+        "--table",
+        "2",
+        "--attack",
+        "link-farm",
+        "--attack-strength",
+        "0.5",
+    ]);
+    assert!(attacked.status.success(), "{:?}", stderr(&attacked));
+    assert!(
+        attacked.stdout.starts_with(&plain.stdout),
+        "attacked report does not start with the plain report"
+    );
+    assert!(attacked.stdout.len() > plain.stdout.len());
+    let suffix = String::from_utf8_lossy(&attacked.stdout[plain.stdout.len()..]).to_string();
+    assert!(
+        suffix.contains("Adversarial: link-farm attack, spam-mass defense off vs on"),
+        "suffix was {suffix:?}"
+    );
+}
+
+#[test]
 fn unknown_arguments_are_rejected() {
     let out = run(&["--tables", "3"]);
     assert_eq!(out.status.code(), Some(2));
@@ -183,6 +240,11 @@ fn help_short_circuits_without_running() {
         assert!(text.contains("--serve-workers W"), "{help}: {text}");
         assert!(text.contains("--online-waves N"), "{help}: {text}");
         assert!(text.contains("--web-domains N"), "{help}: {text}");
+        assert!(
+            text.contains("--attack link-farm|cloak|mimicry"),
+            "{help}: {text}"
+        );
+        assert!(text.contains("--attack-strength S"), "{help}: {text}");
     }
 }
 

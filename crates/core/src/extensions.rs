@@ -162,34 +162,158 @@ pub fn pharmacy_propagated_trust_scores(
         .collect()
 }
 
-/// Network classification over a prebuilt (possibly extended) graph,
-/// optionally adding the Anti-TrustRank distrust feature. With
-/// `use_distrust = false` and a base graph this is exactly the paper's
-/// §6.3.2 experiment (Gaussian naive Bayes on the trust score).
+/// Per-pharmacy **spam mass**: the portion of a node's propagated trust
+/// that is co-located with propagated distrust,
+/// `min(trust⁺(v), distrust(v))` over the teleport-adjusted scores.
 ///
-/// The distrust feature enters **binarized** (received any propagated
-/// distrust vs none). The raw magnitudes are unusable downstream: a
-/// seed's score restates its training label, hub fan-out dilutes test
-/// scores by orders of magnitude, and the legitimate class is an exact
-/// point mass at zero — each of which wrecks either a Gaussian density
-/// or a threshold split. Membership in the distrusted set is the part of
-/// the signal that transfers from training folds to test pharmacies.
+/// Spam mass is large exactly where trust is *laundered*: under a
+/// link-farm attack the hubs receive trust through compromised seed
+/// pages while their boost links into the spam network leave an
+/// anti-trust trail, so both signals land on the same nodes. Untouched
+/// legitimate sites (distrust ≈ 0) stay near zero — the separation the
+/// paper-invariant sweep pins per seed — while boosted illegitimate
+/// sites rightly pick up spam mass too (the laundered trust flows to
+/// them). The defense consumes this via [`defended_trust_scores`], a
+/// calibrated gate rather than a subtraction. Always non-negative (a
+/// min of two non-negative scores).
+pub fn pharmacy_spam_mass(
+    artifacts: &NetworkArtifacts,
+    corpus_good_seed_indices: &[usize],
+    corpus_bad_seed_indices: &[usize],
+    config: &TrustRankConfig,
+) -> Vec<f64> {
+    let trust = pharmacy_propagated_trust_scores(artifacts, corpus_good_seed_indices, config);
+    let distrust = pharmacy_distrust_scores(artifacts, corpus_bad_seed_indices, config);
+    trust
+        .iter()
+        .zip(&distrust)
+        .map(|(&t, &d)| t.min(d))
+        .collect()
+}
+
+/// The spam-mass-defended network feature: trust with a calibrated
+/// spam-mass gate.
+///
+/// Subtracting spam mass point-wise is not enough against a link farm —
+/// distrust magnitudes are bounded by the anti-trust damping while the
+/// trust a farm hub launders out of compromised seed pages is not, so a
+/// well-fed hub keeps most of its inflated trust after the subtraction.
+/// Following the spam-mass literature, the defense instead *gates*: a
+/// tolerance is calibrated from the trusted seeds themselves (how much
+/// spam mass do known-good sites carry — compromised seeds give the
+/// calibration its margin), and any site whose spam mass exceeds the
+/// tolerance forfeits its network reputation entirely. Sites inside the
+/// tolerance keep their raw trust, so on a clean corpus the defended
+/// feature degenerates to the baseline feature.
+///
+/// The floor term keeps the gate sane when no good seed carries any
+/// spam mass at all (a fully clean graph): without it the tolerance
+/// would be zero and numeric dust would zero out honest sites.
+pub fn defended_trust_scores(
+    trust: &[f64],
+    spam_mass: &[f64],
+    corpus_good_seed_indices: &[usize],
+) -> Vec<f64> {
+    let max_good_mass = corpus_good_seed_indices
+        .iter()
+        .map(|&i| spam_mass[i])
+        .fold(0.0_f64, f64::max);
+    let mean_good_trust = if corpus_good_seed_indices.is_empty() {
+        0.0
+    } else {
+        corpus_good_seed_indices
+            .iter()
+            .map(|&i| trust[i])
+            .sum::<f64>()
+            / corpus_good_seed_indices.len() as f64
+    };
+    let tolerance = (1.25 * max_good_mass).max(0.05 * mean_good_trust);
+    trust
+        .iter()
+        .zip(spam_mass)
+        .map(|(&t, &m)| if m > tolerance { 0.0 } else { t })
+        .collect()
+}
+
+impl NetworkArtifacts {
+    /// [`pharmacy_spam_mass`] as a method: the spam-mass feature of every
+    /// pharmacy in corpus order, given train-fold seed index sets.
+    pub fn spam_mass(
+        &self,
+        corpus_good_seed_indices: &[usize],
+        corpus_bad_seed_indices: &[usize],
+        config: &TrustRankConfig,
+    ) -> Vec<f64> {
+        pharmacy_spam_mass(
+            self,
+            corpus_good_seed_indices,
+            corpus_bad_seed_indices,
+            config,
+        )
+    }
+}
+
+/// Which feature set the network-only (OPC §6.3.2) classifier uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkVariant {
+    /// The paper's baseline: Gaussian naive Bayes on the TrustRank score.
+    Trust,
+    /// Trust plus the binarized Anti-TrustRank distrust feature (§7(a)).
+    TrustAndDistrust,
+    /// The spam-mass defense: Gaussian naive Bayes on the *defended*
+    /// trust score — trust gated by a spam-mass tolerance calibrated on
+    /// the trusted seeds (see [`defended_trust_scores`]).
+    SpamMassDefense,
+}
+
+impl NetworkVariant {
+    /// Display name for report tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkVariant::Trust => "TrustRank",
+            NetworkVariant::TrustAndDistrust => "TrustRank + Anti-TrustRank",
+            NetworkVariant::SpamMassDefense => "Spam-mass defense",
+        }
+    }
+}
+
+/// Network classification over a prebuilt (possibly extended) graph.
+/// With [`NetworkVariant::Trust`] and a base graph this is exactly the
+/// paper's §6.3.2 experiment (Gaussian naive Bayes on the trust score).
+///
+/// For [`NetworkVariant::TrustAndDistrust`] the distrust feature enters
+/// **binarized** (received any propagated distrust vs none). The raw
+/// magnitudes are unusable downstream: a seed's score restates its
+/// training label, hub fan-out dilutes test scores by orders of
+/// magnitude, and the legitimate class is an exact point mass at zero —
+/// each of which wrecks either a Gaussian density or a threshold split.
+/// Membership in the distrusted set is the part of the signal that
+/// transfers from training folds to test pharmacies.
+///
+/// For [`NetworkVariant::SpamMassDefense`] the single feature is the
+/// defended trust score ([`defended_trust_scores`]: trust gated by the
+/// seed-calibrated spam-mass tolerance) — same model shape as the
+/// baseline, so off-vs-on comparisons isolate the defense itself.
 pub fn evaluate_network_variant(
     corpus: &ExtractedCorpus,
     artifacts: &NetworkArtifacts,
-    use_distrust: bool,
+    variant: NetworkVariant,
     cv: CvConfig,
 ) -> CvOutcome {
     assert!(!corpus.is_empty(), "corpus must not be empty");
     let trust_config = TrustRankConfig::default();
     let folds = stratified_folds(&corpus.labels, cv.k, cv.seed);
-    let learner: Box<dyn Learner> = if use_distrust {
+    let learner: Box<dyn Learner> = if variant == NetworkVariant::TrustAndDistrust {
         // Feature 1 (distrust) is binarized; model it as a Bernoulli.
         Box::new(HybridNaiveBayes::new([1]))
     } else {
         Box::new(GaussianNaiveBayes::default())
     };
-    let dim = if use_distrust { 2 } else { 1 };
+    let dim = if variant == NetworkVariant::TrustAndDistrust {
+        2
+    } else {
+        1
+    };
     let mut outcomes = Vec::with_capacity(folds.len());
     for test_idx in &folds {
         let train_idx: Vec<usize> = (0..corpus.len())
@@ -200,13 +324,13 @@ pub fn evaluate_network_variant(
             .copied()
             .filter(|&i| corpus.labels[i])
             .collect();
+        let bad_seeds: Vec<usize> = train_idx
+            .iter()
+            .copied()
+            .filter(|&i| !corpus.labels[i])
+            .collect();
         let trust = pharmacy_trust_scores(artifacts, &good_seeds, &trust_config);
-        let distrust = if use_distrust {
-            let bad_seeds: Vec<usize> = train_idx
-                .iter()
-                .copied()
-                .filter(|&i| !corpus.labels[i])
-                .collect();
+        let distrust = if variant == NetworkVariant::TrustAndDistrust {
             Some(pharmacy_distrust_scores(
                 artifacts,
                 &bad_seeds,
@@ -215,8 +339,18 @@ pub fn evaluate_network_variant(
         } else {
             None
         };
+        let defended = if variant == NetworkVariant::SpamMassDefense {
+            let sm = pharmacy_spam_mass(artifacts, &good_seeds, &bad_seeds, &trust_config);
+            Some(defended_trust_scores(&trust, &sm, &good_seeds))
+        } else {
+            None
+        };
         let featurize = |i: usize| -> SparseVector {
-            let mut pairs = vec![(0u32, trust[i])];
+            let base = match &defended {
+                Some(def) => def[i],
+                None => trust[i],
+            };
+            let mut pairs = vec![(0u32, base)];
             if let Some(d) = &distrust {
                 pairs.push((1, if d[i] > 1e-9 { 1.0 } else { 0.0 }));
             }
@@ -380,7 +514,8 @@ mod tests {
     fn baseline_variant_matches_paper_pipeline() {
         let (_snap, corpus) = setup();
         let artifacts = build_web_graph(&corpus);
-        let variant = evaluate_network_variant(&corpus, &artifacts, false, CV).aggregate();
+        let variant =
+            evaluate_network_variant(&corpus, &artifacts, NetworkVariant::Trust, CV).aggregate();
         let paper = crate::classify::evaluate_network(&corpus, CV).aggregate();
         assert_eq!(variant.accuracy, paper.accuracy);
         assert_eq!(variant.auc, paper.auc);
@@ -396,7 +531,9 @@ mod tests {
         // legitimate class. The assertions pin sane behaviour, not a win.
         let (_snap, corpus) = setup();
         let artifacts = build_web_graph(&corpus);
-        let with_distrust = evaluate_network_variant(&corpus, &artifacts, true, CV).aggregate();
+        let with_distrust =
+            evaluate_network_variant(&corpus, &artifacts, NetworkVariant::TrustAndDistrust, CV)
+                .aggregate();
         assert!(with_distrust.auc > 0.6, "auc {}", with_distrust.auc);
         assert!(
             with_distrust.accuracy > 0.6,
@@ -419,6 +556,89 @@ mod tests {
         // sites, so fold metrics are noisy.
         assert!(combined.accuracy > 0.75, "accuracy {}", combined.accuracy);
         assert!(combined.auc > 0.85, "auc {}", combined.auc);
+    }
+
+    #[test]
+    fn spam_mass_is_near_zero_on_a_clean_corpus() {
+        // No attack: trust and distrust occupy disjoint populations, so
+        // their min is (almost) everywhere zero and the defended variant
+        // collapses to the baseline.
+        let (_snap, corpus) = setup();
+        let artifacts = build_web_graph(&corpus);
+        let (good, bad) = corpus.indices_by_class();
+        let sm = artifacts.spam_mass(&good, &bad, &TrustRankConfig::default());
+        assert_eq!(sm.len(), corpus.len());
+        for (i, &m) in sm.iter().enumerate() {
+            assert!(m >= 0.0, "{}: spam mass {m} < 0", corpus.domains[i]);
+        }
+        let total: f64 = sm.iter().sum();
+        let trust_total: f64 =
+            pharmacy_trust_scores(&artifacts, &good, &TrustRankConfig::default())
+                .iter()
+                .sum();
+        assert!(
+            total < 0.05 * trust_total,
+            "clean corpus spam mass {total} vs trust {trust_total}"
+        );
+        let defended =
+            evaluate_network_variant(&corpus, &artifacts, NetworkVariant::SpamMassDefense, CV)
+                .aggregate();
+        let baseline =
+            evaluate_network_variant(&corpus, &artifacts, NetworkVariant::Trust, CV).aggregate();
+        assert!(
+            (defended.auc - baseline.auc).abs() < 0.05,
+            "clean-corpus defended auc {} vs baseline {}",
+            defended.auc,
+            baseline.auc
+        );
+    }
+
+    #[test]
+    fn spam_mass_concentrates_on_link_farm_nodes() {
+        use pharmaverify_corpus::{apply_attack, AttackConfig, AttackKind};
+        let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
+        let attacked = apply_attack(
+            web.snapshot(),
+            &AttackConfig::new(AttackKind::LinkFarm, 1.0),
+            42,
+        );
+        let corpus = extract_corpus(&attacked.snapshot, &CrawlConfig::default()).expect("extracts");
+        let artifacts = build_web_graph(&corpus);
+        let (good, bad) = corpus.indices_by_class();
+        let sm = artifacts.spam_mass(&good, &bad, &TrustRankConfig::default());
+        // Spam mass measures *laundered* trust, so it concentrates on
+        // the farm's laundering nodes — the hubs, which receive the
+        // compromised sites' trust and forward it into the spam
+        // network. Spokes have no in-links (zero trust, zero mass), and
+        // the boost links deliberately inflate existing illegitimate
+        // sites too, so the yardstick is hubs vs. *untouched
+        // legitimate* sites.
+        let hubs: std::collections::HashSet<&str> =
+            attacked.hub_domains.iter().map(String::as_str).collect();
+        let touched: std::collections::HashSet<&str> = attacked
+            .mutated_domains
+            .iter()
+            .map(String::as_str)
+            .collect();
+        let mean_hub = {
+            let idx: Vec<usize> = (0..corpus.len())
+                .filter(|&i| hubs.contains(corpus.domains[i].as_str()))
+                .collect();
+            idx.iter().map(|&i| sm[i]).sum::<f64>() / idx.len() as f64
+        };
+        let mean_legit = {
+            let idx: Vec<usize> = (0..corpus.len())
+                .filter(|&i| corpus.labels[i] && !touched.contains(corpus.domains[i].as_str()))
+                .collect();
+            idx.iter().map(|&i| sm[i]).sum::<f64>() / idx.len() as f64
+        };
+        assert!(
+            mean_hub > mean_legit,
+            "farm hub mean spam mass {mean_hub} !> untouched legitimate mean {mean_legit}"
+        );
+        for &m in &sm {
+            assert!(m >= 0.0);
+        }
     }
 
     #[test]

@@ -46,12 +46,16 @@ pub use classify::{
     evaluate_ngg_in, evaluate_tfidf, evaluate_tfidf_in, web_graph_builder, CvConfig,
     EnsembleOutcome, NetworkArtifacts, TextLearnerKind,
 };
+pub use extensions::{defended_trust_scores, pharmacy_spam_mass, NetworkVariant};
 pub use features::{extract_corpus, ExtractedCorpus};
 pub use outliers::{ranking_outliers, OutlierReport};
 pub use pipeline::{
     corpus_fingerprint, ArtifactKey, ArtifactStore, CacheCounters, Executor, Pipeline, Stage,
 };
-pub use rank::{evaluate_ranking, evaluate_ranking_in, RankingMethod, RankingOutcome};
+pub use rank::{
+    evaluate_ranking, evaluate_ranking_defended_in, evaluate_ranking_in, RankingMethod,
+    RankingOutcome,
+};
 pub use report::Table;
 pub use system::{SystemConfig, VerificationSystem};
 pub use verifier::{TrainedVerifier, Verdict, VerifyError};

@@ -106,6 +106,33 @@ pub fn evaluate_ranking_in(
     subsample: Option<usize>,
     cv: CvConfig,
 ) -> RankingOutcome {
+    evaluate_ranking_impl(pipe, method, subsample, cv, false)
+}
+
+/// [`evaluate_ranking_in`] with the spam-mass defense on: the network
+/// component is the *defended* trust (trust gated by the
+/// seed-calibrated spam-mass tolerance, see
+/// `extensions::defended_trust_scores`), with spam mass computed from
+/// the same training folds (legitimate seeds for trust, illegitimate
+/// seeds for distrust). Everything else —
+/// text ranks, folds, pairwise orderedness — is identical, so the
+/// off-vs-on pairord gap isolates the defense.
+pub fn evaluate_ranking_defended_in(
+    pipe: Pipeline<'_>,
+    method: RankingMethod,
+    subsample: Option<usize>,
+    cv: CvConfig,
+) -> RankingOutcome {
+    evaluate_ranking_impl(pipe, method, subsample, cv, true)
+}
+
+fn evaluate_ranking_impl(
+    pipe: Pipeline<'_>,
+    method: RankingMethod,
+    subsample: Option<usize>,
+    cv: CvConfig,
+    defended: bool,
+) -> RankingOutcome {
     let corpus = pipe.corpus();
     assert!(!corpus.is_empty(), "corpus must not be empty");
     let trust_config = TrustRankConfig::default();
@@ -121,8 +148,26 @@ pub fn evaluate_ranking_in(
             .filter(|&i| corpus.labels[i])
             .collect();
         let trust = pipe.trust_scores(&trust_config, &seed_idx);
-        for &i in test_idx {
-            network_rank[i] = trust[i];
+        if defended {
+            let bad_idx: Vec<usize> = train_idx
+                .iter()
+                .copied()
+                .filter(|&i| !corpus.labels[i])
+                .collect();
+            let spam_mass = crate::extensions::pharmacy_spam_mass(
+                &pipe.web_graph(),
+                &seed_idx,
+                &bad_idx,
+                &trust_config,
+            );
+            let def = crate::extensions::defended_trust_scores(&trust, &spam_mass, &seed_idx);
+            for &i in test_idx {
+                network_rank[i] = def[i];
+            }
+        } else {
+            for &i in test_idx {
+                network_rank[i] = trust[i];
+            }
         }
         // textRank: per method.
         match method {

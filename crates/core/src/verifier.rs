@@ -22,7 +22,7 @@ use crate::features::ExtractedCorpus;
 use pharmaverify_crawl::{summarize_crawl, CrawlConfig, Crawler, Url, WebHost};
 use pharmaverify_ml::{Dataset, GaussianNaiveBayes, Learner, Model};
 use pharmaverify_net::{
-    IncrementalConfig, IncrementalOutcome, SpliceOverlay, TrustRankConfig, TrustTrajectory,
+    IncrementalConfig, IncrementalOutcome, NodeId, SpliceOverlay, TrustRankConfig, TrustTrajectory,
 };
 use pharmaverify_text::subsample::subsample_opt;
 use pharmaverify_text::{preprocess, SparseVector, TfIdfModel};
@@ -40,6 +40,16 @@ pub struct Verdict {
     /// Network component: the site's TrustRank value after being spliced
     /// into the training link graph (scaled by node count).
     pub trust_score: f64,
+    /// Anti-TrustRank distrust gathered through the site's own outbound
+    /// links after splicing (scaled like `trust_score`). Non-zero even
+    /// for domains the training graph never saw: distrust flows along a
+    /// fresh site's out-links into the known-bad neighborhood.
+    pub distrust_score: f64,
+    /// Spam mass: the portion of this site's trust co-located with
+    /// distrust, `min(trust⁺, distrust)` — the defense feature. High
+    /// only when a site both receives seed trust *and* sits in the
+    /// distrusted neighborhood (the link-farm signature).
+    pub spam_mass: f64,
     /// Network model's legitimate-class score in [0, 1].
     pub network_score: f64,
     /// Combined legitimacy rank, `textRank + networkRank` (§5).
@@ -84,9 +94,12 @@ impl fmt::Display for Verdict {
         }
         write!(
             f,
-            " (text {:.3}, trust {:.4}, rank {:.3}, {} pages)",
-            self.text_score, self.trust_score, self.rank, self.pages_crawled,
+            " (text {:.3}, trust {:.4}, distrust {:.4}, rank {:.3}, {} pages)",
+            self.text_score, self.trust_score, self.distrust_score, self.rank, self.pages_crawled,
         )?;
+        if self.spam_mass > 0.0 {
+            write!(f, " [spam mass {:.4}]", self.spam_mass)?;
+        }
         if self.degraded {
             write!(
                 f,
@@ -151,7 +164,19 @@ pub struct TrainedVerifier {
     trust_model: Box<dyn Model>,
     trust_scale: f64,
     trajectory: TrustTrajectory,
+    /// Anti-trust propagation history, recorded over the *transposed*
+    /// base graph (anti-trust is trust on the transpose), so spliced
+    /// candidates get incremental distrust scores too.
+    anti_trajectory: TrustTrajectory,
     incremental: IncrementalConfig,
+    /// Good-seed nodes and their teleport share: a seed's raw score
+    /// contains `(1 − α)/|seeds|` of static teleport mass that merely
+    /// restates its training label; the verdict's spam mass uses the
+    /// adjusted (propagated-only) scores.
+    good_seed_nodes: std::collections::HashSet<NodeId>,
+    good_teleport: f64,
+    bad_seed_nodes: std::collections::HashSet<NodeId>,
+    bad_teleport: f64,
     model_version: u64,
 }
 
@@ -215,10 +240,33 @@ impl TrainedVerifier {
             .map(|&i| artifacts.pharmacy_nodes[i])
             .collect();
         let trajectory = TrustTrajectory::compute(&artifacts.graph, &seed_nodes, &trust_config);
+        // The anti-trust history: distrust seeded at the training
+        // population's illegitimate members, propagated on the transpose.
+        let bad_indices: Vec<usize> = (0..corpus.len()).filter(|&i| !corpus.labels[i]).collect();
+        let bad_seed_nodes_vec: Vec<_> = bad_indices
+            .iter()
+            .map(|&i| artifacts.pharmacy_nodes[i])
+            .collect();
+        let anti_trajectory = TrustTrajectory::compute(
+            &artifacts.graph.transposed(),
+            &bad_seed_nodes_vec,
+            &trust_config,
+        );
         let incremental = IncrementalConfig {
             tolerance: 0.0,
             max_frontier: (artifacts.graph.node_count() / 2).max(64),
         };
+        let teleport = |count: usize| {
+            if count == 0 {
+                0.0
+            } else {
+                (1.0 - trust_config.alpha) / count as f64
+            }
+        };
+        let good_teleport = teleport(seed_nodes.len());
+        let bad_teleport = teleport(bad_seed_nodes_vec.len());
+        let good_seed_nodes = seed_nodes.iter().copied().collect();
+        let bad_seed_nodes = bad_seed_nodes_vec.iter().copied().collect();
 
         TrainedVerifier {
             crawl_config,
@@ -231,7 +279,12 @@ impl TrainedVerifier {
             trust_model,
             trust_scale,
             trajectory,
+            anti_trajectory,
             incremental,
+            good_seed_nodes,
+            good_teleport,
+            bad_seed_nodes,
+            bad_teleport,
             model_version: 0,
         }
     }
@@ -268,11 +321,13 @@ impl TrainedVerifier {
     /// fall out of the splice design:
     ///
     /// * a site whose domain is *not* a node of the training graph skips
-    ///   trust propagation entirely — nothing in the training graph links
+    ///   the *trust* propagation — nothing in the training graph links
     ///   to a fresh domain, so every TrustRank iteration assigns it
     ///   exactly `0.0` mass (teleport is seeds-only and dangling mass
     ///   returns to the seeds), and `verify` would compute a trust score
-    ///   of exactly `0.0` for it;
+    ///   of exactly `0.0` for it. Distrust is different: a fresh site
+    ///   gathers anti-trust through its *own* out-links, so the
+    ///   incremental anti-trust kernel still runs;
     /// * the overlay's delta structures are reused across the batch, so
     ///   per-site allocation is proportional to that site's links.
     ///
@@ -295,7 +350,7 @@ impl TrainedVerifier {
                 let crawl = self.crawl_site(host, seed_url)?;
                 let verdict = if self.artifacts.graph.node(&crawl.domain).is_none() {
                     obs.add("core/verifier/batch_fresh", 1);
-                    self.score_crawl_fresh(&crawl)
+                    self.score_crawl_fresh(&crawl, &mut overlay)
                 } else {
                     obs.add("core/verifier/batch_spliced", 1);
                     self.score_crawl(&crawl, &mut overlay)
@@ -359,27 +414,93 @@ impl TrainedVerifier {
             .map(|(target, count)| (target, count as f64))
             .collect();
         let node = overlay.splice_pharmacy(&crawl.domain, &links);
-        // Incremental re-rank from the recorded base trajectory: only the
-        // spliced neighborhood is recomputed; when the touched frontier
-        // exceeds the cap the kernel falls back to full iteration. Exact
-        // mode keeps both paths bit-identical to a full recompute.
+        // Incremental re-rank from the recorded base trajectories: only
+        // the spliced neighborhood is recomputed; when the touched
+        // frontier exceeds the cap the kernels fall back to full
+        // iteration. Exact mode keeps both paths bit-identical to a full
+        // recompute.
         let trust = overlay.trust_rank_incremental(&self.trajectory, &self.incremental);
         let obs = pharmaverify_obs::global();
         match trust.outcome {
             IncrementalOutcome::Incremental => obs.add("core/verifier/trust_incremental", 1),
             IncrementalOutcome::FellBack => obs.add("core/verifier/trust_fallback", 1),
         }
-        let trust_score = trust.scores[node as usize] * self.trust_scale;
+        let anti = overlay.anti_trust_rank_incremental(&self.anti_trajectory, &self.incremental);
+        match anti.outcome {
+            IncrementalOutcome::Incremental => obs.add("core/verifier/anti_incremental", 1),
+            IncrementalOutcome::FellBack => obs.add("core/verifier/anti_fallback", 1),
+        }
+        let (trust_score, distrust_score, spam_mass) = self.network_scores(
+            node,
+            trust.scores[node as usize],
+            anti.scores[node as usize],
+        );
         overlay.unsplice();
-        self.finish_verdict(crawl, text_score, predicted, trust_score)
+        self.finish_verdict(
+            crawl,
+            text_score,
+            predicted,
+            trust_score,
+            distrust_score,
+            spam_mass,
+        )
     }
 
     /// Scores a crawled site whose domain has no node in the training
     /// graph: its trust score is exactly `0.0` (see
-    /// [`TrainedVerifier::verify_batch`]), so propagation is skipped.
-    fn score_crawl_fresh(&self, crawl: &pharmaverify_crawl::CrawlResult) -> Verdict {
+    /// [`TrainedVerifier::verify_batch`]), so the trust propagation is
+    /// skipped — but the site is still spliced so the incremental
+    /// anti-trust kernel can gather distrust through its out-links.
+    fn score_crawl_fresh(
+        &self,
+        crawl: &pharmaverify_crawl::CrawlResult,
+        overlay: &mut SpliceOverlay<'_>,
+    ) -> Verdict {
         let (text_score, predicted) = self.text_component(crawl);
-        self.finish_verdict(crawl, text_score, predicted, 0.0)
+        let links: Vec<(String, f64)> = crawl
+            .outbound_endpoints()
+            .into_iter()
+            .map(|(target, count)| (target, count as f64))
+            .collect();
+        let node = overlay.splice_pharmacy(&crawl.domain, &links);
+        let anti = overlay.anti_trust_rank_incremental(&self.anti_trajectory, &self.incremental);
+        let obs = pharmaverify_obs::global();
+        match anti.outcome {
+            IncrementalOutcome::Incremental => obs.add("core/verifier/anti_incremental", 1),
+            IncrementalOutcome::FellBack => obs.add("core/verifier/anti_fallback", 1),
+        }
+        let (_, distrust_score, spam_mass) =
+            self.network_scores(node, 0.0, anti.scores[node as usize]);
+        overlay.unsplice();
+        self.finish_verdict(crawl, text_score, predicted, 0.0, distrust_score, spam_mass)
+    }
+
+    /// Teleport-adjusted, node-count-scaled network scores for a spliced
+    /// node: `(trust, distrust, spam mass)`. Seeds carry a static
+    /// teleport share `(1 − α)/|seeds|` that restates their training
+    /// label; spam mass is computed from the propagated-only scores, the
+    /// same adjustment the evaluation pipelines use.
+    fn network_scores(&self, node: NodeId, raw_trust: f64, raw_distrust: f64) -> (f64, f64, f64) {
+        let adjusted = |raw: f64, is_seed: bool, teleport: f64| {
+            if is_seed {
+                (raw - teleport).max(0.0)
+            } else {
+                raw
+            }
+        };
+        let trust_score = raw_trust * self.trust_scale;
+        let propagated_trust = adjusted(
+            raw_trust,
+            self.good_seed_nodes.contains(&node),
+            self.good_teleport,
+        ) * self.trust_scale;
+        let distrust_score = adjusted(
+            raw_distrust,
+            self.bad_seed_nodes.contains(&node),
+            self.bad_teleport,
+        ) * self.trust_scale;
+        let spam_mass = propagated_trust.min(distrust_score);
+        (trust_score, distrust_score, spam_mass)
     }
 
     fn finish_verdict(
@@ -388,6 +509,8 @@ impl TrainedVerifier {
         text_score: f64,
         predicted: bool,
         trust_score: f64,
+        distrust_score: f64,
+        spam_mass: f64,
     ) -> Verdict {
         let network_score = self
             .trust_model
@@ -397,6 +520,8 @@ impl TrainedVerifier {
             pages_crawled: crawl.pages.len(),
             text_score,
             trust_score,
+            distrust_score,
+            spam_mass,
             network_score,
             rank: text_score + trust_score,
             predicted_legitimate: predicted,
@@ -568,6 +693,8 @@ mod tests {
             pages_crawled: 12,
             text_score: 0.8,
             trust_score: 0.05,
+            distrust_score: 0.0,
+            spam_mass: 0.0,
             network_score: 0.6,
             rank: 0.85,
             predicted_legitimate: true,
@@ -605,6 +732,8 @@ mod tests {
         // Bit-exact, not approximate: batch must run the same arithmetic.
         assert_eq!(a.text_score.to_bits(), b.text_score.to_bits());
         assert_eq!(a.trust_score.to_bits(), b.trust_score.to_bits());
+        assert_eq!(a.distrust_score.to_bits(), b.distrust_score.to_bits());
+        assert_eq!(a.spam_mass.to_bits(), b.spam_mass.to_bits());
         assert_eq!(a.network_score.to_bits(), b.network_score.to_bits());
         assert_eq!(a.rank.to_bits(), b.rank.to_bits());
         assert_eq!(a.predicted_legitimate, b.predicted_legitimate);

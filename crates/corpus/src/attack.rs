@@ -1,0 +1,644 @@
+//! Adversarial mutations of a clean snapshot.
+//!
+//! The paper's verifier leans on link-based trust and class-conditional
+//! text, and Abbasi et al. (PAPERS.md) document exactly how fake
+//! pharmacies game such detectors: affiliate hubs and link farms aimed
+//! at the trusted seed set, plus content that mimics legitimate sites.
+//! This module turns those tactics into *seeded, parameterized* attack
+//! generators so the bench harness can sweep attack strength and measure
+//! how OPC/OPR degrade with the spam-mass defense off vs. on.
+//!
+//! Three attack families, all pure functions of `(snapshot, config,
+//! seed)`:
+//!
+//! * **Link farm** ([`AttackKind::LinkFarm`]): inject hub/spoke farm
+//!   sites and compromise a fraction of *legitimate* front pages with
+//!   links into the farm (comment-spam style) — trust leaks from the
+//!   seed set into the hubs, while the hubs' double-weighted boost
+//!   links into the existing illegitimate corpus leave an anti-trust
+//!   trail.
+//! * **Cloaking** ([`AttackKind::Cloak`]): a fraction of illegitimate
+//!   sites present legitimate *text* over an illegitimate link profile,
+//!   or launder their *links* while keeping spam text — each evades one
+//!   signal family but not both.
+//! * **Mimicry** ([`AttackKind::Mimicry`]): every illegitimate site's
+//!   token distribution is interpolated toward the legitimate centroid
+//!   at strength λ — the slow-morphing vocabulary attack.
+//!
+//! Determinism contract: the same `(snapshot, config, seed)` triple
+//! produces the same attacked snapshot byte for byte, and strength 0 is
+//! a byte-identical no-op. Both claims are pinned by property tests.
+
+use crate::generator::{base_mixture, paragraph, Mixture};
+use crate::site::{PharmacySite, SiteClass, SiteProfile};
+use crate::snapshot::Snapshot;
+use crate::vocabulary as vocab;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Attack family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Hub/spoke link farm aimed at the trusted seed set.
+    LinkFarm,
+    /// Text- or link-cloaked illegitimate sites.
+    Cloak,
+    /// Vocabulary interpolation toward the legitimate centroid.
+    Mimicry,
+}
+
+impl AttackKind {
+    /// Every attack kind, in CLI order.
+    pub const ALL: [AttackKind; 3] = [AttackKind::LinkFarm, AttackKind::Cloak, AttackKind::Mimicry];
+
+    /// Parses the CLI spelling (`link-farm`, `cloak`, `mimicry`).
+    pub fn parse(s: &str) -> Option<AttackKind> {
+        match s {
+            "link-farm" => Some(AttackKind::LinkFarm),
+            "cloak" => Some(AttackKind::Cloak),
+            "mimicry" => Some(AttackKind::Mimicry),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AttackKind::LinkFarm => "link-farm",
+            AttackKind::Cloak => "cloak",
+            AttackKind::Mimicry => "mimicry",
+        })
+    }
+}
+
+/// Attack parameters. `strength` is the λ every knob scales with; the
+/// remaining fields are the per-family maxima reached at λ = 1.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Attack family.
+    pub kind: AttackKind,
+    /// Attack strength λ ∈ [0, 1]. Strength 0 is a byte-identical no-op.
+    pub strength: f64,
+    /// Link farm: hub count at λ = 1.
+    pub max_hubs: usize,
+    /// Link farm: spokes per hub at λ = 1.
+    pub max_spokes_per_hub: usize,
+    /// Link farm: fraction of legitimate front pages compromised with
+    /// farm links at λ = 1 (seed-proximity knob — compromised pages are
+    /// exactly the pages trust seeds propagate from).
+    pub seed_targeting: f64,
+    /// Cloak: fraction of illegitimate sites cloaked at λ = 1.
+    pub cloak_fraction: f64,
+    /// Farm-page body tokens, inclusive range.
+    pub tokens_per_page: (usize, usize),
+}
+
+impl AttackConfig {
+    /// An attack of `kind` at strength λ with the default knob maxima.
+    pub fn new(kind: AttackKind, strength: f64) -> AttackConfig {
+        AttackConfig {
+            kind,
+            strength,
+            max_hubs: 4,
+            max_spokes_per_hub: 6,
+            seed_targeting: 0.6,
+            cloak_fraction: 0.8,
+            tokens_per_page: (30, 70),
+        }
+    }
+}
+
+/// An attacked snapshot plus the ground truth of what the attack did —
+/// consumed by the defense invariants (farm nodes must carry more spam
+/// mass than clean nodes) and by the bench report.
+#[derive(Debug, Clone)]
+pub struct AttackedSnapshot {
+    /// The mutated snapshot. At strength 0 this is a byte-identical
+    /// clone of the input.
+    pub snapshot: Snapshot,
+    /// Domains of *injected* farm sites (empty for cloak/mimicry).
+    pub farm_domains: Vec<String>,
+    /// The hub subset of [`Self::farm_domains`] — the laundering nodes
+    /// that both receive compromised-site links and boost the spam
+    /// network (empty for cloak/mimicry).
+    pub hub_domains: Vec<String>,
+    /// Pre-existing domains whose pages were rewritten: compromised
+    /// legitimate sites for the link farm, cloaked or morphed
+    /// illegitimate sites otherwise.
+    pub mutated_domains: Vec<String>,
+}
+
+const FARM_SALT: u64 = 0xFA_3A;
+const CLOAK_SALT: u64 = 0xC1_0A;
+const MIMIC_SALT: u64 = 0x31_31;
+
+/// Applies `config` to a clean snapshot. Pure function of
+/// `(snapshot, config, seed)`; strength 0 returns a byte-identical
+/// clone.
+pub fn apply_attack(base: &Snapshot, config: &AttackConfig, seed: u64) -> AttackedSnapshot {
+    let obs = pharmaverify_obs::global();
+    let _span = obs.span("corpus/attack");
+    let mut attacked = AttackedSnapshot {
+        snapshot: base.clone(),
+        farm_domains: Vec::new(),
+        hub_domains: Vec::new(),
+        mutated_domains: Vec::new(),
+    };
+    if !(config.strength > 0.0) {
+        return attacked;
+    }
+    let lambda = config.strength.min(1.0);
+    match config.kind {
+        AttackKind::LinkFarm => link_farm(&mut attacked, config, lambda, seed),
+        AttackKind::Cloak => cloak(&mut attacked, config, lambda, seed),
+        AttackKind::Mimicry => mimicry(&mut attacked, lambda, seed),
+    }
+    obs.add("corpus/attacked_snapshots", 1);
+    attacked
+}
+
+/// Per-entity rng: one independent stream per (salt, index), so adding
+/// or skipping one entity never perturbs another's bytes.
+fn entity_rng(seed: u64, salt: u64, index: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ salt ^ ((index as u64) << 16))
+}
+
+/// All crawlable page URLs of `domain`, in deterministic order.
+fn site_pages(snapshot: &Snapshot, domain: &str) -> Vec<(String, String)> {
+    let prefix = format!("http://{domain}/");
+    snapshot
+        .web
+        .iter()
+        .filter(|(url, _)| url.starts_with(&prefix))
+        .map(|(url, html)| (url.to_string(), html.to_string()))
+        .collect()
+}
+
+/// Rewrites every `<p>…</p>` line of `html` with fresh text drawn from
+/// `mixture`, preserving the token count per paragraph and every other
+/// line (titles, headings, links) byte for byte.
+fn rewrite_paragraphs(
+    html: &str,
+    mixture: &Mixture,
+    noise: &[String],
+    rng: &mut SmallRng,
+) -> String {
+    let mut out = String::with_capacity(html.len());
+    for (i, line) in html.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        if let Some(body) = line
+            .strip_prefix("<p>")
+            .and_then(|rest| rest.strip_suffix("</p>"))
+        {
+            let tokens = body.split_whitespace().count();
+            out.push_str("<p>");
+            out.push_str(&paragraph(mixture, noise, None, 0.0, tokens, rng));
+            out.push_str("</p>");
+        } else {
+            out.push_str(line);
+        }
+    }
+    out
+}
+
+/// The legitimate text centroid all camouflage interpolates toward.
+fn legitimate_centroid() -> Mixture {
+    base_mixture(SiteClass::Legitimate, SiteProfile::Standard)
+}
+
+// ---------------------------------------------------------------- farm
+
+fn link_farm(attacked: &mut AttackedSnapshot, config: &AttackConfig, lambda: f64, seed: u64) {
+    let snap = &mut attacked.snapshot;
+    let noise_pool = vocab::noise_pool(seed ^ FARM_SALT);
+    let n_hubs = ((config.max_hubs as f64 * lambda).round() as usize).max(1);
+    let spokes_per_hub = ((config.max_spokes_per_hub as f64 * lambda).round() as usize).max(1);
+
+    // The farm's product: boost links into the existing illegitimate
+    // corpus. A link farm exists to funnel laundered rank *into* the
+    // spam network it serves, so every hub links a broad sample of the
+    // known-bad sites (double-weighted — farms repeat their money
+    // links). This is also the anti-trust trail the spam-mass defense
+    // follows back into the farm: each boosted bad seed hands a share
+    // of its distrust to the hubs pointing at it.
+    let boost_pool: Vec<String> = snap
+        .sites
+        .iter()
+        .filter(|s| !s.label())
+        .map(|s| s.domain.clone())
+        .collect();
+
+    // Farm domains use a `.biz` suffix, disjoint from the generator's
+    // `.com`/`.org` namespaces by construction.
+    let hub_domains: Vec<String> = (0..n_hubs)
+        .map(|i| {
+            let mut rng = entity_rng(seed, FARM_SALT, i);
+            format!("{}farm{i}.biz", vocab::pseudo_word(&mut rng))
+        })
+        .collect();
+    let spoke_domains: Vec<String> = (0..n_hubs * spokes_per_hub)
+        .map(|i| {
+            let mut rng = entity_rng(seed, FARM_SALT.rotate_left(8), i);
+            format!("{}spoke{i}.biz", vocab::pseudo_word(&mut rng))
+        })
+        .collect();
+
+    let spam = base_mixture(SiteClass::Illegitimate, SiteProfile::Standard);
+    let render_farm_page = |domain: &str, index: usize, targets: &[String]| {
+        let mut rng = entity_rng(seed, FARM_SALT.rotate_left(16), index);
+        let noise: Vec<String> = (0..8)
+            .map(|_| noise_pool[rng.gen_range(0..noise_pool.len())].clone())
+            .collect();
+        let tokens = rng.gen_range(config.tokens_per_page.0..=config.tokens_per_page.1);
+        let mut page =
+            format!("<html><head><title>{domain}</title></head><body><h1>{domain}</h1>\n");
+        page.push_str(&format!(
+            "<p>{}</p>\n",
+            paragraph(&spam, &noise, None, 0.0, tokens, &mut rng)
+        ));
+        for target in targets {
+            page.push_str(&format!("<a href=\"http://{target}/\">partner site</a>\n"));
+        }
+        page.push_str("</body></html>");
+        page
+    };
+
+    // Hubs: interlink the farm, add the usual illegitimate external
+    // targets, then boost a contiguous (wrap-around) slice of half the
+    // existing illegitimate corpus with double-weighted links.
+    for (h, domain) in hub_domains.iter().enumerate() {
+        let mut rng = entity_rng(seed, FARM_SALT.rotate_left(24), h);
+        let mut targets: Vec<String> = hub_domains
+            .iter()
+            .filter(|d| *d != domain)
+            .cloned()
+            .collect();
+        for _ in 0..rng.gen_range(1..=3) {
+            targets.push(vocab::zipf_sample(vocab::ILLEGITIMATE_TARGETS, &mut rng).to_string());
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        if !boost_pool.is_empty() {
+            let n_boost = (boost_pool.len() / 2).max(1);
+            let start = rng.gen_range(0..boost_pool.len());
+            for k in 0..n_boost {
+                let boosted = boost_pool[(start + k) % boost_pool.len()].clone();
+                // Duplicates are deliberate: link weight doubles.
+                targets.push(boosted.clone());
+                targets.push(boosted);
+            }
+        }
+        let html = render_farm_page(domain, h, &targets);
+        snap.web.add_page(&format!("http://{domain}/"), html);
+    }
+
+    // Spokes: each boosts its hub (plus a sampled second hub) and keeps
+    // one boost link into the existing network.
+    for (s, domain) in spoke_domains.iter().enumerate() {
+        let mut rng = entity_rng(seed, FARM_SALT.rotate_left(32), s);
+        let mut targets: Vec<String> = vec![hub_domains[s % n_hubs].clone()];
+        if n_hubs > 1 && rng.gen_bool(0.5) {
+            targets.push(hub_domains[rng.gen_range(0..n_hubs)].clone());
+        }
+        if !boost_pool.is_empty() && rng.gen_bool(0.5) {
+            targets.push(boost_pool[rng.gen_range(0..boost_pool.len())].clone());
+        }
+        targets.sort_unstable();
+        targets.dedup();
+        targets.retain(|t| t != domain);
+        let html = render_farm_page(domain, n_hubs + s, &targets);
+        snap.web.add_page(&format!("http://{domain}/"), html);
+    }
+
+    // Compromised legitimate front pages: the seed-proximity half of the
+    // attack. A λ-scaled fraction of legitimate sites picks up injected
+    // farm links (comment spam), so trust flows seed → farm.
+    let legit_domains: Vec<String> = snap
+        .sites
+        .iter()
+        .filter(|s| s.label())
+        .map(|s| s.domain.clone())
+        .collect();
+    let n_compromised = ((legit_domains.len() as f64 * config.seed_targeting * lambda).round()
+        as usize)
+        .clamp(1, legit_domains.len());
+    for (c, domain) in legit_domains.iter().take(n_compromised).enumerate() {
+        let mut rng = entity_rng(seed, FARM_SALT.rotate_left(40), c);
+        let url = format!("http://{domain}/");
+        let Some((_, html)) = site_pages(snap, domain)
+            .into_iter()
+            .find(|(u, _)| *u == url)
+        else {
+            continue;
+        };
+        let Some(prefix) = html.strip_suffix("</body></html>") else {
+            continue;
+        };
+        let mut page = prefix.to_string();
+        for _ in 0..rng.gen_range(1..=2.min(hub_domains.len())) {
+            let hub = &hub_domains[rng.gen_range(0..hub_domains.len())];
+            page.push_str(&format!("<a href=\"http://{hub}/\">partner site</a>\n"));
+        }
+        page.push_str("</body></html>");
+        snap.web.add_page(&url, page);
+        attacked.mutated_domains.push(domain.clone());
+    }
+
+    // Farm sites join the labelled corpus (they are pharmacies a
+    // verifier would be asked about), hubs first, then spokes.
+    for domain in hub_domains.iter() {
+        snap.sites.push(PharmacySite {
+            domain: domain.clone(),
+            class: SiteClass::Illegitimate,
+            profile: SiteProfile::AffiliateHub,
+            seed_url: format!("http://{domain}/"),
+        });
+    }
+    for domain in spoke_domains.iter() {
+        snap.sites.push(PharmacySite {
+            domain: domain.clone(),
+            class: SiteClass::Illegitimate,
+            profile: SiteProfile::Standard,
+            seed_url: format!("http://{domain}/"),
+        });
+    }
+    attacked.hub_domains = hub_domains.clone();
+    attacked.farm_domains = hub_domains;
+    attacked.farm_domains.extend(spoke_domains);
+}
+
+// --------------------------------------------------------------- cloak
+
+fn cloak(attacked: &mut AttackedSnapshot, config: &AttackConfig, lambda: f64, seed: u64) {
+    let snap = &mut attacked.snapshot;
+    let noise_pool = vocab::noise_pool(seed ^ CLOAK_SALT);
+    let legit = legitimate_centroid();
+    let victims: Vec<String> = snap
+        .sites
+        .iter()
+        .filter(|s| !s.label())
+        .map(|s| s.domain.clone())
+        .collect();
+    for (i, domain) in victims.iter().enumerate() {
+        let mut rng = entity_rng(seed, CLOAK_SALT, i);
+        if !rng.gen_bool(config.cloak_fraction * lambda) {
+            continue;
+        }
+        let text_cloak = rng.gen_bool(0.5);
+        let noise: Vec<String> = (0..8)
+            .map(|_| noise_pool[rng.gen_range(0..noise_pool.len())].clone())
+            .collect();
+        for (url, html) in site_pages(snap, domain) {
+            let rewritten = if text_cloak {
+                // Legitimate text over the untouched illegitimate link
+                // profile.
+                rewrite_paragraphs(&html, &legit, &noise, &mut rng)
+            } else {
+                // Laundered links under untouched spam text: external
+                // links are replaced by a legitimate-looking profile.
+                launder_links(&html, &mut rng)
+            };
+            snap.web.add_page(&url, rewritten);
+        }
+        attacked.mutated_domains.push(domain.clone());
+    }
+}
+
+/// Replaces every absolute (external) link of `html` with links drawn
+/// from the legitimate target profile; internal navigation links are
+/// relative and survive untouched.
+fn launder_links(html: &str, rng: &mut SmallRng) -> String {
+    let mut out = String::with_capacity(html.len());
+    let mut laundered = 0usize;
+    for (i, line) in html.lines().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        if line.starts_with("<a href=\"http://") {
+            let target = vocab::zipf_sample(vocab::LEGITIMATE_TARGETS, rng);
+            out.push_str(&format!("<a href=\"http://{target}/\">partner site</a>"));
+            laundered += 1;
+        } else {
+            out.push_str(line);
+        }
+    }
+    // A cloaked site with no external links at all would be its own
+    // tell; guarantee at least one legitimate-profile link.
+    if laundered == 0 {
+        if let Some(prefix) = out.strip_suffix("</body></html>") {
+            let target = vocab::zipf_sample(vocab::LEGITIMATE_TARGETS, rng);
+            let mut page = prefix.to_string();
+            page.push_str(&format!("<a href=\"http://{target}/\">partner site</a>\n"));
+            page.push_str("</body></html>");
+            return page;
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------- mimicry
+
+fn mimicry(attacked: &mut AttackedSnapshot, lambda: f64, seed: u64) {
+    let snap = &mut attacked.snapshot;
+    let noise_pool = vocab::noise_pool(seed ^ MIMIC_SALT);
+    let legit = legitimate_centroid();
+    let spam = base_mixture(SiteClass::Illegitimate, SiteProfile::Standard);
+    // The morphed distribution: (1−λ)·illegitimate + λ·legitimate. Both
+    // inputs are normalized, so the convex combination is too.
+    let mut morphed: Mixture = [0.0; 5];
+    for (m, (&s, &l)) in morphed.iter_mut().zip(spam.iter().zip(legit.iter())) {
+        *m = (1.0 - lambda) * s + lambda * l;
+    }
+    let victims: Vec<String> = snap
+        .sites
+        .iter()
+        .filter(|s| !s.label())
+        .map(|s| s.domain.clone())
+        .collect();
+    for (i, domain) in victims.iter().enumerate() {
+        let mut rng = entity_rng(seed, MIMIC_SALT, i);
+        let noise: Vec<String> = (0..8)
+            .map(|_| noise_pool[rng.gen_range(0..noise_pool.len())].clone())
+            .collect();
+        for (url, html) in site_pages(snap, domain) {
+            let rewritten = rewrite_paragraphs(&html, &morphed, &noise, &mut rng);
+            snap.web.add_page(&url, rewritten);
+        }
+        attacked.mutated_domains.push(domain.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CorpusConfig, SyntheticWeb};
+
+    fn clean() -> Snapshot {
+        SyntheticWeb::generate(&CorpusConfig::small(), 42)
+            .snapshot()
+            .clone()
+    }
+
+    fn web_bytes(s: &Snapshot) -> Vec<(String, String)> {
+        s.web
+            .iter()
+            .map(|(u, h)| (u.to_string(), h.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in AttackKind::ALL {
+            assert_eq!(AttackKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(AttackKind::parse("ddos"), None);
+    }
+
+    #[test]
+    fn strength_zero_is_byte_identical_noop() {
+        let base = clean();
+        for kind in AttackKind::ALL {
+            let out = apply_attack(&base, &AttackConfig::new(kind, 0.0), 7);
+            assert_eq!(web_bytes(&out.snapshot), web_bytes(&base));
+            assert_eq!(out.snapshot.sites, base.sites);
+            assert!(out.farm_domains.is_empty());
+            assert!(out.hub_domains.is_empty());
+            assert!(out.mutated_domains.is_empty());
+        }
+    }
+
+    #[test]
+    fn attacks_are_deterministic_in_seed_and_params() {
+        let base = clean();
+        for kind in AttackKind::ALL {
+            let cfg = AttackConfig::new(kind, 0.7);
+            let a = apply_attack(&base, &cfg, 11);
+            let b = apply_attack(&base, &cfg, 11);
+            assert_eq!(web_bytes(&a.snapshot), web_bytes(&b.snapshot));
+            assert_eq!(a.snapshot.sites, b.snapshot.sites);
+            assert_eq!(a.farm_domains, b.farm_domains);
+            assert_eq!(a.hub_domains, b.hub_domains);
+            assert_eq!(a.mutated_domains, b.mutated_domains);
+            let c = apply_attack(&base, &cfg, 12);
+            assert_ne!(web_bytes(&a.snapshot), web_bytes(&c.snapshot));
+        }
+    }
+
+    #[test]
+    fn link_farm_injects_labelled_farm_and_compromises_seeds() {
+        let base = clean();
+        let out = apply_attack(&base, &AttackConfig::new(AttackKind::LinkFarm, 1.0), 3);
+        assert!(!out.farm_domains.is_empty());
+        assert!(!out.hub_domains.is_empty());
+        assert!(out.hub_domains.iter().all(|h| out.farm_domains.contains(h)));
+        assert_eq!(
+            out.snapshot.sites.len(),
+            base.sites.len() + out.farm_domains.len()
+        );
+        for domain in &out.farm_domains {
+            assert_eq!(out.snapshot.oracle(domain), Some(false), "{domain}");
+            assert!(domain.ends_with(".biz"));
+        }
+        // Compromised legitimate front pages link into the farm.
+        assert!(!out.mutated_domains.is_empty());
+        let hub = &out.farm_domains[0];
+        let compromised = &out.mutated_domains[0];
+        let page = out
+            .snapshot
+            .web
+            .iter()
+            .find(|(u, _)| *u == format!("http://{compromised}/"))
+            .map(|(_, h)| h.to_string())
+            .unwrap();
+        let links_to_farm = out
+            .farm_domains
+            .iter()
+            .any(|d| page.contains(&format!("http://{d}/")));
+        assert!(links_to_farm, "{compromised} must link into the farm");
+        assert_eq!(
+            out.snapshot.oracle(compromised),
+            Some(true),
+            "compromised sites stay legitimate"
+        );
+        let _ = hub;
+    }
+
+    #[test]
+    fn link_farm_scales_with_strength() {
+        let base = clean();
+        let weak = apply_attack(&base, &AttackConfig::new(AttackKind::LinkFarm, 0.25), 3);
+        let strong = apply_attack(&base, &AttackConfig::new(AttackKind::LinkFarm, 1.0), 3);
+        assert!(strong.farm_domains.len() > weak.farm_domains.len());
+        assert!(strong.mutated_domains.len() >= weak.mutated_domains.len());
+    }
+
+    #[test]
+    fn cloak_rewrites_only_illegitimate_sites() {
+        let base = clean();
+        let out = apply_attack(&base, &AttackConfig::new(AttackKind::Cloak, 1.0), 5);
+        assert!(out.farm_domains.is_empty());
+        assert!(!out.mutated_domains.is_empty());
+        for domain in &out.mutated_domains {
+            assert_eq!(out.snapshot.oracle(domain), Some(false), "{domain}");
+        }
+        // Site metadata is untouched; only page bytes change.
+        assert_eq!(out.snapshot.sites, base.sites);
+        assert_ne!(web_bytes(&out.snapshot), web_bytes(&base));
+    }
+
+    #[test]
+    fn mimicry_morphs_text_but_preserves_links() {
+        let base = clean();
+        let out = apply_attack(&base, &AttackConfig::new(AttackKind::Mimicry, 0.9), 5);
+        assert_eq!(out.snapshot.sites, base.sites);
+        let base_pages: std::collections::BTreeMap<String, String> =
+            web_bytes(&base).into_iter().collect();
+        for (url, html) in out.snapshot.web.iter() {
+            let original = &base_pages[url];
+            let links = |h: &str| {
+                h.lines()
+                    .filter(|l| l.starts_with("<a href="))
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(links(html), links(original), "links changed on {url}");
+        }
+        assert_ne!(web_bytes(&out.snapshot), web_bytes(&base));
+    }
+
+    #[test]
+    fn mimicry_at_full_strength_reduces_spam_vocabulary() {
+        let base = clean();
+        let out = apply_attack(&base, &AttackConfig::new(AttackKind::Mimicry, 1.0), 5);
+        let spam_count = |s: &Snapshot| {
+            s.web
+                .iter()
+                .map(|(_, h)| h.matches("viagra").count())
+                .sum::<usize>()
+        };
+        assert!(
+            spam_count(&out.snapshot) < spam_count(&base) / 2,
+            "morphed corpus must shed most spam terms: {} vs {}",
+            spam_count(&out.snapshot),
+            spam_count(&base)
+        );
+    }
+
+    #[test]
+    fn attacked_sites_stay_crawlable() {
+        use pharmaverify_crawl::{CrawlConfig, Crawler, Url};
+        let base = clean();
+        let out = apply_attack(&base, &AttackConfig::new(AttackKind::LinkFarm, 1.0), 9);
+        let crawler = Crawler::new(CrawlConfig::default());
+        for domain in &out.farm_domains {
+            let url = Url::parse(&format!("http://{domain}/")).unwrap();
+            let crawl = crawler.crawl(&out.snapshot.web, &url);
+            assert!(crawl.page_count() >= 1, "farm site {domain} not crawlable");
+        }
+    }
+}

@@ -181,9 +181,9 @@ impl SyntheticWeb {
 }
 
 /// Per-token category mixture: `[shared, store, spam, refill, noise]`.
-type Mixture = [f64; 5];
+pub(crate) type Mixture = [f64; 5];
 
-fn base_mixture(class: SiteClass, profile: SiteProfile) -> Mixture {
+pub(crate) fn base_mixture(class: SiteClass, profile: SiteProfile) -> Mixture {
     // Both classes draw from every pool — legitimate pharmacies also sell
     // the spam-listed drugs and illegitimate ones imitate store-presence
     // language — so no single token is a shibboleth; only the frequency
@@ -442,7 +442,7 @@ fn build_snapshot(
 /// (naive Bayes treats each repetition as independent proof of
 /// legitimacy) while leaving the overall frequency profile detectable by
 /// margin-based models.
-struct Stuffing {
+pub(crate) struct Stuffing {
     words: Vec<&'static str>,
     rate: f64,
 }
@@ -498,7 +498,7 @@ where
     vocab::zipf_sample(vocab::SHARED_HEALTH, rng)
 }
 
-fn paragraph(
+pub(crate) fn paragraph(
     mixture: &Mixture,
     noise: &[String],
     stuffing: Option<&Stuffing>,

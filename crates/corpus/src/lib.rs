@@ -25,6 +25,7 @@
 //! Everything is driven by a single seed: the same `(config, seed)` pair
 //! regenerates the same web, byte for byte.
 
+pub mod attack;
 pub mod generator;
 pub mod persist;
 pub mod shard;
@@ -32,6 +33,7 @@ pub mod site;
 pub mod snapshot;
 pub mod vocabulary;
 
+pub use attack::{apply_attack, AttackConfig, AttackKind, AttackedSnapshot};
 pub use generator::{CorpusConfig, SyntheticWeb};
 pub use persist::{load_snapshot, save_snapshot, PersistError};
 pub use shard::{domain_name, DomainRecord, ShardedWebGenerator, WebScaleConfig};

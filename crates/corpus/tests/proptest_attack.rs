@@ -1,0 +1,89 @@
+//! Property tests for the adversarial generators' determinism contract:
+//! attacks are pure functions of `(snapshot, config, seed)`, and
+//! strength 0 is a byte-identical no-op — for every kind, strength, and
+//! seed.
+
+use pharmaverify_corpus::{
+    apply_attack, AttackConfig, AttackKind, CorpusConfig, Snapshot, SyntheticWeb,
+};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One shared clean snapshot: attack purity is a property of the attack,
+/// not of the input, so a fixed input keeps the test budget on the
+/// attack parameters.
+fn clean() -> &'static Snapshot {
+    static SNAP: OnceLock<Snapshot> = OnceLock::new();
+    SNAP.get_or_init(|| {
+        SyntheticWeb::generate(&CorpusConfig::small(), 42)
+            .snapshot()
+            .clone()
+    })
+}
+
+fn web_bytes(s: &Snapshot) -> Vec<(String, String)> {
+    s.web
+        .iter()
+        .map(|(u, h)| (u.to_string(), h.to_string()))
+        .collect()
+}
+
+fn any_kind() -> impl Strategy<Value = AttackKind> {
+    (0usize..AttackKind::ALL.len()).prop_map(|i| AttackKind::ALL[i])
+}
+
+proptest! {
+    /// Same `(config, seed)` → byte-identical attacked snapshot and
+    /// identical attack ground truth, for every kind and strength.
+    #[test]
+    fn attack_is_pure_function_of_seed_and_params(
+        kind in any_kind(),
+        strength in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let cfg = AttackConfig::new(kind, strength);
+        let a = apply_attack(clean(), &cfg, seed);
+        let b = apply_attack(clean(), &cfg, seed);
+        prop_assert_eq!(web_bytes(&a.snapshot), web_bytes(&b.snapshot));
+        prop_assert_eq!(&a.snapshot.sites, &b.snapshot.sites);
+        prop_assert_eq!(&a.farm_domains, &b.farm_domains);
+        prop_assert_eq!(&a.mutated_domains, &b.mutated_domains);
+    }
+
+    /// Strength 0 is a byte-identical no-op regardless of kind, seed, or
+    /// the other knobs.
+    #[test]
+    fn strength_zero_is_byte_identical_noop(
+        kind in any_kind(),
+        seed in any::<u64>(),
+        max_hubs in 1usize..8,
+        seed_targeting in 0.0f64..1.0,
+    ) {
+        let mut cfg = AttackConfig::new(kind, 0.0);
+        cfg.max_hubs = max_hubs;
+        cfg.seed_targeting = seed_targeting;
+        let out = apply_attack(clean(), &cfg, seed);
+        prop_assert_eq!(web_bytes(&out.snapshot), web_bytes(clean()));
+        prop_assert_eq!(&out.snapshot.sites, &clean().sites);
+        prop_assert!(out.farm_domains.is_empty());
+        prop_assert!(out.mutated_domains.is_empty());
+    }
+
+    /// Attacks never flip oracle labels: pre-existing sites keep their
+    /// class, and injected farm sites are always illegitimate.
+    #[test]
+    fn attacks_never_flip_labels(
+        kind in any_kind(),
+        strength in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let out = apply_attack(clean(), &AttackConfig::new(kind, strength), seed);
+        for (old, new) in clean().sites.iter().zip(&out.snapshot.sites) {
+            prop_assert_eq!(&old.domain, &new.domain);
+            prop_assert_eq!(old.class, new.class);
+        }
+        for farm in &out.farm_domains {
+            prop_assert_eq!(out.snapshot.oracle(farm), Some(false));
+        }
+    }
+}

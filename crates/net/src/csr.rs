@@ -325,6 +325,36 @@ impl CsrGraph {
         self.out_weights[id as usize]
     }
 
+    /// Total incoming weight of node `id` (precomputed at freeze; the
+    /// out-weight of the transposed graph).
+    pub fn in_weight(&self, id: NodeId) -> f64 {
+        self.in_weights[id as usize]
+    }
+
+    /// The transposed graph, frozen: every edge `u → v` becomes `v → u`
+    /// with the same weight. Names, ids, and pharmacy flags are
+    /// preserved; the forward and transposed CSR arrays swap roles, so
+    /// this costs one clone and no re-sorting. `transposed().trust_rank`
+    /// reads exactly the arrays [`CsrGraph::anti_trust_rank`] reads, so
+    /// the two are bit-identical — which is what lets
+    /// [`crate::TrustTrajectory`] record an anti-trust run: compute the
+    /// trajectory over the transpose with the bad seeds.
+    pub fn transposed(&self) -> CsrGraph {
+        CsrGraph {
+            names: self.names.clone(),
+            index: self.index.clone(),
+            is_pharmacy: self.is_pharmacy.clone(),
+            offsets: self.t_offsets.clone(),
+            targets: self.t_sources.clone(),
+            weights: self.t_weights.clone(),
+            out_weights: self.in_weights.clone(),
+            t_offsets: self.offsets.clone(),
+            t_sources: self.targets.clone(),
+            t_weights: self.weights.clone(),
+            in_weights: self.out_weights.clone(),
+        }
+    }
+
     /// Incoming edges of node `id` as `(source, weight)`, in ascending
     /// source order — the transpose's accumulation order, which is also
     /// the order a push kernel's contributions arrive in.
@@ -669,6 +699,39 @@ mod tests {
         let a = anti_trust_rank(&legacy, &[1], &cfg);
         let b = csr.anti_trust_rank(&[1], &cfg);
         assert_eq!(bits(&a), bits(&b));
+    }
+
+    #[test]
+    fn transposed_trust_is_anti_trust_bit_for_bit() {
+        let (_, csr) = both(
+            &[
+                (0, 1, 1.0),
+                (2, 1, 2.0),
+                (1, 3, 1.0),
+                (3, 0, 2.0),
+                (1, 3, 1.0),
+            ],
+            5, // node 4 isolated: dangling in both directions
+        );
+        let cfg = TrustRankConfig::default();
+        let tr = csr.transposed();
+        assert_eq!(
+            bits(&csr.anti_trust_rank(&[1, 3], &cfg)),
+            bits(&tr.trust_rank(&[1, 3], &cfg))
+        );
+        assert_eq!(
+            bits(&csr.trust_rank(&[0], &cfg)),
+            bits(&tr.anti_trust_rank(&[0], &cfg)),
+            "double swap: transposed anti-trust is forward trust"
+        );
+        for id in csr.nodes() {
+            assert_eq!(csr.name(id), tr.name(id));
+            assert_eq!(csr.is_pharmacy(id), tr.is_pharmacy(id));
+            assert_eq!(csr.in_weight(id).to_bits(), tr.out_weight(id).to_bits());
+            let fwd: Vec<(NodeId, f64)> = csr.out_edges(id).collect();
+            let back: Vec<(NodeId, f64)> = tr.in_edges(id).collect();
+            assert_eq!(fwd, back, "forward row {id} must be the transposed in-row");
+        }
     }
 
     #[test]

@@ -424,6 +424,231 @@ impl SpliceOverlay<'_> {
             peak_frontier: peak,
         }
     }
+
+    /// Anti-TrustRank over the overlaid view by incremental replay of a
+    /// trajectory recorded over the **transposed** base graph:
+    /// `TrustTrajectory::compute(&base.transposed(), bad_seeds, cfg)`.
+    /// In the transposed view a splice is a *column* update — every
+    /// spliced link `s → t` becomes an in-edge of `s` from `t`, changing
+    /// `t`'s push normalizer and adding `s` as a receiver — so the
+    /// affected-set bookkeeping differs from the forward path, but the
+    /// contract is the same: at tolerance 0 the result is bit-identical
+    /// to [`SpliceOverlay::anti_trust_rank`], tolerance > 0 obeys the
+    /// module's error bound, and a frontier overflow falls back to the
+    /// full kernel ([`IncrementalOutcome::FellBack`]).
+    ///
+    /// # Panics
+    /// Panics if `trajectory` was recorded over a graph of a different
+    /// node count than this overlay's base.
+    pub fn anti_trust_rank_incremental(
+        &self,
+        trajectory: &TrustTrajectory,
+        config: &IncrementalConfig,
+    ) -> IncrementalTrust {
+        let _span = pharmaverify_obs::global().span("net/incremental/anti_run");
+        let base = self.base();
+        let n = base.node_count();
+        assert_eq!(
+            trajectory.node_count(),
+            n,
+            "trajectory recorded over a different base graph"
+        );
+        let total = self.node_count();
+        let alpha = trajectory.config.alpha;
+
+        let spliced = match self.spliced_node() {
+            Some(s) => s,
+            None => {
+                return IncrementalTrust {
+                    scores: trajectory.final_scores().to_vec(),
+                    outcome: IncrementalOutcome::Incremental,
+                    peak_frontier: 0,
+                };
+            }
+        };
+
+        let spliced_row = self.spliced_row();
+        let spliced_edge: HashMap<NodeId, f64> = spliced_row.iter().copied().collect();
+        let mut spliced_targets: Vec<NodeId> = spliced_row.iter().map(|&(v, _)| v).collect();
+        spliced_targets.sort_unstable();
+        // Adjusted transposed-out normalizers (overlaid in-weights).
+        // Targets whose recomputed normalizer carries the *same* bits as
+        // the base (a replaced-row edge whose weight did not change) are
+        // no perturbation at all and stay out of the changed set.
+        let mut norm_changed: Vec<NodeId> = Vec::new();
+        let mut a_out: HashMap<NodeId, f64> = HashMap::new();
+        for &t in &spliced_targets {
+            let w = self.in_weight_overlaid(t);
+            let before = if (t as usize) < n {
+                base.in_weight(t)
+            } else {
+                0.0
+            };
+            if w.to_bits() != before.to_bits() {
+                norm_changed.push(t);
+            }
+            a_out.insert(t, w);
+        }
+        let norm = |a: NodeId| -> f64 {
+            match a_out.get(&a) {
+                Some(&w) => w,
+                None if (a as usize) < n => base.in_weight(a),
+                None => 0.0,
+            }
+        };
+        // Preexisting targets that leave the transposed dangling set:
+        // zero base in-weight, now carrying the spliced in-link. (The
+        // spliced node itself never flips: its in-edges are untouched,
+        // and a fresh splice starts dangling with zero mass.)
+        let left_dangling: Vec<NodeId> = spliced_targets
+            .iter()
+            .copied()
+            .filter(|&t| (t as usize) < n && base.in_weight(t) == 0.0)
+            .collect();
+        let fresh_spliced = (spliced as usize) >= n;
+
+        let mut patch: Vec<(NodeId, f64)> = Vec::new();
+        let patched = |patch: &[(NodeId, f64)], k: usize, v: usize| -> f64 {
+            match patch.binary_search_by_key(&(v as NodeId), |&(i, _)| i) {
+                Ok(p) => patch[p].1,
+                Err(_) => trajectory.score_at(k, v),
+            }
+        };
+        let mut peak = 0usize;
+
+        for k in 0..trajectory.config.iterations {
+            // Dangling mass of the transposed view at iteration k.
+            // Reusable exactly when no contributing term moved: no
+            // patches (so appended nodes, including a fresh spliced
+            // node, still hold zero mass) and every node that left the
+            // dangling set held zero mass in the base run.
+            let reusable = patch.is_empty()
+                && left_dangling
+                    .iter()
+                    .all(|&t| trajectory.score_at(k, t as usize) == 0.0);
+            let dangling = if reusable {
+                trajectory.dangling[k]
+            } else {
+                // Re-sum in the full kernel's order: ascending base
+                // nodes, then appended — where only a fresh spliced
+                // node is dangling (every other appended node carries
+                // the spliced in-link).
+                let mut sum = 0.0;
+                for &u in &trajectory.dangling_nodes {
+                    if left_dangling.binary_search(&u).is_ok() {
+                        continue;
+                    }
+                    let mass = patched(&patch, k, u as usize);
+                    if mass != 0.0 {
+                        sum += mass;
+                    }
+                }
+                if fresh_spliced {
+                    let mass = patched(&patch, k, spliced as usize);
+                    if mass != 0.0 {
+                        sum += mass;
+                    }
+                }
+                sum
+            };
+            let dangling_changed = dangling.to_bits() != trajectory.dangling[k].to_bits();
+
+            // Recompute set for iteration k+1. The spliced node gathers
+            // over its (new) row whenever any of its targets carries
+            // mass in either run; cells gathering *from* a patched or
+            // normalizer-changed node are its overlaid in-sources.
+            let mut recompute: Vec<NodeId> = Vec::new();
+            let spliced_gathers = spliced_targets.iter().any(|&a| {
+                patched(&patch, k, a as usize) != 0.0 || trajectory.score_at(k, a as usize) != 0.0
+            });
+            if spliced_gathers {
+                recompute.push(spliced);
+            }
+            for &(p, _) in &patch {
+                if (p as usize) < n {
+                    for (src, _) in base.in_edges(p) {
+                        recompute.push(src);
+                    }
+                }
+                if spliced_edge.contains_key(&p) {
+                    recompute.push(spliced);
+                }
+            }
+            for &a in &norm_changed {
+                let moving = patched(&patch, k, a as usize) != 0.0
+                    || trajectory.score_at(k, a as usize) != 0.0;
+                if moving && (a as usize) < n {
+                    for (src, _) in base.in_edges(a) {
+                        recompute.push(src);
+                    }
+                }
+            }
+            if dangling_changed {
+                recompute.extend_from_slice(&trajectory.seed_support);
+            }
+            recompute.sort_unstable();
+            recompute.dedup();
+            peak = peak.max(recompute.len());
+            if recompute.len() > config.max_frontier {
+                return IncrementalTrust {
+                    scores: self.anti_trust_rank(&trajectory.seeds, &trajectory.config),
+                    outcome: IncrementalOutcome::FellBack,
+                    peak_frontier: peak,
+                };
+            }
+
+            // Gather each affected cell in the full kernel's
+            // accumulation order: a cell gathers over its forward
+            // targets ascending (they are its in-sources in the
+            // transposed view), the spliced node over its sorted row.
+            let mut next_patch: Vec<(NodeId, f64)> = Vec::with_capacity(recompute.len());
+            for &x in &recompute {
+                let xu = x as usize;
+                let mut acc = 0.0;
+                if x == spliced {
+                    for &a in &spliced_targets {
+                        let mass = patched(&patch, k, a as usize);
+                        if mass != 0.0 {
+                            if let Some(&w) = spliced_edge.get(&a) {
+                                acc += mass * w / norm(a);
+                            }
+                        }
+                    }
+                } else if xu < n {
+                    for (a, w) in base.out_edges(x) {
+                        let mass = patched(&patch, k, a as usize);
+                        if mass != 0.0 {
+                            acc += mass * w / norm(a);
+                        }
+                    }
+                }
+                let dv = if xu < n { trajectory.d[xu] } else { 0.0 };
+                let score = alpha * (acc + dangling * dv) + (1.0 - alpha) * dv;
+                let reference = trajectory.score_at(k + 1, xu);
+                let keep = if config.tolerance == 0.0 {
+                    score.to_bits() != reference.to_bits()
+                } else {
+                    (score - reference).abs() > config.tolerance
+                };
+                if keep {
+                    next_patch.push((x, score));
+                }
+            }
+            patch = next_patch;
+        }
+
+        let mut scores = Vec::with_capacity(total);
+        scores.extend_from_slice(trajectory.final_scores());
+        scores.resize(total, 0.0);
+        for &(v, s) in &patch {
+            scores[v as usize] = s;
+        }
+        IncrementalTrust {
+            scores,
+            outcome: IncrementalOutcome::Incremental,
+            peak_frontier: peak,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -585,6 +810,124 @@ mod tests {
         let inc = ov.trust_rank_incremental(&traj, &exact(g.node_count()));
         assert!(inc.scores.iter().all(|&s| s == 0.0));
         assert_eq!(bits(&inc.scores), bits(&ov.trust_rank(&[], traj.config())));
+    }
+
+    /// The anti-trust trajectory of a base graph: the forward trajectory
+    /// machinery run over the transpose with the bad seeds.
+    fn anti_trajectory(g: &CsrGraph, bad: &[NodeId], cfg: &TrustRankConfig) -> TrustTrajectory {
+        TrustTrajectory::compute(&g.transposed(), bad, cfg)
+    }
+
+    #[test]
+    fn anti_trajectory_final_matches_anti_trust_kernel() {
+        let g = fixture();
+        let cfg = TrustRankConfig::default();
+        let traj = anti_trajectory(&g, &[1], &cfg);
+        assert_eq!(
+            bits(traj.final_scores()),
+            bits(&g.anti_trust_rank(&[1], &cfg))
+        );
+    }
+
+    #[test]
+    fn unspliced_anti_incremental_returns_trajectory_final() {
+        let g = fixture();
+        let traj = anti_trajectory(&g, &[1], &TrustRankConfig::default());
+        let ov = SpliceOverlay::new(&g);
+        let inc = ov.anti_trust_rank_incremental(&traj, &exact(g.node_count()));
+        assert_eq!(inc.outcome, IncrementalOutcome::Incremental);
+        assert_eq!(inc.peak_frontier, 0);
+        assert_eq!(bits(&inc.scores), bits(traj.final_scores()));
+    }
+
+    #[test]
+    fn anti_incremental_is_bit_identical_for_fresh_and_preexisting_splices() {
+        let g = fixture();
+        let cfg = TrustRankConfig::default();
+        for (domain, links) in [
+            // Fresh candidate linking toward a bad seed: distrust must
+            // flow back into it through the new in-edge column.
+            ("cand.com", vec![("b.com".to_string(), 2.0)]),
+            // Fresh candidate with an unseen target.
+            (
+                "cand.com",
+                vec![("ext.org".to_string(), 2.0), ("new.net".to_string(), 1.0)],
+            ),
+            // Preexisting external gaining links; ext.org had zero
+            // in-weight contributions to adjust.
+            (
+                "ext.org",
+                vec![("a.com".to_string(), 1.0), ("b.com".to_string(), 3.0)],
+            ),
+            // Preexisting pharmacy (also a bad seed below) growing its
+            // row, including a weight change on an existing edge.
+            (
+                "b.com",
+                vec![("ext.org".to_string(), 1.0), ("hub.net".to_string(), 2.0)],
+            ),
+        ] {
+            for bad in [vec![1], vec![1, 3]] {
+                let traj = anti_trajectory(&g, &bad, &cfg);
+                let mut ov = SpliceOverlay::new(&g);
+                ov.splice_pharmacy(domain, &links);
+                let want = ov.anti_trust_rank(&bad, &cfg);
+                let inc = ov.anti_trust_rank_incremental(&traj, &exact(g.node_count()));
+                assert_eq!(
+                    inc.outcome,
+                    IncrementalOutcome::Incremental,
+                    "domain {domain} bad {bad:?}"
+                );
+                assert_eq!(
+                    bits(&inc.scores),
+                    bits(&want),
+                    "domain {domain} bad {bad:?}"
+                );
+                ov.unsplice();
+            }
+        }
+    }
+
+    #[test]
+    fn anti_incremental_frontier_cap_falls_back_to_full_kernel_bits() {
+        let g = fixture();
+        let cfg = TrustRankConfig::default();
+        let traj = anti_trajectory(&g, &[1], &cfg);
+        let mut ov = SpliceOverlay::new(&g);
+        ov.splice_pharmacy("cand.com", &[("b.com".to_string(), 2.0)]);
+        let want = ov.anti_trust_rank(&[1], &cfg);
+        let inc = ov.anti_trust_rank_incremental(
+            &traj,
+            &IncrementalConfig {
+                tolerance: 0.0,
+                max_frontier: 0,
+            },
+        );
+        assert_eq!(inc.outcome, IncrementalOutcome::FellBack);
+        assert!(inc.peak_frontier > 0);
+        assert_eq!(bits(&inc.scores), bits(&want));
+    }
+
+    #[test]
+    fn anti_incremental_tolerance_mode_stays_within_documented_bound() {
+        let g = fixture();
+        let cfg = TrustRankConfig::default();
+        let traj = anti_trajectory(&g, &[1, 3], &cfg);
+        let mut ov = SpliceOverlay::new(&g);
+        ov.splice_pharmacy(
+            "cand.com",
+            &[("ext.org".to_string(), 2.0), ("b.com".to_string(), 1.0)],
+        );
+        let want = ov.anti_trust_rank(&[1, 3], &cfg);
+        let inc_cfg = IncrementalConfig {
+            tolerance: 1e-9,
+            max_frontier: g.node_count() + 64,
+        };
+        let inc = ov.anti_trust_rank_incremental(&traj, &inc_cfg);
+        assert_eq!(inc.outcome, IncrementalOutcome::Incremental);
+        let bound = inc_cfg.tolerance * inc_cfg.max_frontier as f64 / (1.0 - cfg.alpha);
+        for (a, b) in inc.scores.iter().zip(&want) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} beyond {bound}");
+        }
     }
 
     #[test]

@@ -324,6 +324,144 @@ impl<'g> SpliceOverlay<'g> {
         }
         t
     }
+
+    /// Total incoming weight of node `id` in the overlaid view — the
+    /// out-weight of the *transposed* overlaid graph, which normalizes
+    /// the anti-trust kernels. Only the spliced row's targets differ
+    /// from the base.
+    pub(crate) fn in_weight_overlaid(&self, id: NodeId) -> f64 {
+        let base_n = self.base.node_count();
+        let spliced_w = self
+            .spliced_row()
+            .iter()
+            .find(|&&(t, _)| t == id)
+            .map(|&(_, w)| w);
+        if (id as usize) >= base_n {
+            // Appended nodes receive only the spliced node's link (the
+            // spliced node itself, when fresh, receives nothing).
+            return spliced_w.unwrap_or(0.0);
+        }
+        let Some(w_new) = spliced_w else {
+            return self.base.in_weight(id);
+        };
+        // The spliced row changed this node's in-weight: re-sum the
+        // in-edges in ascending-source order with the spliced weight
+        // substituted (or inserted at its id position) — the summation
+        // order a freeze of the overlaid graph would use, so the
+        // normalizer is bit-identical to a rebuild.
+        let spliced = match self.spliced {
+            Some(s) => s,
+            None => return self.base.in_weight(id),
+        };
+        let mut sum = 0.0;
+        let mut pending = true;
+        for (src, w) in self.base.in_edges(id) {
+            if src == spliced {
+                sum += w_new;
+                pending = false;
+                continue;
+            }
+            if pending && spliced < src {
+                sum += w_new;
+                pending = false;
+            }
+            sum += w;
+        }
+        if pending {
+            sum += w_new;
+        }
+        sum
+    }
+
+    /// Anti-TrustRank over the overlaid view: TrustRank over the
+    /// *transposed* overlaid graph, seeded at known-bad nodes, so
+    /// distrust flows backward into every node that links toward a bad
+    /// neighborhood — including the spliced candidate, which gathers
+    /// distrust through its own outbound links. Serial push over the
+    /// transposed view, visiting nodes in ascending id order;
+    /// bit-identical to rebuilding the overlaid graph with
+    /// [`crate::GraphBuilder`] and calling [`CsrGraph::anti_trust_rank`]
+    /// (proptested in `tests/proptest_net.rs`), and to the base's
+    /// `anti_trust_rank` when nothing is spliced.
+    ///
+    /// # Panics
+    /// Panics if a seed id is out of range, `alpha` is outside `(0, 1)`,
+    /// or `iterations` is 0.
+    pub fn anti_trust_rank(&self, bad_seeds: &[NodeId], config: &TrustRankConfig) -> Vec<f64> {
+        let _span = pharmaverify_obs::global().span("net/overlay/antitrustrank");
+        assert!(
+            config.alpha > 0.0 && config.alpha < 1.0,
+            "alpha must be in (0, 1)"
+        );
+        assert!(config.iterations > 0, "need at least one iteration");
+        let total = self.node_count();
+        if total == 0 || bad_seeds.is_empty() {
+            return vec![0.0; total];
+        }
+        for &s in bad_seeds {
+            assert!((s as usize) < total, "seed {s} out of range");
+        }
+        let base_n = self.base.node_count();
+        let spliced = self.spliced;
+        let mut d = vec![0.0; total];
+        let share = 1.0 / bad_seeds.len() as f64;
+        for &s in bad_seeds {
+            d[s as usize] += share;
+        }
+        // Transposed out-weights = overlaid in-weights, adjusted only
+        // for the spliced row's targets.
+        let a_out: Vec<f64> = (0..total as NodeId)
+            .map(|u| self.in_weight_overlaid(u))
+            .collect();
+        let spliced_edge: HashMap<NodeId, f64> = self.spliced_row().iter().copied().collect();
+        let mut t = d.clone();
+        let mut next = vec![0.0; total];
+        for _ in 0..config.iterations {
+            next.iter_mut().for_each(|v| *v = 0.0);
+            let mut dangling = 0.0;
+            for u in 0..total {
+                let mass = t[u];
+                if mass == 0.0 {
+                    continue;
+                }
+                let out = a_out[u];
+                if out == 0.0 {
+                    dangling += mass;
+                    continue;
+                }
+                // Push along the transposed row of `u`: the in-edges of
+                // `u` in the overlaid view, ascending by source, with
+                // the spliced node's contribution at its id position.
+                let mut pending = spliced_edge.get(&(u as NodeId)).copied();
+                if u < base_n {
+                    for (src, w) in self.base.in_edges(u as NodeId) {
+                        if Some(src) == spliced {
+                            // The replaced row subsumes the base edge;
+                            // its merged weight is in `pending`.
+                            if let Some(w_new) = pending.take() {
+                                next[src as usize] += mass * w_new / out;
+                            }
+                            continue;
+                        }
+                        if let (Some(w_new), Some(s)) = (pending, spliced) {
+                            if s < src {
+                                next[s as usize] += mass * w_new / out;
+                                pending = None;
+                            }
+                        }
+                        next[src as usize] += mass * w / out;
+                    }
+                }
+                if let (Some(w_new), Some(s)) = (pending, spliced) {
+                    next[s as usize] += mass * w_new / out;
+                }
+            }
+            for ((ti, &ni), &di) in t.iter_mut().zip(&next).zip(&d) {
+                *ti = config.alpha * (ni + dangling * di) + (1.0 - config.alpha) * di;
+            }
+        }
+        t
+    }
 }
 
 #[cfg(test)]
@@ -547,6 +685,102 @@ mod tests {
         assert_eq!(
             bits(&trust_rank(&legacy, &[0], &cfg)),
             bits(&ov.trust_rank(&[0], &cfg))
+        );
+    }
+
+    /// Rebuilds the overlaid view as a frozen graph: base names in id
+    /// order, then the spliced links in row order, so appended targets
+    /// get the same ids the overlay assigned.
+    fn rebuild_overlaid(ov: &SpliceOverlay) -> CsrGraph {
+        let base = ov.base();
+        let mut b = GraphBuilder::new();
+        for id in base.nodes() {
+            if base.is_pharmacy(id) {
+                b.add_pharmacy(base.name(id));
+            } else {
+                b.add_external(base.name(id));
+            }
+        }
+        for id in base.nodes() {
+            if ov.spliced_node() == Some(id) {
+                continue; // replaced row added below, in overlay order
+            }
+            for (v, w) in base.out_edges(id) {
+                b.add_link(id, base.name(v), w);
+            }
+        }
+        if let Some(s) = ov.spliced_node() {
+            if (s as usize) >= base.node_count() {
+                b.add_pharmacy(ov.name(s));
+            }
+            for &(v, w) in ov.spliced_row() {
+                b.add_link(s, ov.name(v), w);
+            }
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn unspliced_overlay_matches_base_anti_trust() {
+        let (_, csr) = training_pair();
+        let cfg = TrustRankConfig::default();
+        let ov = SpliceOverlay::new(&csr);
+        let ext = csr.node("ext.org").unwrap();
+        assert_eq!(
+            bits(&csr.anti_trust_rank(&[1, ext], &cfg)),
+            bits(&ov.anti_trust_rank(&[1, ext], &cfg))
+        );
+    }
+
+    /// The anti-trust analogue of `overlay_trust_matches_clone_and_splice`:
+    /// overlay distrust == freezing the overlaid graph and running the
+    /// CSR anti-trust kernel, for fresh, preexisting-external, and
+    /// preexisting-pharmacy splices.
+    #[test]
+    fn overlay_anti_trust_matches_rebuilt_frozen_graph() {
+        let (_, csr) = training_pair();
+        let cfg = TrustRankConfig::default();
+        let ext = csr.node("ext.org").unwrap();
+        for (domain, links) in [
+            (
+                "cand.com",
+                vec![("ext.org".to_string(), 2.0), ("new.net".to_string(), 1.0)],
+            ),
+            (
+                "ext.org",
+                vec![("a.com".to_string(), 1.0), ("b.com".to_string(), 3.0)],
+            ),
+            (
+                "b.com",
+                vec![("ext.org".to_string(), 1.0), ("b.com".to_string(), 9.0)],
+            ),
+        ] {
+            let mut ov = SpliceOverlay::new(&csr);
+            let node = ov.splice_pharmacy(domain, &links);
+            let rebuilt = rebuild_overlaid(&ov);
+            assert_eq!(rebuilt.node_count(), ov.node_count(), "domain {domain}");
+            for seeds in [vec![1], vec![ext], vec![1, ext, node]] {
+                let want = rebuilt.anti_trust_rank(&seeds, &cfg);
+                let got = ov.anti_trust_rank(&seeds, &cfg);
+                assert_eq!(bits(&want), bits(&got), "domain {domain} seeds {seeds:?}");
+            }
+            ov.unsplice();
+        }
+    }
+
+    #[test]
+    fn spliced_candidate_gathers_distrust_through_its_links() {
+        let (_, csr) = training_pair();
+        let cfg = TrustRankConfig::default();
+        let mut ov = SpliceOverlay::new(&csr);
+        // The candidate links toward the known-bad node, so distrust
+        // must flow back into it even though nothing links to it.
+        let node = ov.splice_pharmacy("cand.com", &[("b.com".to_string(), 2.0)]);
+        let bad = [csr.node("b.com").unwrap()];
+        let scores = ov.anti_trust_rank(&bad, &cfg);
+        assert!(
+            scores[node as usize] > 0.0,
+            "candidate must inherit distrust: {scores:?}"
         );
     }
 }

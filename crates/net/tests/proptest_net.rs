@@ -81,6 +81,26 @@ fn bits(scores: &[f64]) -> Vec<u64> {
     scores.iter().map(|s| s.to_bits()).collect()
 }
 
+/// Freeze a legacy adjacency graph into a `CsrGraph` with identical node
+/// ids, so spliced legacy graphs can pin the overlay kernels.
+fn freeze_adjacency(g: &WebGraph) -> CsrGraph {
+    let mut builder = GraphBuilder::new();
+    for id in g.nodes() {
+        if g.is_pharmacy(id) {
+            builder.add_pharmacy(g.name(id));
+        } else {
+            builder.add_external(g.name(id));
+        }
+    }
+    for u in g.nodes() {
+        for &(v, w) in g.out_edges(u) {
+            let target = g.name(v).to_owned();
+            builder.add_link(u, &target, w);
+        }
+    }
+    builder.freeze()
+}
+
 proptest! {
     /// Trust scores are non-negative and sum to at most 1 on any graph
     /// with any seed set.
@@ -218,6 +238,105 @@ proptest! {
         prop_assert_eq!(overlay.node_count(), csr.node_count());
         prop_assert_eq!(overlay.node("candidate.example"), None);
         prop_assert_eq!(bits(&overlay.trust_rank(&seeds, &config)), bits(&base));
+    }
+
+    /// Anti-trust parity on adversarially-shaped graphs: the CSR kernel,
+    /// the transposed-graph trust kernel, and the unspliced overlay all
+    /// reproduce the legacy adjacency `anti_trust_rank` **bit for bit**
+    /// on graphs with *forced* dangling structure — `cut` nodes lose
+    /// every in- and out-edge, so they are dangling under both
+    /// propagation directions — and bad-seed sets drawn to overlap the
+    /// cut set (seeds that are themselves dangling) and to be reused as
+    /// trust seeds (good/bad seed overlap).
+    #[test]
+    fn anti_trust_parity_with_dangling_and_overlapping_seeds(
+        (pharmacy, edges) in random_weighted_graph(),
+        cut in prop::collection::vec(0usize..20, 1..4),
+        seed_bits in prop::collection::vec(any::<bool>(), 2..20),
+    ) {
+        let n = pharmacy.len();
+        let cut: Vec<usize> = cut.into_iter().map(|c| c % n).collect();
+        let edges: Vec<(usize, usize, f64)> = edges
+            .into_iter()
+            .filter(|&(a, b, _)| !cut.contains(&a) && !cut.contains(&b))
+            .collect();
+        let (legacy, csr) = build_both(&pharmacy, &edges);
+        // Bad seeds: the random draw plus every cut node, so the seed
+        // set always overlaps the dangling set.
+        let mut bad = seeds_from_bits(n, &seed_bits);
+        for &c in &cut {
+            bad.push(c as NodeId);
+        }
+        bad.sort_unstable();
+        bad.dedup();
+        let cfg = TrustRankConfig::default();
+        let want = anti_trust_rank(&legacy, &bad, &cfg);
+        prop_assert_eq!(bits(&csr.anti_trust_rank(&bad, &cfg)), bits(&want));
+        prop_assert_eq!(bits(&csr.transposed().trust_rank(&bad, &cfg)), bits(&want));
+        let ov = SpliceOverlay::new(&csr);
+        prop_assert_eq!(bits(&ov.anti_trust_rank(&bad, &cfg)), bits(&want));
+        // The same (overlapping) seed set as *trust* seeds: forward and
+        // reversed propagation stay independently bit-identical.
+        prop_assert_eq!(
+            bits(&csr.trust_rank(&bad, &cfg)),
+            bits(&trust_rank(&legacy, &bad, &cfg))
+        );
+    }
+
+    /// Random *attack* churn for the anti-trust path: each splice is a
+    /// candidate wiring itself into the graph (the link-farm access
+    /// pattern), and after every splice the incremental anti-trust
+    /// replay must match the full overlay kernel — bit-identical in
+    /// exact mode, within the documented bound in tolerance mode,
+    /// bit-identical through the zero-cap fallback — while the full
+    /// kernel itself is pinned against freezing the overlaid graph from
+    /// scratch. After every unsplice the replay reproduces the base
+    /// anti-trust bits.
+    #[test]
+    fn anti_incremental_matches_full_over_random_attack_churn(
+        (pharmacy, edges) in random_weighted_graph(),
+        bad_bits in prop::collection::vec(any::<bool>(), 2..20),
+        churn in prop::collection::vec(
+            ((0usize..24), prop::collection::vec((0usize..24, 1usize..4), 0..6)),
+            1..8,
+        ),
+    ) {
+        let n = pharmacy.len();
+        let (legacy, csr) = build_both(&pharmacy, &edges);
+        let bad = seeds_from_bits(n, &bad_bits);
+        let cfg = TrustRankConfig::default();
+        let traj = TrustTrajectory::compute(&csr.transposed(), &bad, &cfg);
+        let exact = IncrementalConfig { tolerance: 0.0, max_frontier: n + 64 };
+        let loose = IncrementalConfig { tolerance: 1e-9, max_frontier: n + 64 };
+        let capped = IncrementalConfig { tolerance: 0.0, max_frontier: 0 };
+        let bound = loose.tolerance * loose.max_frontier as f64 / (1.0 - cfg.alpha);
+        let mut overlay = SpliceOverlay::new(&csr);
+        for (dom, links) in churn {
+            let domain = format!("n{dom}.com");
+            let links: Vec<(String, f64)> = links
+                .iter()
+                .map(|&(t, w)| (format!("n{t}.com"), w as f64))
+                .collect();
+            overlay.splice_pharmacy(&domain, &links);
+            let full = overlay.anti_trust_rank(&bad, &cfg);
+            // Pin the full overlay kernel against a from-scratch freeze
+            // of the overlaid graph (same ids by construction).
+            let mut spliced_legacy = legacy.clone();
+            spliced_legacy.splice_pharmacy(&domain, &links);
+            let rebuilt = freeze_adjacency(&spliced_legacy);
+            prop_assert_eq!(bits(&rebuilt.anti_trust_rank(&bad, &cfg)), bits(&full));
+            let inc = overlay.anti_trust_rank_incremental(&traj, &exact);
+            prop_assert_eq!(bits(&inc.scores), bits(&full));
+            let approx = overlay.anti_trust_rank_incremental(&traj, &loose);
+            for (a, b) in approx.scores.iter().zip(&full) {
+                prop_assert!((a - b).abs() <= bound, "{a} vs {b} beyond {bound}");
+            }
+            let fb = overlay.anti_trust_rank_incremental(&traj, &capped);
+            prop_assert_eq!(bits(&fb.scores), bits(&full));
+            overlay.unsplice();
+            let reset = overlay.anti_trust_rank_incremental(&traj, &exact);
+            prop_assert_eq!(bits(&reset.scores), bits(traj.final_scores()));
+        }
     }
 
     /// Random churn: interleaved splice/unsplice sequences over one

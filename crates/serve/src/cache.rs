@@ -301,6 +301,8 @@ mod tests {
             pages_crawled: 3,
             text_score: 0.5,
             trust_score: 0.0,
+            distrust_score: 0.0,
+            spam_mass: 0.0,
             network_score: 0.5,
             rank: 0.5,
             predicted_legitimate: true,

@@ -13,6 +13,8 @@ fn verdict(domain: &str, degraded: bool) -> Verdict {
         pages_crawled: 1,
         text_score: 0.5,
         trust_score: 0.0,
+        distrust_score: 0.0,
+        spam_mass: 0.0,
         network_score: 0.5,
         rank: 0.5,
         predicted_legitimate: true,

@@ -4,7 +4,9 @@
 //! and degraded verdicts are never served from the cache.
 
 use pharmaverify_core::{extract_corpus, TextLearnerKind, TrainedVerifier};
-use pharmaverify_corpus::{CorpusConfig, Snapshot, SyntheticWeb};
+use pharmaverify_corpus::{
+    apply_attack, AttackConfig, AttackKind, CorpusConfig, Snapshot, SyntheticWeb,
+};
 use pharmaverify_crawl::{
     CrawlConfig, FaultConfig, FaultyWeb, FetchError, InMemoryWeb, Page, Url, WebHost,
 };
@@ -344,6 +346,78 @@ fn hot_swap_pins_in_flight_batches_and_versions_new_ones() {
         "post-swap batch must carry the new version"
     );
     assert_eq!(service.pending(), 0, "no request dropped across the swap");
+}
+
+/// Adversarial serving path: a verifier trained on the clean snapshot
+/// serves domains from a link-farm-attacked copy of the same web. Farm
+/// domains are *fresh* — nothing in the training graph links to them,
+/// so their trust is exactly `0.0` — but their out-links into the
+/// existing (bad-seeded) illegitimate sites still gather distrust via
+/// the incremental anti-trust kernel, and compromised legitimate
+/// domains keep verifying normally.
+#[test]
+fn attacked_domains_flow_through_the_service_with_distrust() {
+    let (verifier, snap1, _snap2) = trained();
+    let attacked = apply_attack(&snap1, &AttackConfig::new(AttackKind::LinkFarm, 1.0), 42);
+    let (obs, clock) = test_obs();
+    let host = Arc::new(attacked.snapshot.web.clone());
+    let service = VerifyService::with_observability(
+        verifier,
+        host,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 2,
+            cache_capacity: 64,
+            ..ServeConfig::default()
+        },
+        Arc::clone(&obs),
+        Arc::new(clock),
+    );
+
+    let farm_sites: Vec<_> = attacked
+        .snapshot
+        .sites
+        .iter()
+        .filter(|s| attacked.farm_domains.contains(&s.domain))
+        .collect();
+    assert!(!farm_sites.is_empty(), "attack must inject farm sites");
+    let tickets: Vec<_> = farm_sites
+        .iter()
+        .map(|s| service.submit(&s.seed_url).expect("admitted"))
+        .collect();
+    service.flush();
+    let verdicts: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("farm domain verifies"))
+        .collect();
+    for v in &verdicts {
+        assert_eq!(
+            v.trust_score.to_bits(),
+            0.0f64.to_bits(),
+            "fresh farm domain must have exactly zero inbound trust: {v}"
+        );
+        assert!(v.spam_mass >= 0.0, "spam mass is non-negative: {v}");
+    }
+    assert!(
+        verdicts.iter().any(|v| v.distrust_score > 0.0),
+        "farm nodes linking into bad-seeded sites must gather distrust"
+    );
+
+    // Compromised legitimate domains (front pages now link to the farm)
+    // still flow through the same service path.
+    for domain in attacked.mutated_domains.iter().take(2) {
+        let site = attacked
+            .snapshot
+            .sites
+            .iter()
+            .find(|s| &s.domain == domain)
+            .expect("mutated domain is a corpus site");
+        let ticket = service.submit(&site.seed_url).expect("admitted");
+        service.flush();
+        let v = ticket.wait().expect("compromised domain verifies");
+        assert!(v.spam_mass >= 0.0, "spam mass is non-negative: {v}");
+    }
 }
 
 /// Regression for the lock-order fix in `process_batch`: per-request

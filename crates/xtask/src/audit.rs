@@ -41,6 +41,14 @@
 //! output: the swap protocol must not let scheduling touch a single
 //! count.
 //!
+//! The adversarial double-run (`--attack link-farm --attack-strength
+//! 0.6`) sweeps a seeded link-farm attack over three strengths and
+//! evaluates the spam-mass defense off vs. on at each. The attacked
+//! corpora, the TrustRank/Anti-TrustRank kernels, and the CV folds are
+//! all pure functions of the seed, so the appended "Adversarial"
+//! section must be byte-identical across worker counts and a pure
+//! suffix of the fault-free output.
+//!
 //! The last double-run exercises the web-scale tier (`--scale web
 //! --web-domains 12000`): the sharded generator streams twelve thousand
 //! domains into the CSR builder and the block TrustRank kernel ranks the
@@ -65,6 +73,8 @@ pub struct AuditReport {
     pub serve_bytes: usize,
     /// Bytes of online (drift + hot-swap) harness output compared.
     pub online_bytes: usize,
+    /// Bytes of adversarial (attack-sweep) harness output compared.
+    pub attack_bytes: usize,
     /// Bytes of web-tier harness output compared.
     pub web_bytes: usize,
 }
@@ -95,6 +105,11 @@ const SERVE_PARALLEL_ARGS: &[&str] = &["--serve-workload", "60", "--serve-worker
 /// shift closes at least one drifted window and forces a retrain+swap.
 const ONLINE_SERIAL_ARGS: &[&str] = &["--online-waves", "6", "--serve-workers", "1"];
 const ONLINE_PARALLEL_ARGS: &[&str] = &["--online-waves", "6", "--serve-workers", "4"];
+
+/// Attack knobs of the adversarial audit runs — a mid-strength link
+/// farm, enough to exercise the defended evaluation without dominating
+/// the audit's runtime.
+const ATTACK_ARGS: &[&str] = &["--attack", "link-farm", "--attack-strength", "0.6"];
 
 /// Domain count of the web-tier audit runs — big enough to shard
 /// (default shard size 8192), small enough to keep the audit quick.
@@ -181,6 +196,28 @@ pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
         );
     }
 
+    let (attack_serial, attack_serial_trace) = run_harness(workspace_root, "1", ATTACK_ARGS)?;
+    let (attack_parallel, attack_parallel_trace) = run_harness(workspace_root, "4", ATTACK_ARGS)?;
+    compare(&attack_serial, &attack_parallel, "adversarial")?;
+    let attack_det =
+        compare_trace_views(&attack_serial_trace, &attack_parallel_trace, "adversarial")?;
+    if !attack_serial.starts_with(&serial) {
+        return Err("adversarial output does not start with the plain output: \
+             the attack study must be a pure suffix"
+            .to_string());
+    }
+    if attack_det == det {
+        return Err(
+            "adversarial trace is identical to the plain trace: the attack \
+             generators and defended evaluation left no metric behind, \
+             their instrumentation is not recording"
+                .to_string(),
+        );
+    }
+    if !String::from_utf8_lossy(&attack_serial).contains("Adversarial: ") {
+        return Err("adversarial run printed no \"Adversarial\" section".to_string());
+    }
+
     let (web_serial, web_serial_trace) = run_harness(workspace_root, "1", WEB_ARGS)?;
     let (web_parallel, web_parallel_trace) = run_harness(workspace_root, "4", WEB_ARGS)?;
     compare(&web_serial, &web_parallel, "web-tier")?;
@@ -212,6 +249,7 @@ pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
         trace_bytes: det.len(),
         serve_bytes: serve_serial.len(),
         online_bytes: online_serial.len(),
+        attack_bytes: attack_serial.len(),
         web_bytes: web_serial.len(),
     })
 }

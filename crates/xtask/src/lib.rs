@@ -17,6 +17,7 @@
 //!   degrading gracefully when a component is not installed.
 
 pub mod audit;
+pub mod bench_gate;
 pub mod callgraph;
 pub mod lints;
 pub mod locks;

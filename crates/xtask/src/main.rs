@@ -9,8 +9,10 @@
 //!                                       PATH, lints the whole workspace
 //! cargo xtask bench [--domains N] [--repeat R] [--out PATH]
 //!                                       graph-kernel and corpus-generation
-//!                                       micro-benches; writes BENCH_8.json
+//!                                       micro-benches; writes BENCH_9.json
 //!                                       at the workspace root by default
+//!                                       and gates throughput against the
+//!                                       latest committed BENCH_<n>.json
 //! ```
 //!
 //! `--lint NAME` restricts the custom-lint layer to the named lints
@@ -198,12 +200,14 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
                 let detail = format!(
                     "{} bytes byte-identical; {} with fault injection; \
                      {} with serve workload; {} with the online drift \
-                     replay (hot-swap verified); {} with the web-scale \
-                     tier; {} bytes of deterministic trace view",
+                     replay (hot-swap verified); {} with the link-farm \
+                     attack sweep; {} with the web-scale tier; {} bytes \
+                     of deterministic trace view",
                     report.bytes,
                     report.fault_bytes,
                     report.serve_bytes,
                     report.online_bytes,
+                    report.attack_bytes,
                     report.web_bytes,
                     report.trace_bytes
                 );
@@ -241,11 +245,13 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
 }
 
 /// `cargo xtask bench`: builds and runs the `microbench` binary,
-/// recording kernel wall clocks and throughput in `BENCH_8.json` at the
+/// recording kernel wall clocks and throughput in `BENCH_9.json` at the
 /// workspace root (`--out` overrides; `--domains` / `--repeat` pass
-/// through to the binary).
+/// through to the binary), then gates the fresh numbers against the
+/// latest committed `BENCH_<n>.json` — any shared bench name whose
+/// throughput drops by more than 25% fails the task.
 fn cmd_bench(args: &[String]) -> Result<bool, String> {
-    let mut out = "BENCH_8.json".to_string();
+    let mut out = "BENCH_9.json".to_string();
     let mut passthrough: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -290,6 +296,13 @@ fn cmd_bench(args: &[String]) -> Result<bool, String> {
             "microbench wrote no report at {}",
             written.display()
         ));
+    }
+    match xtask::bench_gate::gate(&root, &written) {
+        Ok(detail) => println!("bench gate: ok ({detail})"),
+        Err(message) => {
+            println!("bench gate: FAILED\n  {message}");
+            return Ok(false);
+        }
     }
     println!("bench: ok ({})", written.display());
     Ok(true)

@@ -1,0 +1,60 @@
+//! Self-test of the `cargo xtask bench` regression gate against two
+//! fixture reports: a baseline and a run where one kernel's throughput
+//! halved. The gate must flag exactly the halved bench, tolerate
+//! within-noise drift, and ignore benches present in only one report.
+
+use xtask::bench_gate::{latest_baseline, parse_throughputs, regressions, TOLERANCE};
+
+const BASELINE: &str = include_str!("bench_fixtures/baseline.json");
+const REGRESSED: &str = include_str!("bench_fixtures/regressed.json");
+
+#[test]
+fn parser_extracts_name_throughput_pairs() {
+    let rows = parse_throughputs(BASELINE);
+    assert_eq!(rows.len(), 4);
+    assert_eq!(rows[0].0, "csr/trust_rank");
+    assert!((rows[0].1 - 142_289_877.3).abs() < 1.0);
+    assert_eq!(rows[3].0, "legacy/retired_bench");
+}
+
+#[test]
+fn gate_flags_only_the_halved_bench() {
+    let baseline = parse_throughputs(BASELINE);
+    let fresh = parse_throughputs(REGRESSED);
+    let failures = regressions(&baseline, &fresh, TOLERANCE);
+    assert_eq!(failures.len(), 1, "{failures:?}");
+    assert!(
+        failures[0].starts_with("csr/trust_rank:"),
+        "{}",
+        failures[0]
+    );
+    // Within-noise drift (pagerank −2%, anti_trust_rank +10%) passes,
+    // and the retired/new benches are not shared so they never count.
+    assert!(!failures.iter().any(|f| f.contains("pagerank")));
+    assert!(!failures.iter().any(|f| f.contains("retired")));
+    assert!(!failures.iter().any(|f| f.contains("brand_new")));
+}
+
+#[test]
+fn gate_passes_a_report_against_itself() {
+    let rows = parse_throughputs(BASELINE);
+    assert!(regressions(&rows, &rows, TOLERANCE).is_empty());
+}
+
+#[test]
+fn latest_baseline_picks_highest_number_and_skips_the_fresh_report() {
+    let dir = std::env::temp_dir().join(format!("pharmaverify-gate-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    for name in [
+        "BENCH_2.json",
+        "BENCH_10.json",
+        "BENCH_11.json",
+        "notes.json",
+    ] {
+        std::fs::write(dir.join(name), BASELINE).expect("write");
+    }
+    let fresh = dir.join("BENCH_11.json");
+    let picked = latest_baseline(&dir, &fresh).expect("baseline");
+    assert_eq!(picked, dir.join("BENCH_10.json"));
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}

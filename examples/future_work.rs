@@ -9,6 +9,7 @@
 use pharmaverify::core::classify::{build_web_graph, CvConfig};
 use pharmaverify::core::extensions::{
     build_extended_web_graph, evaluate_combined, evaluate_network_variant, portal_links,
+    NetworkVariant,
 };
 use pharmaverify::core::features::extract_corpus;
 use pharmaverify::corpus::{CorpusConfig, SyntheticWeb};
@@ -39,13 +40,34 @@ fn main() {
     );
 
     println!("network-classification variants (3-fold CV):");
-    for (name, artifacts, distrust) in [
-        ("TrustRank baseline (the paper)", &base, false),
-        ("+ Anti-TrustRank distrust bit", &base, true),
-        ("extended graph (two-hop trust)", &extended, false),
-        ("extended + distrust", &extended, true),
+    for (name, artifacts, variant) in [
+        (
+            "TrustRank baseline (the paper)",
+            &base,
+            NetworkVariant::Trust,
+        ),
+        (
+            "+ Anti-TrustRank distrust bit",
+            &base,
+            NetworkVariant::TrustAndDistrust,
+        ),
+        (
+            "spam-mass defended trust",
+            &base,
+            NetworkVariant::SpamMassDefense,
+        ),
+        (
+            "extended graph (two-hop trust)",
+            &extended,
+            NetworkVariant::Trust,
+        ),
+        (
+            "extended + distrust",
+            &extended,
+            NetworkVariant::TrustAndDistrust,
+        ),
     ] {
-        let s = evaluate_network_variant(&corpus, artifacts, distrust, cv).aggregate();
+        let s = evaluate_network_variant(&corpus, artifacts, variant, cv).aggregate();
         println!(
             "  {name:<34} acc {:.3}  AUC {:.3}  legit recall {:.3}",
             s.accuracy, s.auc, s.legitimate.recall

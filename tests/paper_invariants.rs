@@ -7,10 +7,14 @@ use pharmaverify::core::classify::{
     build_web_graph, evaluate_tfidf, pharmacy_trust_scores, CvConfig,
 };
 use pharmaverify::core::drift_study::train_old_test_new;
+use pharmaverify::core::extensions::evaluate_network_variant;
 use pharmaverify::core::features::extract_corpus;
 use pharmaverify::core::outliers::ranking_outliers;
 use pharmaverify::core::rank::{evaluate_ranking, RankingMethod};
-use pharmaverify::corpus::{CorpusConfig, SiteProfile, SyntheticWeb};
+use pharmaverify::core::{pharmacy_spam_mass, NetworkVariant};
+use pharmaverify::corpus::{
+    apply_attack, AttackConfig, AttackKind, CorpusConfig, SiteProfile, SyntheticWeb,
+};
 use pharmaverify::crawl::CrawlConfig;
 use pharmaverify::ml::Sampling;
 use pharmaverify::net::{top_linked, TrustRankConfig};
@@ -221,6 +225,81 @@ fn three_seed_sweep_preserves_table_invariants() {
             "seed {seed}: legit mean trust {} vs illegit {}",
             mean(true),
             mean(false)
+        );
+
+        // Adversarial invariants (ISSUE 9): under a full-strength link
+        // farm, spam mass concentrates on the injected farm nodes, and
+        // the spam-mass-defended network classifier holds its AUC at
+        // least as well as the undefended one.
+        let attacked = apply_attack(
+            web.snapshot(),
+            &AttackConfig::new(AttackKind::LinkFarm, 1.0),
+            seed,
+        );
+        let attacked_corpus =
+            extract_corpus(&attacked.snapshot, &CrawlConfig::default()).expect("extracts");
+        let attacked_artifacts = build_web_graph(&attacked_corpus);
+        let good: Vec<usize> = (0..attacked_corpus.len())
+            .filter(|&i| attacked_corpus.labels[i])
+            .collect();
+        let bad: Vec<usize> = (0..attacked_corpus.len())
+            .filter(|&i| !attacked_corpus.labels[i])
+            .collect();
+        let spam_mass = pharmacy_spam_mass(
+            &attacked_artifacts,
+            &good,
+            &bad,
+            &TrustRankConfig::default(),
+        );
+        assert!(
+            spam_mass.iter().all(|&m| m >= 0.0),
+            "seed {seed}: spam mass went negative"
+        );
+        // Spam mass concentrates on the farm's laundering nodes (the
+        // hubs); the yardstick is the *untouched legitimate* sites,
+        // since the boost links deliberately inflate the existing
+        // illegitimate sites' spam mass as well and spokes (no
+        // in-links) carry none.
+        let hubs: std::collections::HashSet<&String> = attacked.hub_domains.iter().collect();
+        let touched: std::collections::HashSet<&String> = attacked.mutated_domains.iter().collect();
+        let mean_mass = |in_hub: bool| {
+            let idx: Vec<usize> = (0..attacked_corpus.len())
+                .filter(|&i| {
+                    if in_hub {
+                        hubs.contains(&attacked_corpus.domains[i])
+                    } else {
+                        attacked_corpus.labels[i] && !touched.contains(&attacked_corpus.domains[i])
+                    }
+                })
+                .collect();
+            assert!(!idx.is_empty(), "seed {seed}: empty spam-mass class");
+            idx.iter().map(|&i| spam_mass[i]).sum::<f64>() / idx.len() as f64
+        };
+        assert!(
+            mean_mass(true) > mean_mass(false),
+            "seed {seed}: farm hub mean spam mass {} vs untouched legitimate {}",
+            mean_mass(true),
+            mean_mass(false)
+        );
+        let auc_off = evaluate_network_variant(
+            &attacked_corpus,
+            &attacked_artifacts,
+            NetworkVariant::Trust,
+            cv,
+        )
+        .aggregate()
+        .auc;
+        let auc_on = evaluate_network_variant(
+            &attacked_corpus,
+            &attacked_artifacts,
+            NetworkVariant::SpamMassDefense,
+            cv,
+        )
+        .aggregate()
+        .auc;
+        assert!(
+            auc_on >= auc_off,
+            "seed {seed}: defended AUC {auc_on} fell below undefended {auc_off} under attack"
         );
     }
 }
