@@ -11,14 +11,18 @@
 //! to stderr as they complete; `--out PATH` additionally writes one JSON
 //! document (schema `pharmaverify-microbench-v1`) with per-bench
 //! wall-clock seconds and items-per-second throughput. `cargo xtask
-//! bench` drives this binary and captures `BENCH_8.json` at the
+//! bench` drives this binary and captures `BENCH_10.json` at the
 //! workspace root.
 //!
 //! The workload is the web-tier generator at `--domains N` (default
 //! 50000) under the reproduction seed, so the numbers describe the same
 //! graph shape the `--scale web` report ranks.
 
-use pharmaverify_corpus::{DomainRecord, ShardedWebGenerator, WebScaleConfig};
+use pharmaverify_core::{extract_corpus, TextLearnerKind, TrainedVerifier};
+use pharmaverify_corpus::{
+    CorpusConfig, DomainRecord, ShardedWebGenerator, SyntheticWeb, WebScaleConfig,
+};
+use pharmaverify_crawl::CrawlConfig;
 use pharmaverify_net::{
     anti_trust_rank, pagerank, trust_rank, CsrGraph, GraphBuilder, IncrementalConfig, NodeId,
     SpliceOverlay, TrustRankConfig, TrustTrajectory, WebGraph,
@@ -305,6 +309,49 @@ fn main() {
             let mut overlay = SpliceOverlay::new(&graph);
             overlay.splice_pharmacy(&splice_domain, &splice_links);
             overlay.trust_rank_incremental(&trajectory, &inc_config)
+        },
+    ));
+
+    // Federation pair: per-request cost of the two verdict-producing
+    // tiers on the same small synthetic web — the text-only fast path
+    // vs the full graph-spliced slow path (DESIGN.md §14). Items count
+    // routed requests, so the throughputs compare directly as
+    // per-request serving cost.
+    let web = SyntheticWeb::generate(&CorpusConfig::small(), SEED);
+    // lint:allow(no-panic): generator-produced snapshots extract by
+    // construction; a failure here is a generator bug.
+    #[allow(clippy::expect_used)]
+    let small_corpus =
+        extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("synthetic corpus extracts");
+    let verifier = TrainedVerifier::fit(
+        &small_corpus,
+        TextLearnerKind::Nbm,
+        CrawlConfig::default(),
+        Some(250),
+        SEED,
+    );
+    let snap2 = web.snapshot2();
+    let requests = snap2.sites.len();
+    results.push(bench(
+        "federation/route/fast",
+        requests,
+        "requests",
+        repeat,
+        || {
+            for site in &snap2.sites {
+                let _ = verifier.verify_text_only(&snap2.web, &site.seed_url);
+            }
+        },
+    ));
+    results.push(bench(
+        "federation/route/slow",
+        requests,
+        "requests",
+        repeat,
+        || {
+            for site in &snap2.sites {
+                let _ = verifier.verify(&snap2.web, &site.seed_url);
+            }
         },
     ));
 

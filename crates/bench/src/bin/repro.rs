@@ -5,6 +5,7 @@
 //!       [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W]
 //!       [--online-waves N] [--web-domains N]
 //!       [--attack link-farm|cloak|mimicry] [--attack-strength S]
+//!       [--federation N] [--staleness-budget M] [--fast-confidence F]
 //! ```
 //!
 //! With no selection, every table and figure is printed. Scale defaults
@@ -35,6 +36,14 @@
 //! orderedness with the spam-mass defense off vs on — a pure suffix,
 //! byte-identical at any worker count.
 //!
+//! `--federation N` replays N seeded requests through the tiered verdict
+//! federation (response cache → persisted store → text-only fast path →
+//! graph-spliced slow path) and appends the "Federation" section — the
+//! final pure suffix, byte-identical at any `--serve-workers` count.
+//! `--staleness-budget M` (virtual microseconds, 0 = never stale) and
+//! `--fast-confidence F` (in [0, 1]) override the routing policy's
+//! defaults; wall time goes to stderr.
+//!
 //! `--scale web` runs the paper pipeline on the small corpus, then
 //! streams a sharded synthetic web (`--web-domains N`, default 100000)
 //! through the CSR graph builder, ranks it with the block TrustRank
@@ -43,8 +52,8 @@
 //! power iteration go to stderr.
 
 use pharmaverify_bench::{
-    adversarial_study, build_web_tier, online_study, rank_web_tier, render_report_with,
-    scale_section, serving_study, ReproContext, Scale, Selection,
+    adversarial_study, build_web_tier, federation_study, online_study, rank_web_tier,
+    render_report_with, scale_section, serving_study, ReproContext, Scale, Selection,
 };
 use pharmaverify_core::pipeline::Executor;
 use pharmaverify_corpus::AttackKind;
@@ -79,6 +88,9 @@ fn main() {
     let mut web_domains = 100_000usize;
     let mut attack: Option<AttackKind> = None;
     let mut attack_strength = 0.6_f64;
+    let mut federation: Option<usize> = None;
+    let mut staleness_budget: Option<u64> = None;
+    let mut fast_confidence: Option<f64> = None;
     let mut trace_path = std::env::var(TRACE_ENV).ok().filter(|p| !p.is_empty());
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -207,6 +219,45 @@ fn main() {
                     }
                 }
             }
+            "--federation" => {
+                let value = require_value(&mut args, "--federation");
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => {
+                        federation = Some(n);
+                    }
+                    _ => {
+                        eprintln!("--federation expects a positive request count, got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--staleness-budget" => {
+                let value = require_value(&mut args, "--staleness-budget");
+                match value.parse::<u64>() {
+                    Ok(n) => {
+                        staleness_budget = Some(n);
+                    }
+                    _ => {
+                        eprintln!(
+                            "--staleness-budget expects a microsecond count \
+                             (0 = never stale), got '{value}'"
+                        );
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--fast-confidence" => {
+                let value = require_value(&mut args, "--fast-confidence");
+                match value.parse::<f64>() {
+                    Ok(f) if (0.0..=1.0).contains(&f) => {
+                        fast_confidence = Some(f);
+                    }
+                    _ => {
+                        eprintln!("--fast-confidence expects a number in [0, 1], got '{value}'");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--trace" => {
                 trace_path = Some(require_value(&mut args, "--trace"));
             }
@@ -215,7 +266,8 @@ fn main() {
                     "repro [--scale small|medium|paper|web] [--table N]... [--figure 3] [--jobs N] \
                      [--fault-rate F] [--trace PATH] [--serve-workload N] [--serve-workers W] \
                      [--online-waves N] [--web-domains N] \
-                     [--attack link-farm|cloak|mimicry] [--attack-strength S]"
+                     [--attack link-farm|cloak|mimicry] [--attack-strength S] \
+                     [--federation N] [--staleness-budget M] [--fast-confidence F]"
                 );
                 return;
             }
@@ -327,6 +379,29 @@ fn main() {
             (build.graph.edge_count() * scores.config.iterations) as f64
                 / rank_secs.max(f64::EPSILON),
             exec.jobs(),
+        );
+    }
+
+    if let Some(requests) = federation {
+        // The final pure suffix: the tiered federation replay. The table
+        // holds only seed-determined counts; wall time stays on stderr.
+        let federation_started = Instant::now();
+        let (table, stats) = federation_study(
+            &ctx,
+            requests,
+            serve_workers,
+            staleness_budget,
+            fast_confidence,
+        );
+        println!("{table}");
+        let elapsed = federation_started.elapsed().as_secs_f64();
+        eprintln!(
+            "[repro] federation: {} requests in {elapsed:.1}s ({:.0} req/s, {} workers), \
+             {} answered before the slow path",
+            stats.requests,
+            stats.requests as f64 / elapsed.max(f64::EPSILON),
+            serve_workers,
+            stats.answered_cheap(),
         );
     }
 

@@ -1,0 +1,170 @@
+//! The federation study: replays a seeded workload through the tiered
+//! [`pharmaverify_serve::Federation`] and renders the deterministic
+//! tally as a report section.
+//!
+//! Like the serving study, the section is a **pure suffix** of the
+//! report: a run with `--federation N` prints everything a plain run
+//! prints, then this table. Every row is a count — per-tier hits and
+//! fallthroughs, verdicts by provenance, fast-vs-slow agreement, and
+//! the store's restart ledger — so the xtask determinism audit can
+//! byte-compare it between `--serve-workers 1` and `--serve-workers 4`
+//! runs of the same seed.
+
+use crate::context::{ReproContext, REPRO_SEED};
+use pharmaverify_core::report::Table;
+use pharmaverify_core::{TextLearnerKind, TrainedVerifier};
+use pharmaverify_obs::Registry;
+use pharmaverify_serve::{replay_federation, FederationConfig, FederationPolicy, FederationStats};
+use std::sync::Arc;
+
+/// Term-subsample size of the served verifier's text model (matches the
+/// serving study).
+const SERVE_SUBSAMPLE: usize = 1000;
+
+/// Runs the federation study: fits a verifier on Dataset 1, replays
+/// `requests` seeded requests through the four-tier federation with
+/// `workers` slow-path workers against the Dataset 2 web, and returns
+/// the rendered section plus the raw tally. `staleness_budget` and
+/// `fast_confidence` override the policy defaults when set.
+pub fn federation_study(
+    ctx: &ReproContext,
+    requests: usize,
+    workers: usize,
+    staleness_budget: Option<u64>,
+    fast_confidence: Option<f64>,
+) -> (Table, FederationStats) {
+    federation_study_in(
+        ctx,
+        requests,
+        workers,
+        staleness_budget,
+        fast_confidence,
+        pharmaverify_obs::global_arc(),
+    )
+}
+
+/// [`federation_study`] with an injected registry — tests use a private
+/// [`Registry`] so concurrently running replays cannot interleave their
+/// counter deltas.
+pub fn federation_study_in(
+    ctx: &ReproContext,
+    requests: usize,
+    workers: usize,
+    staleness_budget: Option<u64>,
+    fast_confidence: Option<f64>,
+    obs: Arc<Registry>,
+) -> (Table, FederationStats) {
+    let _span = obs.span("report/section/federation (tiered replay)");
+    let verifier = Arc::new(TrainedVerifier::fit(
+        &ctx.corpus1,
+        TextLearnerKind::Nbm,
+        Default::default(),
+        Some(SERVE_SUBSAMPLE),
+        REPRO_SEED,
+    ));
+    let mut config = FederationConfig::new(requests, workers, REPRO_SEED);
+    let defaults = FederationPolicy::default();
+    config.policy = FederationPolicy {
+        staleness_budget_micros: staleness_budget.unwrap_or(defaults.staleness_budget_micros),
+        fast_confidence: fast_confidence.unwrap_or(defaults.fast_confidence),
+    };
+    let stats = replay_federation(
+        verifier,
+        &ctx.snapshot1,
+        &ctx.snapshot2,
+        &config,
+        Arc::clone(&obs),
+    );
+
+    // The title deliberately omits the worker count and store path: the
+    // section must be byte-identical at any worker count.
+    let mut t = Table::new(
+        &format!("Federation: tiered verdict replay ({requests} requests, seed {REPRO_SEED})"),
+        &["Metric", "Count"],
+    );
+    for (label, value) in stats.lines() {
+        t.push_row(vec![label, value.to_string()]);
+    }
+    (t, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Scale;
+    use pharmaverify_obs::VirtualClock;
+
+    fn private_obs() -> Arc<Registry> {
+        Arc::new(Registry::with_clock(Box::new(VirtualClock::new(0))))
+    }
+
+    #[test]
+    fn federation_section_is_worker_count_independent() {
+        let ctx = ReproContext::new(Scale::Small);
+        let (table_1, stats_1) = federation_study_in(&ctx, 48, 1, None, None, private_obs());
+        let (table_4, stats_4) = federation_study_in(&ctx, 48, 4, None, None, private_obs());
+        assert_eq!(stats_1, stats_4, "worker count leaked into the tally");
+        assert_eq!(table_1.to_string(), table_4.to_string());
+    }
+
+    #[test]
+    fn federation_section_renders_every_stat_line() {
+        let ctx = ReproContext::new(Scale::Small);
+        let (table, stats) = federation_study_in(&ctx, 32, 2, None, None, private_obs());
+        let text = table.to_string();
+        assert!(text.contains("Federation: tiered verdict replay (32 requests"));
+        for (label, _) in stats.lines() {
+            assert!(text.contains(&label), "missing line {label:?}:\n{text}");
+        }
+        assert_eq!(stats.requests, 32);
+    }
+
+    #[test]
+    fn majority_of_requests_answered_by_cheaper_tiers() {
+        let ctx = ReproContext::new(Scale::Small);
+        let (_, stats) = federation_study_in(&ctx, 64, 2, None, None, private_obs());
+        // The acceptance criterion: the majority of requests are
+        // answered by a tier cheaper than the graph-spliced slow path.
+        assert!(
+            stats.answered_cheap() * 2 > stats.requests,
+            "cheap tiers answered {} of {} requests: {stats:?}",
+            stats.answered_cheap(),
+            stats.requests
+        );
+        // Every tier actually participated, and every verdict carried a
+        // provenance tag (the four source tallies cover all verdicts).
+        assert!(stats.via_cache > 0, "cache tier never answered");
+        assert!(stats.via_slow > 0, "slow path never ran");
+        assert_eq!(
+            stats.via_cache + stats.via_store + stats.via_fast + stats.via_slow,
+            stats.requests
+                - stats.errors_empty_site
+                - stats.errors_unreachable
+                - stats.errors_other,
+        );
+    }
+
+    #[test]
+    fn store_restart_persists_and_reloads_records() {
+        let ctx = ReproContext::new(Scale::Small);
+        let (_, stats) = federation_study_in(&ctx, 64, 2, None, None, private_obs());
+        assert!(stats.store_persisted > 0, "restart persisted nothing");
+        assert_eq!(stats.store_persisted, stats.store_reloaded);
+        assert!(stats.store_records >= stats.store_reloaded);
+    }
+
+    #[test]
+    fn policy_knobs_change_tier_traffic() {
+        let ctx = ReproContext::new(Scale::Small);
+        // A zero staleness budget stales every store record instantly…
+        let (_, strict) = federation_study_in(&ctx, 48, 2, Some(1), Some(1.01), private_obs());
+        assert_eq!(strict.store_hits, 0, "budget 1µs must stale all records");
+        assert_eq!(
+            strict.fast_hits, 0,
+            "confidence > 1 must reject all fast verdicts"
+        );
+        // …while the defaults serve from both tiers.
+        let (_, default) = federation_study_in(&ctx, 48, 2, None, None, private_obs());
+        assert!(default.fast_hits + default.store_hits > 0);
+    }
+}

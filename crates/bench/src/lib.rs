@@ -25,7 +25,13 @@
 //! --attack <kind> --attack-strength S` appends the adversarial study
 //! (`adversarial::adversarial_study`): link-farm / cloaking / mimicry
 //! attacks swept over strengths 0, S/2, S with the spam-mass defense
-//! off and on — see `DESIGN.md` §13.
+//! off and on — see `DESIGN.md` §13. `repro --federation N` appends the
+//! federation study (`federation::federation_study`): the same seeded
+//! workload replayed through the tiered verdict federation (response
+//! cache → persisted store → text-only fast path → graph-spliced slow
+//! path), byte-identical at any `--serve-workers` count, with
+//! `--staleness-budget` / `--fast-confidence` policy knobs — see
+//! `DESIGN.md` §14.
 //!
 //! Numbers are *shape*-comparable to the paper, not identical: the corpus
 //! is synthetic (see `DESIGN.md` §1). EXPERIMENTS.md records the
@@ -33,6 +39,7 @@
 
 pub mod adversarial;
 pub mod context;
+pub mod federation;
 pub mod figures;
 pub mod online;
 pub mod report;
@@ -42,6 +49,7 @@ pub mod tables;
 
 pub use adversarial::adversarial_study;
 pub use context::{ReproContext, Scale, ScaleError};
+pub use federation::federation_study;
 pub use online::online_study;
 pub use report::{render_report, render_report_with, ReproReport, Selection};
 pub use scale::{build_web_tier, rank_web_tier, scale_section, WebTierBuild, WebTierScores};

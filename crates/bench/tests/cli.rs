@@ -33,6 +33,9 @@ const VALUE_FLAGS: &[&str] = &[
     "--web-domains",
     "--attack",
     "--attack-strength",
+    "--federation",
+    "--staleness-budget",
+    "--fast-confidence",
 ];
 
 #[test]
@@ -195,6 +198,74 @@ fn bad_attack_strengths_are_rejected() {
 }
 
 #[test]
+fn bad_federation_counts_are_rejected() {
+    for value in ["0", "-5", "lots", "2.5"] {
+        let out = run(&["--federation", value]);
+        assert_eq!(out.status.code(), Some(2), "--federation {value}");
+        assert!(
+            stderr(&out).contains("--federation expects a positive request count"),
+            "--federation {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn bad_staleness_budgets_are_rejected() {
+    for value in ["-1", "soon", "2.5", "1e3"] {
+        let out = run(&["--staleness-budget", value]);
+        assert_eq!(out.status.code(), Some(2), "--staleness-budget {value}");
+        assert!(
+            stderr(&out).contains("--staleness-budget expects a microsecond count"),
+            "--staleness-budget {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn bad_fast_confidences_are_rejected() {
+    for value in ["1.5", "-0.1", "sure", "NaN"] {
+        let out = run(&["--fast-confidence", value]);
+        assert_eq!(out.status.code(), Some(2), "--fast-confidence {value}");
+        assert!(
+            stderr(&out).contains("--fast-confidence expects a number in [0, 1]"),
+            "--fast-confidence {value}: {:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn federated_run_appends_federation_section_as_pure_suffix() {
+    let plain = run(&["--scale", "small", "--table", "2"]);
+    assert!(plain.status.success(), "{:?}", stderr(&plain));
+    let federated = run(&[
+        "--scale",
+        "small",
+        "--table",
+        "2",
+        "--federation",
+        "32",
+        "--staleness-budget",
+        "400",
+        "--fast-confidence",
+        "0.25",
+    ]);
+    assert!(federated.status.success(), "{:?}", stderr(&federated));
+    assert!(
+        federated.stdout.starts_with(&plain.stdout),
+        "federated report does not start with the plain report"
+    );
+    let suffix = String::from_utf8_lossy(&federated.stdout[plain.stdout.len()..]).to_string();
+    assert!(
+        suffix.contains("Federation: tiered verdict replay (32 requests"),
+        "suffix was {suffix:?}"
+    );
+    assert!(suffix.contains("answered before slow path"), "{suffix:?}");
+}
+
+#[test]
 fn attacked_run_appends_adversarial_section_as_pure_suffix() {
     let plain = run(&["--scale", "small", "--table", "2"]);
     assert!(plain.status.success(), "{:?}", stderr(&plain));
@@ -245,6 +316,9 @@ fn help_short_circuits_without_running() {
             "{help}: {text}"
         );
         assert!(text.contains("--attack-strength S"), "{help}: {text}");
+        assert!(text.contains("--federation N"), "{help}: {text}");
+        assert!(text.contains("--staleness-budget M"), "{help}: {text}");
+        assert!(text.contains("--fast-confidence F"), "{help}: {text}");
     }
 }
 

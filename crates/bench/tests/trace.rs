@@ -176,6 +176,39 @@ fn span_count(view: &str, stage: &str) -> u64 {
 }
 
 #[test]
+fn federation_replay_records_tier_counters_and_route_spans() {
+    let (_, trace) = run_repro("2", "federation.json", &["--federation", "48"]);
+    let view = deterministic_view(&trace);
+
+    // Every request is counted once and routed under its own span.
+    assert_eq!(counter_value(view, "serve/federation/requests"), 48);
+    let route_at = view.find("\"route\": {").expect("route span in trace");
+    let count_key = "\"count\": ";
+    let count_at = view[route_at..].find(count_key).expect("route span count") + route_at;
+    let routes: u64 = view[count_at + count_key.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("integer route span count");
+    assert_eq!(routes, 48, "one serve/federation/route span per request");
+
+    // Each tier leaves a hit-or-fallthrough trail.
+    assert!(counter_value(view, "serve/federation/tier/cache/hit") > 0);
+    assert!(counter_value(view, "serve/federation/tier/cache/fallthrough") > 0);
+    assert!(counter_value(view, "serve/federation/tier/store/fallthrough") > 0);
+    assert!(counter_value(view, "serve/federation/tier/fast/error") > 0);
+    assert!(counter_value(view, "serve/federation/tier/slow/hit") > 0);
+    // Ladder conservation: tier-2 consultations equal tier-1
+    // fallthroughs (every cache miss consults the store).
+    assert_eq!(
+        counter_value(view, "serve/federation/tier/cache/fallthrough"),
+        counter_value(view, "serve/federation/tier/store/hit")
+            + counter_value(view, "serve/federation/tier/store/fallthrough"),
+    );
+}
+
+#[test]
 fn fault_injection_adds_metrics_without_perturbing_stdout() {
     let (clean_stdout, clean_trace) = run_repro("4", "clean.json", &[]);
     let (fault_stdout, fault_trace) = run_repro("4", "fault.json", &["--fault-rate", "0.2"]);

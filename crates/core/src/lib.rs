@@ -58,4 +58,4 @@ pub use rank::{
 };
 pub use report::Table;
 pub use system::{SystemConfig, VerificationSystem};
-pub use verifier::{TrainedVerifier, Verdict, VerifyError};
+pub use verifier::{TrainedVerifier, Verdict, VerdictSource, VerifyError};

@@ -17,16 +17,53 @@
 //! propagated over base + delta, and the overlay is rolled back — so the
 //! per-site cost is the propagation itself, not a graph copy.
 
-use crate::classify::{build_web_graph, NetworkArtifacts, TextLearnerKind};
+use crate::classify::{build_web_graph, ngg_document_texts, NetworkArtifacts, TextLearnerKind};
 use crate::features::ExtractedCorpus;
 use pharmaverify_crawl::{summarize_crawl, CrawlConfig, Crawler, Url, WebHost};
 use pharmaverify_ml::{Dataset, GaussianNaiveBayes, Learner, Model};
 use pharmaverify_net::{
     IncrementalConfig, IncrementalOutcome, NodeId, SpliceOverlay, TrustRankConfig, TrustTrajectory,
 };
+use pharmaverify_ngg::{NGramGraphBuilder, NggClassGraphs};
 use pharmaverify_text::subsample::subsample_opt;
 use pharmaverify_text::{preprocess, SparseVector, TfIdfModel};
 use std::fmt;
+
+/// Which verification tier produced a [`Verdict`] — the provenance tag
+/// threaded through the serving federation so every answer names the
+/// evidence it rests on. Ordered cheapest to most expensive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VerdictSource {
+    /// Served from the in-memory TTL response cache.
+    ResponseCache,
+    /// Served from the persisted verdict store (a prior slow-path
+    /// verdict within its staleness budget).
+    VerdictStore,
+    /// Computed by the text-only fast path ([`TrainedVerifier::verify_text_only`]):
+    /// TF-IDF + NGG features, no graph splice.
+    TextOnly,
+    /// Computed by the full graph-spliced slow path
+    /// ([`TrainedVerifier::verify`] / [`TrainedVerifier::verify_batch`]).
+    GraphSpliced,
+}
+
+impl VerdictSource {
+    /// Stable short name, used in report tables and metric paths.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            VerdictSource::ResponseCache => "cache",
+            VerdictSource::VerdictStore => "store",
+            VerdictSource::TextOnly => "text-only",
+            VerdictSource::GraphSpliced => "graph-spliced",
+        }
+    }
+}
+
+impl fmt::Display for VerdictSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// The verdict for one verified site.
 #[derive(Debug, Clone)]
@@ -68,6 +105,16 @@ pub struct Verdict {
     /// keeps the version it was pinned to even if a hot-swap lands while
     /// it is in flight.
     pub model_version: u64,
+    /// Which tier produced this verdict. Direct `verify`/`verify_batch`
+    /// calls stamp [`VerdictSource::GraphSpliced`]; the serving
+    /// federation retags answers served from its cheaper tiers.
+    pub source: VerdictSource,
+    /// Self-assessed confidence in `predicted_legitimate`, in [0, 1].
+    /// For the fast path this is the gate the federation policy compares
+    /// against `--fast-confidence`: it collapses to 0.0 when the NGG
+    /// second opinion disagrees with the text model or the crawl
+    /// degraded, so unreliable fast answers fall through.
+    pub confidence: f64,
 }
 
 impl fmt::Display for Verdict {
@@ -107,6 +154,11 @@ impl fmt::Display for Verdict {
                 self.crawl_coverage * 100.0
             )?;
         }
+        write!(
+            f,
+            " [via {}, confidence {:.2}]",
+            self.source, self.confidence
+        )?;
         Ok(())
     }
 }
@@ -177,8 +229,28 @@ pub struct TrainedVerifier {
     good_teleport: f64,
     bad_seed_nodes: std::collections::HashSet<NodeId>,
     bad_teleport: f64,
+    /// Per-class n-gram graphs fitted on the training texts: the fast
+    /// path's second opinion (no link evidence needed).
+    ngg: NggClassGraphs,
+    /// NGG text-rank decision threshold, calibrated at fit time as the
+    /// midpoint of the two class means.
+    ngg_threshold: f64,
+    /// Half the gap between the class means: the text-rank distance at
+    /// which NGG confidence saturates to 1.0.
+    ngg_gap_half: f64,
+    /// Whether legitimate training texts rank *above* the threshold.
+    ngg_legit_high: bool,
     model_version: u64,
 }
+
+/// Token budget for the fast path's NGG second opinion: character
+/// n-gram graph comparison is superlinear in text length, so the fast
+/// path caps the summary prefix it featurizes to stay genuinely cheap.
+const NGG_FAST_TOKENS: usize = 256;
+
+/// Training documents sampled per class when calibrating the NGG
+/// threshold at fit time.
+const NGG_CALIBRATION_DOCS: usize = 16;
 
 impl TrainedVerifier {
     /// Fits a verifier on an extracted labelled corpus: the text model on
@@ -268,6 +340,51 @@ impl TrainedVerifier {
         let good_seed_nodes = seed_nodes.iter().copied().collect();
         let bad_seed_nodes = bad_seed_nodes_vec.iter().copied().collect();
 
+        // Fast-path artifacts: per-class n-gram graphs plus a calibrated
+        // text-rank threshold. The threshold is the midpoint of the two
+        // class means over a small deterministic sample of training
+        // texts; half the gap between the means is the distance at which
+        // NGG confidence saturates.
+        let ngg_texts = ngg_document_texts(corpus, subsample, seed);
+        let legit_texts: Vec<&str> = (0..corpus.len())
+            .filter(|&i| corpus.labels[i])
+            .map(|i| ngg_texts[i].as_str())
+            .collect();
+        let illegit_texts: Vec<&str> = (0..corpus.len())
+            .filter(|&i| !corpus.labels[i])
+            .map(|i| ngg_texts[i].as_str())
+            .collect();
+        let ngg = NggClassGraphs::build(
+            NGramGraphBuilder::default(),
+            &legit_texts,
+            &illegit_texts,
+            seed,
+        );
+        let mean_rank = |texts: &[&str]| -> f64 {
+            let sample: Vec<&&str> = texts.iter().take(NGG_CALIBRATION_DOCS).collect();
+            let n = sample.len().max(1) as f64;
+            sample
+                .iter()
+                .map(|t| ngg.features(t).text_rank())
+                .sum::<f64>()
+                / n
+        };
+        let mean_legit = mean_rank(&legit_texts);
+        let mean_illegit = mean_rank(&illegit_texts);
+        let (ngg_threshold, ngg_gap_half, ngg_legit_high) =
+            if (mean_legit - mean_illegit).abs() > 1e-9 {
+                (
+                    (mean_legit + mean_illegit) / 2.0,
+                    (mean_legit - mean_illegit).abs() / 2.0,
+                    mean_legit >= mean_illegit,
+                )
+            } else {
+                // Degenerate calibration: fall back to the representation
+                // midpoint (text_rank lives in [0, 8]) with a unit gap, so
+                // NGG confidence stays finite but uninformative.
+                (4.0, 1.0, true)
+            };
+
         TrainedVerifier {
             crawl_config,
             subsample,
@@ -285,6 +402,10 @@ impl TrainedVerifier {
             good_teleport,
             bad_seed_nodes,
             bad_teleport,
+            ngg,
+            ngg_threshold,
+            ngg_gap_half,
+            ngg_legit_high,
             model_version: 0,
         }
     }
@@ -310,6 +431,72 @@ impl TrainedVerifier {
         let crawl = self.crawl_site(host, seed_url)?;
         let mut overlay = SpliceOverlay::new(&self.artifacts.graph);
         Ok(self.score_crawl(&crawl, &mut overlay))
+    }
+
+    /// Verifies one site on text evidence alone: crawl, score with the
+    /// text model, and cross-check against the fitted per-class n-gram
+    /// graphs — **no graph splice, no trust propagation**. This is the
+    /// serving federation's fast path: one crawl plus a capped NGG
+    /// comparison instead of two incremental propagation kernels.
+    ///
+    /// The verdict's network fields are neutral (`trust`/`distrust`/
+    /// `spam_mass` 0.0, `network_score` 0.5, `rank` = text score) and its
+    /// `source` is [`VerdictSource::TextOnly`]. Its `confidence` is the
+    /// weaker of the text model's margin and the NGG margin, and drops to
+    /// 0.0 outright when the two disagree or the crawl degraded — the
+    /// federation policy uses that to decide whether the fast answer
+    /// stands or falls through to the slow path.
+    ///
+    /// The label always equals what the slow path would predict on the
+    /// same crawl: both paths share [`TrainedVerifier`]'s text model and
+    /// the paper's primary decision is the text classifier's.
+    pub fn verify_text_only<H: WebHost>(
+        &self,
+        host: &H,
+        seed_url: &str,
+    ) -> Result<Verdict, VerifyError> {
+        let crawl = self.crawl_site(host, seed_url)?;
+        let (text_score, predicted) = self.text_component(&crawl);
+        // NGG second opinion on a capped token prefix of the summary.
+        let summary = summarize_crawl(&crawl);
+        let tokens = preprocess(&summary.text);
+        let capped = tokens
+            .iter()
+            .take(NGG_FAST_TOKENS)
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(" ");
+        let ngg_rank = self.ngg.features(&capped).text_rank();
+        let ngg_says_legit = if self.ngg_legit_high {
+            ngg_rank >= self.ngg_threshold
+        } else {
+            ngg_rank <= self.ngg_threshold
+        };
+        let text_margin = (2.0 * text_score - 1.0).abs();
+        let ngg_margin = ((ngg_rank - self.ngg_threshold).abs() / self.ngg_gap_half).min(1.0);
+        let confidence = if crawl.is_degraded() || ngg_says_legit != predicted {
+            0.0
+        } else {
+            text_margin.min(ngg_margin)
+        };
+        Ok(Verdict {
+            domain: crawl.domain.clone(),
+            pages_crawled: crawl.pages.len(),
+            text_score,
+            trust_score: 0.0,
+            distrust_score: 0.0,
+            spam_mass: 0.0,
+            // No link evidence was gathered: the network opinion is the
+            // uninformative midpoint, not a score.
+            network_score: 0.5,
+            rank: text_score,
+            predicted_legitimate: predicted,
+            degraded: crawl.is_degraded(),
+            crawl_coverage: crawl.coverage(),
+            model_version: self.model_version,
+            source: VerdictSource::TextOnly,
+            confidence,
+        })
     }
 
     /// Verifies a batch of sites against **one** overlay over the frozen
@@ -515,6 +702,14 @@ impl TrainedVerifier {
         let network_score = self
             .trust_model
             .score(&SparseVector::from_pairs(vec![(0, trust_score)]));
+        // Slow-path confidence: the text model's decision margin, scaled
+        // down by crawl coverage when the evidence is partial.
+        let text_margin = (2.0 * text_score - 1.0).abs();
+        let confidence = if crawl.is_degraded() {
+            text_margin * crawl.coverage()
+        } else {
+            text_margin
+        };
         Verdict {
             domain: crawl.domain.clone(),
             pages_crawled: crawl.pages.len(),
@@ -528,6 +723,8 @@ impl TrainedVerifier {
             degraded: crawl.is_degraded(),
             crawl_coverage: crawl.coverage(),
             model_version: self.model_version,
+            source: VerdictSource::GraphSpliced,
+            confidence,
         }
     }
 
@@ -701,6 +898,8 @@ mod tests {
             degraded,
             crawl_coverage: if degraded { 0.4 } else { 1.0 },
             model_version: 0,
+            source: VerdictSource::GraphSpliced,
+            confidence: 0.6,
         }
     }
 
@@ -740,6 +939,8 @@ mod tests {
         assert_eq!(a.degraded, b.degraded);
         assert_eq!(a.crawl_coverage.to_bits(), b.crawl_coverage.to_bits());
         assert_eq!(a.model_version, b.model_version);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.confidence.to_bits(), b.confidence.to_bits());
     }
 
     #[test]
@@ -817,5 +1018,66 @@ mod tests {
         let batch = verifier.verify_batch(&snap.web, &["bogus", "http://offline-pharmacy.com/"]);
         assert!(matches!(batch[0], Err(VerifyError::BadUrl(_))));
         assert!(matches!(batch[1], Err(VerifyError::EmptySite(_))));
+    }
+
+    #[test]
+    fn verdicts_carry_provenance() {
+        let (verifier, web) = verifier_and_web();
+        let snap = web.snapshot();
+        let slow = verifier.verify(&snap.web, &snap.sites[0].seed_url).unwrap();
+        assert_eq!(slow.source, VerdictSource::GraphSpliced);
+        assert!((0.0..=1.0).contains(&slow.confidence));
+        let text = slow.to_string();
+        assert!(text.contains("via graph-spliced"), "{text}");
+        let fast = verifier
+            .verify_text_only(&snap.web, &snap.sites[0].seed_url)
+            .unwrap();
+        assert_eq!(fast.source, VerdictSource::TextOnly);
+        assert!(fast.to_string().contains("via text-only"));
+    }
+
+    #[test]
+    fn text_only_matches_slow_path_text_evidence() {
+        let (verifier, web) = verifier_and_web();
+        let snap2 = web.snapshot2();
+        for site in snap2.sites.iter().take(6) {
+            let fast = verifier
+                .verify_text_only(&snap2.web, &site.seed_url)
+                .unwrap();
+            let slow = verifier.verify(&snap2.web, &site.seed_url).unwrap();
+            // Same crawl, same text model: label and text score agree
+            // bit-for-bit; only the network evidence differs.
+            assert_eq!(fast.predicted_legitimate, slow.predicted_legitimate);
+            assert_eq!(fast.text_score.to_bits(), slow.text_score.to_bits());
+            assert_eq!(fast.trust_score, 0.0);
+            assert_eq!(fast.distrust_score, 0.0);
+            assert_eq!(fast.spam_mass, 0.0);
+            assert!((0.0..=1.0).contains(&fast.confidence));
+        }
+    }
+
+    #[test]
+    fn text_only_is_deterministic() {
+        let (verifier, web) = verifier_and_web();
+        let snap = web.snapshot();
+        let a = verifier
+            .verify_text_only(&snap.web, &snap.sites[1].seed_url)
+            .unwrap();
+        let b = verifier
+            .verify_text_only(&snap.web, &snap.sites[1].seed_url)
+            .unwrap();
+        assert_same_verdict(&a, &b);
+    }
+
+    #[test]
+    fn degraded_text_only_has_zero_confidence() {
+        let (verifier, web) = verifier_and_web();
+        let snap = web.snapshot();
+        let host = Patchy { inner: &snap.web };
+        let verdict = verifier
+            .verify_text_only(&host, &snap.sites[0].seed_url)
+            .unwrap();
+        assert!(verdict.degraded);
+        assert_eq!(verdict.confidence, 0.0);
     }
 }

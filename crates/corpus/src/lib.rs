@@ -35,7 +35,7 @@ pub mod vocabulary;
 
 pub use attack::{apply_attack, AttackConfig, AttackKind, AttackedSnapshot};
 pub use generator::{CorpusConfig, SyntheticWeb};
-pub use persist::{load_snapshot, save_snapshot, PersistError};
+pub use persist::{load_json_file, load_snapshot, save_json_file, save_snapshot, PersistError};
 pub use shard::{domain_name, DomainRecord, ShardedWebGenerator, WebScaleConfig};
 pub use site::{PharmacySite, SiteClass, SiteProfile};
 pub use snapshot::{Snapshot, SnapshotStats};

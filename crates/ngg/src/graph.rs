@@ -97,6 +97,19 @@ impl NGramGraph {
             .map(move |(&(f, t), &w)| (self.gram(f), self.gram(t), w))
     }
 
+    /// Iterates edges as interned `(from_id, to_id, weight)` triples, in
+    /// the same deterministic order as [`NGramGraph::iter_edges`].
+    pub fn iter_edge_ids(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.edges.iter().map(|(&(f, t), &w)| (f, t, w))
+    }
+
+    /// The weight of edge `(from, to)`, `None` when absent — unlike
+    /// [`NGramGraph::edge_weight`], distinguishes a missing edge from a
+    /// stored zero weight.
+    pub fn edge_weight_checked(&self, from: u32, to: u32) -> Option<f64> {
+        self.edges.get(&(from, to)).copied()
+    }
+
     /// Total of all edge weights.
     pub fn total_weight(&self) -> f64 {
         self.edges.values().sum()

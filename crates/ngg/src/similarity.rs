@@ -29,10 +29,62 @@ pub struct GraphSimilarities {
 
 impl GraphSimilarities {
     /// Computes all four measures between `gi` and `gj`.
+    ///
+    /// Single-pass: `gi`'s gram ids are translated into `gj`'s id space
+    /// once, then every shared-edge probe is two table lookups instead
+    /// of re-hashing both gram names — the standalone
+    /// [`containment_similarity`] / [`value_similarity`] functions would
+    /// walk `gi`'s edges (and hash every gram name) once per measure.
+    /// Results are bit-identical to the standalone functions: the edge
+    /// iteration order, per-edge arithmetic, and summation order are
+    /// the same.
     pub fn compute(gi: &NGramGraph, gj: &NGramGraph) -> Self {
-        let cs = containment_similarity(gi, gj);
-        let ss = size_similarity(gi, gj);
-        let vs = value_similarity(gi, gj);
+        let (min, max) = (
+            gi.edge_count().min(gj.edge_count()),
+            gi.edge_count().max(gj.edge_count()),
+        );
+        if max == 0 {
+            // Both empty: identical.
+            return GraphSimilarities {
+                cs: 1.0,
+                ss: 1.0,
+                vs: 1.0,
+                nvs: 1.0,
+            };
+        }
+        if min == 0 {
+            // One empty: nothing shared. `vs` is `-0.0` because the
+            // standalone [`value_similarity`] divides an empty
+            // `Iterator::sum` — whose f64 identity is `-0.0` — by `max`,
+            // and bit-compatibility with it is part of this method's
+            // contract.
+            return GraphSimilarities {
+                cs: 0.0,
+                ss: 0.0,
+                vs: -0.0,
+                nvs: 0.0,
+            };
+        }
+        let translate: Vec<Option<u32>> = (0..gi.node_count())
+            .map(|id| gj.gram_id(gi.gram(id as u32)))
+            .collect();
+        let mut shared = 0usize;
+        // `-0.0` is `Iterator::sum`'s f64 identity; starting there keeps
+        // the no-shared-edge result bit-identical to `value_similarity`.
+        let mut vs_sum = -0.0f64;
+        for (f, t, wi) in gi.iter_edge_ids() {
+            let (Some(f2), Some(t2)) = (translate[f as usize], translate[t as usize]) else {
+                continue;
+            };
+            if let Some(wj) = gj.edge_weight_checked(f2, t2) {
+                shared += 1;
+                let (lo, hi) = if wi < wj { (wi, wj) } else { (wj, wi) };
+                vs_sum += if hi == 0.0 { 0.0 } else { lo / hi };
+            }
+        }
+        let cs = shared as f64 / min as f64;
+        let ss = min as f64 / max as f64;
+        let vs = vs_sum / max as f64;
         let nvs = if ss == 0.0 { 0.0 } else { vs / ss };
         GraphSimilarities { cs, ss, vs, nvs }
     }
@@ -180,6 +232,25 @@ mod tests {
         let s = GraphSimilarities::compute(&a, &b);
         assert!((s.nvs - s.vs / s.ss).abs() < 1e-12);
         assert!(s.nvs >= s.vs);
+    }
+
+    #[test]
+    fn single_pass_compute_matches_standalone_measures_bitwise() {
+        let pairs = [
+            (g("pharmacy online store"), g("pharmacy store front")),
+            (g("viagra no prescription"), g("refill your prescription")),
+            (g("abcabcabc"), g("bcabca")),
+            (g(""), g("abcd")),
+            (g(""), g("")),
+        ];
+        for (a, b) in &pairs {
+            for (gi, gj) in [(a, b), (b, a)] {
+                let s = GraphSimilarities::compute(gi, gj);
+                assert_eq!(s.cs.to_bits(), containment_similarity(gi, gj).to_bits());
+                assert_eq!(s.ss.to_bits(), size_similarity(gi, gj).to_bits());
+                assert_eq!(s.vs.to_bits(), value_similarity(gi, gj).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -309,6 +309,8 @@ mod tests {
             degraded,
             crawl_coverage: if degraded { 0.5 } else { 1.0 },
             model_version: 0,
+            source: pharmaverify_core::VerdictSource::GraphSpliced,
+            confidence: 0.5,
         }
     }
 

@@ -1,0 +1,131 @@
+//! The tier catalog: one [`VerdictTier`] implementation per federation
+//! source, ordered cheapest to most expensive.
+//!
+//! The trait is deliberately data-only — tiers describe themselves
+//! (provenance tag, stable name, relative cost) and the
+//! [`crate::federation::Federation`] engine does the actual serving.
+//! Keeping the catalog declarative is what makes the routing order a
+//! checkable constant: `tier_catalog()` is asserted strictly
+//! cost-ascending by the policy tests, and the report's per-tier rows
+//! iterate it so a new tier cannot be added without showing up
+//! everywhere at once.
+
+use pharmaverify_core::VerdictSource;
+
+/// A verdict source the federation can consult, self-describing enough
+/// for routing order, report rows, and metric names.
+pub trait VerdictTier {
+    /// The provenance tag stamped on verdicts this tier serves.
+    fn source(&self) -> VerdictSource;
+
+    /// Stable short name (report rows, `serve/federation/tier/<name>`
+    /// metric paths).
+    fn name(&self) -> &'static str {
+        self.source().as_str()
+    }
+
+    /// Deterministic relative cost of consulting this tier; the
+    /// federation consults tiers in strictly ascending cost order.
+    fn cost_rank(&self) -> u8;
+}
+
+/// Tier 1: the in-memory TTL response cache.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheTier;
+
+impl VerdictTier for CacheTier {
+    fn source(&self) -> VerdictSource {
+        VerdictSource::ResponseCache
+    }
+
+    fn cost_rank(&self) -> u8 {
+        0
+    }
+}
+
+/// Tier 2: the persisted verdict store.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StoreTier;
+
+impl VerdictTier for StoreTier {
+    fn source(&self) -> VerdictSource {
+        VerdictSource::VerdictStore
+    }
+
+    fn cost_rank(&self) -> u8 {
+        1
+    }
+}
+
+/// Tier 3: the text-only fast path (crawl + TF-IDF + NGG, no splice).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FastTier;
+
+impl VerdictTier for FastTier {
+    fn source(&self) -> VerdictSource {
+        VerdictSource::TextOnly
+    }
+
+    fn name(&self) -> &'static str {
+        // Metric segment: the hyphen-free short form used in
+        // `serve/federation/tier/fast/...`.
+        "fast"
+    }
+
+    fn cost_rank(&self) -> u8 {
+        2
+    }
+}
+
+/// Tier 4: the full graph-spliced slow path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlowTier;
+
+impl VerdictTier for SlowTier {
+    fn source(&self) -> VerdictSource {
+        VerdictSource::GraphSpliced
+    }
+
+    fn name(&self) -> &'static str {
+        "slow"
+    }
+
+    fn cost_rank(&self) -> u8 {
+        3
+    }
+}
+
+/// The full catalog in consultation order.
+pub fn tier_catalog() -> [&'static dyn VerdictTier; 4] {
+    [&CacheTier, &StoreTier, &FastTier, &SlowTier]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_strictly_cost_ascending() {
+        let tiers = tier_catalog();
+        for pair in tiers.windows(2) {
+            assert!(pair[0].cost_rank() < pair[1].cost_rank());
+        }
+    }
+
+    #[test]
+    fn names_and_sources_are_stable() {
+        let tiers = tier_catalog();
+        let names: Vec<&str> = tiers.iter().map(|t| t.name()).collect();
+        assert_eq!(names, ["cache", "store", "fast", "slow"]);
+        let sources: Vec<VerdictSource> = tiers.iter().map(|t| t.source()).collect();
+        assert_eq!(
+            sources,
+            [
+                VerdictSource::ResponseCache,
+                VerdictSource::VerdictStore,
+                VerdictSource::TextOnly,
+                VerdictSource::GraphSpliced,
+            ]
+        );
+    }
+}

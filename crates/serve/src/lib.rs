@@ -22,10 +22,15 @@
 //!   streams drawn from the synthetic corpus's two snapshots;
 //! * [`replay`] — [`replay_workload`]: the wave-driven harness whose
 //!   [`ServingStats`] are byte-identical across worker counts for the
-//!   same seed (enforced by `cargo xtask check`'s determinism audit).
+//!   same seed (enforced by `cargo xtask check`'s determinism audit);
+//! * [`federation`] — [`Federation`]: a tiered front-end (response
+//!   cache → persisted [`VerdictStore`] → text-only fast path → full
+//!   graph-spliced slow path) with a deterministic
+//!   [`FederationPolicy`] and provenance on every verdict.
 
 pub mod cache;
 pub mod drift;
+pub mod federation;
 pub mod registry;
 pub mod replay;
 pub mod service;
@@ -33,6 +38,10 @@ pub mod workload;
 
 pub use cache::{Fill, Lookup, Reserve, ResponseCache};
 pub use drift::{DriftConfig, DriftMonitor, DriftVerdict};
+pub use federation::{
+    replay_federation, Federation, FederationConfig, FederationPolicy, FederationStats, Routed,
+    StoredVerdict, VerdictStore, VerdictTier,
+};
 pub use registry::ModelRegistry;
 pub use replay::{
     replay_online, replay_workload, OnlineConfig, OnlineStats, ReplayConfig, ServingStats,

@@ -365,8 +365,12 @@ impl<H: WebHost + Send + Sync + 'static> VerifyService<H> {
             let seq = state.next_seq;
             state.next_seq += 1;
             match state.cache.lookup(&domain, now) {
-                Lookup::Hit(verdict) => {
+                Lookup::Hit(mut verdict) => {
                     obs.add("serve/cache/hit", 1);
+                    // Provenance: this answer was served from the cache,
+                    // not recomputed — retag it so the federation's
+                    // per-source tallies see where it came from.
+                    verdict.source = pharmaverify_core::VerdictSource::ResponseCache;
                     return Ok(Ticket::ready(Ok(verdict)));
                 }
                 Lookup::HitError(error) => {

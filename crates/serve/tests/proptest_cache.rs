@@ -21,6 +21,8 @@ fn verdict(domain: &str, degraded: bool) -> Verdict {
         degraded,
         crawl_coverage: if degraded { 0.3 } else { 1.0 },
         model_version: 0,
+        source: pharmaverify_core::VerdictSource::GraphSpliced,
+        confidence: 0.5,
     }
 }
 

@@ -1,0 +1,62 @@
+//! Property-based test for the federation policy (ISSUE 10, satellite
+//! 3): whenever the fast path's confidence clears the policy floor —
+//! for **any** floor — its label is identical to the slow path's on the
+//! same site. This is the contract that makes accepting a confident
+//! fast answer safe: the federation never serves a label the full
+//! graph-spliced pipeline would have overturned.
+
+use pharmaverify_core::{extract_corpus, TextLearnerKind, TrainedVerifier};
+use pharmaverify_corpus::{CorpusConfig, SyntheticWeb};
+use pharmaverify_crawl::CrawlConfig;
+use pharmaverify_serve::FederationPolicy;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn fixture() -> &'static (TrainedVerifier, SyntheticWeb) {
+    static FIXTURE: OnceLock<(TrainedVerifier, SyntheticWeb)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let web = SyntheticWeb::generate(&CorpusConfig::small(), 42);
+        let corpus = extract_corpus(web.snapshot(), &CrawlConfig::default()).expect("extracts");
+        let verifier = TrainedVerifier::fit(
+            &corpus,
+            TextLearnerKind::Nbm,
+            CrawlConfig::default(),
+            Some(250),
+            7,
+        );
+        (verifier, web)
+    })
+}
+
+proptest! {
+    /// For any confidence floor and any snapshot-2 site: if the policy
+    /// accepts the fast verdict, its label equals the slow verdict's.
+    #[test]
+    fn confident_fast_label_matches_slow_path(
+        site in 0usize..64,
+        fast_confidence in 0.0f64..1.0001,
+    ) {
+        let (verifier, web) = fixture();
+        let snap2 = web.snapshot2();
+        let site = &snap2.sites[site % snap2.sites.len()];
+        let policy = FederationPolicy { fast_confidence, ..FederationPolicy::default() };
+        let fast = verifier.verify_text_only(&snap2.web, &site.seed_url);
+        let slow = verifier.verify(&snap2.web, &site.seed_url);
+        match (fast, slow) {
+            (Ok(fast), Ok(slow)) => {
+                prop_assert!((0.0..=1.0).contains(&fast.confidence));
+                if policy.accepts_fast(fast.confidence) {
+                    prop_assert_eq!(
+                        fast.predicted_legitimate,
+                        slow.predicted_legitimate,
+                        "accepted fast verdict (confidence {}) disagrees with slow path",
+                        fast.confidence
+                    );
+                }
+            }
+            // Both paths crawl identically, so they fail identically.
+            (Err(f), Err(s)) => prop_assert_eq!(f.to_string(), s.to_string()),
+            (f, s) => prop_assert!(false, "paths diverged: fast {f:?} vs slow {s:?}"),
+        }
+    }
+}

@@ -49,13 +49,25 @@
 //! section must be byte-identical across worker counts and a pure
 //! suffix of the fault-free output.
 //!
-//! The last double-run exercises the web-scale tier (`--scale web
+//! The web-tier double-run exercises the web-scale tier (`--scale web
 //! --web-domains 12000`): the sharded generator streams twelve thousand
 //! domains into the CSR builder and the block TrustRank kernel ranks the
 //! frozen graph on 1 vs 4 workers. The whole report — paper tables plus
 //! the appended "Scale" section — must be byte-identical across worker
 //! counts, and must *start with* the plain fault-free output: the scale
 //! study is a pure suffix too.
+//!
+//! The last double-run drives the tiered verdict federation
+//! (`--federation 60`, `--serve-workers 1` vs `4`): every request walks
+//! the cache → store → text-only → graph-spliced ladder, a mid-replay
+//! restart persists and reloads the verdict store, and the appended
+//! "Federation" section — per-tier hits and fallthroughs, verdicts by
+//! provenance, fast-vs-slow agreement — must be byte-identical across
+//! slow-path worker counts and a pure suffix of the fault-free output.
+//! The audit additionally parses the section and requires the majority
+//! of requests to have been answered before the slow path: a federation
+//! that routes everything to the expensive tier would make the
+//! byte-compare vacuous.
 
 use std::path::Path;
 use std::process::Command;
@@ -77,6 +89,8 @@ pub struct AuditReport {
     pub attack_bytes: usize,
     /// Bytes of web-tier harness output compared.
     pub web_bytes: usize,
+    /// Bytes of federation (tiered replay) harness output compared.
+    pub federation_bytes: usize,
 }
 
 /// Arguments of the harness invocation (after `cargo`).
@@ -114,6 +128,11 @@ const ATTACK_ARGS: &[&str] = &["--attack", "link-farm", "--attack-strength", "0.
 /// Domain count of the web-tier audit runs — big enough to shard
 /// (default shard size 8192), small enough to keep the audit quick.
 const WEB_ARGS: &[&str] = &["--scale", "web", "--web-domains", "12000"];
+
+/// Request count of the federation audit runs (the slow-path worker
+/// count is the variable under test).
+const FEDERATION_SERIAL_ARGS: &[&str] = &["--federation", "60", "--serve-workers", "1"];
+const FEDERATION_PARALLEL_ARGS: &[&str] = &["--federation", "60", "--serve-workers", "4"];
 
 /// Runs the table harness serially and with four workers — first clean,
 /// then under fault injection — and compares outputs byte-for-byte.
@@ -243,6 +262,37 @@ pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
         );
     }
 
+    let (fed_serial, fed_serial_trace) = run_harness(workspace_root, "1", FEDERATION_SERIAL_ARGS)?;
+    let (fed_parallel, fed_parallel_trace) =
+        run_harness(workspace_root, "4", FEDERATION_PARALLEL_ARGS)?;
+    compare(&fed_serial, &fed_parallel, "federation")?;
+    let fed_det = compare_trace_views(&fed_serial_trace, &fed_parallel_trace, "federation")?;
+    if !fed_serial.starts_with(&serial) {
+        return Err("federation output does not start with the plain output: \
+             the federation study must be a pure suffix"
+            .to_string());
+    }
+    if fed_det == det {
+        return Err(
+            "federation trace is identical to the plain trace: the tier \
+             router left no metric behind, its instrumentation is not \
+             recording"
+                .to_string(),
+        );
+    }
+    let fed_text = String::from_utf8_lossy(&fed_serial);
+    if !fed_text.contains("Federation: tiered verdict replay") {
+        return Err("federation run printed no \"Federation\" section".to_string());
+    }
+    if !federation_majority_cheap(&fed_text) {
+        return Err(
+            "federation run routed most requests to the graph-spliced slow \
+             path: the cheaper tiers (cache, store, text-only) must answer \
+             the majority over the audited workload"
+                .to_string(),
+        );
+    }
+
     Ok(AuditReport {
         bytes: serial.len(),
         fault_bytes: fault_serial.len(),
@@ -251,7 +301,26 @@ pub fn run(workspace_root: &Path) -> Result<AuditReport, String> {
         online_bytes: online_serial.len(),
         attack_bytes: attack_serial.len(),
         web_bytes: web_serial.len(),
+        federation_bytes: fed_serial.len(),
     })
+}
+
+/// True when the rendered "Federation" section shows a strict majority
+/// of requests answered before the slow path.
+fn federation_majority_cheap(report: &str) -> bool {
+    let row = |label: &str| {
+        report.lines().find_map(|line| {
+            let mut cells = line.split('|').map(str::trim).filter(|c| !c.is_empty());
+            if cells.next() != Some(label) {
+                return None;
+            }
+            cells.next()?.parse::<u64>().ok()
+        })
+    };
+    match (row("requests"), row("answered before slow path")) {
+        (Some(requests), Some(cheap)) => cheap * 2 > requests,
+        _ => false,
+    }
 }
 
 /// True when the rendered "Online" section records a nonzero model

@@ -9,7 +9,7 @@
 //!                                       PATH, lints the whole workspace
 //! cargo xtask bench [--domains N] [--repeat R] [--out PATH]
 //!                                       graph-kernel and corpus-generation
-//!                                       micro-benches; writes BENCH_9.json
+//!                                       micro-benches; writes BENCH_10.json
 //!                                       at the workspace root by default
 //!                                       and gates throughput against the
 //!                                       latest committed BENCH_<n>.json
@@ -201,14 +201,16 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
                     "{} bytes byte-identical; {} with fault injection; \
                      {} with serve workload; {} with the online drift \
                      replay (hot-swap verified); {} with the link-farm \
-                     attack sweep; {} with the web-scale tier; {} bytes \
-                     of deterministic trace view",
+                     attack sweep; {} with the web-scale tier; {} with \
+                     the tiered federation (majority answered cheap); \
+                     {} bytes of deterministic trace view",
                     report.bytes,
                     report.fault_bytes,
                     report.serve_bytes,
                     report.online_bytes,
                     report.attack_bytes,
                     report.web_bytes,
+                    report.federation_bytes,
                     report.trace_bytes
                 );
                 if !json {
@@ -245,13 +247,13 @@ fn cmd_check(args: &[String]) -> Result<bool, String> {
 }
 
 /// `cargo xtask bench`: builds and runs the `microbench` binary,
-/// recording kernel wall clocks and throughput in `BENCH_9.json` at the
+/// recording kernel wall clocks and throughput in `BENCH_10.json` at the
 /// workspace root (`--out` overrides; `--domains` / `--repeat` pass
 /// through to the binary), then gates the fresh numbers against the
 /// latest committed `BENCH_<n>.json` — any shared bench name whose
 /// throughput drops by more than 25% fails the task.
 fn cmd_bench(args: &[String]) -> Result<bool, String> {
-    let mut out = "BENCH_9.json".to_string();
+    let mut out = "BENCH_10.json".to_string();
     let mut passthrough: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {

@@ -20,30 +20,55 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
-/// A parse or shape error.
+/// A parse or shape error. Parse errors carry the byte offset where
+/// the parser stopped; shape errors (wrong type, missing field) have
+/// no meaningful offset and leave it `None`.
 #[derive(Debug, Clone)]
-pub struct Error(String);
+pub struct Error {
+    message: String,
+    offset: Option<usize>,
+}
 
 impl Error {
     /// An error with a plain message.
     pub fn msg(m: impl Into<String>) -> Self {
-        Error(m.into())
+        Error {
+            message: m.into(),
+            offset: None,
+        }
     }
 
     /// "expected X, got Y" for a shape mismatch.
     pub fn expected(what: &str, got: &Value) -> Self {
-        Error(format!("expected {what}, got {}", got.kind()))
+        Error {
+            message: format!("expected {what}, got {}", got.kind()),
+            offset: None,
+        }
     }
 
     /// A missing-object-field error.
     pub fn missing_field(name: &str) -> Self {
-        Error(format!("missing field `{name}`"))
+        Error {
+            message: format!("missing field `{name}`"),
+            offset: None,
+        }
+    }
+
+    /// The byte offset in the input where parsing failed, when known.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+
+    /// Stamps a byte offset onto an error that does not yet carry one.
+    fn at(mut self, offset: usize) -> Self {
+        self.offset.get_or_insert(offset);
+        self
     }
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(&self.message)
     }
 }
 
@@ -210,10 +235,13 @@ pub fn parse(input: &str) -> Result<Value, Error> {
         pos: 0,
     };
     p.skip_ws();
-    let v = p.value()?;
+    let v = match p.value() {
+        Ok(v) => v,
+        Err(e) => return Err(e.at(p.pos)),
+    };
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)).at(p.pos));
     }
     Ok(v)
 }
@@ -468,6 +496,17 @@ mod tests {
         for bad in ["", "{", "[1,", "tru", "{\"a\":}", "1 2", "{'a':1}", "nul"] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_errors_carry_byte_offsets() {
+        let err = parse("[1,]").unwrap_err();
+        assert_eq!(err.offset(), Some(3), "{err}");
+        let err = parse("{\"a\": 1} x").unwrap_err();
+        assert_eq!(err.offset(), Some(9), "{err}");
+        // Shape errors have no position.
+        let v = parse("[1]").unwrap();
+        assert_eq!(Error::expected("object", &v).offset(), None);
     }
 
     #[test]
